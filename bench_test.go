@@ -1,0 +1,153 @@
+// Package pedal's benchmark harness: one testing.B benchmark per table
+// and figure of the paper's evaluation (§V). Each bench drives the same
+// experiment runner that cmd/pedalbench uses (in Quick mode so that
+// `go test -bench=.` completes in minutes); b.ReportMetric publishes the
+// headline paper metrics (speedups, reductions) alongside wall time.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate a single figure at full dataset sizes:
+//
+//	go run ./cmd/pedalbench -exp fig8
+package pedal_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pedal"
+	"pedal/internal/experiments"
+)
+
+var quick = experiments.Options{Quick: true}
+
+// reportMetrics republishes an experiment's scalar metrics through the
+// benchmark framework so `go test -bench` output carries the paper's
+// headline numbers.
+func reportMetrics(b *testing.B, tab experiments.Table) {
+	b.Helper()
+	for k, v := range tab.Metrics {
+		b.ReportMetric(v, k)
+	}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r := experiments.ByID(id)
+	if r == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tab experiments.Table
+	var err error
+	for i := 0; i < b.N; i++ {
+		tab, err = r.Run(quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportMetrics(b, tab)
+}
+
+// BenchmarkTable4DatasetInventory regenerates Table IV (dataset
+// generation cost).
+func BenchmarkTable4DatasetInventory(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkFig7aLosslessBreakdownBF2 regenerates Fig. 7a: the
+// init/prep/compress/decompress time distribution on BlueField-2.
+func BenchmarkFig7aLosslessBreakdownBF2(b *testing.B) { runExperiment(b, "fig7a") }
+
+// BenchmarkFig7bLosslessBreakdownBF3 regenerates Fig. 7b (BlueField-3).
+func BenchmarkFig7bLosslessBreakdownBF3(b *testing.B) { runExperiment(b, "fig7b") }
+
+// BenchmarkFig8RawCompressDecompress regenerates Fig. 8: PEDAL
+// per-operation times across generations, engines and datasets, with the
+// paper's headline speedups as reported metrics.
+func BenchmarkFig8RawCompressDecompress(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9LossyBreakdown regenerates Fig. 9: the SZ3 time
+// distribution on BF2/BF3, SoC vs C-Engine.
+func BenchmarkFig9LossyBreakdown(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkTable5aLosslessRatios regenerates Table V(a).
+func BenchmarkTable5aLosslessRatios(b *testing.B) { runExperiment(b, "table5a") }
+
+// BenchmarkTable5bLossyRatios regenerates Table V(b).
+func BenchmarkTable5bLossyRatios(b *testing.B) { runExperiment(b, "table5b") }
+
+// BenchmarkFig10PtToPtLatency regenerates Fig. 10a-e: OSU-style MPI
+// point-to-point latency for the six lossless designs vs the baseline.
+func BenchmarkFig10PtToPtLatency(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig10fLossyLatency regenerates Fig. 10f: the SZ3 design's
+// point-to-point latency vs the baseline.
+func BenchmarkFig10fLossyLatency(b *testing.B) { runExperiment(b, "fig10f") }
+
+// BenchmarkFig11Broadcast regenerates Fig. 11: four-node MPI_Bcast
+// across designs and generations.
+func BenchmarkFig11Broadcast(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkExtDeploymentScenarios runs the §VI deployment comparison
+// (host-side compression vs DPU offload with PCIe movement).
+func BenchmarkExtDeploymentScenarios(b *testing.B) { runExperiment(b, "ext-deploy") }
+
+// BenchmarkExtHybridDesign runs the §V-C.2 hybrid parallel
+// SoC+C-Engine design against the pure designs.
+func BenchmarkExtHybridDesign(b *testing.B) { runExperiment(b, "ext-hybrid") }
+
+// BenchmarkExtAblation isolates PEDAL's optimisations (init hoisting,
+// buffer pooling, RNDV threshold).
+func BenchmarkExtAblation(b *testing.B) { runExperiment(b, "ext-ablation") }
+
+// ---- public-API microbenchmarks ----
+
+func benchPayload() []byte {
+	return bytes.Repeat([]byte("<sample id=\"3\">compressible benchmark payload</sample>\n"), 20000)
+}
+
+func benchCompress(b *testing.B, d pedal.Design) {
+	lib, err := pedal.Init(pedal.Options{Generation: pedal.BlueField2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lib.Finalize()
+	data := benchPayload()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		msg, _, err := lib.Compress(d, pedal.TypeBytes, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lib.Release(msg)
+	}
+}
+
+func BenchmarkCompressSoCDeflate(b *testing.B)     { benchCompress(b, pedal.DesignSoCDeflate) }
+func BenchmarkCompressCEngineDeflate(b *testing.B) { benchCompress(b, pedal.DesignCEngineDeflate) }
+func BenchmarkCompressSoCZlib(b *testing.B)        { benchCompress(b, pedal.DesignSoCZlib) }
+func BenchmarkCompressCEngineZlib(b *testing.B)    { benchCompress(b, pedal.DesignCEngineZlib) }
+func BenchmarkCompressSoCLZ4(b *testing.B)         { benchCompress(b, pedal.DesignSoCLZ4) }
+
+func BenchmarkDecompressCEngineDeflate(b *testing.B) {
+	lib, err := pedal.Init(pedal.Options{Generation: pedal.BlueField2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lib.Finalize()
+	data := benchPayload()
+	msg, _, err := lib.Compress(pedal.DesignCEngineDeflate, pedal.TypeBytes, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, _, err := lib.Decompress(pedal.CEngine, pedal.TypeBytes, msg, len(data)+64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lib.Release(out)
+	}
+}

@@ -1,0 +1,70 @@
+// Command datagen writes the synthetic Table IV dataset equivalents to
+// disk for external inspection or reuse.
+//
+//	datagen -list
+//	datagen -name silesia/xml -out xml.bin
+//	datagen -all -dir ./data
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pedal/internal/datasets"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list datasets and exit")
+		name = flag.String("name", "", "dataset to generate (see -list)")
+		out  = flag.String("out", "", "output file (default: derived from name)")
+		all  = flag.Bool("all", false, "generate every dataset")
+		dir  = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-18s %-28s %10s  %s\n", "NAME", "DESCRIPTION", "SIZE (MB)", "GROUP")
+		for _, d := range datasets.All() {
+			group := "lossless"
+			if d.Lossy {
+				group = "lossy"
+			}
+			fmt.Printf("%-18s %-28s %10.2f  %s\n", d.Name, d.Description, float64(d.Size)/(1<<20), group)
+		}
+		return
+	}
+	if *all {
+		for _, d := range datasets.All() {
+			path := filepath.Join(*dir, strings.ReplaceAll(d.Name, "/", "_")+".bin")
+			if err := os.WriteFile(path, d.Bytes(), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d bytes)\n", path, d.Size)
+		}
+		return
+	}
+	if *name == "" {
+		fatal(fmt.Errorf("need -name, -all or -list"))
+	}
+	d := datasets.ByName(*name)
+	if d == nil {
+		fatal(fmt.Errorf("unknown dataset %q (try -list)", *name))
+	}
+	path := *out
+	if path == "" {
+		path = strings.ReplaceAll(d.Name, "/", "_") + ".bin"
+	}
+	if err := os.WriteFile(path, d.Bytes(), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, d.Size)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+	os.Exit(1)
+}

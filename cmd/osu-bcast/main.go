@@ -1,0 +1,96 @@
+// Command osu-bcast is the OSU-style MPI_Bcast benchmark (paper §V-E):
+// a four-node binomial-tree broadcast over the simulated runtime with a
+// selectable PEDAL compression design and the paper's three message
+// sizes (5.1, 20.6, 48.8 MB).
+//
+//	osu-bcast -design cengine_deflate -gen bf2
+//	osu-bcast -design soc_zlib -gen bf3 -nodes 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mpi"
+	"pedal/internal/osu"
+)
+
+func main() {
+	var (
+		design   = flag.String("design", "cengine_deflate", "design: {soc|cengine}_{deflate|zlib|lz4} or none")
+		gen      = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
+		baseline = flag.Bool("baseline", false, "pay init+alloc per message (paper's baseline)")
+		nodes    = flag.Int("nodes", 4, "number of ranks")
+		iters    = flag.Int("iters", 3, "iterations per size")
+	)
+	flag.Parse()
+
+	world := mpi.WorldOptions{Baseline: *baseline}
+	switch strings.ToLower(*gen) {
+	case "bf2":
+		world.Generation = hwmodel.BlueField2
+	case "bf3":
+		world.Generation = hwmodel.BlueField3
+	default:
+		fatal(fmt.Errorf("unknown generation %q", *gen))
+	}
+	if *design != "none" {
+		d, err := parseDesign(*design)
+		if err != nil {
+			fatal(err)
+		}
+		world.Compression = &mpi.CompressionConfig{Design: d}
+	}
+	sizes := []int{51 * (1 << 20) / 10, 206 * (1 << 20) / 10, 488 * (1 << 20) / 10}
+	res, err := osu.RunBcast(osu.BcastConfig{
+		World:      world,
+		Nodes:      *nodes,
+		Sizes:      sizes,
+		Iterations: *iters,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# OSU-style MPI_Bcast — %s on %s, %d nodes (baseline=%v)\n", *design, *gen, *nodes, *baseline)
+	fmt.Printf("%-12s %-16s %-16s\n", "Size(B)", "Latency(model)", "Wall/iter")
+	for _, r := range res {
+		fmt.Printf("%-12d %-16v %-16v\n", r.Size, r.Latency, r.Wall)
+	}
+}
+
+func parseDesign(s string) (core.Design, error) {
+	parts := strings.SplitN(strings.ToLower(s), "_", 2)
+	if len(parts) != 2 {
+		return core.Design{}, fmt.Errorf("bad design %q", s)
+	}
+	var e hwmodel.Engine
+	switch parts[0] {
+	case "soc":
+		e = hwmodel.SoC
+	case "cengine", "c-engine", "ce":
+		e = hwmodel.CEngine
+	default:
+		return core.Design{}, fmt.Errorf("bad engine %q", parts[0])
+	}
+	var a core.AlgoID
+	switch parts[1] {
+	case "deflate":
+		a = core.AlgoDeflate
+	case "zlib":
+		a = core.AlgoZlib
+	case "lz4":
+		a = core.AlgoLZ4
+	default:
+		return core.Design{}, fmt.Errorf("bad algorithm %q", parts[1])
+	}
+	return core.Design{Algo: a, Engine: e}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "osu-bcast: %v\n", err)
+	os.Exit(1)
+}

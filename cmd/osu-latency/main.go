@@ -1,0 +1,114 @@
+// Command osu-latency is the OSU-style point-to-point latency benchmark
+// (paper §V-D): a two-rank ping-pong over the simulated MPI runtime with
+// a selectable PEDAL compression design.
+//
+//	osu-latency -design cengine_deflate -gen bf2
+//	osu-latency -design soc_sz3 -gen bf3 -baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pedal/internal/core"
+	"pedal/internal/datasets"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mpi"
+	"pedal/internal/osu"
+)
+
+func main() {
+	var (
+		design   = flag.String("design", "cengine_deflate", "design: {soc|cengine}_{deflate|zlib|lz4|sz3} or none")
+		gen      = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
+		baseline = flag.Bool("baseline", false, "pay init+alloc per message (paper's baseline)")
+		iters    = flag.Int("iters", 3, "iterations per size")
+		tcp      = flag.Bool("tcp", false, "use the TCP transport provider")
+	)
+	flag.Parse()
+
+	world := mpi.WorldOptions{Baseline: *baseline, TCP: *tcp}
+	switch strings.ToLower(*gen) {
+	case "bf2":
+		world.Generation = hwmodel.BlueField2
+	case "bf3":
+		world.Generation = hwmodel.BlueField3
+	default:
+		fatal(fmt.Errorf("unknown generation %q", *gen))
+	}
+	payload := osu.DefaultPayload
+	if *design != "none" {
+		d, dt, err := parseDesign(*design)
+		if err != nil {
+			fatal(err)
+		}
+		world.Compression = &mpi.CompressionConfig{Design: d, DataType: dt}
+		if d.Algo == core.AlgoSZ3 {
+			// The lossy design needs float payloads; slice the exaalt
+			// stand-in the way the paper's Fig. 10f does.
+			md := datasets.ExaaltDataset1().Bytes()
+			payload = func(size int) []byte {
+				size &^= 3
+				out := make([]byte, size)
+				for off := 0; off < size; off += len(md) {
+					copy(out[off:], md)
+				}
+				return out
+			}
+		}
+	}
+	sizes := []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 48 << 20}
+	res, err := osu.RunLatency(osu.P2PConfig{
+		World:      world,
+		Sizes:      sizes,
+		Iterations: *iters,
+		Payload:    payload,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("# OSU-style MPI Latency — %s on %s (baseline=%v)\n", *design, *gen, *baseline)
+	fmt.Printf("%-12s %-16s %-16s\n", "Size(B)", "Latency(model)", "Wall/iter")
+	for _, r := range res {
+		fmt.Printf("%-12d %-16v %-16v\n", r.Size, r.Latency, r.Wall)
+	}
+}
+
+func parseDesign(s string) (core.Design, core.DataType, error) {
+	parts := strings.SplitN(strings.ToLower(s), "_", 2)
+	if len(parts) != 2 {
+		return core.Design{}, 0, fmt.Errorf("bad design %q", s)
+	}
+	var e hwmodel.Engine
+	switch parts[0] {
+	case "soc":
+		e = hwmodel.SoC
+	case "cengine", "c-engine", "ce":
+		e = hwmodel.CEngine
+	default:
+		return core.Design{}, 0, fmt.Errorf("bad engine %q", parts[0])
+	}
+	dt := core.TypeBytes
+	var a core.AlgoID
+	switch parts[1] {
+	case "deflate":
+		a = core.AlgoDeflate
+	case "zlib":
+		a = core.AlgoZlib
+	case "lz4":
+		a = core.AlgoLZ4
+	case "sz3":
+		a = core.AlgoSZ3
+		dt = core.TypeFloat32
+	default:
+		return core.Design{}, 0, fmt.Errorf("bad algorithm %q", parts[1])
+	}
+	return core.Design{Algo: a, Engine: e}, dt, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "osu-latency: %v\n", err)
+	os.Exit(1)
+}

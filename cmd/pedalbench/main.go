@@ -1,0 +1,54 @@
+// Command pedalbench regenerates the paper's evaluation tables and
+// figures (§V). With no flags it runs the whole suite; -exp selects one
+// experiment; -quick caps dataset sizes for a fast smoke run.
+//
+//	pedalbench -list
+//	pedalbench -exp fig8
+//	pedalbench -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pedal/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id to run (default: all)")
+		quick = flag.Bool("quick", false, "cap dataset sizes for a fast run")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Runners() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick}
+	runners := experiments.Runners()
+	if *exp != "" {
+		r := experiments.ByID(*exp)
+		if r == nil {
+			fmt.Fprintf(os.Stderr, "pedalbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{*r}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		tab, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pedalbench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(tab.String())
+		fmt.Printf("(%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,128 @@
+// Command pedalc is a standalone PEDAL compressor: it compresses or
+// decompresses files with any of the eight Table III designs on a
+// simulated BlueField DPU, reporting ratio and modelled hardware time.
+//
+//	pedalc -algo deflate -engine cengine -gen bf2 input.bin > out.pedal
+//	pedalc -d out.pedal > input.bin
+//	pedalc -algo sz3 -dtype float32 -eb 1e-4 field.f32 > field.pedal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pedal"
+	"pedal/internal/trace"
+)
+
+func main() {
+	var (
+		algo      = flag.String("algo", "deflate", "algorithm: deflate | zlib | lz4 | sz3")
+		engine    = flag.String("engine", "cengine", "preferred engine: soc | cengine")
+		gen       = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
+		dtype     = flag.String("dtype", "bytes", "datatype: bytes | float32 | float64 (sz3 needs floats)")
+		eb        = flag.Float64("eb", 1e-4, "SZ3 absolute error bound")
+		decomp    = flag.Bool("d", false, "decompress instead of compress")
+		maxOutput = flag.Int("max", 1<<30, "maximum decompressed size")
+		showTrace = flag.Bool("trace", false, "dump the C-Engine job timeline to stderr")
+	)
+	flag.Parse()
+
+	data, err := readInput(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var g pedal.Generation
+	switch strings.ToLower(*gen) {
+	case "bf2", "bluefield2", "bluefield-2":
+		g = pedal.BlueField2
+	case "bf3", "bluefield3", "bluefield-3":
+		g = pedal.BlueField3
+	default:
+		fatal(fmt.Errorf("unknown generation %q", *gen))
+	}
+	var e pedal.Engine
+	switch strings.ToLower(*engine) {
+	case "soc":
+		e = pedal.SoC
+	case "cengine", "c-engine", "ce":
+		e = pedal.CEngine
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	var dt pedal.DataType
+	switch strings.ToLower(*dtype) {
+	case "bytes":
+		dt = pedal.TypeBytes
+	case "float32":
+		dt = pedal.TypeFloat32
+	case "float64":
+		dt = pedal.TypeFloat64
+	default:
+		fatal(fmt.Errorf("unknown datatype %q", *dtype))
+	}
+
+	lib, err := pedal.Init(pedal.Options{Generation: g, ErrorBound: *eb})
+	if err != nil {
+		fatal(err)
+	}
+	defer lib.Finalize()
+	var tr *trace.Tracer
+	if *showTrace {
+		tr = trace.New(0)
+		lib.Device().CEngine().SetTracer(tr)
+		defer func() { fmt.Fprint(os.Stderr, tr.String()) }()
+	}
+
+	if *decomp {
+		out, rep, err := lib.Decompress(e, dt, data, *maxOutput)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+		fmt.Fprintf(os.Stderr, "pedalc: decompressed %d -> %d bytes on %v (modelled %v)\n",
+			len(data), len(out), rep.Engine, rep.Virtual)
+		return
+	}
+
+	var a pedal.AlgoID
+	switch strings.ToLower(*algo) {
+	case "deflate":
+		a = pedal.AlgoDeflate
+	case "zlib":
+		a = pedal.AlgoZlib
+	case "lz4":
+		a = pedal.AlgoLZ4
+	case "sz3":
+		a = pedal.AlgoSZ3
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+	msg, rep, err := lib.Compress(pedal.Design{Algo: a, Engine: e}, dt, data)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(msg)
+	fb := ""
+	if rep.Fallback {
+		fb = " (fell back to SoC)"
+	}
+	fmt.Fprintf(os.Stderr, "pedalc: %d -> %d bytes, ratio %.3f, on %v%s (modelled %v)\n",
+		rep.InBytes, rep.OutBytes, rep.Ratio(), rep.Engine, fb, rep.Virtual)
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "" || path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "pedalc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command pedald runs PEDAL as a network compression service: the
+// deployment where the DPU hosts a daemon and applications on the host
+// (or anywhere) compress through it (paper §VI: the standalone PEDAL
+// library programmable by applications).
+//
+//	pedald -listen :7070 -gen bf2
+//
+// Protocol: see internal/service. A matching Go client lives in
+// pedal/internal/service (service.Dial).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pedal"
+	"pedal/internal/service"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "127.0.0.1:7070", "listen address")
+		gen    = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
+		eb     = flag.Float64("eb", 1e-4, "SZ3 absolute error bound")
+	)
+	flag.Parse()
+
+	var g pedal.Generation
+	switch strings.ToLower(*gen) {
+	case "bf2":
+		g = pedal.BlueField2
+	case "bf3":
+		g = pedal.BlueField3
+	default:
+		fmt.Fprintf(os.Stderr, "pedald: unknown generation %q\n", *gen)
+		os.Exit(2)
+	}
+	lib, err := pedal.Init(pedal.Options{Generation: g, ErrorBound: *eb})
+	if err != nil {
+		log.Fatalf("pedald: %v", err)
+	}
+	defer lib.Finalize()
+	log.Printf("pedald: serving %v PEDAL on %s", g, *listen)
+	if err := service.ListenAndServe(*listen, lib); err != nil {
+		log.Fatalf("pedald: %v", err)
+	}
+}

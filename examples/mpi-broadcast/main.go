@@ -1,0 +1,110 @@
+// mpi-broadcast: the paper's §V-E scenario — distributing a large model
+// or dataset from one root to a cluster with MPI_Bcast, compressed on
+// the fly by PEDAL. Four simulated BlueField-2 nodes broadcast the
+// 20.6 MB silesia/samba stand-in and the example compares the modelled
+// broadcast time across designs, reproducing the Fig. 11 shape: the BF2
+// C-Engine designs win big over the baseline, the SoC designs less so.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/datasets"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mpi"
+)
+
+const nodes = 4
+
+func main() {
+	payload := datasets.SilesiaSamba().Bytes()
+	fmt.Printf("broadcast: %.1f MB (silesia/samba stand-in) across %d nodes\n\n",
+		float64(len(payload))/(1<<20), nodes)
+
+	designs := []struct {
+		name string
+		opts mpi.WorldOptions
+	}{
+		{"baseline (no PEDAL)", mpi.WorldOptions{
+			Generation:  hwmodel.BlueField2,
+			Baseline:    true,
+			Compression: &mpi.CompressionConfig{Design: core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}},
+		}},
+		{"BF2 SoC_DEFLATE", worldFor(hwmodel.BlueField2, hwmodel.SoC)},
+		{"BF2 C-Engine_DEFLATE", worldFor(hwmodel.BlueField2, hwmodel.CEngine)},
+		{"BF3 SoC_DEFLATE", worldFor(hwmodel.BlueField3, hwmodel.SoC)},
+		{"BF3 C-Engine_DEFLATE (redirected)", worldFor(hwmodel.BlueField3, hwmodel.CEngine)},
+	}
+	var baselineTime time.Duration
+	for i, d := range designs {
+		lat, err := oneBcast(d.opts, payload)
+		if err != nil {
+			log.Fatalf("%s: %v", d.name, err)
+		}
+		speedup := ""
+		if i == 0 {
+			baselineTime = lat
+		} else {
+			speedup = fmt.Sprintf("  (%.1fx vs baseline)", float64(baselineTime)/float64(lat))
+		}
+		fmt.Printf("%-36s modelled bcast time: %12v%s\n", d.name, lat, speedup)
+	}
+}
+
+func worldFor(gen hwmodel.Generation, engine hwmodel.Engine) mpi.WorldOptions {
+	return mpi.WorldOptions{
+		Generation:  gen,
+		Compression: &mpi.CompressionConfig{Design: core.Design{Algo: core.AlgoDeflate, Engine: engine}},
+	}
+}
+
+// oneBcast broadcasts payload from rank 0 and returns the completion
+// time of the slowest rank.
+func oneBcast(opts mpi.WorldOptions, payload []byte) (time.Duration, error) {
+	comms, err := mpi.NewWorld(nodes, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, nodes)
+	for _, c := range comms {
+		wg.Add(1)
+		go func(c *mpi.Comm) {
+			defer wg.Done()
+			var in []byte
+			if c.Rank() == 0 {
+				in = payload
+			}
+			got, err := c.Bcast(0, in)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, payload) {
+				errs <- fmt.Errorf("rank %d received corrupted broadcast", c.Rank())
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, err
+	}
+	var slowest time.Duration
+	for _, c := range comms {
+		if t := c.Clock().Now(); t > slowest {
+			slowest = t
+		}
+	}
+	return slowest, nil
+}

@@ -1,0 +1,95 @@
+// mpi-pt2pt: on-the-fly compressed MPI point-to-point messaging — the
+// co-design of the paper's §IV. Two simulated ranks exchange a large,
+// compressible message; the PEDAL hook between the MPI shim and
+// transport layers compresses Rendezvous-class messages transparently,
+// and the receiver decompresses into the user buffer.
+//
+// The example runs the same transfer three ways and prints the modelled
+// latency of each: uncompressed, PEDAL SoC_DEFLATE, PEDAL
+// C-Engine_DEFLATE — showing the C-Engine design's dramatic win and the
+// unchanged MPI API.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mpi"
+)
+
+func main() {
+	payload := bytes.Repeat([]byte("halo-exchange boundary row 0017 values 3.14 2.71 1.41 ...\n"), 200000)
+	fmt.Printf("message: %.1f MB of simulation-log text\n\n", float64(len(payload))/(1<<20))
+
+	cases := []struct {
+		name string
+		opts mpi.WorldOptions
+	}{
+		{"uncompressed", mpi.WorldOptions{Generation: hwmodel.BlueField2}},
+		{"PEDAL SoC_DEFLATE", mpi.WorldOptions{
+			Generation:  hwmodel.BlueField2,
+			Compression: &mpi.CompressionConfig{Design: core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}},
+		}},
+		{"PEDAL C-Engine_DEFLATE", mpi.WorldOptions{
+			Generation:  hwmodel.BlueField2,
+			Compression: &mpi.CompressionConfig{Design: core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}},
+		}},
+		{"baseline (no PEDAL, init per message)", mpi.WorldOptions{
+			Generation:  hwmodel.BlueField2,
+			Baseline:    true,
+			Compression: &mpi.CompressionConfig{Design: core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}},
+		}},
+	}
+	for _, c := range cases {
+		lat, err := oneTransfer(c.opts, payload)
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		fmt.Printf("%-40s modelled end-to-end latency: %v\n", c.name, lat)
+	}
+}
+
+// oneTransfer sends payload rank0 → rank1 and returns the receiver's
+// modelled completion time.
+func oneTransfer(opts mpi.WorldOptions, payload []byte) (time.Duration, error) {
+	comms, err := mpi.NewWorld(2, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := comms[0].Send(1, 0, payload); err != nil {
+			errs <- err
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		got, err := comms[1].Recv(0, 0, len(payload)+64)
+		if err != nil {
+			errs <- err
+			return
+		}
+		if !bytes.Equal(got, payload) {
+			errs <- fmt.Errorf("payload corrupted in transit")
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return 0, err
+	}
+	return comms[1].Clock().Now(), nil
+}

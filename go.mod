@@ -1,0 +1,3 @@
+module pedal
+
+go 1.22

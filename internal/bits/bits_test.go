@@ -1,0 +1,166 @@
+package bits
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadRoundTripSimple(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xABCD, 16)
+	w.WriteBits(1, 1)
+	w.WriteBits(0x3FFFFFFF, 30)
+	out := w.Bytes()
+
+	r := NewReader(out)
+	for _, tc := range []struct {
+		n    uint
+		want uint32
+	}{{3, 0b101}, {16, 0xABCD}, {1, 1}, {30, 0x3FFFFFFF}} {
+		got, err := r.ReadBits(tc.n)
+		if err != nil {
+			t.Fatalf("ReadBits(%d): %v", tc.n, err)
+		}
+		if got != tc.want {
+			t.Errorf("ReadBits(%d) = %#x, want %#x", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestWriterAlignByte(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(1, 1)
+	w.AlignByte()
+	w.WriteBits(0xFF, 8)
+	out := w.Bytes()
+	if len(out) != 2 || out[0] != 0x01 || out[1] != 0xFF {
+		t.Fatalf("got %v, want [0x01 0xFF]", out)
+	}
+}
+
+func TestWriterWriteBytes(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b11, 2)
+	w.WriteBytes([]byte{0xDE, 0xAD})
+	out := w.Bytes()
+	if !bytes.Equal(out, []byte{0x03, 0xDE, 0xAD}) {
+		t.Fatalf("got %x, want 03dead", out)
+	}
+}
+
+func TestReaderReadBytesAfterBits(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b1, 1)
+	w.WriteBytes([]byte{1, 2, 3})
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBits(1); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 3)
+	if err := r.ReadBytes(got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBits(1); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestPeekSkip(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xA5, 8)
+	w.WriteBits(0x5A, 8)
+	r := NewReader(w.Bytes())
+	v, avail := r.PeekBits(12)
+	if avail != 12 {
+		t.Fatalf("avail = %d", avail)
+	}
+	if v != (0xA5 | (0x5A&0xF)<<8) {
+		t.Fatalf("peek = %#x", v)
+	}
+	r.SkipBits(4)
+	got, err := r.ReadBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xAA { // 0xA5>>4 = 0xA low nibble, then 0xA from 0x5A
+		t.Fatalf("after skip got %#x, want 0xAA", got)
+	}
+}
+
+func TestReverse(t *testing.T) {
+	if got := Reverse(0b1, 3); got != 0b100 {
+		t.Errorf("Reverse(0b1,3) = %#b", got)
+	}
+	if got := Reverse(0b1011, 4); got != 0b1101 {
+		t.Errorf("Reverse(0b1011,4) = %#b", got)
+	}
+	if got := Reverse(Reverse(0x12345, 20), 20); got != 0x12345 {
+		t.Errorf("double reverse = %#x", got)
+	}
+}
+
+func TestBitsWritten(t *testing.T) {
+	w := NewWriter(4)
+	if w.BitsWritten() != 0 {
+		t.Fatal("fresh writer has bits")
+	}
+	w.WriteBits(0, 5)
+	if w.BitsWritten() != 5 {
+		t.Fatalf("got %d, want 5", w.BitsWritten())
+	}
+	w.WriteBits(0, 7)
+	if w.BitsWritten() != 12 {
+		t.Fatalf("got %d, want 12", w.BitsWritten())
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	w.WriteBits(0x1, 8)
+	out := w.Bytes()
+	if len(out) != 1 || out[0] != 1 {
+		t.Fatalf("after reset got %v", out)
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%64) + 1
+		widths := make([]uint, n)
+		vals := make([]uint32, n)
+		w := NewWriter(64)
+		for i := 0; i < n; i++ {
+			widths[i] = uint(rng.Intn(32) + 1)
+			vals[i] = rng.Uint32() & masks[widths[i]]
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+package bits
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrUnexpectedEOF is returned when the bit stream ends mid-read.
+var ErrUnexpectedEOF = errors.New("bits: unexpected end of stream")
+
+// Reader consumes bits LSB-first from a byte slice.
+type Reader struct {
+	buf  []byte
+	pos  int    // next byte index
+	bits uint64 // buffered bits, LSB-first
+	n    uint   // number of valid buffered bits
+}
+
+// NewReader returns a Reader over p. The Reader does not copy p.
+func NewReader(p []byte) *Reader {
+	return &Reader{buf: p}
+}
+
+// fill buffers at least want bits if available.
+func (r *Reader) fill(want uint) {
+	for r.n < want && r.pos < len(r.buf) {
+		r.bits |= uint64(r.buf[r.pos]) << r.n
+		r.pos++
+		r.n += 8
+	}
+}
+
+// ReadBits reads n bits (n ≤ 32), LSB-first.
+func (r *Reader) ReadBits(n uint) (uint32, error) {
+	if n > 32 {
+		panic("bits: ReadBits count > 32")
+	}
+	r.fill(n)
+	if r.n < n {
+		return 0, ErrUnexpectedEOF
+	}
+	v := uint32(r.bits) & masks[n]
+	r.bits >>= n
+	r.n -= n
+	return v, nil
+}
+
+// ReadBool reads a single bit.
+func (r *Reader) ReadBool() (bool, error) {
+	v, err := r.ReadBits(1)
+	return v == 1, err
+}
+
+// PeekBits returns up to n bits without consuming them, along with how many
+// bits were actually available. Used by table-driven Huffman decoders.
+func (r *Reader) PeekBits(n uint) (v uint32, avail uint) {
+	r.fill(n)
+	avail = r.n
+	if avail > n {
+		avail = n
+	}
+	return uint32(r.bits) & masks[n], avail
+}
+
+// SkipBits consumes n bits that were previously peeked. n must not exceed
+// the currently buffered bit count.
+func (r *Reader) SkipBits(n uint) {
+	if n > r.n {
+		panic("bits: SkipBits beyond buffered bits")
+	}
+	r.bits >>= n
+	r.n -= n
+}
+
+// AlignByte discards buffered bits up to the next byte boundary.
+func (r *Reader) AlignByte() {
+	drop := r.n % 8
+	r.bits >>= drop
+	r.n -= drop
+}
+
+// ReadBytes byte-aligns the stream and copies len(p) bytes into p.
+func (r *Reader) ReadBytes(p []byte) error {
+	r.AlignByte()
+	for i := range p {
+		if r.n >= 8 {
+			p[i] = byte(r.bits)
+			r.bits >>= 8
+			r.n -= 8
+			continue
+		}
+		if r.pos >= len(r.buf) {
+			return io.ErrUnexpectedEOF
+		}
+		p[i] = r.buf[r.pos]
+		r.pos++
+	}
+	return nil
+}
+
+// BitsRemaining reports how many unread bits remain.
+func (r *Reader) BitsRemaining() int {
+	return (len(r.buf)-r.pos)*8 + int(r.n)
+}

@@ -1,0 +1,100 @@
+// Package bits provides LSB-first bit-stream readers and writers as used by
+// the DEFLATE format (RFC 1951) and by the SZ3 entropy stage.
+//
+// DEFLATE packs bits starting from the least-significant bit of each byte.
+// Huffman codes are written most-significant-bit first *within the code*,
+// which callers achieve by reversing the code bits before calling WriteBits.
+package bits
+
+// Writer accumulates bits LSB-first into a growing byte slice.
+//
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	bits uint64 // pending bits, LSB-first
+	n    uint   // number of valid pending bits (< 64)
+}
+
+// NewWriter returns a Writer whose output buffer has the given capacity hint.
+func NewWriter(capHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, capHint)}
+}
+
+// WriteBits appends the low n bits of v to the stream, LSB-first.
+// n must be in [0, 32].
+func (w *Writer) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic("bits: WriteBits count > 32")
+	}
+	w.bits |= uint64(v&masks[n]) << w.n
+	w.n += n
+	for w.n >= 8 {
+		w.buf = append(w.buf, byte(w.bits))
+		w.bits >>= 8
+		w.n -= 8
+	}
+}
+
+// WriteBool writes a single bit.
+func (w *Writer) WriteBool(b bool) {
+	if b {
+		w.WriteBits(1, 1)
+	} else {
+		w.WriteBits(0, 1)
+	}
+}
+
+// AlignByte pads the stream with zero bits up to the next byte boundary.
+func (w *Writer) AlignByte() {
+	if w.n > 0 {
+		w.buf = append(w.buf, byte(w.bits))
+		w.bits = 0
+		w.n = 0
+	}
+}
+
+// WriteBytes byte-aligns the stream and appends p verbatim.
+func (w *Writer) WriteBytes(p []byte) {
+	w.AlignByte()
+	w.buf = append(w.buf, p...)
+}
+
+// BitsWritten reports the total number of bits written so far.
+func (w *Writer) BitsWritten() int {
+	return len(w.buf)*8 + int(w.n)
+}
+
+// Bytes flushes any partial byte (zero-padded) and returns the accumulated
+// buffer. The Writer remains usable; further writes append after the
+// flushed byte boundary.
+func (w *Writer) Bytes() []byte {
+	w.AlignByte()
+	return w.buf
+}
+
+// Reset discards all written data, retaining the underlying buffer.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.bits = 0
+	w.n = 0
+}
+
+var masks = func() [33]uint32 {
+	var m [33]uint32
+	for i := 1; i <= 32; i++ {
+		m[i] = m[i-1]<<1 | 1
+	}
+	return m
+}()
+
+// Reverse returns the low n bits of v in reversed order. DEFLATE Huffman
+// codes are emitted MSB-first, so canonical codes must be bit-reversed
+// before being written with an LSB-first writer.
+func Reverse(v uint32, n uint) uint32 {
+	var r uint32
+	for i := uint(0); i < n; i++ {
+		r = r<<1 | (v & 1)
+		v >>= 1
+	}
+	return r
+}

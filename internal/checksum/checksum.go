@@ -1,0 +1,140 @@
+// Package checksum implements the checksums required by the compression
+// container formats PEDAL produces: Adler-32 (zlib, RFC 1950), CRC-32
+// (IEEE 802.3 polynomial, gzip-compatible), and the 32-bit xxHash used by
+// the LZ4 frame format. All are implemented from scratch on top of the
+// format specifications so the library has no dependency on hash/*.
+package checksum
+
+// adlerMod is the largest prime smaller than 65536 (RFC 1950 §8.2).
+const adlerMod = 65521
+
+// Adler32 is a running Adler-32 checksum. The zero value is NOT valid;
+// use NewAdler32.
+type Adler32 struct {
+	a, b uint32
+}
+
+// NewAdler32 returns a checksum initialised to the RFC 1950 starting value.
+func NewAdler32() *Adler32 { return &Adler32{a: 1} }
+
+// Write absorbs p into the checksum.
+func (h *Adler32) Write(p []byte) {
+	a, b := h.a, h.b
+	for len(p) > 0 {
+		// Largest n such that 255*n*(n+1)/2 + (n+1)*(adlerMod-1) fits in
+		// uint32; the classical value is 5552.
+		n := len(p)
+		if n > 5552 {
+			n = 5552
+		}
+		for _, c := range p[:n] {
+			a += uint32(c)
+			b += a
+		}
+		a %= adlerMod
+		b %= adlerMod
+		p = p[n:]
+	}
+	h.a, h.b = a, b
+}
+
+// Sum32 returns the current checksum value.
+func (h *Adler32) Sum32() uint32 { return h.b<<16 | h.a }
+
+// Adler32Sum is a convenience one-shot Adler-32 over p.
+func Adler32Sum(p []byte) uint32 {
+	h := NewAdler32()
+	h.Write(p)
+	return h.Sum32()
+}
+
+// crcTable is the byte-at-a-time lookup table for the reflected IEEE
+// polynomial 0xEDB88320.
+var crcTable = func() [256]uint32 {
+	var t [256]uint32
+	for i := range t {
+		c := uint32(i)
+		for k := 0; k < 8; k++ {
+			if c&1 != 0 {
+				c = 0xEDB88320 ^ (c >> 1)
+			} else {
+				c >>= 1
+			}
+		}
+		t[i] = c
+	}
+	return t
+}()
+
+// CRC32Update continues a CRC-32 (IEEE) over p from a previous value.
+// Start with crc = 0.
+func CRC32Update(crc uint32, p []byte) uint32 {
+	c := crc ^ 0xFFFFFFFF
+	for _, b := range p {
+		c = crcTable[byte(c)^b] ^ (c >> 8)
+	}
+	return c ^ 0xFFFFFFFF
+}
+
+// CRC32 is a one-shot CRC-32 (IEEE) over p.
+func CRC32(p []byte) uint32 { return CRC32Update(0, p) }
+
+// xxHash32 prime constants (xxHash specification).
+const (
+	xxPrime1 = 2654435761
+	xxPrime2 = 2246822519
+	xxPrime3 = 3266489917
+	xxPrime4 = 668265263
+	xxPrime5 = 374761393
+)
+
+func rol32(x uint32, r uint) uint32 { return x<<r | x>>(32-r) }
+
+func xxRound(acc, input uint32) uint32 {
+	acc += input * xxPrime2
+	acc = rol32(acc, 13)
+	return acc * xxPrime1
+}
+
+func le32(p []byte) uint32 {
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}
+
+// XXH32 computes the 32-bit xxHash of p with the given seed, per the
+// canonical xxHash specification. The LZ4 frame format uses seed 0.
+func XXH32(p []byte, seed uint32) uint32 {
+	n := len(p)
+	var h uint32
+	if n >= 16 {
+		v1 := seed + xxPrime1 + xxPrime2
+		v2 := seed + xxPrime2
+		v3 := seed
+		v4 := seed - xxPrime1
+		for len(p) >= 16 {
+			v1 = xxRound(v1, le32(p))
+			v2 = xxRound(v2, le32(p[4:]))
+			v3 = xxRound(v3, le32(p[8:]))
+			v4 = xxRound(v4, le32(p[12:]))
+			p = p[16:]
+		}
+		h = rol32(v1, 1) + rol32(v2, 7) + rol32(v3, 12) + rol32(v4, 18)
+	} else {
+		h = seed + xxPrime5
+	}
+	h += uint32(n)
+	for len(p) >= 4 {
+		h += le32(p) * xxPrime3
+		h = rol32(h, 17) * xxPrime4
+		p = p[4:]
+	}
+	for _, b := range p {
+		h += uint32(b) * xxPrime5
+		h = rol32(h, 11) * xxPrime1
+	}
+	h ^= h >> 15
+	h *= xxPrime2
+	h ^= h >> 13
+	h *= xxPrime3
+	h ^= h >> 16
+	return h
+}

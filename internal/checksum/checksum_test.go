@@ -1,0 +1,149 @@
+package checksum
+
+import (
+	"hash/adler32"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdler32KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+	}{
+		{"", 0x00000001},
+		{"a", 0x00620062},
+		{"abc", 0x024d0127},
+		{"Wikipedia", 0x11E60398},
+	}
+	for _, c := range cases {
+		if got := Adler32Sum([]byte(c.in)); got != c.want {
+			t.Errorf("Adler32(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAdler32MatchesStdlib(t *testing.T) {
+	f := func(p []byte) bool {
+		return Adler32Sum(p) == adler32.Checksum(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdler32Incremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 100000)
+	rng.Read(data)
+	h := NewAdler32()
+	for off := 0; off < len(data); {
+		n := rng.Intn(7000) + 1
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		h.Write(data[off : off+n])
+		off += n
+	}
+	if h.Sum32() != adler32.Checksum(data) {
+		t.Fatal("incremental Adler-32 mismatch")
+	}
+}
+
+func TestCRC32KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint32
+	}{
+		{"", 0x00000000},
+		{"123456789", 0xCBF43926},
+		{"The quick brown fox jumps over the lazy dog", 0x414FA339},
+	}
+	for _, c := range cases {
+		if got := CRC32([]byte(c.in)); got != c.want {
+			t.Errorf("CRC32(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	f := func(p []byte) bool {
+		return CRC32(p) == crc32.ChecksumIEEE(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32UpdateComposes(t *testing.T) {
+	data := []byte("hello, bluefield dpu world")
+	split := 11
+	c := CRC32Update(CRC32Update(0, data[:split]), data[split:])
+	if c != CRC32(data) {
+		t.Fatal("CRC32Update does not compose")
+	}
+}
+
+func TestXXH32KnownVectors(t *testing.T) {
+	// Reference values from the canonical xxHash implementation.
+	cases := []struct {
+		in   string
+		seed uint32
+		want uint32
+	}{
+		{"", 0, 0x02CC5D05},
+		{"", 1, 0x0B2CB792},
+		{"a", 0, 0x550D7456},
+		{"abc", 0, 0x32D153FF},
+		{"Nobody inspects the spammish repetition", 0, 0xE2293B2F},
+	}
+	for _, c := range cases {
+		if got := XXH32([]byte(c.in), c.seed); got != c.want {
+			t.Errorf("XXH32(%q, %d) = %#x, want %#x", c.in, c.seed, got, c.want)
+		}
+	}
+}
+
+func TestXXH32LongInputStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 1<<16)
+	rng.Read(data)
+	h1 := XXH32(data, 0)
+	h2 := XXH32(data, 0)
+	if h1 != h2 {
+		t.Fatal("XXH32 not deterministic")
+	}
+	data[0] ^= 1
+	if XXH32(data, 0) == h1 {
+		t.Fatal("XXH32 did not change after input flip")
+	}
+}
+
+func BenchmarkAdler32(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Adler32Sum(data)
+	}
+}
+
+func BenchmarkCRC32(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		CRC32(data)
+	}
+}
+
+func BenchmarkXXH32(b *testing.B) {
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		XXH32(data, 0)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pedal/internal/doca"
+	"pedal/internal/dpu"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mempool"
+	"pedal/internal/stats"
+	"pedal/internal/sz3"
+)
+
+// DataType mirrors the datatype parameter of PEDAL_compress (paper
+// Listing 1): it tells the lossy pipeline how to interpret the buffer.
+type DataType uint8
+
+// Data types. TypeBytes selects lossless treatment; the float types
+// enable SZ3.
+const (
+	TypeBytes DataType = iota + 1
+	TypeFloat32
+	TypeFloat64
+)
+
+func (t DataType) String() string {
+	switch t {
+	case TypeBytes:
+		return "bytes"
+	case TypeFloat32:
+		return "float32"
+	case TypeFloat64:
+		return "float64"
+	default:
+		return fmt.Sprintf("DataType(%d)", uint8(t))
+	}
+}
+
+// Options configures PEDAL_Init.
+type Options struct {
+	// Generation selects the simulated BlueField generation. Zero means
+	// BlueField-2.
+	Generation hwmodel.Generation
+	// Mode is the DPU host mode; PEDAL requires Separated Host (§II-A).
+	// Zero means Separated Host.
+	Mode dpu.Mode
+	// Level is the lossless compression level (zlib scale); zero means 6.
+	Level int
+	// ErrorBound is the SZ3 error bound; zero means 1e-4, the paper's
+	// evaluation setting. Interpreted per SZ3Mode.
+	ErrorBound float64
+	// SZ3Mode selects absolute or relative (range-scaled) error bounds;
+	// zero means absolute.
+	SZ3Mode sz3.BoundMode
+	// SZ3Predictor overrides the lossy prediction stage; zero means the
+	// hybrid Auto strategy.
+	SZ3Predictor sz3.PredictorKind
+	// SZ3Dims describes the array shape for multi-dimensional lossy
+	// compression (slowest-varying first). Empty means 1-D.
+	SZ3Dims []int
+	// Baseline disables PEDAL's optimisations for comparison runs: every
+	// operation re-pays DOCA initialisation and buffer preparation, the
+	// way the paper's baseline does (§V-D).
+	Baseline bool
+	// PrewarmSizes pre-populates the memory pool at Init (in addition to
+	// the defaults) so the steady-state path never allocates.
+	PrewarmSizes []int
+	// Device lets callers share one simulated DPU between libraries (the
+	// MPI runtime does this to model sender and receiver processes on
+	// one DPU). Nil means create a private device from Generation/Mode.
+	Device *dpu.Device
+}
+
+// Report describes one Compress or Decompress execution: where it ran,
+// what it cost in modelled hardware time, and how big the data was.
+type Report struct {
+	Design   Design
+	Engine   hwmodel.Engine // engine that actually executed
+	Fallback bool           // true when the C-Engine lacked the op and the SoC ran it
+	InBytes  int
+	OutBytes int
+	Virtual  time.Duration
+	Phases   map[stats.Phase]time.Duration
+}
+
+// Ratio is the compression ratio original/compressed of a compression
+// report (zero for decompression reports).
+func (r Report) Ratio() float64 {
+	if r.OutBytes == 0 {
+		return 0
+	}
+	return float64(r.InBytes) / float64(r.OutBytes)
+}
+
+// Library is an initialised PEDAL context: the analogue of the state
+// PEDAL_Init builds. It is safe for concurrent use.
+type Library struct {
+	mu   sync.Mutex
+	opts Options
+	dev  *dpu.Device
+	// ownDev records whether Finalize should close the device.
+	ownDev bool
+	ctx    *doca.Context
+	pool   *mempool.Pool
+	total  *stats.Breakdown
+	closed bool
+}
+
+// ErrFinalized is returned by operations on a finalized library.
+var ErrFinalized = errors.New("core: library finalized")
+
+// Init is PEDAL_init: it builds the whole environment once — device
+// open, DOCA initialisation, memory-pool prewarming — so that the
+// per-message path pays none of it (§III-C, §III-D).
+func Init(opts Options) (*Library, error) {
+	if opts.Generation == 0 {
+		opts.Generation = hwmodel.BlueField2
+	}
+	if opts.Mode == 0 {
+		opts.Mode = dpu.SeparatedHost
+	}
+	if opts.Level == 0 {
+		opts.Level = 6
+	}
+	if opts.ErrorBound == 0 {
+		opts.ErrorBound = sz3.DefaultErrorBound
+	}
+	if opts.Mode == dpu.SmartNIC {
+		return nil, errors.New("core: PEDAL requires Separated Host mode (SmartNIC mode loses host RDMA-IB, §II-A)")
+	}
+	dev := opts.Device
+	ownDev := false
+	if dev == nil {
+		var err error
+		dev, err = dpu.NewDevice(opts.Generation, opts.Mode)
+		if err != nil {
+			return nil, err
+		}
+		ownDev = true
+	} else if dev.Generation() != opts.Generation && opts.Generation != 0 {
+		opts.Generation = dev.Generation()
+	}
+	total := stats.NewBreakdown()
+	ctx, err := doca.Init(dev, total)
+	if err != nil {
+		if ownDev {
+			dev.Close()
+		}
+		return nil, err
+	}
+	lib := &Library{
+		opts:   opts,
+		dev:    dev,
+		ownDev: ownDev,
+		ctx:    ctx,
+		pool:   mempool.New(),
+		total:  total,
+	}
+	// Prewarm the buffer pool: default classes cover the paper's message
+	// sweep (4 KiB – 64 MiB) plus any caller-specified sizes.
+	sizes := []int{4 << 10, 64 << 10, 1 << 20, 8 << 20, 64 << 20}
+	sizes = append(sizes, opts.PrewarmSizes...)
+	lib.pool.Prewarm(sizes, 4)
+	return lib, nil
+}
+
+// Finalize is PEDAL_finalize: releases the environment.
+func (l *Library) Finalize() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	l.ctx.Close()
+	if l.ownDev {
+		l.dev.Close()
+	}
+}
+
+// Device exposes the simulated DPU (used by the MPI co-design and the
+// experiment harness).
+func (l *Library) Device() *dpu.Device { return l.dev }
+
+// Generation reports the DPU generation the library runs on.
+func (l *Library) Generation() hwmodel.Generation { return l.dev.Generation() }
+
+// Options returns the Init-time options.
+func (l *Library) Options() Options { return l.opts }
+
+// TotalBreakdown returns the library-lifetime accounting, including the
+// one-time Init charges.
+func (l *Library) TotalBreakdown() *stats.Breakdown { return l.total }
+
+// PoolStats reports memory-pool hits and misses.
+func (l *Library) PoolStats() (hits, misses uint64) { return l.pool.Stats() }
+
+// beginOp redirects accounting to a fresh per-op breakdown. Callers must
+// hold l.mu and call endOp with the returned values.
+func (l *Library) beginOp() (*stats.Breakdown, *stats.Breakdown) {
+	op := stats.NewBreakdown()
+	old := l.ctx.SwapBreakdown(op)
+	if l.opts.Baseline {
+		// The baseline pays DOCA initialisation on every message (§V-D:
+		// "memory allocation and the DOCA initialization procedure are
+		// invoked during every message transmission").
+		op.Add(stats.PhaseDOCAInit, hwmodel.InitCost(l.dev.Generation()))
+	}
+	return op, old
+}
+
+func (l *Library) endOp(op, old *stats.Breakdown) {
+	l.ctx.SwapBreakdown(old)
+	l.total.Merge(op)
+}
+
+// chargeBufPrep models buffer acquisition for n bytes. PEDAL's pooled
+// buffers cost nothing at steady state; the baseline re-allocates and
+// re-maps per message.
+func (l *Library) chargeBufPrep(op *stats.Breakdown, engine hwmodel.Engine, n int) {
+	if !l.opts.Baseline {
+		return
+	}
+	op.Add(stats.PhaseBufPrep, hwmodel.BufPrepCost(l.dev.Generation(), engine, n))
+}
+
+// getBuf takes a pooled buffer; Release returns message buffers to the
+// pool for reuse.
+func (l *Library) getBuf(n int) []byte { return l.pool.Get(n) }
+
+// Release returns a buffer obtained from Compress or Decompress to the
+// memory pool. Optional: the GC collects unreleased buffers, but
+// releasing keeps the steady-state path allocation-free.
+func (l *Library) Release(buf []byte) { l.pool.Put(buf) }

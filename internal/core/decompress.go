@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"pedal/internal/flate"
+	"pedal/internal/hwmodel"
+	"pedal/internal/lz4"
+	"pedal/internal/stats"
+	"pedal/internal/sz3"
+	"pedal/internal/zlibfmt"
+)
+
+// Decompress is PEDAL_decompress: it parses the PEDAL header of a
+// received message, selects the matching decompression design, and
+// returns the original data. engine states the preferred hardware;
+// unsupported paths fall back to the SoC with the fallback recorded in
+// the report.
+//
+// maxOutput bounds the decompressed size (the receiver's user buffer
+// capacity in the MPI co-design); pass 0 for a generous default.
+//
+// A message without a PEDAL header is an uncompressed payload by
+// protocol; it is returned verbatim with a zero-cost report.
+func (l *Library) Decompress(engine hwmodel.Engine, dt DataType, msg []byte, maxOutput int) ([]byte, Report, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, Report{}, ErrFinalized
+	}
+	algo, body, err := ParseHeader(msg)
+	if err != nil {
+		// Uncompressed passthrough (paper Fig. 5: the indicators tell the
+		// receiver whether the data is compressed at all).
+		return msg, Report{Engine: engine, InBytes: len(msg), OutBytes: len(msg)}, nil
+	}
+	if maxOutput <= 0 {
+		maxOutput = 1 << 30
+	}
+	op, old := l.beginOp()
+	defer l.endOp(op, old)
+
+	d := Design{Algo: algo, Engine: engine}
+	rep := Report{Design: d, Engine: engine, InBytes: len(body)}
+	var out []byte
+	switch algo {
+	case AlgoDeflate:
+		out, err = l.decompressDeflate(op, &rep, body, maxOutput)
+	case AlgoZlib:
+		out, err = l.decompressZlib(op, &rep, body, maxOutput)
+	case AlgoLZ4:
+		out, err = l.decompressLZ4(op, &rep, body, maxOutput)
+	case AlgoSZ3:
+		out, err = l.decompressSZ3(op, &rep, dt, body, maxOutput)
+	case AlgoHybrid:
+		out, err = l.decompressHybrid(op, &rep, body, maxOutput)
+	default:
+		err = fmt.Errorf("core: unknown AlgoID %d", algo)
+	}
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.OutBytes = len(out)
+	rep.Phases = op.Snapshot()
+	rep.Virtual = op.Total()
+	return out, rep, nil
+}
+
+// engineDecompress runs a raw DEFLATE or LZ4-frame decompression on the
+// preferred engine with SoC fallback.
+func (l *Library) engineDecompress(op *stats.Breakdown, rep *Report, algo hwmodel.Algo, body []byte, maxOutput int) ([]byte, error) {
+	if rep.Engine == hwmodel.CEngine && l.dev.SupportsCEngine(algo, hwmodel.Decompress) {
+		staging, release := l.stage(op, body)
+		defer release()
+		res, err := l.ctx.Submit(algo, hwmodel.Decompress, staging, maxOutput)
+		if err == nil {
+			rep.Engine = hwmodel.CEngine
+			return res.Output, nil
+		}
+	}
+	if rep.Engine == hwmodel.CEngine {
+		rep.Engine = hwmodel.SoC
+		rep.Fallback = true
+	}
+	l.chargeSoCBufPrep(op, maxOutput)
+	var out []byte
+	var err error
+	switch algo {
+	case hwmodel.Deflate:
+		out, err = flate.DecompressLimit(body, maxOutput)
+	case hwmodel.LZ4:
+		out, err = lz4.DecompressLimit(body, maxOutput)
+	default:
+		return nil, fmt.Errorf("core: engineDecompress does not handle %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Software decompression time also scales with the expanded output.
+	if _, err := l.ctx.SoCRun(algo, hwmodel.Decompress, len(out)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (l *Library) decompressDeflate(op *stats.Breakdown, rep *Report, body []byte, maxOutput int) ([]byte, error) {
+	return l.engineDecompress(op, rep, hwmodel.Deflate, body, maxOutput)
+}
+
+func (l *Library) decompressZlib(op *stats.Breakdown, rep *Report, body []byte, maxOutput int) ([]byte, error) {
+	if rep.Engine == hwmodel.CEngine {
+		// Hybrid: strip the RFC 1950 framing on the SoC, inflate the body
+		// on the C-Engine, verify the Adler-32 trailer on the SoC.
+		deflateBody, err := zlibfmt.Body(body)
+		if err != nil {
+			return nil, err
+		}
+		out, err := l.engineDecompress(op, rep, hwmodel.Deflate, deflateBody, maxOutput)
+		if err != nil {
+			return nil, err
+		}
+		op.Add(stats.PhaseDecompress, hwmodel.ZlibTrailerCost(l.dev.Generation(), len(out)))
+		if err := zlibfmt.VerifyTrailer(body, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	l.chargeSoCBufPrep(op, maxOutput)
+	out, err := zlibfmt.DecompressLimit(body, maxOutput)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := l.ctx.SoCRun(hwmodel.Zlib, hwmodel.Decompress, len(out)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (l *Library) decompressLZ4(op *stats.Breakdown, rep *Report, body []byte, maxOutput int) ([]byte, error) {
+	return l.engineDecompress(op, rep, hwmodel.LZ4, body, maxOutput)
+}
+
+func (l *Library) decompressSZ3(op *stats.Breakdown, rep *Report, dt DataType, body []byte, maxOutput int) ([]byte, error) {
+	backend, inner, err := sz3.SplitContainer(body)
+	if err != nil {
+		return nil, err
+	}
+	stream := body
+	chargeSoCBackend := false
+	if rep.Engine == hwmodel.CEngine && backend == sz3.BackendDeflate {
+		// Run the backend stage on the C-Engine, then hand the unwrapped
+		// core stream to the SZ3 decoder.
+		raw, err := l.engineDecompress(op, rep, hwmodel.Deflate, inner, maxOutput*8)
+		if err != nil {
+			return nil, err
+		}
+		stream = sz3.BuildContainer(sz3.BackendNone, raw)
+	} else {
+		if rep.Engine == hwmodel.CEngine {
+			rep.Engine = hwmodel.SoC
+			rep.Fallback = true
+		}
+		// The software backend stage is charged after decode, when the
+		// expanded core-stream size is known.
+		chargeSoCBackend = backend != sz3.BackendNone
+	}
+	// The predict/quantize inverse always runs on the SoC.
+	var out []byte
+	if dt == TypeFloat32 {
+		vals, _, err := sz3.DecompressFloat32(stream)
+		if err != nil {
+			return nil, err
+		}
+		f64 := make([]float64, len(vals))
+		for i, v := range vals {
+			f64[i] = float64(v)
+		}
+		out = floatsToBytes(TypeFloat32, f64)
+	} else if dt == TypeFloat64 {
+		vals, _, err := sz3.DecompressFloat64(stream)
+		if err != nil {
+			return nil, err
+		}
+		out = floatsToBytes(TypeFloat64, vals)
+	} else {
+		return nil, fmt.Errorf("core: SZ3 payload needs a float datatype, got %v", dt)
+	}
+	if len(out) > maxOutput {
+		return nil, fmt.Errorf("core: decompressed %d bytes exceed receive buffer %d", len(out), maxOutput)
+	}
+	if chargeSoCBackend {
+		if _, err := l.ctx.SoCRun(backendAlgo(backend), hwmodel.Decompress, estimateCorePayload(len(out))); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := l.ctx.SoCRun(hwmodel.SZ3Core, hwmodel.Decompress, len(out)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// backendAlgo maps an SZ3 backend to its cost-model algorithm.
+func backendAlgo(b sz3.BackendKind) hwmodel.Algo {
+	switch b {
+	case sz3.BackendDeflate:
+		return hwmodel.Deflate
+	case sz3.BackendLZ4:
+		return hwmodel.LZ4
+	default:
+		return hwmodel.FastLZ
+	}
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"pedal/internal/dpu"
+	"pedal/internal/flate"
+	"pedal/internal/hwmodel"
+	"pedal/internal/stats"
+)
+
+// The hybrid design implements the extension the paper sketches in
+// §V-C.2 ("a prospective hybrid design avenue for exploiting both SoC
+// and C-Engine in parallel") and recommends in §VI ("future developments
+// could involve various compression designs using the SoC and C-Engine
+// to achieve parallel compression and decompression").
+//
+// The input is split into independently DEFLATE-compressed spans and
+// scheduled across the C-Engine and a pool of SoC cores so both finish
+// together. The C-Engine receives one large span (its per-job fixed
+// latency makes many small jobs uneconomical — an effect the cost model
+// exposes); the SoC pool receives one span per core. The wire format is
+// self-describing:
+//
+//	varint chunkCount, then per chunk: varint origLen, varint compLen, body
+//
+// Virtual time is the parallel makespan: max(C-Engine job time, slowest
+// SoC core), which is how the real hardware would overlap.
+
+// AlgoHybrid is the wire identifier of the hybrid chunked-DEFLATE
+// design. It extends the paper's Table III (AlgoIDs 1-4).
+const AlgoHybrid AlgoID = 5
+
+// DesignHybrid returns the hybrid design descriptor (engine preference
+// is advisory; the scheduler always uses everything available).
+func DesignHybrid() Design { return Design{Algo: AlgoHybrid, Engine: hwmodel.CEngine} }
+
+// maxHybridChunks bounds the frame's chunk count against corrupt input.
+const maxHybridChunks = 1 << 16
+
+type hybridSpan struct {
+	offset   int
+	orig     []byte
+	comp     []byte
+	onEngine bool
+	err      error
+}
+
+// splitHybrid partitions data into an optional engine span plus per-core
+// SoC spans, sized so that both resources finish together under the
+// calibrated cost model.
+func (l *Library) splitHybrid(data []byte, op hwmodel.Op) []hybridSpan {
+	gen := l.dev.Generation()
+	cores := l.dev.SoC().Cores
+	n := len(data)
+	engineOK := l.dev.SupportsCEngine(hwmodel.Deflate, op)
+
+	engineBytes := 0
+	if engineOK && n > 0 {
+		ceCost, _ := hwmodel.OpCost(gen, hwmodel.CEngine, hwmodel.Deflate, op, n)
+		socCost, _ := hwmodel.OpCost(gen, hwmodel.SoC, hwmodel.Deflate, op, n)
+		// t_ce(f·n) = fixed + f·n/Tce must equal t_soc((1-f)·n) =
+		// (1-f)·n/(Tsoc·cores). With costs linear in n this solves to:
+		fixed, _ := hwmodel.OpCost(gen, hwmodel.CEngine, hwmodel.Deflate, op, 0)
+		ceRate := float64(ceCost-fixed) / float64(n)   // time per byte on engine
+		socRate := float64(socCost) / float64(n*cores) // time per byte on pool
+		if ceRate+socRate > 0 {
+			f := (socRate*float64(n) - float64(fixed)) / ((ceRate + socRate) * float64(n))
+			if f < 0 {
+				f = 0
+			}
+			if f > 1 {
+				f = 1
+			}
+			engineBytes = int(f * float64(n))
+		}
+	}
+
+	var spans []hybridSpan
+	if engineBytes > 0 {
+		spans = append(spans, hybridSpan{offset: 0, orig: data[:engineBytes], onEngine: true})
+	}
+	rest := data[engineBytes:]
+	if len(rest) > 0 {
+		per := (len(rest) + cores - 1) / cores
+		for off := 0; off < len(rest); off += per {
+			end := off + per
+			if end > len(rest) {
+				end = len(rest)
+			}
+			spans = append(spans, hybridSpan{offset: engineBytes + off, orig: rest[off:end]})
+		}
+	}
+	if len(spans) == 0 {
+		spans = []hybridSpan{{offset: 0, orig: data}}
+	}
+	return spans
+}
+
+// hybridMakespan computes the modelled parallel completion time of a
+// span schedule.
+func (l *Library) hybridMakespan(spans []hybridSpan, op hwmodel.Op) time.Duration {
+	gen := l.dev.Generation()
+	cores := l.dev.SoC().Cores
+	var ceTime time.Duration
+	// SoC spans run one per core (the splitter produces ≤ cores spans);
+	// makespan on the pool is the slowest single span, unless spans
+	// exceed cores, in which case work is evenly divided.
+	var socSpans []time.Duration
+	for i := range spans {
+		size := len(spans[i].orig)
+		if op == hwmodel.Decompress {
+			// Decompression cost scales with expanded output.
+			size = spans[i].expandedLen()
+		}
+		if spans[i].onEngine {
+			d, _ := hwmodel.OpCost(gen, hwmodel.CEngine, hwmodel.Deflate, op, size)
+			ceTime += d
+		} else {
+			d, _ := hwmodel.OpCost(gen, hwmodel.SoC, hwmodel.Deflate, op, size)
+			socSpans = append(socSpans, d)
+		}
+	}
+	var socTime time.Duration
+	if len(socSpans) <= cores {
+		for _, d := range socSpans {
+			if d > socTime {
+				socTime = d
+			}
+		}
+	} else {
+		var total time.Duration
+		for _, d := range socSpans {
+			total += d
+		}
+		socTime = total / time.Duration(cores)
+	}
+	if ceTime > socTime {
+		return ceTime
+	}
+	return socTime
+}
+
+// expandedLen is the uncompressed size of a span (known after decode, or
+// the original length during compression).
+func (s *hybridSpan) expandedLen() int {
+	if s.orig != nil {
+		return len(s.orig)
+	}
+	return 0
+}
+
+// compressHybrid splits data and compresses the spans on all available
+// hardware in parallel.
+func (l *Library) compressHybrid(op *stats.Breakdown, rep *Report, data []byte) ([]byte, error) {
+	spans := l.splitHybrid(data, hwmodel.Compress)
+	var wg sync.WaitGroup
+	for i := range spans {
+		s := &spans[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if s.onEngine {
+				res := l.dev.CEngine().Run(dpu.Job{
+					Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: s.orig,
+				})
+				if res.Err == nil {
+					s.comp = res.Output
+					return
+				}
+				s.onEngine = false // engine refused: software fallback
+			}
+			s.comp = flate.Compress(s.orig, l.opts.Level)
+		}()
+	}
+	wg.Wait()
+	op.Add(stats.PhaseCompress, l.hybridMakespan(spans, hwmodel.Compress))
+	l.chargeBufPrep(op, hwmodel.CEngine, len(data))
+	rep.Engine = hwmodel.SoC
+	for i := range spans {
+		if spans[i].onEngine {
+			rep.Engine = hwmodel.CEngine
+		}
+	}
+	rep.Fallback = rep.Engine == hwmodel.SoC &&
+		!l.dev.SupportsCEngine(hwmodel.Deflate, hwmodel.Compress)
+
+	out := binary.AppendUvarint(nil, uint64(len(spans)))
+	for i := range spans {
+		out = binary.AppendUvarint(out, uint64(len(spans[i].orig)))
+		out = binary.AppendUvarint(out, uint64(len(spans[i].comp)))
+		out = append(out, spans[i].comp...)
+	}
+	return out, nil
+}
+
+// decompressHybrid reverses compressHybrid, again in parallel: the
+// largest span goes to the C-Engine (when the generation decompresses in
+// hardware), the rest to the SoC pool.
+func (l *Library) decompressHybrid(op *stats.Breakdown, rep *Report, body []byte, maxOutput int) ([]byte, error) {
+	count, n := binary.Uvarint(body)
+	if n <= 0 || count == 0 || count > maxHybridChunks {
+		return nil, fmt.Errorf("core: corrupt hybrid frame header")
+	}
+	pos := n
+	spans := make([]hybridSpan, count)
+	origLens := make([]int, count)
+	total := 0
+	largest := 0
+	for i := range spans {
+		orig, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("core: corrupt hybrid span %d origLen", i)
+		}
+		pos += n
+		comp, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return nil, fmt.Errorf("core: corrupt hybrid span %d compLen", i)
+		}
+		pos += n
+		if pos+int(comp) > len(body) {
+			return nil, fmt.Errorf("core: hybrid span %d overruns frame", i)
+		}
+		if total+int(orig) > maxOutput {
+			return nil, fmt.Errorf("core: hybrid output exceeds %d bytes", maxOutput)
+		}
+		spans[i].offset = total
+		spans[i].comp = body[pos : pos+int(comp)]
+		origLens[i] = int(orig)
+		if int(orig) > origLens[largest] {
+			largest = i
+		}
+		total += int(orig)
+		pos += int(comp)
+	}
+	if l.dev.SupportsCEngine(hwmodel.Deflate, hwmodel.Decompress) {
+		spans[largest].onEngine = true
+	}
+
+	out := make([]byte, total)
+	var wg sync.WaitGroup
+	for i := range spans {
+		s := &spans[i]
+		limit := origLens[i] + 64
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dec []byte
+			var err error
+			if s.onEngine {
+				res := l.dev.CEngine().Run(dpu.Job{
+					Algo: hwmodel.Deflate, Op: hwmodel.Decompress,
+					Input: s.comp, MaxOutput: limit,
+				})
+				dec, err = res.Output, res.Err
+				if err != nil {
+					s.onEngine = false
+					dec, err = flate.DecompressLimit(s.comp, limit)
+				}
+			} else {
+				dec, err = flate.DecompressLimit(s.comp, limit)
+			}
+			if err != nil {
+				s.err = err
+				return
+			}
+			s.orig = dec
+			copy(out[s.offset:], dec)
+		}()
+	}
+	wg.Wait()
+	for i := range spans {
+		if spans[i].err != nil {
+			return nil, spans[i].err
+		}
+		if len(spans[i].orig) != origLens[i] {
+			return nil, fmt.Errorf("core: hybrid span %d decoded %d bytes, declared %d",
+				i, len(spans[i].orig), origLens[i])
+		}
+	}
+	op.Add(stats.PhaseDecompress, l.hybridMakespan(spans, hwmodel.Decompress))
+	rep.Engine = hwmodel.SoC
+	for i := range spans {
+		if spans[i].onEngine {
+			rep.Engine = hwmodel.CEngine
+		}
+	}
+	rep.Fallback = rep.Engine == hwmodel.SoC &&
+		!l.dev.SupportsCEngine(hwmodel.Deflate, hwmodel.Decompress)
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pedal/internal/hwmodel"
+	"pedal/internal/sz3"
+)
+
+func smoothField2D(nx, ny int) []byte {
+	out := make([]byte, nx*ny*8)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			v := math.Sin(float64(i)*0.05) * math.Cos(float64(j)*0.03)
+			binary.LittleEndian.PutUint64(out[(i*ny+j)*8:], math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+func TestSZ3DimsThroughPedal(t *testing.T) {
+	lib, err := Init(Options{
+		Generation: hwmodel.BlueField2,
+		SZ3Dims:    []int{100, 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+	data := smoothField2D(100, 200)
+	msg, rep, err := lib.Compress(Design{AlgoSZ3, hwmodel.SoC}, TypeFloat64, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ratio() < 5 {
+		t.Fatalf("2-D smooth field ratio %.2f too low; dims not exploited", rep.Ratio())
+	}
+	out, _, err := lib.Decompress(hwmodel.SoC, TypeFloat64, msg, len(data)+64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFloatBound(t, data, out, 1e-4, "2D through PEDAL")
+}
+
+func TestSZ3DimsMismatchRejected(t *testing.T) {
+	lib, err := Init(Options{SZ3Dims: []int{999, 999}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+	if _, _, err := lib.Compress(Design{AlgoSZ3, hwmodel.SoC}, TypeFloat64, smoothField2D(10, 10)); err == nil {
+		t.Fatal("dims/product mismatch accepted")
+	}
+}
+
+func TestSZ3InterpolationThroughPedal(t *testing.T) {
+	lib, err := Init(Options{SZ3Predictor: sz3.PredictorInterpolation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+	data := floatData(80000)
+	msg, _, err := lib.Compress(Design{AlgoSZ3, hwmodel.CEngine}, TypeFloat64, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := lib.Decompress(hwmodel.CEngine, TypeFloat64, msg, len(data)+64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFloatBound(t, data, out, 1e-4, "interp through PEDAL")
+}
+
+func TestSZ3RelativeModeThroughPedal(t *testing.T) {
+	lib, err := Init(Options{ErrorBound: 1e-3, SZ3Mode: sz3.BoundRelative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+	data := floatData(40000)
+	msg, _, err := lib.Compress(Design{AlgoSZ3, hwmodel.SoC}, TypeFloat64, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _, err := lib.Decompress(hwmodel.SoC, TypeFloat64, msg, len(data)+64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Resolve the equivalent absolute bound for verification.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i+8 <= len(data); i += 8 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(data[i:]))
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	checkFloatBound(t, data, out, 1e-3*(hi-lo), "REL through PEDAL")
+}

@@ -1,0 +1,145 @@
+package datasets
+
+import (
+	"testing"
+
+	"pedal/internal/flate"
+	"pedal/internal/lz4"
+)
+
+// Table IV sizes must match the paper (within integer rounding of MB).
+func TestTable4DatasetInventory(t *testing.T) {
+	want := []struct {
+		name   string
+		sizeMB float64
+		lossy  bool
+	}{
+		{"silesia/xml", 5.1, false},
+		{"silesia/mr", 9.51, false},
+		{"silesia/samba", 20.61, false},
+		{"obs_error", 30, false},
+		{"silesia/mozilla", 48.85, false},
+		{"exaalt-dataset1", 10, true},
+		{"exaalt-dataset3", 31, true},
+		{"exaalt-dataset2", 64, true},
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("%d datasets, want %d", len(all), len(want))
+	}
+	for i, w := range want {
+		d := all[i]
+		if d.Name != w.name {
+			t.Errorf("dataset %d = %s, want %s", i, d.Name, w.name)
+		}
+		gotMB := float64(d.Size) / (1 << 20)
+		if diff := gotMB - w.sizeMB; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s size %.2f MB, want %.2f", d.Name, gotMB, w.sizeMB)
+		}
+		if d.Lossy != w.lossy {
+			t.Errorf("%s lossy = %v", d.Name, d.Lossy)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := SilesiaXML().Bytes()
+	b := SilesiaXML().Bytes() // fresh instance regenerates
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic content at %d", i)
+		}
+	}
+}
+
+func TestBytesCached(t *testing.T) {
+	d := SilesiaXML()
+	p1 := d.Bytes()
+	p2 := d.Bytes()
+	if &p1[0] != &p2[0] {
+		t.Fatal("Bytes not cached")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("silesia/mr") == nil {
+		t.Fatal("silesia/mr not found")
+	}
+	if ByName("nope") != nil {
+		t.Fatal("unknown name found")
+	}
+}
+
+// ratioOn compresses a prefix (full datasets are large; a 4 MB prefix
+// predicts the ratio well) and returns original/compressed.
+func ratioOn(t *testing.T, d *Dataset, algo string) float64 {
+	t.Helper()
+	data := d.Bytes()
+	if len(data) > 4<<20 {
+		data = data[:4<<20]
+	}
+	var comp []byte
+	switch algo {
+	case "deflate":
+		comp = flate.Compress(data, 6)
+	case "lz4":
+		comp = lz4.Compress(data)
+	}
+	return float64(len(data)) / float64(len(comp))
+}
+
+// Table V(a)'s ordering must hold: xml ≫ samba > {mr, mozilla} > obs_error,
+// and DEFLATE above LZ4 on every dataset.
+func TestTable5aRatioOrdering(t *testing.T) {
+	r := map[string]float64{}
+	for _, d := range Lossless() {
+		r[d.Name] = ratioOn(t, d, "deflate")
+		rl := ratioOn(t, d, "lz4")
+		t.Logf("%-16s deflate=%.3f lz4=%.3f", d.Name, r[d.Name], rl)
+		if rl >= r[d.Name] {
+			t.Errorf("%s: LZ4 ratio %.2f not below DEFLATE %.2f", d.Name, rl, r[d.Name])
+		}
+	}
+	if !(r["silesia/xml"] > r["silesia/samba"]) {
+		t.Error("xml must out-compress samba")
+	}
+	if !(r["silesia/samba"] > r["obs_error"]) {
+		t.Error("samba must out-compress obs_error")
+	}
+	if !(r["silesia/mr"] > r["obs_error"]) {
+		t.Error("mr must out-compress obs_error")
+	}
+	if !(r["silesia/mozilla"] > r["obs_error"]) {
+		t.Error("mozilla must out-compress obs_error")
+	}
+	// The paper's regimes, loosely: xml ≈ 7.8, obs_error ≈ 1.5.
+	if r["silesia/xml"] < 4 {
+		t.Errorf("xml ratio %.2f far below the paper's 7.77 regime", r["silesia/xml"])
+	}
+	if r["obs_error"] > 2.5 {
+		t.Errorf("obs_error ratio %.2f far above the paper's 1.47 regime", r["obs_error"])
+	}
+}
+
+func TestLossyGroupAscendingSizes(t *testing.T) {
+	g := LossyGroup()
+	if len(g) != 3 {
+		t.Fatal("lossy group size")
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i].Size <= g[i-1].Size {
+			t.Fatalf("lossy group not ascending: %d then %d", g[i-1].Size, g[i].Size)
+		}
+	}
+}
+
+func TestLossyDatasetsAreFloat32Aligned(t *testing.T) {
+	for _, d := range LossyGroup() {
+		if d.Size%4 != 0 {
+			t.Errorf("%s size %d not float32-aligned", d.Name, d.Size)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package doca is a faithful-in-structure model of the NVIDIA DOCA SDK
+// surface PEDAL uses: device open, memory maps between regular and
+// DOCA-operable memory, buffer inventories, work queues, and compress /
+// decompress job submission (paper §III, Figs. 3-4).
+//
+// The package's central job is cost accounting with real execution: every
+// SDK step performs the real work through the simulated C-Engine and
+// charges calibrated virtual time to a stats.Breakdown, so the paper's
+// "initialisation and buffer preparation consume ≈90-94% of execution
+// time" observation — and PEDAL's hoisting of those costs into
+// PEDAL_Init — are observable, measurable effects.
+package doca
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pedal/internal/dpu"
+	"pedal/internal/hwmodel"
+	"pedal/internal/stats"
+)
+
+// Errors returned by the SDK layer.
+var (
+	ErrNotMapped = errors.New("doca: buffer not DOCA-mapped")
+	ErrClosed    = errors.New("doca: context closed")
+)
+
+// Context is an initialised DOCA environment bound to one device: the
+// analogue of the doca_dev + doca_compress + progress-engine bundle a
+// real application sets up once.
+type Context struct {
+	dev    *dpu.Device
+	bd     *stats.Breakdown
+	inited bool
+	closed bool
+
+	// mapped tracks registered buffers (identity by slice backing array
+	// start). Real DOCA refuses jobs on unregistered memory.
+	mapped map[*byte]int
+}
+
+// Init opens the device and builds the DOCA environment, charging the
+// one-time initialisation cost (engine contexts, progress engine, work
+// queues) to the breakdown's PhaseDOCAInit. The paper's baseline calls
+// this per message; PEDAL calls it once inside PEDAL_Init.
+func Init(dev *dpu.Device, bd *stats.Breakdown) (*Context, error) {
+	if dev == nil {
+		return nil, errors.New("doca: nil device")
+	}
+	c := &Context{dev: dev, bd: bd, mapped: make(map[*byte]int)}
+	bd.Add(stats.PhaseDOCAInit, hwmodel.InitCost(dev.Generation()))
+	c.inited = true
+	return c, nil
+}
+
+// Device returns the underlying DPU.
+func (c *Context) Device() *dpu.Device { return c.dev }
+
+// Close tears down the context. The device itself stays open (it may be
+// shared); real DOCA reference-counts the same way.
+func (c *Context) Close() { c.closed = true }
+
+// MMap registers buf as DOCA-operable memory, charging the buffer
+// preparation cost (allocation + pinning + inventory registration). A
+// buffer must be mapped before jobs may reference it.
+func (c *Context) MMap(buf []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	c.bd.Add(stats.PhaseBufPrep, hwmodel.BufPrepCost(c.dev.Generation(), hwmodel.CEngine, len(buf)))
+	c.mapped[&buf[0]] = len(buf)
+	return nil
+}
+
+// RegisterPrewarmed records buf as DOCA-operable without charging
+// preparation cost: the buffer belongs to a pool whose mapping was paid
+// once at PEDAL_Init (paper §III-C). Baseline runs must use MMap instead.
+func (c *Context) RegisterPrewarmed(buf []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	if len(buf) == 0 {
+		return nil
+	}
+	c.mapped[&buf[0]] = len(buf)
+	return nil
+}
+
+// IsMapped reports whether buf was previously registered with MMap.
+func (c *Context) IsMapped(buf []byte) bool {
+	if len(buf) == 0 {
+		return true
+	}
+	n, ok := c.mapped[&buf[0]]
+	return ok && n >= len(buf)
+}
+
+// Unmap releases a registration.
+func (c *Context) Unmap(buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	delete(c.mapped, &buf[0])
+}
+
+// Result carries a completed job's output and its modelled duration.
+type Result struct {
+	Output  []byte
+	Virtual time.Duration
+}
+
+// Submit runs algo/op over input on the C-Engine, charging the modelled
+// hardware time to the appropriate phase. input must be DOCA-mapped.
+// When the hardware lacks the path, Submit fails with
+// dpu.ErrUnsupported — PEDAL's capability fallback then redirects the
+// operation to the SoC.
+func (c *Context) Submit(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutput int) (Result, error) {
+	if c.closed {
+		return Result{}, ErrClosed
+	}
+	if !c.IsMapped(input) {
+		return Result{}, fmt.Errorf("%w: submit requires a registered source buffer", ErrNotMapped)
+	}
+	res := c.dev.CEngine().Run(dpu.Job{Algo: algo, Op: op, Input: input, MaxOutput: maxOutput})
+	if res.Err != nil {
+		return Result{}, res.Err
+	}
+	phase := stats.PhaseCompress
+	if op == hwmodel.Decompress {
+		phase = stats.PhaseDecompress
+	}
+	c.bd.Add(phase, res.Virtual)
+	return Result{Output: res.Output, Virtual: res.Virtual}, nil
+}
+
+// SoCRun models running algo/op in software on the SoC cores: the real
+// work is done by the caller (PEDAL invokes the Go codecs directly); this
+// helper charges the calibrated virtual time. It exists on Context so all
+// accounting flows through one object.
+func (c *Context) SoCRun(algo hwmodel.Algo, op hwmodel.Op, n int) (time.Duration, error) {
+	d, ok := hwmodel.OpCost(c.dev.Generation(), hwmodel.SoC, algo, op, n)
+	if !ok {
+		return 0, fmt.Errorf("doca: no SoC cost model for %v %v", algo, op)
+	}
+	phase := stats.PhaseCompress
+	if op == hwmodel.Decompress {
+		phase = stats.PhaseDecompress
+	}
+	c.bd.Add(phase, d)
+	return d, nil
+}
+
+// SoCBufPrep charges a plain SoC-side allocation (no DOCA mapping).
+func (c *Context) SoCBufPrep(n int) {
+	c.bd.Add(stats.PhaseBufPrep, hwmodel.BufPrepCost(c.dev.Generation(), hwmodel.SoC, n))
+}
+
+// Breakdown exposes the accounting sink (used by experiments).
+func (c *Context) Breakdown() *stats.Breakdown { return c.bd }
+
+// SwapBreakdown redirects subsequent charges to bd and returns the
+// previous sink. PEDAL uses this to produce per-operation reports while
+// still accumulating a library-lifetime total.
+func (c *Context) SwapBreakdown(bd *stats.Breakdown) *stats.Breakdown {
+	old := c.bd
+	c.bd = bd
+	return old
+}

@@ -1,0 +1,185 @@
+package dpu
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pedal/internal/flate"
+	"pedal/internal/hwmodel"
+	"pedal/internal/lz4"
+	"pedal/internal/trace"
+)
+
+// JobResult is the completion record of one C-Engine job.
+type JobResult struct {
+	// Output is the produced data (compressed or decompressed bytes).
+	Output []byte
+	// Virtual is the modelled hardware execution time of the job.
+	Virtual time.Duration
+	// Err is non-nil when the job failed (unsupported path or corrupt
+	// input). Hardware reports such failures through the work queue's
+	// completion status.
+	Err error
+}
+
+// Job describes one compression or decompression operation submitted to
+// the C-Engine. Input must stay unmodified until completion, mirroring
+// the DOCA buffer ownership rules.
+type Job struct {
+	Algo  hwmodel.Algo
+	Op    hwmodel.Op
+	Input []byte
+	// MaxOutput bounds decompression output (DOCA requires the caller to
+	// provide a destination buffer; this models its capacity). Zero means
+	// a generous default.
+	MaxOutput int
+}
+
+// JobHandle tracks an in-flight job.
+type JobHandle struct {
+	done chan JobResult
+}
+
+// Wait blocks until the job completes and returns its result.
+func (h *JobHandle) Wait() JobResult { return <-h.done }
+
+type queued struct {
+	job    Job
+	handle *JobHandle
+}
+
+// CEngine is the hardware compression accelerator: a serial job queue
+// served by one worker, the way a hardware queue pair drains submissions
+// in order.
+type CEngine struct {
+	gen   hwmodel.Generation
+	queue chan queued
+
+	mu     sync.Mutex
+	closed bool
+	tracer *trace.Tracer
+}
+
+// SetTracer attaches an activity recorder; every executed job is logged.
+// Pass nil to disable.
+func (e *CEngine) SetTracer(t *trace.Tracer) {
+	e.mu.Lock()
+	e.tracer = t
+	e.mu.Unlock()
+}
+
+func (e *CEngine) getTracer() *trace.Tracer {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tracer
+}
+
+// cengineQueueDepth mirrors a typical DOCA work-queue depth.
+const cengineQueueDepth = 128
+
+func newCEngine(gen hwmodel.Generation) *CEngine {
+	e := &CEngine{
+		gen:   gen,
+		queue: make(chan queued, cengineQueueDepth),
+	}
+	go e.worker()
+	return e
+}
+
+// Supports reports whether this engine supports algo/op (Table II).
+func (e *CEngine) Supports(algo hwmodel.Algo, op hwmodel.Op) bool {
+	return supportsCEngine(e.gen, algo, op)
+}
+
+// Submit enqueues a job. It fails fast with ErrUnsupported when the
+// hardware lacks the path (callers should have checked Supports, the way
+// PEDAL's capability fallback does) and with ErrClosed after close.
+func (e *CEngine) Submit(job Job) (*JobHandle, error) {
+	if !e.Supports(job.Algo, job.Op) {
+		return nil, fmt.Errorf("%w: %v %v on %v C-Engine", ErrUnsupported, job.Algo, job.Op, e.gen)
+	}
+	h := &JobHandle{done: make(chan JobResult, 1)}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	e.queue <- queued{job: job, handle: h}
+	return h, nil
+}
+
+// Run is the synchronous convenience wrapper: submit and wait.
+func (e *CEngine) Run(job Job) JobResult {
+	h, err := e.Submit(job)
+	if err != nil {
+		return JobResult{Err: err}
+	}
+	return h.Wait()
+}
+
+func (e *CEngine) worker() {
+	for q := range e.queue {
+		q.handle.done <- e.execute(q.job)
+	}
+}
+
+func (e *CEngine) close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	close(e.queue)
+}
+
+// execute performs the real compression work and attaches the modelled
+// hardware duration.
+func (e *CEngine) execute(job Job) JobResult {
+	wallStart := time.Now()
+	res := e.executeInner(job)
+	if tr := e.getTracer(); tr != nil && res.Err == nil {
+		tr.Record(trace.Event{
+			Engine: hwmodel.CEngine.String(),
+			Algo:   job.Algo.String(), Op: job.Op.String(),
+			InBytes: len(job.Input), OutBytes: len(res.Output),
+			Virtual: res.Virtual, Wall: time.Since(wallStart),
+		})
+	}
+	return res
+}
+
+func (e *CEngine) executeInner(job Job) JobResult {
+	limit := job.MaxOutput
+	if limit <= 0 {
+		limit = 1 << 30
+	}
+	var out []byte
+	var err error
+	switch {
+	case job.Algo == hwmodel.Deflate && job.Op == hwmodel.Compress:
+		// The hardware engine compresses in one pass at a fixed effort.
+		out = flate.Compress(job.Input, flate.DefaultLevel)
+	case job.Algo == hwmodel.Deflate && job.Op == hwmodel.Decompress:
+		out, err = flate.DecompressLimit(job.Input, limit)
+	case job.Algo == hwmodel.LZ4 && job.Op == hwmodel.Decompress:
+		out, err = lz4.DecompressLimit(job.Input, limit)
+	default:
+		return JobResult{Err: fmt.Errorf("%w: %v %v", ErrUnsupported, job.Algo, job.Op)}
+	}
+	if err != nil {
+		return JobResult{Err: err}
+	}
+	// Hardware time scales with the volume of data moved through the
+	// engine, which for decompression is the expanded output.
+	n := len(job.Input)
+	if job.Op == hwmodel.Decompress {
+		n = len(out)
+	}
+	d, ok := hwmodel.OpCost(e.gen, hwmodel.CEngine, job.Algo, job.Op, n)
+	if !ok {
+		return JobResult{Err: fmt.Errorf("%w: no cost model for %v %v", ErrUnsupported, job.Algo, job.Op)}
+	}
+	return JobResult{Output: out, Virtual: d}
+}

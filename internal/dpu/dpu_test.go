@@ -1,0 +1,215 @@
+package dpu
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"pedal/internal/flate"
+	"pedal/internal/hwmodel"
+	"pedal/internal/lz4"
+)
+
+func newBF2(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(hwmodel.BlueField2, SeparatedHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func newBF3(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(hwmodel.BlueField3, SeparatedHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestDeviceInfo(t *testing.T) {
+	d2, d3 := newBF2(t), newBF3(t)
+	if d2.SoC().Cores != 8 || !strings.Contains(d2.SoC().CoreModel, "A72") {
+		t.Errorf("BF2 SoC info wrong: %+v", d2.SoC())
+	}
+	if d3.SoC().Cores != 16 || !strings.Contains(d3.SoC().CoreModel, "A78") {
+		t.Errorf("BF3 SoC info wrong: %+v", d3.SoC())
+	}
+	if d2.SoC().Memory != "DDR4" || d3.SoC().Memory != "DDR5" {
+		t.Error("memory generations wrong")
+	}
+}
+
+func TestInvalidConstruction(t *testing.T) {
+	if _, err := NewDevice(hwmodel.Generation(99), SeparatedHost); err == nil {
+		t.Error("unknown generation accepted")
+	}
+	if _, err := NewDevice(hwmodel.BlueField2, Mode(9)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestHostRDMAByMode(t *testing.T) {
+	sep, _ := NewDevice(hwmodel.BlueField3, SeparatedHost)
+	defer sep.Close()
+	nic, _ := NewDevice(hwmodel.BlueField3, SmartNIC)
+	defer nic.Close()
+	if !sep.HostRDMASupported() {
+		t.Error("Separated Host mode must retain RDMA")
+	}
+	if nic.HostRDMASupported() {
+		t.Error("SmartNIC mode must lose host RDMA-IB (paper §II-A)")
+	}
+}
+
+// Table II, verbatim.
+func TestTable2CapabilityMatrix(t *testing.T) {
+	d2, d3 := newBF2(t), newBF3(t)
+	cases := []struct {
+		dev  *Device
+		algo hwmodel.Algo
+		op   hwmodel.Op
+		want bool
+	}{
+		{d2, hwmodel.Deflate, hwmodel.Compress, true},
+		{d2, hwmodel.Deflate, hwmodel.Decompress, true},
+		{d2, hwmodel.LZ4, hwmodel.Compress, false},
+		{d2, hwmodel.LZ4, hwmodel.Decompress, false},
+		{d2, hwmodel.Zlib, hwmodel.Compress, false}, // zlib is a PEDAL extension, not hardware
+		{d3, hwmodel.Deflate, hwmodel.Compress, false},
+		{d3, hwmodel.Deflate, hwmodel.Decompress, true},
+		{d3, hwmodel.LZ4, hwmodel.Compress, false},
+		{d3, hwmodel.LZ4, hwmodel.Decompress, true},
+		{d3, hwmodel.Zlib, hwmodel.Decompress, false},
+	}
+	for _, c := range cases {
+		if got := c.dev.SupportsCEngine(c.algo, c.op); got != c.want {
+			t.Errorf("%v C-Engine %v %v = %v, want %v",
+				c.dev.Generation(), c.algo, c.op, got, c.want)
+		}
+	}
+}
+
+func TestCEngineDeflateRoundTrip(t *testing.T) {
+	d := newBF2(t)
+	src := []byte(strings.Repeat("hardware-offloaded deflate ", 1000))
+	comp := d.CEngine().Run(Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: src})
+	if comp.Err != nil {
+		t.Fatal(comp.Err)
+	}
+	if comp.Virtual <= 0 {
+		t.Error("compression job has no modelled duration")
+	}
+	dec := d.CEngine().Run(Job{Algo: hwmodel.Deflate, Op: hwmodel.Decompress, Input: comp.Output, MaxOutput: len(src) + 16})
+	if dec.Err != nil {
+		t.Fatal(dec.Err)
+	}
+	if !bytes.Equal(dec.Output, src) {
+		t.Fatal("C-Engine round trip mismatch")
+	}
+}
+
+func TestCEngineOutputInteroperable(t *testing.T) {
+	// The engine's output must be a plain RFC 1951 stream our software
+	// codec can read — that is what lets PEDAL mix SoC and C-Engine.
+	d := newBF2(t)
+	src := []byte(strings.Repeat("mix and match engines ", 500))
+	res := d.CEngine().Run(Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: src})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	got, err := flate.Decompress(res.Output)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("software decode of hardware output failed: %v", err)
+	}
+}
+
+func TestBF3LZ4Decompress(t *testing.T) {
+	d := newBF3(t)
+	src := []byte(strings.Repeat("lz4 on the bf3 engine ", 400))
+	comp := lz4.Compress(src)
+	res := d.CEngine().Run(Job{Algo: hwmodel.LZ4, Op: hwmodel.Decompress, Input: comp, MaxOutput: len(src) + 64})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !bytes.Equal(res.Output, src) {
+		t.Fatal("BF3 LZ4 decompression mismatch")
+	}
+}
+
+func TestUnsupportedSubmitFailsFast(t *testing.T) {
+	d3 := newBF3(t)
+	_, err := d3.CEngine().Submit(Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: []byte("x")})
+	if !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	d, _ := NewDevice(hwmodel.BlueField2, SeparatedHost)
+	d.Close()
+	_, err := d.CEngine().Submit(Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: []byte("x")})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	d.Close() // double close must be safe
+}
+
+func TestCorruptInputReportsError(t *testing.T) {
+	d := newBF2(t)
+	res := d.CEngine().Run(Job{Algo: hwmodel.Deflate, Op: hwmodel.Decompress, Input: []byte{0x07, 0xFF}})
+	if res.Err == nil {
+		t.Fatal("corrupt input decompressed without error")
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	d := newBF2(t)
+	src := []byte(strings.Repeat("concurrent jobs ", 200))
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := d.CEngine().Run(Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: src})
+			if res.Err != nil {
+				errs <- res.Err
+				return
+			}
+			got, err := flate.Decompress(res.Output)
+			if err != nil || !bytes.Equal(got, src) {
+				errs <- errors.New("round trip mismatch")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncSubmitWait(t *testing.T) {
+	d := newBF2(t)
+	src := []byte(strings.Repeat("async pipeline ", 100))
+	handles := make([]*JobHandle, 8)
+	for i := range handles {
+		h, err := d.CEngine().Submit(Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	for _, h := range handles {
+		res := h.Wait()
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+}

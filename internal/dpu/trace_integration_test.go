@@ -1,0 +1,37 @@
+package dpu
+
+import (
+	"strings"
+	"testing"
+
+	"pedal/internal/hwmodel"
+	"pedal/internal/trace"
+)
+
+func TestCEngineTracing(t *testing.T) {
+	d := newBF2(t)
+	tr := trace.New(0)
+	d.CEngine().SetTracer(tr)
+	src := []byte(strings.Repeat("traced job payload ", 200))
+	res := d.CEngine().Run(Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: src})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	events := tr.Events()
+	if len(events) != 1 {
+		t.Fatalf("%d events", len(events))
+	}
+	e := events[0]
+	if e.Engine != "C-Engine" || e.Algo != "DEFLATE" || e.Op != "compress" {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.InBytes != len(src) || e.OutBytes != len(res.Output) || e.Virtual != res.Virtual {
+		t.Fatalf("event sizes/durations wrong: %+v", e)
+	}
+	// Detach: no further events.
+	d.CEngine().SetTracer(nil)
+	d.CEngine().Run(Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: src})
+	if tr.Len() != 1 {
+		t.Fatal("tracer recorded after detach")
+	}
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+
+	"pedal/internal/core"
+	"pedal/internal/datasets"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mpi"
+	"pedal/internal/osu"
+)
+
+// p2pSizes is the message-size sweep for Fig. 10. The paper sweeps OSU
+// sizes into the tens of MB; these cover the RNDV regime where PEDAL
+// engages.
+func p2pSizes(o Options) []int {
+	if o.Quick {
+		return []int{256 << 10, 2 << 20}
+	}
+	return []int{256 << 10, 1 << 20, 4 << 20, 16 << 20, 48 << 20}
+}
+
+// losslessPayload slices the silesia/samba stand-in for latency sweeps:
+// representative mixed compressibility (ratio ≈ 3-4).
+func losslessPayload(o Options) func(int) []byte {
+	full := datasets.SilesiaSamba().Bytes()
+	return func(size int) []byte {
+		out := make([]byte, size)
+		for off := 0; off < size; off += len(full) {
+			copy(out[off:], full)
+		}
+		return out
+	}
+}
+
+// lossyPayload slices the 10 MB exaalt stand-in.
+func lossyPayload(o Options) func(int) []byte {
+	full := datasets.ExaaltDataset1().Bytes()
+	return func(size int) []byte {
+		size &^= 3 // float32 alignment
+		out := make([]byte, size)
+		for off := 0; off < size; off += len(full) {
+			copy(out[off:], full)
+		}
+		return out
+	}
+}
+
+// Fig10 reproduces the lossless point-to-point latency comparison
+// (Fig. 10a-e): the six designs A-F on both generations, plus the
+// baseline (BF2 C-Engine DEFLATE without PEDAL's init hoisting).
+func Fig10(o Options) (Table, error) {
+	t := Table{
+		ID: "fig10", Title: "MPI point-to-point latency, lossless designs (OSU-style)",
+		Columns: append([]string{"Gen", "Design"}, sizeCols(p2pSizes(o))...),
+		Metrics: map[string]float64{},
+	}
+	payload := losslessPayload(o)
+	iters := o.iters()
+
+	runOne := func(gen hwmodel.Generation, d core.Design, baseline bool) ([]osu.P2PResult, error) {
+		return osu.RunLatency(osu.P2PConfig{
+			World: mpi.WorldOptions{
+				Generation: gen,
+				Baseline:   baseline,
+				Compression: &mpi.CompressionConfig{
+					Design: d,
+				},
+			},
+			Sizes:      p2pSizes(o),
+			Iterations: iters,
+			Payload:    payload,
+		})
+	}
+
+	// Baseline: the paper's reference point is BF2 with compression but
+	// without PEDAL (per-message init + allocation).
+	baseRes, err := runOne(hwmodel.BlueField2, core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}, true)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, latencyRow("BlueField-2", "Baseline (no PEDAL)", baseRes))
+
+	var bf2SoCDeflate, bf3SoCDeflate, bf2CEDeflate []osu.P2PResult
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		for _, d := range core.LosslessDesigns() {
+			res, err := runOne(gen, d, false)
+			if err != nil {
+				return t, fmt.Errorf("%v %v: %w", gen, d, err)
+			}
+			t.Rows = append(t.Rows, latencyRow(gen.String(), d.String(), res))
+			switch {
+			case gen == hwmodel.BlueField2 && d.String() == "SoC_DEFLATE":
+				bf2SoCDeflate = res
+			case gen == hwmodel.BlueField3 && d.String() == "SoC_DEFLATE":
+				bf3SoCDeflate = res
+			case gen == hwmodel.BlueField2 && d.String() == "C-Engine_DEFLATE":
+				bf2CEDeflate = res
+			}
+		}
+	}
+	// Paper metrics, reported as "up to" = best across the size sweep:
+	// C-Engine ≤88× vs baseline; BF3 SoC up to 40% lower than BF2 SoC.
+	best := 0.0
+	for i := range baseRes {
+		if r := float64(baseRes[i].Latency) / float64(bf2CEDeflate[i].Latency); r > best {
+			best = r
+		}
+	}
+	t.Metrics["bf2_cengine_deflate_speedup_vs_baseline"] = best
+	bestRed := 0.0
+	for i := range bf2SoCDeflate {
+		if r := 1 - float64(bf3SoCDeflate[i].Latency)/float64(bf2SoCDeflate[i].Latency); r > bestRed {
+			bestRed = r
+		}
+	}
+	t.Metrics["bf3_soc_reduction_vs_bf2_soc"] = bestRed
+	return t, nil
+}
+
+// Fig10f reproduces the lossy point-to-point latency comparison: SZ3 on
+// both generations against the BF2 baseline.
+func Fig10f(o Options) (Table, error) {
+	t := Table{
+		ID: "fig10f", Title: "MPI point-to-point latency, SZ3 (OSU-style)",
+		Columns: append([]string{"Gen", "Design"}, sizeCols(p2pSizes(o))...),
+		Metrics: map[string]float64{},
+	}
+	payload := lossyPayload(o)
+	iters := o.iters()
+	runOne := func(gen hwmodel.Generation, engine hwmodel.Engine, baseline bool) ([]osu.P2PResult, error) {
+		return osu.RunLatency(osu.P2PConfig{
+			World: mpi.WorldOptions{
+				Generation: gen,
+				Baseline:   baseline,
+				Compression: &mpi.CompressionConfig{
+					Design:   core.Design{Algo: core.AlgoSZ3, Engine: engine},
+					DataType: core.TypeFloat32,
+				},
+			},
+			Sizes:      p2pSizes(o),
+			Iterations: iters,
+			Payload:    payload,
+		})
+	}
+	baseRes, err := runOne(hwmodel.BlueField2, hwmodel.SoC, true)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, latencyRow("BlueField-2", "Baseline (no PEDAL)", baseRes))
+	var bf2, bf3 []osu.P2PResult
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		res, err := runOne(gen, hwmodel.SoC, false)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, latencyRow(gen.String(), "SoC_SZ3", res))
+		if gen == hwmodel.BlueField2 {
+			bf2 = res
+		} else {
+			bf3 = res
+		}
+	}
+	// Reported at the largest message, where SZ3 compute (not the
+	// baseline's fixed init) dominates — the paper's ~47-48% regime. At
+	// small sizes the baseline's per-message init makes the reduction
+	// approach 100%, which is a different effect than Fig. 10f plots.
+	last := len(baseRes) - 1
+	t.Metrics["bf2_sz3_latency_reduction_vs_baseline"] =
+		1 - float64(bf2[last].Latency)/float64(baseRes[last].Latency)
+	t.Metrics["bf3_sz3_latency_reduction_vs_baseline"] =
+		1 - float64(bf3[last].Latency)/float64(baseRes[last].Latency)
+	return t, nil
+}
+
+// bcastSizes are the paper's Fig. 11 sizes: 5.1 (small), 20.6 (medium)
+// and 48.8 MB (large).
+func bcastSizes(o Options) []int {
+	if o.Quick {
+		return []int{1 << 20, 4 << 20}
+	}
+	return []int{51 * (1 << 20) / 10, 206 * (1 << 20) / 10, 488 * (1 << 20) / 10}
+}
+
+// Fig11 reproduces the four-node MPI_Bcast comparison across designs and
+// generations.
+func Fig11(o Options) (Table, error) {
+	t := Table{
+		ID: "fig11", Title: "MPI Broadcast with four nodes",
+		Columns: append([]string{"Gen", "Design"}, sizeCols(bcastSizes(o))...),
+		Metrics: map[string]float64{},
+	}
+	payload := losslessPayload(o)
+	iters := o.iters()
+	runOne := func(gen hwmodel.Generation, d core.Design, baseline bool) ([]osu.BcastResult, error) {
+		return osu.RunBcast(osu.BcastConfig{
+			Nodes:      4,
+			Sizes:      bcastSizes(o),
+			Iterations: iters,
+			Payload:    payload,
+			World: mpi.WorldOptions{
+				Generation: gen,
+				Baseline:   baseline,
+				Compression: &mpi.CompressionConfig{
+					Design: d,
+				},
+			},
+		})
+	}
+	baseRes, err := runOne(hwmodel.BlueField2, core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}, true)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, bcastRow("BlueField-2", "Baseline (no PEDAL)", baseRes))
+	var bf2CE, bf2SoC, bf3SoC []osu.BcastResult
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		for _, d := range core.LosslessDesigns() {
+			res, err := runOne(gen, d, false)
+			if err != nil {
+				return t, fmt.Errorf("%v %v: %w", gen, d, err)
+			}
+			t.Rows = append(t.Rows, bcastRow(gen.String(), d.String(), res))
+			switch {
+			case gen == hwmodel.BlueField2 && d.String() == "C-Engine_DEFLATE":
+				bf2CE = res
+			case gen == hwmodel.BlueField2 && d.String() == "SoC_DEFLATE":
+				bf2SoC = res
+			case gen == hwmodel.BlueField3 && d.String() == "SoC_DEFLATE":
+				bf3SoC = res
+			}
+		}
+	}
+	// "Up to" = best across the size sweep (paper: ≤68× / ≈49%).
+	best, bestRed := 0.0, 0.0
+	for i := range baseRes {
+		if r := float64(baseRes[i].Latency) / float64(bf2CE[i].Latency); r > best {
+			best = r
+		}
+		if r := 1 - float64(bf3SoC[i].Latency)/float64(bf2SoC[i].Latency); r > bestRed {
+			bestRed = r
+		}
+	}
+	t.Metrics["bf2_cengine_bcast_speedup_vs_baseline"] = best
+	t.Metrics["bf3_soc_bcast_reduction_vs_bf2_soc"] = bestRed
+	return t, nil
+}
+
+func sizeCols(sizes []int) []string {
+	out := make([]string, len(sizes))
+	for i, s := range sizes {
+		out[i] = fmt.Sprintf("%s MB (ms)", mb(s))
+	}
+	return out
+}
+
+func latencyRow(gen, design string, res []osu.P2PResult) []string {
+	row := []string{gen, design}
+	for _, r := range res {
+		row = append(row, ms(r.Latency))
+	}
+	return row
+}
+
+func bcastRow(gen, design string, res []osu.BcastResult) []string {
+	row := []string{gen, design}
+	for _, r := range res {
+		row = append(row, ms(r.Latency))
+	}
+	return row
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/datasets"
+	"pedal/internal/hwmodel"
+	"pedal/internal/stats"
+)
+
+// Table4 reproduces the dataset inventory of Table IV.
+func Table4(_ Options) Table {
+	t := Table{
+		ID:      "table4",
+		Title:   "Eight datasets with various sizes and features",
+		Columns: []string{"Design", "Dataset", "Description", "Size (MB)"},
+	}
+	for _, d := range datasets.All() {
+		kind := "Lossless"
+		if d.Lossy {
+			kind = "Lossy"
+		}
+		t.Rows = append(t.Rows, []string{kind, d.Name, d.Description, mb(d.Size)})
+	}
+	return t
+}
+
+// datasetBytes returns the (possibly capped) dataset content.
+func datasetBytes(d *datasets.Dataset, o Options) []byte {
+	b := d.Bytes()
+	if len(b) > o.capBytes() {
+		b = b[:o.capBytes()]
+	}
+	return b
+}
+
+// losslessAlgos are the lossless designs' algorithms in Fig. 7/8 order.
+var losslessAlgos = []core.AlgoID{core.AlgoDeflate, core.AlgoLZ4, core.AlgoZlib}
+
+// Fig7 reproduces the time-distribution figure: the whole un-hoisted
+// execution (DOCA init, buffer prep, compression, decompression) for
+// every lossless design on the SoC and C-Engine, across the five
+// lossless datasets. bf3 selects Fig. 7b.
+func Fig7(o Options, bf3 bool) (Table, error) {
+	gen := hwmodel.BlueField2
+	id, title := "fig7a", "Time distribution for lossless designs on BlueField-2"
+	if bf3 {
+		gen = hwmodel.BlueField3
+		id, title = "fig7b", "Time distribution for lossless designs on BlueField-3"
+	}
+	t := Table{
+		ID: id, Title: title,
+		Columns: []string{"Design", "Engine", "Dataset", "DOCA_Init(ms)", "BufPrep(ms)", "Compress(ms)", "Decompress(ms)", "Total(ms)", "Init+Prep%"},
+		Metrics: map[string]float64{},
+	}
+	// The figure characterises the *baseline* execution: init and buffer
+	// preparation recur per run (PEDAL's win is removing them; §V-C).
+	lib, err := core.Init(core.Options{Generation: gen, Baseline: true})
+	if err != nil {
+		return t, err
+	}
+	defer lib.Finalize()
+
+	var socTotal, ceTotal time.Duration
+	for _, engine := range []hwmodel.Engine{hwmodel.SoC, hwmodel.CEngine} {
+		for _, algo := range losslessAlgos {
+			for _, ds := range datasets.Lossless() {
+				data := datasetBytes(ds, o)
+				d := core.Design{Algo: algo, Engine: engine}
+				msg, crep, err := lib.Compress(d, core.TypeBytes, data)
+				if err != nil {
+					return t, fmt.Errorf("%s %s: %w", d, ds.Name, err)
+				}
+				_, drep, err := lib.Decompress(engine, core.TypeBytes, msg, len(data)+64)
+				if err != nil {
+					return t, fmt.Errorf("%s %s decompress: %w", d, ds.Name, err)
+				}
+				lib.Release(msg)
+				get := func(rep core.Report, p stats.Phase) time.Duration { return rep.Phases[p] }
+				init := get(crep, stats.PhaseDOCAInit) + get(drep, stats.PhaseDOCAInit)
+				prep := get(crep, stats.PhaseBufPrep) + get(drep, stats.PhaseBufPrep)
+				comp := get(crep, stats.PhaseCompress) + get(drep, stats.PhaseCompress)
+				dec := get(crep, stats.PhaseDecompress) + get(drep, stats.PhaseDecompress)
+				total := init + prep + comp + dec
+				frac := float64(init+prep) / float64(total)
+				t.Rows = append(t.Rows, []string{
+					d.Algo.String(), engine.String(), ds.Name,
+					ms(init), ms(prep), ms(comp), ms(dec), ms(total),
+					fmt.Sprintf("%.1f", frac*100),
+				})
+				if engine == hwmodel.SoC {
+					socTotal += total
+				} else {
+					ceTotal += total
+				}
+				if engine == hwmodel.CEngine && algo == core.AlgoDeflate && ds.Name == "silesia/xml" {
+					t.Metrics["xml_deflate_cengine_initprep_frac"] = frac
+				}
+			}
+		}
+	}
+	t.Metrics["soc_over_cengine_total"] = float64(socTotal) / float64(ceTotal)
+	return t, nil
+}
+
+// Fig8 reproduces the raw compression/decompression time comparison:
+// PEDAL (hoisted) per-operation times for every lossless design on both
+// generations and engines across the five datasets, plus the paper's
+// headline speedup metrics.
+func Fig8(o Options) (Table, error) {
+	t := Table{
+		ID: "fig8", Title: "Compression and decompression time across datasets (PEDAL, init hoisted)",
+		Columns: []string{"Gen", "Design", "Engine*", "Dataset", "Compress(ms)", "Decompress(ms)", "Fallback"},
+		Metrics: map[string]float64{},
+	}
+	type key struct {
+		gen    hwmodel.Generation
+		algo   core.AlgoID
+		engine hwmodel.Engine
+		ds     string
+	}
+	compT := map[key]time.Duration{}
+	decT := map[key]time.Duration{}
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		lib, err := core.Init(core.Options{Generation: gen})
+		if err != nil {
+			return t, err
+		}
+		for _, engine := range []hwmodel.Engine{hwmodel.SoC, hwmodel.CEngine} {
+			for _, algo := range losslessAlgos {
+				for _, ds := range datasets.Lossless() {
+					data := datasetBytes(ds, o)
+					d := core.Design{Algo: algo, Engine: engine}
+					msg, crep, err := lib.Compress(d, core.TypeBytes, data)
+					if err != nil {
+						lib.Finalize()
+						return t, err
+					}
+					_, drep, err := lib.Decompress(engine, core.TypeBytes, msg, len(data)+64)
+					if err != nil {
+						lib.Finalize()
+						return t, err
+					}
+					lib.Release(msg)
+					k := key{gen, algo, engine, ds.Name}
+					compT[k] = crep.Virtual
+					decT[k] = drep.Virtual
+					fb := ""
+					if crep.Fallback || drep.Fallback {
+						fb = "→SoC"
+					}
+					t.Rows = append(t.Rows, []string{
+						gen.String(), algo.String(), engine.String(), ds.Name,
+						ms(crep.Virtual), ms(drep.Virtual), fb,
+					})
+				}
+			}
+		}
+		lib.Finalize()
+	}
+	// Headline metrics (paper §V-C).
+	xml, moz := "silesia/xml", "silesia/mozilla"
+	ratio := func(a, b time.Duration) float64 { return float64(a) / float64(b) }
+	t.Metrics["bf2_deflate_xml_compress_speedup"] = ratio(
+		compT[key{hwmodel.BlueField2, core.AlgoDeflate, hwmodel.SoC, xml}],
+		compT[key{hwmodel.BlueField2, core.AlgoDeflate, hwmodel.CEngine, xml}])
+	t.Metrics["bf2_deflate_xml_decompress_speedup"] = ratio(
+		decT[key{hwmodel.BlueField2, core.AlgoDeflate, hwmodel.SoC, xml}],
+		decT[key{hwmodel.BlueField2, core.AlgoDeflate, hwmodel.CEngine, xml}])
+	t.Metrics["bf2_zlib_mozilla_compress_speedup"] = ratio(
+		compT[key{hwmodel.BlueField2, core.AlgoZlib, hwmodel.SoC, moz}],
+		compT[key{hwmodel.BlueField2, core.AlgoZlib, hwmodel.CEngine, moz}])
+	t.Metrics["bf2_zlib_mozilla_decompress_speedup"] = ratio(
+		decT[key{hwmodel.BlueField2, core.AlgoZlib, hwmodel.SoC, moz}],
+		decT[key{hwmodel.BlueField2, core.AlgoZlib, hwmodel.CEngine, moz}])
+	t.Metrics["bf3_over_bf2_cengine_deflate_decompress_xml"] = ratio(
+		decT[key{hwmodel.BlueField2, core.AlgoDeflate, hwmodel.CEngine, xml}],
+		decT[key{hwmodel.BlueField3, core.AlgoDeflate, hwmodel.CEngine, xml}])
+	t.Metrics["bf3_over_bf2_cengine_deflate_decompress_mozilla"] = ratio(
+		decT[key{hwmodel.BlueField2, core.AlgoDeflate, hwmodel.CEngine, moz}],
+		decT[key{hwmodel.BlueField3, core.AlgoDeflate, hwmodel.CEngine, moz}])
+	return t, nil
+}
+
+// Fig9 reproduces the lossy (SZ3) time-distribution figure across the
+// exaalt datasets on both generations and engines.
+func Fig9(o Options) (Table, error) {
+	t := Table{
+		ID: "fig9", Title: "Time distribution for lossy (SZ3) designs on BlueField-2/3",
+		Columns: []string{"Gen", "Engine*", "Dataset", "DOCA_Init(ms)", "BufPrep(ms)", "Compress(ms)", "Decompress(ms)", "Total(ms)", "Fallback"},
+		Metrics: map[string]float64{},
+	}
+	totals := map[string]time.Duration{}
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		lib, err := core.Init(core.Options{Generation: gen, Baseline: true})
+		if err != nil {
+			return t, err
+		}
+		for _, engine := range []hwmodel.Engine{hwmodel.SoC, hwmodel.CEngine} {
+			for _, ds := range datasets.LossyGroup() {
+				data := datasetBytes(ds, o)
+				d := core.Design{Algo: core.AlgoSZ3, Engine: engine}
+				msg, crep, err := lib.Compress(d, core.TypeFloat32, data)
+				if err != nil {
+					lib.Finalize()
+					return t, err
+				}
+				_, drep, err := lib.Decompress(engine, core.TypeFloat32, msg, len(data)+64)
+				if err != nil {
+					lib.Finalize()
+					return t, err
+				}
+				lib.Release(msg)
+				init := crep.Phases[stats.PhaseDOCAInit] + drep.Phases[stats.PhaseDOCAInit]
+				prep := crep.Phases[stats.PhaseBufPrep] + drep.Phases[stats.PhaseBufPrep]
+				comp := crep.Phases[stats.PhaseCompress] + drep.Phases[stats.PhaseCompress]
+				dec := crep.Phases[stats.PhaseDecompress] + drep.Phases[stats.PhaseDecompress]
+				total := init + prep + comp + dec
+				fb := ""
+				if crep.Fallback {
+					fb = "→SoC"
+				}
+				t.Rows = append(t.Rows, []string{
+					gen.String(), engine.String(), ds.Name,
+					ms(init), ms(prep), ms(comp), ms(dec), ms(total), fb,
+				})
+				totals[fmt.Sprintf("%v/%v/%s", gen, engine, ds.Name)] = comp + dec
+			}
+		}
+		lib.Finalize()
+	}
+	// Paper shape metrics: BF2 SoC ≈ BF2 C-Engine; BF3 SoC faster than
+	// its redirected C-Engine design (up to 1.58x on the 10 MB dataset).
+	small := datasets.LossyGroup()[0].Name
+	t.Metrics["bf2_ce_over_soc_small"] =
+		float64(totals[fmt.Sprintf("%v/%v/%s", hwmodel.BlueField2, hwmodel.CEngine, small)]) /
+			float64(totals[fmt.Sprintf("%v/%v/%s", hwmodel.BlueField2, hwmodel.SoC, small)])
+	t.Metrics["bf3_ce_over_soc_small"] =
+		float64(totals[fmt.Sprintf("%v/%v/%s", hwmodel.BlueField3, hwmodel.CEngine, small)]) /
+			float64(totals[fmt.Sprintf("%v/%v/%s", hwmodel.BlueField3, hwmodel.SoC, small)])
+	return t, nil
+}
+
+// Table5a reproduces the lossless compression-ratio table.
+func Table5a(o Options) (Table, error) {
+	t := Table{
+		ID: "table5a", Title: "Compression ratios, lossless designs",
+		Columns: []string{"Dataset", "DEFLATE", "LZ4", "zlib"},
+		Metrics: map[string]float64{},
+	}
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		return t, err
+	}
+	defer lib.Finalize()
+	// The paper sorts Table V(a) by ascending ratio.
+	rows := [][]string{}
+	for _, ds := range []*datasets.Dataset{
+		datasets.ObsError(), datasets.SilesiaMozilla(), datasets.SilesiaMR(),
+		datasets.SilesiaSamba(), datasets.SilesiaXML(),
+	} {
+		data := datasetBytes(ds, o)
+		row := []string{ds.Name}
+		for _, algo := range []core.AlgoID{core.AlgoDeflate, core.AlgoLZ4, core.AlgoZlib} {
+			msg, rep, err := lib.Compress(core.Design{Algo: algo, Engine: hwmodel.SoC}, core.TypeBytes, data)
+			if err != nil {
+				return t, err
+			}
+			lib.Release(msg)
+			row = append(row, fmt.Sprintf("%.3f", rep.Ratio()))
+			t.Metrics[fmt.Sprintf("%s/%s", ds.Name, algo)] = rep.Ratio()
+		}
+		rows = append(rows, row)
+	}
+	t.Rows = rows
+	return t, nil
+}
+
+// Table5b reproduces the lossy ratio table: SZ3 on the SoC vs the
+// PEDAL-optimised SZ3 whose backend runs on the C-Engine.
+func Table5b(o Options) (Table, error) {
+	t := Table{
+		ID: "table5b", Title: "Compression ratios, lossy designs",
+		Columns: []string{"Dataset", "SZ3", "SZ3(C-Engine)"},
+		Metrics: map[string]float64{},
+	}
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		return t, err
+	}
+	defer lib.Finalize()
+	for _, ds := range datasets.LossyGroup() {
+		data := datasetBytes(ds, o)
+		row := []string{ds.Name}
+		for _, engine := range []hwmodel.Engine{hwmodel.SoC, hwmodel.CEngine} {
+			msg, rep, err := lib.Compress(core.Design{Algo: core.AlgoSZ3, Engine: engine}, core.TypeFloat32, data)
+			if err != nil {
+				return t, err
+			}
+			lib.Release(msg)
+			row = append(row, fmt.Sprintf("%.3f", rep.Ratio()))
+			t.Metrics[fmt.Sprintf("%s/%v", ds.Name, engine)] = rep.Ratio()
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

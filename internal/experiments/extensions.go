@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/datasets"
+	"pedal/internal/dpu"
+	"pedal/internal/hostoffload"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mpi"
+	"pedal/internal/osu"
+)
+
+// The experiments in this file go beyond the paper's evaluation and
+// exercise its §VI discussion items and §V-C.2 future-work sketch:
+// deployment scenarios with host↔DPU data movement, the hybrid parallel
+// SoC+C-Engine design, and ablations of PEDAL's individual design
+// choices.
+
+// ExtDeploy compares the §VI deployment scenarios: compression on the
+// host vs offloaded to the DPU (bounce / direct / pipelined), on both
+// generations.
+func ExtDeploy(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-deploy", Title: "Deployment scenarios (§VI): MPI on host, compression offloaded to DPU",
+		Columns: []string{"Gen", "Scenario", "Compress(ms)", "PCIe(ms)", "Wire(ms)", "Total(ms)", "Ratio"},
+		Metrics: map[string]float64{},
+	}
+	data := datasetBytes(datasets.SilesiaSamba(), o)
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		dev, err := dpu.NewDevice(gen, dpu.SeparatedHost)
+		if err != nil {
+			return t, err
+		}
+		var hostTotal, directTotal time.Duration
+		for _, s := range hostoffload.Scenarios() {
+			r, err := hostoffload.Run(dev, s, data)
+			if err != nil {
+				dev.Close()
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				gen.String(), s.String(),
+				ms(r.Compress), ms(r.Movement), ms(r.Wire), ms(r.Total),
+				fmt.Sprintf("%.2f", float64(r.InBytes)/float64(r.OutBytes)),
+			})
+			switch s {
+			case hostoffload.OnHost:
+				hostTotal = r.Total
+			case hostoffload.OffloadDirect:
+				directTotal = r.Total
+			}
+		}
+		t.Metrics[fmt.Sprintf("%s_offload_direct_speedup_vs_host", gen)] =
+			float64(hostTotal) / float64(directTotal)
+		dev.Close()
+	}
+	return t, nil
+}
+
+// ExtHybrid compares the hybrid parallel SoC+C-Engine design (§V-C.2 /
+// §VI future work) against the pure designs on both generations.
+func ExtHybrid(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-hybrid", Title: "Hybrid parallel SoC+C-Engine design vs pure designs",
+		Columns: []string{"Gen", "Design", "Compress(ms)", "Decompress(ms)", "Ratio"},
+		Metrics: map[string]float64{},
+	}
+	data := datasetBytes(datasets.SilesiaSamba(), o)
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		lib, err := core.Init(core.Options{Generation: gen})
+		if err != nil {
+			return t, err
+		}
+		designs := []core.Design{
+			{Algo: core.AlgoDeflate, Engine: hwmodel.SoC},
+			{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine},
+			core.DesignHybrid(),
+		}
+		times := map[string]time.Duration{}
+		for _, d := range designs {
+			msg, crep, err := lib.Compress(d, core.TypeBytes, data)
+			if err != nil {
+				lib.Finalize()
+				return t, err
+			}
+			_, drep, err := lib.Decompress(d.Engine, core.TypeBytes, msg, len(data)+64)
+			if err != nil {
+				lib.Finalize()
+				return t, err
+			}
+			lib.Release(msg)
+			t.Rows = append(t.Rows, []string{
+				gen.String(), d.String(), ms(crep.Virtual), ms(drep.Virtual),
+				fmt.Sprintf("%.2f", crep.Ratio()),
+			})
+			times[d.Algo.String()+"/"+d.Engine.String()] = crep.Virtual
+		}
+		t.Metrics[fmt.Sprintf("%s_hybrid_speedup_vs_serial_soc", gen)] =
+			float64(times["DEFLATE/SoC"]) / float64(times["Hybrid-DEFLATE/C-Engine"])
+		lib.Finalize()
+	}
+	return t, nil
+}
+
+// ExtAblation isolates PEDAL's individual optimisations on the BF2
+// C-Engine DEFLATE point-to-point path: the full design, init hoisting
+// only (cold buffers), and the un-hoisted baseline — plus a rendezvous
+// threshold sweep showing the eager/RNDV crossover.
+func ExtAblation(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-ablation", Title: "Ablation: PEDAL optimisations and the RNDV threshold",
+		Columns: []string{"Variant", "Message", "Latency(ms)"},
+		Metrics: map[string]float64{},
+	}
+	size := 5 << 20
+	if o.Quick {
+		size = 2 << 20
+	}
+	design := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}
+	run := func(world mpi.WorldOptions, sz int) (time.Duration, error) {
+		res, err := osu.RunLatency(osu.P2PConfig{
+			World:      world,
+			Sizes:      []int{sz},
+			Iterations: o.iters(),
+			Payload:    losslessPayload(o),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res[0].Latency, nil
+	}
+
+	pedalLat, err := run(mpi.WorldOptions{
+		Compression: &mpi.CompressionConfig{Design: design},
+	}, size)
+	if err != nil {
+		return t, err
+	}
+	baseLat, err := run(mpi.WorldOptions{
+		Baseline:    true,
+		Compression: &mpi.CompressionConfig{Design: design},
+	}, size)
+	if err != nil {
+		return t, err
+	}
+	plainLat, err := run(mpi.WorldOptions{}, size)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"PEDAL (hoisted init + pooled buffers)", mb(size) + " MB", ms(pedalLat)},
+		[]string{"baseline (init + alloc per message)", mb(size) + " MB", ms(baseLat)},
+		[]string{"no compression", mb(size) + " MB", ms(plainLat)},
+	)
+	t.Metrics["hoisting_speedup"] = float64(baseLat) / float64(pedalLat)
+
+	// Threshold sweep: where does compression start paying off against
+	// eager passthrough? (paper §IV: RNDV-only compression)
+	for _, msgSize := range []int{16 << 10, 64 << 10, 256 << 10, 1 << 20} {
+		lat, err := run(mpi.WorldOptions{
+			Compression:         &mpi.CompressionConfig{Design: design},
+			RendezvousThreshold: 32 << 10,
+		}, msgSize)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{"threshold=32KiB", mb(msgSize) + " MB", ms(lat)})
+	}
+	return t, nil
+}

@@ -1,0 +1,174 @@
+// Package fastlz implements a fast byte-oriented LZ compressor that fills
+// the role zstd plays inside the real SZ3: a quick lossless backend with
+// moderate ratio, clearly faster than DEFLATE but weaker in ratio. (zstd
+// itself is out of scope for a stdlib-only reproduction; see DESIGN.md's
+// substitution table.)
+//
+// Stream format (little-endian):
+//
+//	[8-byte uncompressed size]
+//	sequence of ops:
+//	  ctrl 0x00-0x1F: literal run of ctrl+1 bytes, bytes follow
+//	  ctrl 0x20-0xFF: match; len3 = ctrl>>5 (1..7), base length len3+2;
+//	                  if len3 == 7 a 255-run extension follows;
+//	                  then 2-byte little-endian offset (1..65535)
+package fastlz
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by Decompress.
+var (
+	ErrCorrupt  = errors.New("fastlz: corrupt stream")
+	ErrTooLarge = errors.New("fastlz: output exceeds limit")
+)
+
+const (
+	minMatch    = 3
+	maxDistance = 65535
+	hashLog     = 14
+	hashSize    = 1 << hashLog
+)
+
+func hash4(v uint32) uint32 { return (v * 2654435761) >> (32 - hashLog) }
+
+func load32(p []byte, i int) uint32 {
+	return uint32(p[i]) | uint32(p[i+1])<<8 | uint32(p[i+2])<<16 | uint32(p[i+3])<<24
+}
+
+// Compress compresses src. The output always begins with the 8-byte
+// uncompressed size so decompression can pre-size its buffer.
+func Compress(src []byte) []byte {
+	out := make([]byte, 0, len(src)/2+16)
+	n := uint64(len(src))
+	for k := 0; k < 8; k++ {
+		out = append(out, byte(n>>(8*k)))
+	}
+	if len(src) == 0 {
+		return out
+	}
+	var table [hashSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+	anchor := 0
+	i := 0
+	limit := len(src) - 4
+	for i < limit {
+		h := hash4(load32(src, i))
+		cand := int(table[h])
+		table[h] = int32(i)
+		if cand < 0 || i-cand > maxDistance || load32(src, cand) != load32(src, i) {
+			i++
+			continue
+		}
+		matchLen := 4
+		maxLen := len(src) - i
+		for matchLen < maxLen && src[cand+matchLen] == src[i+matchLen] {
+			matchLen++
+		}
+		out = appendLiterals(out, src[anchor:i])
+		out = appendMatch(out, matchLen, i-cand)
+		i += matchLen
+		anchor = i
+	}
+	return appendLiterals(out, src[anchor:])
+}
+
+func appendLiterals(out, lits []byte) []byte {
+	for len(lits) > 0 {
+		n := len(lits)
+		if n > 32 {
+			n = 32
+		}
+		out = append(out, byte(n-1))
+		out = append(out, lits[:n]...)
+		lits = lits[n:]
+	}
+	return out
+}
+
+func appendMatch(out []byte, length, offset int) []byte {
+	l := length - 2 // encoded length, >= 1
+	if l < 7 {
+		out = append(out, byte(l<<5))
+	} else {
+		out = append(out, 7<<5)
+		rem := l - 7
+		for rem >= 255 {
+			out = append(out, 255)
+			rem -= 255
+		}
+		out = append(out, byte(rem))
+	}
+	return append(out, byte(offset), byte(offset>>8))
+}
+
+// Decompress reverses Compress, refusing outputs larger than limit.
+func Decompress(src []byte, limit int) ([]byte, error) {
+	if len(src) < 8 {
+		return nil, fmt.Errorf("%w: missing size header", ErrCorrupt)
+	}
+	var size uint64
+	for k := 0; k < 8; k++ {
+		size |= uint64(src[k]) << (8 * k)
+	}
+	if size > uint64(limit) {
+		return nil, ErrTooLarge
+	}
+	out := make([]byte, 0, size)
+	i := 8
+	n := len(src)
+	for i < n {
+		ctrl := src[i]
+		i++
+		if ctrl < 0x20 {
+			runLen := int(ctrl) + 1
+			if i+runLen > n {
+				return nil, fmt.Errorf("%w: literal run overruns input", ErrCorrupt)
+			}
+			if len(out)+runLen > limit {
+				return nil, ErrTooLarge
+			}
+			out = append(out, src[i:i+runLen]...)
+			i += runLen
+			continue
+		}
+		l := int(ctrl >> 5)
+		if l == 7 {
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("%w: truncated length extension", ErrCorrupt)
+				}
+				b := src[i]
+				i++
+				l += int(b)
+				if b != 255 {
+					break
+				}
+			}
+		}
+		length := l + 2
+		if i+2 > n {
+			return nil, fmt.Errorf("%w: truncated offset", ErrCorrupt)
+		}
+		offset := int(src[i]) | int(src[i+1])<<8
+		i += 2
+		if offset == 0 || offset > len(out) {
+			return nil, fmt.Errorf("%w: offset %d at output %d", ErrCorrupt, offset, len(out))
+		}
+		if len(out)+length > limit {
+			return nil, ErrTooLarge
+		}
+		start := len(out) - offset
+		for k := 0; k < length; k++ {
+			out = append(out, out[start+k])
+		}
+	}
+	if uint64(len(out)) != size {
+		return nil, fmt.Errorf("%w: output %d != declared %d", ErrCorrupt, len(out), size)
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package fastlz
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rnd := make([]byte, 50000)
+	rng.Read(rnd)
+	inputs := map[string][]byte{
+		"empty":   {},
+		"one":     {1},
+		"three":   {1, 2, 3},
+		"zeros":   make([]byte, 100000),
+		"text":    []byte(strings.Repeat("fastlz is the zstd stand-in. ", 3000)),
+		"random":  rnd,
+		"repeats": bytes.Repeat([]byte{1, 2, 3, 4, 5}, 9999),
+	}
+	for name, src := range inputs {
+		comp := Compress(src)
+		got, err := Decompress(comp, len(src)+16)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("%s: mismatch (%d vs %d)", name, len(got), len(src))
+		}
+	}
+}
+
+func TestCompressesRedundantData(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 8000)
+	comp := Compress(src)
+	if len(comp) > len(src)/8 {
+		t.Fatalf("got %d of %d bytes; want < 12.5%%", len(comp), len(src))
+	}
+}
+
+func TestDeclaredSizeMismatchRejected(t *testing.T) {
+	comp := Compress([]byte("hello world hello world"))
+	comp[0]++ // corrupt declared size
+	if _, err := Decompress(comp, 1<<20); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestLimitEnforced(t *testing.T) {
+	comp := Compress(make([]byte, 100000))
+	if _, err := Decompress(comp, 1000); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestCorruptOffset(t *testing.T) {
+	// Size 8, one literal, then a match with offset 500 > output size.
+	bad := []byte{8, 0, 0, 0, 0, 0, 0, 0, 0x00, 'a', 0x40, 0xF4, 0x01}
+	if _, err := Decompress(bad, 100); err == nil {
+		t.Fatal("bad offset accepted")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	comp := Compress([]byte(strings.Repeat("data!", 100)))
+	for cut := 8; cut < len(comp); cut += 3 {
+		if _, err := Decompress(comp[:cut], 1<<20); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decompress([]byte{1, 2}, 10); err == nil {
+		t.Fatal("missing header accepted")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, size uint16, alpha uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := int(alpha)%40 + 1
+		src := make([]byte, int(size))
+		for i := range src {
+			src[i] = byte(rng.Intn(a))
+		}
+		got, err := Decompress(Compress(src), len(src)+16)
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	src := []byte(strings.Repeat("the quick brown fox jumps over the lazy dog. ", 20000))
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		Compress(src)
+	}
+}

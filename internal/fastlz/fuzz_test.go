@@ -1,0 +1,34 @@
+package fastlz
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress must never panic on arbitrary input.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Compress([]byte("fastlz fuzz seed material, repeated repeated")))
+	f.Add([]byte{8, 0, 0, 0, 0, 0, 0, 0, 0x40, 0x01, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decompress(data, 1<<22)
+		if err == nil && len(out) > 1<<22 {
+			t.Fatalf("limit exceeded: %d", len(out))
+		}
+	})
+}
+
+// FuzzRoundTrip requires byte-exact round trips.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add(bytes.Repeat([]byte("ab"), 300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decompress(Compress(data), len(data)+16)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,349 @@
+package flate
+
+import (
+	"fmt"
+
+	"pedal/internal/bits"
+	"pedal/internal/huffman"
+	"pedal/internal/lz77"
+)
+
+// DefaultLevel mirrors zlib's default compression level.
+const DefaultLevel = 6
+
+// Compress deflates src at the given level (1–9; 0 or out-of-range values
+// clamp). The result is a complete RFC 1951 stream.
+func Compress(src []byte, level int) []byte {
+	w := bits.NewWriter(len(src)/2 + 64)
+	c := &compressor{w: w, level: level}
+	c.compress(src)
+	return w.Bytes()
+}
+
+// blockTokens is the number of LZ77 tokens gathered per DEFLATE block.
+// zlib flushes blocks on similar granularity; one Huffman table per ~64K
+// tokens balances table overhead against adaptivity.
+const blockTokens = 1 << 16
+
+type compressor struct {
+	w     *bits.Writer
+	level int
+}
+
+func (c *compressor) compress(src []byte) {
+	if len(src) == 0 {
+		// A single empty final block (fixed Huffman, just end-of-block).
+		c.writeFixedBlock(nil, true)
+		return
+	}
+	var pending []lz77.Token
+	var blocks [][]lz77.Token
+	lz77.Tokenize(src, lz77.LevelParams(c.level), func(t lz77.Token) {
+		pending = append(pending, t)
+		if len(pending) == blockTokens {
+			blocks = append(blocks, pending)
+			pending = nil
+		}
+	})
+	if len(pending) > 0 || len(blocks) == 0 {
+		blocks = append(blocks, pending)
+	}
+	// Track the source span each block covers, for stored-block fallback.
+	off := 0
+	for bi, blk := range blocks {
+		final := bi == len(blocks)-1
+		span := 0
+		for _, t := range blk {
+			if t.IsLiteral() {
+				span++
+			} else {
+				span += int(t.Len)
+			}
+		}
+		c.writeBlock(blk, src[off:off+span], final)
+		off += span
+	}
+}
+
+// writeBlock picks the cheapest encoding (stored / fixed / dynamic) for the
+// token block, mirroring zlib's block-type decision.
+func (c *compressor) writeBlock(tokens []lz77.Token, raw []byte, final bool) {
+	litFreq := make([]uint64, numLitLenSyms)
+	distFreq := make([]uint64, numDistSyms)
+	for _, t := range tokens {
+		if t.IsLiteral() {
+			litFreq[t.Lit]++
+		} else {
+			litFreq[257+int(lengthCodeOf[t.Len])]++
+			distFreq[distCodeOf(int(t.Dist))]++
+		}
+	}
+	litFreq[endOfBlock]++
+
+	dynCost, dyn := c.planDynamic(litFreq, distFreq)
+	fixCost := fixedCost(litFreq, distFreq)
+	storedCost := storedBlockCost(len(raw))
+
+	switch {
+	case storedCost <= dynCost && storedCost <= fixCost:
+		c.writeStored(raw, final)
+	case fixCost <= dynCost:
+		c.writeFixedBlock(tokens, final)
+	default:
+		c.writeDynamicBlock(tokens, dyn, final)
+	}
+}
+
+// storedBlockCost estimates stored encoding cost in bits (including block
+// headers for the required 65535-byte segmentation, assuming byte
+// alignment costs ~4 bits on average).
+func storedBlockCost(n int) int {
+	blocks := (n + maxStoredBlock - 1) / maxStoredBlock
+	if blocks == 0 {
+		blocks = 1
+	}
+	return blocks*(3+4+32) + n*8
+}
+
+func fixedCost(litFreq, distFreq []uint64) int {
+	cost := 3
+	for s, f := range litFreq {
+		cost += int(f) * int(fixedLitLenLengths[s])
+		if s >= 257 {
+			cost += int(f) * int(lengthExtra[s-257])
+		}
+	}
+	for s, f := range distFreq {
+		cost += int(f) * (5 + int(distExtra[s]))
+	}
+	return cost
+}
+
+// dynamicPlan holds everything needed to emit a dynamic block.
+type dynamicPlan struct {
+	litLen   []uint8
+	dist     []uint8
+	litCode  *huffman.Code
+	distCode *huffman.Code
+	// Header encoding.
+	clcLengths []uint8
+	clcCode    *huffman.Code
+	clSymbols  []clSym // RLE-encoded code-length sequence
+	hlit       int
+	hdist      int
+	hclen      int
+}
+
+// clSym is one symbol of the code-length-code stream: a code-length symbol
+// 0..18 plus its extra-bits payload for symbols 16/17/18.
+type clSym struct {
+	sym   uint8
+	extra uint8
+	ebits uint8
+}
+
+// planDynamic builds the dynamic-Huffman plan and returns its exact bit
+// cost.
+func (c *compressor) planDynamic(litFreq, distFreq []uint64) (int, *dynamicPlan) {
+	litLen, err := huffman.BuildLengths(litFreq, maxCodeBits)
+	if err != nil {
+		// litFreq always contains end-of-block, so this cannot happen.
+		panic(fmt.Sprintf("flate: literal code build: %v", err))
+	}
+	distLen, err := huffman.BuildLengths(distFreq, maxCodeBits)
+	if err == huffman.ErrEmptyAlphabet {
+		// No distances used. RFC 1951 still requires at least one distance
+		// code length; declare one code of length 1 (allowed: "one distance
+		// code of zero bits" is encoded as a single code).
+		distLen = make([]uint8, numDistSyms)
+		distLen[0] = 1
+	} else if err != nil {
+		panic(fmt.Sprintf("flate: distance code build: %v", err))
+	}
+
+	p := &dynamicPlan{litLen: litLen, dist: distLen}
+	p.hlit = numLitLenSyms
+	for p.hlit > 257 && litLen[p.hlit-1] == 0 {
+		p.hlit--
+	}
+	p.hdist = numDistSyms
+	for p.hdist > 1 && distLen[p.hdist-1] == 0 {
+		p.hdist--
+	}
+
+	// RLE-encode the concatenated length sequence with symbols 16/17/18.
+	seq := make([]uint8, 0, p.hlit+p.hdist)
+	seq = append(seq, litLen[:p.hlit]...)
+	seq = append(seq, distLen[:p.hdist]...)
+	p.clSymbols = rleCodeLengths(seq)
+
+	clcFreq := make([]uint64, numCLCSyms)
+	for _, cs := range p.clSymbols {
+		clcFreq[cs.sym]++
+	}
+	clcLengths, err := huffman.BuildLengths(clcFreq, maxCLCBits)
+	if err != nil {
+		panic(fmt.Sprintf("flate: clc build: %v", err))
+	}
+	p.clcLengths = clcLengths
+	p.hclen = numCLCSyms
+	for p.hclen > 4 && clcLengths[clcOrder[p.hclen-1]] == 0 {
+		p.hclen--
+	}
+
+	p.litCode, err = huffman.CanonicalCode(litLen)
+	if err != nil {
+		panic(err)
+	}
+	p.distCode, err = huffman.CanonicalCode(distLen)
+	if err != nil {
+		panic(err)
+	}
+	p.clcCode, err = huffman.CanonicalCode(clcLengths)
+	if err != nil {
+		panic(err)
+	}
+
+	// Exact bit cost: 3 (block header) + 14 (HLIT/HDIST/HCLEN) +
+	// 3*hclen + clc-coded lengths + payload.
+	cost := 3 + 14 + 3*p.hclen
+	for _, cs := range p.clSymbols {
+		cost += int(clcLengths[cs.sym]) + int(cs.ebits)
+	}
+	for s, f := range litFreq {
+		cost += int(f) * int(litLen[s])
+		if s >= 257 {
+			cost += int(f) * int(lengthExtra[s-257])
+		}
+	}
+	for s, f := range distFreq {
+		cost += int(f) * (int(distLen[s]) + int(distExtra[s]))
+	}
+	return cost, p
+}
+
+// rleCodeLengths encodes a code-length sequence using repeat symbols:
+// 16 = repeat previous 3–6 times, 17 = repeat zero 3–10, 18 = repeat zero
+// 11–138 (RFC 1951 §3.2.7).
+func rleCodeLengths(seq []uint8) []clSym {
+	var out []clSym
+	i := 0
+	for i < len(seq) {
+		v := seq[i]
+		run := 1
+		for i+run < len(seq) && seq[i+run] == v {
+			run++
+		}
+		if v == 0 {
+			for run >= 11 {
+				n := run
+				if n > 138 {
+					n = 138
+				}
+				out = append(out, clSym{sym: 18, extra: uint8(n - 11), ebits: 7})
+				run -= n
+				i += n
+			}
+			if run >= 3 {
+				out = append(out, clSym{sym: 17, extra: uint8(run - 3), ebits: 3})
+				i += run
+				run = 0
+			}
+			for ; run > 0; run-- {
+				out = append(out, clSym{sym: 0})
+				i++
+			}
+			continue
+		}
+		// Nonzero: emit the first occurrence, then repeats of 3–6.
+		out = append(out, clSym{sym: v})
+		i++
+		run--
+		for run >= 3 {
+			n := run
+			if n > 6 {
+				n = 6
+			}
+			out = append(out, clSym{sym: 16, extra: uint8(n - 3), ebits: 2})
+			run -= n
+			i += n
+		}
+		for ; run > 0; run-- {
+			out = append(out, clSym{sym: v})
+			i++
+		}
+	}
+	return out
+}
+
+func (c *compressor) writeStored(raw []byte, final bool) {
+	for first := true; first || len(raw) > 0; first = false {
+		n := len(raw)
+		if n > maxStoredBlock {
+			n = maxStoredBlock
+		}
+		last := final && n == len(raw)
+		c.w.WriteBool(last)
+		c.w.WriteBits(0, 2) // BTYPE=00
+		c.w.AlignByte()
+		c.w.WriteBits(uint32(n), 16)
+		c.w.WriteBits(uint32(^uint16(n)), 16)
+		c.w.WriteBytes(raw[:n])
+		raw = raw[n:]
+		if n == 0 {
+			break
+		}
+	}
+}
+
+func (c *compressor) writeFixedBlock(tokens []lz77.Token, final bool) {
+	c.w.WriteBool(final)
+	c.w.WriteBits(1, 2) // BTYPE=01
+	litCode, _ := huffman.CanonicalCode(fixedLitLenLengths)
+	distCode, _ := huffman.CanonicalCode(fixedDistLengths)
+	c.writeTokens(tokens, litCode, distCode)
+}
+
+func (c *compressor) writeDynamicBlock(tokens []lz77.Token, p *dynamicPlan, final bool) {
+	w := c.w
+	w.WriteBool(final)
+	w.WriteBits(2, 2) // BTYPE=10
+	w.WriteBits(uint32(p.hlit-257), 5)
+	w.WriteBits(uint32(p.hdist-1), 5)
+	w.WriteBits(uint32(p.hclen-4), 4)
+	for i := 0; i < p.hclen; i++ {
+		w.WriteBits(uint32(p.clcLengths[clcOrder[i]]), 3)
+	}
+	for _, cs := range p.clSymbols {
+		c.emitCode(p.clcCode, int(cs.sym))
+		if cs.ebits > 0 {
+			w.WriteBits(uint32(cs.extra), uint(cs.ebits))
+		}
+	}
+	c.writeTokens(tokens, p.litCode, p.distCode)
+}
+
+func (c *compressor) emitCode(code *huffman.Code, sym int) {
+	l := uint(code.Len[sym])
+	c.w.WriteBits(bits.Reverse(code.Bits[sym], l), l)
+}
+
+func (c *compressor) writeTokens(tokens []lz77.Token, lit, dist *huffman.Code) {
+	for _, t := range tokens {
+		if t.IsLiteral() {
+			c.emitCode(lit, int(t.Lit))
+			continue
+		}
+		lc := int(lengthCodeOf[t.Len])
+		c.emitCode(lit, 257+lc)
+		if lengthExtra[lc] > 0 {
+			c.w.WriteBits(uint32(int(t.Len)-lengthBase[lc]), lengthExtra[lc])
+		}
+		dc := distCodeOf(int(t.Dist))
+		c.emitCode(dist, dc)
+		if distExtra[dc] > 0 {
+			c.w.WriteBits(uint32(int(t.Dist)-distBase[dc]), distExtra[dc])
+		}
+	}
+	c.emitCode(lit, endOfBlock)
+}

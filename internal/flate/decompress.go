@@ -1,0 +1,272 @@
+package flate
+
+import (
+	"errors"
+	"fmt"
+
+	"pedal/internal/bits"
+	"pedal/internal/huffman"
+)
+
+// Decompression errors.
+var (
+	ErrCorrupt   = errors.New("flate: corrupt stream")
+	ErrTooLarge  = errors.New("flate: output exceeds limit")
+	errBadHeader = errors.New("flate: invalid block header")
+)
+
+// DefaultMaxOutput caps decompressed output to defend against decompression
+// bombs; callers that know the expected size should pass it explicitly.
+const DefaultMaxOutput = 1 << 31
+
+// Decompress inflates a complete RFC 1951 stream.
+func Decompress(src []byte) ([]byte, error) {
+	return DecompressLimit(src, DefaultMaxOutput)
+}
+
+// DecompressLimit inflates src, failing with ErrTooLarge if the output
+// would exceed limit bytes.
+func DecompressLimit(src []byte, limit int) ([]byte, error) {
+	r := bits.NewReader(src)
+	var out []byte
+	for {
+		final, err := r.ReadBool()
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing block header", ErrCorrupt)
+		}
+		btype, err := r.ReadBits(2)
+		if err != nil {
+			return nil, fmt.Errorf("%w: missing block type", ErrCorrupt)
+		}
+		switch btype {
+		case 0:
+			out, err = inflateStored(r, out, limit)
+		case 1:
+			out, err = inflateHuffman(r, out, fixedLitDecoder(), fixedDistDecoder(), limit)
+		case 2:
+			var lit, dist *huffman.Decoder
+			lit, dist, err = readDynamicHeader(r)
+			if err == nil {
+				out, err = inflateHuffman(r, out, lit, dist, limit)
+			}
+		default:
+			return nil, errBadHeader
+		}
+		if err != nil {
+			return nil, err
+		}
+		if final {
+			return out, nil
+		}
+	}
+}
+
+var (
+	fixedLit  *huffman.Decoder
+	fixedDist *huffman.Decoder
+)
+
+func fixedLitDecoder() *huffman.Decoder {
+	if fixedLit == nil {
+		d, err := huffman.NewDecoder(fixedLitLenLengths)
+		if err != nil {
+			panic(err)
+		}
+		fixedLit = d
+	}
+	return fixedLit
+}
+
+func fixedDistDecoder() *huffman.Decoder {
+	if fixedDist == nil {
+		d, err := huffman.NewDecoder(fixedDistLengths)
+		if err != nil {
+			panic(err)
+		}
+		fixedDist = d
+	}
+	return fixedDist
+}
+
+func inflateStored(r *bits.Reader, out []byte, limit int) ([]byte, error) {
+	r.AlignByte()
+	var hdr [4]byte
+	if err := r.ReadBytes(hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated stored header", ErrCorrupt)
+	}
+	n := int(hdr[0]) | int(hdr[1])<<8
+	nlen := int(hdr[2]) | int(hdr[3])<<8
+	if n != ^nlen&0xFFFF {
+		return nil, fmt.Errorf("%w: stored LEN/NLEN mismatch", ErrCorrupt)
+	}
+	if len(out)+n > limit {
+		return nil, ErrTooLarge
+	}
+	buf := make([]byte, n)
+	if err := r.ReadBytes(buf); err != nil {
+		return nil, fmt.Errorf("%w: truncated stored data", ErrCorrupt)
+	}
+	return append(out, buf...), nil
+}
+
+func readDynamicHeader(r *bits.Reader) (lit, dist *huffman.Decoder, err error) {
+	hlit, err := r.ReadBits(5)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: HLIT", ErrCorrupt)
+	}
+	hdist, err := r.ReadBits(5)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: HDIST", ErrCorrupt)
+	}
+	hclen, err := r.ReadBits(4)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: HCLEN", ErrCorrupt)
+	}
+	nlit, ndist, nclc := int(hlit)+257, int(hdist)+1, int(hclen)+4
+	if nlit > numLitLenSyms || ndist > numDistSyms {
+		return nil, nil, fmt.Errorf("%w: alphabet sizes %d/%d", ErrCorrupt, nlit, ndist)
+	}
+	clcLengths := make([]uint8, numCLCSyms)
+	for i := 0; i < nclc; i++ {
+		v, err := r.ReadBits(3)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: CLC lengths", ErrCorrupt)
+		}
+		clcLengths[clcOrder[i]] = uint8(v)
+	}
+	clcDec, err := huffman.NewDecoder(clcLengths)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: CLC code: %v", ErrCorrupt, err)
+	}
+
+	lengths := make([]uint8, nlit+ndist)
+	for i := 0; i < len(lengths); {
+		sym, err := clcDec.Decode(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: CLC symbol: %v", ErrCorrupt, err)
+		}
+		switch {
+		case sym <= 15:
+			lengths[i] = uint8(sym)
+			i++
+		case sym == 16:
+			if i == 0 {
+				return nil, nil, fmt.Errorf("%w: repeat with no previous length", ErrCorrupt)
+			}
+			n, err := r.ReadBits(2)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: repeat bits", ErrCorrupt)
+			}
+			rep := int(n) + 3
+			if i+rep > len(lengths) {
+				return nil, nil, fmt.Errorf("%w: repeat overruns alphabet", ErrCorrupt)
+			}
+			v := lengths[i-1]
+			for k := 0; k < rep; k++ {
+				lengths[i] = v
+				i++
+			}
+		case sym == 17 || sym == 18:
+			var bitsN uint = 3
+			base := 3
+			if sym == 18 {
+				bitsN, base = 7, 11
+			}
+			n, err := r.ReadBits(bitsN)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: zero-run bits", ErrCorrupt)
+			}
+			rep := int(n) + base
+			if i+rep > len(lengths) {
+				return nil, nil, fmt.Errorf("%w: zero run overruns alphabet", ErrCorrupt)
+			}
+			i += rep
+		default:
+			return nil, nil, fmt.Errorf("%w: CLC symbol %d", ErrCorrupt, sym)
+		}
+	}
+	if lengths[endOfBlock] == 0 {
+		return nil, nil, fmt.Errorf("%w: end-of-block symbol has no code", ErrCorrupt)
+	}
+	lit, err = huffman.NewDecoder(lengths[:nlit])
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: literal code: %v", ErrCorrupt, err)
+	}
+	distLens := lengths[nlit:]
+	allZero := true
+	for _, l := range distLens {
+		if l != 0 {
+			allZero = false
+			break
+		}
+	}
+	if allZero {
+		// Block has no distance codes (literal-only). Any distance decode
+		// attempt must fail; use a nil decoder.
+		return lit, nil, nil
+	}
+	dist, err = huffman.NewDecoder(distLens)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: distance code: %v", ErrCorrupt, err)
+	}
+	return lit, dist, nil
+}
+
+func inflateHuffman(r *bits.Reader, out []byte, lit, dist *huffman.Decoder, limit int) ([]byte, error) {
+	for {
+		sym, err := lit.Decode(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: literal decode: %v", ErrCorrupt, err)
+		}
+		switch {
+		case sym < endOfBlock:
+			if len(out)+1 > limit {
+				return nil, ErrTooLarge
+			}
+			out = append(out, byte(sym))
+		case sym == endOfBlock:
+			return out, nil
+		default:
+			lc := sym - 257
+			if lc >= len(lengthBase) {
+				return nil, fmt.Errorf("%w: length symbol %d", ErrCorrupt, sym)
+			}
+			length := lengthBase[lc]
+			if lengthExtra[lc] > 0 {
+				e, err := r.ReadBits(lengthExtra[lc])
+				if err != nil {
+					return nil, fmt.Errorf("%w: length extra bits", ErrCorrupt)
+				}
+				length += int(e)
+			}
+			if dist == nil {
+				return nil, fmt.Errorf("%w: match in block with no distance codes", ErrCorrupt)
+			}
+			dc, err := dist.Decode(r)
+			if err != nil {
+				return nil, fmt.Errorf("%w: distance decode: %v", ErrCorrupt, err)
+			}
+			if dc >= len(distBase) {
+				return nil, fmt.Errorf("%w: distance symbol %d", ErrCorrupt, dc)
+			}
+			d := distBase[dc]
+			if distExtra[dc] > 0 {
+				e, err := r.ReadBits(distExtra[dc])
+				if err != nil {
+					return nil, fmt.Errorf("%w: distance extra bits", ErrCorrupt)
+				}
+				d += int(e)
+			}
+			if d > len(out) {
+				return nil, fmt.Errorf("%w: distance %d beyond output (%d bytes)", ErrCorrupt, d, len(out))
+			}
+			if len(out)+length > limit {
+				return nil, ErrTooLarge
+			}
+			start := len(out) - d
+			for k := 0; k < length; k++ {
+				out = append(out, out[start+k])
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package flate
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress feeds arbitrary bytes to the inflater: it must never
+// panic and never loop; errors are the expected outcome for garbage.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x03, 0x00})
+	f.Add(Compress([]byte("seed data for the fuzzer, compressible compressible"), 6))
+	f.Add(Compress(bytes.Repeat([]byte{0}, 1000), 1))
+	f.Add([]byte{0x01, 0x05, 0x00, 0xFA, 0xFF, 'h', 'e', 'l', 'l', 'o'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecompressLimit(data, 1<<24)
+		if err == nil && len(out) > 1<<24 {
+			t.Fatalf("limit exceeded: %d", len(out))
+		}
+	})
+}
+
+// FuzzRoundTrip compresses arbitrary input at every level and requires a
+// byte-exact round trip.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(""), 6)
+	f.Add([]byte("abcabcabcabc"), 1)
+	f.Add(bytes.Repeat([]byte("xyz"), 500), 9)
+	f.Fuzz(func(t *testing.T, data []byte, level int) {
+		comp := Compress(data, level%10)
+		got, err := DecompressLimit(comp, len(data)+64)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(data))
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package flate
+
+import (
+	"pedal/internal/bits"
+	"pedal/internal/lz77"
+)
+
+// Strategy tunes the compressor the way zlib's Z_HUFFMAN_ONLY / Z_RLE /
+// Z_FIXED strategies do: trading ratio for speed or for predictable
+// output shapes. All strategies produce standard RFC 1951 streams.
+type Strategy uint8
+
+// Strategies.
+const (
+	// StrategyDefault is the full LZ77 + adaptive-block compressor.
+	StrategyDefault Strategy = iota
+	// StrategyHuffmanOnly skips string matching entirely: literals plus
+	// entropy coding. Fast, and effective on data with skewed byte
+	// histograms but no repeats (zlib's Z_HUFFMAN_ONLY).
+	StrategyHuffmanOnly
+	// StrategyRLE restricts matches to distance one: run-length
+	// encoding with entropy coding (zlib's Z_RLE), good for bitmaps.
+	StrategyRLE
+	// StrategyFixed forces fixed-Huffman blocks: no per-block code
+	// tables, minimum latency and deterministic block headers (zlib's
+	// Z_FIXED).
+	StrategyFixed
+)
+
+// CompressStrategy deflates src with an explicit strategy. Level applies
+// to the match-finder effort where relevant.
+func CompressStrategy(src []byte, level int, strategy Strategy) []byte {
+	if strategy == StrategyDefault {
+		return Compress(src, level)
+	}
+	w := bits.NewWriter(len(src)/2 + 64)
+	c := &compressor{w: w, level: level}
+	var tokens []lz77.Token
+	switch strategy {
+	case StrategyHuffmanOnly:
+		tokens = literalTokens(src)
+	case StrategyRLE:
+		tokens = rleTokens(src)
+	case StrategyFixed:
+		lz77.Tokenize(src, lz77.LevelParams(level), func(t lz77.Token) {
+			tokens = append(tokens, t)
+		})
+		c.writeFixedBlock(tokens, true)
+		return w.Bytes()
+	default:
+		return Compress(src, level)
+	}
+	// Entropy-coded strategies still pick the cheapest block encoding.
+	c.writeBlocksOf(tokens, src)
+	return w.Bytes()
+}
+
+// writeBlocksOf splits a token stream into blocks and emits them,
+// sharing the per-block encoding decision with the default path.
+func (c *compressor) writeBlocksOf(tokens []lz77.Token, src []byte) {
+	if len(tokens) == 0 {
+		c.writeFixedBlock(nil, true)
+		return
+	}
+	off := 0
+	for start := 0; start < len(tokens); start += blockTokens {
+		end := start + blockTokens
+		if end > len(tokens) {
+			end = len(tokens)
+		}
+		blk := tokens[start:end]
+		span := 0
+		for _, t := range blk {
+			if t.IsLiteral() {
+				span++
+			} else {
+				span += int(t.Len)
+			}
+		}
+		c.writeBlock(blk, src[off:off+span], end == len(tokens))
+		off += span
+	}
+}
+
+// literalTokens emits every byte as a literal (Huffman-only).
+func literalTokens(src []byte) []lz77.Token {
+	tokens := make([]lz77.Token, len(src))
+	for i, b := range src {
+		tokens[i] = lz77.Token{Lit: b}
+	}
+	return tokens
+}
+
+// rleTokens finds distance-1 runs only.
+func rleTokens(src []byte) []lz77.Token {
+	var tokens []lz77.Token
+	i := 0
+	for i < len(src) {
+		// A run of src[i] starting at i+1.
+		runEnd := i + 1
+		for runEnd < len(src) && src[runEnd] == src[i] {
+			runEnd++
+		}
+		runLen := runEnd - (i + 1)
+		tokens = append(tokens, lz77.Token{Lit: src[i]})
+		i++
+		for runLen >= lz77.MinMatch {
+			l := runLen
+			if l > lz77.MaxMatch {
+				l = lz77.MaxMatch
+			}
+			tokens = append(tokens, lz77.Token{Len: uint16(l), Dist: 1})
+			runLen -= l
+			i += l
+		}
+		for ; runLen > 0; runLen-- {
+			tokens = append(tokens, lz77.Token{Lit: src[i]})
+			i++
+		}
+	}
+	return tokens
+}

@@ -1,0 +1,100 @@
+package flate
+
+import (
+	"bytes"
+	stdflate "compress/flate"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func strategyInputs() map[string][]byte {
+	rng := rand.New(rand.NewSource(61))
+	skewed := make([]byte, 60000)
+	for i := range skewed {
+		// Heavily skewed histogram, no repeats beyond chance.
+		if rng.Intn(4) == 0 {
+			skewed[i] = byte(rng.Intn(256))
+		} else {
+			skewed[i] = byte(rng.Intn(4))
+		}
+	}
+	runs := bytes.Repeat(append(bytes.Repeat([]byte{7}, 500), 1, 2, 3), 100)
+	return map[string][]byte{
+		"empty":  {},
+		"text":   bytes.Repeat([]byte("strategy test payload "), 2000),
+		"skewed": skewed,
+		"runs":   runs,
+	}
+}
+
+func TestStrategiesRoundTrip(t *testing.T) {
+	for name, src := range strategyInputs() {
+		for _, s := range []Strategy{StrategyDefault, StrategyHuffmanOnly, StrategyRLE, StrategyFixed} {
+			comp := CompressStrategy(src, 6, s)
+			got, err := Decompress(comp)
+			if err != nil {
+				t.Fatalf("%s strategy %d: %v", name, s, err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("%s strategy %d: mismatch", name, s)
+			}
+		}
+	}
+}
+
+func TestStrategiesStdlibInterop(t *testing.T) {
+	src := strategyInputs()["runs"]
+	for _, s := range []Strategy{StrategyHuffmanOnly, StrategyRLE, StrategyFixed} {
+		comp := CompressStrategy(src, 6, s)
+		r := stdflate.NewReader(bytes.NewReader(comp))
+		got, err := io.ReadAll(r)
+		if err != nil || !bytes.Equal(got, src) {
+			t.Fatalf("strategy %d: stdlib inflate: %v", s, err)
+		}
+	}
+}
+
+func TestHuffmanOnlyCompressesSkewedData(t *testing.T) {
+	src := strategyInputs()["skewed"]
+	comp := CompressStrategy(src, 6, StrategyHuffmanOnly)
+	if len(comp) >= len(src) {
+		t.Fatalf("huffman-only did not compress skewed data: %d vs %d", len(comp), len(src))
+	}
+}
+
+func TestRLECompressesRuns(t *testing.T) {
+	src := strategyInputs()["runs"]
+	rle := CompressStrategy(src, 6, StrategyRLE)
+	huf := CompressStrategy(src, 6, StrategyHuffmanOnly)
+	if len(rle) >= len(huf) {
+		t.Fatalf("RLE (%d) not better than huffman-only (%d) on run data", len(rle), len(huf))
+	}
+	if len(rle) > len(src)/10 {
+		t.Fatalf("RLE ratio too low: %d of %d", len(rle), len(src))
+	}
+}
+
+func TestDefaultBeatsRestrictedStrategies(t *testing.T) {
+	src := strategyInputs()["text"]
+	def := CompressStrategy(src, 6, StrategyDefault)
+	for _, s := range []Strategy{StrategyHuffmanOnly, StrategyRLE} {
+		restricted := CompressStrategy(src, 6, s)
+		if len(def) > len(restricted) {
+			t.Fatalf("default (%d) worse than strategy %d (%d) on text", len(def), s, len(restricted))
+		}
+	}
+}
+
+func TestFixedStrategyHasNoDynamicBlocks(t *testing.T) {
+	src := strategyInputs()["text"]
+	comp := CompressStrategy(src, 6, StrategyFixed)
+	// First block header: read the first 3 bits — BTYPE must be 01.
+	if len(comp) == 0 {
+		t.Fatal("empty output")
+	}
+	btype := (comp[0] >> 1) & 0x3
+	if btype != 1 {
+		t.Fatalf("first block BTYPE = %d, want 1 (fixed)", btype)
+	}
+}

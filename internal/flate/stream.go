@@ -1,0 +1,104 @@
+package flate
+
+import (
+	"errors"
+	"io"
+
+	"pedal/internal/bits"
+	"pedal/internal/lz77"
+)
+
+// Writer is a streaming DEFLATE compressor with bounded memory: input is
+// compressed in windows of streamChunk bytes, each emitted as one or
+// more non-final blocks, so arbitrarily large streams compress without
+// buffering them whole. Matches do not cross window boundaries (a small
+// ratio cost, the standard trade-off for streaming).
+//
+// Close finalises the stream with an empty final block. The output is a
+// complete RFC 1951 stream readable by any inflater.
+type Writer struct {
+	dst    io.Writer
+	level  int
+	buf    []byte
+	closed bool
+	err    error
+}
+
+// streamChunk is the streaming window size.
+const streamChunk = 1 << 20
+
+// NewWriter returns a streaming compressor writing to dst at the given
+// level.
+func NewWriter(dst io.Writer, level int) *Writer {
+	return &Writer{dst: dst, level: level, buf: make([]byte, 0, streamChunk)}
+}
+
+// Write buffers p, flushing full windows as compressed blocks.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if w.closed {
+		return 0, errors.New("flate: write after Close")
+	}
+	total := len(p)
+	for len(p) > 0 {
+		space := streamChunk - len(w.buf)
+		n := len(p)
+		if n > space {
+			n = space
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		if len(w.buf) == streamChunk {
+			if err := w.flushWindow(false); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+// flushWindow compresses and emits the buffered window. Non-final
+// windows are terminated with an empty stored block (zlib's "sync
+// flush"): a stored block ends on a byte boundary, so successive
+// windows' byte buffers concatenate into one valid bit-contiguous
+// stream.
+func (w *Writer) flushWindow(final bool) error {
+	bw := bits.NewWriter(len(w.buf)/2 + 64)
+	c := &compressor{w: bw, level: w.level}
+	if len(w.buf) == 0 {
+		if final {
+			c.writeFixedBlock(nil, true)
+		}
+	} else {
+		var tokens []lz77.Token
+		lz77.Tokenize(w.buf, lz77.LevelParams(w.level), func(t lz77.Token) {
+			tokens = append(tokens, t)
+		})
+		c.writeBlock(tokens, w.buf, final)
+	}
+	if !final {
+		// Sync flush: empty non-final stored block re-aligns to a byte.
+		c.writeStored(nil, false)
+	}
+	if _, err := w.dst.Write(bw.Bytes()); err != nil {
+		w.err = err
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Close flushes the remaining window and terminates the stream with a
+// final block.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.flushWindow(true)
+}

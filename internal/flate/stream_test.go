@@ -1,0 +1,116 @@
+package flate
+
+import (
+	"bytes"
+	stdflate "compress/flate"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestStreamWriterRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Spans multiple windows, with a partial tail.
+	src := make([]byte, 3*streamChunk+12345)
+	for i := range src {
+		src[i] = byte(rng.Intn(12))
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 6)
+	// Write in odd-sized pieces to exercise buffering.
+	for off := 0; off < len(src); {
+		n := rng.Intn(100000) + 1
+		if off+n > len(src) {
+			n = len(src) - off
+		}
+		wrote, err := w.Write(src[off : off+n])
+		if err != nil || wrote != n {
+			t.Fatalf("write: %d %v", wrote, err)
+		}
+		off += n
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatalf("our inflate: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestStreamWriterStdlibInterop(t *testing.T) {
+	src := bytes.Repeat([]byte("streaming deflate window boundary test "), 100000)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 6)
+	w.Write(src)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := stdflate.NewReader(bytes.NewReader(buf.Bytes()))
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("stdlib inflate of streamed output: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("stdlib decoded wrong bytes")
+	}
+}
+
+func TestStreamWriterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 6)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(buf.Bytes())
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream: %v (%d bytes)", err, len(got))
+	}
+}
+
+func TestStreamWriterWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 6)
+	w.Close()
+	if _, err := w.Write([]byte("late")); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+}
+
+func TestStreamWriterExactWindowBoundary(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAB}, streamChunk) // exactly one window
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 6)
+	w.Write(src)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decompress(buf.Bytes())
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("window boundary: %v", err)
+	}
+}
+
+type failingWriter struct{ after int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, io.ErrClosedPipe
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestStreamWriterPropagatesSinkError(t *testing.T) {
+	w := NewWriter(&failingWriter{after: 0}, 6)
+	w.Write(bytes.Repeat([]byte{1}, 2*streamChunk))
+	if err := w.Close(); err == nil {
+		t.Fatal("sink error not propagated")
+	}
+}

@@ -1,0 +1,135 @@
+// Package gzipfmt implements the gzip file format (RFC 1952) around the
+// from-scratch DEFLATE codec: a 10-byte header, the raw DEFLATE stream,
+// and a CRC-32 + ISIZE trailer. It exists because real deployments of
+// the DEFLATE C-Engine path exchange gzip files as often as raw streams,
+// and it rounds out the DEFLATE container family (raw / zlib / gzip)
+// PEDAL's AlgoID could address.
+package gzipfmt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pedal/internal/checksum"
+	"pedal/internal/flate"
+)
+
+// Format errors.
+var (
+	ErrHeader   = errors.New("gzipfmt: invalid header")
+	ErrChecksum = errors.New("gzipfmt: CRC-32 mismatch")
+	ErrSize     = errors.New("gzipfmt: ISIZE mismatch")
+	ErrShort    = errors.New("gzipfmt: stream too short")
+)
+
+const (
+	id1 = 0x1F
+	id2 = 0x8B
+	// cmDeflate is the only compression method RFC 1952 defines.
+	cmDeflate = 8
+
+	flgFTEXT    = 1 << 0
+	flgFHCRC    = 1 << 1
+	flgFEXTRA   = 1 << 2
+	flgFNAME    = 1 << 3
+	flgFCOMMENT = 1 << 4
+
+	// osUnix is the OS byte for Unix-like systems.
+	osUnix = 3
+)
+
+// Compress produces a complete gzip member for src at the given level,
+// with a minimal header (no name, no extra fields, MTIME zero for
+// deterministic output).
+func Compress(src []byte, level int) []byte {
+	body := flate.Compress(src, level)
+	out := make([]byte, 0, len(body)+18)
+	var xfl byte
+	switch {
+	case level >= 9:
+		xfl = 2 // maximum compression
+	case level <= 1:
+		xfl = 4 // fastest
+	}
+	out = append(out, id1, id2, cmDeflate, 0 /*FLG*/, 0, 0, 0, 0 /*MTIME*/, xfl, osUnix)
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint32(out, checksum.CRC32(src))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(src)))
+	return out
+}
+
+// Decompress parses a complete gzip member, verifying CRC-32 and ISIZE.
+func Decompress(src []byte) ([]byte, error) {
+	return DecompressLimit(src, flate.DefaultMaxOutput)
+}
+
+// DecompressLimit is Decompress with an output size cap.
+func DecompressLimit(src []byte, limit int) ([]byte, error) {
+	body, err := Body(src)
+	if err != nil {
+		return nil, err
+	}
+	out, err := flate.DecompressLimit(body, limit)
+	if err != nil {
+		return nil, err
+	}
+	tr := src[len(src)-8:]
+	wantCRC := binary.LittleEndian.Uint32(tr[0:4])
+	wantISZ := binary.LittleEndian.Uint32(tr[4:8])
+	if got := checksum.CRC32(out); got != wantCRC {
+		return nil, fmt.Errorf("%w: got %#x want %#x", ErrChecksum, got, wantCRC)
+	}
+	if uint32(len(out)) != wantISZ {
+		return nil, fmt.Errorf("%w: got %d want %d", ErrSize, len(out), wantISZ)
+	}
+	return out, nil
+}
+
+// Body validates the header and returns the raw DEFLATE stream between
+// header and trailer, skipping any optional fields.
+func Body(src []byte) ([]byte, error) {
+	if len(src) < 18 {
+		return nil, ErrShort
+	}
+	if src[0] != id1 || src[1] != id2 {
+		return nil, fmt.Errorf("%w: magic % x", ErrHeader, src[:2])
+	}
+	if src[2] != cmDeflate {
+		return nil, fmt.Errorf("%w: compression method %d", ErrHeader, src[2])
+	}
+	flg := src[3]
+	if flg&0xE0 != 0 {
+		return nil, fmt.Errorf("%w: reserved FLG bits %#x", ErrHeader, flg)
+	}
+	pos := 10
+	if flg&flgFEXTRA != 0 {
+		if pos+2 > len(src) {
+			return nil, ErrShort
+		}
+		xlen := int(binary.LittleEndian.Uint16(src[pos:]))
+		pos += 2 + xlen
+	}
+	for _, f := range []byte{flgFNAME, flgFCOMMENT} {
+		if flg&f == 0 {
+			continue
+		}
+		// Zero-terminated string.
+		for {
+			if pos >= len(src) {
+				return nil, ErrShort
+			}
+			pos++
+			if src[pos-1] == 0 {
+				break
+			}
+		}
+	}
+	if flg&flgFHCRC != 0 {
+		pos += 2
+	}
+	if pos+8 > len(src) {
+		return nil, ErrShort
+	}
+	return src[pos : len(src)-8], nil
+}

@@ -1,0 +1,180 @@
+// Package hostoffload models the alternative deployment the paper's §VI
+// recommends evaluating: "MPI on the host while offloading data
+// compression to the DPU. It is crucial to assess the overhead
+// associated with data movement between the host and DPU ... evaluating
+// computation and communication overlaps, along with pipeline designs,
+// can help alleviate potential performance bottlenecks."
+//
+// Four scenarios are modelled end-to-end for one outgoing message
+// (compress + move to the NIC + wire time of the compressed bytes):
+//
+//	OnHost          compress on a host x86 core, send from the host NIC path
+//	OffloadBounce   host → DPU (PCIe) → compress → back to host → NIC
+//	OffloadDirect   host → DPU (PCIe) → compress → NIC directly from the DPU
+//	OffloadPipelined chunked OffloadDirect with PCIe transfer overlapped
+//	                against compression (the §VI pipeline design)
+//
+// Compression is executed for real (the compressed sizes and wire times
+// are honest); durations come from the calibrated cost model.
+package hostoffload
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pedal/internal/dpu"
+	"pedal/internal/flate"
+	"pedal/internal/hwmodel"
+)
+
+// Scenario selects a deployment.
+type Scenario uint8
+
+// The four deployment scenarios.
+const (
+	OnHost Scenario = iota + 1
+	OffloadBounce
+	OffloadDirect
+	OffloadPipelined
+)
+
+func (s Scenario) String() string {
+	switch s {
+	case OnHost:
+		return "on-host"
+	case OffloadBounce:
+		return "offload-bounce"
+	case OffloadDirect:
+		return "offload-direct"
+	case OffloadPipelined:
+		return "offload-pipelined"
+	default:
+		return fmt.Sprintf("Scenario(%d)", uint8(s))
+	}
+}
+
+// Scenarios lists all deployments in presentation order.
+func Scenarios() []Scenario {
+	return []Scenario{OnHost, OffloadBounce, OffloadDirect, OffloadPipelined}
+}
+
+// Result is one end-to-end scenario execution.
+type Result struct {
+	Scenario Scenario
+	InBytes  int
+	OutBytes int
+	// Compress is the modelled compression time (wherever it ran).
+	Compress time.Duration
+	// Movement is the modelled host↔DPU PCIe time (zero for OnHost).
+	Movement time.Duration
+	// Wire is the network time of the compressed message.
+	Wire time.Duration
+	// Total is the modelled end-to-end makespan. For the pipelined
+	// scenario Total < Compress + Movement + Wire because stages overlap.
+	Total time.Duration
+}
+
+// pipelineChunk is the chunk size of the pipelined scenario.
+const pipelineChunk = 4 << 20
+
+// Run executes one scenario for data on a device. Compression uses
+// DEFLATE: the C-Engine when the generation supports it, the DPU SoC
+// otherwise (capability fallback as everywhere in PEDAL).
+func Run(dev *dpu.Device, s Scenario, data []byte) (Result, error) {
+	if dev == nil {
+		return Result{}, errors.New("hostoffload: nil device")
+	}
+	gen := dev.Generation()
+	r := Result{Scenario: s, InBytes: len(data)}
+
+	dpuCompress := func(chunk []byte) ([]byte, time.Duration, error) {
+		if dev.SupportsCEngine(hwmodel.Deflate, hwmodel.Compress) {
+			res := dev.CEngine().Run(dpu.Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: chunk})
+			if res.Err != nil {
+				return nil, 0, res.Err
+			}
+			return res.Output, res.Virtual, nil
+		}
+		out := flate.Compress(chunk, flate.DefaultLevel)
+		d, _ := hwmodel.OpCost(gen, hwmodel.SoC, hwmodel.Deflate, hwmodel.Compress, len(chunk))
+		return out, d, nil
+	}
+
+	switch s {
+	case OnHost:
+		out := flate.Compress(data, flate.DefaultLevel)
+		d, ok := hwmodel.HostOpCost(hwmodel.Deflate, hwmodel.Compress, len(data))
+		if !ok {
+			return r, errors.New("hostoffload: no host cost entry")
+		}
+		r.OutBytes = len(out)
+		r.Compress = d
+		r.Wire = hwmodel.WireLatency(gen, len(out))
+		r.Total = r.Compress + r.Wire
+		return r, nil
+
+	case OffloadBounce, OffloadDirect:
+		out, d, err := dpuCompress(data)
+		if err != nil {
+			return r, err
+		}
+		r.OutBytes = len(out)
+		r.Compress = d
+		r.Movement = hwmodel.PCIeCost(gen, len(data))
+		if s == OffloadBounce {
+			// The compressed result returns to the host before the send.
+			r.Movement += hwmodel.PCIeCost(gen, len(out))
+		}
+		r.Wire = hwmodel.WireLatency(gen, len(out))
+		r.Total = r.Movement + r.Compress + r.Wire
+		return r, nil
+
+	case OffloadPipelined:
+		// Chunked pipeline: while chunk i compresses on the DPU, chunk
+		// i+1 crosses PCIe; the wire send of chunk i overlaps both. The
+		// makespan follows the classic pipeline bound:
+		// fill latency + max-stage-time × (chunks-1) … computed exactly
+		// below by simulating stage completion times.
+		var pcieDone, compDone, wireDone time.Duration
+		outTotal := 0
+		for off := 0; off < len(data); off += pipelineChunk {
+			end := off + pipelineChunk
+			if end > len(data) {
+				end = len(data)
+			}
+			chunk := data[off:end]
+			out, d, err := dpuCompress(chunk)
+			if err != nil {
+				return r, err
+			}
+			outTotal += len(out)
+			pcie := hwmodel.PCIeCost(gen, len(chunk))
+			wire := hwmodel.WireLatency(gen, len(out))
+			pcieDone += pcie // PCIe stage is serial on the link
+			startComp := maxDur(pcieDone, compDone)
+			compDone = startComp + d
+			startWire := maxDur(compDone, wireDone)
+			wireDone = startWire + wire
+			r.Compress += d
+			r.Movement += pcie
+			r.Wire += wire
+		}
+		if len(data) == 0 {
+			wireDone = 0
+		}
+		r.OutBytes = outTotal
+		r.Total = wireDone
+		return r, nil
+
+	default:
+		return r, fmt.Errorf("hostoffload: unknown scenario %v", s)
+	}
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+package hostoffload
+
+import (
+	"bytes"
+	"testing"
+
+	"pedal/internal/dpu"
+	"pedal/internal/flate"
+	"pedal/internal/hwmodel"
+)
+
+func payload(n int) []byte {
+	unit := []byte("host-offload deployment scenario payload line 0042\n")
+	return bytes.Repeat(unit, n/len(unit)+1)[:n]
+}
+
+func bf2(t *testing.T) *dpu.Device {
+	t.Helper()
+	d, err := dpu.NewDevice(hwmodel.BlueField2, dpu.SeparatedHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	return d
+}
+
+func TestAllScenariosProduceValidOutput(t *testing.T) {
+	dev := bf2(t)
+	data := payload(8 << 20)
+	for _, s := range Scenarios() {
+		r, err := Run(dev, s, data)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if r.InBytes != len(data) || r.OutBytes <= 0 || r.OutBytes >= len(data) {
+			t.Fatalf("%v: sizes in=%d out=%d", s, r.InBytes, r.OutBytes)
+		}
+		if r.Total <= 0 {
+			t.Fatalf("%v: zero total", s)
+		}
+	}
+}
+
+func TestOffloadBeatsHostOnBF2(t *testing.T) {
+	// The whole point of the §VI proposal: the C-Engine out-compresses a
+	// host core by enough to pay for the PCIe crossing.
+	dev := bf2(t)
+	data := payload(16 << 20)
+	host, err := Run(dev, OnHost, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(dev, OffloadDirect, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(host.Total) / float64(direct.Total)
+	t.Logf("offload-direct vs on-host: %.1fx", speedup)
+	if speedup < 5 {
+		t.Fatalf("offload speedup %.1f too small on BF2", speedup)
+	}
+}
+
+func TestDirectBeatsBounce(t *testing.T) {
+	// Sending straight from the DPU avoids the return PCIe crossing.
+	dev := bf2(t)
+	data := payload(16 << 20)
+	bounce, err := Run(dev, OffloadBounce, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Run(dev, OffloadDirect, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Total >= bounce.Total {
+		t.Fatalf("direct (%v) not faster than bounce (%v)", direct.Total, bounce.Total)
+	}
+	if bounce.Movement <= direct.Movement {
+		t.Fatalf("bounce movement (%v) should exceed direct (%v)", bounce.Movement, direct.Movement)
+	}
+}
+
+func TestPipelineOverlapProperty(t *testing.T) {
+	// The defining property of a pipeline: makespan below the sum of its
+	// stage times (stages overlap). Holds on both generations.
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		dev, err := dpu.NewDevice(gen, dpu.SeparatedHost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := payload(32 << 20)
+		pipe, err := Run(dev, OffloadPipelined, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pipe.Total >= pipe.Compress+pipe.Movement+pipe.Wire {
+			t.Errorf("%v: pipeline did not overlap: total %v vs stage sum %v",
+				gen, pipe.Total, pipe.Compress+pipe.Movement+pipe.Wire)
+		}
+		dev.Close()
+	}
+}
+
+func TestPipelineTradeOffByGeneration(t *testing.T) {
+	// A finding the cost model exposes (and EXPERIMENTS.md records): on
+	// BlueField-2 the C-Engine's per-job fixed latency makes chunked
+	// pipelining *slower* than one big sequential job, while on
+	// BlueField-3 (SoC compression, no per-job cost) the overlap wins.
+	data := payload(32 << 20)
+
+	bf2dev := bf2(t)
+	seq2, err := Run(bf2dev, OffloadDirect, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe2, err := Run(bf2dev, OffloadPipelined, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BF2: sequential %v, pipelined %v", seq2.Total, pipe2.Total)
+	if pipe2.Total <= seq2.Total {
+		t.Errorf("BF2: expected per-job fixed costs to make pipelining slower (%v vs %v)",
+			pipe2.Total, seq2.Total)
+	}
+
+	bf3dev, err := dpu.NewDevice(hwmodel.BlueField3, dpu.SeparatedHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bf3dev.Close()
+	seq3, err := Run(bf3dev, OffloadDirect, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe3, err := Run(bf3dev, OffloadPipelined, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BF3: sequential %v, pipelined %v", seq3.Total, pipe3.Total)
+	if pipe3.Total > seq3.Total {
+		t.Errorf("BF3: pipelining should win without per-job costs (%v vs %v)",
+			pipe3.Total, seq3.Total)
+	}
+}
+
+func TestBF3FallsBackToSoC(t *testing.T) {
+	dev, err := dpu.NewDevice(hwmodel.BlueField3, dpu.SeparatedHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	data := payload(4 << 20)
+	r, err := Run(dev, OffloadDirect, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BF3 cannot compress on the C-Engine: the offloaded compression runs
+	// on the (slow) SoC, so on-host wins there — the asymmetry the paper's
+	// §VI asks deployments to weigh.
+	host, err := Run(dev, OnHost, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.Total >= r.Total {
+		t.Fatalf("BF3: on-host (%v) should beat SoC offload (%v)", host.Total, r.Total)
+	}
+}
+
+func TestCompressedBytesDecode(t *testing.T) {
+	// Scenario runs produce real DEFLATE streams; verify decodability by
+	// recompressing equivalently.
+	dev := bf2(t)
+	data := payload(2 << 20)
+	res := dev.CEngine().Run(dpu.Job{Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: data})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	got, err := flate.Decompress(res.Output)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("engine output not decodable: %v", err)
+	}
+}
+
+func TestNilDeviceRejected(t *testing.T) {
+	if _, err := Run(nil, OnHost, []byte("x")); err == nil {
+		t.Fatal("nil device accepted")
+	}
+}
+
+func TestUnknownScenarioRejected(t *testing.T) {
+	dev := bf2(t)
+	if _, err := Run(dev, Scenario(99), []byte("x")); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,243 @@
+// Package huffman implements canonical, length-limited Huffman coding as
+// used by DEFLATE (RFC 1951 §3.2.2) and by the SZ3 entropy stage.
+//
+// Code construction follows the classical two-step approach: build optimal
+// code lengths from symbol frequencies with a heap-based Huffman algorithm,
+// then, if the longest code exceeds the limit, rebalance lengths with the
+// Kraft-sum repair used by zlib. Codes are assigned canonically so that a
+// (length histogram, ordered symbols) pair fully determines the code table,
+// which is exactly the property DEFLATE's dynamic block headers rely on.
+package huffman
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// MaxSymbols is a sanity cap on alphabet size (SZ3 quantizer bins can be
+// large but bounded).
+const MaxSymbols = 1 << 20
+
+// ErrEmptyAlphabet is returned when no symbol has a nonzero frequency.
+var ErrEmptyAlphabet = errors.New("huffman: empty alphabet")
+
+type node struct {
+	weight uint64
+	symbol int // -1 for internal nodes
+	left   int // index into nodes, -1 for leaves
+	right  int
+	depth  int
+}
+
+type nodeHeap struct {
+	nodes []node
+	order []int // heap of indices into nodes
+}
+
+func (h *nodeHeap) Len() int { return len(h.order) }
+func (h *nodeHeap) Less(i, j int) bool {
+	a, b := h.nodes[h.order[i]], h.nodes[h.order[j]]
+	if a.weight != b.weight {
+		return a.weight < b.weight
+	}
+	// Tie-break on depth for flatter trees, then on symbol for determinism.
+	if a.depth != b.depth {
+		return a.depth < b.depth
+	}
+	return a.symbol < b.symbol
+}
+func (h *nodeHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *nodeHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
+func (h *nodeHeap) Pop() any {
+	old := h.order
+	n := len(old)
+	x := old[n-1]
+	h.order = old[:n-1]
+	return x
+}
+
+// BuildLengths computes code lengths for the given symbol frequencies,
+// limited to maxBits. Symbols with zero frequency get length 0 (no code).
+// If only one symbol has nonzero frequency it is assigned length 1, as
+// DEFLATE requires at least one bit per coded symbol.
+func BuildLengths(freq []uint64, maxBits int) ([]uint8, error) {
+	if len(freq) == 0 || len(freq) > MaxSymbols {
+		return nil, fmt.Errorf("huffman: bad alphabet size %d", len(freq))
+	}
+	if maxBits < 1 || maxBits > 32 {
+		return nil, fmt.Errorf("huffman: bad length limit %d", maxBits)
+	}
+
+	lengths := make([]uint8, len(freq))
+	nonzero := 0
+	last := -1
+	for s, f := range freq {
+		if f > 0 {
+			nonzero++
+			last = s
+		}
+	}
+	switch nonzero {
+	case 0:
+		return nil, ErrEmptyAlphabet
+	case 1:
+		lengths[last] = 1
+		return lengths, nil
+	}
+
+	h := &nodeHeap{}
+	h.nodes = make([]node, 0, 2*nonzero)
+	for s, f := range freq {
+		if f > 0 {
+			h.nodes = append(h.nodes, node{weight: f, symbol: s, left: -1, right: -1})
+			h.order = append(h.order, len(h.nodes)-1)
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(int)
+		b := heap.Pop(h).(int)
+		d := h.nodes[a].depth
+		if h.nodes[b].depth > d {
+			d = h.nodes[b].depth
+		}
+		h.nodes = append(h.nodes, node{
+			weight: h.nodes[a].weight + h.nodes[b].weight,
+			symbol: -1, left: a, right: b, depth: d + 1,
+		})
+		heap.Push(h, len(h.nodes)-1)
+	}
+	root := h.order[0]
+
+	// Walk the tree iteratively, assigning depths to leaves.
+	type item struct{ idx, depth int }
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := h.nodes[it.idx]
+		if n.symbol >= 0 {
+			d := it.depth
+			if d == 0 {
+				d = 1 // single-symbol case already handled, defensive
+			}
+			lengths[n.symbol] = uint8(d)
+			continue
+		}
+		stack = append(stack, item{n.left, it.depth + 1}, item{n.right, it.depth + 1})
+	}
+
+	if maxLen(lengths) > uint8(maxBits) {
+		limitLengths(lengths, maxBits)
+	}
+	return lengths, nil
+}
+
+func maxLen(lengths []uint8) uint8 {
+	var m uint8
+	for _, l := range lengths {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// limitLengths rebalances code lengths so none exceeds maxBits while the
+// Kraft inequality sum(2^-len) ≤ 1 still holds, preserving optimality as
+// closely as possible (zlib's bl_count repair strategy).
+func limitLengths(lengths []uint8, maxBits int) {
+	// Clamp overlong codes and track the Kraft sum in units of 2^-maxBits.
+	var kraft uint64
+	unit := uint64(1) << uint(maxBits)
+	for i, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if int(l) > maxBits {
+			lengths[i] = uint8(maxBits)
+			l = uint8(maxBits)
+		}
+		kraft += unit >> uint(l)
+	}
+	// While oversubscribed, demote (lengthen) the shortest over-candidates:
+	// take a symbol at the deepest level < maxBits... Standard repair:
+	// find a code with length < maxBits, increment it (halves its Kraft
+	// contribution appropriately). We iterate from maxBits-1 downward.
+	for kraft > unit {
+		// Find a symbol with the largest length strictly below maxBits to
+		// lengthen (costs the least in expected bits).
+		best := -1
+		var bestLen uint8
+		for i, l := range lengths {
+			if l > 0 && int(l) < maxBits && l > bestLen {
+				best, bestLen = i, l
+			}
+		}
+		if best == -1 {
+			panic("huffman: cannot satisfy length limit")
+		}
+		kraft -= unit >> uint(bestLen)
+		lengths[best]++
+		kraft += unit >> uint(lengths[best])
+	}
+	// If undersubscribed we could shorten codes, but a valid (possibly
+	// slightly suboptimal) canonical code only requires Kraft ≤ 1.
+}
+
+// Code is a canonical Huffman code table for encoding.
+type Code struct {
+	// Bits[s] is the code for symbol s, MSB-first within Len[s] bits.
+	Bits []uint32
+	// Len[s] is the code length for symbol s; 0 means the symbol is unused.
+	Len []uint8
+}
+
+// CanonicalCode assigns canonical codes (numerically increasing within a
+// length, shorter lengths first; RFC 1951 §3.2.2) for the given lengths.
+func CanonicalCode(lengths []uint8) (*Code, error) {
+	maxBits := int(maxLen(lengths))
+	if maxBits == 0 {
+		return nil, ErrEmptyAlphabet
+	}
+	blCount := make([]int, maxBits+1)
+	for _, l := range lengths {
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	// Validate the Kraft inequality before assigning codes.
+	var kraft uint64
+	for b := 1; b <= maxBits; b++ {
+		kraft += uint64(blCount[b]) << uint(maxBits-b)
+	}
+	if kraft > 1<<uint(maxBits) {
+		return nil, fmt.Errorf("huffman: oversubscribed code lengths (kraft %d > %d)", kraft, uint64(1)<<uint(maxBits))
+	}
+	nextCode := make([]uint32, maxBits+2)
+	var code uint32
+	for b := 1; b <= maxBits; b++ {
+		code = (code + uint32(blCount[b-1])) << 1
+		nextCode[b] = code
+	}
+	c := &Code{Bits: make([]uint32, len(lengths)), Len: append([]uint8(nil), lengths...)}
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		c.Bits[s] = nextCode[l]
+		nextCode[l]++
+	}
+	return c, nil
+}
+
+// Build is a convenience that computes lengths and canonical codes in one
+// step.
+func Build(freq []uint64, maxBits int) (*Code, error) {
+	lengths, err := BuildLengths(freq, maxBits)
+	if err != nil {
+		return nil, err
+	}
+	return CanonicalCode(lengths)
+}

@@ -1,0 +1,151 @@
+package huffman
+
+import (
+	"errors"
+
+	"pedal/internal/bits"
+)
+
+// ErrInvalidCode is returned when the bit stream contains a code that is
+// not part of the table.
+var ErrInvalidCode = errors.New("huffman: invalid code in stream")
+
+// primaryBits is the width of the first-level decode table. Codes no longer
+// than primaryBits decode with a single lookup; longer codes fall through
+// to a per-prefix secondary table.
+const primaryBits = 9
+
+type decodeEntry struct {
+	// For primary entries: if len <= primaryBits, symbol/len describe the
+	// decoded symbol. Otherwise sub indexes into the secondary tables and
+	// subBits gives the secondary table width.
+	symbol  int32
+	len     uint8
+	subBits uint8
+	sub     int32
+}
+
+// revCode is a (bit-reversed code, length) pair kept for the error slow
+// path, which must distinguish a truncated stream from an invalid code.
+type revCode struct {
+	rev uint32
+	len uint8
+}
+
+// Decoder is a table-driven canonical Huffman decoder operating on an
+// LSB-first bit stream (codes stored bit-reversed, as in DEFLATE).
+type Decoder struct {
+	primary   []decodeEntry
+	secondary [][]decodeEntry
+	codes     []revCode
+	maxBits   uint8
+	// minBits is the shortest code length, used for the slow path bound.
+	minBits uint8
+}
+
+// NewDecoder builds a decoder for the canonical code defined by lengths.
+func NewDecoder(lengths []uint8) (*Decoder, error) {
+	code, err := CanonicalCode(lengths)
+	if err != nil {
+		return nil, err
+	}
+	d := &Decoder{maxBits: maxLen(lengths), minBits: 255}
+	for _, l := range lengths {
+		if l > 0 && l < d.minBits {
+			d.minBits = l
+		}
+	}
+	d.primary = make([]decodeEntry, 1<<primaryBits)
+	for i := range d.primary {
+		d.primary[i].symbol = -1
+	}
+
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		// DEFLATE streams store the code MSB-first; we read LSB-first, so
+		// the lookup index is the bit-reversed code.
+		rev := bits.Reverse(code.Bits[s], uint(l))
+		d.codes = append(d.codes, revCode{rev: rev, len: l})
+		if l <= primaryBits {
+			// Fill every primary slot whose low l bits equal rev.
+			step := uint32(1) << uint(l)
+			for idx := rev; idx < 1<<primaryBits; idx += step {
+				d.primary[idx] = decodeEntry{symbol: int32(s), len: l}
+			}
+			continue
+		}
+		// Secondary table keyed by the primary prefix (low primaryBits).
+		prefix := rev & (1<<primaryBits - 1)
+		pe := &d.primary[prefix]
+		need := uint8(d.maxBits) - primaryBits
+		if pe.sub == 0 && pe.subBits == 0 {
+			d.secondary = append(d.secondary, make([]decodeEntry, 1<<need))
+			sub := d.secondary[len(d.secondary)-1]
+			for i := range sub {
+				sub[i].symbol = -1
+			}
+			*pe = decodeEntry{symbol: -1, subBits: need, sub: int32(len(d.secondary) - 1), len: 0}
+		}
+		sub := d.secondary[pe.sub]
+		hi := rev >> primaryBits
+		step := uint32(1) << uint(l-primaryBits)
+		for idx := hi; idx < uint32(len(sub)); idx += step {
+			sub[idx] = decodeEntry{symbol: int32(s), len: l}
+		}
+	}
+	return d, nil
+}
+
+// Decode reads one symbol from r.
+func (d *Decoder) Decode(r *bits.Reader) (int, error) {
+	v, avail := r.PeekBits(primaryBits)
+	e := d.primary[v]
+	if e.symbol >= 0 && e.len > 0 {
+		if uint(e.len) > avail {
+			return 0, bits.ErrUnexpectedEOF
+		}
+		r.SkipBits(uint(e.len))
+		return int(e.symbol), nil
+	}
+	if e.subBits == 0 {
+		// No entry: invalid code unless the stream is too short to tell.
+		if avail < primaryBits {
+			return 0, d.shortStreamError(v, avail)
+		}
+		return 0, ErrInvalidCode
+	}
+	// Long code: peek the full maxBits and index the secondary table.
+	total := uint(primaryBits) + uint(e.subBits)
+	full, availFull := r.PeekBits(total)
+	sub := d.secondary[e.sub]
+	se := sub[full>>primaryBits]
+	if se.symbol < 0 || se.len == 0 {
+		if availFull < total {
+			return 0, d.shortStreamError(full, availFull)
+		}
+		return 0, ErrInvalidCode
+	}
+	if uint(se.len) > availFull {
+		return 0, bits.ErrUnexpectedEOF
+	}
+	r.SkipBits(uint(se.len))
+	return int(se.symbol), nil
+}
+
+// shortStreamError decides, for a truncated peek of avail bits with value v,
+// whether a longer stream could still have decoded (→ ErrUnexpectedEOF) or
+// whether no code matches the bits we do have (→ ErrInvalidCode).
+func (d *Decoder) shortStreamError(v uint32, avail uint) error {
+	mask := uint32(1)<<avail - 1
+	for _, c := range d.codes {
+		if uint(c.len) > avail && c.rev&mask == v&mask {
+			return bits.ErrUnexpectedEOF
+		}
+	}
+	return ErrInvalidCode
+}
+
+// MaxBits reports the longest code length in the table.
+func (d *Decoder) MaxBits() int { return int(d.maxBits) }

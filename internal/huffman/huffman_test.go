@@ -1,0 +1,325 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pedal/internal/bits"
+)
+
+func encodeSymbols(t *testing.T, c *Code, syms []int) []byte {
+	t.Helper()
+	w := bits.NewWriter(len(syms))
+	for _, s := range syms {
+		if c.Len[s] == 0 {
+			t.Fatalf("symbol %d has no code", s)
+		}
+		w.WriteBits(bits.Reverse(c.Bits[s], uint(c.Len[s])), uint(c.Len[s]))
+	}
+	return w.Bytes()
+}
+
+func decodeSymbols(t *testing.T, d *Decoder, data []byte, n int) []int {
+	t.Helper()
+	r := bits.NewReader(data)
+	out := make([]int, n)
+	for i := range out {
+		s, err := d.Decode(r)
+		if err != nil {
+			t.Fatalf("decode symbol %d: %v", i, err)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func TestSingleSymbol(t *testing.T) {
+	freq := make([]uint64, 10)
+	freq[3] = 100
+	lengths, err := BuildLengths(freq, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lengths[3] != 1 {
+		t.Fatalf("single symbol length = %d, want 1", lengths[3])
+	}
+	c, err := CanonicalCode(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms := []int{3, 3, 3, 3, 3}
+	got := decodeSymbols(t, d, encodeSymbols(t, c, syms), len(syms))
+	for i, s := range got {
+		if s != 3 {
+			t.Fatalf("symbol %d = %d", i, s)
+		}
+	}
+}
+
+func TestEmptyAlphabet(t *testing.T) {
+	if _, err := BuildLengths(make([]uint64, 5), 15); err != ErrEmptyAlphabet {
+		t.Fatalf("want ErrEmptyAlphabet, got %v", err)
+	}
+}
+
+func TestOptimalityClassicExample(t *testing.T) {
+	// Frequencies 5, 9, 12, 13, 16, 45 — the textbook example; expected
+	// total cost 224 bits (optimal Huffman).
+	freq := []uint64{5, 9, 12, 13, 16, 45}
+	lengths, err := BuildLengths(freq, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cost uint64
+	for i, f := range freq {
+		cost += f * uint64(lengths[i])
+	}
+	if cost != 224 {
+		t.Fatalf("total cost = %d bits, want 224", cost)
+	}
+}
+
+func TestKraftHolds(t *testing.T) {
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%300 + 2
+		freq := make([]uint64, n)
+		for i := range freq {
+			if rng.Intn(3) > 0 {
+				freq[i] = uint64(rng.Intn(10000) + 1)
+			}
+		}
+		lengths, err := BuildLengths(freq, 15)
+		if err == ErrEmptyAlphabet {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		var kraft float64
+		for _, l := range lengths {
+			if l > 0 {
+				if l > 15 {
+					return false
+				}
+				kraft += 1 / float64(uint64(1)<<l)
+			}
+		}
+		return kraft <= 1.0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthLimitSevenBits(t *testing.T) {
+	// Exponential frequencies force deep trees; the limiter must cap at 7.
+	freq := make([]uint64, 30)
+	f := uint64(1)
+	for i := range freq {
+		freq[i] = f
+		if f < 1<<40 {
+			f *= 2
+		}
+	}
+	lengths, err := BuildLengths(freq, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, l := range lengths {
+		if l > 7 {
+			t.Fatalf("symbol %d has length %d > 7", s, l)
+		}
+	}
+	if _, err := CanonicalCode(lengths); err != nil {
+		t.Fatalf("limited lengths are not a valid code: %v", err)
+	}
+}
+
+func TestRoundTripSkewed(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	freq := make([]uint64, 64)
+	for i := range freq {
+		freq[i] = uint64(rng.Intn(1000)) * uint64(rng.Intn(1000))
+	}
+	freq[0] = 1 << 30 // heavily skewed
+	lengths, err := BuildLengths(freq, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CanonicalCode(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syms []int
+	for s, l := range lengths {
+		if l > 0 {
+			for k := 0; k < 17; k++ {
+				syms = append(syms, s)
+			}
+		}
+	}
+	rng.Shuffle(len(syms), func(i, j int) { syms[i], syms[j] = syms[j], syms[i] })
+	got := decodeSymbols(t, d, encodeSymbols(t, c, syms), len(syms))
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, got[i], syms[i])
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, size uint8, count uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(size)%600 + 2
+		freq := make([]uint64, n)
+		for i := range freq {
+			freq[i] = uint64(rng.Intn(100))
+		}
+		freq[rng.Intn(n)] = 1000 // ensure nonzero
+		lengths, err := BuildLengths(freq, 15)
+		if err != nil {
+			return false
+		}
+		c, err := CanonicalCode(lengths)
+		if err != nil {
+			return false
+		}
+		d, err := NewDecoder(lengths)
+		if err != nil {
+			return false
+		}
+		var alphabet []int
+		for s, l := range lengths {
+			if l > 0 {
+				alphabet = append(alphabet, s)
+			}
+		}
+		m := int(count)%2000 + 1
+		syms := make([]int, m)
+		for i := range syms {
+			syms[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		w := bits.NewWriter(m)
+		for _, s := range syms {
+			w.WriteBits(bits.Reverse(c.Bits[s], uint(c.Len[s])), uint(c.Len[s]))
+		}
+		r := bits.NewReader(w.Bytes())
+		for _, want := range syms {
+			got, err := d.Decode(r)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecoderRejectsGarbage(t *testing.T) {
+	// A code with only symbols 0 and 1 (1 bit each): every stream decodes,
+	// so use a sparse 3-symbol code where some patterns are invalid.
+	freq := []uint64{10, 5, 1}
+	lengths, err := BuildLengths(freq, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lengths are {1,2,2}: all patterns valid. Craft an explicitly sparse
+	// length set instead: symbol 0 len 2 only → patterns 01,10,11 invalid.
+	sparse := []uint8{2, 0, 0}
+	d, err = NewDecoder(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bits.NewReader([]byte{0xFF})
+	if _, err := d.Decode(r); err != ErrInvalidCode {
+		t.Fatalf("want ErrInvalidCode, got %v", err)
+	}
+}
+
+func TestLongCodesSecondaryTable(t *testing.T) {
+	// Force codes longer than primaryBits (9): exponential frequencies over
+	// a large alphabet with limit 15.
+	freq := make([]uint64, 40)
+	f := uint64(1)
+	for i := range freq {
+		freq[i] = f
+		if i < 20 {
+			f = f * 3 / 2
+			if f == freq[i] {
+				f++
+			}
+		}
+	}
+	lengths, err := BuildLengths(freq, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := false
+	for _, l := range lengths {
+		if l > 9 {
+			long = true
+		}
+	}
+	if !long {
+		t.Skip("test setup did not produce codes > 9 bits")
+	}
+	c, err := CanonicalCode(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syms []int
+	for s := range freq {
+		syms = append(syms, s, s, s)
+	}
+	got := decodeSymbols(t, d, encodeSymbols(t, c, syms), len(syms))
+	for i := range syms {
+		if got[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, got[i], syms[i])
+		}
+	}
+}
+
+func TestCanonicalCodesAreCanonical(t *testing.T) {
+	// For lengths {2,2,3,3,3,3} the canonical codes are 00,01,100,...,111.
+	lengths := []uint8{2, 2, 3, 3, 3, 3}
+	c, err := CanonicalCode(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{0b00, 0b01, 0b100, 0b101, 0b110, 0b111}
+	for s, w := range want {
+		if c.Bits[s] != w {
+			t.Errorf("symbol %d code = %#b, want %#b", s, c.Bits[s], w)
+		}
+	}
+}
+
+func TestOversubscribedRejected(t *testing.T) {
+	// Three 1-bit codes violate Kraft.
+	if _, err := CanonicalCode([]uint8{1, 1, 1}); err == nil {
+		t.Fatal("oversubscribed lengths accepted")
+	}
+	if _, err := NewDecoder([]uint8{1, 1, 1}); err == nil {
+		t.Fatal("decoder accepted oversubscribed lengths")
+	}
+}

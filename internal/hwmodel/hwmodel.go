@@ -1,0 +1,291 @@
+// Package hwmodel is the calibrated cost model for BlueField-2 and
+// BlueField-3 DPUs. It answers one question: how long would this
+// compression-related operation take on the real hardware?
+//
+// Calibration sources (see DESIGN.md §1 and EXPERIMENTS.md):
+//
+//   - Paper Fig. 8: BF2 C-Engine 101.8× / 11.2× faster than BF2 SoC for
+//     DEFLATE compression/decompression on silesia/xml (5.1 MB); zlib on
+//     mozilla 84.6× / 20×; BF3 C-Engine 1.78× / 1.28× BF2 C-Engine for
+//     DEFLATE decompression at 5.1 / 48.84 MB.
+//   - Paper §V-C: DOCA init + buffer preparation ≈ 94% of an un-hoisted
+//     C-Engine run on a 5.1 MB dataset.
+//   - Paper Fig. 10: BF3 SoC designs reduce communication time by up to
+//     40% vs BF2 SoC (ARM A78 vs A72).
+//   - Paper Fig. 9: BF3 SoC lossy pipeline up to 1.58× faster than the
+//     BF3 "C-Engine" design (which redirects to SoC DEFLATE).
+//
+// All durations are *virtual* (see internal/simclock); the real work is
+// still executed by the real Go codecs so the bytes and ratios are honest.
+package hwmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Generation identifies a BlueField DPU generation.
+type Generation uint8
+
+// Supported generations.
+const (
+	BlueField2 Generation = iota + 2
+	BlueField3
+)
+
+func (g Generation) String() string {
+	switch g {
+	case BlueField2:
+		return "BlueField-2"
+	case BlueField3:
+		return "BlueField-3"
+	default:
+		return fmt.Sprintf("Generation(%d)", uint8(g))
+	}
+}
+
+// Engine identifies where an operation executes on the DPU.
+type Engine uint8
+
+// Engines. SoC is the ARM core complex; CEngine is the hardware
+// compression accelerator reached through DOCA.
+const (
+	SoC Engine = iota + 1
+	CEngine
+)
+
+func (e Engine) String() string {
+	switch e {
+	case SoC:
+		return "SoC"
+	case CEngine:
+		return "C-Engine"
+	default:
+		return fmt.Sprintf("Engine(%d)", uint8(e))
+	}
+}
+
+// Algo identifies a compression algorithm in the cost tables.
+type Algo uint8
+
+// Algorithms covered by the model. SZ3Core is the lossy pipeline without
+// its lossless backend stage (predict+quantize+encode); the backend is
+// charged separately as the chosen lossless algorithm.
+const (
+	Deflate Algo = iota + 1
+	Zlib
+	LZ4
+	SZ3Core
+	FastLZ
+)
+
+func (a Algo) String() string {
+	switch a {
+	case Deflate:
+		return "DEFLATE"
+	case Zlib:
+		return "zlib"
+	case LZ4:
+		return "LZ4"
+	case SZ3Core:
+		return "SZ3-core"
+	case FastLZ:
+		return "fastlz"
+	default:
+		return fmt.Sprintf("Algo(%d)", uint8(a))
+	}
+}
+
+// Op distinguishes compression from decompression.
+type Op uint8
+
+// Operations.
+const (
+	Compress Op = iota + 1
+	Decompress
+)
+
+func (o Op) String() string {
+	if o == Compress {
+		return "compress"
+	}
+	return "decompress"
+}
+
+// perf is a fixed-latency-plus-throughput cost: t(n) = Fixed + n/Throughput.
+type perf struct {
+	fixed time.Duration
+	// throughput in bytes per second.
+	throughput float64
+}
+
+func (p perf) duration(n int) time.Duration {
+	if p.throughput == 0 {
+		return p.fixed
+	}
+	return p.fixed + time.Duration(float64(n)/p.throughput*float64(time.Second))
+}
+
+const mib = 1 << 20
+
+// mbps converts MB/s (MiB, to match dataset sizing) to bytes/second.
+func mbps(v float64) float64 { return v * mib }
+
+type opKey struct {
+	gen  Generation
+	eng  Engine
+	algo Algo
+	op   Op
+}
+
+// costTable holds the calibrated per-operation costs. Entries absent from
+// the table are unsupported hardware paths (e.g. LZ4 on BF2's C-Engine);
+// callers must consult internal/dpu's capability matrix first.
+var costTable = map[opKey]perf{
+	// ---- BlueField-2 SoC (8× ARM Cortex-A72 @2.75 GHz) ----
+	{BlueField2, SoC, Deflate, Compress}:   {0, mbps(16)},
+	{BlueField2, SoC, Deflate, Decompress}: {0, mbps(120)},
+	{BlueField2, SoC, Zlib, Compress}:      {0, mbps(15.8)}, // DEFLATE + Adler-32
+	{BlueField2, SoC, Zlib, Decompress}:    {0, mbps(115)},
+	{BlueField2, SoC, LZ4, Compress}:       {0, mbps(390)},
+	{BlueField2, SoC, LZ4, Decompress}:     {0, mbps(1500)},
+	{BlueField2, SoC, SZ3Core, Compress}:   {0, mbps(95)},
+	{BlueField2, SoC, SZ3Core, Decompress}: {0, mbps(190)},
+	{BlueField2, SoC, FastLZ, Compress}:    {0, mbps(330)},
+	{BlueField2, SoC, FastLZ, Decompress}:  {0, mbps(1100)},
+
+	// ---- BlueField-2 C-Engine ----
+	// Calibrated so DEFLATE compression is ~101.8× the SoC on 5.1 MB and
+	// decompression ~11.2× (Fig. 8).
+	{BlueField2, CEngine, Deflate, Compress}:   {1300 * time.Microsecond, mbps(2900)},
+	{BlueField2, CEngine, Deflate, Decompress}: {1500 * time.Microsecond, mbps(2020)},
+	{BlueField2, CEngine, Zlib, Compress}:      {1300 * time.Microsecond, mbps(2900)}, // body on C-Engine; Adler-32 charged via ZlibTrailer
+	{BlueField2, CEngine, Zlib, Decompress}:    {1500 * time.Microsecond, mbps(2020)},
+
+	// ---- BlueField-3 SoC (16× ARM Cortex-A78) ----
+	// ~1.7× the BF2 SoC single-stream (paper: up to 40% lower comm time).
+	{BlueField3, SoC, Deflate, Compress}:   {0, mbps(27)},
+	{BlueField3, SoC, Deflate, Decompress}: {0, mbps(204)},
+	{BlueField3, SoC, Zlib, Compress}:      {0, mbps(26.7)},
+	{BlueField3, SoC, Zlib, Decompress}:    {0, mbps(196)},
+	{BlueField3, SoC, LZ4, Compress}:       {0, mbps(660)},
+	{BlueField3, SoC, LZ4, Decompress}:     {0, mbps(2550)},
+	{BlueField3, SoC, SZ3Core, Compress}:   {0, mbps(160)},
+	{BlueField3, SoC, SZ3Core, Decompress}: {0, mbps(320)},
+	{BlueField3, SoC, FastLZ, Compress}:    {0, mbps(560)},
+	{BlueField3, SoC, FastLZ, Decompress}:  {0, mbps(1870)},
+
+	// ---- BlueField-3 C-Engine (decompression only) ----
+	// Calibrated to 1.78× BF2's C-Engine at 5.1 MB and ~1.3× at 48.84 MB
+	// (Fig. 8): lower fixed latency, moderately higher throughput.
+	{BlueField3, CEngine, Deflate, Decompress}: {240 * time.Microsecond, mbps(2525)},
+	{BlueField3, CEngine, Zlib, Decompress}:    {240 * time.Microsecond, mbps(2525)},
+	{BlueField3, CEngine, LZ4, Decompress}:     {200 * time.Microsecond, mbps(3200)},
+}
+
+// OpCost returns the virtual duration of running algo/op over n input
+// bytes on the given generation and engine. The boolean reports whether
+// the hardware path exists; callers should fall back to the SoC when it
+// does not (PEDAL's capability fallback, paper §III-D).
+func OpCost(gen Generation, eng Engine, algo Algo, op Op, n int) (time.Duration, bool) {
+	p, ok := costTable[opKey{gen, eng, algo, op}]
+	if !ok {
+		return 0, false
+	}
+	return p.duration(n), true
+}
+
+// InitCost is the one-time DOCA initialisation cost: device open, PE and
+// work-queue creation, C-Engine context setup. The paper's baseline pays
+// this on every message; PEDAL pays it once in PEDAL_Init.
+func InitCost(gen Generation) time.Duration {
+	switch gen {
+	case BlueField3:
+		return 120 * time.Millisecond
+	default:
+		return 150 * time.Millisecond
+	}
+}
+
+// BufPrepCost models buffer preparation: allocation plus mapping between
+// regular and DOCA-operable memory (mmap + buf-inventory registration).
+func BufPrepCost(gen Generation, eng Engine, n int) time.Duration {
+	if eng == CEngine {
+		// DOCA mapping: fixed setup + pinning at ~3 GB/s.
+		return 2*time.Millisecond + time.Duration(float64(n)/mbps(3072)*float64(time.Second))
+	}
+	// Plain allocation on the SoC.
+	return 500*time.Microsecond + time.Duration(float64(n)/mbps(8192)*float64(time.Second))
+}
+
+// ZlibTrailerCost is the SoC-side Adler-32 + header assembly cost of the
+// hybrid zlib design (checksum at ~2.5 GB/s on the A72, ~4.2 GB/s on the
+// A78 thanks to the DDR5 bandwidth bump).
+func ZlibTrailerCost(gen Generation, n int) time.Duration {
+	t := mbps(2560)
+	if gen == BlueField3 {
+		t = mbps(4300)
+	}
+	return time.Duration(float64(n) / t * float64(time.Second))
+}
+
+// WireLatency models the RDMA network between two DPUs: a base latency
+// plus size over link bandwidth. BF2 carries ConnectX-6 (200 Gb/s); BF3
+// ConnectX-7 (400 Gb/s).
+func WireLatency(gen Generation, n int) time.Duration {
+	base := 2 * time.Microsecond
+	var gbps float64 = 200
+	if gen == BlueField3 {
+		gbps = 400
+	}
+	bytesPerSec := gbps / 8 * 1e9
+	return base + time.Duration(float64(n)/bytesPerSec*float64(time.Second))
+}
+
+// PCIeCost models a DMA transfer between the host and the DPU across
+// the PCIe link (Gen4 x16 on BlueField-2, Gen5 x16 on BlueField-3),
+// including the doorbell/DMA setup latency. Used by the host-offload
+// deployment scenarios of the paper's §VI discussion.
+func PCIeCost(gen Generation, n int) time.Duration {
+	base := 3 * time.Microsecond
+	gbps := 22.0 // effective Gen4 x16 payload bandwidth, GB/s
+	if gen == BlueField3 {
+		gbps = 42.0 // Gen5 x16
+	}
+	return base + time.Duration(float64(n)/(gbps*1e9)*float64(time.Second))
+}
+
+// Host-side (x86 server CPU) compression rates for the §VI deployment
+// comparison: a modern Xeon core is faster than a DPU ARM core but far
+// slower than the C-Engine for DEFLATE.
+var hostCostTable = map[opKey]perf{
+	{0, 0, Deflate, Compress}:   {0, mbps(45)},
+	{0, 0, Deflate, Decompress}: {0, mbps(480)},
+	{0, 0, Zlib, Compress}:      {0, mbps(44)},
+	{0, 0, Zlib, Decompress}:    {0, mbps(460)},
+	{0, 0, LZ4, Compress}:       {0, mbps(780)},
+	{0, 0, LZ4, Decompress}:     {0, mbps(3600)},
+	{0, 0, SZ3Core, Compress}:   {0, mbps(260)},
+	{0, 0, SZ3Core, Decompress}: {0, mbps(520)},
+	{0, 0, FastLZ, Compress}:    {0, mbps(650)},
+	{0, 0, FastLZ, Decompress}:  {0, mbps(2300)},
+}
+
+// HostOpCost returns the virtual duration of running algo/op on the host
+// CPU (one core of the x86 server the DPU is installed in).
+func HostOpCost(algo Algo, op Op, n int) (time.Duration, bool) {
+	p, ok := hostCostTable[opKey{0, 0, algo, op}]
+	if !ok {
+		return 0, false
+	}
+	return p.duration(n), true
+}
+
+// MemcpyCost models an on-SoC memory copy (DDR4 on BF2, DDR5 on BF3).
+func MemcpyCost(gen Generation, n int) time.Duration {
+	t := mbps(10240)
+	if gen == BlueField3 {
+		t = mbps(20480)
+	}
+	return time.Duration(float64(n) / t * float64(time.Second))
+}

@@ -1,0 +1,157 @@
+package hwmodel
+
+import (
+	"testing"
+	"time"
+)
+
+var (
+	mibF = float64(mib)
+	mb51 = int(5.1 * mibF) // silesia/xml size
+)
+
+func opCost(t *testing.T, gen Generation, eng Engine, algo Algo, op Op, n int) time.Duration {
+	t.Helper()
+	d, ok := OpCost(gen, eng, algo, op, n)
+	if !ok {
+		t.Fatalf("no cost entry for %v/%v/%v/%v", gen, eng, algo, op)
+	}
+	return d
+}
+
+// The calibration constraints from Fig. 8 must hold in the model.
+func TestCalibrationDeflateCompressBF2(t *testing.T) {
+	soc := opCost(t, BlueField2, SoC, Deflate, Compress, mb51)
+	ce := opCost(t, BlueField2, CEngine, Deflate, Compress, mb51)
+	ratio := float64(soc) / float64(ce)
+	if ratio < 80 || ratio > 130 {
+		t.Fatalf("BF2 C-Engine/SoC DEFLATE compression speedup = %.1f, want ≈101.8", ratio)
+	}
+}
+
+func TestCalibrationDeflateDecompressBF2(t *testing.T) {
+	soc := opCost(t, BlueField2, SoC, Deflate, Decompress, mb51)
+	ce := opCost(t, BlueField2, CEngine, Deflate, Decompress, mb51)
+	ratio := float64(soc) / float64(ce)
+	if ratio < 5 || ratio > 18 {
+		t.Fatalf("BF2 C-Engine/SoC DEFLATE decompression speedup = %.1f, want ≈11.2", ratio)
+	}
+}
+
+func TestCalibrationBF3vsBF2CEngineDecompress(t *testing.T) {
+	small := mb51
+	large := int(48.84 * mibF)
+	r1 := float64(opCost(t, BlueField2, CEngine, Deflate, Decompress, small)) /
+		float64(opCost(t, BlueField3, CEngine, Deflate, Decompress, small))
+	r2 := float64(opCost(t, BlueField2, CEngine, Deflate, Decompress, large)) /
+		float64(opCost(t, BlueField3, CEngine, Deflate, Decompress, large))
+	if r1 < 1.5 || r1 > 2.1 {
+		t.Fatalf("BF3/BF2 C-Engine speedup at 5.1 MB = %.2f, want ≈1.78", r1)
+	}
+	if r2 < 1.1 || r2 > 1.5 {
+		t.Fatalf("BF3/BF2 C-Engine speedup at 48.84 MB = %.2f, want ≈1.28", r2)
+	}
+	if r1 <= r2 {
+		t.Fatalf("small-message advantage (%.2f) must exceed large-message (%.2f)", r1, r2)
+	}
+}
+
+func TestBF3SoCFasterThanBF2SoC(t *testing.T) {
+	for _, algo := range []Algo{Deflate, Zlib, LZ4, SZ3Core} {
+		for _, op := range []Op{Compress, Decompress} {
+			b2 := opCost(t, BlueField2, SoC, algo, op, mib)
+			b3 := opCost(t, BlueField3, SoC, algo, op, mib)
+			if b3 >= b2 {
+				t.Errorf("%v %v: BF3 SoC (%v) not faster than BF2 SoC (%v)", algo, op, b3, b2)
+			}
+		}
+	}
+}
+
+func TestDecompressionFasterThanCompression(t *testing.T) {
+	// Paper Fig. 8 insight 2: decompression invariably shorter.
+	for _, gen := range []Generation{BlueField2, BlueField3} {
+		for _, algo := range []Algo{Deflate, Zlib, LZ4, SZ3Core} {
+			c, okC := OpCost(gen, SoC, algo, Compress, 10*mib)
+			d, okD := OpCost(gen, SoC, algo, Decompress, 10*mib)
+			if !okC || !okD {
+				t.Fatalf("missing SoC entries for %v/%v", gen, algo)
+			}
+			if d >= c {
+				t.Errorf("%v %v SoC: decompress (%v) not faster than compress (%v)", gen, algo, d, c)
+			}
+		}
+	}
+}
+
+func TestUnsupportedPathsAbsent(t *testing.T) {
+	// Table II: BF2 C-Engine has no LZ4 at all; BF3 C-Engine cannot
+	// compress anything.
+	if _, ok := OpCost(BlueField2, CEngine, LZ4, Compress, mib); ok {
+		t.Error("BF2 C-Engine LZ4 compression should be unsupported")
+	}
+	if _, ok := OpCost(BlueField2, CEngine, LZ4, Decompress, mib); ok {
+		t.Error("BF2 C-Engine LZ4 decompression should be unsupported")
+	}
+	for _, algo := range []Algo{Deflate, Zlib, LZ4} {
+		if _, ok := OpCost(BlueField3, CEngine, algo, Compress, mib); ok {
+			t.Errorf("BF3 C-Engine %v compression should be unsupported", algo)
+		}
+	}
+	if _, ok := OpCost(BlueField3, CEngine, LZ4, Decompress, mib); !ok {
+		t.Error("BF3 C-Engine LZ4 decompression should be supported")
+	}
+}
+
+func TestInitDominatesSmallMessages(t *testing.T) {
+	// §V-C: init + buffer prep ≈ 94% of an un-hoisted 5.1 MB C-Engine run.
+	n := mb51
+	overhead := InitCost(BlueField2) + BufPrepCost(BlueField2, CEngine, n)
+	work := opCost(t, BlueField2, CEngine, Deflate, Compress, n) +
+		opCost(t, BlueField2, CEngine, Deflate, Decompress, n)
+	frac := float64(overhead) / float64(overhead+work)
+	if frac < 0.90 || frac > 0.99 {
+		t.Fatalf("init+prep fraction = %.3f, want ≈0.94", frac)
+	}
+}
+
+func TestCostsMonotonicInSize(t *testing.T) {
+	for _, gen := range []Generation{BlueField2, BlueField3} {
+		prev := time.Duration(0)
+		for _, n := range []int{1 << 10, 1 << 16, 1 << 20, 1 << 24} {
+			d := opCost(t, gen, SoC, Deflate, Compress, n)
+			if d <= prev {
+				t.Fatalf("%v: cost not monotonic at %d bytes", gen, n)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestWireLatency(t *testing.T) {
+	// BF3's 400 Gb/s link moves bulk data ~2× faster than BF2's 200 Gb/s.
+	b2 := WireLatency(BlueField2, 100*mib)
+	b3 := WireLatency(BlueField3, 100*mib)
+	r := float64(b2) / float64(b3)
+	if r < 1.8 || r > 2.2 {
+		t.Fatalf("BF2/BF3 wire ratio = %.2f, want ≈2", r)
+	}
+	if WireLatency(BlueField2, 0) <= 0 {
+		t.Fatal("zero-byte message must still have base latency")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if BlueField2.String() != "BlueField-2" || BlueField3.String() != "BlueField-3" {
+		t.Error("Generation strings")
+	}
+	if SoC.String() != "SoC" || CEngine.String() != "C-Engine" {
+		t.Error("Engine strings")
+	}
+	if Deflate.String() != "DEFLATE" || Zlib.String() != "zlib" || LZ4.String() != "LZ4" {
+		t.Error("Algo strings")
+	}
+	if Compress.String() != "compress" || Decompress.String() != "decompress" {
+		t.Error("Op strings")
+	}
+}

@@ -1,0 +1,184 @@
+package lz4
+
+import (
+	"errors"
+	"fmt"
+
+	"pedal/internal/checksum"
+)
+
+// Frame format errors.
+var (
+	ErrFrameMagic    = errors.New("lz4: bad frame magic")
+	ErrFrameHeader   = errors.New("lz4: bad frame header")
+	ErrFrameChecksum = errors.New("lz4: frame content checksum mismatch")
+)
+
+const (
+	frameMagic = 0x184D2204
+
+	// flgVersion is FLG version bits 01 in bits 7-6.
+	flgVersion         = 1 << 6
+	flgContentChecksum = 1 << 2
+	flgContentSize     = 1 << 3
+
+	// bdBlockMax4MB selects the 4 MB max block size (BD bits 6-4 = 7).
+	bdBlockMax4MB = 7 << 4
+	blockMax      = 4 << 20
+
+	// uncompressedBit marks a stored block in the block size word.
+	uncompressedBit = 1 << 31
+)
+
+// Compress produces a complete LZ4 frame: magic, frame descriptor with
+// content size and content checksum, 4 MB blocks, end mark, checksum.
+func Compress(src []byte) []byte {
+	out := make([]byte, 0, CompressBlockBound(len(src))+32)
+	out = appendLE32(out, frameMagic)
+
+	flg := byte(flgVersion | flgContentChecksum | flgContentSize)
+	bd := byte(bdBlockMax4MB)
+	out = append(out, flg, bd)
+	// Content size: 8 bytes little-endian.
+	sz := uint64(len(src))
+	for k := 0; k < 8; k++ {
+		out = append(out, byte(sz>>(8*k)))
+	}
+	// HC: second byte of xxh32 of the descriptor (FLG..content size).
+	hc := byte(checksum.XXH32(out[4:], 0) >> 8)
+	out = append(out, hc)
+
+	for off := 0; off < len(src) || (off == 0 && len(src) == 0); off += blockMax {
+		end := off + blockMax
+		if end > len(src) {
+			end = len(src)
+		}
+		chunk := src[off:end]
+		if len(chunk) == 0 {
+			break
+		}
+		comp := CompressBlock(chunk)
+		if len(comp) >= len(chunk) {
+			out = appendLE32(out, uint32(len(chunk))|uncompressedBit)
+			out = append(out, chunk...)
+		} else {
+			out = appendLE32(out, uint32(len(comp)))
+			out = append(out, comp...)
+		}
+	}
+	out = appendLE32(out, 0) // EndMark
+	out = appendLE32(out, checksum.XXH32(src, 0))
+	return out
+}
+
+// Decompress parses a complete LZ4 frame and returns the content,
+// verifying the content checksum when present.
+func Decompress(src []byte) ([]byte, error) {
+	return DecompressLimit(src, 1<<31)
+}
+
+// DecompressLimit is Decompress with an output cap.
+func DecompressLimit(src []byte, limit int) ([]byte, error) {
+	if len(src) < 7 {
+		return nil, ErrFrameMagic
+	}
+	if readLE32(src) != frameMagic {
+		return nil, ErrFrameMagic
+	}
+	i := 4
+	flg := src[i]
+	bd := src[i+1]
+	i += 2
+	if flg>>6 != 1 {
+		return nil, fmt.Errorf("%w: version %d", ErrFrameHeader, flg>>6)
+	}
+	if bd&0x8F != 0 {
+		return nil, fmt.Errorf("%w: reserved BD bits", ErrFrameHeader)
+	}
+	var contentSize uint64
+	hasContentSize := flg&flgContentSize != 0
+	if hasContentSize {
+		if i+8 > len(src) {
+			return nil, fmt.Errorf("%w: truncated content size", ErrFrameHeader)
+		}
+		for k := 0; k < 8; k++ {
+			contentSize |= uint64(src[i+k]) << (8 * k)
+		}
+		i += 8
+	}
+	if flg&(1<<0) != 0 { // DictID present
+		i += 4
+	}
+	if i >= len(src) {
+		return nil, fmt.Errorf("%w: truncated descriptor", ErrFrameHeader)
+	}
+	// Verify HC over the descriptor bytes.
+	hc := src[i]
+	if byte(checksum.XXH32(src[4:i], 0)>>8) != hc {
+		return nil, fmt.Errorf("%w: descriptor checksum", ErrFrameHeader)
+	}
+	i++
+
+	var out []byte
+	for {
+		if i+4 > len(src) {
+			return nil, fmt.Errorf("%w: truncated block size", ErrCorrupt)
+		}
+		word := readLE32(src[i:])
+		i += 4
+		if word == 0 {
+			break // EndMark
+		}
+		stored := word&uncompressedBit != 0
+		size := int(word &^ uncompressedBit)
+		if size > blockMax+16 {
+			return nil, fmt.Errorf("%w: block size %d", ErrCorrupt, size)
+		}
+		if i+size > len(src) {
+			return nil, fmt.Errorf("%w: block overruns input", ErrCorrupt)
+		}
+		blk := src[i : i+size]
+		i += size
+		if flg&(1<<4) != 0 { // block checksum
+			if i+4 > len(src) {
+				return nil, fmt.Errorf("%w: truncated block checksum", ErrCorrupt)
+			}
+			if readLE32(src[i:]) != checksum.XXH32(blk, 0) {
+				return nil, fmt.Errorf("%w: block checksum mismatch", ErrCorrupt)
+			}
+			i += 4
+		}
+		if stored {
+			if len(out)+size > limit {
+				return nil, ErrTooLarge
+			}
+			out = append(out, blk...)
+			continue
+		}
+		dec, err := DecompressBlock(blk, limit-len(out))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dec...)
+	}
+	if flg&flgContentChecksum != 0 {
+		if i+4 > len(src) {
+			return nil, fmt.Errorf("%w: truncated content checksum", ErrCorrupt)
+		}
+		if readLE32(src[i:]) != checksum.XXH32(out, 0) {
+			return nil, ErrFrameChecksum
+		}
+	}
+	if hasContentSize && uint64(len(out)) != contentSize {
+		return nil, fmt.Errorf("%w: content size %d != declared %d", ErrCorrupt, len(out), contentSize)
+	}
+	return out, nil
+}
+
+func appendLE32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func readLE32(p []byte) uint32 {
+	return uint32(p[0]) | uint32(p[1])<<8 | uint32(p[2])<<16 | uint32(p[3])<<24
+}

@@ -1,0 +1,63 @@
+package lz4
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompressBlock must never panic on arbitrary block input.
+func FuzzDecompressBlock(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(CompressBlock([]byte("lz4 fuzz seed, somewhat compressible compressible")))
+	f.Add([]byte{0x10, 'x', 0x01, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecompressBlock(data, 1<<22)
+		if err == nil && len(out) > 1<<22 {
+			t.Fatalf("limit exceeded: %d", len(out))
+		}
+	})
+}
+
+// FuzzDecompressFrame must never panic on arbitrary frame input.
+func FuzzDecompressFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Compress([]byte("frame fuzz seed")))
+	f.Add(Compress(bytes.Repeat([]byte{7}, 10000)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := DecompressLimit(data, 1<<22)
+		if err == nil && len(out) > 1<<22 {
+			t.Fatalf("limit exceeded: %d", len(out))
+		}
+	})
+}
+
+// FuzzBlockRoundTrip requires byte-exact block round trips.
+func FuzzBlockRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("aaaaaaaaaaaaaaaaaaaaaaaaa"))
+	f.Add(bytes.Repeat([]byte("0123456789abcdef"), 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecompressBlock(CompressBlock(data), len(data)+16)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}
+
+// FuzzFrameRoundTrip requires byte-exact frame round trips.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("frame round trip"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecompressLimit(Compress(data), len(data)+64)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,226 @@
+// Package lz77 implements the sliding-window match finder used by the
+// DEFLATE compressor (RFC 1951). It produces a token stream of literals
+// and (length, distance) back-references over a 32 KiB window, using
+// hash chains with lazy matching, the same strategy zlib's deflate uses.
+package lz77
+
+const (
+	// WindowSize is the DEFLATE history window (RFC 1951 §2).
+	WindowSize = 32 * 1024
+	// MinMatch and MaxMatch bound back-reference lengths (RFC 1951 §3.2.5).
+	MinMatch = 3
+	MaxMatch = 258
+
+	hashBits = 15
+	hashSize = 1 << hashBits
+	hashMask = hashSize - 1
+)
+
+// Token is a literal byte or a back-reference.
+//
+// A literal has Len == 0 and the byte in Lit. A match has Len in
+// [MinMatch, MaxMatch] and Dist in [1, WindowSize].
+type Token struct {
+	Dist uint16
+	Len  uint16
+	Lit  byte
+}
+
+// IsLiteral reports whether t is a literal token.
+func (t Token) IsLiteral() bool { return t.Len == 0 }
+
+// Params tunes the match finder. The presets mirror zlib's configuration
+// table: good/lazy/nice/chain per compression level.
+type Params struct {
+	// GoodLen: stop lazy evaluation early when the current match is at
+	// least this long.
+	GoodLen int
+	// LazyLen: only attempt lazy matching when the previous match is
+	// shorter than this.
+	LazyLen int
+	// NiceLen: stop chain search when a match of this length is found.
+	NiceLen int
+	// ChainLen: maximum hash-chain positions to probe.
+	ChainLen int
+}
+
+// LevelParams returns match-finder tuning for a zlib-style level 1–9.
+func LevelParams(level int) Params {
+	// Mirrors zlib's configuration_table.
+	table := []Params{
+		{4, 4, 8, 4},         // 1
+		{4, 5, 16, 8},        // 2
+		{4, 6, 32, 32},       // 3
+		{4, 4, 16, 16},       // 4
+		{8, 16, 32, 32},      // 5
+		{8, 16, 128, 128},    // 6 (default)
+		{8, 32, 128, 256},    // 7
+		{32, 128, 258, 1024}, // 8
+		{32, 258, 258, 4096}, // 9
+	}
+	if level < 1 {
+		level = 1
+	}
+	if level > 9 {
+		level = 9
+	}
+	return table[level-1]
+}
+
+// hash4 hashes the next 4 bytes at p[i:]. DEFLATE's minimum match is 3,
+// but 4-byte hashing gives far fewer false chains; we verify matches
+// byte-by-byte anyway.
+func hash4(p []byte, i int) uint32 {
+	v := uint32(p[i]) | uint32(p[i+1])<<8 | uint32(p[i+2])<<16 | uint32(p[i+3])<<24
+	return (v * 2654435761) >> (32 - hashBits) & hashMask
+}
+
+// Tokenize scans src and emits LZ77 tokens via emit. The emit function is
+// called in stream order. Params control effort; use LevelParams.
+func Tokenize(src []byte, p Params, emit func(Token)) {
+	n := len(src)
+	if n == 0 {
+		return
+	}
+	head := make([]int32, hashSize)
+	for i := range head {
+		head[i] = -1
+	}
+	prev := make([]int32, n)
+
+	insert := func(i int) {
+		if i+4 > n {
+			return
+		}
+		h := hash4(src, i)
+		prev[i] = head[h]
+		head[h] = int32(i)
+	}
+
+	// findMatch returns the best match length and distance at position i,
+	// probing at most chain candidates.
+	findMatch := func(i, prevLen int) (bestLen, bestDist int) {
+		if i+4 > n {
+			return 0, 0
+		}
+		limit := i - WindowSize
+		if limit < 0 {
+			limit = 0
+		}
+		chain := p.ChainLen
+		if prevLen >= p.GoodLen {
+			chain >>= 2
+		}
+		maxLen := n - i
+		if maxLen > MaxMatch {
+			maxLen = MaxMatch
+		}
+		if maxLen < MinMatch {
+			return 0, 0
+		}
+		bestLen = MinMatch - 1
+		cand := head[hash4(src, i)]
+		for chain > 0 && cand >= int32(limit) {
+			c := int(cand)
+			// Quick reject: check the byte that would extend the best match.
+			if src[c+bestLen] == src[i+bestLen] && src[c] == src[i] {
+				l := matchLen(src, c, i, maxLen)
+				if l > bestLen {
+					bestLen = l
+					bestDist = i - c
+					if l >= p.NiceLen || l == maxLen {
+						break
+					}
+				}
+			}
+			cand = prev[c]
+			chain--
+		}
+		if bestLen < MinMatch {
+			return 0, 0
+		}
+		return bestLen, bestDist
+	}
+
+	i := 0
+	// Lazy matching state: a pending match from the previous position.
+	pendLen, pendDist := 0, 0
+	pendPos := -1
+	for i < n {
+		curLen, curDist := 0, 0
+		if i+MinMatch <= n {
+			prevL := pendLen
+			curLen, curDist = findMatch(i, prevL)
+		}
+		if pendPos >= 0 {
+			// Decide between pending match at i-1 and current match at i.
+			if curLen > pendLen {
+				// Current wins: emit literal for i-1, keep evaluating.
+				emit(Token{Lit: src[pendPos]})
+				insert(pendPos)
+				pendLen, pendDist, pendPos = curLen, curDist, i
+				i++
+				continue
+			}
+			// Pending wins: emit it; skip its span.
+			emit(Token{Len: uint16(pendLen), Dist: uint16(pendDist)})
+			end := pendPos + pendLen
+			insert(pendPos)
+			for j := i; j < end && j < n; j++ {
+				insert(j)
+			}
+			i = end
+			pendLen, pendDist, pendPos = 0, 0, -1
+			continue
+		}
+		if curLen == 0 {
+			emit(Token{Lit: src[i]})
+			insert(i)
+			i++
+			continue
+		}
+		if curLen < p.LazyLen && i+1 < n {
+			// Defer: maybe a better match starts at i+1.
+			pendLen, pendDist, pendPos = curLen, curDist, i
+			i++
+			continue
+		}
+		// Take the match immediately.
+		emit(Token{Len: uint16(curLen), Dist: uint16(curDist)})
+		end := i + curLen
+		for j := i; j < end && j < n; j++ {
+			insert(j)
+		}
+		i = end
+	}
+	if pendPos >= 0 {
+		emit(Token{Len: uint16(pendLen), Dist: uint16(pendDist)})
+	}
+}
+
+// matchLen counts how many bytes match between src[a:] and src[b:], up to
+// maxLen. a < b is required.
+func matchLen(src []byte, a, b, maxLen int) int {
+	l := 0
+	for l < maxLen && src[a+l] == src[b+l] {
+		l++
+	}
+	return l
+}
+
+// Expand reconstructs the original byte stream from tokens — the inverse
+// of Tokenize. It is used by tests and by the fastlz verification path.
+func Expand(tokens []Token) []byte {
+	var out []byte
+	for _, t := range tokens {
+		if t.IsLiteral() {
+			out = append(out, t.Lit)
+			continue
+		}
+		start := len(out) - int(t.Dist)
+		for k := 0; k < int(t.Len); k++ {
+			out = append(out, out[start+k])
+		}
+	}
+	return out
+}

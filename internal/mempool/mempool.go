@@ -1,0 +1,125 @@
+// Package mempool implements the reusable buffer pool at the heart of
+// PEDAL's headline optimisation (paper §III-C): "PEDAL prearranges all
+// essential buffers through a memory pool ... to reuse intermediate
+// buffers, and eliminate the frequent need for memory allocation,
+// deallocation, and mapping between regular and DOCA-operable memory
+// during each compression and decompression execution."
+//
+// Buffers are bucketed by power-of-two size class. Hit/miss counters make
+// the optimisation observable in tests and benchmarks.
+package mempool
+
+import (
+	"sync"
+)
+
+// Pool is a size-class bucketed buffer pool, safe for concurrent use.
+type Pool struct {
+	mu      sync.Mutex
+	classes map[uint]*[][]byte
+
+	hits   uint64
+	misses uint64
+
+	// maxPerClass caps retained buffers per size class to bound memory.
+	maxPerClass int
+}
+
+// DefaultMaxPerClass is the default retention cap per size class.
+const DefaultMaxPerClass = 32
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{
+		classes:     make(map[uint]*[][]byte),
+		maxPerClass: DefaultMaxPerClass,
+	}
+}
+
+// sizeClass returns the bucket exponent for n bytes: the smallest k with
+// 1<<k >= n.
+func sizeClass(n int) uint {
+	k := uint(0)
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// Get returns a buffer with length n. The buffer may contain stale data.
+func (p *Pool) Get(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	k := sizeClass(n)
+	p.mu.Lock()
+	if bucket := p.classes[k]; bucket != nil && len(*bucket) > 0 {
+		buf := (*bucket)[len(*bucket)-1]
+		*bucket = (*bucket)[:len(*bucket)-1]
+		p.hits++
+		p.mu.Unlock()
+		return buf[:n]
+	}
+	p.misses++
+	p.mu.Unlock()
+	return make([]byte, n, 1<<k)
+}
+
+// Put returns a buffer to the pool. The caller must not use buf after
+// Put. Buffers whose capacity is not an exact size class are still
+// accepted and bucketed by the largest class that fits.
+func (p *Pool) Put(buf []byte) {
+	c := cap(buf)
+	if c == 0 {
+		return
+	}
+	// Largest k with 1<<k <= cap.
+	k := sizeClass(c)
+	if 1<<k > c {
+		if k == 0 {
+			return
+		}
+		k--
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	bucket := p.classes[k]
+	if bucket == nil {
+		b := make([][]byte, 0, p.maxPerClass)
+		bucket = &b
+		p.classes[k] = bucket
+	}
+	if len(*bucket) >= p.maxPerClass {
+		return // drop: retention cap reached
+	}
+	*bucket = append(*bucket, buf[:cap(buf)])
+}
+
+// Stats reports cumulative hit and miss counts.
+func (p *Pool) Stats() (hits, misses uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Prewarm allocates count buffers of each given size so that subsequent
+// Gets hit. PEDAL_Init calls this so the per-message path never
+// allocates.
+func (p *Pool) Prewarm(sizes []int, count int) {
+	for _, n := range sizes {
+		bufs := make([][]byte, 0, count)
+		for i := 0; i < count; i++ {
+			k := sizeClass(n)
+			bufs = append(bufs, make([]byte, n, 1<<k))
+		}
+		for _, b := range bufs {
+			p.Put(b)
+		}
+	}
+	// Prewarming is setup, not steady-state behaviour: do not let it
+	// count as misses in the hit-rate statistics.
+	p.mu.Lock()
+	p.misses = 0
+	p.hits = 0
+	p.mu.Unlock()
+}

@@ -1,0 +1,120 @@
+package mempool
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetPutReuse(t *testing.T) {
+	p := New()
+	b1 := p.Get(1000)
+	if len(b1) != 1000 {
+		t.Fatalf("len = %d", len(b1))
+	}
+	p.Put(b1)
+	b2 := p.Get(900) // same size class (1024)
+	if len(b2) != 900 {
+		t.Fatalf("len = %d", len(b2))
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestZeroSize(t *testing.T) {
+	p := New()
+	if buf := p.Get(0); buf != nil {
+		t.Fatal("Get(0) should return nil")
+	}
+	p.Put(nil) // must not panic
+}
+
+func TestPrewarmEliminatesMisses(t *testing.T) {
+	p := New()
+	sizes := []int{4096, 65536, 1 << 20}
+	p.Prewarm(sizes, 4)
+	for round := 0; round < 4; round++ {
+		var bufs [][]byte
+		for _, n := range sizes {
+			bufs = append(bufs, p.Get(n))
+		}
+		for _, b := range bufs {
+			p.Put(b)
+		}
+	}
+	hits, misses := p.Stats()
+	if misses != 0 {
+		t.Fatalf("prewarmed pool missed %d times (hits %d)", misses, hits)
+	}
+	if hits != uint64(4*len(sizes)) {
+		t.Fatalf("hits = %d, want %d", hits, 4*len(sizes))
+	}
+}
+
+func TestRetentionCap(t *testing.T) {
+	p := New()
+	for i := 0; i < DefaultMaxPerClass*3; i++ {
+		p.Put(make([]byte, 1024))
+	}
+	// Only maxPerClass buffers should be retained; the rest dropped. We
+	// can observe this by draining: after maxPerClass hits we must miss.
+	for i := 0; i < DefaultMaxPerClass; i++ {
+		p.Get(1024)
+	}
+	hits, misses := p.Stats()
+	if hits != DefaultMaxPerClass || misses != 0 {
+		t.Fatalf("hits=%d misses=%d", hits, misses)
+	}
+	p.Get(1024)
+	_, misses = p.Stats()
+	if misses != 1 {
+		t.Fatalf("expected a miss after draining, misses=%d", misses)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	p := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b := p.Get(1 << uint(6+i%8))
+				b[0] = byte(i)
+				p.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestQuickGetLength(t *testing.T) {
+	p := New()
+	f := func(n uint16) bool {
+		if n == 0 {
+			return p.Get(0) == nil
+		}
+		b := p.Get(int(n))
+		ok := len(b) == int(n) && cap(b) >= int(n)
+		p.Put(b)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeClassPowerOfTwo(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint
+	}{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {1023, 10}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := sizeClass(c.n); got != c.want {
+			t.Errorf("sizeClass(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

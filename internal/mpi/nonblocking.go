@@ -1,0 +1,242 @@
+package mpi
+
+import (
+	"fmt"
+
+	"pedal/internal/core"
+)
+
+// Request tracks a nonblocking operation started by Isend or Irecv.
+// Complete it with Wait (blocking) or poll it with Test. A Comm and its
+// Requests must be driven by the rank's single goroutine, like a real
+// MPI rank.
+type Request struct {
+	c    *Comm
+	done bool
+	err  error
+	data []byte // completed receive payload
+
+	// Send state.
+	isSend  bool
+	dst     int
+	tag     int
+	seq     uint64
+	payload []byte
+	origLen int
+	rndv    bool
+
+	// Recv state.
+	src    int
+	dt     core.DataType
+	maxLen int
+}
+
+// Isend starts a nonblocking standard send. Eager messages complete
+// immediately; Rendezvous messages complete in Wait/Test once the
+// receiver grants the transfer (CTS) and the data frame is on the wire.
+func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
+	dt := core.TypeBytes
+	if cc := c.opts.Compression; cc != nil && cc.DataType != 0 {
+		dt = cc.DataType
+	}
+	return c.IsendTyped(dst, tag, dt, data)
+}
+
+// IsendTyped is Isend with an explicit datatype.
+func (c *Comm) IsendTyped(dst, tag int, dt core.DataType, data []byte) (*Request, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	origLen := len(data)
+	payload := data
+	if cc := c.compressionFor(origLen); cc != nil {
+		msg, rep, err := c.pedal.Compress(cc.Design, dt, data)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: pedal compress: %w", err)
+		}
+		payload = msg
+		c.clock.Advance(rep.Virtual)
+		c.mergePhases(rep)
+	}
+	r := &Request{c: c, isSend: true, dst: dst, tag: tag, origLen: origLen, payload: payload}
+	if origLen < c.opts.RendezvousThreshold {
+		r.done = true
+		r.err = c.sendFrame(dst, kindEager, tag, c.nextSeq(), origLen, payload)
+		return r, r.err
+	}
+	r.rndv = true
+	r.seq = c.nextSeq()
+	// Register before the RTS leaves so any blocking wait can service the
+	// CTS the moment it arrives (progress-engine semantics).
+	c.pending[r.seq] = r
+	if err := c.sendFrame(dst, kindRTS, tag, r.seq, len(payload), nil); err != nil {
+		delete(c.pending, r.seq)
+		r.done, r.err = true, err
+		return r, err
+	}
+	return r, nil
+}
+
+// Irecv starts a nonblocking receive. The match and transfer happen in
+// Wait or Test.
+func (c *Comm) Irecv(src, tag int, maxLen int) (*Request, error) {
+	dt := core.TypeBytes
+	if cc := c.opts.Compression; cc != nil && cc.DataType != 0 {
+		dt = cc.DataType
+	}
+	return c.IrecvTyped(src, tag, dt, maxLen)
+}
+
+// IrecvTyped is Irecv with an explicit datatype.
+func (c *Comm) IrecvTyped(src, tag int, dt core.DataType, maxLen int) (*Request, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	return &Request{c: c, src: src, tag: tag, dt: dt, maxLen: maxLen}, nil
+}
+
+// Wait blocks until the request completes and returns the received
+// payload (nil for sends).
+func (r *Request) Wait() ([]byte, error) {
+	if r.done {
+		return r.data, r.err
+	}
+	if r.isSend {
+		// Drive the progress engine until our own CTS has been serviced
+		// (possibly by a nested wait that ran while we were blocked
+		// elsewhere).
+		c := r.c
+		for !r.done {
+			f, err := c.ep.Recv()
+			if err != nil {
+				r.done, r.err = true, err
+				return nil, err
+			}
+			env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
+			if err != nil {
+				r.done, r.err = true, err
+				return nil, err
+			}
+			if c.progressCTS(env) {
+				continue // may have completed r or another pending send
+			}
+			c.unexpected = append(c.unexpected, env)
+		}
+		return nil, r.err
+	}
+	r.data, r.err = r.c.RecvTyped(r.src, r.tag, r.dt, r.maxLen)
+	r.done = true
+	return r.data, r.err
+}
+
+// Test polls for completion without blocking on a quiet network. When it
+// reports true the request is complete and the payload (for receives) is
+// returned. Note: once a matching first frame has arrived, Test finishes
+// the remaining protocol steps, which can involve bounded waiting for a
+// rendezvous data frame (real MPI progress engines behave the same way).
+func (r *Request) Test() ([]byte, bool, error) {
+	if r.done {
+		return r.data, true, r.err
+	}
+	c := r.c
+	// Drain everything immediately available, servicing pending-send CTS
+	// grants (which may complete this very request) and queueing the
+	// rest.
+	for {
+		f, ok, err := c.ep.TryRecv()
+		if err != nil {
+			r.done, r.err = true, err
+			return nil, true, err
+		}
+		if !ok {
+			break
+		}
+		env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
+		if err != nil {
+			r.done, r.err = true, err
+			return nil, true, err
+		}
+		if c.progressCTS(env) {
+			continue
+		}
+		c.unexpected = append(c.unexpected, env)
+	}
+	if r.isSend {
+		return nil, r.done, r.err
+	}
+	for _, env := range c.unexpected {
+		if match(env, r.src, r.tag, kindEager, 0) || match(env, r.src, r.tag, kindRTS, 0) {
+			data, err := r.Wait()
+			return data, true, err
+		}
+	}
+	return nil, false, nil
+}
+
+// Waitall completes every request in order and returns the first error.
+func Waitall(reqs ...*Request) error {
+	var firstErr error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Probe reports whether a message matching (src, tag) is available
+// without receiving it, returning its source, tag and payload size when
+// present (MPI_Iprobe semantics: nonblocking).
+func (c *Comm) Probe(src, tag int) (fromRank, msgTag, size int, ok bool, err error) {
+	if c.closed {
+		return 0, 0, 0, false, ErrClosed
+	}
+	// Drain the transport without blocking.
+	for {
+		f, got, err := c.ep.TryRecv()
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		if !got {
+			break
+		}
+		env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		if c.progressCTS(env) {
+			continue
+		}
+		c.unexpected = append(c.unexpected, env)
+	}
+	for _, env := range c.unexpected {
+		if match(env, src, tag, kindEager, 0) {
+			return env.src, env.tag, env.origLen, true, nil
+		}
+		if match(env, src, tag, kindRTS, 0) {
+			// The RTS advertises the (possibly compressed) payload size.
+			return env.src, env.tag, env.origLen, true, nil
+		}
+	}
+	return 0, 0, 0, false, nil
+}
+
+// Sendrecv performs a simultaneous send and receive, the standard idiom
+// for shift exchanges that would deadlock with two blocking calls.
+func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, maxLen int) ([]byte, error) {
+	sreq, err := c.Isend(dst, sendTag, sendData)
+	if err != nil {
+		return nil, err
+	}
+	got, err := c.Recv(src, recvTag, maxLen)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sreq.Wait(); err != nil {
+		return nil, err
+	}
+	return got, nil
+}

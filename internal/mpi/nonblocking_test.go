@@ -1,0 +1,393 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+)
+
+func TestIsendIrecvEager(t *testing.T) {
+	comms, err := NewWorld(2, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	want := []byte("nonblocking eager")
+	run(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(1, 9, want)
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		req, err := c.Irecv(0, 9, 1024)
+		if err != nil {
+			return err
+		}
+		got, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return errors.New("mismatch")
+		}
+		return nil
+	})
+}
+
+func TestIsendIrecvRendezvous(t *testing.T) {
+	comms, err := NewWorld(2, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	want := textPayload(1 << 20)
+	run(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req, err := c.Isend(1, 0, want)
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		req, err := c.Irecv(0, 0, len(want)+64)
+		if err != nil {
+			return err
+		}
+		got, err := req.Wait()
+		if err != nil || !bytes.Equal(got, want) {
+			return fmt.Errorf("rendezvous irecv: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestOverlappingIsends(t *testing.T) {
+	// Multiple in-flight sends to the same peer must complete correctly
+	// (distinct rendezvous sequence numbers).
+	comms, err := NewWorld(2, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	const nMsgs = 4
+	run(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for i := 0; i < nMsgs; i++ {
+				payload := bytes.Repeat([]byte{byte('A' + i)}, 256<<10)
+				req, err := c.Isend(1, i, payload)
+				if err != nil {
+					return err
+				}
+				reqs = append(reqs, req)
+			}
+			return Waitall(reqs...)
+		}
+		for i := 0; i < nMsgs; i++ {
+			got, err := c.Recv(0, i, 1<<20)
+			if err != nil {
+				return err
+			}
+			if len(got) != 256<<10 || got[0] != byte('A'+i) {
+				return fmt.Errorf("message %d wrong: len %d first %c", i, len(got), got[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestTestPolling(t *testing.T) {
+	comms, err := NewWorld(2, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	want := []byte("poll me")
+	run(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			time.Sleep(50 * time.Millisecond)
+			return c.Send(1, 0, want)
+		}
+		req, err := c.Irecv(0, 0, 1024)
+		if err != nil {
+			return err
+		}
+		// Early Test must report not-done without blocking.
+		if _, done, _ := req.Test(); done {
+			return errors.New("Test reported done before the send")
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			got, done, err := req.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				if !bytes.Equal(got, want) {
+					return errors.New("mismatch")
+				}
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return errors.New("poll timeout")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+func TestSendrecvShiftExchange(t *testing.T) {
+	// Ring shift: every rank sends to (rank+1) and receives from
+	// (rank-1) simultaneously — deadlocks without Sendrecv.
+	const n = 4
+	comms, err := NewWorld(n, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	run(t, comms, func(c *Comm) error {
+		dst := (c.Rank() + 1) % n
+		src := (c.Rank() - 1 + n) % n
+		payload := bytes.Repeat([]byte{byte(c.Rank())}, 128<<10)
+		got, err := c.Sendrecv(dst, 0, payload, src, 0, 1<<20)
+		if err != nil {
+			return err
+		}
+		if len(got) != 128<<10 || got[0] != byte(src) {
+			return fmt.Errorf("rank %d got wrong shift data", c.Rank())
+		}
+		return nil
+	})
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 5
+	comms, err := NewWorld(n, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	const elems = 1000
+	run(t, comms, func(c *Comm) error {
+		vals := make([]byte, elems*8)
+		for i := 0; i < elems; i++ {
+			binary.LittleEndian.PutUint64(vals[i*8:], math.Float64bits(float64(c.Rank()+1)))
+		}
+		res, err := c.Reduce(0, SumFloat64, vals)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			want := float64(n * (n + 1) / 2) // 1+2+...+n
+			for i := 0; i < elems; i++ {
+				got := math.Float64frombits(binary.LittleEndian.Uint64(res[i*8:]))
+				if got != want {
+					return fmt.Errorf("element %d = %v, want %v", i, got, want)
+				}
+			}
+		} else if res != nil {
+			return errors.New("non-root got a reduce result")
+		}
+		return nil
+	})
+}
+
+func TestAllreduceMax(t *testing.T) {
+	const n = 4
+	comms, err := NewWorld(n, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	run(t, comms, func(c *Comm) error {
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(float64(c.Rank()*10)))
+		res, err := c.Allreduce(MaxFloat64, buf)
+		if err != nil {
+			return err
+		}
+		got := math.Float64frombits(binary.LittleEndian.Uint64(res))
+		if got != float64((n-1)*10) {
+			return fmt.Errorf("rank %d allreduce max = %v", c.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestReduceBXOR(t *testing.T) {
+	comms, err := NewWorld(3, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	run(t, comms, func(c *Comm) error {
+		buf := []byte{byte(c.Rank()), 0xFF}
+		res, err := c.Reduce(0, BXOR, buf)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if res[0] != 0^1^2 || res[1] != 0xFF {
+				return fmt.Errorf("bxor result %v", res)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatter(t *testing.T) {
+	const n = 4
+	comms, err := NewWorld(n, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	run(t, comms, func(c *Comm) error {
+		var in []byte
+		if c.Rank() == 1 {
+			in = make([]byte, n*100)
+			for i := range in {
+				in[i] = byte(i / 100)
+			}
+		}
+		got, err := c.Scatter(1, in)
+		if err != nil {
+			return err
+		}
+		if len(got) != 100 || got[0] != byte(c.Rank()) {
+			return fmt.Errorf("rank %d scatter chunk wrong", c.Rank())
+		}
+		return nil
+	})
+}
+
+func TestScatterIndivisible(t *testing.T) {
+	comms, err := NewWorld(3, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	run(t, comms, func(c *Comm) error {
+		var in []byte
+		if c.Rank() == 0 {
+			in = make([]byte, 100) // not divisible by 3
+			if _, err := c.Scatter(0, in); err == nil {
+				return errors.New("indivisible scatter accepted")
+			}
+			// Unblock peers: send them their (empty) error markers.
+			for r := 1; r < 3; r++ {
+				if err := c.Send(r, tagScatter, nil); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		_, err := c.Recv(0, tagScatter, 10)
+		return err
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 4
+	comms, err := NewWorld(n, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	run(t, comms, func(c *Comm) error {
+		contribution := bytes.Repeat([]byte{byte(c.Rank() + 1)}, 50)
+		all, err := c.Allgather(contribution)
+		if err != nil {
+			return err
+		}
+		if len(all) != n*50 {
+			return fmt.Errorf("rank %d: %d bytes", c.Rank(), len(all))
+		}
+		for r := 0; r < n; r++ {
+			if all[r*50] != byte(r+1) {
+				return fmt.Errorf("rank %d: segment %d wrong", c.Rank(), r)
+			}
+		}
+		return nil
+	})
+}
+
+func TestCompressedAllreduce(t *testing.T) {
+	// Large compressed reductions through the full PEDAL path.
+	const n = 4
+	comms, err := NewWorld(n, WorldOptions{
+		Compression: &CompressionConfig{Design: core.Design{Algo: core.AlgoLZ4, Engine: hwmodel.SoC}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	const elems = 64 << 10
+	run(t, comms, func(c *Comm) error {
+		vals := make([]byte, elems*8)
+		for i := 0; i < elems; i++ {
+			binary.LittleEndian.PutUint64(vals[i*8:], math.Float64bits(1.0))
+		}
+		res, err := c.Allreduce(SumFloat64, vals)
+		if err != nil {
+			return err
+		}
+		got := math.Float64frombits(binary.LittleEndian.Uint64(res))
+		if got != float64(n) {
+			return fmt.Errorf("sum = %v, want %v", got, float64(n))
+		}
+		return nil
+	})
+}
+
+func TestProbe(t *testing.T) {
+	comms, err := NewWorld(2, WorldOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	run(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 42, []byte("probe target"))
+		}
+		// Poll until the message is visible.
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			src, tag, size, ok, err := c.Probe(0, 42)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if src != 0 || tag != 42 || size != len("probe target") {
+					return fmt.Errorf("probe = src %d tag %d size %d", src, tag, size)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				return errors.New("probe timeout")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// Probing must not consume: the receive still works.
+		got, err := c.Recv(0, 42, 64)
+		if err != nil || string(got) != "probe target" {
+			return fmt.Errorf("recv after probe: %v", err)
+		}
+		// Nothing left afterwards.
+		if _, _, _, ok, _ := c.Probe(0, AnyTag); ok {
+			return errors.New("probe found a consumed message")
+		}
+		return nil
+	})
+}

@@ -1,0 +1,298 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"pedal/internal/core"
+)
+
+// Wire protocol kinds. Eager messages carry their payload inline; larger
+// messages use the three-step Rendezvous handshake (RTS → CTS → DATA),
+// matching MPICH's protocol split.
+const (
+	kindEager = iota + 1
+	kindRTS
+	kindCTS
+	kindData
+)
+
+// envHeaderLen is the fixed envelope prefix:
+// kind(1) + tag(4) + seq(8) + origLen(8).
+const envHeaderLen = 1 + 4 + 8 + 8
+
+// envelope is a decoded frame.
+type envelope struct {
+	kind    byte
+	src     int
+	tag     int
+	seq     uint64
+	origLen int
+	payload []byte
+	// departure is the sender's virtual clock at transmission.
+	departure int64
+}
+
+func encodeEnvelope(kind byte, tag int, seq uint64, origLen int, payload []byte) []byte {
+	buf := make([]byte, envHeaderLen+len(payload))
+	buf[0] = kind
+	binary.BigEndian.PutUint32(buf[1:5], uint32(int32(tag)))
+	binary.BigEndian.PutUint64(buf[5:13], seq)
+	binary.BigEndian.PutUint64(buf[13:21], uint64(origLen))
+	copy(buf[envHeaderLen:], payload)
+	return buf
+}
+
+func decodeEnvelope(src int, data []byte, departure int64) (envelope, error) {
+	if len(data) < envHeaderLen {
+		return envelope{}, fmt.Errorf("%w: short envelope (%d bytes)", ErrMismatch, len(data))
+	}
+	return envelope{
+		kind:      data[0],
+		src:       src,
+		tag:       int(int32(binary.BigEndian.Uint32(data[1:5]))),
+		seq:       binary.BigEndian.Uint64(data[5:13]),
+		origLen:   int(binary.BigEndian.Uint64(data[13:21])),
+		payload:   data[envHeaderLen:],
+		departure: departure,
+	}, nil
+}
+
+// nextSeq allocates a request id for a rendezvous exchange.
+func (c *Comm) nextSeq() uint64 {
+	c.seq++
+	return c.seq
+}
+
+// sendFrame transmits an envelope, stamping the rank's current virtual
+// time as the departure.
+func (c *Comm) sendFrame(dst int, kind byte, tag int, seq uint64, origLen int, payload []byte) error {
+	buf := encodeEnvelope(kind, tag, seq, origLen, payload)
+	return c.ep.Send(dst, buf, c.clock.Now())
+}
+
+// match reports whether env satisfies a (src, tag, kind, seq) wait. A
+// negative src or tag is a wildcard; seq 0 is a wildcard.
+func match(env envelope, src, tag int, kind byte, seq uint64) bool {
+	if env.kind != kind {
+		return false
+	}
+	if src != AnySource && env.src != src {
+		return false
+	}
+	if kind == kindEager || kind == kindRTS {
+		if tag != AnyTag && env.tag != tag {
+			return false
+		}
+	}
+	if seq != 0 && env.seq != seq {
+		return false
+	}
+	return true
+}
+
+// progressCTS services a CTS belonging to a pending nonblocking send:
+// the DATA frame goes out immediately and the request completes. It
+// reports whether the envelope was consumed. This is the progress-engine
+// behaviour that keeps mutual-exchange patterns deadlock-free.
+func (c *Comm) progressCTS(env envelope) bool {
+	if env.kind != kindCTS {
+		return false
+	}
+	r, ok := c.pending[env.seq]
+	if !ok || r.dst != env.src {
+		return false
+	}
+	delete(c.pending, env.seq)
+	c.clock.AdvanceTo(durationOf(env.departure) + c.wire(envHeaderLen))
+	r.err = c.sendFrame(r.dst, kindData, r.tag, r.seq, r.origLen, r.payload)
+	r.done = true
+	r.payload = nil
+	return true
+}
+
+// waitFor blocks until a frame matching the criteria arrives, servicing
+// pending-send CTS grants and queueing everything else on the unexpected
+// list (MPI's unexpected-message queue).
+func (c *Comm) waitFor(src, tag int, kind byte, seq uint64) (envelope, error) {
+	for i, env := range c.unexpected {
+		if match(env, src, tag, kind, seq) {
+			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+			return env, nil
+		}
+	}
+	for {
+		f, err := c.ep.Recv()
+		if err != nil {
+			return envelope{}, err
+		}
+		env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
+		if err != nil {
+			return envelope{}, err
+		}
+		if c.progressCTS(env) {
+			continue
+		}
+		if match(env, src, tag, kind, seq) {
+			return env, nil
+		}
+		c.unexpected = append(c.unexpected, env)
+	}
+}
+
+// Send transmits data to dst with the given tag, compressing on the fly
+// per the world's PEDAL configuration. Send blocks until the message is
+// on the wire (standard-mode semantics).
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	dt := core.TypeBytes
+	if cc := c.opts.Compression; cc != nil && cc.DataType != 0 {
+		dt = cc.DataType
+	}
+	return c.SendTyped(dst, tag, dt, data)
+}
+
+// SendTyped is Send with an explicit datatype (the Listing-1 datatype
+// parameter; float types enable the lossy design).
+func (c *Comm) SendTyped(dst, tag int, dt core.DataType, data []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	origLen := len(data)
+	payload := data
+	// PEDAL hook, sender side: between the shim and transport layers
+	// (Fig. 6). Only Rendezvous-class messages are compressed.
+	if cc := c.compressionFor(origLen); cc != nil {
+		msg, rep, err := c.pedal.Compress(cc.Design, dt, data)
+		if err != nil {
+			return fmt.Errorf("mpi: pedal compress: %w", err)
+		}
+		payload = msg
+		c.clock.Advance(rep.Virtual)
+		c.mergePhases(rep)
+	}
+	if origLen < c.opts.RendezvousThreshold {
+		// Eager: single frame, payload inline.
+		return c.sendFrame(dst, kindEager, tag, c.nextSeq(), origLen, payload)
+	}
+	// Rendezvous: RTS carries the payload size; the receiver posts a
+	// PEDAL buffer of that size and grants with CTS.
+	seq := c.nextSeq()
+	if err := c.sendFrame(dst, kindRTS, tag, seq, len(payload), nil); err != nil {
+		return err
+	}
+	cts, err := c.waitFor(dst, AnyTag, kindCTS, seq)
+	if err != nil {
+		return err
+	}
+	// Merge the receiver's grant time plus control-message latency.
+	c.clock.AdvanceTo(durationOf(cts.departure) + c.wire(envHeaderLen))
+	return c.sendFrame(dst, kindData, tag, seq, origLen, payload)
+}
+
+// Recv receives a message from src with the given tag into a new buffer
+// of at most maxLen bytes. It implements the receiver half of the PEDAL
+// co-design: the transport delivers into a PEDAL-owned buffer, and the
+// decompressed message is produced for the user without an extra copy.
+func (c *Comm) Recv(src, tag int, maxLen int) ([]byte, error) {
+	dt := core.TypeBytes
+	if cc := c.opts.Compression; cc != nil && cc.DataType != 0 {
+		dt = cc.DataType
+	}
+	return c.RecvTyped(src, tag, dt, maxLen)
+}
+
+// RecvTyped is Recv with an explicit datatype for the lossy design.
+func (c *Comm) RecvTyped(src, tag int, dt core.DataType, maxLen int) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	// Wait for either an eager message or a rendezvous RTS.
+	env, err := c.waitForSendStart(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	var origLen int
+	switch env.kind {
+	case kindEager:
+		c.clock.AdvanceTo(durationOf(env.departure) + c.wire(envHeaderLen+len(env.payload)))
+		payload = env.payload
+		origLen = env.origLen
+	case kindRTS:
+		c.clock.AdvanceTo(durationOf(env.departure) + c.wire(envHeaderLen))
+		// Grant: MPICH posts the receive with a PEDAL-generated buffer
+		// sized from the RTS (paper §IV).
+		if err := c.sendFrame(env.src, kindCTS, env.tag, env.seq, 0, nil); err != nil {
+			return nil, err
+		}
+		data, err := c.waitFor(env.src, AnyTag, kindData, env.seq)
+		if err != nil {
+			return nil, err
+		}
+		c.clock.AdvanceTo(durationOf(data.departure) + c.wire(envHeaderLen+len(data.payload)))
+		payload = data.payload
+		origLen = data.origLen
+	default:
+		return nil, fmt.Errorf("%w: unexpected kind %d", ErrMismatch, env.kind)
+	}
+	if maxLen > 0 && origLen > maxLen {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTruncate, origLen, maxLen)
+	}
+	// PEDAL hook, receiver side: decompress from the PEDAL buffer
+	// directly into the user's buffer. Uncompressed payloads (no PEDAL
+	// header) pass through untouched.
+	if c.pedal != nil {
+		engine := core.Design{}.Engine
+		if cc := c.opts.Compression; cc != nil {
+			engine = cc.Design.Engine
+		}
+		out, rep, err := c.pedal.Decompress(engine, dt, payload, maxLen)
+		if err != nil {
+			return nil, fmt.Errorf("mpi: pedal decompress: %w", err)
+		}
+		c.clock.Advance(rep.Virtual)
+		c.mergePhases(rep)
+		return out, nil
+	}
+	return payload, nil
+}
+
+// waitForSendStart waits for the first frame of an incoming message:
+// either an eager payload or an RTS.
+func (c *Comm) waitForSendStart(src, tag int) (envelope, error) {
+	for i, env := range c.unexpected {
+		if match(env, src, tag, kindEager, 0) || match(env, src, tag, kindRTS, 0) {
+			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+			return env, nil
+		}
+	}
+	for {
+		f, err := c.ep.Recv()
+		if err != nil {
+			return envelope{}, err
+		}
+		env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
+		if err != nil {
+			return envelope{}, err
+		}
+		if c.progressCTS(env) {
+			continue
+		}
+		if match(env, src, tag, kindEager, 0) || match(env, src, tag, kindRTS, 0) {
+			return env, nil
+		}
+		c.unexpected = append(c.unexpected, env)
+	}
+}
+
+// mergePhases folds a PEDAL operation report into the rank's breakdown.
+func (c *Comm) mergePhases(rep core.Report) {
+	for p, d := range rep.Phases {
+		c.bd.Add(p, d)
+	}
+}
+
+// durationOf converts a stamped departure (nanoseconds of virtual time)
+// back to a duration.
+func durationOf(ns int64) time.Duration { return time.Duration(ns) }

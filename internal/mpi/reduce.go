@@ -1,0 +1,188 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Reserved tags for the reduction-family collectives.
+const (
+	tagReduce    = 1<<30 + 3
+	tagScatter   = 1<<30 + 4
+	tagAllgather = 1<<30 + 5
+)
+
+// ReduceOp combines two equally-shaped byte buffers element-wise. All
+// standard ops are commutative and associative, as MPI requires for
+// tree-based reductions.
+type ReduceOp struct {
+	Name    string
+	Combine func(a, b []byte) ([]byte, error)
+}
+
+// SumFloat64 adds little-endian float64 vectors.
+var SumFloat64 = ReduceOp{
+	Name: "sum_float64",
+	Combine: mapFloat64(func(x, y float64) float64 {
+		return x + y
+	}),
+}
+
+// MaxFloat64 takes the element-wise maximum of float64 vectors.
+var MaxFloat64 = ReduceOp{
+	Name: "max_float64",
+	Combine: mapFloat64(func(x, y float64) float64 {
+		return math.Max(x, y)
+	}),
+}
+
+// MinFloat64 takes the element-wise minimum of float64 vectors.
+var MinFloat64 = ReduceOp{
+	Name: "min_float64",
+	Combine: mapFloat64(func(x, y float64) float64 {
+		return math.Min(x, y)
+	}),
+}
+
+// BXOR xors byte vectors (useful for checksum-style reductions).
+var BXOR = ReduceOp{
+	Name: "bxor",
+	Combine: func(a, b []byte) ([]byte, error) {
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("mpi: reduce length mismatch %d vs %d", len(a), len(b))
+		}
+		out := make([]byte, len(a))
+		for i := range a {
+			out[i] = a[i] ^ b[i]
+		}
+		return out, nil
+	},
+}
+
+func mapFloat64(f func(x, y float64) float64) func(a, b []byte) ([]byte, error) {
+	return func(a, b []byte) ([]byte, error) {
+		if len(a) != len(b) || len(a)%8 != 0 {
+			return nil, fmt.Errorf("mpi: float64 reduce needs equal 8-aligned buffers (%d vs %d)", len(a), len(b))
+		}
+		out := make([]byte, len(a))
+		for i := 0; i < len(a); i += 8 {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(a[i:]))
+			y := math.Float64frombits(binary.LittleEndian.Uint64(b[i:]))
+			binary.LittleEndian.PutUint64(out[i:], math.Float64bits(f(x, y)))
+		}
+		return out, nil
+	}
+}
+
+// Reduce combines every rank's data at root with op, using the binomial
+// tree MPICH uses for commutative operations. Compression applies per
+// hop like any point-to-point transfer. Non-root ranks return nil.
+func (c *Comm) Reduce(root int, op ReduceOp, data []byte) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.size == 1 {
+		return data, nil
+	}
+	relrank := (c.rank - root + c.size) % c.size
+	acc := data
+	for mask := 1; mask < c.size; mask <<= 1 {
+		if relrank&mask != 0 {
+			parent := ((relrank - mask) + root) % c.size
+			if err := c.Send(parent, tagReduce, acc); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		if relrank+mask < c.size {
+			child := ((relrank + mask) + root) % c.size
+			got, err := c.Recv(child, tagReduce, len(acc)+1024)
+			if err != nil {
+				return nil, err
+			}
+			acc, err = op.Combine(acc, got)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if c.rank == root {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// Allreduce is Reduce followed by Bcast (MPICH's default for large
+// messages), leaving every rank with the combined result.
+func (c *Comm) Allreduce(op ReduceOp, data []byte) ([]byte, error) {
+	res, err := c.Reduce(0, op, data)
+	if err != nil {
+		return nil, err
+	}
+	return c.Bcast(0, res)
+}
+
+// Scatter splits root's data into size equal chunks and delivers chunk i
+// to rank i. len(data) must be divisible by the world size at root.
+func (c *Comm) Scatter(root int, data []byte) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.size == 1 {
+		return data, nil
+	}
+	if c.rank == root {
+		if len(data)%c.size != 0 {
+			return nil, fmt.Errorf("mpi: scatter buffer %d not divisible by %d ranks", len(data), c.size)
+		}
+		chunk := len(data) / c.size
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagScatter, data[r*chunk:(r+1)*chunk]); err != nil {
+				return nil, err
+			}
+		}
+		return data[root*chunk : (root+1)*chunk], nil
+	}
+	return c.Recv(root, tagScatter, 0)
+}
+
+// Allgather collects every rank's equally-sized contribution and leaves
+// the rank-ordered concatenation on all ranks (gather-to-root followed by
+// a broadcast of the concatenation).
+func (c *Comm) Allgather(data []byte) ([]byte, error) {
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.size == 1 {
+		return data, nil
+	}
+	if c.rank != 0 {
+		if err := c.Send(0, tagAllgather, data); err != nil {
+			return nil, err
+		}
+		return c.Bcast(0, nil)
+	}
+	parts := make([][]byte, c.size)
+	parts[0] = data
+	for i := 0; i < c.size-1; i++ {
+		env, err := c.waitForSendStart(AnySource, tagAllgather)
+		if err != nil {
+			return nil, err
+		}
+		c.unexpected = append(c.unexpected, env)
+		got, err := c.Recv(env.src, tagAllgather, 0)
+		if err != nil {
+			return nil, err
+		}
+		parts[env.src] = got
+	}
+	var all []byte
+	for _, p := range parts {
+		all = append(all, p...)
+	}
+	return c.Bcast(0, all)
+}

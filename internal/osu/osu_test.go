@@ -1,0 +1,184 @@
+package osu
+
+import (
+	"testing"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mpi"
+)
+
+func TestLatencySweepShape(t *testing.T) {
+	res, err := RunLatency(P2PConfig{
+		Sizes:      []int{4 << 10, 256 << 10, 4 << 20},
+		Iterations: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Latency <= res[i-1].Latency {
+			t.Fatalf("latency not increasing with size: %v then %v", res[i-1].Latency, res[i].Latency)
+		}
+	}
+}
+
+func TestLatencyCEngineBeatsSoCOnBF2(t *testing.T) {
+	design := func(e hwmodel.Engine) mpi.WorldOptions {
+		return mpi.WorldOptions{
+			Generation: hwmodel.BlueField2,
+			Compression: &mpi.CompressionConfig{
+				Design: core.Design{Algo: core.AlgoDeflate, Engine: e},
+			},
+		}
+	}
+	soc, err := RunLatency(P2PConfig{World: design(hwmodel.SoC), Sizes: []int{5 << 20}, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ce, err := RunLatency(P2PConfig{World: design(hwmodel.CEngine), Sizes: []int{5 << 20}, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(soc[0].Latency) / float64(ce[0].Latency); ratio < 10 {
+		t.Fatalf("C-Engine vs SoC latency ratio = %.1f, want large (Fig. 10)", ratio)
+	}
+}
+
+func TestBaselineVsPedalP2P(t *testing.T) {
+	world := func(baseline bool) mpi.WorldOptions {
+		return mpi.WorldOptions{
+			Generation: hwmodel.BlueField2,
+			Baseline:   baseline,
+			Compression: &mpi.CompressionConfig{
+				Design: core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine},
+			},
+		}
+	}
+	base, err := RunLatency(P2PConfig{World: world(true), Sizes: []int{5 << 20}, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ped, err := RunLatency(P2PConfig{World: world(false), Sizes: []int{5 << 20}, Iterations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(base[0].Latency) / float64(ped[0].Latency)
+	t.Logf("PEDAL speedup over baseline at 5 MiB: %.1fx", speedup)
+	if speedup < 20 {
+		t.Fatalf("speedup %.1f too small (paper: up to 88x)", speedup)
+	}
+}
+
+func TestBcastSweep(t *testing.T) {
+	res, err := RunBcast(BcastConfig{
+		Nodes:      4,
+		Sizes:      []int{1 << 20, 8 << 20},
+		Iterations: 2,
+		World: mpi.WorldOptions{
+			Compression: &mpi.CompressionConfig{
+				Design: core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[1].Latency <= res[0].Latency {
+		t.Fatalf("bcast sweep shape wrong: %+v", res)
+	}
+}
+
+func TestBcastBaselineSlower(t *testing.T) {
+	cfgFor := func(baseline bool) BcastConfig {
+		return BcastConfig{
+			Nodes:      4,
+			Sizes:      []int{5 << 20},
+			Iterations: 2,
+			World: mpi.WorldOptions{
+				Baseline: baseline,
+				Compression: &mpi.CompressionConfig{
+					Design: core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine},
+				},
+			},
+		}
+	}
+	base, err := RunBcast(cfgFor(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ped, err := RunBcast(cfgFor(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := float64(base[0].Latency) / float64(ped[0].Latency)
+	t.Logf("Bcast PEDAL speedup over baseline: %.1fx", speedup)
+	if speedup < 10 {
+		t.Fatalf("bcast speedup %.1f too small (paper: up to 68x)", speedup)
+	}
+}
+
+func TestDefaultPayloadCompressible(t *testing.T) {
+	p := DefaultPayload(1 << 20)
+	if len(p) != 1<<20 {
+		t.Fatal("size wrong")
+	}
+}
+
+func TestBandwidthSweep(t *testing.T) {
+	res, err := RunBandwidth(BWConfig{
+		Sizes:   []int{256 << 10, 4 << 20},
+		Windows: 2,
+		World: mpi.WorldOptions{
+			Compression: &mpi.CompressionConfig{
+				Design: core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine},
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("%d results", len(res))
+	}
+	for _, r := range res {
+		if r.Bandwidth <= 0 {
+			t.Fatalf("size %d: bandwidth %v", r.Size, r.Bandwidth)
+		}
+	}
+	// Bandwidth should improve with message size (fixed costs amortise).
+	if res[1].Bandwidth <= res[0].Bandwidth {
+		t.Fatalf("bandwidth not increasing: %.1f then %.1f MB/s", res[0].Bandwidth, res[1].Bandwidth)
+	}
+}
+
+func TestBandwidthCompressionWins(t *testing.T) {
+	// On highly compressible payloads the C-Engine design moves more
+	// application bytes per second than the uncompressed transfer once
+	// messages are large (the effective-bandwidth argument of the
+	// paper's motivation).
+	run := func(opts mpi.WorldOptions) float64 {
+		res, err := RunBandwidth(BWConfig{
+			Sizes:   []int{32 << 20},
+			Windows: 2,
+			World:   opts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Bandwidth
+	}
+	plain := run(mpi.WorldOptions{})
+	compressed := run(mpi.WorldOptions{
+		Compression: &mpi.CompressionConfig{
+			Design: core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine},
+		},
+	})
+	t.Logf("plain %.0f MB/s, compressed %.0f MB/s", plain, compressed)
+	if compressed <= 0 || plain <= 0 {
+		t.Fatal("zero bandwidth")
+	}
+}

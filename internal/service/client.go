@@ -1,0 +1,65 @@
+package service
+
+import (
+	"net"
+	"sync"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+)
+
+// Client is a connection to a PEDAL service. Safe for concurrent use
+// (requests are serialised on the single connection, like a DOCA queue
+// pair).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to a PEDAL service at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClient wraps an existing connection (tests use net.Pipe).
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip serialises one request/response exchange.
+func (c *Client) roundTrip(req request) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeRequest(c.conn, req); err != nil {
+		return nil, err
+	}
+	return readResponse(c.conn)
+}
+
+// Compress asks the service to compress data with the given design. The
+// returned message carries the PEDAL header like a local Compress.
+func (c *Client) Compress(d core.Design, dt core.DataType, data []byte) ([]byte, error) {
+	return c.roundTrip(request{
+		op:     opCompress,
+		algo:   byte(d.Algo),
+		engine: byte(d.Engine),
+		dtype:  byte(dt),
+		data:   data,
+	})
+}
+
+// Decompress asks the service to decompress a PEDAL message.
+func (c *Client) Decompress(engine hwmodel.Engine, dt core.DataType, msg []byte, maxOut int) ([]byte, error) {
+	return c.roundTrip(request{
+		op:     opDecompress,
+		engine: byte(engine),
+		dtype:  byte(dt),
+		maxOut: int64(maxOut),
+		data:   msg,
+	})
+}

@@ -1,0 +1,108 @@
+// Package service exposes a PEDAL library over TCP: the deployment where
+// the DPU runs a compression daemon and host applications use it as a
+// service (§VI: "the standalone PEDAL library is readily accessible to
+// these applications"). The wire protocol is a simple length-prefixed
+// binary request/response.
+//
+// Request:
+//
+//	op(1) algo(1) engine(1) dtype(1) maxOut(8 LE) len(8 LE) payload
+//
+// Response:
+//
+//	status(1) len(8 LE) payload-or-error-text
+package service
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol op codes.
+const (
+	opCompress   = 1
+	opDecompress = 2
+)
+
+// Response status codes.
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxPayload bounds a single request or response body.
+const maxPayload = 1 << 30
+
+// ErrRemote wraps an error string returned by the server.
+var ErrRemote = errors.New("service: remote error")
+
+type request struct {
+	op     byte
+	algo   byte
+	engine byte
+	dtype  byte
+	maxOut int64
+	data   []byte
+}
+
+func writeRequest(w io.Writer, r request) error {
+	hdr := make([]byte, 4+8+8)
+	hdr[0], hdr[1], hdr[2], hdr[3] = r.op, r.algo, r.engine, r.dtype
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(r.maxOut))
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(r.data)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(r.data)
+	return err
+}
+
+func readRequest(r io.Reader) (request, error) {
+	hdr := make([]byte, 4+8+8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return request{}, err
+	}
+	req := request{op: hdr[0], algo: hdr[1], engine: hdr[2], dtype: hdr[3]}
+	req.maxOut = int64(binary.LittleEndian.Uint64(hdr[4:]))
+	n := binary.LittleEndian.Uint64(hdr[12:])
+	if n > maxPayload {
+		return request{}, fmt.Errorf("service: request payload %d too large", n)
+	}
+	req.data = make([]byte, n)
+	if _, err := io.ReadFull(r, req.data); err != nil {
+		return request{}, err
+	}
+	return req, nil
+}
+
+func writeResponse(w io.Writer, status byte, body []byte) error {
+	hdr := make([]byte, 1+8)
+	hdr[0] = status
+	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(body)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func readResponse(r io.Reader) ([]byte, error) {
+	hdr := make([]byte, 1+8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(hdr[1:])
+	if n > maxPayload {
+		return nil, fmt.Errorf("service: response payload %d too large", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	if hdr[0] != statusOK {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, body)
+	}
+	return body, nil
+}

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+)
+
+// Server serves PEDAL compression over a listener. One PEDAL library is
+// shared by all connections, the way a DPU daemon would share the
+// device.
+type Server struct {
+	lib *core.Library
+	ln  net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	// Logf receives per-connection error logs; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// NewServer wraps an initialised library. The caller retains ownership
+// of lib (Close does not finalize it).
+func NewServer(lib *core.Library) *Server {
+	return &Server{lib: lib, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes. It returns the
+// accept error that terminated the loop (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			s.wg.Wait()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting and closes active connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		s.wg.Done()
+	}()
+	for {
+		req, err := readRequest(conn)
+		if err != nil {
+			return // EOF or broken connection: session over
+		}
+		body, err := s.execute(req)
+		if err != nil {
+			if werr := writeResponse(conn, statusErr, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := writeResponse(conn, statusOK, body); err != nil {
+			s.logf("service: write response: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) execute(req request) ([]byte, error) {
+	engine := hwmodel.Engine(req.engine)
+	if engine != hwmodel.SoC && engine != hwmodel.CEngine {
+		return nil, errors.New("bad engine")
+	}
+	dt := core.DataType(req.dtype)
+	switch req.op {
+	case opCompress:
+		d := core.Design{Algo: core.AlgoID(req.algo), Engine: engine}
+		msg, _, err := s.lib.Compress(d, dt, req.data)
+		return msg, err
+	case opDecompress:
+		out, _, err := s.lib.Decompress(engine, dt, req.data, int(req.maxOut))
+		return out, err
+	default:
+		return nil, errors.New("bad op")
+	}
+}
+
+// ListenAndServe is the convenience entry used by cmd/pedald.
+func ListenAndServe(addr string, lib *core.Library) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s := NewServer(lib)
+	s.Logf = log.Printf
+	return s.Serve(ln)
+}

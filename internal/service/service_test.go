@@ -1,0 +1,180 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+)
+
+func startServer(t *testing.T) (addr string, lib *core.Library) {
+	t.Helper()
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lib)
+	go s.Serve(ln)
+	t.Cleanup(func() {
+		s.Close()
+		lib.Finalize()
+	})
+	return ln.Addr().String(), lib
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := bytes.Repeat([]byte("pedal as a service over tcp "), 5000)
+	msg, err := c.Compress(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}, core.TypeBytes, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg) >= len(data) {
+		t.Fatalf("no compression: %d vs %d", len(msg), len(data))
+	}
+	algo, _, err := core.ParseHeader(msg)
+	if err != nil || algo != core.AlgoDeflate {
+		t.Fatalf("header: %v %v", algo, err)
+	}
+	out, err := c.Decompress(hwmodel.CEngine, core.TypeBytes, msg, len(data)+64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestMultipleRequestsOneConnection(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		data := bytes.Repeat([]byte{byte('a' + i)}, 10000)
+		msg, err := c.Compress(core.Design{Algo: core.AlgoLZ4, Engine: hwmodel.SoC}, core.TypeBytes, data)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		out, err := c.Decompress(hwmodel.SoC, core.TypeBytes, msg, len(data)+64)
+		if err != nil || !bytes.Equal(out, data) {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, _ := startServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			data := bytes.Repeat([]byte(strings.Repeat("x", g+1)), 5000)
+			msg, err := c.Compress(core.Design{Algo: core.AlgoZlib, Engine: hwmodel.CEngine}, core.TypeBytes, data)
+			if err != nil {
+				errs <- err
+				return
+			}
+			out, err := c.Decompress(hwmodel.CEngine, core.TypeBytes, msg, len(data)+64)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(out, data) {
+				errs <- errors.New("mismatch")
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteErrorSurfaced(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// SZ3 with a non-float datatype errors on the server; the client
+	// must see ErrRemote and the connection must stay usable.
+	if _, err := c.Compress(core.Design{Algo: core.AlgoSZ3, Engine: hwmodel.SoC}, core.TypeBytes, []byte("abcd")); !errors.Is(err, ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	data := []byte("still works after an error")
+	msg, err := c.Compress(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}, core.TypeBytes, data)
+	if err != nil {
+		t.Fatalf("connection unusable after error: %v", err)
+	}
+	out, err := c.Decompress(hwmodel.SoC, core.TypeBytes, msg, 1024)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatal("recovery round trip failed")
+	}
+}
+
+func TestBadEngineRejected(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Compress(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.Engine(9)}, core.TypeBytes, []byte("x")); !errors.Is(err, ErrRemote) {
+		t.Fatalf("bad engine: %v", err)
+	}
+}
+
+func TestServerCloseUnblocksClients(t *testing.T) {
+	lib, err := core.Init(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lib)
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	s.Close()
+	if err := <-done; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+	// Requests on the closed connection fail cleanly.
+	if _, err := c.Compress(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}, core.TypeBytes, []byte("x")); err == nil {
+		t.Fatal("request succeeded after server close")
+	}
+}

@@ -1,0 +1,62 @@
+// Package simclock provides the deterministic virtual time base used by
+// the BlueField hardware model. Real silicon timing cannot be reproduced
+// on commodity x86, so every simulated operation computes a virtual
+// duration from the calibrated cost model (internal/hwmodel) and advances
+// a virtual clock. Benchmarks report virtual time for paper-figure
+// reproduction alongside real wall-clock time.
+package simclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is a monotonically advancing virtual clock. It is safe for
+// concurrent use; concurrent work tracks (e.g. SoC vs C-Engine activity)
+// can be modelled with AdvanceTo, which implements a max-merge the way
+// vector clocks do.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// New returns a clock at virtual time zero.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative d panics: virtual time never rewinds.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d < 0 {
+		panic("simclock: negative advance")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time and
+// returns the resulting time. Used to merge completion times of parallel
+// activities: a consumer that depends on two tracks advances to the max.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Reset rewinds the clock to zero (between benchmark iterations).
+func (c *Clock) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = 0
+}

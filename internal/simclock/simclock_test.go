@@ -1,0 +1,70 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Fatal("fresh clock not at zero")
+	}
+	if got := c.Advance(5 * time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("got %v", got)
+	}
+	c.Advance(3 * time.Millisecond)
+	if c.Now() != 8*time.Millisecond {
+		t.Fatalf("got %v", c.Now())
+	}
+}
+
+func TestAdvanceToMaxMerge(t *testing.T) {
+	c := New()
+	c.Advance(10 * time.Millisecond)
+	c.AdvanceTo(5 * time.Millisecond) // earlier: no-op
+	if c.Now() != 10*time.Millisecond {
+		t.Fatalf("rewound to %v", c.Now())
+	}
+	c.AdvanceTo(20 * time.Millisecond)
+	if c.Now() != 20*time.Millisecond {
+		t.Fatalf("got %v", c.Now())
+	}
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	New().Advance(-1)
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.Advance(time.Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("reset did not zero the clock")
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Now() != 8*1000*time.Microsecond {
+		t.Fatalf("lost updates: %v", c.Now())
+	}
+}

@@ -1,0 +1,142 @@
+// Package stats accumulates per-phase virtual-time breakdowns. The
+// paper's Figures 7 and 9 report execution time split into four
+// fractions — DOCA initialisation, buffer preparation, compression, and
+// decompression — and this package is the accounting backbone for
+// regenerating them.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase labels one segment of a compression run.
+type Phase string
+
+// The four fractions of Figs. 7 and 9, plus auxiliary phases used by the
+// MPI co-design experiments.
+const (
+	PhaseDOCAInit   Phase = "doca_init"
+	PhaseBufPrep    Phase = "buffer_prep"
+	PhaseCompress   Phase = "compression"
+	PhaseDecompress Phase = "decompression"
+	PhaseWire       Phase = "wire"
+	PhaseOther      Phase = "other"
+)
+
+// Breakdown is a concurrency-safe accumulator of virtual durations per
+// phase.
+type Breakdown struct {
+	mu sync.Mutex
+	m  map[Phase]time.Duration
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{m: make(map[Phase]time.Duration)}
+}
+
+// Add accumulates d into phase p.
+func (b *Breakdown) Add(p Phase, d time.Duration) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.m[p] += d
+	b.mu.Unlock()
+}
+
+// Get returns the accumulated duration for phase p.
+func (b *Breakdown) Get(p Phase) time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.m[p]
+}
+
+// Total returns the sum over all phases.
+func (b *Breakdown) Total() time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var t time.Duration
+	for _, d := range b.m {
+		t += d
+	}
+	return t
+}
+
+// Fraction returns phase p's share of the total, in [0, 1].
+func (b *Breakdown) Fraction(p Phase) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.Get(p)) / float64(t)
+}
+
+// Reset clears all phases.
+func (b *Breakdown) Reset() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.m = make(map[Phase]time.Duration)
+	b.mu.Unlock()
+}
+
+// Snapshot returns a copy of the phase map.
+func (b *Breakdown) Snapshot() map[Phase]time.Duration {
+	out := make(map[Phase]time.Duration)
+	if b == nil {
+		return out
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for p, d := range b.m {
+		out[p] = d
+	}
+	return out
+}
+
+// Merge adds every phase of other into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	if b == nil || other == nil {
+		return
+	}
+	for p, d := range other.Snapshot() {
+		b.Add(p, d)
+	}
+}
+
+// String formats the breakdown as "phase=dur(frac%)" pairs sorted by
+// phase name, for log and table output.
+func (b *Breakdown) String() string {
+	snap := b.Snapshot()
+	phases := make([]string, 0, len(snap))
+	for p := range snap {
+		phases = append(phases, string(p))
+	}
+	sort.Strings(phases)
+	total := b.Total()
+	var sb strings.Builder
+	for i, p := range phases {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		d := snap[Phase(p)]
+		frac := 0.0
+		if total > 0 {
+			frac = float64(d) / float64(total) * 100
+		}
+		fmt.Fprintf(&sb, "%s=%v(%.1f%%)", p, d.Round(time.Microsecond), frac)
+	}
+	return sb.String()
+}

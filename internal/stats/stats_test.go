@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddGetTotal(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseDOCAInit, 150*time.Millisecond)
+	b.Add(PhaseCompress, 30*time.Millisecond)
+	b.Add(PhaseCompress, 20*time.Millisecond)
+	if b.Get(PhaseCompress) != 50*time.Millisecond {
+		t.Fatalf("compress = %v", b.Get(PhaseCompress))
+	}
+	if b.Total() != 200*time.Millisecond {
+		t.Fatalf("total = %v", b.Total())
+	}
+}
+
+func TestFraction(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseDOCAInit, 94*time.Millisecond)
+	b.Add(PhaseCompress, 6*time.Millisecond)
+	if f := b.Fraction(PhaseDOCAInit); f < 0.93 || f > 0.95 {
+		t.Fatalf("fraction = %v", f)
+	}
+	if NewBreakdown().Fraction(PhaseCompress) != 0 {
+		t.Fatal("empty breakdown fraction should be 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseWire, time.Second)
+	b.Reset()
+	if b.Total() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewBreakdown()
+	a.Add(PhaseCompress, time.Millisecond)
+	b := NewBreakdown()
+	b.Add(PhaseCompress, time.Millisecond)
+	b.Add(PhaseWire, 2*time.Millisecond)
+	a.Merge(b)
+	if a.Get(PhaseCompress) != 2*time.Millisecond || a.Get(PhaseWire) != 2*time.Millisecond {
+		t.Fatalf("merge wrong: %v", a)
+	}
+}
+
+func TestNilSafe(t *testing.T) {
+	var b *Breakdown
+	b.Add(PhaseCompress, time.Second) // must not panic
+	if b.Get(PhaseCompress) != 0 || b.Total() != 0 {
+		t.Fatal("nil breakdown should read zero")
+	}
+	b.Reset()
+	b.Merge(NewBreakdown())
+}
+
+func TestStringFormat(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseDOCAInit, 90*time.Millisecond)
+	b.Add(PhaseCompress, 10*time.Millisecond)
+	s := b.String()
+	if !strings.Contains(s, "doca_init") || !strings.Contains(s, "90.0%") {
+		t.Fatalf("unexpected format: %s", s)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	b := NewBreakdown()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				b.Add(PhaseCompress, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Get(PhaseCompress) != 8*1000*time.Microsecond {
+		t.Fatalf("lost updates: %v", b.Get(PhaseCompress))
+	}
+}

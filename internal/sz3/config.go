@@ -1,0 +1,224 @@
+// Package sz3 implements an SZ3-style modular error-bounded lossy
+// compressor for scientific floating-point data, following the pipeline
+// the paper describes in §II-B: preprocessor → predictor (Lorenzo /
+// block-wise linear regression) → linear-scaling quantizer → Huffman
+// entropy encoder → pluggable lossless backend.
+//
+// The central guarantee is the absolute error bound: for every element,
+// |decompressed - original| <= ErrorBound. The compressor predicts each
+// value from already-reconstructed neighbours (the same values the
+// decompressor will see), quantizes the prediction error to an integer
+// code, and falls back to storing the exact value whenever quantization
+// cannot honour the bound.
+package sz3
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DataType identifies the element type of the input array, mirroring the
+// datatype parameter of the PEDAL_compress API (paper Listing 1).
+type DataType uint8
+
+// Supported element types.
+const (
+	Float32 DataType = iota + 1
+	Float64
+)
+
+// Size returns the element size in bytes.
+func (t DataType) Size() int {
+	switch t {
+	case Float32:
+		return 4
+	case Float64:
+		return 8
+	default:
+		return 0
+	}
+}
+
+func (t DataType) String() string {
+	switch t {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	default:
+		return fmt.Sprintf("DataType(%d)", uint8(t))
+	}
+}
+
+// PredictorKind selects the prediction stage.
+type PredictorKind uint8
+
+// Predictor choices. Auto picks Lorenzo or regression per block using an
+// error estimate, which is SZ3's hybrid strategy. Interpolation is the
+// dyadic-grid cubic-interpolation predictor SZ3 adopted for its later
+// versions (1-D arrays only).
+const (
+	PredictorLorenzo PredictorKind = iota + 1
+	PredictorRegression
+	PredictorAuto
+	PredictorInterpolation
+)
+
+func (p PredictorKind) String() string {
+	switch p {
+	case PredictorLorenzo:
+		return "lorenzo"
+	case PredictorRegression:
+		return "regression"
+	case PredictorAuto:
+		return "auto"
+	case PredictorInterpolation:
+		return "interpolation"
+	default:
+		return fmt.Sprintf("PredictorKind(%d)", uint8(p))
+	}
+}
+
+// BoundMode selects how Config.ErrorBound is interpreted.
+type BoundMode uint8
+
+// Bound modes. Absolute uses ErrorBound directly; Relative scales it by
+// the data's value range (SZ's "REL" mode), so ErrorBound=1e-3 means
+// 0.1% of (max-min).
+const (
+	BoundAbsolute BoundMode = iota + 1
+	BoundRelative
+)
+
+func (m BoundMode) String() string {
+	switch m {
+	case BoundAbsolute:
+		return "abs"
+	case BoundRelative:
+		return "rel"
+	default:
+		return fmt.Sprintf("BoundMode(%d)", uint8(m))
+	}
+}
+
+// BackendKind selects the final lossless stage. The paper's PEDAL design
+// swaps this stage between the SoC software implementation and the DPU
+// C-Engine (§III-C.2, Fig. 4).
+type BackendKind uint8
+
+// Backend choices. BackendFastLZ plays the role of SZ3's built-in zstd.
+const (
+	BackendFastLZ BackendKind = iota + 1
+	BackendDeflate
+	BackendLZ4
+	// BackendNone stores the entropy-coded stream unwrapped; useful for
+	// isolating pipeline stage costs in benchmarks.
+	BackendNone
+)
+
+func (b BackendKind) String() string {
+	switch b {
+	case BackendFastLZ:
+		return "fastlz"
+	case BackendDeflate:
+		return "deflate"
+	case BackendLZ4:
+		return "lz4"
+	case BackendNone:
+		return "none"
+	default:
+		return fmt.Sprintf("BackendKind(%d)", uint8(b))
+	}
+}
+
+// DefaultErrorBound is the paper's evaluation setting (§III-A): "an error
+// bound of 1e-4 was employed".
+const DefaultErrorBound = 1e-4
+
+// Config parameterises compression.
+type Config struct {
+	// ErrorBound is the absolute error bound. Must be > 0.
+	ErrorBound float64
+	// Dims are the array dimensions, slowest-varying first. The product
+	// must equal the element count. 1-3 dimensions are supported.
+	Dims []int
+	// Predictor selects the prediction stage; zero value means Auto.
+	Predictor PredictorKind
+	// Backend selects the lossless stage; zero value means FastLZ.
+	Backend BackendKind
+	// Mode selects absolute or relative error bounds; zero means
+	// Absolute. In Relative mode the effective absolute bound is
+	// ErrorBound × (max − min) of the input.
+	Mode BoundMode
+}
+
+// Errors returned by config validation and the codec.
+var (
+	ErrBadConfig = errors.New("sz3: invalid config")
+	ErrCorrupt   = errors.New("sz3: corrupt stream")
+)
+
+// withDefaults returns cfg with zero values replaced by defaults.
+func (c Config) withDefaults(n int) (Config, error) {
+	if c.ErrorBound == 0 {
+		c.ErrorBound = DefaultErrorBound
+	}
+	if c.ErrorBound <= 0 {
+		return c, fmt.Errorf("%w: error bound %g", ErrBadConfig, c.ErrorBound)
+	}
+	if c.Predictor == 0 {
+		c.Predictor = PredictorAuto
+	}
+	if c.Backend == 0 {
+		c.Backend = BackendFastLZ
+	}
+	if len(c.Dims) == 0 {
+		c.Dims = []int{n}
+	}
+	if len(c.Dims) > 3 {
+		return c, fmt.Errorf("%w: %d dims (max 3)", ErrBadConfig, len(c.Dims))
+	}
+	prod := 1
+	for _, d := range c.Dims {
+		if d <= 0 {
+			return c, fmt.Errorf("%w: dimension %d", ErrBadConfig, d)
+		}
+		prod *= d
+	}
+	if prod != n {
+		return c, fmt.Errorf("%w: dims %v product %d != element count %d", ErrBadConfig, c.Dims, prod, n)
+	}
+	switch c.Predictor {
+	case PredictorLorenzo, PredictorRegression, PredictorAuto, PredictorInterpolation:
+	default:
+		return c, fmt.Errorf("%w: predictor %d", ErrBadConfig, c.Predictor)
+	}
+	if c.Mode == 0 {
+		c.Mode = BoundAbsolute
+	}
+	switch c.Mode {
+	case BoundAbsolute, BoundRelative:
+	default:
+		return c, fmt.Errorf("%w: bound mode %d", ErrBadConfig, c.Mode)
+	}
+	switch c.Backend {
+	case BackendFastLZ, BackendDeflate, BackendLZ4, BackendNone:
+	default:
+		return c, fmt.Errorf("%w: backend %d", ErrBadConfig, c.Backend)
+	}
+	return c, nil
+}
+
+// blockEdge is the per-dimension block size used by block-wise processing.
+// SZ3 uses 6 for 3-D data; we keep that and use larger edges for lower
+// dimensionality so blocks hold a comparable element count.
+func blockEdge(ndims int) int {
+	switch ndims {
+	case 1:
+		return 256
+	case 2:
+		return 16
+	default:
+		return 6
+	}
+}

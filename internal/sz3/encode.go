@@ -1,0 +1,127 @@
+package sz3
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pedal/internal/bits"
+	"pedal/internal/huffman"
+)
+
+// szMaxCodeBits limits Huffman code lengths over the quantization-code
+// alphabet. 20 bits keeps decoder tables small while leaving ample room
+// for the 65536-symbol alphabet.
+const szMaxCodeBits = 20
+
+// encodeCodes Huffman-encodes the quantization code sequence. Layout:
+//
+//	[varint numSymbolsUsed]
+//	numSymbolsUsed × [varint symbolDelta][len byte]   (sparse length table)
+//	[varint codeCount]
+//	[varint bitstreamLen] [bitstream bytes]
+func encodeCodes(codes []uint16) ([]byte, error) {
+	freq := make([]uint64, numQuantCodes)
+	for _, c := range codes {
+		freq[c]++
+	}
+	var out []byte
+	if len(codes) == 0 {
+		return binary.AppendUvarint(out, 0), nil
+	}
+	lengths, err := huffman.BuildLengths(freq, szMaxCodeBits)
+	if err != nil {
+		return nil, err
+	}
+	code, err := huffman.CanonicalCode(lengths)
+	if err != nil {
+		return nil, err
+	}
+	// Sparse table: (delta, length) pairs over used symbols.
+	used := 0
+	for _, l := range lengths {
+		if l > 0 {
+			used++
+		}
+	}
+	out = binary.AppendUvarint(out, uint64(used))
+	prev := 0
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		out = binary.AppendUvarint(out, uint64(s-prev))
+		out = append(out, l)
+		prev = s
+	}
+	w := bits.NewWriter(len(codes) / 2)
+	for _, c := range codes {
+		l := uint(code.Len[c])
+		w.WriteBits(bits.Reverse(code.Bits[c], l), l)
+	}
+	stream := w.Bytes()
+	out = binary.AppendUvarint(out, uint64(len(codes)))
+	out = binary.AppendUvarint(out, uint64(len(stream)))
+	return append(out, stream...), nil
+}
+
+// decodeCodes reverses encodeCodes, returning the codes and the number of
+// bytes consumed from src.
+func decodeCodes(src []byte) ([]uint16, int, error) {
+	pos := 0
+	used, n := binary.Uvarint(src[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: symbol count", ErrCorrupt)
+	}
+	pos += n
+	if used == 0 {
+		return nil, pos, nil
+	}
+	if used > numQuantCodes {
+		return nil, 0, fmt.Errorf("%w: %d symbols", ErrCorrupt, used)
+	}
+	lengths := make([]uint8, numQuantCodes)
+	sym := 0
+	for i := uint64(0); i < used; i++ {
+		delta, n := binary.Uvarint(src[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("%w: symbol delta", ErrCorrupt)
+		}
+		pos += n
+		if pos >= len(src) {
+			return nil, 0, fmt.Errorf("%w: truncated length table", ErrCorrupt)
+		}
+		sym += int(delta)
+		if sym >= numQuantCodes {
+			return nil, 0, fmt.Errorf("%w: symbol %d out of range", ErrCorrupt, sym)
+		}
+		lengths[sym] = src[pos]
+		pos++
+	}
+	count, n := binary.Uvarint(src[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: code count", ErrCorrupt)
+	}
+	pos += n
+	streamLen, n := binary.Uvarint(src[pos:])
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("%w: stream length", ErrCorrupt)
+	}
+	pos += n
+	if pos+int(streamLen) > len(src) {
+		return nil, 0, fmt.Errorf("%w: truncated bitstream", ErrCorrupt)
+	}
+	dec, err := huffman.NewDecoder(lengths)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: code table: %v", ErrCorrupt, err)
+	}
+	r := bits.NewReader(src[pos : pos+int(streamLen)])
+	codes := make([]uint16, count)
+	for i := range codes {
+		s, err := dec.Decode(r)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: code %d: %v", ErrCorrupt, i, err)
+		}
+		codes[i] = uint16(s)
+	}
+	return codes, pos + int(streamLen), nil
+}

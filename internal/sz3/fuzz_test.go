@@ -1,0 +1,54 @@
+package sz3
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecompressContainer must never panic on arbitrary container bytes.
+func FuzzDecompressContainer(f *testing.F) {
+	seed, _ := CompressFloat64([]float64{1, 2, 3, 4, 5}, Config{ErrorBound: 1e-4})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{'S', 'Z', '3', 'G', 1, 1})
+	f.Add([]byte{'S', 'Z', '3', 'G', 1, 4, 2, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, dt, _, err := decompress(data)
+		if err == nil {
+			if dt != Float32 && dt != Float64 {
+				t.Fatalf("invalid dtype %v accepted", dt)
+			}
+			_ = vals
+		}
+	})
+}
+
+// FuzzRoundTripBound compresses arbitrary float series and requires the
+// error bound to hold on every element.
+func FuzzRoundTripBound(f *testing.F) {
+	f.Add(int64(1), uint16(100))
+	f.Add(int64(42), uint16(3000))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16) {
+		count := int(n)%4000 + 1
+		vals := make([]float64, count)
+		s := seed
+		for i := range vals {
+			// Cheap deterministic pseudo-noise without math/rand.
+			s = s*6364136223846793005 + 1442695040888963407
+			vals[i] = float64(s%100000) / 1000
+		}
+		comp, err := CompressFloat64(vals, Config{ErrorBound: 1e-4})
+		if err != nil {
+			t.Fatalf("compress: %v", err)
+		}
+		got, _, err := DecompressFloat64(comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		for i := range vals {
+			if math.Abs(got[i]-vals[i]) > 1e-4*(1+1e-12) {
+				t.Fatalf("element %d error %g", i, math.Abs(got[i]-vals[i]))
+			}
+		}
+	})
+}

@@ -1,0 +1,202 @@
+package sz3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterpTraversalCoversAllOnce(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 100, 1023, 1024, 1025} {
+		seen := make([]int, n)
+		order := 0
+		interpTraversal(n, func(idx, stride int) {
+			if idx < 0 || idx >= n {
+				t.Fatalf("n=%d: index %d out of range", n, idx)
+			}
+			seen[idx]++
+			order++
+		})
+		if order != n {
+			t.Fatalf("n=%d: %d visits", n, order)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestInterpNeighboursReady(t *testing.T) {
+	// Every stencil neighbour must be processed before the index that
+	// uses it.
+	n := 1000
+	done := make([]bool, n)
+	interpTraversal(n, func(idx, stride int) {
+		if stride > 0 {
+			half := stride / 2
+			if l := idx - half; l >= 0 && !done[l] {
+				t.Fatalf("index %d used unprocessed left neighbour %d", idx, l)
+			}
+			if r := idx + half; r < n && !done[r] {
+				t.Fatalf("index %d used unprocessed right neighbour %d", idx, r)
+			}
+		}
+		done[idx] = true
+	})
+}
+
+func TestInterpErrorBound(t *testing.T) {
+	data := field1D(50000, 21)
+	for _, eb := range []float64{1e-2, 1e-4, 1e-6} {
+		cfg := Config{ErrorBound: eb, Predictor: PredictorInterpolation}
+		comp, err := CompressFloat64(data, cfg)
+		if err != nil {
+			t.Fatalf("eb=%g: %v", eb, err)
+		}
+		got, gotCfg, err := DecompressFloat64(comp)
+		if err != nil {
+			t.Fatalf("eb=%g: %v", eb, err)
+		}
+		if gotCfg.Predictor != PredictorInterpolation {
+			t.Fatalf("predictor not preserved: %v", gotCfg.Predictor)
+		}
+		checkBound(t, data, got, eb, "interp")
+	}
+}
+
+func TestInterpBeatsLorenzoOnSmoothData(t *testing.T) {
+	// On a very smooth signal the wide cubic stencil should out-predict
+	// the order-1 Lorenzo predictor, giving a better ratio.
+	n := 100000
+	data := make([]float64, n)
+	for i := range data {
+		x := float64(i) / float64(n)
+		data[i] = math.Sin(12*x) + 0.5*math.Cos(31*x)
+	}
+	cfg := Config{ErrorBound: 1e-6}
+	cfg.Predictor = PredictorLorenzo
+	lor, err := CompressFloat64(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Predictor = PredictorInterpolation
+	itp, err := CompressFloat64(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("lorenzo %d bytes, interpolation %d bytes", len(lor), len(itp))
+	if len(itp) >= len(lor) {
+		t.Fatalf("interpolation (%d) not better than lorenzo (%d) on smooth data", len(itp), len(lor))
+	}
+}
+
+func TestInterpFloat32(t *testing.T) {
+	data := make([]float32, 20000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) * 0.001))
+	}
+	comp, err := CompressFloat32(data, Config{ErrorBound: 1e-3, Predictor: PredictorInterpolation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat32(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if d := math.Abs(float64(data[i]) - float64(got[i])); d > 1e-3*(1+1e-6) {
+			t.Fatalf("element %d error %g", i, d)
+		}
+	}
+}
+
+func TestRelativeBoundMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// Data spanning a range of ~2000: REL 1e-4 → abs bound ≈ 0.2.
+	data := make([]float64, 30000)
+	v := 0.0
+	for i := range data {
+		v += rng.NormFloat64() * 2
+		data[i] = v
+	}
+	lo, hi := data[0], data[0]
+	for _, x := range data {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	rel := 1e-4
+	absEquiv := rel * (hi - lo)
+	comp, err := CompressFloat64(data, Config{ErrorBound: rel, Mode: BoundRelative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotCfg, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, data, got, absEquiv, "relative mode")
+	// The stream records the resolved absolute bound.
+	if gotCfg.ErrorBound < absEquiv*0.99 || gotCfg.ErrorBound > absEquiv*1.01 {
+		t.Fatalf("stored bound %g, want ≈%g", gotCfg.ErrorBound, absEquiv)
+	}
+	// A REL bound on wide-range data must compress better than the same
+	// numeric ABS bound.
+	compAbs, err := CompressFloat64(data, Config{ErrorBound: rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(compAbs) {
+		t.Fatalf("REL stream (%d) not smaller than ABS stream (%d)", len(comp), len(compAbs))
+	}
+}
+
+func TestRelativeBoundConstantData(t *testing.T) {
+	// Zero range: the bound falls back to the numeric value; must not
+	// divide by zero or violate anything.
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = 42
+	}
+	comp, err := CompressFloat64(data, Config{ErrorBound: 1e-4, Mode: BoundRelative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, data, got, 1e-4, "constant REL")
+}
+
+func TestQuickInterpBound(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		n := int(size)%4000 + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, n)
+		v := 0.0
+		for i := range data {
+			v += rng.NormFloat64()
+			data[i] = v
+		}
+		comp, err := CompressFloat64(data, Config{ErrorBound: 1e-4, Predictor: PredictorInterpolation})
+		if err != nil {
+			return false
+		}
+		got, _, err := DecompressFloat64(comp)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range data {
+			if math.Abs(got[i]-data[i]) > 1e-4*(1+1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package sz3
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNDTraversalCoversAllOnce(t *testing.T) {
+	cases := [][]int{
+		{1}, {7}, {64}, {65},
+		{4, 4}, {5, 9}, {16, 16}, {17, 3},
+		{3, 4, 5}, {8, 8, 8}, {6, 1, 9},
+	}
+	for _, dims := range cases {
+		total := 1
+		for _, d := range dims {
+			total *= d
+		}
+		seen := make([]int, total)
+		count := 0
+		ndTraversal(dims, func(idx, strideElems, lineLen, linePos, step int) {
+			if idx < 0 || idx >= total {
+				t.Fatalf("dims %v: index %d out of range", dims, idx)
+			}
+			seen[idx]++
+			count++
+		})
+		if count != total {
+			t.Fatalf("dims %v: %d visits, want %d", dims, count, total)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("dims %v: index %d visited %d times", dims, i, c)
+			}
+		}
+	}
+}
+
+func TestNDTraversalNeighboursReady(t *testing.T) {
+	for _, dims := range [][]int{{31, 17}, {9, 9, 9}} {
+		total := 1
+		for _, d := range dims {
+			total *= d
+		}
+		done := make([]bool, total)
+		ndTraversal(dims, func(idx, strideElems, lineLen, linePos, step int) {
+			if strideElems > 0 {
+				if l := linePos - step; l >= 0 && !done[idx-strideElems] {
+					t.Fatalf("dims %v: idx %d used unprocessed left neighbour", dims, idx)
+				}
+				if r := linePos + step; r < lineLen && !done[idx+strideElems] {
+					t.Fatalf("dims %v: idx %d used unprocessed right neighbour", dims, idx)
+				}
+			}
+			done[idx] = true
+		})
+	}
+}
+
+func TestNDMatches1DPath(t *testing.T) {
+	// For 1-D arrays the ND machinery must produce exactly the 1-D
+	// pipeline's codes (same traversal, same stencils).
+	data := field1D(5000, 77)
+	q := newQuantizer(1e-4)
+	c1, e1, _ := compressInterp(data, q, false)
+	cN, eN := compressInterpND(data, []int{len(data)}, q, false)
+	if len(c1) != len(cN) || len(e1) != len(eN) {
+		t.Fatalf("lengths differ: codes %d/%d exact %d/%d", len(c1), len(cN), len(e1), len(eN))
+	}
+	for i := range c1 {
+		if c1[i] != cN[i] {
+			t.Fatalf("code %d differs: %d vs %d", i, c1[i], cN[i])
+		}
+	}
+}
+
+func TestInterp2DErrorBound(t *testing.T) {
+	data, dims := field2D(150, 90)
+	cfg := Config{ErrorBound: 1e-4, Dims: dims, Predictor: PredictorInterpolation}
+	comp, err := CompressFloat64(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotCfg, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotCfg.Predictor != PredictorInterpolation || len(gotCfg.Dims) != 2 {
+		t.Fatalf("config not preserved: %+v", gotCfg)
+	}
+	checkBound(t, data, got, 1e-4, "interp 2D")
+}
+
+func TestInterp3DErrorBound(t *testing.T) {
+	data, dims := field3D(24, 30, 18)
+	cfg := Config{ErrorBound: 1e-5, Dims: dims, Predictor: PredictorInterpolation}
+	comp, err := CompressFloat64(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, data, got, 1e-5, "interp 3D")
+}
+
+func TestInterp2DCompetitiveWithLorenzo(t *testing.T) {
+	// On smooth 2-D fields the interpolation predictor should be at
+	// least competitive with (typically better than) Lorenzo.
+	data, dims := field2D(256, 256)
+	lor, err := CompressFloat64(data, Config{ErrorBound: 1e-6, Dims: dims, Predictor: PredictorLorenzo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	itp, err := CompressFloat64(data, Config{ErrorBound: 1e-6, Dims: dims, Predictor: PredictorInterpolation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("2D smooth: lorenzo %d B, interpolation %d B", len(lor), len(itp))
+	if float64(len(itp)) > 1.25*float64(len(lor)) {
+		t.Fatalf("interpolation (%d) much worse than lorenzo (%d)", len(itp), len(lor))
+	}
+}
+
+func TestInterpNDNaN(t *testing.T) {
+	data, dims := field2D(32, 32)
+	data[100] = math.NaN()
+	comp, err := CompressFloat64(data, Config{ErrorBound: 1e-4, Dims: dims, Predictor: PredictorInterpolation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[100]) {
+		t.Fatal("NaN not preserved")
+	}
+}

@@ -1,0 +1,70 @@
+package sz3
+
+import "math"
+
+// Metrics quantifies lossy reconstruction quality the way the SZ /
+// SDRBench literature reports it: maximum absolute error, RMSE, PSNR
+// (computed against the data's value range, the SZ convention), and the
+// compression ratio.
+type Metrics struct {
+	// MaxAbsError is max_i |orig_i − recon_i| (must be ≤ the bound).
+	MaxAbsError float64
+	// RMSE is the root-mean-square error.
+	RMSE float64
+	// PSNR is 20·log10(range/RMSE) in dB; +Inf for exact reconstruction,
+	// 0 when undefined (empty or constant data with nonzero error).
+	PSNR float64
+	// ValueRange is max − min of the original data.
+	ValueRange float64
+	// Ratio is originalBytes / compressedBytes; zero when compressedLen
+	// was not supplied.
+	Ratio float64
+}
+
+// Evaluate computes reconstruction metrics for a decompressed array.
+// compressedLen may be 0 when only error metrics are wanted. NaN and
+// infinite elements are excluded from the error statistics (they travel
+// through the exact-value path and reconstruct bit-identically).
+func Evaluate(orig, recon []float64, elemBytes, compressedLen int) Metrics {
+	var m Metrics
+	n := len(orig)
+	if n == 0 || len(recon) != n {
+		return m
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	var sumSq float64
+	counted := 0
+	for i := 0; i < n; i++ {
+		a, b := orig[i], recon[i]
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			continue
+		}
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+		d := math.Abs(a - b)
+		if d > m.MaxAbsError {
+			m.MaxAbsError = d
+		}
+		sumSq += d * d
+		counted++
+	}
+	if counted == 0 {
+		return m
+	}
+	m.RMSE = math.Sqrt(sumSq / float64(counted))
+	m.ValueRange = hi - lo
+	switch {
+	case m.RMSE == 0:
+		m.PSNR = math.Inf(1)
+	case m.ValueRange > 0:
+		m.PSNR = 20 * math.Log10(m.ValueRange/m.RMSE)
+	}
+	if compressedLen > 0 {
+		m.Ratio = float64(n*elemBytes) / float64(compressedLen)
+	}
+	return m
+}

@@ -1,0 +1,84 @@
+package sz3
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateExactReconstruction(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	m := Evaluate(data, data, 8, 16)
+	if m.MaxAbsError != 0 || m.RMSE != 0 {
+		t.Fatalf("errors nonzero: %+v", m)
+	}
+	if !math.IsInf(m.PSNR, 1) {
+		t.Fatalf("PSNR = %v, want +Inf", m.PSNR)
+	}
+	if m.Ratio != 2 {
+		t.Fatalf("ratio = %v", m.Ratio)
+	}
+}
+
+func TestEvaluateKnownError(t *testing.T) {
+	orig := []float64{0, 10}
+	recon := []float64{1, 10}
+	m := Evaluate(orig, recon, 8, 0)
+	if m.MaxAbsError != 1 {
+		t.Fatalf("max = %v", m.MaxAbsError)
+	}
+	wantRMSE := math.Sqrt(0.5)
+	if math.Abs(m.RMSE-wantRMSE) > 1e-12 {
+		t.Fatalf("rmse = %v, want %v", m.RMSE, wantRMSE)
+	}
+	wantPSNR := 20 * math.Log10(10/wantRMSE)
+	if math.Abs(m.PSNR-wantPSNR) > 1e-9 {
+		t.Fatalf("psnr = %v, want %v", m.PSNR, wantPSNR)
+	}
+	if m.Ratio != 0 {
+		t.Fatal("ratio should be zero without compressedLen")
+	}
+}
+
+func TestEvaluateSkipsNaN(t *testing.T) {
+	orig := []float64{1, math.NaN(), 3}
+	recon := []float64{1, math.NaN(), 3.0001}
+	m := Evaluate(orig, recon, 8, 0)
+	if m.MaxAbsError < 0.00009 || m.MaxAbsError > 0.00011 {
+		t.Fatalf("max = %v", m.MaxAbsError)
+	}
+}
+
+func TestEvaluateEmptyAndMismatched(t *testing.T) {
+	if m := Evaluate(nil, nil, 8, 0); m.MaxAbsError != 0 {
+		t.Fatal("empty not zero")
+	}
+	if m := Evaluate([]float64{1}, []float64{1, 2}, 8, 0); m.RMSE != 0 {
+		t.Fatal("mismatched lengths not rejected")
+	}
+}
+
+// End-to-end: PSNR rises as the bound tightens, and MaxAbsError always
+// respects the bound.
+func TestEvaluatePipelinePSNRMonotonic(t *testing.T) {
+	data := field1D(40000, 5)
+	var prevPSNR float64
+	for i, eb := range []float64{1e-2, 1e-4, 1e-6} {
+		comp, err := CompressFloat64(data, Config{ErrorBound: eb})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recon, _, err := DecompressFloat64(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Evaluate(data, recon, 8, len(comp))
+		t.Logf("eb=%g: maxErr=%.3g rmse=%.3g psnr=%.1fdB ratio=%.1f", eb, m.MaxAbsError, m.RMSE, m.PSNR, m.Ratio)
+		if m.MaxAbsError > eb*(1+1e-12) {
+			t.Fatalf("eb=%g: max error %g exceeds bound", eb, m.MaxAbsError)
+		}
+		if i > 0 && m.PSNR <= prevPSNR {
+			t.Fatalf("PSNR not increasing with tighter bound: %v then %v", prevPSNR, m.PSNR)
+		}
+		prevPSNR = m.PSNR
+	}
+}

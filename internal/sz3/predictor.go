@@ -1,0 +1,157 @@
+package sz3
+
+// lorenzoPredict computes the Lorenzo prediction for the element at
+// row-major index idx from already-reconstructed neighbours. recon holds
+// reconstructed values for all indices processed before idx (row-major
+// order); unprocessed positions are unspecified and must not be read.
+//
+// The Lorenzo predictor estimates a value from the corner stencil of the
+// hypercube behind it (paper §II-B / SZ literature):
+//
+//	1D: f(i-1)
+//	2D: f(i-1,j) + f(i,j-1) - f(i-1,j-1)
+//	3D: f(i-1)+f(j-1)+f(k-1) - f(i-1,j-1)-f(i-1,k-1)-f(j-1,k-1)
+//	    + f(i-1,j-1,k-1)
+//
+// Out-of-bounds neighbours contribute 0, which makes the first element of
+// each dimension effectively delta-coded from zero.
+type lorenzo struct {
+	dims []int
+	// strides[d] is the row-major stride of dimension d.
+	strides []int
+}
+
+func newLorenzo(dims []int) *lorenzo {
+	strides := make([]int, len(dims))
+	s := 1
+	for d := len(dims) - 1; d >= 0; d-- {
+		strides[d] = s
+		s *= dims[d]
+	}
+	return &lorenzo{dims: dims, strides: strides}
+}
+
+// coords converts a row-major index into per-dimension coordinates.
+func (l *lorenzo) coords(idx int, out []int) {
+	for d := 0; d < len(l.dims); d++ {
+		out[d] = idx / l.strides[d] % l.dims[d]
+	}
+}
+
+// predict returns the Lorenzo prediction for index idx.
+func (l *lorenzo) predict(recon []float64, idx int, c []int) float64 {
+	switch len(l.dims) {
+	case 1:
+		if c[0] == 0 {
+			return 0
+		}
+		return recon[idx-1]
+	case 2:
+		sj := l.strides[0]
+		i, j := c[0], c[1]
+		var a, b, d float64
+		if i > 0 {
+			a = recon[idx-sj]
+		}
+		if j > 0 {
+			b = recon[idx-1]
+		}
+		if i > 0 && j > 0 {
+			d = recon[idx-sj-1]
+		}
+		return a + b - d
+	default: // 3
+		si, sj := l.strides[0], l.strides[1]
+		i, j, k := c[0], c[1], c[2]
+		var fi, fj, fk, fij, fik, fjk, fijk float64
+		if i > 0 {
+			fi = recon[idx-si]
+		}
+		if j > 0 {
+			fj = recon[idx-sj]
+		}
+		if k > 0 {
+			fk = recon[idx-1]
+		}
+		if i > 0 && j > 0 {
+			fij = recon[idx-si-sj]
+		}
+		if i > 0 && k > 0 {
+			fik = recon[idx-si-1]
+		}
+		if j > 0 && k > 0 {
+			fjk = recon[idx-sj-1]
+		}
+		if i > 0 && j > 0 && k > 0 {
+			fijk = recon[idx-si-sj-1]
+		}
+		return fi + fj + fk - fij - fik - fjk + fijk
+	}
+}
+
+// regressionModel is a per-block linear model value = c0 + Σ c[d+1]*x_d,
+// where x_d are block-local coordinates. SZ3 fits such a model per 6³
+// block and uses it when it beats Lorenzo.
+type regressionModel struct {
+	coef [4]float32 // c0, ci, cj, ck (unused trailing coefficients zero)
+}
+
+// eval evaluates the model at block-local coordinates.
+func (m regressionModel) eval(local []int) float64 {
+	v := float64(m.coef[0])
+	for d := 0; d < len(local); d++ {
+		v += float64(m.coef[d+1]) * float64(local[d])
+	}
+	return v
+}
+
+// fitRegression least-squares-fits a linear model over the block whose
+// elements are provided as (local coordinates, value) via the iterator.
+// For a linear model with independent coordinates the normal equations
+// decouple per dimension when coordinates are centred, giving the
+// closed-form solution SZ3 uses.
+func fitRegression(ndims int, n int, forEach func(yield func(local []int, v float64))) regressionModel {
+	if n == 0 {
+		return regressionModel{}
+	}
+	// Means.
+	meanX := make([]float64, ndims)
+	var meanV float64
+	forEach(func(local []int, v float64) {
+		for d := 0; d < ndims; d++ {
+			meanX[d] += float64(local[d])
+		}
+		meanV += v
+	})
+	fn := float64(n)
+	for d := range meanX {
+		meanX[d] /= fn
+	}
+	meanV /= fn
+	// Per-dimension slopes: cov(x_d, v) / var(x_d). For a full regular
+	// block the coordinates are independent, so this is exact; for ragged
+	// edge blocks it is an approximation, which is fine — the model only
+	// has to *predict*, correctness comes from the quantizer.
+	num := make([]float64, ndims)
+	den := make([]float64, ndims)
+	forEach(func(local []int, v float64) {
+		dv := v - meanV
+		for d := 0; d < ndims; d++ {
+			dx := float64(local[d]) - meanX[d]
+			num[d] += dx * dv
+			den[d] += dx * dx
+		}
+	})
+	var m regressionModel
+	for d := 0; d < ndims; d++ {
+		if den[d] > 0 {
+			m.coef[d+1] = float32(num[d] / den[d])
+		}
+	}
+	c0 := meanV
+	for d := 0; d < ndims; d++ {
+		c0 -= float64(m.coef[d+1]) * meanX[d]
+	}
+	m.coef[0] = float32(c0)
+	return m
+}

@@ -1,0 +1,59 @@
+package sz3
+
+import "math"
+
+// quantRadius is the linear-scaling quantizer radius: quantization codes
+// occupy [1, 2*quantRadius-1] with code 0 reserved for unpredictable
+// values stored exactly (SZ's convention).
+const quantRadius = 32768
+
+// numQuantCodes is the entropy-coder alphabet size.
+const numQuantCodes = 2 * quantRadius
+
+// quantizer implements SZ3's linear-scaling quantization: the prediction
+// error is divided into 2*eb-wide bins so reconstruction stays within eb
+// of the original.
+type quantizer struct {
+	eb    float64 // error bound
+	twoEB float64
+}
+
+func newQuantizer(eb float64) quantizer {
+	return quantizer{eb: eb, twoEB: 2 * eb}
+}
+
+// quantize maps (original, predicted) to a code and the reconstructed
+// value. ok is false when the value cannot be represented within the
+// bound (out-of-range code or floating-point cancellation); the caller
+// must then store the value exactly and emit code 0.
+//
+// round32 mirrors the cast the float32 pipeline applies so compressor and
+// decompressor reconstructions are bit-identical.
+func (q quantizer) quantize(orig, pred float64, round32 bool) (code uint16, recon float64, ok bool) {
+	diff := orig - pred
+	qi := math.Round(diff / q.twoEB)
+	if math.IsNaN(qi) || math.IsInf(qi, 0) || qi <= -quantRadius || qi >= quantRadius {
+		return 0, 0, false
+	}
+	recon = pred + qi*q.twoEB
+	if round32 {
+		recon = float64(float32(recon))
+	}
+	// Floating-point cancellation can break the bound for huge magnitudes;
+	// verify and fall back rather than violate the guarantee.
+	if math.Abs(recon-orig) > q.eb {
+		return 0, 0, false
+	}
+	return uint16(int(qi) + quantRadius), recon, true
+}
+
+// dequantize reconstructs a value from its code. The caller guarantees
+// code != 0.
+func (q quantizer) dequantize(pred float64, code uint16, round32 bool) float64 {
+	qi := float64(int(code) - quantRadius)
+	recon := pred + qi*q.twoEB
+	if round32 {
+		recon = float64(float32(recon))
+	}
+	return recon
+}

@@ -1,0 +1,362 @@
+package sz3
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// field1D produces a smooth 1-D signal with noise, similar in character to
+// the exaalt molecular-dynamics traces.
+func field1D(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	v := 0.0
+	for i := range out {
+		v += math.Sin(float64(i)*0.01) * 0.1
+		out[i] = v + rng.NormFloat64()*0.001
+	}
+	return out
+}
+
+// field2D produces a smooth 2-D field.
+func field2D(nx, ny int) ([]float64, []int) {
+	out := make([]float64, nx*ny)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			x, y := float64(i)/float64(nx), float64(j)/float64(ny)
+			out[i*ny+j] = math.Sin(6*x)*math.Cos(4*y) + 0.3*x*y
+		}
+	}
+	return out, []int{nx, ny}
+}
+
+// field3D produces a smooth 3-D field.
+func field3D(nx, ny, nz int) ([]float64, []int) {
+	out := make([]float64, nx*ny*nz)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				x, y, z := float64(i)/float64(nx), float64(j)/float64(ny), float64(k)/float64(nz)
+				out[(i*ny+j)*nz+k] = math.Exp(-x) * math.Sin(5*y) * math.Cos(3*z)
+			}
+		}
+	}
+	return out, []int{nx, ny, nz}
+}
+
+func checkBound(t *testing.T, orig, recon []float64, eb float64, label string) {
+	t.Helper()
+	if len(orig) != len(recon) {
+		t.Fatalf("%s: length %d != %d", label, len(recon), len(orig))
+	}
+	worst := 0.0
+	for i := range orig {
+		d := math.Abs(orig[i] - recon[i])
+		if d > worst {
+			worst = d
+		}
+		if d > eb*(1+1e-12) {
+			t.Fatalf("%s: element %d error %g exceeds bound %g (orig %g recon %g)",
+				label, i, d, eb, orig[i], recon[i])
+		}
+	}
+	t.Logf("%s: worst error %g (bound %g)", label, worst, eb)
+}
+
+func TestErrorBound1D(t *testing.T) {
+	data := field1D(100000, 1)
+	for _, eb := range []float64{1e-2, 1e-4, 1e-6} {
+		for _, pred := range []PredictorKind{PredictorLorenzo, PredictorRegression, PredictorAuto} {
+			cfg := Config{ErrorBound: eb, Predictor: pred}
+			comp, err := CompressFloat64(data, cfg)
+			if err != nil {
+				t.Fatalf("eb=%g pred=%v: %v", eb, pred, err)
+			}
+			got, _, err := DecompressFloat64(comp)
+			if err != nil {
+				t.Fatalf("eb=%g pred=%v: %v", eb, pred, err)
+			}
+			checkBound(t, data, got, eb, pred.String())
+		}
+	}
+}
+
+func TestErrorBound2D(t *testing.T) {
+	data, dims := field2D(300, 200)
+	cfg := Config{ErrorBound: 1e-4, Dims: dims, Predictor: PredictorAuto}
+	comp, err := CompressFloat64(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotCfg, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, data, got, 1e-4, "2D auto")
+	if len(gotCfg.Dims) != 2 || gotCfg.Dims[0] != 300 || gotCfg.Dims[1] != 200 {
+		t.Fatalf("dims not preserved: %v", gotCfg.Dims)
+	}
+}
+
+func TestErrorBound3D(t *testing.T) {
+	data, dims := field3D(40, 50, 30)
+	for _, pred := range []PredictorKind{PredictorLorenzo, PredictorRegression, PredictorAuto} {
+		cfg := Config{ErrorBound: 1e-4, Dims: dims, Predictor: pred}
+		comp, err := CompressFloat64(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := DecompressFloat64(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBound(t, data, got, 1e-4, "3D "+pred.String())
+	}
+}
+
+func TestFloat32Pipeline(t *testing.T) {
+	data64 := field1D(50000, 3)
+	data := make([]float32, len(data64))
+	for i, v := range data64 {
+		data[i] = float32(v)
+	}
+	cfg := Config{ErrorBound: 1e-3}
+	comp, err := CompressFloat32(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat32(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if d := math.Abs(float64(data[i]) - float64(got[i])); d > 1e-3*(1+1e-6) {
+			t.Fatalf("element %d error %g exceeds bound", i, d)
+		}
+	}
+}
+
+func TestCompressionRatioSmoothData(t *testing.T) {
+	data, dims := field3D(64, 64, 32)
+	cfg := Config{ErrorBound: 1e-4, Dims: dims}
+	comp, err := CompressFloat64(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(data)*8) / float64(len(comp))
+	t.Logf("3D smooth field ratio: %.2f", ratio)
+	if ratio < 3 {
+		t.Fatalf("ratio %.2f too low for smooth data; pipeline is not predicting", ratio)
+	}
+}
+
+func TestRandomDataStillBounded(t *testing.T) {
+	// Pure noise defeats prediction but the bound must still hold.
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float64, 20000)
+	for i := range data {
+		data[i] = rng.Float64() * 1000
+	}
+	cfg := Config{ErrorBound: 1e-4}
+	comp, err := CompressFloat64(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, data, got, 1e-4, "noise")
+}
+
+func TestExtremeValuesFallBack(t *testing.T) {
+	// Huge magnitudes, infinities are not representable by quantized
+	// deltas; they must be stored exactly, not corrupt the stream.
+	data := []float64{0, 1e300, -1e300, 1e-300, math.MaxFloat64, 5, 5 + 1e-5}
+	cfg := Config{ErrorBound: 1e-4, Predictor: PredictorLorenzo}
+	comp, err := CompressFloat64(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBound(t, data, got, 1e-4, "extremes")
+}
+
+func TestNaNHandled(t *testing.T) {
+	data := []float64{1, 2, math.NaN(), 4, 5}
+	comp, err := CompressFloat64(data, Config{ErrorBound: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[2]) {
+		t.Fatalf("NaN not preserved: %v", got[2])
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if math.Abs(got[i]-data[i]) > 1e-4 {
+			t.Fatalf("element %d out of bound after NaN", i)
+		}
+	}
+}
+
+func TestBackends(t *testing.T) {
+	data := field1D(30000, 4)
+	for _, b := range []BackendKind{BackendFastLZ, BackendDeflate, BackendLZ4, BackendNone} {
+		cfg := Config{ErrorBound: 1e-4, Backend: b}
+		comp, err := CompressFloat64(data, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		got, gotCfg, err := DecompressFloat64(comp)
+		if err != nil {
+			t.Fatalf("%v: %v", b, err)
+		}
+		if gotCfg.Backend != b {
+			t.Fatalf("backend not recorded: %v != %v", gotCfg.Backend, b)
+		}
+		checkBound(t, data, got, 1e-4, b.String())
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	data := []float64{1, 2, 3, 4}
+	if _, err := CompressFloat64(data, Config{ErrorBound: -1}); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := CompressFloat64(data, Config{Dims: []int{3}}); err == nil {
+		t.Error("wrong dims product accepted")
+	}
+	if _, err := CompressFloat64(data, Config{Dims: []int{1, 1, 2, 2}}); err == nil {
+		t.Error("4 dims accepted")
+	}
+	if _, err := CompressFloat64(data, Config{Dims: []int{-2, -2}}); err == nil {
+		t.Error("negative dims accepted")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, err := CompressFloat64(nil, Config{}); err == nil {
+		t.Skip("empty input compresses; acceptable")
+	}
+}
+
+func TestCorruptStreamRejected(t *testing.T) {
+	data := field1D(1000, 5)
+	comp, err := CompressFloat64(data, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressFloat64(comp[:4]); err == nil {
+		t.Error("truncated container accepted")
+	}
+	bad := append([]byte{}, comp...)
+	bad[0] = 'X'
+	if _, _, err := DecompressFloat64(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte{}, comp...)
+	bad[5] = 200
+	if _, _, err := DecompressFloat64(bad); err == nil {
+		t.Error("bad backend accepted")
+	}
+}
+
+func TestWrongTypeRejected(t *testing.T) {
+	comp, err := CompressFloat32([]float32{1, 2, 3}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressFloat64(comp); err == nil {
+		t.Error("float32 stream decoded as float64")
+	}
+}
+
+func TestQuickErrorBound(t *testing.T) {
+	f := func(seed int64, size uint16, ebExp uint8) bool {
+		n := int(size)%5000 + 1
+		eb := math.Pow(10, -float64(ebExp%6+1))
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, n)
+		v := 0.0
+		for i := range data {
+			v += rng.NormFloat64()
+			data[i] = v
+		}
+		comp, err := CompressFloat64(data, Config{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		got, _, err := DecompressFloat64(comp)
+		if err != nil || len(got) != n {
+			return false
+		}
+		for i := range data {
+			if math.Abs(got[i]-data[i]) > eb*(1+1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizerProperties(t *testing.T) {
+	q := newQuantizer(1e-4)
+	f := func(orig, pred float64) bool {
+		if math.IsNaN(orig) || math.IsInf(orig, 0) || math.IsNaN(pred) || math.IsInf(pred, 0) {
+			return true
+		}
+		code, recon, ok := q.quantize(orig, pred, false)
+		if !ok {
+			return true // fallback path is always allowed
+		}
+		if code == 0 {
+			return false // code 0 is reserved
+		}
+		if math.Abs(recon-orig) > 1e-4 {
+			return false
+		}
+		// Decompressor must reproduce the same reconstruction.
+		return q.dequantize(pred, code, false) == recon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress3D(b *testing.B) {
+	data, dims := field3D(64, 64, 64)
+	cfg := Config{ErrorBound: 1e-4, Dims: dims}
+	b.SetBytes(int64(len(data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressFloat64(data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress3D(b *testing.B) {
+	data, dims := field3D(64, 64, 64)
+	comp, err := CompressFloat64(data, Config{ErrorBound: 1e-4, Dims: dims})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecompressFloat64(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package trace records hardware activity for observability: each
+// C-Engine job and SoC software run can be logged with its algorithm,
+// operation, sizes and modelled duration, and dumped as a timeline
+// table. The experiment harness uses it to explain *where* time went in
+// a run, complementing the aggregate phase breakdowns of
+// internal/stats.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded hardware activity.
+type Event struct {
+	// Seq is the record sequence number (assigned by the tracer).
+	Seq int
+	// Engine is where the work ran ("C-Engine", "SoC", "host", ...).
+	Engine string
+	// Algo and Op name the work ("DEFLATE", "compress", ...).
+	Algo string
+	Op   string
+	// InBytes and OutBytes are the real data sizes.
+	InBytes  int
+	OutBytes int
+	// Virtual is the modelled duration.
+	Virtual time.Duration
+	// Wall is the observed wall-clock duration of the simulation step.
+	Wall time.Duration
+}
+
+// Tracer is a bounded in-memory event recorder, safe for concurrent
+// use. A nil *Tracer is a valid no-op recorder.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	limit  int
+}
+
+// DefaultLimit bounds retained events.
+const DefaultLimit = 4096
+
+// New returns a tracer retaining up to limit events (0 means
+// DefaultLimit). The oldest events are dropped once the limit is hit.
+func New(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Tracer{limit: limit}
+}
+
+// Record appends an event. Safe on a nil tracer.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e.Seq = t.next
+	t.next++
+	if len(t.events) >= t.limit {
+		copy(t.events, t.events[1:])
+		t.events = t.events[:len(t.events)-1]
+	}
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of the retained events in record order.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len reports the retained event count.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Reset discards all events.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = t.events[:0]
+	t.next = 0
+}
+
+// String renders the timeline as an aligned table.
+func (t *Tracer) String() string {
+	events := t.Events()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s %-9s %-10s %-11s %12s %12s %14s\n",
+		"seq", "engine", "algo", "op", "in(B)", "out(B)", "virtual")
+	for _, e := range events {
+		fmt.Fprintf(&sb, "%-5d %-9s %-10s %-11s %12d %12d %14v\n",
+			e.Seq, e.Engine, e.Algo, e.Op, e.InBytes, e.OutBytes, e.Virtual.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// TotalVirtual sums the modelled durations of all retained events,
+// optionally filtered by engine ("" matches all).
+func (t *Tracer) TotalVirtual(engine string) time.Duration {
+	var total time.Duration
+	for _, e := range t.Events() {
+		if engine == "" || e.Engine == engine {
+			total += e.Virtual
+		}
+	}
+	return total
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordAndString(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{Engine: "C-Engine", Algo: "DEFLATE", Op: "compress", InBytes: 1000, OutBytes: 100, Virtual: time.Millisecond})
+	tr.Record(Event{Engine: "SoC", Algo: "LZ4", Op: "decompress", InBytes: 100, OutBytes: 1000, Virtual: 2 * time.Millisecond})
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	events := tr.Events()
+	if events[0].Seq != 0 || events[1].Seq != 1 {
+		t.Fatal("sequence numbers wrong")
+	}
+	s := tr.String()
+	if !strings.Contains(s, "C-Engine") || !strings.Contains(s, "DEFLATE") {
+		t.Fatalf("format: %s", s)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Record(Event{})
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	tr.Reset()
+}
+
+func TestLimitDropsOldest(t *testing.T) {
+	tr := New(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{InBytes: i})
+	}
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("retained %d", len(events))
+	}
+	if events[0].InBytes != 2 || events[2].InBytes != 4 {
+		t.Fatalf("wrong retention: %+v", events)
+	}
+	// Sequence numbers keep counting across drops.
+	if events[2].Seq != 4 {
+		t.Fatalf("seq = %d", events[2].Seq)
+	}
+}
+
+func TestTotalVirtualFiltered(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{Engine: "SoC", Virtual: time.Millisecond})
+	tr.Record(Event{Engine: "C-Engine", Virtual: 2 * time.Millisecond})
+	tr.Record(Event{Engine: "C-Engine", Virtual: 3 * time.Millisecond})
+	if got := tr.TotalVirtual(""); got != 6*time.Millisecond {
+		t.Fatalf("all = %v", got)
+	}
+	if got := tr.TotalVirtual("C-Engine"); got != 5*time.Millisecond {
+		t.Fatalf("engine = %v", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(0)
+	tr.Record(Event{})
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("reset failed")
+	}
+	tr.Record(Event{})
+	if tr.Events()[0].Seq != 0 {
+		t.Fatal("seq not reset")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New(10000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Event{Virtual: time.Microsecond})
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Len() != 4000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}

@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// inprocEndpoint is one rank of an in-process world: all ranks share a
+// set of buffered channels, one inbox per rank.
+type inprocEndpoint struct {
+	rank  int
+	world *inprocWorld
+}
+
+type inprocWorld struct {
+	inboxes []chan Frame
+	done    []chan struct{}
+	once    []sync.Once
+}
+
+// inboxDepth bounds in-flight frames per receiver; deep enough for the
+// collective fan-ins the benchmarks produce.
+const inboxDepth = 4096
+
+// NewInProcWorld creates n connected in-process endpoints. Endpoint i is
+// rank i.
+func NewInProcWorld(n int) ([]Endpoint, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: world size %d", n)
+	}
+	w := &inprocWorld{
+		inboxes: make([]chan Frame, n),
+		done:    make([]chan struct{}, n),
+		once:    make([]sync.Once, n),
+	}
+	for i := range w.inboxes {
+		w.inboxes[i] = make(chan Frame, inboxDepth)
+		w.done[i] = make(chan struct{})
+	}
+	eps := make([]Endpoint, n)
+	for i := range eps {
+		eps[i] = &inprocEndpoint{rank: i, world: w}
+	}
+	return eps, nil
+}
+
+func (e *inprocEndpoint) Rank() int { return e.rank }
+func (e *inprocEndpoint) Size() int { return len(e.world.inboxes) }
+
+func (e *inprocEndpoint) Send(dst int, data []byte, departure time.Duration) error {
+	w := e.world
+	if dst < 0 || dst >= len(w.inboxes) {
+		return ErrBadRank
+	}
+	if len(data) > MaxFrameSize {
+		return ErrTooLarge
+	}
+	// Copy: the sender may reuse its buffer immediately (MPI semantics).
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	select {
+	case <-w.done[e.rank]:
+		return ErrClosed
+	case <-w.done[dst]:
+		return ErrClosed
+	case w.inboxes[dst] <- Frame{Src: e.rank, Data: buf, Departure: departure}:
+		return nil
+	}
+}
+
+func (e *inprocEndpoint) Recv() (Frame, error) {
+	w := e.world
+	// Prefer pending frames even when the endpoint is closing, so
+	// teardown does not drop deliverable data.
+	select {
+	case f := <-w.inboxes[e.rank]:
+		return f, nil
+	default:
+	}
+	select {
+	case f := <-w.inboxes[e.rank]:
+		return f, nil
+	case <-w.done[e.rank]:
+		return Frame{}, ErrClosed
+	}
+}
+
+func (e *inprocEndpoint) TryRecv() (Frame, bool, error) {
+	w := e.world
+	select {
+	case f := <-w.inboxes[e.rank]:
+		return f, true, nil
+	default:
+	}
+	select {
+	case <-w.done[e.rank]:
+		return Frame{}, false, ErrClosed
+	default:
+		return Frame{}, false, nil
+	}
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.world.once[e.rank].Do(func() { close(e.world.done[e.rank]) })
+	return nil
+}

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// tcpEndpoint is one rank of a TCP world: a full mesh of sockets, one
+// per ordered rank pair, with reader goroutines feeding a merged inbox.
+//
+// Wire format per frame (big-endian):
+//
+//	[4 bytes src rank][8 bytes departure ns][4 bytes length][payload]
+type tcpEndpoint struct {
+	rank  int
+	size  int
+	conns []net.Conn // conns[dst], nil at own rank
+	inbox chan Frame
+
+	mu     sync.Mutex
+	sendMu []sync.Mutex
+	closed bool
+	done   chan struct{}
+	wg     sync.WaitGroup
+}
+
+const tcpFrameHeader = 4 + 8 + 4
+
+// NewTCPWorld creates n ranks connected over loopback TCP. It performs
+// the whole rendezvous internally (listeners on ephemeral ports, then a
+// full mesh dial), which models a single-node multi-process MPI launch.
+func NewTCPWorld(n int) ([]Endpoint, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: world size %d", n)
+	}
+	listeners := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen: %w", err)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	eps := make([]*tcpEndpoint, n)
+	for i := 0; i < n; i++ {
+		eps[i] = &tcpEndpoint{
+			rank:   i,
+			size:   n,
+			conns:  make([]net.Conn, n),
+			sendMu: make([]sync.Mutex, n),
+			inbox:  make(chan Frame, inboxDepth),
+			done:   make(chan struct{}),
+		}
+	}
+	// Mesh construction: rank i dials every j > i; j accepts and learns
+	// i's rank from a 4-byte hello.
+	var wg sync.WaitGroup
+	errCh := make(chan error, n*2)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			// Accept connections from every lower rank.
+			for k := 0; k < me; k++ {
+				conn, err := listeners[me].Accept()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var hello [4]byte
+				if _, err := io.ReadFull(conn, hello[:]); err != nil {
+					errCh <- err
+					return
+				}
+				peer := int(binary.BigEndian.Uint32(hello[:]))
+				if peer < 0 || peer >= n {
+					errCh <- fmt.Errorf("transport: bad hello rank %d", peer)
+					return
+				}
+				eps[me].conns[peer] = conn
+			}
+			// Dial every higher rank.
+			for j := me + 1; j < n; j++ {
+				conn, err := net.Dial("tcp", addrs[j])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				var hello [4]byte
+				binary.BigEndian.PutUint32(hello[:], uint32(me))
+				if _, err := conn.Write(hello[:]); err != nil {
+					errCh <- err
+					return
+				}
+				eps[me].conns[j] = conn
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for _, l := range listeners {
+		l.Close()
+	}
+	if err, ok := <-errCh; ok && err != nil {
+		return nil, err
+	}
+	// Start reader goroutines.
+	out := make([]Endpoint, n)
+	for i, ep := range eps {
+		for j, conn := range ep.conns {
+			if conn == nil {
+				continue
+			}
+			ep.wg.Add(1)
+			go ep.readLoop(j, conn)
+		}
+		out[i] = ep
+	}
+	return out, nil
+}
+
+func (e *tcpEndpoint) readLoop(peer int, conn net.Conn) {
+	defer e.wg.Done()
+	hdr := make([]byte, tcpFrameHeader)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return
+		}
+		src := int(binary.BigEndian.Uint32(hdr[0:4]))
+		departure := time.Duration(binary.BigEndian.Uint64(hdr[4:12]))
+		length := binary.BigEndian.Uint32(hdr[12:16])
+		if length > MaxFrameSize {
+			return
+		}
+		data := make([]byte, length)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		select {
+		case e.inbox <- Frame{Src: src, Data: data, Departure: departure}:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Rank() int { return e.rank }
+func (e *tcpEndpoint) Size() int { return e.size }
+
+func (e *tcpEndpoint) Send(dst int, data []byte, departure time.Duration) error {
+	if dst < 0 || dst >= e.size {
+		return ErrBadRank
+	}
+	if len(data) > MaxFrameSize {
+		return ErrTooLarge
+	}
+	if dst == e.rank {
+		// Loopback delivery without a socket.
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		select {
+		case e.inbox <- Frame{Src: e.rank, Data: buf, Departure: departure}:
+			return nil
+		case <-e.done:
+			return ErrClosed
+		}
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	conn := e.conns[dst]
+	e.mu.Unlock()
+	if conn == nil {
+		return ErrBadRank
+	}
+	hdr := make([]byte, tcpFrameHeader)
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(e.rank))
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(departure))
+	binary.BigEndian.PutUint32(hdr[12:16], uint32(len(data)))
+	e.sendMu[dst].Lock()
+	defer e.sendMu[dst].Unlock()
+	if _, err := conn.Write(hdr); err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	if _, err := conn.Write(data); err != nil {
+		return fmt.Errorf("transport: %w", err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv() (Frame, error) {
+	select {
+	case f := <-e.inbox:
+		return f, nil
+	case <-e.done:
+		// Drain any frame that raced the close.
+		select {
+		case f := <-e.inbox:
+			return f, nil
+		default:
+			return Frame{}, ErrClosed
+		}
+	}
+}
+
+func (e *tcpEndpoint) TryRecv() (Frame, bool, error) {
+	select {
+	case f := <-e.inbox:
+		return f, true, nil
+	default:
+	}
+	select {
+	case <-e.done:
+		return Frame{}, false, ErrClosed
+	default:
+		return Frame{}, false, nil
+	}
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	for _, c := range e.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	e.wg.Wait()
+	return nil
+}

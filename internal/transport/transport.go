@@ -1,0 +1,54 @@
+// Package transport is the runtime's network abstraction — the analogue
+// of UCX/OFI in the paper's Fig. 6. It moves opaque frames between ranks
+// with per-sender FIFO ordering and offers two providers: an in-process
+// channel provider (fast, used by tests and benchmarks) and a TCP
+// provider (separate sockets per rank pair, usable across processes).
+//
+// Frames carry a virtual-time departure stamp so the MPI layer can model
+// network latency with the calibrated clock while the real bytes flow.
+package transport
+
+import (
+	"errors"
+	"time"
+)
+
+// Frame is one delivered transport message.
+type Frame struct {
+	// Src is the sending rank.
+	Src int
+	// Data is the payload; the receiver owns it.
+	Data []byte
+	// Departure is the sender's virtual clock when the frame entered the
+	// wire; the MPI layer combines it with the modelled wire latency.
+	Departure time.Duration
+}
+
+// Endpoint is one rank's attachment to the fabric.
+type Endpoint interface {
+	// Rank is this endpoint's rank in [0, Size).
+	Rank() int
+	// Size is the number of ranks in the world.
+	Size() int
+	// Send delivers a frame to dst. It must not block indefinitely under
+	// normal queue depths; per-(src,dst) FIFO order is guaranteed.
+	Send(dst int, data []byte, departure time.Duration) error
+	// Recv blocks until a frame arrives from any source.
+	Recv() (Frame, error)
+	// TryRecv returns a frame if one is immediately available. The
+	// boolean reports whether a frame was returned. Used by nonblocking
+	// MPI progress (MPI_Test).
+	TryRecv() (Frame, bool, error)
+	// Close shuts the endpoint down; blocked Recvs return ErrClosed.
+	Close() error
+}
+
+// Errors common to providers.
+var (
+	ErrClosed   = errors.New("transport: endpoint closed")
+	ErrBadRank  = errors.New("transport: rank out of range")
+	ErrTooLarge = errors.New("transport: frame exceeds limit")
+)
+
+// MaxFrameSize bounds a single frame (wire sanity limit).
+const MaxFrameSize = 1 << 30

@@ -1,0 +1,238 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// worldMakers lets every test run against both providers.
+var worldMakers = map[string]func(n int) ([]Endpoint, error){
+	"inproc": NewInProcWorld,
+	"tcp":    NewTCPWorld,
+}
+
+func closeAll(eps []Endpoint) {
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+func TestBasicSendRecv(t *testing.T) {
+	for name, mk := range worldMakers {
+		t.Run(name, func(t *testing.T) {
+			eps, err := mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeAll(eps)
+			want := []byte("hello fabric")
+			if err := eps[0].Send(1, want, 7*time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			f, err := eps[1].Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Src != 0 || !bytes.Equal(f.Data, want) || f.Departure != 7*time.Millisecond {
+				t.Fatalf("frame = %+v", f)
+			}
+		})
+	}
+}
+
+func TestSenderBufferReuse(t *testing.T) {
+	for name, mk := range worldMakers {
+		t.Run(name, func(t *testing.T) {
+			eps, err := mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeAll(eps)
+			buf := []byte("original")
+			if err := eps[0].Send(1, buf, 0); err != nil {
+				t.Fatal(err)
+			}
+			copy(buf, "CLOBBER!")
+			f, err := eps[1].Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(f.Data) != "original" {
+				t.Fatalf("got %q; transport must copy", f.Data)
+			}
+		})
+	}
+}
+
+func TestPerPairOrdering(t *testing.T) {
+	for name, mk := range worldMakers {
+		t.Run(name, func(t *testing.T) {
+			eps, err := mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeAll(eps)
+			const n = 200
+			for i := 0; i < n; i++ {
+				if err := eps[0].Send(1, []byte(fmt.Sprintf("msg-%04d", i)), 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < n; i++ {
+				f, err := eps[1].Recv()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want := fmt.Sprintf("msg-%04d", i); string(f.Data) != want {
+					t.Fatalf("out of order: got %q want %q", f.Data, want)
+				}
+			}
+		})
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for name, mk := range worldMakers {
+		t.Run(name, func(t *testing.T) {
+			const n = 4
+			eps, err := mk(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeAll(eps)
+			var wg sync.WaitGroup
+			errs := make(chan error, n*2)
+			for r := 0; r < n; r++ {
+				wg.Add(1)
+				go func(me int) {
+					defer wg.Done()
+					for dst := 0; dst < n; dst++ {
+						if dst == me {
+							continue
+						}
+						if err := eps[me].Send(dst, []byte{byte(me), byte(dst)}, 0); err != nil {
+							errs <- err
+						}
+					}
+					seen := make(map[int]bool)
+					for i := 0; i < n-1; i++ {
+						f, err := eps[me].Recv()
+						if err != nil {
+							errs <- err
+							return
+						}
+						if int(f.Data[1]) != me {
+							errs <- fmt.Errorf("rank %d got frame for %d", me, f.Data[1])
+						}
+						seen[f.Src] = true
+					}
+					if len(seen) != n-1 {
+						errs <- fmt.Errorf("rank %d saw %d senders", me, len(seen))
+					}
+				}(r)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestLargeFrame(t *testing.T) {
+	for name, mk := range worldMakers {
+		t.Run(name, func(t *testing.T) {
+			eps, err := mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeAll(eps)
+			big := make([]byte, 8<<20)
+			for i := range big {
+				big[i] = byte(i * 31)
+			}
+			go func() { eps[0].Send(1, big, 0) }()
+			f, err := eps[1].Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(f.Data, big) {
+				t.Fatal("large frame corrupted")
+			}
+		})
+	}
+}
+
+func TestBadRank(t *testing.T) {
+	for name, mk := range worldMakers {
+		t.Run(name, func(t *testing.T) {
+			eps, err := mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeAll(eps)
+			if err := eps[0].Send(5, []byte("x"), 0); err != ErrBadRank {
+				t.Fatalf("want ErrBadRank, got %v", err)
+			}
+			if err := eps[0].Send(-1, []byte("x"), 0); err != ErrBadRank {
+				t.Fatalf("want ErrBadRank, got %v", err)
+			}
+		})
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	for name, mk := range worldMakers {
+		t.Run(name, func(t *testing.T) {
+			eps, err := mk(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			done := make(chan error, 1)
+			go func() {
+				_, err := eps[1].Recv()
+				done <- err
+			}()
+			time.Sleep(20 * time.Millisecond)
+			eps[1].Close()
+			select {
+			case err := <-done:
+				if err != ErrClosed {
+					t.Fatalf("want ErrClosed, got %v", err)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("Recv did not unblock on close")
+			}
+			eps[0].Close()
+		})
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	for name, mk := range worldMakers {
+		t.Run(name, func(t *testing.T) {
+			if _, err := mk(0); err == nil {
+				t.Fatal("zero-size world accepted")
+			}
+		})
+	}
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	eps, err := NewTCPWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAll(eps)
+	if err := eps[0].Send(0, []byte("loopback"), 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := eps[0].Recv()
+	if err != nil || string(f.Data) != "loopback" {
+		t.Fatalf("self-send failed: %v", err)
+	}
+}

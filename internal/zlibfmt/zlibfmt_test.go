@@ -1,0 +1,169 @@
+package zlibfmt
+
+import (
+	"bytes"
+	stdzlib "compress/zlib"
+	"errors"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pedal/internal/flate"
+)
+
+func TestRoundTrip(t *testing.T) {
+	inputs := [][]byte{
+		{},
+		[]byte("x"),
+		[]byte(strings.Repeat("zlib wraps deflate ", 1000)),
+		make([]byte, 50000),
+	}
+	for i, src := range inputs {
+		for _, level := range []int{1, 6, 9} {
+			z := Compress(src, level)
+			got, err := Decompress(z)
+			if err != nil {
+				t.Fatalf("input %d level %d: %v", i, level, err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("input %d level %d: mismatch", i, level)
+			}
+		}
+	}
+}
+
+func TestStdlibDecodesOurOutput(t *testing.T) {
+	src := []byte(strings.Repeat("interop with compress/zlib! ", 500))
+	z := Compress(src, 6)
+	r, err := stdzlib.NewReader(bytes.NewReader(z))
+	if err != nil {
+		t.Fatalf("stdlib rejected our header: %v", err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatalf("stdlib inflate: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("stdlib decoded wrong bytes")
+	}
+}
+
+func TestWeDecodeStdlibOutput(t *testing.T) {
+	src := []byte(strings.Repeat("the other direction too ", 500))
+	var buf bytes.Buffer
+	w := stdzlib.NewWriter(&buf)
+	w.Write(src)
+	w.Close()
+	got, err := Decompress(buf.Bytes())
+	if err != nil {
+		t.Fatalf("our decode of stdlib output: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("wrong bytes")
+	}
+}
+
+func TestHeaderFCheck(t *testing.T) {
+	for level := 1; level <= 9; level++ {
+		h := Header(level)
+		if (uint16(h[0])*256+uint16(h[1]))%31 != 0 {
+			t.Errorf("level %d: FCHECK invalid: % x", level, h)
+		}
+		if h[0]&0x0F != 8 {
+			t.Errorf("level %d: CM != 8", level)
+		}
+	}
+}
+
+func TestHeaderLevels(t *testing.T) {
+	// FLEVEL field must reflect the level class.
+	if Header(1)[1]>>6 != 0 {
+		t.Error("level 1 FLEVEL != 0")
+	}
+	if Header(6)[1]>>6 != 2 {
+		t.Error("level 6 FLEVEL != 2")
+	}
+	if Header(9)[1]>>6 != 3 {
+		t.Error("level 9 FLEVEL != 3")
+	}
+}
+
+func TestSplitAssembleEqualsCompress(t *testing.T) {
+	// The hybrid path (header + C-Engine body + trailer) must produce a
+	// stream identical to the one-shot path.
+	src := []byte(strings.Repeat("hybrid SoC + C-Engine zlib ", 300))
+	body := flate.Compress(src, 6)
+	assembled := Assemble(6, body, src)
+	oneShot := Compress(src, 6)
+	if !bytes.Equal(assembled, oneShot) {
+		t.Fatal("assembled stream differs from one-shot stream")
+	}
+	got, err := Decompress(assembled)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("assembled stream does not decompress: %v", err)
+	}
+}
+
+func TestBodyExtraction(t *testing.T) {
+	src := []byte("extract the deflate body")
+	z := Compress(src, 6)
+	body, err := Body(z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := flate.Decompress(body)
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("body did not inflate: %v", err)
+	}
+	if err := VerifyTrailer(z, got); err != nil {
+		t.Fatalf("trailer verify: %v", err)
+	}
+	if err := VerifyTrailer(z, append(got, 'x')); err == nil {
+		t.Fatal("trailer verified against wrong data")
+	}
+}
+
+func TestChecksumDetectsCorruption(t *testing.T) {
+	src := []byte(strings.Repeat("checksummed payload ", 100))
+	z := Compress(src, 6)
+	z[len(z)-1] ^= 0xFF // corrupt the trailer
+	if _, err := Decompress(z); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("want ErrChecksum, got %v", err)
+	}
+}
+
+func TestBadHeaders(t *testing.T) {
+	if _, err := Decompress([]byte{0x78}); !errors.Is(err, ErrShort) {
+		t.Errorf("1-byte input: %v", err)
+	}
+	if _, err := Decompress([]byte{0x79, 0x01, 0, 0, 0, 0, 1}); err == nil {
+		t.Error("bad CM accepted")
+	}
+	// Dictionary flag set.
+	cmf := byte(0x78)
+	flg := byte(0x20)
+	rem := (uint16(cmf)*256 + uint16(flg)) % 31
+	if rem != 0 {
+		flg += byte(31 - rem)
+	}
+	if _, err := Decompress([]byte{cmf, flg, 0, 0, 0, 0, 1}); !errors.Is(err, ErrDict) {
+		t.Errorf("dictionary stream: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, size uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]byte, int(size))
+		for i := range src {
+			src[i] = byte(rng.Intn(40))
+		}
+		got, err := Decompress(Compress(src, 6))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+// Package pedal is the public API of PEDAL, a unified lossy and lossless
+// compression library for (simulated) NVIDIA BlueField DPU architectures,
+// reproducing "Accelerating Lossy and Lossless Compression on Emerging
+// BlueField DPU Architectures" (IPDPS 2024).
+//
+// PEDAL unifies four compression algorithms — DEFLATE, zlib, LZ4
+// (lossless) and SZ3 (error-bounded lossy) — behind one API and executes
+// them on the best hardware the DPU offers: the ARM SoC cores or the
+// dedicated compression accelerator ("C-Engine"), with transparent SoC
+// fallback when a generation lacks a hardware path. Initialisation-time
+// work (DOCA setup, buffer pools, memory mapping) is hoisted out of the
+// per-message path, which is the library's headline optimisation.
+//
+// # Quick start
+//
+//	lib, err := pedal.Init(pedal.Options{Generation: pedal.BlueField2})
+//	if err != nil { ... }
+//	defer lib.Finalize()
+//
+//	msg, rep, err := lib.Compress(pedal.DesignCEngineDeflate, pedal.TypeBytes, data)
+//	// msg = 3-byte PEDAL header + compressed payload
+//	out, _, err := lib.Decompress(pedal.CEngine, pedal.TypeBytes, msg, len(data))
+//
+// The mpi subpackage (internal/mpi re-exported through examples and cmd
+// binaries) co-designs PEDAL with an MPI-style runtime for on-the-fly
+// message compression.
+package pedal
+
+import (
+	"pedal/internal/core"
+	"pedal/internal/dpu"
+	"pedal/internal/hwmodel"
+)
+
+// Re-exported device model identifiers.
+const (
+	// BlueField2 selects the simulated BlueField-2 DPU (8× A72, DDR4,
+	// C-Engine with DEFLATE compression + decompression).
+	BlueField2 = hwmodel.BlueField2
+	// BlueField3 selects the simulated BlueField-3 DPU (16× A78, DDR5,
+	// C-Engine with DEFLATE/LZ4 decompression only).
+	BlueField3 = hwmodel.BlueField3
+
+	// SoC prefers the ARM cores; CEngine prefers the hardware accelerator
+	// with transparent SoC fallback.
+	SoC     = hwmodel.SoC
+	CEngine = hwmodel.CEngine
+
+	// TypeBytes marks opaque data (lossless designs); TypeFloat32 and
+	// TypeFloat64 enable the lossy SZ3 design (the datatype parameter of
+	// the paper's Listing 1).
+	TypeBytes   = core.TypeBytes
+	TypeFloat32 = core.TypeFloat32
+	TypeFloat64 = core.TypeFloat64
+
+	// Wire algorithm identifiers (the AlgoID byte of the PEDAL header).
+	AlgoDeflate = core.AlgoDeflate
+	AlgoZlib    = core.AlgoZlib
+	AlgoLZ4     = core.AlgoLZ4
+	AlgoSZ3     = core.AlgoSZ3
+)
+
+// Type aliases re-exporting the core types.
+type (
+	// Options configures Init; the zero value selects BlueField-2 in
+	// Separated Host mode, zlib level 6, and the paper's 1e-4 SZ3 error
+	// bound.
+	Options = core.Options
+	// Library is an initialised PEDAL context (PEDAL_init's result).
+	Library = core.Library
+	// Design names one of the eight compression designs of the paper's
+	// Table III: an algorithm bound to a preferred engine.
+	Design = core.Design
+	// Report describes where an operation ran and what it cost.
+	Report = core.Report
+	// DataType is the Listing-1 datatype parameter.
+	DataType = core.DataType
+	// Generation identifies a BlueField generation.
+	Generation = hwmodel.Generation
+	// Engine identifies SoC or C-Engine execution.
+	Engine = hwmodel.Engine
+	// AlgoID is the wire algorithm identifier.
+	AlgoID = core.AlgoID
+)
+
+// The eight designs of Table III, as convenient constants.
+var (
+	DesignSoCDeflate     = Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+	DesignSoCZlib        = Design{Algo: core.AlgoZlib, Engine: hwmodel.SoC}
+	DesignSoCLZ4         = Design{Algo: core.AlgoLZ4, Engine: hwmodel.SoC}
+	DesignSoCSZ3         = Design{Algo: core.AlgoSZ3, Engine: hwmodel.SoC}
+	DesignCEngineDeflate = Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}
+	DesignCEngineZlib    = Design{Algo: core.AlgoZlib, Engine: hwmodel.CEngine}
+	DesignCEngineLZ4     = Design{Algo: core.AlgoLZ4, Engine: hwmodel.CEngine}
+	DesignCEngineSZ3     = Design{Algo: core.AlgoSZ3, Engine: hwmodel.CEngine}
+)
+
+// Init is PEDAL_init: it builds the device, DOCA environment and memory
+// pools once, so per-message operations pay none of that overhead.
+func Init(opts Options) (*Library, error) { return core.Init(opts) }
+
+// Designs enumerates the eight Table III designs.
+func Designs() []Design { return core.Designs() }
+
+// LosslessDesigns enumerates the six lossless designs (Fig. 10's A–F).
+func LosslessDesigns() []Design { return core.LosslessDesigns() }
+
+// ParseHeader inspects a wire message for the 3-byte PEDAL header,
+// returning the algorithm and compressed body, or core.ErrNoHeader for
+// uncompressed payloads.
+func ParseHeader(msg []byte) (AlgoID, []byte, error) { return core.ParseHeader(msg) }
+
+// SeparatedHost and SmartNIC are the DPU operating modes (§II-A). PEDAL
+// requires Separated Host.
+const (
+	SeparatedHost = dpu.SeparatedHost
+	SmartNIC      = dpu.SmartNIC
+)

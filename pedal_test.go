@@ -1,0 +1,103 @@
+package pedal_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pedal"
+)
+
+// The public facade must expose everything a downstream user needs
+// without reaching into internal packages.
+func TestFacadeRoundTripAllDesigns(t *testing.T) {
+	lib, err := pedal.Init(pedal.Options{Generation: pedal.BlueField2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+
+	text := bytes.Repeat([]byte("public api round trip "), 3000)
+	floats := make([]byte, 50000*8)
+	for i := 0; i < 50000; i++ {
+		binary.LittleEndian.PutUint64(floats[i*8:], math.Float64bits(math.Sin(float64(i)*0.01)))
+	}
+	for _, d := range pedal.Designs() {
+		data, dt := text, pedal.TypeBytes
+		if d.Algo == pedal.AlgoSZ3 {
+			data, dt = floats, pedal.TypeFloat64
+		}
+		msg, rep, err := lib.Compress(d, dt, data)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if rep.Ratio() <= 1 {
+			t.Errorf("%v: ratio %.2f", d, rep.Ratio())
+		}
+		out, _, err := lib.Decompress(d.Engine, dt, msg, len(data)+64)
+		if err != nil {
+			t.Fatalf("%v decompress: %v", d, err)
+		}
+		if d.Algo != pedal.AlgoSZ3 && !bytes.Equal(out, data) {
+			t.Fatalf("%v: mismatch", d)
+		}
+	}
+}
+
+func TestFacadeDesignConstantsMatchTable3(t *testing.T) {
+	want := map[string]pedal.Design{
+		"SoC_DEFLATE":      pedal.DesignSoCDeflate,
+		"C-Engine_DEFLATE": pedal.DesignCEngineDeflate,
+		"SoC_zlib":         pedal.DesignSoCZlib,
+		"C-Engine_zlib":    pedal.DesignCEngineZlib,
+		"SoC_LZ4":          pedal.DesignSoCLZ4,
+		"C-Engine_LZ4":     pedal.DesignCEngineLZ4,
+		"SoC_SZ3":          pedal.DesignSoCSZ3,
+		"C-Engine_SZ3":     pedal.DesignCEngineSZ3,
+	}
+	for name, d := range want {
+		if d.String() != name {
+			t.Errorf("%v.String() = %q, want %q", d, d.String(), name)
+		}
+	}
+	if len(pedal.Designs()) != 8 {
+		t.Errorf("Designs() = %d entries, want 8", len(pedal.Designs()))
+	}
+	if len(pedal.LosslessDesigns()) != 6 {
+		t.Errorf("LosslessDesigns() = %d entries, want 6", len(pedal.LosslessDesigns()))
+	}
+}
+
+func TestFacadeParseHeader(t *testing.T) {
+	lib, err := pedal.Init(pedal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+	msg, _, err := lib.Compress(pedal.DesignSoCLZ4, pedal.TypeBytes, bytes.Repeat([]byte("h"), 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, body, err := pedal.ParseHeader(msg)
+	if err != nil || algo != pedal.AlgoLZ4 {
+		t.Fatalf("ParseHeader: %v %v", algo, err)
+	}
+	if len(body) != len(msg)-3 {
+		t.Fatal("body length")
+	}
+	if _, _, err := pedal.ParseHeader([]byte("not a pedal message")); err == nil {
+		t.Fatal("garbage accepted as header")
+	}
+}
+
+func TestFacadeGenerationDefaults(t *testing.T) {
+	lib, err := pedal.Init(pedal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+	if lib.Generation() != pedal.BlueField2 {
+		t.Fatalf("default generation = %v", lib.Generation())
+	}
+}
