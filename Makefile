@@ -1,0 +1,26 @@
+GO ?= go
+
+# Packages exercised with the race detector: the concurrency-heavy layers
+# (engine queue + close protocol, retry path, MPI runtime).
+RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi
+
+.PHONY: all build vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+check: build vet test race

@@ -57,6 +57,7 @@ func (l *Library) Compress(d Design, dt DataType, data []byte) ([]byte, Report, 
 	copy(msg[headerLen:], payload)
 	rep.OutBytes = len(payload)
 	rep.Phases = op.Snapshot()
+	rep.Counts = op.Counts()
 	rep.Virtual = op.Total()
 	return msg, rep, nil
 }
@@ -65,19 +66,24 @@ func (l *Library) Compress(d Design, dt DataType, data []byte) ([]byte, Report, 
 // hardware, handling staging, mapping and fallback; it is shared by the
 // DEFLATE, zlib and SZ3 hybrid paths.
 func (l *Library) engineCompressDeflate(op *stats.Breakdown, rep *Report, data []byte) ([]byte, error) {
-	if l.dev.SupportsCEngine(hwmodel.Deflate, hwmodel.Compress) {
+	supported := l.dev.SupportsCEngine(hwmodel.Deflate, hwmodel.Compress)
+	if supported && l.engineAllowed(op) {
 		staging, release := l.stage(op, data)
 		defer release()
 		res, err := l.ctx.Submit(hwmodel.Deflate, hwmodel.Compress, staging, 0)
+		l.noteEngineResult(op, err)
 		if err == nil {
 			rep.Engine = hwmodel.CEngine
 			return res.Output, nil
 		}
-		// Hardware refused: fall through to the SoC below.
+		// Hardware failed at runtime: degrade to the SoC below.
 	}
-	// SoC fallback (BlueField-3's C-Engine cannot compress, §V-C).
+	// SoC fallback: static for a missing capability (BlueField-3's
+	// C-Engine cannot compress, §V-C), dynamic for a failing or
+	// breaker-opened engine.
 	rep.Engine = hwmodel.SoC
 	rep.Fallback = true
+	rep.Degraded = supported
 	l.chargeSoCBufPrep(op, len(data))
 	out := flate.Compress(data, l.opts.Level)
 	if _, err := l.ctx.SoCRun(hwmodel.Deflate, hwmodel.Compress, len(data)); err != nil {
@@ -173,6 +179,7 @@ func (l *Library) compressSZ3(op *stats.Breakdown, d Design, rep *Report, dt Dat
 		}
 		rep.Engine = subRep.Engine
 		rep.Fallback = subRep.Fallback
+		rep.Degraded = subRep.Degraded
 		return sz3.BuildContainer(sz3.BackendDeflate, body), nil
 	}
 	// SoC design: SZ3 with its fast built-in backend (fastlz standing in

@@ -8,10 +8,12 @@ import (
 
 	"pedal/internal/doca"
 	"pedal/internal/dpu"
+	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
 	"pedal/internal/mempool"
 	"pedal/internal/stats"
 	"pedal/internal/sz3"
+	"pedal/internal/trace"
 )
 
 // DataType mirrors the datatype parameter of PEDAL_compress (paper
@@ -72,6 +74,34 @@ type Options struct {
 	// MPI runtime does this to model sender and receiver processes on
 	// one DPU). Nil means create a private device from Generation/Mode.
 	Device *dpu.Device
+	// Resilience tunes the dynamic fault handling (retry policy, job
+	// deadlines, circuit breaker). Nil means defaults.
+	Resilience *ResilienceOptions
+	// FaultInjector, when set, is installed on the device's C-Engine at
+	// Init so tests and the fault-sweep experiment can exercise the
+	// failure paths deterministically.
+	FaultInjector *faults.Injector
+}
+
+// ResilienceOptions configures the fault-handling layer. Zero fields
+// select defaults.
+type ResilienceOptions struct {
+	// MaxAttempts, RetryBase, RetryMax shape doca.Submit's transient
+	// retry loop (defaults: 4 attempts, 50µs base, 5ms cap).
+	MaxAttempts int
+	RetryBase   time.Duration
+	RetryMax    time.Duration
+	// JobDeadline bounds each C-Engine job's completion wait; zero
+	// waits forever.
+	JobDeadline time.Duration
+	// BreakerThreshold consecutive hard failures open the per-device
+	// circuit breaker (default 3); while open, every BreakerProbeEvery-th
+	// operation probes the engine (default 8).
+	BreakerThreshold  int
+	BreakerProbeEvery int
+	// DisableBreaker turns the breaker off entirely; hard engine
+	// failures then degrade ops one at a time.
+	DisableBreaker bool
 }
 
 // Report describes one Compress or Decompress execution: where it ran,
@@ -80,10 +110,18 @@ type Report struct {
 	Design   Design
 	Engine   hwmodel.Engine // engine that actually executed
 	Fallback bool           // true when the C-Engine lacked the op and the SoC ran it
+	// Degraded marks a *dynamic* fallback: the hardware supports the
+	// path, but a runtime failure or an open circuit breaker pushed the
+	// operation to the SoC (the paper's §III-D machinery, triggered by
+	// faults instead of capability bits).
+	Degraded bool
 	InBytes  int
 	OutBytes int
 	Virtual  time.Duration
 	Phases   map[stats.Phase]time.Duration
+	// Counts reports the resilience events (retries, timeouts, breaker
+	// transitions...) this operation incurred.
+	Counts map[stats.Counter]uint64
 }
 
 // Ratio is the compression ratio original/compressed of a compression
@@ -106,7 +144,10 @@ type Library struct {
 	ctx    *doca.Context
 	pool   *mempool.Pool
 	total  *stats.Breakdown
-	closed bool
+	// breaker guards the C-Engine path against a failing engine; nil
+	// when disabled.
+	breaker *faults.Breaker
+	closed  bool
 }
 
 // ErrFinalized is returned by operations on a finalized library.
@@ -158,6 +199,33 @@ func Init(opts Options) (*Library, error) {
 		ctx:    ctx,
 		pool:   mempool.New(),
 		total:  total,
+	}
+	// Resilience wiring: retry policy on the DOCA context, fault
+	// injector on the engine, circuit breaker on the library.
+	policy := doca.DefaultRetryPolicy()
+	if r := opts.Resilience; r != nil {
+		if r.MaxAttempts > 0 {
+			policy.MaxAttempts = r.MaxAttempts
+		}
+		if r.RetryBase > 0 {
+			policy.BaseBackoff = r.RetryBase
+		}
+		if r.RetryMax > 0 {
+			policy.MaxBackoff = r.RetryMax
+		}
+		policy.JobDeadline = r.JobDeadline
+	}
+	ctx.SetRetryPolicy(policy)
+	if opts.FaultInjector != nil {
+		dev.SetFaultInjector(opts.FaultInjector)
+	}
+	if r := opts.Resilience; r == nil || !r.DisableBreaker {
+		bc := faults.BreakerConfig{}
+		if r != nil {
+			bc.Threshold = r.BreakerThreshold
+			bc.ProbeEvery = r.BreakerProbeEvery
+		}
+		lib.breaker = faults.NewBreaker(bc)
 	}
 	// Prewarm the buffer pool: default classes cover the paper's message
 	// sweep (4 KiB – 64 MiB) plus any caller-specified sizes.
@@ -235,3 +303,46 @@ func (l *Library) getBuf(n int) []byte { return l.pool.Get(n) }
 // memory pool. Optional: the GC collects unreleased buffers, but
 // releasing keeps the steady-state path allocation-free.
 func (l *Library) Release(buf []byte) { l.pool.Put(buf) }
+
+// Breaker exposes the per-device circuit breaker (nil when disabled) so
+// experiments and tests can observe its state.
+func (l *Library) Breaker() *faults.Breaker { return l.breaker }
+
+// engineAllowed consults the circuit breaker before a C-Engine attempt.
+// A rejection means the breaker is open: the operation degrades straight
+// to the SoC and is counted.
+func (l *Library) engineAllowed(op *stats.Breakdown) bool {
+	if l.breaker == nil || l.breaker.Allow() {
+		return true
+	}
+	op.Inc(stats.CounterDegradedOps)
+	return false
+}
+
+// noteEngineResult feeds a C-Engine submission outcome to the breaker
+// and counters. Capability misses (ErrUnsupported) are static conditions
+// and never count as engine failures.
+func (l *Library) noteEngineResult(op *stats.Breakdown, err error) {
+	if err == nil {
+		if l.breaker.Success() {
+			op.Inc(stats.CounterBreakerRecoveries)
+			l.traceBreaker("closed", "engine recovered")
+		}
+		return
+	}
+	if errors.Is(err, dpu.ErrUnsupported) {
+		return
+	}
+	op.Inc(stats.CounterEngineFailures)
+	if l.breaker.Failure() {
+		op.Inc(stats.CounterBreakerTrips)
+		l.traceBreaker("open", err.Error())
+	}
+}
+
+// traceBreaker records a breaker transition on the engine's tracer.
+func (l *Library) traceBreaker(state, why string) {
+	if tr := l.dev.CEngine().Tracer(); tr != nil {
+		tr.Record(trace.Event{Engine: "breaker", Op: state, Err: why})
+	}
+}

@@ -62,6 +62,7 @@ func (l *Library) Decompress(engine hwmodel.Engine, dt DataType, msg []byte, max
 	}
 	rep.OutBytes = len(out)
 	rep.Phases = op.Snapshot()
+	rep.Counts = op.Counts()
 	rep.Virtual = op.Total()
 	return out, rep, nil
 }
@@ -69,10 +70,12 @@ func (l *Library) Decompress(engine hwmodel.Engine, dt DataType, msg []byte, max
 // engineDecompress runs a raw DEFLATE or LZ4-frame decompression on the
 // preferred engine with SoC fallback.
 func (l *Library) engineDecompress(op *stats.Breakdown, rep *Report, algo hwmodel.Algo, body []byte, maxOutput int) ([]byte, error) {
-	if rep.Engine == hwmodel.CEngine && l.dev.SupportsCEngine(algo, hwmodel.Decompress) {
+	supported := rep.Engine == hwmodel.CEngine && l.dev.SupportsCEngine(algo, hwmodel.Decompress)
+	if supported && l.engineAllowed(op) {
 		staging, release := l.stage(op, body)
 		defer release()
 		res, err := l.ctx.Submit(algo, hwmodel.Decompress, staging, maxOutput)
+		l.noteEngineResult(op, err)
 		if err == nil {
 			rep.Engine = hwmodel.CEngine
 			return res.Output, nil
@@ -81,6 +84,7 @@ func (l *Library) engineDecompress(op *stats.Breakdown, rep *Report, algo hwmode
 	if rep.Engine == hwmodel.CEngine {
 		rep.Engine = hwmodel.SoC
 		rep.Fallback = true
+		rep.Degraded = supported
 	}
 	l.chargeSoCBufPrep(op, maxOutput)
 	var out []byte

@@ -52,11 +52,14 @@ type hybridSpan struct {
 // splitHybrid partitions data into an optional engine span plus per-core
 // SoC spans, sized so that both resources finish together under the
 // calibrated cost model.
-func (l *Library) splitHybrid(data []byte, op hwmodel.Op) []hybridSpan {
+func (l *Library) splitHybrid(bd *stats.Breakdown, data []byte, op hwmodel.Op) []hybridSpan {
 	gen := l.dev.Generation()
 	cores := l.dev.SoC().Cores
 	n := len(data)
-	engineOK := l.dev.SupportsCEngine(hwmodel.Deflate, op)
+	// The engine span is only scheduled when the capability exists AND
+	// the circuit breaker admits it; with the breaker open the whole
+	// input goes to the SoC pool.
+	engineOK := l.dev.SupportsCEngine(hwmodel.Deflate, op) && l.engineAllowed(bd)
 
 	engineBytes := 0
 	if engineOK && n > 0 {
@@ -156,7 +159,7 @@ func (s *hybridSpan) expandedLen() int {
 // compressHybrid splits data and compresses the spans on all available
 // hardware in parallel.
 func (l *Library) compressHybrid(op *stats.Breakdown, rep *Report, data []byte) ([]byte, error) {
-	spans := l.splitHybrid(data, hwmodel.Compress)
+	spans := l.splitHybrid(op, data, hwmodel.Compress)
 	var wg sync.WaitGroup
 	for i := range spans {
 		s := &spans[i]
@@ -167,11 +170,13 @@ func (l *Library) compressHybrid(op *stats.Breakdown, rep *Report, data []byte) 
 				res := l.dev.CEngine().Run(dpu.Job{
 					Algo: hwmodel.Deflate, Op: hwmodel.Compress, Input: s.orig,
 				})
-				if res.Err == nil {
+				// Checksum-verify the engine output: a corrupted span
+				// must be recompressed in software, not shipped.
+				if res.Err == nil && res.VerifyOutput() {
 					s.comp = res.Output
 					return
 				}
-				s.onEngine = false // engine refused: software fallback
+				s.onEngine = false // engine refused or corrupted: software fallback
 			}
 			s.comp = flate.Compress(s.orig, l.opts.Level)
 		}()
@@ -236,7 +241,7 @@ func (l *Library) decompressHybrid(op *stats.Breakdown, rep *Report, body []byte
 		total += int(orig)
 		pos += int(comp)
 	}
-	if l.dev.SupportsCEngine(hwmodel.Deflate, hwmodel.Decompress) {
+	if l.dev.SupportsCEngine(hwmodel.Deflate, hwmodel.Decompress) && l.engineAllowed(op) {
 		spans[largest].onEngine = true
 	}
 
@@ -255,8 +260,11 @@ func (l *Library) decompressHybrid(op *stats.Breakdown, rep *Report, body []byte
 					Algo: hwmodel.Deflate, Op: hwmodel.Decompress,
 					Input: s.comp, MaxOutput: limit,
 				})
-				dec, err = res.Output, res.Err
-				if err != nil {
+				if res.Err == nil && res.VerifyOutput() {
+					dec = res.Output
+				} else {
+					// Engine failure or corrupted output: redo the span
+					// in software so the frame stays byte-exact.
 					s.onEngine = false
 					dec, err = flate.DecompressLimit(s.comp, limit)
 				}

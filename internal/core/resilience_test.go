@@ -1,0 +1,164 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pedal/internal/faults"
+	"pedal/internal/hwmodel"
+	"pedal/internal/stats"
+)
+
+var resilientSrc = []byte(strings.Repeat("core resilience round trip ", 300))
+
+func faultyLib(t *testing.T, cfg faults.Config, r *ResilienceOptions) *Library {
+	t.Helper()
+	lib, err := Init(Options{
+		Generation:    hwmodel.BlueField2,
+		FaultInjector: faults.NewInjector(cfg),
+		Resilience:    r,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lib.Finalize)
+	return lib
+}
+
+func roundTrip(t *testing.T, lib *Library) (Report, Report) {
+	t.Helper()
+	design := Design{Algo: AlgoDeflate, Engine: hwmodel.CEngine}
+	msg, crep, err := lib.Compress(design, TypeBytes, resilientSrc)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	out, drep, err := lib.Decompress(hwmodel.CEngine, TypeBytes, msg, len(resilientSrc)+64)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(out, resilientSrc) {
+		t.Fatal("round trip not byte-identical")
+	}
+	return crep, drep
+}
+
+// A permanently failing engine must never produce wrong data or a failed
+// operation: the breaker trips and everything degrades to the SoC path.
+func TestPersistentFaultDegradesToSoC(t *testing.T) {
+	lib := faultyLib(t,
+		faults.Config{Seed: 11, PPersistent: 1.0},
+		&ResilienceOptions{BreakerThreshold: 2, BreakerProbeEvery: 8},
+	)
+	var sawDegraded bool
+	for i := 0; i < 20; i++ {
+		crep, _ := roundTrip(t, lib)
+		if crep.Degraded {
+			sawDegraded = true
+		}
+		if crep.Fallback && !crep.Degraded {
+			t.Fatal("dynamic degradation misreported as static capability fallback")
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("no operation reported Degraded despite a dead engine")
+	}
+	if lib.Breaker().State() != faults.StateOpen {
+		t.Fatalf("breaker state = %v, want open", lib.Breaker().State())
+	}
+	tb := lib.TotalBreakdown()
+	if tb.Count(stats.CounterBreakerTrips) == 0 {
+		t.Fatal("breaker never tripped")
+	}
+	if tb.Count(stats.CounterDegradedOps) == 0 {
+		t.Fatal("degraded ops not counted")
+	}
+}
+
+// Transient faults are absorbed by doca's retry loop; output stays
+// correct and the retry counter shows the machinery fired.
+func TestTransientFaultsRetriedTransparently(t *testing.T) {
+	lib := faultyLib(t,
+		faults.Config{Seed: 12, PTransient: 0.4},
+		&ResilienceOptions{MaxAttempts: 8},
+	)
+	for i := 0; i < 30; i++ {
+		roundTrip(t, lib)
+	}
+	if lib.TotalBreakdown().Count(stats.CounterRetries) == 0 {
+		t.Fatal("40% transient rate produced no retries")
+	}
+}
+
+// A bounded outage: the breaker trips, then a half-open probe succeeds
+// once the injector budget drains, and the engine comes back.
+func TestBreakerRecoversAfterOutage(t *testing.T) {
+	lib := faultyLib(t,
+		faults.Config{Seed: 13, PPersistent: 1.0, MaxInjections: 6},
+		&ResilienceOptions{MaxAttempts: 1, BreakerThreshold: 3, BreakerProbeEvery: 4},
+	)
+	for i := 0; i < 60; i++ {
+		roundTrip(t, lib)
+	}
+	tb := lib.TotalBreakdown()
+	if tb.Count(stats.CounterBreakerTrips) == 0 {
+		t.Fatal("outage did not trip the breaker")
+	}
+	if tb.Count(stats.CounterBreakerRecoveries) == 0 {
+		t.Fatal("breaker never recovered after the outage ended")
+	}
+	if lib.Breaker().State() != faults.StateClosed {
+		t.Fatalf("breaker state = %v, want closed after recovery", lib.Breaker().State())
+	}
+	// Post-recovery operations run on the engine again, undegraded.
+	crep, _ := roundTrip(t, lib)
+	if crep.Degraded || crep.Fallback {
+		t.Fatalf("post-recovery op degraded=%v fallback=%v", crep.Degraded, crep.Fallback)
+	}
+	if crep.Engine != hwmodel.CEngine {
+		t.Fatalf("post-recovery engine = %v, want CEngine", crep.Engine)
+	}
+}
+
+// Corrupted engine output must be caught by checksum verification and
+// retried; data integrity holds end to end.
+func TestCorruptionNeverEscapes(t *testing.T) {
+	lib := faultyLib(t,
+		faults.Config{Seed: 14, PCorrupt: 0.3},
+		&ResilienceOptions{MaxAttempts: 8},
+	)
+	for i := 0; i < 30; i++ {
+		roundTrip(t, lib)
+	}
+	if lib.TotalBreakdown().Count(stats.CounterCorruptions) == 0 {
+		t.Fatal("30% corruption rate never detected")
+	}
+}
+
+// With the breaker disabled, hard failures degrade individual operations
+// but correctness still holds.
+func TestDisabledBreakerStillDegrades(t *testing.T) {
+	lib := faultyLib(t,
+		faults.Config{Seed: 15, PPersistent: 1.0},
+		&ResilienceOptions{MaxAttempts: 1, DisableBreaker: true},
+	)
+	crep, _ := roundTrip(t, lib)
+	if !crep.Degraded {
+		t.Fatal("op not reported degraded")
+	}
+	if lib.Breaker() != nil {
+		t.Fatal("breaker built despite DisableBreaker")
+	}
+}
+
+// Per-op reports carry the resilience counters.
+func TestReportCountsExposed(t *testing.T) {
+	lib := faultyLib(t,
+		faults.Config{Seed: 16, PTransient: 1.0, MaxInjections: 1},
+		&ResilienceOptions{MaxAttempts: 4},
+	)
+	crep, _ := roundTrip(t, lib)
+	if crep.Counts[stats.CounterRetries] != 1 {
+		t.Fatalf("report retries = %d, want 1", crep.Counts[stats.CounterRetries])
+	}
+}

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"time"
 
+	"pedal/internal/checksum"
 	"pedal/internal/dpu"
+	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
 	"pedal/internal/stats"
 )
@@ -27,6 +29,43 @@ var (
 	ErrClosed    = errors.New("doca: context closed")
 )
 
+// RetryPolicy bounds Submit's handling of transient C-Engine failures:
+// queue-full rejections, transient faults, detected output corruption,
+// and missed deadlines are retried with exponential backoff plus jitter;
+// persistent hardware failures and capability misses fail immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of submissions tried (first
+	// attempt included); zero or negative means 4.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; zero means 50µs.
+	// The delay doubles per retry, capped at MaxBackoff (zero: 5ms),
+	// and is charged as virtual time to stats.PhaseRetry.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JobDeadline bounds each attempt's completion wait; zero waits
+	// forever. A missed deadline counts as a transient failure.
+	JobDeadline time.Duration
+}
+
+// DefaultRetryPolicy returns the policy Context starts with.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseBackoff: 50 * time.Microsecond, MaxBackoff: 5 * time.Millisecond}
+}
+
+func (p RetryPolicy) normalized() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = d.BaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = d.MaxBackoff
+	}
+	return p
+}
+
 // Context is an initialised DOCA environment bound to one device: the
 // analogue of the doca_dev + doca_compress + progress-engine bundle a
 // real application sets up once.
@@ -35,6 +74,8 @@ type Context struct {
 	bd     *stats.Breakdown
 	inited bool
 	closed bool
+	policy RetryPolicy
+	rng    *faults.Rand
 
 	// mapped tracks registered buffers (identity by slice backing array
 	// start). Real DOCA refuses jobs on unregistered memory.
@@ -49,11 +90,21 @@ func Init(dev *dpu.Device, bd *stats.Breakdown) (*Context, error) {
 	if dev == nil {
 		return nil, errors.New("doca: nil device")
 	}
-	c := &Context{dev: dev, bd: bd, mapped: make(map[*byte]int)}
+	c := &Context{
+		dev: dev, bd: bd, mapped: make(map[*byte]int),
+		policy: DefaultRetryPolicy(),
+		rng:    faults.NewRand(1),
+	}
 	bd.Add(stats.PhaseDOCAInit, hwmodel.InitCost(dev.Generation()))
 	c.inited = true
 	return c, nil
 }
+
+// SetRetryPolicy replaces the transient-failure handling policy.
+func (c *Context) SetRetryPolicy(p RetryPolicy) { c.policy = p }
+
+// RetryPolicy returns the active policy.
+func (c *Context) RetryPolicy() RetryPolicy { return c.policy }
 
 // Device returns the underlying DPU.
 func (c *Context) Device() *dpu.Device { return c.dev }
@@ -119,6 +170,13 @@ type Result struct {
 // When the hardware lacks the path, Submit fails with
 // dpu.ErrUnsupported — PEDAL's capability fallback then redirects the
 // operation to the SoC.
+//
+// Transient failures (queue full, transient engine faults, checksum
+// mismatches, missed deadlines) are retried per the RetryPolicy with
+// exponential backoff; the backoff delays are charged as virtual time to
+// stats.PhaseRetry and counted in stats.CounterRetries. Engine output is
+// verified against the engine-reported CRC before being returned, so
+// corruption is detected here rather than propagated.
 func (c *Context) Submit(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutput int) (Result, error) {
 	if c.closed {
 		return Result{}, ErrClosed
@@ -126,9 +184,44 @@ func (c *Context) Submit(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutp
 	if !c.IsMapped(input) {
 		return Result{}, fmt.Errorf("%w: submit requires a registered source buffer", ErrNotMapped)
 	}
-	res := c.dev.CEngine().Run(dpu.Job{Algo: algo, Op: op, Input: input, MaxOutput: maxOutput})
+	p := c.policy.normalized()
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.bd.Inc(stats.CounterRetries)
+			c.bd.Add(stats.PhaseRetry, faults.Backoff(attempt-1, p.BaseBackoff, p.MaxBackoff, c.rng))
+		}
+		res, err := c.submitOnce(algo, op, input, maxOutput, p)
+		if err == nil {
+			return res, nil
+		}
+		if !dpu.IsTransient(err) {
+			return Result{}, err
+		}
+		lastErr = err
+	}
+	return Result{}, fmt.Errorf("doca: %v %v failed after %d attempts: %w", algo, op, p.MaxAttempts, lastErr)
+}
+
+// submitOnce performs one submission attempt: enqueue, bounded wait,
+// checksum verification, cost accounting.
+func (c *Context) submitOnce(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutput int, p RetryPolicy) (Result, error) {
+	h, err := c.dev.CEngine().Submit(dpu.Job{Algo: algo, Op: op, Input: input, MaxOutput: maxOutput})
+	if err != nil {
+		return Result{}, err
+	}
+	res, ok := h.WaitTimeout(p.JobDeadline)
+	if !ok {
+		c.bd.Inc(stats.CounterTimeouts)
+		return Result{}, res.Err
+	}
 	if res.Err != nil {
 		return Result{}, res.Err
+	}
+	if sum := checksum.CRC32(res.Output); sum != res.Checksum {
+		c.bd.Inc(stats.CounterCorruptions)
+		return Result{}, fmt.Errorf("%w: CRC 0x%08x != engine 0x%08x over %d bytes",
+			dpu.ErrCorrupt, sum, res.Checksum, len(res.Output))
 	}
 	phase := stats.PhaseCompress
 	if op == hwmodel.Decompress {

@@ -1,10 +1,13 @@
 package dpu
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
+	"pedal/internal/checksum"
+	"pedal/internal/faults"
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
 	"pedal/internal/lz4"
@@ -17,10 +20,22 @@ type JobResult struct {
 	Output []byte
 	// Virtual is the modelled hardware execution time of the job.
 	Virtual time.Duration
-	// Err is non-nil when the job failed (unsupported path or corrupt
-	// input). Hardware reports such failures through the work queue's
-	// completion status.
+	// Checksum is the engine-computed CRC-32 of Output — the completion
+	// metadata real DOCA work queues report alongside the data. Callers
+	// verify it against the received bytes to detect corruption on the
+	// data path (see VerifyOutput).
+	Checksum uint32
+	// Err is non-nil when the job failed (unsupported path, corrupt
+	// input, or an injected runtime fault). Hardware reports such
+	// failures through the work queue's completion status.
 	Err error
+}
+
+// VerifyOutput recomputes the output CRC and compares it with the
+// engine-reported checksum; false means the output was corrupted after
+// the engine produced it and must not be used.
+func (r *JobResult) VerifyOutput() bool {
+	return r.Err == nil && checksum.CRC32(r.Output) == r.Checksum
 }
 
 // Job describes one compression or decompression operation submitted to
@@ -44,9 +59,39 @@ type JobHandle struct {
 // Wait blocks until the job completes and returns its result.
 func (h *JobHandle) Wait() JobResult { return <-h.done }
 
+// WaitTimeout blocks up to d for completion; ok=false means the deadline
+// fired first and the result carries ErrDeadline. The abandoned job may
+// still complete in the background — the handle's buffered channel keeps
+// the worker from blocking on it. d <= 0 waits forever.
+func (h *JobHandle) WaitTimeout(d time.Duration) (JobResult, bool) {
+	if d <= 0 {
+		return h.Wait(), true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-h.done:
+		return r, true
+	case <-timer.C:
+		return JobResult{Err: ErrDeadline}, false
+	}
+}
+
+// WaitContext blocks until completion or ctx cancellation; ok=false
+// means ctx won and the result carries ErrDeadline.
+func (h *JobHandle) WaitContext(ctx context.Context) (JobResult, bool) {
+	select {
+	case r := <-h.done:
+		return r, true
+	case <-ctx.Done():
+		return JobResult{Err: fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())}, false
+	}
+}
+
 type queued struct {
 	job    Job
 	handle *JobHandle
+	fault  faults.Decision
 }
 
 // CEngine is the hardware compression accelerator: a serial job queue
@@ -55,10 +100,16 @@ type queued struct {
 type CEngine struct {
 	gen   hwmodel.Generation
 	queue chan queued
+	// done signals close to submitters blocked on a full queue.
+	done chan struct{}
+	// submitters counts Submit calls past the closed-check; close waits
+	// for them before closing the queue so a send never races the close.
+	submitters sync.WaitGroup
 
-	mu     sync.Mutex
-	closed bool
-	tracer *trace.Tracer
+	mu       sync.Mutex
+	closed   bool
+	tracer   *trace.Tracer
+	injector *faults.Injector
 }
 
 // SetTracer attaches an activity recorder; every executed job is logged.
@@ -75,6 +126,23 @@ func (e *CEngine) getTracer() *trace.Tracer {
 	return e.tracer
 }
 
+// Tracer returns the attached activity recorder (nil when disabled).
+func (e *CEngine) Tracer() *trace.Tracer { return e.getTracer() }
+
+// SetInjector attaches a fault injector; every subsequent job draws a
+// fault decision from it. Pass nil to disable.
+func (e *CEngine) SetInjector(inj *faults.Injector) {
+	e.mu.Lock()
+	e.injector = inj
+	e.mu.Unlock()
+}
+
+func (e *CEngine) getInjector() *faults.Injector {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.injector
+}
+
 // cengineQueueDepth mirrors a typical DOCA work-queue depth.
 const cengineQueueDepth = 128
 
@@ -82,6 +150,7 @@ func newCEngine(gen hwmodel.Generation) *CEngine {
 	e := &CEngine{
 		gen:   gen,
 		queue: make(chan queued, cengineQueueDepth),
+		done:  make(chan struct{}),
 	}
 	go e.worker()
 	return e
@@ -94,19 +163,40 @@ func (e *CEngine) Supports(algo hwmodel.Algo, op hwmodel.Op) bool {
 
 // Submit enqueues a job. It fails fast with ErrUnsupported when the
 // hardware lacks the path (callers should have checked Supports, the way
-// PEDAL's capability fallback does) and with ErrClosed after close.
+// PEDAL's capability fallback does), with ErrQueueFull when the injector
+// models a busy work queue, and with ErrClosed after close.
 func (e *CEngine) Submit(job Job) (*JobHandle, error) {
 	if !e.Supports(job.Algo, job.Op) {
 		return nil, fmt.Errorf("%w: %v %v on %v C-Engine", ErrUnsupported, job.Algo, job.Op, e.gen)
 	}
+	// One fault decision per submitted job, drawn at submission time the
+	// way the hardware queue would accept or reject the descriptor.
+	var dec faults.Decision
+	if inj := e.getInjector(); inj != nil {
+		dec = inj.Next()
+		if dec.Class == faults.QueueFull {
+			return nil, fmt.Errorf("%w: %v %v", ErrQueueFull, job.Algo, job.Op)
+		}
+	}
 	h := &JobHandle{done: make(chan JobResult, 1)}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return nil, ErrClosed
 	}
-	e.queue <- queued{job: job, handle: h}
-	return h, nil
+	e.submitters.Add(1)
+	e.mu.Unlock()
+	defer e.submitters.Done()
+	// Enqueue outside the lock: a full queue must not wedge SetTracer or
+	// close behind a blocked send, and close never races this send — it
+	// signals done first and waits for in-flight submitters before
+	// closing the queue.
+	select {
+	case e.queue <- queued{job: job, handle: h, fault: dec}:
+		return h, nil
+	case <-e.done:
+		return nil, ErrClosed
+	}
 }
 
 // Run is the synchronous convenience wrapper: submit and wait.
@@ -120,37 +210,58 @@ func (e *CEngine) Run(job Job) JobResult {
 
 func (e *CEngine) worker() {
 	for q := range e.queue {
-		q.handle.done <- e.execute(q.job)
+		q.handle.done <- e.execute(q.job, q.fault)
 	}
 }
 
 func (e *CEngine) close() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return
 	}
 	e.closed = true
+	e.mu.Unlock()
+	// Unblock submitters stuck on a full queue, wait until none are in
+	// flight, then close the queue so the worker drains what was
+	// accepted and exits. This ordering makes close(queue) race-free.
+	close(e.done)
+	e.submitters.Wait()
 	close(e.queue)
 }
 
 // execute performs the real compression work and attaches the modelled
-// hardware duration.
-func (e *CEngine) execute(job Job) JobResult {
+// hardware duration. Failed jobs are traced too, with the error noted.
+func (e *CEngine) execute(job Job, fault faults.Decision) JobResult {
 	wallStart := time.Now()
-	res := e.executeInner(job)
-	if tr := e.getTracer(); tr != nil && res.Err == nil {
-		tr.Record(trace.Event{
+	res := e.executeInner(job, fault)
+	if tr := e.getTracer(); tr != nil {
+		ev := trace.Event{
 			Engine: hwmodel.CEngine.String(),
 			Algo:   job.Algo.String(), Op: job.Op.String(),
 			InBytes: len(job.Input), OutBytes: len(res.Output),
 			Virtual: res.Virtual, Wall: time.Since(wallStart),
-		})
+		}
+		if res.Err != nil {
+			ev.Err = res.Err.Error()
+		}
+		tr.Record(ev)
 	}
 	return res
 }
 
-func (e *CEngine) executeInner(job Job) JobResult {
+func (e *CEngine) executeInner(job Job, fault faults.Decision) JobResult {
+	switch fault.Class {
+	case faults.Transient:
+		return JobResult{Err: fmt.Errorf("%w: injected %v %v fault", ErrTransient, job.Algo, job.Op)}
+	case faults.Persistent:
+		return JobResult{Err: fmt.Errorf("%w: injected %v %v fault", ErrHardware, job.Algo, job.Op)}
+	case faults.Hang:
+		// The worker stalls exactly like a hung hardware queue entry:
+		// head-of-line blocking for everything behind it, and only a
+		// wait deadline frees the submitter.
+		time.Sleep(fault.Delay)
+	}
 	limit := job.MaxOutput
 	if limit <= 0 {
 		limit = 1 << 30
@@ -171,6 +282,13 @@ func (e *CEngine) executeInner(job Job) JobResult {
 	if err != nil {
 		return JobResult{Err: err}
 	}
+	// The engine reports the CRC of the data it produced; corruption
+	// injected below therefore mismatches it, the way a bit flip on the
+	// PCIe/DMA path would.
+	sum := checksum.CRC32(out)
+	if fault.Class == faults.Corrupt && len(out) > 0 {
+		out[len(out)/2] ^= 0x55
+	}
 	// Hardware time scales with the volume of data moved through the
 	// engine, which for decompression is the expanded output.
 	n := len(job.Input)
@@ -181,5 +299,5 @@ func (e *CEngine) executeInner(job Job) JobResult {
 	if !ok {
 		return JobResult{Err: fmt.Errorf("%w: no cost model for %v %v", ErrUnsupported, job.Algo, job.Op)}
 	}
-	return JobResult{Output: out, Virtual: d}
+	return JobResult{Output: out, Virtual: d, Checksum: sum}
 }

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
 )
 
@@ -42,6 +43,34 @@ var (
 	ErrUnsupported = errors.New("dpu: operation not supported by this engine")
 	ErrClosed      = errors.New("dpu: device closed")
 )
+
+// Runtime failure classes, the way real DOCA work queues surface them in
+// completion statuses. ErrUnsupported and ErrClosed above are *static*
+// conditions; these are *dynamic* faults a healthy retry/fallback layer
+// must absorb.
+var (
+	// ErrTransient is a retryable engine fault; an immediate
+	// resubmission may succeed.
+	ErrTransient = errors.New("dpu: transient engine fault")
+	// ErrHardware is a persistent engine failure; retrying is futile
+	// until the engine recovers.
+	ErrHardware = errors.New("dpu: hardware engine failure")
+	// ErrQueueFull rejects a submission on a busy work queue (EAGAIN).
+	ErrQueueFull = errors.New("dpu: work queue full")
+	// ErrDeadline fires when a job misses its completion deadline.
+	ErrDeadline = errors.New("dpu: job deadline exceeded")
+	// ErrCorrupt marks engine output whose checksum failed verification.
+	ErrCorrupt = errors.New("dpu: engine output failed checksum")
+)
+
+// IsTransient reports whether err belongs to a failure class a caller
+// may retry: transient faults, queue-full rejections, detected output
+// corruption, and missed deadlines. Persistent hardware failures and
+// capability misses are not retryable.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrQueueFull) ||
+		errors.Is(err, ErrCorrupt) || errors.Is(err, ErrDeadline)
+}
 
 // SoCInfo describes the ARM core complex of a generation.
 type SoCInfo struct {
@@ -91,6 +120,10 @@ func (d *Device) SoC() SoCInfo { return socInfo[d.gen] }
 
 // CEngine returns the hardware compression engine.
 func (d *Device) CEngine() *CEngine { return d.cengine }
+
+// SetFaultInjector attaches a fault injector to the C-Engine; every
+// subsequent job draws a fault decision from it. Pass nil to disable.
+func (d *Device) SetFaultInjector(inj *faults.Injector) { d.cengine.SetInjector(inj) }
 
 // HostRDMASupported reports whether the host retains RDMA-IB support;
 // false in SmartNIC mode up to and including BlueField-3 (§II-A).

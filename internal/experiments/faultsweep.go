@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"pedal/internal/core"
+	"pedal/internal/faults"
+	"pedal/internal/hwmodel"
+	"pedal/internal/stats"
+)
+
+// ExtFaults measures availability and correctness under injected
+// C-Engine faults: a compress/decompress sweep on the BlueField-2
+// DEFLATE C-Engine design across fault scenarios, reporting how many
+// operations completed byte-identically and which resilience machinery
+// (retries, checksum verification, circuit breaker, SoC degradation)
+// fired. The headline property is in the OK and DataErr columns: every
+// operation must survive every scenario with zero data errors.
+func ExtFaults(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-faults", Title: "Availability under injected C-Engine faults (BF2, DEFLATE C-Engine design)",
+		Columns: []string{"Scenario", "Ops", "OK", "DataErr", "Retries", "Timeouts", "Corrupt", "EngFail", "Trips", "Recov", "Degraded", "Virtual(ms)"},
+		Metrics: map[string]float64{},
+	}
+	ops := 1000
+	if o.Quick {
+		ops = 250
+	}
+	scenarios := []struct {
+		name string
+		cfg  *faults.Config
+	}{
+		{"clean", nil},
+		{"transient-30%", &faults.Config{Seed: 42, PTransient: 0.30}},
+		{"corrupt-10%", &faults.Config{Seed: 43, PCorrupt: 0.10}},
+		// The engine fails hard for a while, then recovers: the breaker
+		// must trip, degrade traffic to the SoC, and re-close on a
+		// successful probe once the 10-failure outage ends.
+		{"outage-recover", &faults.Config{Seed: 44, PPersistent: 1.0, MaxInjections: 10}},
+		{"persistent", &faults.Config{Seed: 45, PPersistent: 1.0}},
+	}
+	design := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}
+	payload := bytes.Repeat([]byte("pedal fault sweep payload: compressible text block / "), 76) // ≈4 KiB
+	for _, sc := range scenarios {
+		var inj *faults.Injector
+		if sc.cfg != nil {
+			inj = faults.NewInjector(*sc.cfg)
+		}
+		lib, err := core.Init(core.Options{
+			Generation:    hwmodel.BlueField2,
+			FaultInjector: inj,
+			Resilience:    &core.ResilienceOptions{BreakerThreshold: 3, BreakerProbeEvery: 16},
+		})
+		if err != nil {
+			return t, err
+		}
+		dataErrs, opErrs := 0, 0
+		for i := 0; i < ops; i++ {
+			// Stamp the op index so every message is distinct.
+			binary.LittleEndian.PutUint64(payload[:8], uint64(i))
+			msg, _, err := lib.Compress(design, core.TypeBytes, payload)
+			if err != nil {
+				opErrs++
+				continue
+			}
+			out, _, err := lib.Decompress(hwmodel.CEngine, core.TypeBytes, msg, len(payload)+64)
+			if err != nil {
+				opErrs++
+			} else if !bytes.Equal(out, payload) {
+				dataErrs++
+			}
+			lib.Release(msg)
+		}
+		tb := lib.TotalBreakdown()
+		count := func(k stats.Counter) uint64 { return tb.Count(k) }
+		t.Rows = append(t.Rows, []string{
+			sc.name, fmt.Sprint(ops), fmt.Sprint(ops - opErrs - dataErrs), fmt.Sprint(dataErrs),
+			fmt.Sprint(count(stats.CounterRetries)), fmt.Sprint(count(stats.CounterTimeouts)),
+			fmt.Sprint(count(stats.CounterCorruptions)), fmt.Sprint(count(stats.CounterEngineFailures)),
+			fmt.Sprint(count(stats.CounterBreakerTrips)), fmt.Sprint(count(stats.CounterBreakerRecoveries)),
+			fmt.Sprint(count(stats.CounterDegradedOps)),
+			ms(tb.Get(stats.PhaseCompress) + tb.Get(stats.PhaseDecompress) + tb.Get(stats.PhaseRetry)),
+		})
+		key := func(s string) string { return sc.name + "_" + s }
+		t.Metrics[key("data_errors")] = float64(dataErrs)
+		t.Metrics[key("op_errors")] = float64(opErrs)
+		t.Metrics[key("retries")] = float64(count(stats.CounterRetries))
+		t.Metrics[key("corruptions")] = float64(count(stats.CounterCorruptions))
+		t.Metrics[key("breaker_trips")] = float64(count(stats.CounterBreakerTrips))
+		t.Metrics[key("breaker_recoveries")] = float64(count(stats.CounterBreakerRecoveries))
+		t.Metrics[key("degraded_ops")] = float64(count(stats.CounterDegradedOps))
+		lib.Finalize()
+	}
+	return t, nil
+}

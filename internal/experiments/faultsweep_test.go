@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// The fault sweep's headline acceptance property: 1,000 operations per
+// scenario, zero data errors and zero failed operations everywhere, with
+// the resilience machinery visibly doing the work (retries under
+// transient faults, breaker trips under persistent ones, a recovery
+// after the bounded outage).
+func TestExtFaultsAvailability(t *testing.T) {
+	tb, err := ExtFaults(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range []string{"clean", "transient-30%", "corrupt-10%", "outage-recover", "persistent"} {
+		if got := tb.Metrics[sc+"_data_errors"]; got != 0 {
+			t.Errorf("%s: %v data errors", sc, got)
+		}
+		if got := tb.Metrics[sc+"_op_errors"]; got != 0 {
+			t.Errorf("%s: %v failed operations", sc, got)
+		}
+	}
+	if tb.Metrics["clean_retries"] != 0 {
+		t.Errorf("clean scenario retried %v times", tb.Metrics["clean_retries"])
+	}
+	if tb.Metrics["transient-30%_retries"] == 0 {
+		t.Error("30% transient injection produced no retries")
+	}
+	if tb.Metrics["corrupt-10%_corruptions"] == 0 {
+		t.Error("10% corruption injection never detected")
+	}
+	if tb.Metrics["persistent_breaker_trips"] == 0 {
+		t.Error("persistent faults never tripped the breaker")
+	}
+	if tb.Metrics["persistent_degraded_ops"] == 0 {
+		t.Error("persistent scenario never degraded to the SoC")
+	}
+	if tb.Metrics["outage-recover_breaker_trips"] == 0 {
+		t.Error("outage never tripped the breaker")
+	}
+	if tb.Metrics["outage-recover_breaker_recoveries"] == 0 {
+		t.Error("breaker never recovered after the outage ended")
+	}
+}

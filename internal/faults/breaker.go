@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+// Breaker states. Closed admits everything; Open rejects (degrading
+// callers to their fallback path) while periodically promoting one
+// request to a HalfOpen probe whose outcome decides the next state.
+const (
+	StateClosed BreakerState = iota
+	StateOpen
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", uint8(s))
+	}
+}
+
+// BreakerConfig tunes the state machine.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive hard failures that opens
+	// the breaker; zero means 3.
+	Threshold int
+	// ProbeEvery admits one half-open probe per this many rejected
+	// requests while open; zero means 8. Probing by request count (not
+	// wall time) keeps the simulation deterministic.
+	ProbeEvery int
+}
+
+// Breaker is a per-device circuit breaker over the C-Engine path. The
+// paper's capability fallback moves unsupported operations to the SoC
+// statically; the breaker applies the same degradation dynamically when
+// a *supported* path starts failing at runtime, and re-closes once a
+// probe succeeds.
+type Breaker struct {
+	mu          sync.Mutex
+	cfg         BreakerConfig
+	state       BreakerState
+	consecFails int
+	sinceOpen   int
+	trips       uint64
+	recoveries  uint64
+}
+
+// NewBreaker builds a closed breaker from cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 8
+	}
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether the next engine request may proceed. While open
+// it rejects, except that every ProbeEvery-th request is admitted as a
+// half-open probe; the probe's Success or Failure resolves the state.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateHalfOpen:
+		// One probe in flight at a time.
+		return false
+	default: // StateOpen
+		b.sinceOpen++
+		if b.sinceOpen >= b.cfg.ProbeEvery {
+			b.state = StateHalfOpen
+			b.sinceOpen = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Success records a completed engine operation. It reports whether this
+// success closed an open breaker (a recovered engine).
+func (b *Breaker) Success() (recovered bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	if b.state == StateHalfOpen {
+		b.state = StateClosed
+		b.recoveries++
+		return true
+	}
+	return false
+}
+
+// Failure records a hard engine failure. It reports whether this failure
+// tripped the breaker open.
+func (b *Breaker) Failure() (tripped bool) {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateHalfOpen:
+		// Failed probe: back to open, restart the probe countdown.
+		b.state = StateOpen
+		b.sinceOpen = 0
+		return false
+	case StateOpen:
+		return false
+	default: // StateClosed
+		b.consecFails++
+		if b.consecFails >= b.cfg.Threshold {
+			b.state = StateOpen
+			b.sinceOpen = 0
+			b.trips++
+			return true
+		}
+		return false
+	}
+}
+
+// State reports the current position.
+func (b *Breaker) State() BreakerState {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips and Recoveries report lifetime transition counts.
+func (b *Breaker) Trips() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+func (b *Breaker) Recoveries() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.recoveries
+}

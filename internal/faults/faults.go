@@ -1,0 +1,210 @@
+// Package faults provides deterministic fault injection and generic
+// resilience primitives for the simulated C-Engine data path.
+//
+// Real DOCA work queues report job failures through completion statuses:
+// an engine can reject a submission (queue full), fail a job transiently
+// (bus glitch, ECC retry), fail it persistently (engine wedged), stall
+// (head-of-line hang), or — worst of all — complete "successfully" with
+// corrupt output. The Injector reproduces all five classes from a seeded
+// PRNG so every failure schedule is replayable in tests; the Breaker and
+// Backoff helpers are the corresponding recovery machinery used by
+// internal/doca and internal/core.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Class is the failure class injected into one job.
+type Class uint8
+
+// Failure classes.
+const (
+	// None leaves the job untouched.
+	None Class = iota
+	// Transient fails the job with a retryable error; an immediate
+	// resubmission may succeed.
+	Transient
+	// Persistent fails the job with a hard error; retrying is futile
+	// until the engine recovers.
+	Persistent
+	// Corrupt lets the job "succeed" but flips bits in its output, so
+	// only checksum verification catches it.
+	Corrupt
+	// QueueFull rejects the job at submission time, modelling a busy
+	// work queue (EAGAIN).
+	QueueFull
+	// Hang stalls the worker for Delay before executing, modelling a
+	// latency spike that only a wait deadline can bound.
+	Hang
+)
+
+func (c Class) String() string {
+	switch c {
+	case None:
+		return "none"
+	case Transient:
+		return "transient"
+	case Persistent:
+		return "persistent"
+	case Corrupt:
+		return "corrupt"
+	case QueueFull:
+		return "queue-full"
+	case Hang:
+		return "hang"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Decision is the injector's verdict for one job.
+type Decision struct {
+	Class Class
+	// Delay is the injected stall duration (Hang class only).
+	Delay time.Duration
+}
+
+// Config sets per-job injection probabilities. The probabilities are
+// evaluated in struct order against one uniform draw, so their sum must
+// not exceed 1; the remainder is the no-fault case.
+type Config struct {
+	// Seed makes the schedule reproducible; zero selects a fixed
+	// default seed (injection stays deterministic either way).
+	Seed uint64
+	// PTransient, PPersistent, PCorrupt, PQueueFull, PHang are the
+	// per-job probabilities of each failure class.
+	PTransient  float64
+	PPersistent float64
+	PCorrupt    float64
+	PQueueFull  float64
+	PHang       float64
+	// HangDelay is the stall injected by the Hang class; zero means
+	// 20ms.
+	HangDelay time.Duration
+	// MaxInjections bounds the total number of injected faults; zero
+	// means unlimited. Tests use it to model an engine that fails for a
+	// while and then recovers.
+	MaxInjections int
+}
+
+// Injector hands out per-job fault decisions from a deterministic
+// sequence. It is safe for concurrent use; concurrency makes the
+// job→decision assignment racy, but the decision *sequence* stays fixed
+// by the seed.
+type Injector struct {
+	mu       sync.Mutex
+	cfg      Config
+	rng      Rand
+	jobs     uint64
+	injected uint64
+}
+
+// NewInjector builds an injector from cfg.
+func NewInjector(cfg Config) *Injector {
+	if cfg.HangDelay <= 0 {
+		cfg.HangDelay = 20 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: *NewRand(cfg.Seed)}
+}
+
+// Next draws the fault decision for the next job.
+func (i *Injector) Next() Decision {
+	if i == nil {
+		return Decision{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.jobs++
+	if i.cfg.MaxInjections > 0 && i.injected >= uint64(i.cfg.MaxInjections) {
+		return Decision{}
+	}
+	u := i.rng.Float64()
+	for _, c := range []struct {
+		p     float64
+		class Class
+	}{
+		{i.cfg.PTransient, Transient},
+		{i.cfg.PPersistent, Persistent},
+		{i.cfg.PCorrupt, Corrupt},
+		{i.cfg.PQueueFull, QueueFull},
+		{i.cfg.PHang, Hang},
+	} {
+		if u < c.p {
+			i.injected++
+			d := Decision{Class: c.class}
+			if c.class == Hang {
+				d.Delay = i.cfg.HangDelay
+			}
+			return d
+		}
+		u -= c.p
+	}
+	return Decision{}
+}
+
+// Counts reports how many jobs were seen and how many received a fault.
+func (i *Injector) Counts() (jobs, injected uint64) {
+	if i == nil {
+		return 0, 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.jobs, i.injected
+}
+
+// Rand is a tiny deterministic PRNG (SplitMix64). It exists so fault
+// schedules and retry jitter never depend on global randomness and
+// replay exactly across runs.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed (zero selects a fixed
+// default seed).
+func NewRand(seed uint64) *Rand {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(uint64(1)<<53)
+}
+
+// Backoff returns the delay before retry attempt (0-based): exponential
+// growth from base capped at max, with jitter over the upper half of the
+// interval so concurrent retriers decorrelate. A nil r yields the
+// deterministic midpoint.
+func Backoff(attempt int, base, max time.Duration, r *Rand) time.Duration {
+	if base <= 0 {
+		base = 50 * time.Microsecond
+	}
+	if max <= 0 {
+		max = 5 * time.Millisecond
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if r == nil {
+		return d/2 + d/4
+	}
+	return d/2 + time.Duration(r.Float64()*float64(d/2))
+}

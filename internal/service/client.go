@@ -3,6 +3,7 @@ package service
 import (
 	"net"
 	"sync"
+	"time"
 
 	"pedal/internal/core"
 	"pedal/internal/hwmodel"
@@ -14,6 +15,10 @@ import (
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
+	// Timeout bounds each request/response round trip (write + read);
+	// zero means no deadline. A timed-out exchange leaves the stream
+	// desynchronised, so callers should close the client afterwards.
+	Timeout time.Duration
 }
 
 // Dial connects to a PEDAL service at addr.
@@ -35,6 +40,10 @@ func (c *Client) Close() error { return c.conn.Close() }
 func (c *Client) roundTrip(req request) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.Timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := writeRequest(c.conn, req); err != nil {
 		return nil, err
 	}

@@ -5,9 +5,17 @@ import (
 	"log"
 	"net"
 	"sync"
+	"time"
 
 	"pedal/internal/core"
 	"pedal/internal/hwmodel"
+)
+
+// Connection deadline defaults. A stalled peer must not wedge a handler
+// goroutine forever.
+const (
+	DefaultIdleTimeout  = 2 * time.Minute
+	DefaultWriteTimeout = 30 * time.Second
 )
 
 // Server serves PEDAL compression over a listener. One PEDAL library is
@@ -23,6 +31,11 @@ type Server struct {
 	wg     sync.WaitGroup
 	// Logf receives per-connection error logs; nil silences them.
 	Logf func(format string, args ...any)
+	// IdleTimeout bounds the wait for the next request on an open
+	// connection; WriteTimeout bounds each response write. Zero selects
+	// the defaults above; negative disables the deadline.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
 }
 
 // NewServer wraps an initialised library. The caller retains ownership
@@ -31,18 +44,32 @@ func NewServer(lib *core.Library) *Server {
 	return &Server{lib: lib, conns: make(map[net.Conn]struct{})}
 }
 
-// Serve accepts connections until the listener closes. It returns the
-// accept error that terminated the loop (net.ErrClosed after Close).
+// Serve accepts connections until the listener closes. Temporary accept
+// errors (e.g. fd exhaustion) are retried with exponential backoff
+// instead of killing the loop. It returns the accept error that
+// terminated the loop (net.ErrClosed after Close).
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() && !s.isClosed() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				s.logf("service: accept error (retrying in %v): %v", backoff, err)
+				time.Sleep(backoff)
+				continue
+			}
 			s.wg.Wait()
 			return err
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -78,6 +105,23 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// timeout resolves a configured deadline: zero → def, negative → off.
+func timeout(configured, def time.Duration) time.Duration {
+	if configured == 0 {
+		return def
+	}
+	if configured < 0 {
+		return 0
+	}
+	return configured
+}
+
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		conn.Close()
@@ -86,12 +130,20 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		s.wg.Done()
 	}()
+	idle := timeout(s.IdleTimeout, DefaultIdleTimeout)
+	write := timeout(s.WriteTimeout, DefaultWriteTimeout)
 	for {
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		}
 		req, err := readRequest(conn)
 		if err != nil {
-			return // EOF or broken connection: session over
+			return // EOF, deadline, or broken connection: session over
 		}
 		body, err := s.execute(req)
+		if write > 0 {
+			conn.SetWriteDeadline(time.Now().Add(write))
+		}
 		if err != nil {
 			if werr := writeResponse(conn, statusErr, []byte(err.Error())); werr != nil {
 				return

@@ -1,0 +1,96 @@
+package service
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+)
+
+// A client that connects and then stalls must be disconnected once the
+// idle timeout elapses, freeing the handler goroutine.
+func TestServerIdleTimeoutDisconnectsStalledConn(t *testing.T) {
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lib)
+	s.IdleTimeout = 50 * time.Millisecond
+	go s.Serve(ln)
+	defer s.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing: the server must hang up on its own.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err != io.EOF {
+		t.Fatalf("want server-side EOF after idle timeout, got %v", err)
+	}
+}
+
+// Negative IdleTimeout disables the deadline: a briefly idle connection
+// stays usable.
+func TestServerIdleTimeoutDisabled(t *testing.T) {
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lib)
+	s.IdleTimeout = -1
+	go s.Serve(ln)
+	defer s.Close()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Compress(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}, core.TypeBytes, []byte("still alive")); err != nil {
+		t.Fatalf("idle connection died with deadlines disabled: %v", err)
+	}
+}
+
+// A server that accepts a request but never answers must not block the
+// client forever when a client timeout is configured.
+func TestClientTimeout(t *testing.T) {
+	clientConn, serverConn := net.Pipe()
+	defer serverConn.Close()
+	// Silent server: read the request, respond with nothing.
+	go func() {
+		io.Copy(io.Discard, serverConn)
+	}()
+	c := NewClient(clientConn)
+	c.Timeout = 30 * time.Millisecond
+	defer c.Close()
+	start := time.Now()
+	_, err := c.Compress(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}, core.TypeBytes, []byte("no answer"))
+	if err == nil {
+		t.Fatal("round trip against a silent server succeeded")
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("want a deadline error, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("client timeout did not bound the wait")
+	}
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	b := NewBreakdown()
+	if got := b.Count(CounterRetries); got != 0 {
+		t.Fatalf("fresh counter = %d", got)
+	}
+	b.Inc(CounterRetries)
+	b.Inc(CounterRetries)
+	b.CountAdd(CounterTimeouts, 3)
+	if b.Count(CounterRetries) != 2 || b.Count(CounterTimeouts) != 3 {
+		t.Fatalf("counts = %v", b.Counts())
+	}
+	snap := b.Counts()
+	snap[CounterRetries] = 99
+	if b.Count(CounterRetries) != 2 {
+		t.Fatal("Counts did not return a copy")
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a, b := NewBreakdown(), NewBreakdown()
+	a.Inc(CounterBreakerTrips)
+	b.Inc(CounterBreakerTrips)
+	b.CountAdd(CounterDegradedOps, 5)
+	b.Add(PhaseRetry, time.Millisecond)
+	a.Merge(b)
+	if a.Count(CounterBreakerTrips) != 2 {
+		t.Fatalf("merged trips = %d", a.Count(CounterBreakerTrips))
+	}
+	if a.Count(CounterDegradedOps) != 5 {
+		t.Fatalf("merged degraded = %d", a.Count(CounterDegradedOps))
+	}
+	if a.Get(PhaseRetry) != time.Millisecond {
+		t.Fatal("merge lost phase time")
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	b := NewBreakdown()
+	b.Inc(CounterCorruptions)
+	b.Add(PhaseCompress, time.Second)
+	b.Reset()
+	if b.Count(CounterCorruptions) != 0 || b.Get(PhaseCompress) != 0 {
+		t.Fatal("reset did not clear counters and phases")
+	}
+}
+
+func TestStringIncludesNonZeroCounters(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseCompress, time.Millisecond)
+	b.Inc(CounterRetries)
+	s := b.String()
+	if !strings.Contains(s, "retries=1") {
+		t.Fatalf("String() missing counter: %q", s)
+	}
+	if strings.Contains(s, string(CounterTimeouts)) {
+		t.Fatalf("String() shows zero counter: %q", s)
+	}
+}
+
+func TestNilBreakdownCounters(t *testing.T) {
+	var b *Breakdown
+	b.Inc(CounterRetries) // must not panic
+	if b.Count(CounterRetries) != 0 {
+		t.Fatal("nil breakdown count")
+	}
+	if len(b.Counts()) != 0 {
+		t.Fatal("nil breakdown counts map")
+	}
+}

@@ -25,18 +25,49 @@ const (
 	PhaseDecompress Phase = "decompression"
 	PhaseWire       Phase = "wire"
 	PhaseOther      Phase = "other"
+	// PhaseRetry accumulates the virtual backoff delays spent retrying
+	// transient C-Engine failures.
+	PhaseRetry Phase = "retry_backoff"
+)
+
+// Counter names a monotonically increasing resilience event count.
+// Unlike phases (virtual time), counters tally *how often* the fault
+// handling machinery fired, so experiments can report availability under
+// injected faults.
+type Counter string
+
+// Resilience counters.
+const (
+	// CounterRetries counts transient-failure resubmissions.
+	CounterRetries Counter = "retries"
+	// CounterTimeouts counts jobs that missed their completion deadline.
+	CounterTimeouts Counter = "timeouts"
+	// CounterCorruptions counts engine outputs rejected by checksum
+	// verification.
+	CounterCorruptions Counter = "corruption_detected"
+	// CounterEngineFailures counts hard C-Engine failures (after retry
+	// exhaustion) seen by the fallback layer.
+	CounterEngineFailures Counter = "engine_failures"
+	// CounterBreakerTrips and CounterBreakerRecoveries count circuit
+	// breaker open/close transitions.
+	CounterBreakerTrips      Counter = "breaker_trips"
+	CounterBreakerRecoveries Counter = "breaker_recoveries"
+	// CounterDegradedOps counts operations routed straight to the SoC
+	// because the breaker was open.
+	CounterDegradedOps Counter = "degraded_ops"
 )
 
 // Breakdown is a concurrency-safe accumulator of virtual durations per
-// phase.
+// phase plus resilience event counters.
 type Breakdown struct {
 	mu sync.Mutex
 	m  map[Phase]time.Duration
+	c  map[Counter]uint64
 }
 
 // NewBreakdown returns an empty breakdown.
 func NewBreakdown() *Breakdown {
-	return &Breakdown{m: make(map[Phase]time.Duration)}
+	return &Breakdown{m: make(map[Phase]time.Duration), c: make(map[Counter]uint64)}
 }
 
 // Add accumulates d into phase p.
@@ -82,13 +113,51 @@ func (b *Breakdown) Fraction(p Phase) float64 {
 	return float64(b.Get(p)) / float64(t)
 }
 
-// Reset clears all phases.
+// Inc adds one to counter k.
+func (b *Breakdown) Inc(k Counter) { b.CountAdd(k, 1) }
+
+// CountAdd adds n to counter k.
+func (b *Breakdown) CountAdd(k Counter, n uint64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.c[k] += n
+	b.mu.Unlock()
+}
+
+// Count returns the accumulated value of counter k.
+func (b *Breakdown) Count(k Counter) uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.c[k]
+}
+
+// Counts returns a copy of the counter map.
+func (b *Breakdown) Counts() map[Counter]uint64 {
+	out := make(map[Counter]uint64)
+	if b == nil {
+		return out
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k, v := range b.c {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears all phases and counters.
 func (b *Breakdown) Reset() {
 	if b == nil {
 		return
 	}
 	b.mu.Lock()
 	b.m = make(map[Phase]time.Duration)
+	b.c = make(map[Counter]uint64)
 	b.mu.Unlock()
 }
 
@@ -106,7 +175,7 @@ func (b *Breakdown) Snapshot() map[Phase]time.Duration {
 	return out
 }
 
-// Merge adds every phase of other into b.
+// Merge adds every phase and counter of other into b.
 func (b *Breakdown) Merge(other *Breakdown) {
 	if b == nil || other == nil {
 		return
@@ -114,10 +183,13 @@ func (b *Breakdown) Merge(other *Breakdown) {
 	for p, d := range other.Snapshot() {
 		b.Add(p, d)
 	}
+	for k, n := range other.Counts() {
+		b.CountAdd(k, n)
+	}
 }
 
 // String formats the breakdown as "phase=dur(frac%)" pairs sorted by
-// phase name, for log and table output.
+// phase name, followed by non-zero counters, for log and table output.
 func (b *Breakdown) String() string {
 	snap := b.Snapshot()
 	phases := make([]string, 0, len(snap))
@@ -137,6 +209,20 @@ func (b *Breakdown) String() string {
 			frac = float64(d) / float64(total) * 100
 		}
 		fmt.Fprintf(&sb, "%s=%v(%.1f%%)", p, d.Round(time.Microsecond), frac)
+	}
+	counts := b.Counts()
+	keys := make([]string, 0, len(counts))
+	for k, v := range counts {
+		if v > 0 {
+			keys = append(keys, string(k))
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if sb.Len() > 0 {
+			sb.WriteString(" ")
+		}
+		fmt.Fprintf(&sb, "%s=%d", k, counts[Counter(k)])
 	}
 	return sb.String()
 }

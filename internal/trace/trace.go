@@ -29,6 +29,10 @@ type Event struct {
 	Virtual time.Duration
 	// Wall is the observed wall-clock duration of the simulation step.
 	Wall time.Duration
+	// Err notes a failed activity (empty on success): failed C-Engine
+	// jobs and circuit-breaker transitions are traced too, so a timeline
+	// shows *why* work moved between engines.
+	Err string
 }
 
 // Tracer is a bounded in-memory event recorder, safe for concurrent
@@ -108,8 +112,12 @@ func (t *Tracer) String() string {
 	fmt.Fprintf(&sb, "%-5s %-9s %-10s %-11s %12s %12s %14s\n",
 		"seq", "engine", "algo", "op", "in(B)", "out(B)", "virtual")
 	for _, e := range events {
-		fmt.Fprintf(&sb, "%-5d %-9s %-10s %-11s %12d %12d %14v\n",
+		fmt.Fprintf(&sb, "%-5d %-9s %-10s %-11s %12d %12d %14v",
 			e.Seq, e.Engine, e.Algo, e.Op, e.InBytes, e.OutBytes, e.Virtual.Round(time.Microsecond))
+		if e.Err != "" {
+			fmt.Fprintf(&sb, "  !%s", e.Err)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String()
 }

@@ -85,9 +85,10 @@ func NewTCPWorld(n int) ([]Endpoint, error) {
 				}
 				eps[me].conns[peer] = conn
 			}
-			// Dial every higher rank.
+			// Dial every higher rank, tolerating listener-readiness
+			// races with a short retry instead of failing the world.
 			for j := me + 1; j < n; j++ {
-				conn, err := net.Dial("tcp", addrs[j])
+				conn, err := dialRetry(addrs[j])
 				if err != nil {
 					errCh <- err
 					return
@@ -123,6 +124,27 @@ func NewTCPWorld(n int) ([]Endpoint, error) {
 		out[i] = ep
 	}
 	return out, nil
+}
+
+// dialRetry dials addr with bounded exponential backoff. In a larger
+// deployment the accept side may not be listening yet when a
+// higher-rank process starts its mesh dials; a handful of short retries
+// absorbs that race.
+func dialRetry(addr string) (net.Conn, error) {
+	backoff := 2 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < 8; attempt++ {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 250*time.Millisecond {
+			backoff = 250 * time.Millisecond
+		}
+	}
+	return nil, fmt.Errorf("transport: dial %s: %w", addr, lastErr)
 }
 
 func (e *tcpEndpoint) readLoop(peer int, conn net.Conn) {
