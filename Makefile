@@ -1,10 +1,30 @@
 GO ?= go
 
 # Packages exercised with the race detector: the concurrency-heavy layers
-# (engine queue + close protocol, retry path, MPI runtime).
-RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi
+# (engine queue + close protocol, retry path, MPI runtime, reliability
+# sublayer, service admission control).
+RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service
 
-.PHONY: all build vet test race bench check
+# Per-target budget for the fuzz smoke pass (each Fuzz* function runs
+# this long beyond its seed corpus).
+FUZZ_TIME ?= 2s
+
+# Every fuzz target in the tree as package:Function pairs. `go test
+# -fuzz` accepts one target per invocation, so the fuzz goal loops.
+FUZZ_TARGETS = \
+	./internal/fastlz:FuzzDecompress \
+	./internal/fastlz:FuzzRoundTrip \
+	./internal/lz4:FuzzDecompressBlock \
+	./internal/lz4:FuzzDecompressFrame \
+	./internal/lz4:FuzzBlockRoundTrip \
+	./internal/lz4:FuzzFrameRoundTrip \
+	./internal/sz3:FuzzDecompressContainer \
+	./internal/sz3:FuzzRoundTripBound \
+	./internal/gzipfmt:FuzzDecompress \
+	./internal/flate:FuzzDecompress \
+	./internal/flate:FuzzRoundTrip
+
+.PHONY: all build vet test race fuzz bench check
 
 all: check
 
@@ -20,7 +40,16 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Short coverage-guided smoke pass over every fuzz corpus; catches
+# decoder regressions that fixed unit inputs miss.
+fuzz:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%:*}; fn=$${t#*:}; \
+		echo "fuzz $$pkg $$fn"; \
+		$(GO) test $$pkg -run='^$$' -fuzz="^$$fn$$" -fuzztime=$(FUZZ_TIME) >/dev/null; \
+	done
+
 bench:
 	$(GO) test -bench=. -benchmem
 
-check: build vet test race
+check: build vet test race fuzz

@@ -5,26 +5,40 @@
 //
 //	pedald -listen :7070 -gen bf2
 //
+// On SIGINT/SIGTERM the daemon drains gracefully: it stops accepting,
+// lets in-flight requests finish (bounded by -drain), then exits. A
+// second signal aborts immediately.
+//
 // Protocol: see internal/service. A matching Go client lives in
 // pedal/internal/service (service.Dial).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"pedal"
 	"pedal/internal/service"
+	"pedal/internal/stats"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "127.0.0.1:7070", "listen address")
-		gen    = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
-		eb     = flag.Float64("eb", 1e-4, "SZ3 absolute error bound")
+		listen  = flag.String("listen", "127.0.0.1:7070", "listen address")
+		gen     = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
+		eb      = flag.Float64("eb", 1e-4, "SZ3 absolute error bound")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+		maxConc = flag.Int("max-concurrent", 0, "concurrent request limit (0 = GOMAXPROCS, negative = unlimited)")
+		queue   = flag.Int("queue-depth", 0, "admission queue depth before shedding (0 = default, negative = none)")
 	)
 	flag.Parse()
 
@@ -43,8 +57,41 @@ func main() {
 		log.Fatalf("pedald: %v", err)
 	}
 	defer lib.Finalize()
-	log.Printf("pedald: serving %v PEDAL on %s", g, *listen)
-	if err := service.ListenAndServe(*listen, lib); err != nil {
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
 		log.Fatalf("pedald: %v", err)
 	}
+	srv := service.NewServer(lib)
+	srv.Logf = log.Printf
+	srv.MaxConcurrent = *maxConc
+	srv.QueueDepth = *queue
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		log.Printf("pedald: %v: draining (deadline %v)", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		go func() {
+			sig := <-sigs
+			log.Printf("pedald: %v: aborting drain", sig)
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("pedald: drain incomplete: %v", err)
+			srv.Close()
+		}
+		bd := srv.Stats()
+		log.Printf("pedald: served %d requests (%d shed, %d drained, %d panics recovered)",
+			bd.Count(stats.CounterRequests), bd.Count(stats.CounterSheds),
+			bd.Count(stats.CounterDrained), bd.Count(stats.CounterPanics))
+	}()
+
+	log.Printf("pedald: serving %v PEDAL on %s", g, ln.Addr())
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Fatalf("pedald: %v", err)
+	}
+	log.Printf("pedald: shutdown complete")
 }

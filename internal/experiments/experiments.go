@@ -120,6 +120,7 @@ func Runners() []Runner {
 		{"ext-hybrid", "Extension: hybrid parallel SoC+C-Engine design (§V-C.2)", ExtHybrid},
 		{"ext-ablation", "Extension: ablation of PEDAL optimisations", ExtAblation},
 		{"ext-faults", "Extension: availability under injected C-Engine faults", ExtFaults},
+		{"ext-netfaults", "Extension: chaos soak — lossy fabric + overloaded daemon", ExtNetFaults},
 	}
 }
 

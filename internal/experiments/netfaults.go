@@ -1,0 +1,381 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/faults"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mpi"
+	"pedal/internal/service"
+	"pedal/internal/stats"
+	"pedal/internal/transport"
+)
+
+// ExtNetFaults is the chaos soak for the robustness layer: it drives
+// the full MPI collective surface (point-to-point, Bcast, Reduce,
+// Isend/Irecv) over a fabric injecting every network fault class, and
+// the compression service through overload and graceful-drain
+// scenarios. The headline properties: zero data errors everywhere,
+// every shed request surfaced to its client as ErrBusy (never silent
+// loss), and graceful shutdown completing every in-flight request.
+func ExtNetFaults(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-netfaults", Title: "Robustness under fabric faults and daemon overload",
+		Columns: []string{"Scenario", "Kind", "Ops", "OK", "DataErr", "Retrans", "CrcRej", "DupDrop", "Reord", "Sheds", "Drained"},
+		Metrics: map[string]float64{},
+	}
+	if err := netFaultsMPI(o, &t); err != nil {
+		return t, err
+	}
+	if err := netFaultsService(o, &t); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// netFaultsMPI soaks the MPI runtime over each fault class. Every rank
+// performs 6 operations per round (pairwise exchange send+recv, Bcast,
+// Reduce, Isend+Irecv ring), so 4 ranks × 10 rounds × 7 scenarios is
+// 1680 operations in the full run.
+func netFaultsMPI(o Options, t *Table) error {
+	const ranks = 4
+	rounds := 10
+	if o.Quick {
+		rounds = 4
+	}
+	scenarios := []struct {
+		name string
+		cfg  *faults.NetConfig
+	}{
+		{"clean", nil},
+		{"drop-10%", &faults.NetConfig{Seed: 301, PDrop: 0.10}},
+		{"dup-12%", &faults.NetConfig{Seed: 302, PDuplicate: 0.12}},
+		{"reorder-15%", &faults.NetConfig{Seed: 303, PReorder: 0.15}},
+		{"corrupt-10%", &faults.NetConfig{Seed: 304, PCorrupt: 0.10}},
+		{"delay-25%", &faults.NetConfig{Seed: 305, PDelay: 0.25}},
+		{"mixed-storm", &faults.NetConfig{Seed: 306, PDrop: 0.04, PDuplicate: 0.04, PReorder: 0.04, PCorrupt: 0.04, PDelay: 0.04}},
+	}
+	var totalOps float64
+	for _, sc := range scenarios {
+		opts := mpi.WorldOptions{
+			RendezvousThreshold: 1 << 10,
+			NetFaults:           sc.cfg,
+			RelOptions: transport.ReliableOptions{
+				RTO:    time.Millisecond,
+				MaxRTO: 10 * time.Millisecond,
+			},
+		}
+		if sc.cfg == nil {
+			opts.Reliable = true // clean fabric still pays the sublayer
+		}
+		comms, err := mpi.NewWorld(ranks, opts)
+		if err != nil {
+			return err
+		}
+		var ok, dataErrs, opErrs atomic.Uint64
+		var wg sync.WaitGroup
+		for _, c := range comms {
+			wg.Add(1)
+			go func(c *mpi.Comm) {
+				defer wg.Done()
+				netSoakRank(c, rounds, &ok, &dataErrs, &opErrs)
+			}(c)
+		}
+		wg.Wait()
+		bd := stats.NewBreakdown()
+		for _, c := range comms {
+			bd.Merge(c.NetStats())
+			c.Close()
+		}
+		ops := uint64(ranks * rounds * 6)
+		totalOps += float64(ops)
+		t.Rows = append(t.Rows, []string{
+			sc.name, "mpi", fmt.Sprint(ops), fmt.Sprint(ok.Load()), fmt.Sprint(dataErrs.Load()),
+			fmt.Sprint(bd.Count(stats.CounterRetransmits)), fmt.Sprint(bd.Count(stats.CounterNetCorrupt)),
+			fmt.Sprint(bd.Count(stats.CounterNetDuplicates)), fmt.Sprint(bd.Count(stats.CounterNetReorders)),
+			"-", "-",
+		})
+		key := func(s string) string { return "mpi_" + sc.name + "_" + s }
+		t.Metrics[key("ops")] = float64(ops)
+		t.Metrics[key("data_errors")] = float64(dataErrs.Load())
+		t.Metrics[key("op_errors")] = float64(opErrs.Load())
+		t.Metrics[key("retransmits")] = float64(bd.Count(stats.CounterRetransmits))
+		t.Metrics[key("crc_rejects")] = float64(bd.Count(stats.CounterNetCorrupt))
+	}
+	t.Metrics["total_mpi_ops"] = totalOps
+	return nil
+}
+
+// netSoakRank is one rank's soak loop.
+func netSoakRank(c *mpi.Comm, rounds int, ok, dataErrs, opErrs *atomic.Uint64) {
+	n := c.Size()
+	payload := func(rank, round, size int) []byte {
+		buf := make([]byte, size)
+		binary.BigEndian.PutUint32(buf[0:4], uint32(rank))
+		binary.BigEndian.PutUint32(buf[4:8], uint32(round))
+		for i := 8; i < size; i++ {
+			buf[i] = byte(rank*131 + round*31 + i)
+		}
+		return buf
+	}
+	check := func(got, want []byte, err error) {
+		switch {
+		case err != nil:
+			opErrs.Add(1)
+		case !bytes.Equal(got, want):
+			dataErrs.Add(1)
+		default:
+			ok.Add(1)
+		}
+	}
+	for round := 0; round < rounds; round++ {
+		// Pairwise exchange, eager and rendezvous sizes on alternating
+		// rounds; even ranks send first to keep blocking sends
+		// deadlock-free.
+		size := 512
+		if round%2 == 1 {
+			size = 2 << 10
+		}
+		partner := c.Rank() ^ 1
+		tag := round*10 + 1
+		exch := func() {
+			if err := c.Send(partner, tag, payload(c.Rank(), round, size)); err != nil {
+				opErrs.Add(1)
+			} else {
+				ok.Add(1)
+			}
+		}
+		recv := func() {
+			got, err := c.Recv(partner, tag, size+64)
+			check(got, payload(partner, round, size), err)
+		}
+		if c.Rank()%2 == 0 {
+			exch()
+			recv()
+		} else {
+			recv()
+			exch()
+		}
+		// Broadcast from a rotating root.
+		root := round % n
+		var bdata []byte
+		if c.Rank() == root {
+			bdata = payload(root, round, 2<<10)
+		}
+		got, err := c.Bcast(root, bdata)
+		check(got, payload(root, round, 2<<10), err)
+		// Reduce a float vector to rank 0.
+		const elems = 256
+		vec := make([]byte, elems*8)
+		for i := 0; i < elems; i++ {
+			binary.LittleEndian.PutUint64(vec[i*8:], math.Float64bits(float64(c.Rank()+1)*float64(i+round)))
+		}
+		red, err := c.Reduce(0, mpi.SumFloat64, vec)
+		if err != nil {
+			opErrs.Add(1)
+		} else if c.Rank() == 0 {
+			good := true
+			for i := 0; i < elems; i++ {
+				want := 10 * float64(i+round) // sum over ranks of (r+1)*(i+round), n=4
+				if math.Float64frombits(binary.LittleEndian.Uint64(red[i*8:])) != want {
+					good = false
+					break
+				}
+			}
+			if good {
+				ok.Add(1)
+			} else {
+				dataErrs.Add(1)
+			}
+		} else {
+			ok.Add(1)
+		}
+		// Nonblocking ring shift.
+		right, left := (c.Rank()+1)%n, (c.Rank()-1+n)%n
+		rtag := round*10 + 2
+		rreq, err := c.Irecv(left, rtag, (2<<10)+64)
+		if err != nil {
+			opErrs.Add(1)
+			continue
+		}
+		sreq, err := c.Isend(right, rtag, payload(c.Rank(), round, 2<<10))
+		if err != nil {
+			opErrs.Add(1)
+			continue
+		}
+		rgot, rerr := rreq.Wait()
+		if _, serr := sreq.Wait(); serr != nil {
+			opErrs.Add(1)
+		} else {
+			ok.Add(1)
+		}
+		check(rgot, payload(left, round, 2<<10), rerr)
+	}
+}
+
+// netFaultsService soaks the compression daemon: an overload storm
+// against a single execution slot (sheds must surface as ErrBusy and
+// retried requests must still round-trip losslessly), then a graceful
+// drain with requests in flight.
+func netFaultsService(o Options, t *Table) error {
+	clients, trips := 12, 25
+	if o.Quick {
+		clients, trips = 6, 8
+	}
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		return err
+	}
+	defer lib.Finalize()
+
+	// --- overload ---
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := service.NewServer(lib)
+	srv.MaxConcurrent = 1
+	srv.QueueDepth = 1
+	// Stall each admitted request ~1ms while holding the only slot:
+	// this models a contended engine and guarantees the storm below
+	// overruns the queue, even on a single-CPU host where CPU-bound
+	// handlers would otherwise serialise with the clients.
+	srv.ExecDelay = time.Millisecond
+	go srv.Serve(ln)
+	payload := bytes.Repeat([]byte("pedal service soak: compressible block of text / "), 640) // ≈31 KiB
+	var busySeen, okOps, dataErrs, opErrs atomic.Uint64
+	design := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+	var wg sync.WaitGroup
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cl, err := service.Dial(ln.Addr().String())
+			if err != nil {
+				opErrs.Add(1)
+				return
+			}
+			defer cl.Close()
+			body := append([]byte(nil), payload...)
+			binary.LittleEndian.PutUint64(body[:8], uint64(g))
+			retry := func(f func() ([]byte, error)) ([]byte, error) {
+				for {
+					out, err := f()
+					if errors.Is(err, service.ErrBusy) {
+						busySeen.Add(1)
+						time.Sleep(200 * time.Microsecond)
+						continue
+					}
+					return out, err
+				}
+			}
+			for i := 0; i < trips; i++ {
+				msg, err := retry(func() ([]byte, error) {
+					return cl.Compress(design, core.TypeBytes, body)
+				})
+				if err != nil {
+					opErrs.Add(1)
+					continue
+				}
+				out, err := retry(func() ([]byte, error) {
+					return cl.Decompress(hwmodel.SoC, core.TypeBytes, msg, len(body)+64)
+				})
+				switch {
+				case err != nil:
+					opErrs.Add(1)
+				case !bytes.Equal(out, body):
+					dataErrs.Add(1)
+				default:
+					okOps.Add(2) // compress + decompress both served
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	sheds := srv.Stats().Count(stats.CounterSheds)
+	served := srv.Stats().Count(stats.CounterRequests)
+	srv.Close()
+	t.Rows = append(t.Rows, []string{
+		"overload", "svc", fmt.Sprint(served), fmt.Sprint(okOps.Load()), fmt.Sprint(dataErrs.Load()),
+		"-", "-", "-", "-", fmt.Sprint(sheds), "-",
+	})
+	t.Metrics["svc_overload_requests"] = float64(served)
+	t.Metrics["svc_overload_sheds"] = float64(sheds)
+	t.Metrics["svc_overload_busy_seen"] = float64(busySeen.Load())
+	t.Metrics["svc_overload_data_errors"] = float64(dataErrs.Load())
+	t.Metrics["svc_overload_op_errors"] = float64(opErrs.Load())
+
+	// --- graceful drain ---
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv2 := service.NewServer(lib)
+	srv2.MaxConcurrent = 8
+	// Stall handlers long enough that Shutdown provably lands while
+	// every request is still executing.
+	srv2.ExecDelay = 500 * time.Millisecond
+	go srv2.Serve(ln2)
+	big := bytes.Repeat(payload, 8) // ≈250 KiB per request
+	drainClients := 6
+	results := make(chan error, drainClients)
+	for g := 0; g < drainClients; g++ {
+		go func(g int) {
+			cl, err := service.Dial(ln2.Addr().String())
+			if err != nil {
+				results <- err
+				return
+			}
+			defer cl.Close()
+			body := append([]byte(nil), big...)
+			binary.LittleEndian.PutUint64(body[:8], uint64(g))
+			msg, err := cl.Compress(design, core.TypeBytes, body)
+			if err != nil {
+				results <- err
+				return
+			}
+			if len(msg) == 0 {
+				results <- errors.New("empty compressed message")
+				return
+			}
+			results <- nil
+		}(g)
+	}
+	// Give the handlers time to read the requests off loopback and
+	// enter their (stalled) execution, then drain mid-flight.
+	time.Sleep(150 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	shutdownErr := srv2.Shutdown(ctx)
+	var drainErrs int
+	for g := 0; g < drainClients; g++ {
+		if err := <-results; err != nil {
+			drainErrs++
+		}
+	}
+	drained := srv2.Stats().Count(stats.CounterDrained)
+	t.Rows = append(t.Rows, []string{
+		"drain", "svc", fmt.Sprint(drainClients), fmt.Sprint(drainClients - drainErrs), "0",
+		"-", "-", "-", "-", "0", fmt.Sprint(drained),
+	})
+	t.Metrics["svc_drain_requests"] = float64(drainClients)
+	t.Metrics["svc_drain_errors"] = float64(drainErrs)
+	t.Metrics["svc_drain_drained"] = float64(drained)
+	if shutdownErr != nil {
+		t.Metrics["svc_drain_shutdown_err"] = 1
+	} else {
+		t.Metrics["svc_drain_shutdown_err"] = 0
+	}
+	t.Metrics["total_service_requests"] = float64(served) + float64(drainClients)
+	return nil
+}

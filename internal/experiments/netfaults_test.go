@@ -1,0 +1,76 @@
+package experiments
+
+import "testing"
+
+// TestExtNetFaultsSoak runs the chaos soak at full scale and asserts
+// the PR's acceptance criteria: ≥1000 MPI operations and ≥500 service
+// requests across every fault class and the overload/drain scenarios,
+// with zero data errors, bounded retransmissions, every shed surfaced
+// to a client as ErrBusy, and graceful shutdown completing all
+// in-flight requests.
+func TestExtNetFaultsSoak(t *testing.T) {
+	tb, err := ExtNetFaults(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	m := tb.Metrics
+
+	if got := m["total_mpi_ops"]; got < 1000 {
+		t.Errorf("total MPI ops %v < 1000", got)
+	}
+	if got := m["total_service_requests"]; got < 500 {
+		t.Errorf("total service requests %v < 500", got)
+	}
+
+	// Zero data errors and zero op errors in every MPI scenario, and
+	// bounded retransmissions (a runaway retransmit loop shows up as
+	// orders of magnitude more probes than operations).
+	for _, sc := range []string{"clean", "drop-10%", "dup-12%", "reorder-15%", "corrupt-10%", "delay-25%", "mixed-storm"} {
+		key := func(s string) string { return "mpi_" + sc + "_" + s }
+		if got := m[key("data_errors")]; got != 0 {
+			t.Errorf("%s: %v data errors", sc, got)
+		}
+		if got := m[key("op_errors")]; got != 0 {
+			t.Errorf("%s: %v op errors", sc, got)
+		}
+		ops := m[key("ops")]
+		if got := m[key("retransmits")]; got > 50*ops {
+			t.Errorf("%s: unbounded retransmits: %v for %v ops", sc, got, ops)
+		}
+	}
+	// The lossy classes must actually have exercised the recovery
+	// machinery.
+	if m["mpi_drop-10%_retransmits"] == 0 {
+		t.Error("drop scenario produced no retransmits")
+	}
+	if m["mpi_corrupt-10%_crc_rejects"] == 0 {
+		t.Error("corrupt scenario produced no CRC rejects")
+	}
+
+	// Overload: load was actually shed, every shed reached a client as
+	// ErrBusy (no silent loss), and retried traffic stayed lossless.
+	if m["svc_overload_sheds"] == 0 {
+		t.Error("overload scenario shed nothing")
+	}
+	if m["svc_overload_sheds"] != m["svc_overload_busy_seen"] {
+		t.Errorf("sheds %v != client-observed ErrBusy %v (silent loss)",
+			m["svc_overload_sheds"], m["svc_overload_busy_seen"])
+	}
+	if m["svc_overload_data_errors"] != 0 || m["svc_overload_op_errors"] != 0 {
+		t.Errorf("overload: %v data errors, %v op errors",
+			m["svc_overload_data_errors"], m["svc_overload_op_errors"])
+	}
+
+	// Drain: shutdown returned cleanly, requests were genuinely in
+	// flight when it began, and every one of them completed.
+	if m["svc_drain_shutdown_err"] != 0 {
+		t.Error("graceful shutdown did not complete within its deadline")
+	}
+	if m["svc_drain_drained"] == 0 {
+		t.Error("no requests were in flight when the drain began")
+	}
+	if m["svc_drain_errors"] != 0 {
+		t.Errorf("%v in-flight requests failed during drain", m["svc_drain_errors"])
+	}
+}

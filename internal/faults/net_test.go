@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNetInjectorDeterministic(t *testing.T) {
+	cfg := NetConfig{Seed: 7, PDrop: 0.1, PDuplicate: 0.1, PReorder: 0.1, PCorrupt: 0.1, PDelay: 0.1}
+	a, b := NewNetInjector(cfg), NewNetInjector(cfg)
+	for i := 0; i < 2000; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("frame %d: %v vs %v", i, da, db)
+		}
+	}
+	frames, injected := a.Counts()
+	if frames != 2000 {
+		t.Fatalf("frames = %d", frames)
+	}
+	// 50% aggregate probability over 2000 draws: expect roughly 1000.
+	if injected < 800 || injected > 1200 {
+		t.Fatalf("injected = %d, want ≈1000", injected)
+	}
+}
+
+func TestNetInjectorClassMix(t *testing.T) {
+	inj := NewNetInjector(NetConfig{Seed: 11, PDrop: 0.2, PCorrupt: 0.2, PDelay: 0.2})
+	seen := map[NetClass]int{}
+	for i := 0; i < 3000; i++ {
+		d := inj.Next()
+		seen[d.Class]++
+		if d.Class == NetDelay {
+			if d.Delay <= 0 || d.Delay > 200*time.Microsecond {
+				t.Fatalf("delay %v out of default bound", d.Delay)
+			}
+		}
+		if d.Class != NetNone && d.Class != NetDelay && d.Class == NetCorrupt && d.Bits == 0 {
+			t.Fatal("corrupt decision without detail bits")
+		}
+	}
+	for _, c := range []NetClass{NetDrop, NetCorrupt, NetDelay} {
+		if seen[c] == 0 {
+			t.Errorf("class %v never drawn", c)
+		}
+	}
+	if seen[NetDuplicate] != 0 || seen[NetReorder] != 0 {
+		t.Error("zero-probability class drawn")
+	}
+}
+
+func TestNetInjectorMaxInjections(t *testing.T) {
+	inj := NewNetInjector(NetConfig{Seed: 3, PDrop: 1.0, MaxInjections: 5})
+	faultsSeen := 0
+	for i := 0; i < 100; i++ {
+		if inj.Next().Class != NetNone {
+			faultsSeen++
+		}
+	}
+	if faultsSeen != 5 {
+		t.Fatalf("injected %d faults, want 5", faultsSeen)
+	}
+}
+
+func TestDeriveSeedSpreads(t *testing.T) {
+	seen := map[uint64]bool{}
+	for stream := uint64(0); stream < 64; stream++ {
+		s := DeriveSeed(42, stream)
+		if seen[s] {
+			t.Fatalf("stream %d collides", stream)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(42, 1) != DeriveSeed(42, 1) {
+		t.Fatal("DeriveSeed not deterministic")
+	}
+}

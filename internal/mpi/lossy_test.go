@@ -1,0 +1,252 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"pedal/internal/faults"
+	"pedal/internal/stats"
+	"pedal/internal/transport"
+)
+
+// lossyOpts builds world options with the given fault mix under the
+// reliability sublayer, timers tightened for test speed, and the RNDV
+// threshold lowered so modest payloads exercise the three-frame
+// rendezvous protocol over the lossy fabric.
+func lossyOpts(cfg faults.NetConfig) WorldOptions {
+	return WorldOptions{
+		NetFaults:           &cfg,
+		RendezvousThreshold: 1 << 10,
+		RelOptions: transport.ReliableOptions{
+			RTO:    time.Millisecond,
+			MaxRTO: 10 * time.Millisecond,
+		},
+	}
+}
+
+// lossyScenarios covers every network fault class plus a mixed storm.
+func lossyScenarios() []struct {
+	name string
+	cfg  faults.NetConfig
+} {
+	return []struct {
+		name string
+		cfg  faults.NetConfig
+	}{
+		{"drop", faults.NetConfig{Seed: 201, PDrop: 0.12}},
+		{"duplicate", faults.NetConfig{Seed: 202, PDuplicate: 0.15}},
+		{"reorder", faults.NetConfig{Seed: 203, PReorder: 0.18}},
+		{"corrupt", faults.NetConfig{Seed: 204, PCorrupt: 0.12}},
+		{"delay", faults.NetConfig{Seed: 205, PDelay: 0.30}},
+		{"mixed", faults.NetConfig{Seed: 206, PDrop: 0.04, PDuplicate: 0.04, PReorder: 0.04, PCorrupt: 0.04, PDelay: 0.04}},
+	}
+}
+
+// rankPayload derives a deterministic payload distinct per (rank, round,
+// size) so any cross-wiring or corruption is caught by comparison.
+func rankPayload(rank, round, size int) []byte {
+	buf := make([]byte, size)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(rank))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(round))
+	for i := 8; i < size; i++ {
+		buf[i] = byte(rank*131 + round*31 + i)
+	}
+	return buf
+}
+
+func TestLossyPointToPointAllClasses(t *testing.T) {
+	for _, sc := range lossyScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			comms, err := NewWorld(2, lossyOpts(sc.cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeWorld(comms)
+			// Mix of eager (256 B) and rendezvous (4 KiB) rounds.
+			sizes := []int{256, 4 << 10}
+			run(t, comms, func(c *Comm) error {
+				for round := 0; round < 25; round++ {
+					size := sizes[round%len(sizes)]
+					if c.Rank() == 0 {
+						if err := c.Send(1, round, rankPayload(0, round, size)); err != nil {
+							return err
+						}
+						got, err := c.Recv(1, round, size+64)
+						if err != nil {
+							return err
+						}
+						if !bytes.Equal(got, rankPayload(1, round, size)) {
+							return fmt.Errorf("round %d: reply corrupted", round)
+						}
+					} else {
+						got, err := c.Recv(0, round, size+64)
+						if err != nil {
+							return err
+						}
+						if !bytes.Equal(got, rankPayload(0, round, size)) {
+							return fmt.Errorf("round %d: request corrupted", round)
+						}
+						if err := c.Send(0, round, rankPayload(1, round, size)); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestLossyBcastAllClasses(t *testing.T) {
+	for _, sc := range lossyScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			comms, err := NewWorld(4, lossyOpts(sc.cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeWorld(comms)
+			run(t, comms, func(c *Comm) error {
+				for round := 0; round < 10; round++ {
+					root := round % c.Size()
+					var data []byte
+					if c.Rank() == root {
+						data = rankPayload(root, round, 4<<10)
+					}
+					got, err := c.Bcast(root, data)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(got, rankPayload(root, round, 4<<10)) {
+						return fmt.Errorf("round %d: bcast payload corrupted", round)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestLossyReduceAllClasses(t *testing.T) {
+	for _, sc := range lossyScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			comms, err := NewWorld(4, lossyOpts(sc.cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeWorld(comms)
+			const elems = 512 // 4 KiB of float64s → rendezvous hops
+			run(t, comms, func(c *Comm) error {
+				for round := 0; round < 6; round++ {
+					vec := make([]byte, elems*8)
+					for i := 0; i < elems; i++ {
+						binary.LittleEndian.PutUint64(vec[i*8:],
+							math.Float64bits(float64(c.Rank()+1)*float64(i+round)))
+					}
+					got, err := c.Reduce(0, SumFloat64, vec)
+					if err != nil {
+						return err
+					}
+					if c.Rank() != 0 {
+						continue
+					}
+					// Sum over ranks r of (r+1)*(i+round) = 10*(i+round)
+					// for 4 ranks.
+					for i := 0; i < elems; i++ {
+						want := 10 * float64(i+round)
+						gotv := math.Float64frombits(binary.LittleEndian.Uint64(got[i*8:]))
+						if gotv != want {
+							return fmt.Errorf("round %d elem %d: %v != %v", round, i, gotv, want)
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+func TestLossyNonblockingAllClasses(t *testing.T) {
+	for _, sc := range lossyScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			comms, err := NewWorld(4, lossyOpts(sc.cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeWorld(comms)
+			run(t, comms, func(c *Comm) error {
+				for round := 0; round < 8; round++ {
+					// Ring shift: Isend to the right, Irecv from the left.
+					right := (c.Rank() + 1) % c.Size()
+					left := (c.Rank() - 1 + c.Size()) % c.Size()
+					rreq, err := c.Irecv(left, round, (4<<10)+64)
+					if err != nil {
+						return err
+					}
+					sreq, err := c.Isend(right, round, rankPayload(c.Rank(), round, 4<<10))
+					if err != nil {
+						return err
+					}
+					got, err := rreq.Wait()
+					if err != nil {
+						return err
+					}
+					if _, err := sreq.Wait(); err != nil {
+						return err
+					}
+					if !bytes.Equal(got, rankPayload(left, round, 4<<10)) {
+						return fmt.Errorf("round %d: ring payload corrupted", round)
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestLossySeededRepeatability runs the same mixed-fault world twice
+// with a fixed seed: both runs must complete with zero data errors and
+// with the fault machinery visibly firing. (Exact frame-level schedule
+// determinism is asserted at the transport layer, where no
+// timing-dependent retransmissions feed back into the injector.)
+func TestLossySeededRepeatability(t *testing.T) {
+	runOnce := func() uint64 {
+		cfg := faults.NetConfig{Seed: 999, PDrop: 0.05, PDuplicate: 0.05, PReorder: 0.05, PCorrupt: 0.05}
+		comms, err := NewWorld(2, lossyOpts(cfg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closeWorld(comms)
+		run(t, comms, func(c *Comm) error {
+			for round := 0; round < 20; round++ {
+				if c.Rank() == 0 {
+					if err := c.Send(1, round, rankPayload(0, round, 2<<10)); err != nil {
+						return err
+					}
+				} else {
+					got, err := c.Recv(0, round, (2<<10)+64)
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(got, rankPayload(0, round, 2<<10)) {
+						return fmt.Errorf("round %d corrupted", round)
+					}
+				}
+			}
+			return nil
+		})
+		var injected uint64
+		for _, c := range comms {
+			bd := c.NetStats()
+			injected += bd.Count(stats.CounterNetInjDrops) + bd.Count(stats.CounterNetInjDups) +
+				bd.Count(stats.CounterNetInjReorders) + bd.Count(stats.CounterNetInjCorrupts)
+		}
+		return injected
+	}
+	if a, b := runOnce(), runOnce(); a == 0 || b == 0 {
+		t.Fatalf("mixed 20%% fault mix injected nothing (%d, %d)", a, b)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"pedal/internal/core"
 	"pedal/internal/dpu"
+	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
 	"pedal/internal/simclock"
 	"pedal/internal/stats"
@@ -79,6 +80,21 @@ type WorldOptions struct {
 	TCP bool
 	// ErrorBound is the SZ3 bound for lossy compression; zero = 1e-4.
 	ErrorBound float64
+	// NetFaults injects deterministic per-frame fabric faults (drop,
+	// duplicate, reorder, corrupt, delay) beneath a reliability
+	// sublayer that recovers them, so collectives and point-to-point
+	// traffic survive a lossy fabric unmodified. Each rank draws from
+	// an independent schedule derived from Seed. Nil models a perfect
+	// fabric. Implies Reliable.
+	NetFaults *faults.NetConfig
+	// Reliable wraps every endpoint in the CRC + ack/retransmit
+	// sublayer even without injected faults (useful to measure the
+	// framing overhead on a clean fabric).
+	Reliable bool
+	// RelOptions overrides the reliability sublayer's timers; zero
+	// values select the transport defaults. Stats/Clock/Tracer fields
+	// are managed per rank and ignored here.
+	RelOptions transport.ReliableOptions
 }
 
 // Comm is one rank's communicator handle. A Comm is driven by a single
@@ -94,6 +110,10 @@ type Comm struct {
 
 	clock *simclock.Clock
 	bd    *stats.Breakdown
+	// netBD accumulates fabric fault-injection and reliability counters
+	// when the world runs over a lossy/reliable transport; nil on a
+	// perfect fabric.
+	netBD *stats.Breakdown
 
 	// unexpected holds frames that arrived while waiting for something
 	// else (MPI's unexpected-message queue).
@@ -134,12 +154,29 @@ func NewWorld(n int, opts WorldOptions) ([]*Comm, error) {
 	}
 	comms := make([]*Comm, n)
 	for i := 0; i < n; i++ {
+		clock := simclock.New()
+		ep := eps[i]
+		var netBD *stats.Breakdown
+		if opts.NetFaults != nil || opts.Reliable {
+			netBD = stats.NewBreakdown()
+			if opts.NetFaults != nil {
+				cfg := *opts.NetFaults
+				cfg.Seed = faults.DeriveSeed(cfg.Seed, uint64(i))
+				ep = transport.WrapFaulty(ep, faults.NewNetInjector(cfg), netBD)
+			}
+			rel := opts.RelOptions
+			rel.Stats = netBD
+			rel.Clock = clock
+			rel.Tracer = nil
+			ep = transport.WrapReliable(ep, rel)
+		}
 		c := &Comm{
 			rank:    i,
 			size:    n,
-			ep:      eps[i],
+			ep:      ep,
 			opts:    opts,
-			clock:   simclock.New(),
+			clock:   clock,
+			netBD:   netBD,
 			bd:      stats.NewBreakdown(),
 			pending: make(map[uint64]*Request),
 		}
@@ -174,6 +211,12 @@ func (c *Comm) Clock() *simclock.Clock { return c.clock }
 
 // Breakdown exposes the rank's accumulated phase accounting.
 func (c *Comm) Breakdown() *stats.Breakdown { return c.bd }
+
+// NetStats exposes the rank's fabric reliability counters (retransmits,
+// CRC rejects, duplicates dropped, reorders healed, injected faults).
+// It returns nil on a perfect fabric; stats.Breakdown methods are
+// nil-safe, so callers may use the result unconditionally.
+func (c *Comm) NetStats() *stats.Breakdown { return c.netBD }
 
 // Pedal returns the rank's PEDAL library, or nil when compression is
 // disabled.

@@ -1,0 +1,308 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+	"pedal/internal/stats"
+)
+
+// startServerWith boots a server on a loopback listener after letting
+// the caller configure admission and hooks, returning the address and
+// the server for stats inspection.
+func startServerWith(t *testing.T, configure func(*Server)) (string, *Server) {
+	t.Helper()
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(lib)
+	if configure != nil {
+		configure(s)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() {
+		s.Close()
+		lib.Finalize()
+	})
+	return ln.Addr().String(), s
+}
+
+// waitCounter polls a server counter until it reaches want or the
+// deadline passes.
+func waitCounter(t *testing.T, s *Server, k stats.Counter, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if s.Stats().Count(k) >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("counter %s stuck at %d, want ≥%d", k, s.Stats().Count(k), want)
+}
+
+func compressReq(c *Client, data []byte) error {
+	_, err := c.Compress(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}, core.TypeBytes, data)
+	return err
+}
+
+func TestBusyShedSurfacesErrBusy(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	addr, s := startServerWith(t, func(s *Server) {
+		s.MaxConcurrent = 1
+		s.QueueDepth = -1 // no wait queue: second request sheds immediately
+		s.execHook = func(req request) ([]byte, error) {
+			entered <- struct{}{}
+			<-gate
+			return append([]byte(nil), req.data...), nil
+		}
+	})
+	slow, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	slowDone := make(chan error, 1)
+	go func() { slowDone <- compressReq(slow, []byte("occupies the only slot")) }()
+	<-entered // the slot is now provably held
+
+	fast, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+	if err := compressReq(fast, []byte("overflow")); !errors.Is(err, ErrBusy) {
+		t.Fatalf("want ErrBusy, got %v", err)
+	}
+	if got := s.Stats().Count(stats.CounterSheds); got != 1 {
+		t.Fatalf("sheds = %d, want 1", got)
+	}
+
+	// The shed connection must remain usable once load clears.
+	close(gate)
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slow request: %v", err)
+	}
+	if err := compressReq(fast, []byte("retry succeeds")); err != nil {
+		t.Fatalf("retry after ErrBusy: %v", err)
+	}
+}
+
+func TestQueueAbsorbsBurstThenSheds(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	addr, s := startServerWith(t, func(s *Server) {
+		s.MaxConcurrent = 1
+		s.QueueDepth = 2
+		s.execHook = func(req request) ([]byte, error) {
+			entered <- struct{}{}
+			<-gate
+			return req.data, nil
+		}
+	})
+	slow, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	slowDone := make(chan error, 1)
+	go func() { slowDone <- compressReq(slow, []byte("holder")) }()
+	<-entered
+
+	// Three competitors against one held slot and a queue of two: the
+	// two queue entries absorb two of them, the third sheds — no matter
+	// the arrival order, because queue slots cannot free until the gate
+	// opens.
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			errs <- compressReq(c, []byte("burst"))
+		}()
+	}
+	waitCounter(t, s, stats.CounterSheds, 1)
+	close(gate)
+	wg.Wait()
+	close(errs)
+	var busy, ok int
+	for err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrBusy):
+			busy++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if busy != 1 || ok != 2 {
+		t.Fatalf("burst outcome: %d ok, %d busy; want 2 ok, 1 busy", ok, busy)
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatalf("holder: %v", err)
+	}
+}
+
+func TestShutdownDrainsInFlight(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	addr, s := startServerWith(t, func(s *Server) {
+		s.MaxConcurrent = 4
+		s.execHook = func(req request) ([]byte, error) {
+			entered <- struct{}{}
+			<-gate
+			return append([]byte("echo:"), req.data...), nil
+		}
+	})
+
+	// Two in-flight requests plus one idle connection.
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		c, err := Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		go func() { results <- compressReq(c, []byte("inflight")) }()
+	}
+	<-entered
+	<-entered
+	idle, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- s.Shutdown(ctx) }()
+
+	// The idle connection is released promptly; its next request fails
+	// instead of hanging.
+	idle.Timeout = 5 * time.Second
+	if err := compressReq(idle, []byte("too late")); err == nil {
+		t.Fatal("request on idle connection succeeded after Shutdown")
+	}
+
+	// In-flight requests complete once the handler finishes.
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("in-flight request %d: %v", i, err)
+		}
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := s.Stats().Count(stats.CounterDrained); got != 2 {
+		t.Fatalf("drained = %d, want 2", got)
+	}
+	// New connections are refused after shutdown.
+	if c, err := Dial(addr); err == nil {
+		c.Close()
+		t.Fatal("Dial succeeded after Shutdown")
+	}
+}
+
+func TestShutdownDeadlineForcesClose(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	addr, s := startServerWith(t, func(s *Server) {
+		s.execHook = func(req request) ([]byte, error) {
+			entered <- struct{}{}
+			<-gate
+			return nil, nil
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go compressReq(c, []byte("wedged"))
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	err = s.Shutdown(ctx)
+	close(gate) // release the handler so Shutdown's wg.Wait can finish
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+}
+
+func TestPanicRecoveredAndReported(t *testing.T) {
+	addr, s := startServerWith(t, func(s *Server) {
+		s.execHook = func(req request) ([]byte, error) {
+			if bytes.HasPrefix(req.data, []byte("boom")) {
+				panic("poisoned request")
+			}
+			return req.data, nil
+		}
+	})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = compressReq(c, []byte("boom goes the handler"))
+	if !errors.Is(err, ErrRemote) || !strings.Contains(err.Error(), "panic") {
+		t.Fatalf("want remote panic error, got %v", err)
+	}
+	if got := s.Stats().Count(stats.CounterPanics); got != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", got)
+	}
+	// The connection and the server survive the panic.
+	if err := compressReq(c, []byte("still alive")); err != nil {
+		t.Fatalf("request after panic: %v", err)
+	}
+}
+
+func TestLargeFrameRoundTrip(t *testing.T) {
+	// A body above coalesceLimit exercises the vectored (net.Buffers)
+	// write path in both directions: incompressible random data keeps
+	// the response body large too.
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, coalesceLimit*2+4096)
+	rng.Read(data)
+	msg, err := c.Compress(core.Design{Algo: core.AlgoLZ4, Engine: hwmodel.SoC}, core.TypeBytes, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(hwmodel.SoC, core.TypeBytes, msg, len(data)+1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("large-frame round trip mismatch")
+	}
+}

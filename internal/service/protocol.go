@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Protocol op codes.
@@ -30,6 +31,11 @@ const (
 const (
 	statusOK  = 0
 	statusErr = 1
+	// statusBusy refuses a request under admission control: both the
+	// concurrent-handler semaphore and the wait queue are full. The
+	// request was read in full and the connection stays usable; the
+	// client surfaces ErrBusy and may retry.
+	statusBusy = 2
 )
 
 // maxPayload bounds a single request or response body.
@@ -37,6 +43,11 @@ const maxPayload = 1 << 30
 
 // ErrRemote wraps an error string returned by the server.
 var ErrRemote = errors.New("service: remote error")
+
+// ErrBusy reports that the server shed the request under overload. The
+// connection remains usable; callers may retry, ideally after a
+// backoff.
+var ErrBusy = errors.New("service: server busy")
 
 type request struct {
 	op     byte
@@ -47,16 +58,38 @@ type request struct {
 	data   []byte
 }
 
+// coalesceLimit bounds the payload size up to which header and body are
+// copied into one buffer and written with a single Write (one syscall,
+// no partial-write interleaving window). Larger bodies use writev-style
+// vectored output instead of paying a large copy.
+const coalesceLimit = 64 << 10
+
+// writeFrame emits hdr followed by body as a single logical write: one
+// buffered Write for small bodies, a vectored net.Buffers write (one
+// writev syscall on TCP) for large ones.
+func writeFrame(w io.Writer, hdr, body []byte) error {
+	if len(body) == 0 {
+		_, err := w.Write(hdr)
+		return err
+	}
+	if len(body) <= coalesceLimit {
+		buf := make([]byte, 0, len(hdr)+len(body))
+		buf = append(buf, hdr...)
+		buf = append(buf, body...)
+		_, err := w.Write(buf)
+		return err
+	}
+	bufs := net.Buffers{hdr, body}
+	_, err := bufs.WriteTo(w)
+	return err
+}
+
 func writeRequest(w io.Writer, r request) error {
 	hdr := make([]byte, 4+8+8)
 	hdr[0], hdr[1], hdr[2], hdr[3] = r.op, r.algo, r.engine, r.dtype
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(r.maxOut))
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(r.data)))
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	_, err := w.Write(r.data)
-	return err
+	return writeFrame(w, hdr, r.data)
 }
 
 func readRequest(r io.Reader) (request, error) {
@@ -81,11 +114,7 @@ func writeResponse(w io.Writer, status byte, body []byte) error {
 	hdr := make([]byte, 1+8)
 	hdr[0] = status
 	binary.LittleEndian.PutUint64(hdr[1:], uint64(len(body)))
-	if _, err := w.Write(hdr); err != nil {
-		return err
-	}
-	_, err := w.Write(body)
-	return err
+	return writeFrame(w, hdr, body)
 }
 
 func readResponse(r io.Reader) ([]byte, error) {
@@ -101,8 +130,12 @@ func readResponse(r io.Reader) ([]byte, error) {
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
-	if hdr[0] != statusOK {
+	switch hdr[0] {
+	case statusOK:
+		return body, nil
+	case statusBusy:
+		return nil, ErrBusy
+	default:
 		return nil, fmt.Errorf("%w: %s", ErrRemote, body)
 	}
-	return body, nil
 }

@@ -1,14 +1,20 @@
 package service
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"log"
 	"net"
+	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"pedal/internal/core"
 	"pedal/internal/hwmodel"
+	"pedal/internal/stats"
+	"pedal/internal/trace"
 )
 
 // Connection deadline defaults. A stalled peer must not wedge a handler
@@ -18,17 +24,43 @@ const (
 	DefaultWriteTimeout = 30 * time.Second
 )
 
+// DefaultQueueDepth is the admission wait-queue capacity when QueueDepth
+// is zero.
+const DefaultQueueDepth = 16
+
+// connState tracks one connection's handler for graceful drain: busy
+// means the handler is between a fully read request and its response,
+// so Shutdown must let it finish; idle handlers are blocked in
+// readRequest and get their read deadline fired instead.
+type connState struct {
+	busy bool
+}
+
 // Server serves PEDAL compression over a listener. One PEDAL library is
 // shared by all connections, the way a DPU daemon would share the
 // device.
+//
+// Admission control mirrors a real DPU daemon with a fixed engine-queue
+// depth: at most MaxConcurrent requests execute at once, up to
+// QueueDepth more wait, and anything beyond that is shed immediately
+// with a statusBusy response (the client sees ErrBusy, never a hang or
+// a dropped byte).
 type Server struct {
 	lib *core.Library
 	ln  net.Listener
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]struct{}
-	wg     sync.WaitGroup
+	mu       sync.Mutex
+	closed   bool
+	draining bool
+	conns    map[net.Conn]*connState
+	wg       sync.WaitGroup
+
+	admitOnce sync.Once
+	sem       chan struct{} // MaxConcurrent execution slots
+	queue     chan struct{} // QueueDepth admission waiters
+
+	bd *stats.Breakdown
+
 	// Logf receives per-connection error logs; nil silences them.
 	Logf func(format string, args ...any)
 	// IdleTimeout bounds the wait for the next request on an open
@@ -36,19 +68,94 @@ type Server struct {
 	// the defaults above; negative disables the deadline.
 	IdleTimeout  time.Duration
 	WriteTimeout time.Duration
+	// MaxConcurrent bounds requests executing at once. Zero means
+	// GOMAXPROCS; negative disables admission control entirely.
+	MaxConcurrent int
+	// QueueDepth bounds requests waiting for an execution slot before
+	// the server sheds with statusBusy. Zero means DefaultQueueDepth;
+	// negative means no queue (shed as soon as all slots are busy).
+	QueueDepth int
+	// Tracer, when set, records shed/drain/panic events alongside the
+	// hardware timeline. A nil tracer is a no-op.
+	Tracer *trace.Tracer
+	// ExecDelay stalls each admitted request for the given duration
+	// before executing it, while holding its admission slot. Chaos and
+	// soak harnesses use it to model a slow or contended engine and
+	// drive the server into sustained overload deterministically.
+	ExecDelay time.Duration
+
+	// execHook replaces execute when non-nil (tests use it to inject
+	// slow or panicking handlers).
+	execHook func(request) ([]byte, error)
 }
 
 // NewServer wraps an initialised library. The caller retains ownership
 // of lib (Close does not finalize it).
 func NewServer(lib *core.Library) *Server {
-	return &Server{lib: lib, conns: make(map[net.Conn]struct{})}
+	return &Server{
+		lib:   lib,
+		conns: make(map[net.Conn]*connState),
+		bd:    stats.NewBreakdown(),
+	}
+}
+
+// Stats exposes the server's request/shed/panic/drain counters.
+func (s *Server) Stats() *stats.Breakdown { return s.bd }
+
+// initAdmission resolves the semaphore and queue once, at first use, so
+// MaxConcurrent/QueueDepth can be set any time before Serve.
+func (s *Server) initAdmission() {
+	s.admitOnce.Do(func() {
+		mc := s.MaxConcurrent
+		if mc == 0 {
+			mc = runtime.GOMAXPROCS(0)
+		}
+		if mc > 0 {
+			s.sem = make(chan struct{}, mc)
+		}
+		qd := s.QueueDepth
+		if qd == 0 {
+			qd = DefaultQueueDepth
+		}
+		if s.sem != nil && qd > 0 {
+			s.queue = make(chan struct{}, qd)
+		}
+	})
+}
+
+// admit claims an execution slot. It returns a release func and true on
+// success; false means both the slots and the wait queue are full and
+// the request must be shed.
+func (s *Server) admit() (func(), bool) {
+	s.initAdmission()
+	if s.sem == nil {
+		return func() {}, true
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return func() { <-s.sem }, true
+	default:
+	}
+	if s.queue == nil {
+		return nil, false
+	}
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		return nil, false
+	}
+	// Queued: wait (bounded by the holders finishing) for a slot.
+	s.sem <- struct{}{}
+	<-s.queue
+	return func() { <-s.sem }, true
 }
 
 // Serve accepts connections until the listener closes. Temporary accept
 // errors (e.g. fd exhaustion) are retried with exponential backoff
 // instead of killing the loop. It returns the accept error that
-// terminated the loop (net.ErrClosed after Close).
+// terminated the loop (net.ErrClosed after Close or Shutdown).
 func (s *Server) Serve(ln net.Listener) error {
+	s.initAdmission()
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
@@ -71,20 +178,21 @@ func (s *Server) Serve(ln net.Listener) error {
 		}
 		backoff = 0
 		s.mu.Lock()
-		if s.closed {
+		if s.closed || s.draining {
 			s.mu.Unlock()
 			conn.Close()
 			s.wg.Wait()
 			return net.ErrClosed
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = &connState{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
 }
 
-// Close stops accepting and closes active connections.
+// Close stops accepting and closes active connections immediately,
+// abandoning in-flight requests. Prefer Shutdown for a graceful drain.
 func (s *Server) Close() {
 	s.mu.Lock()
 	s.closed = true
@@ -99,6 +207,67 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// Shutdown gracefully drains the server: it stops accepting new
+// connections, lets every in-flight request finish and write its
+// response, then closes. Idle connections (blocked waiting for the next
+// request) are released immediately. If ctx expires first, remaining
+// connections are closed abruptly and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.draining
+	s.draining = true
+	ln := s.ln
+	s.ln = nil
+	var inflight int
+	// Fire the read deadline of idle handlers so their blocking
+	// readRequest returns now; busy handlers finish their response and
+	// then observe draining at the top of their loop. Both the poke and
+	// the handler's own deadline/busy transitions happen under s.mu, so
+	// no request can slip between the two states unobserved.
+	for c, st := range s.conns {
+		if st.busy {
+			inflight++
+		} else {
+			c.SetReadDeadline(time.Now())
+		}
+	}
+	s.bd.CountAdd(stats.CounterDrained, uint64(inflight))
+	s.mu.Unlock()
+	if !alreadyDraining {
+		s.Tracer.Record(trace.Event{Engine: "service", Op: "drain", InBytes: inflight})
+	}
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		// Abandon the drain: close the remaining connections. Handlers
+		// blocked on connection I/O unwind immediately; a handler wedged
+		// inside execute is not waited for (mirroring net/http).
+		s.mu.Lock()
+		s.closed = true
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
@@ -108,7 +277,7 @@ func (s *Server) logf(format string, args ...any) {
 func (s *Server) isClosed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.closed
+	return s.closed || s.draining
 }
 
 // timeout resolves a configured deadline: zero → def, negative → off.
@@ -132,32 +301,92 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 	idle := timeout(s.IdleTimeout, DefaultIdleTimeout)
 	write := timeout(s.WriteTimeout, DefaultWriteTimeout)
-	for {
-		if idle > 0 {
-			conn.SetReadDeadline(time.Now().Add(idle))
-		}
-		req, err := readRequest(conn)
-		if err != nil {
-			return // EOF, deadline, or broken connection: session over
-		}
-		body, err := s.execute(req)
+	s.mu.Lock()
+	st := s.conns[conn]
+	s.mu.Unlock()
+	if st == nil {
+		return // raced with Close
+	}
+	respond := func(status byte, body []byte) error {
 		if write > 0 {
 			conn.SetWriteDeadline(time.Now().Add(write))
 		}
+		return writeResponse(conn, status, body)
+	}
+	for {
+		// Mark idle and arm the read deadline in the same critical
+		// section where Shutdown checks busy and pokes deadlines: either
+		// Shutdown sees us idle and fires the deadline, or we see
+		// draining and exit — a request can never be read after drain
+		// without being served.
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			return
+		}
+		st.busy = false
+		if idle > 0 {
+			conn.SetReadDeadline(time.Now().Add(idle))
+		} else {
+			conn.SetReadDeadline(time.Time{})
+		}
+		s.mu.Unlock()
+		req, err := readRequest(conn)
 		if err != nil {
-			if werr := writeResponse(conn, statusErr, []byte(err.Error())); werr != nil {
+			return // EOF, deadline, drain poke, or broken connection
+		}
+		s.mu.Lock()
+		st.busy = true
+		if s.draining {
+			// The request raced past the drain poke (bytes were already
+			// buffered); it still gets served and counted as drained.
+			s.bd.Inc(stats.CounterDrained)
+		}
+		s.mu.Unlock()
+		release, ok := s.admit()
+		if !ok {
+			s.bd.Inc(stats.CounterSheds)
+			s.Tracer.Record(trace.Event{Engine: "service", Op: "shed", InBytes: len(req.data), Err: "busy"})
+			if err := respond(statusBusy, nil); err != nil {
 				return
 			}
 			continue
 		}
-		if err := writeResponse(conn, statusOK, body); err != nil {
+		body, err := s.execute(req)
+		release()
+		s.bd.Inc(stats.CounterRequests)
+		if err != nil {
+			if werr := respond(statusErr, []byte(err.Error())); werr != nil {
+				return
+			}
+			continue
+		}
+		if err := respond(statusOK, body); err != nil {
 			s.logf("service: write response: %v", err)
 			return
 		}
 	}
 }
 
-func (s *Server) execute(req request) ([]byte, error) {
+// execute runs one request against the library. A panicking handler is
+// recovered into a statusErr response so one poisoned request cannot
+// take down the daemon or its other connections.
+func (s *Server) execute(req request) (body []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.bd.Inc(stats.CounterPanics)
+			s.logf("service: handler panic: %v\n%s", r, debug.Stack())
+			s.Tracer.Record(trace.Event{Engine: "service", Op: "panic", Err: fmt.Sprint(r)})
+			body = nil
+			err = fmt.Errorf("internal error: handler panic: %v", r)
+		}
+	}()
+	if s.ExecDelay > 0 {
+		time.Sleep(s.ExecDelay)
+	}
+	if s.execHook != nil {
+		return s.execHook(req)
+	}
 	engine := hwmodel.Engine(req.engine)
 	if engine != hwmodel.SoC && engine != hwmodel.CEngine {
 		return nil, errors.New("bad engine")

@@ -57,6 +57,47 @@ const (
 	CounterDegradedOps Counter = "degraded_ops"
 )
 
+// Network reliability counters (internal/transport's faulty wrapper and
+// reliability sublayer). The net_injected_* counters tally faults the
+// seeded injector put on the wire; the remaining counters tally what the
+// reliability machinery detected and repaired on the receive side.
+const (
+	CounterNetInjDrops    Counter = "net_injected_drops"
+	CounterNetInjDups     Counter = "net_injected_dups"
+	CounterNetInjReorders Counter = "net_injected_reorders"
+	CounterNetInjCorrupts Counter = "net_injected_corrupts"
+	CounterNetInjDelays   Counter = "net_injected_delays"
+	// CounterRetransmits counts frames re-sent by the reliability
+	// sublayer (RTO expiry or NACK-triggered fast retransmit).
+	CounterRetransmits Counter = "retransmits"
+	// CounterNetCorrupt counts frames rejected by CRC verification.
+	CounterNetCorrupt Counter = "net_corrupt_detected"
+	// CounterNetDuplicates counts already-delivered frames discarded by
+	// sequence-number deduplication.
+	CounterNetDuplicates Counter = "net_duplicates_dropped"
+	// CounterNetReorders counts out-of-order frames buffered and later
+	// delivered in sequence.
+	CounterNetReorders Counter = "net_reorders_healed"
+	// CounterNetNacks counts NACK control frames sent to request a
+	// retransmission (gap or CRC failure observed).
+	CounterNetNacks Counter = "net_nacks_sent"
+)
+
+// Service admission-control counters (internal/service).
+const (
+	// CounterRequests counts requests the server answered (any status).
+	CounterRequests Counter = "requests_served"
+	// CounterSheds counts requests refused with a busy status because
+	// both the handler semaphore and the wait queue were full.
+	CounterSheds Counter = "requests_shed"
+	// CounterPanics counts handler panics converted into error
+	// responses instead of daemon crashes.
+	CounterPanics Counter = "panics_recovered"
+	// CounterDrained counts requests completed while the server was
+	// draining towards shutdown.
+	CounterDrained Counter = "drained_requests"
+)
+
 // Breakdown is a concurrency-safe accumulator of virtual durations per
 // phase plus resilience event counters.
 type Breakdown struct {

@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"pedal/internal/faults"
+	"pedal/internal/stats"
+)
+
+// faultyEndpoint wraps an Endpoint and injects network faults on the
+// send path from a seeded faults.NetInjector: frames can be dropped,
+// duplicated, reordered, bit-flipped or delayed (virtual time) before
+// they reach the underlying fabric. It deliberately breaks the Endpoint
+// contract's per-(src,dst) FIFO and integrity guarantees — the
+// reliability sublayer (WrapReliable) is what restores them, so the two
+// wrappers are normally stacked: reliable(faulty(raw)).
+type faultyEndpoint struct {
+	inner Endpoint
+	inj   *faults.NetInjector
+	bd    *stats.Breakdown
+
+	mu sync.Mutex
+	// held is the reorder slot: a frame being overtaken waits here until
+	// the next send (or receive call) flushes it.
+	held []heldFrame
+}
+
+type heldFrame struct {
+	dst       int
+	data      []byte
+	departure time.Duration
+}
+
+// WrapFaulty returns ep with fault injection on its send path. Injection
+// decisions come from inj (nil injects nothing); injected fault counts
+// accumulate into bd (nil discards them).
+func WrapFaulty(ep Endpoint, inj *faults.NetInjector, bd *stats.Breakdown) Endpoint {
+	return &faultyEndpoint{inner: ep, inj: inj, bd: bd}
+}
+
+func (e *faultyEndpoint) Rank() int { return e.inner.Rank() }
+func (e *faultyEndpoint) Size() int { return e.inner.Size() }
+
+func (e *faultyEndpoint) Send(dst int, data []byte, departure time.Duration) error {
+	d := e.inj.Next()
+	switch d.Class {
+	case faults.NetDrop:
+		e.bd.Inc(stats.CounterNetInjDrops)
+		// Silent loss: the frame never reaches the fabric. Flush any
+		// held frame so a drop cannot extend a reorder hold forever.
+		return e.flushHeld()
+	case faults.NetDuplicate:
+		e.bd.Inc(stats.CounterNetInjDups)
+		if err := e.inner.Send(dst, data, departure); err != nil {
+			return err
+		}
+		if err := e.inner.Send(dst, data, departure); err != nil {
+			return err
+		}
+		return e.flushHeld()
+	case faults.NetReorder:
+		e.bd.Inc(stats.CounterNetInjReorders)
+		// Hold this frame; the next frame overtakes it. The copy is
+		// needed because senders may reuse their buffer immediately.
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		e.mu.Lock()
+		e.held = append(e.held, heldFrame{dst: dst, data: buf, departure: departure})
+		e.mu.Unlock()
+		return nil
+	case faults.NetCorrupt:
+		e.bd.Inc(stats.CounterNetInjCorrupts)
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		corruptFrame(buf, d.Bits)
+		if err := e.inner.Send(dst, buf, departure); err != nil {
+			return err
+		}
+		return e.flushHeld()
+	case faults.NetDelay:
+		e.bd.Inc(stats.CounterNetInjDelays)
+		departure += d.Delay
+	}
+	if err := e.inner.Send(dst, data, departure); err != nil {
+		return err
+	}
+	return e.flushHeld()
+}
+
+// flushHeld releases reorder-held frames after the overtaking frame has
+// gone out.
+func (e *faultyEndpoint) flushHeld() error {
+	e.mu.Lock()
+	held := e.held
+	e.held = nil
+	e.mu.Unlock()
+	for _, h := range held {
+		if err := e.inner.Send(h.dst, h.data, h.departure); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// corruptFrame flips one to three bits at positions derived from the
+// injector's deterministic detail bits.
+func corruptFrame(buf []byte, bits uint64) {
+	if len(buf) == 0 {
+		return
+	}
+	n := int(bits%3) + 1
+	for i := 0; i < n; i++ {
+		bits = bits*0x9e3779b97f4a7c15 + 1
+		pos := int(bits % uint64(len(buf)))
+		bit := byte(1) << ((bits >> 32) % 8)
+		buf[pos] ^= bit
+	}
+}
+
+func (e *faultyEndpoint) Recv() (Frame, error) {
+	// A receive turn is also a chance to release a held frame whose
+	// sender went quiet (liveness for the raw wrapper; the reliability
+	// layer would retransmit anyway).
+	if err := e.flushHeld(); err != nil && err != ErrClosed {
+		return Frame{}, err
+	}
+	return e.inner.Recv()
+}
+
+func (e *faultyEndpoint) TryRecv() (Frame, bool, error) {
+	if err := e.flushHeld(); err != nil && err != ErrClosed {
+		return Frame{}, false, err
+	}
+	return e.inner.TryRecv()
+}
+
+func (e *faultyEndpoint) Close() error {
+	e.mu.Lock()
+	e.held = nil
+	e.mu.Unlock()
+	return e.inner.Close()
+}

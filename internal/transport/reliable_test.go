@@ -1,0 +1,285 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"pedal/internal/faults"
+	"pedal/internal/stats"
+)
+
+// lossyWorld builds an in-process world with per-rank fault injection
+// under the reliability sublayer, returning the wrapped endpoints and
+// their per-rank stat breakdowns.
+func lossyWorld(t *testing.T, n int, cfg faults.NetConfig) ([]Endpoint, []*stats.Breakdown) {
+	t.Helper()
+	raw, err := NewInProcWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]Endpoint, n)
+	bds := make([]*stats.Breakdown, n)
+	for i := range raw {
+		bds[i] = stats.NewBreakdown()
+		c := cfg
+		c.Seed = faults.DeriveSeed(cfg.Seed, uint64(i))
+		ep := WrapFaulty(raw[i], faults.NewNetInjector(c), bds[i])
+		eps[i] = WrapReliable(ep, ReliableOptions{Stats: bds[i], RTO: time.Millisecond, MaxRTO: 10 * time.Millisecond})
+	}
+	return eps, bds
+}
+
+func closeAllRel(eps []Endpoint) {
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+func payloadFor(src, i int) []byte {
+	buf := make([]byte, 64+i%256)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(src))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(i))
+	for j := 8; j < len(buf); j++ {
+		buf[j] = byte(src*31 + i + j)
+	}
+	return buf
+}
+
+// streamCheck sends count frames from every rank to rank 0 and asserts
+// rank 0 sees each stream complete, in order, uncorrupted.
+func streamCheck(t *testing.T, eps []Endpoint, count int) {
+	t.Helper()
+	n := len(eps)
+	var wg sync.WaitGroup
+	for src := 1; src < n; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				if err := eps[src].Send(0, payloadFor(src, i), time.Duration(i)); err != nil {
+					t.Errorf("rank %d send %d: %v", src, i, err)
+					return
+				}
+			}
+		}(src)
+	}
+	next := make([]int, n)
+	for got := 0; got < (n-1)*count; got++ {
+		f, err := eps[0].Recv()
+		if err != nil {
+			t.Fatalf("recv %d: %v", got, err)
+		}
+		i := next[f.Src]
+		if want := payloadFor(f.Src, i); !bytes.Equal(f.Data, want) {
+			t.Fatalf("rank %d frame %d corrupted or out of order", f.Src, i)
+		}
+		next[f.Src]++
+	}
+	wg.Wait()
+	for src := 1; src < n; src++ {
+		if next[src] != count {
+			t.Fatalf("rank %d delivered %d/%d", src, next[src], count)
+		}
+	}
+}
+
+func TestReliableCleanFabricPassthrough(t *testing.T) {
+	eps, bds := lossyWorld(t, 3, faults.NetConfig{})
+	defer closeAllRel(eps)
+	streamCheck(t, eps, 200)
+	// A timeout-based reliability layer may probe a slow-but-clean link
+	// a handful of times (head-of-line RTO), but must not retransmit
+	// wholesale when nothing is actually lost.
+	var retrans uint64
+	for _, bd := range bds {
+		retrans += bd.Count(stats.CounterRetransmits)
+	}
+	if retrans > 20 {
+		t.Errorf("%d retransmits on a clean fabric, want ≈0", retrans)
+	}
+}
+
+func TestReliableSurvivesEveryFaultClass(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  faults.NetConfig
+		// fired returns a counter that must be non-zero somewhere.
+		fired stats.Counter
+	}{
+		{"drop-15%", faults.NetConfig{Seed: 101, PDrop: 0.15}, stats.CounterRetransmits},
+		{"dup-15%", faults.NetConfig{Seed: 102, PDuplicate: 0.15}, stats.CounterNetDuplicates},
+		{"reorder-20%", faults.NetConfig{Seed: 103, PReorder: 0.20}, stats.CounterNetReorders},
+		{"corrupt-15%", faults.NetConfig{Seed: 104, PCorrupt: 0.15}, stats.CounterNetCorrupt},
+		{"delay-30%", faults.NetConfig{Seed: 105, PDelay: 0.30}, stats.CounterNetInjDelays},
+		{"mixed", faults.NetConfig{Seed: 106, PDrop: 0.05, PDuplicate: 0.05, PReorder: 0.05, PCorrupt: 0.05, PDelay: 0.05}, stats.CounterRetransmits},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eps, bds := lossyWorld(t, 3, tc.cfg)
+			defer closeAllRel(eps)
+			streamCheck(t, eps, 150)
+			var fired uint64
+			for _, bd := range bds {
+				fired += bd.Count(tc.fired)
+			}
+			if fired == 0 {
+				t.Errorf("counter %s never fired under %s", tc.fired, tc.name)
+			}
+		})
+	}
+}
+
+func TestReliableBidirectional(t *testing.T) {
+	eps, _ := lossyWorld(t, 2, faults.NetConfig{Seed: 9, PDrop: 0.1, PReorder: 0.1, PCorrupt: 0.1})
+	defer closeAllRel(eps)
+	const count = 120
+	var wg sync.WaitGroup
+	for me := 0; me < 2; me++ {
+		wg.Add(1)
+		go func(me int) {
+			defer wg.Done()
+			peerNext := 0
+			sent := 0
+			for peerNext < count || sent < count {
+				if sent < count {
+					if err := eps[me].Send(1-me, payloadFor(me, sent), 0); err != nil {
+						t.Errorf("rank %d send: %v", me, err)
+						return
+					}
+					sent++
+				}
+				for {
+					f, ok, err := eps[me].TryRecv()
+					if err != nil {
+						t.Errorf("rank %d recv: %v", me, err)
+						return
+					}
+					if !ok {
+						break
+					}
+					if want := payloadFor(1-me, peerNext); !bytes.Equal(f.Data, want) {
+						t.Errorf("rank %d: frame %d mismatch", me, peerNext)
+						return
+					}
+					peerNext++
+				}
+			}
+			// Drain the tail with blocking receives.
+			for peerNext < count {
+				f, err := eps[me].Recv()
+				if err != nil {
+					t.Errorf("rank %d tail recv: %v", me, err)
+					return
+				}
+				if want := payloadFor(1-me, peerNext); !bytes.Equal(f.Data, want) {
+					t.Errorf("rank %d: tail frame %d mismatch", me, peerNext)
+					return
+				}
+				peerNext++
+			}
+		}(me)
+	}
+	wg.Wait()
+}
+
+func TestReliableRetryChargedAsVirtualTime(t *testing.T) {
+	eps, bds := lossyWorld(t, 2, faults.NetConfig{Seed: 21, PDrop: 0.4})
+	defer closeAllRel(eps)
+	streamCheck(t, eps, 80)
+	var retrans uint64
+	var retry time.Duration
+	for _, bd := range bds {
+		retrans += bd.Count(stats.CounterRetransmits)
+		retry += bd.Get(stats.PhaseRetry)
+	}
+	if retrans == 0 {
+		t.Fatal("40% drop produced no retransmits")
+	}
+	if retry <= 0 {
+		t.Fatal("retransmissions charged no virtual retry time")
+	}
+}
+
+func TestReliableGivesUpOnDeadPeer(t *testing.T) {
+	raw, err := NewInProcWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100% drop: nothing ever arrives, every retransmission is eaten.
+	inj := faults.NewNetInjector(faults.NetConfig{Seed: 5, PDrop: 1.0})
+	ep := WrapReliable(WrapFaulty(raw[0], inj, nil), ReliableOptions{
+		RTO: 500 * time.Microsecond, MaxRTO: time.Millisecond, MaxAttempts: 3,
+	})
+	defer ep.Close()
+	defer raw[1].Close()
+	if err := ep.Send(1, []byte("into the void"), 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		_, err := ep.Recv()
+		if errors.Is(err, ErrUnreliable) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("want ErrUnreliable, got %v", err)
+		}
+		select {
+		case <-deadline:
+			t.Fatal("endpoint never reported the dead peer")
+		default:
+		}
+	}
+	// Subsequent sends fail fast with the same diagnosis.
+	if err := ep.Send(1, []byte("x"), 0); !errors.Is(err, ErrUnreliable) {
+		t.Fatalf("send after failure: %v", err)
+	}
+}
+
+func TestFaultyDeterministicSchedule(t *testing.T) {
+	// Two identical runs over the raw faulty wrapper (no reliability)
+	// must produce byte-identical delivery sequences.
+	deliveries := func() []string {
+		raw, err := NewInProcWorld(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer raw[1].Close()
+		inj := faults.NewNetInjector(faults.NetConfig{
+			Seed: 77, PDrop: 0.2, PDuplicate: 0.2, PReorder: 0.2, PCorrupt: 0.2,
+		})
+		ep := WrapFaulty(raw[0], inj, nil)
+		defer ep.Close()
+		for i := 0; i < 100; i++ {
+			if err := ep.Send(1, payloadFor(0, i), 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var out []string
+		for {
+			f, ok, err := raw[1].TryRecv()
+			if err != nil || !ok {
+				break
+			}
+			out = append(out, fmt.Sprintf("%x", f.Data))
+		}
+		return out
+	}
+	a, b := deliveries(), deliveries()
+	if len(a) == 0 || len(a) == 100 {
+		t.Fatalf("fault schedule inert: %d/100 delivered", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic delivery count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs between identical runs", i)
+		}
+	}
+}
