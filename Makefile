@@ -3,7 +3,7 @@ GO ?= go
 # Packages exercised with the race detector: the concurrency-heavy layers
 # (engine queue + close protocol, retry path, MPI runtime, reliability
 # sublayer, service admission control).
-RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service
+RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service ./internal/pipeline
 
 # Per-target budget for the fuzz smoke pass (each Fuzz* function runs
 # this long beyond its seed corpus).
@@ -22,7 +22,8 @@ FUZZ_TARGETS = \
 	./internal/sz3:FuzzRoundTripBound \
 	./internal/gzipfmt:FuzzDecompress \
 	./internal/flate:FuzzDecompress \
-	./internal/flate:FuzzRoundTrip
+	./internal/flate:FuzzRoundTrip \
+	./internal/pipeline:FuzzChunkFrame
 
 .PHONY: all build vet test race fuzz bench check
 
@@ -51,5 +52,8 @@ fuzz:
 
 bench:
 	$(GO) test -bench=. -benchmem
+	$(GO) test -run='^$$' -json \
+		-bench='^(BenchmarkCompressChunk|BenchmarkDecompressChunk|BenchmarkPipelineOverlap|BenchmarkExtPipeline)$$' \
+		-benchmem . > BENCH_pipeline.json
 
 check: build vet test race fuzz

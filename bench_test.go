@@ -19,6 +19,7 @@ import (
 
 	"pedal"
 	"pedal/internal/experiments"
+	"pedal/internal/flate"
 )
 
 var quick = experiments.Options{Quick: true}
@@ -129,6 +130,76 @@ func BenchmarkCompressCEngineDeflate(b *testing.B) { benchCompress(b, pedal.Desi
 func BenchmarkCompressSoCZlib(b *testing.B)        { benchCompress(b, pedal.DesignSoCZlib) }
 func BenchmarkCompressCEngineZlib(b *testing.B)    { benchCompress(b, pedal.DesignCEngineZlib) }
 func BenchmarkCompressSoCLZ4(b *testing.B)         { benchCompress(b, pedal.DesignSoCLZ4) }
+
+// BenchmarkExtPipeline runs the chunked compression–communication
+// overlap comparison (serial vs streamed chunk-frame rendezvous).
+func BenchmarkExtPipeline(b *testing.B) { runExperiment(b, "ext-pipeline") }
+
+// ---- pipelined hot-path microbenchmarks ----
+
+// BenchmarkCompressChunk is the allocation regression gate for the
+// per-chunk software path: steady-state AppendCompress of one 256 KiB
+// chunk into a reused bound-sized buffer must report 0 allocs/op.
+func BenchmarkCompressChunk(b *testing.B) {
+	data := bytes.Repeat([]byte("<chunk seq=\"11\">pipelined per-chunk payload</chunk>\n"), 5120)[:256<<10]
+	dst := make([]byte, 0, flate.CompressBound(len(data)))
+	// Warm the pooled scratch before measuring.
+	_ = flate.AppendCompress(dst, data, flate.DefaultLevel)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = flate.AppendCompress(dst, data, flate.DefaultLevel)
+	}
+}
+
+// BenchmarkDecompressChunk: the receive-side counterpart — inflating a
+// chunk into a fixed full-capacity slot of the reassembly buffer.
+func BenchmarkDecompressChunk(b *testing.B) {
+	data := bytes.Repeat([]byte("<chunk seq=\"12\">pipelined per-chunk payload</chunk>\n"), 5120)[:256<<10]
+	comp := flate.Compress(data, flate.DefaultLevel)
+	slot := make([]byte, 0, len(data))
+	if _, err := flate.AppendDecompress(slot, comp, len(data)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := flate.AppendDecompress(slot, comp, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineOverlap drives CompressPipelined end to end on
+// BlueField-3 and reports the makespan speedup over the serial design as
+// a benchmark metric.
+func BenchmarkPipelineOverlap(b *testing.B) {
+	lib, err := pedal.Init(pedal.Options{Generation: pedal.BlueField3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lib.Finalize()
+	data := bytes.Repeat([]byte("<sample id=\"5\">pipeline overlap benchmark payload</sample>\n"), 4<<20/56)
+	msg, serial, err := lib.Compress(pedal.DesignSoCDeflate, pedal.TypeBytes, data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib.Release(msg)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var piped pedal.Report
+	for i := 0; i < b.N; i++ {
+		msg, piped, err = lib.CompressPipelined(pedal.DesignSoCDeflate, pedal.TypeBytes, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lib.Release(msg)
+	}
+	b.ReportMetric(float64(serial.Virtual)/float64(piped.Virtual), "makespan_speedup")
+}
 
 func BenchmarkDecompressCEngineDeflate(b *testing.B) {
 	lib, err := pedal.Init(pedal.Options{Generation: pedal.BlueField2})

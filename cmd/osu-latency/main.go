@@ -21,11 +21,12 @@ import (
 
 func main() {
 	var (
-		design   = flag.String("design", "cengine_deflate", "design: {soc|cengine}_{deflate|zlib|lz4|sz3} or none")
-		gen      = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
-		baseline = flag.Bool("baseline", false, "pay init+alloc per message (paper's baseline)")
-		iters    = flag.Int("iters", 3, "iterations per size")
-		tcp      = flag.Bool("tcp", false, "use the TCP transport provider")
+		design    = flag.String("design", "cengine_deflate", "design: {soc|cengine}_{deflate|zlib|lz4|sz3} or none")
+		gen       = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
+		baseline  = flag.Bool("baseline", false, "pay init+alloc per message (paper's baseline)")
+		iters     = flag.Int("iters", 3, "iterations per size")
+		tcp       = flag.Bool("tcp", false, "use the TCP transport provider")
+		pipelined = flag.Bool("pipelined", false, "stream rendezvous messages as chunked frames (compression–communication overlap)")
 	)
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		world.Compression = &mpi.CompressionConfig{Design: d, DataType: dt}
+		world.Compression = &mpi.CompressionConfig{Design: d, DataType: dt, Pipelined: *pipelined}
 		if d.Algo == core.AlgoSZ3 {
 			// The lossy design needs float payloads; slice the exaalt
 			// stand-in the way the paper's Fig. 10f does.
@@ -69,7 +70,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("# OSU-style MPI Latency — %s on %s (baseline=%v)\n", *design, *gen, *baseline)
+	fmt.Printf("# OSU-style MPI Latency — %s on %s (baseline=%v pipelined=%v)\n", *design, *gen, *baseline, *pipelined)
 	fmt.Printf("%-12s %-16s %-16s\n", "Size(B)", "Latency(model)", "Wall/iter")
 	for _, r := range res {
 		fmt.Printf("%-12d %-16v %-16v\n", r.Size, r.Latency, r.Wall)

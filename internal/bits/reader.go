@@ -102,3 +102,7 @@ func (r *Reader) ReadBytes(p []byte) error {
 func (r *Reader) BitsRemaining() int {
 	return (len(r.buf)-r.pos)*8 + int(r.n)
 }
+
+// Reset re-points the Reader at p and clears all buffered state, so a
+// pooled Reader is reused without allocation.
+func (r *Reader) Reset(p []byte) { *r = Reader{buf: p} }

@@ -79,6 +79,18 @@ func (w *Writer) Reset() {
 	w.n = 0
 }
 
+// ResetBuf makes the writer append into a caller-provided buffer (bits
+// land after dst's current length). Writers owned by a reusable scratch
+// use this to emit directly into pooled output buffers: when dst has
+// enough capacity for the stream, no allocation happens at all. Call
+// ResetBuf(nil) afterwards so the scratch does not retain the caller's
+// buffer.
+func (w *Writer) ResetBuf(dst []byte) {
+	w.buf = dst
+	w.bits = 0
+	w.n = 0
+}
+
 var masks = func() [33]uint32 {
 	var m [33]uint32
 	for i := 1; i <= 32; i++ {

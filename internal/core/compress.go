@@ -56,6 +56,9 @@ func (l *Library) Compress(d Design, dt DataType, data []byte) ([]byte, Report, 
 	putHeader(msg, d.Algo)
 	copy(msg[headerLen:], payload)
 	rep.OutBytes = len(payload)
+	// The payload staging buffer is dead after the copy; recycling it
+	// keeps the steady-state compress path allocation-free.
+	l.pool.Put(payload)
 	rep.Phases = op.Snapshot()
 	rep.Counts = op.Counts()
 	rep.Virtual = op.Total()
@@ -85,7 +88,7 @@ func (l *Library) engineCompressDeflate(op *stats.Breakdown, rep *Report, data [
 	rep.Fallback = true
 	rep.Degraded = supported
 	l.chargeSoCBufPrep(op, len(data))
-	out := flate.Compress(data, l.opts.Level)
+	out := flate.AppendCompress(l.pool.GetCap(flate.CompressBound(len(data))), data, l.opts.Level)
 	if _, err := l.ctx.SoCRun(hwmodel.Deflate, hwmodel.Compress, len(data)); err != nil {
 		return nil, err
 	}
@@ -97,7 +100,7 @@ func (l *Library) compressDeflate(op *stats.Breakdown, d Design, rep *Report, da
 		return l.engineCompressDeflate(op, rep, data)
 	}
 	l.chargeSoCBufPrep(op, len(data))
-	out := flate.Compress(data, l.opts.Level)
+	out := flate.AppendCompress(l.pool.GetCap(flate.CompressBound(len(data))), data, l.opts.Level)
 	if _, err := l.ctx.SoCRun(hwmodel.Deflate, hwmodel.Compress, len(data)); err != nil {
 		return nil, err
 	}
@@ -134,7 +137,7 @@ func (l *Library) compressLZ4(op *stats.Breakdown, d Design, rep *Report, data [
 		rep.Fallback = true
 	}
 	l.chargeSoCBufPrep(op, len(data))
-	out := lz4.Compress(data)
+	out := lz4.AppendCompress(l.pool.GetCap(lz4.CompressBound(len(data))), data)
 	if _, err := l.ctx.SoCRun(hwmodel.LZ4, hwmodel.Compress, len(data)); err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@ import (
 	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
 	"pedal/internal/mempool"
+	"pedal/internal/pipeline"
 	"pedal/internal/stats"
 	"pedal/internal/sz3"
 	"pedal/internal/trace"
@@ -143,6 +144,7 @@ type Library struct {
 	ownDev bool
 	ctx    *doca.Context
 	pool   *mempool.Pool
+	pl     *pipeline.Pipeline
 	total  *stats.Breakdown
 	// breaker guards the C-Engine path against a failing engine; nil
 	// when disabled.
@@ -200,6 +202,10 @@ func Init(opts Options) (*Library, error) {
 		pool:   mempool.New(),
 		total:  total,
 	}
+	// The chunk pipeline's persistent SoC worker pool is part of the
+	// Init-time environment (one worker per ARM core), so per-message
+	// pipelined operations spawn nothing.
+	lib.pl = pipeline.New(dev, 0, lib.pool)
 	// Resilience wiring: retry policy on the DOCA context, fault
 	// injector on the engine, circuit breaker on the library.
 	policy := doca.DefaultRetryPolicy()
@@ -243,6 +249,7 @@ func (l *Library) Finalize() {
 		return
 	}
 	l.closed = true
+	l.pl.Close()
 	l.ctx.Close()
 	if l.ownDev {
 		l.dev.Close()

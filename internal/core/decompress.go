@@ -54,6 +54,8 @@ func (l *Library) Decompress(engine hwmodel.Engine, dt DataType, msg []byte, max
 		out, err = l.decompressSZ3(op, &rep, dt, body, maxOutput)
 	case AlgoHybrid:
 		out, err = l.decompressHybrid(op, &rep, body, maxOutput)
+	case AlgoPipelined:
+		out, err = l.decompressPipelined(op, &rep, body, maxOutput)
 	default:
 		err = fmt.Errorf("core: unknown AlgoID %d", algo)
 	}

@@ -38,6 +38,8 @@ func (a AlgoID) String() string {
 		return "SZ3"
 	case AlgoHybrid:
 		return "Hybrid-DEFLATE"
+	case AlgoPipelined:
+		return "Pipelined"
 	default:
 		return fmt.Sprintf("AlgoID(%d)", uint8(a))
 	}

@@ -36,7 +36,7 @@ func ParseHeader(msg []byte) (AlgoID, []byte, error) {
 	}
 	algo := AlgoID(msg[1])
 	switch algo {
-	case AlgoDeflate, AlgoZlib, AlgoLZ4, AlgoSZ3, AlgoHybrid:
+	case AlgoDeflate, AlgoZlib, AlgoLZ4, AlgoSZ3, AlgoHybrid, AlgoPipelined:
 		return algo, msg[headerLen:], nil
 	default:
 		return 0, nil, ErrNoHeader

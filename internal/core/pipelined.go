@@ -1,0 +1,232 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pedal/internal/flate"
+	"pedal/internal/hwmodel"
+	"pedal/internal/pipeline"
+	"pedal/internal/stats"
+	"pedal/internal/sz3"
+)
+
+// AlgoPipelined marks a chunked-pipeline payload: a stream descriptor
+// followed by self-describing chunk frames in completion order (see
+// internal/pipeline). The inner codec is named by the descriptor, so one
+// AlgoID covers every design routed through the pipeline.
+const AlgoPipelined AlgoID = 6
+
+// pipelineSpec maps a PEDAL design and datatype onto the chunk
+// pipeline's codec spec. Hybrid rides the deflate engine split; zlib and
+// LZ4 compress on the SoC (LZ4 still decompresses on BlueField-3's
+// engine); SZ3 runs its SoC core with the FastLZ backend per chunk.
+func (l *Library) pipelineSpec(d Design, dt DataType) (pipeline.Spec, error) {
+	spec := pipeline.Spec{
+		Engine: d.Engine == hwmodel.CEngine || d.Algo == AlgoHybrid,
+		Level:  l.opts.Level,
+	}
+	switch d.Algo {
+	case AlgoDeflate, AlgoHybrid:
+		spec.Algo = pipeline.AlgoDeflate
+	case AlgoZlib:
+		spec.Algo = pipeline.AlgoZlib
+	case AlgoLZ4:
+		spec.Algo = pipeline.AlgoLZ4
+	case AlgoSZ3:
+		switch dt {
+		case TypeFloat32:
+			spec.Algo = pipeline.AlgoSZ3F32
+		case TypeFloat64:
+			spec.Algo = pipeline.AlgoSZ3F64
+		default:
+			return spec, fmt.Errorf("core: SZ3 pipeline requires float data, got %v", dt)
+		}
+		// Chunks are independent 1-D streams; the multi-dim shape cannot
+		// survive chunking, so the per-chunk config drops Dims.
+		spec.SZ3 = sz3.Config{
+			ErrorBound: l.opts.ErrorBound,
+			Mode:       l.opts.SZ3Mode,
+			Predictor:  l.opts.SZ3Predictor,
+			Backend:    sz3.BackendFastLZ,
+		}
+	default:
+		return spec, fmt.Errorf("core: design %v has no pipeline mapping", d.Algo)
+	}
+	return spec, nil
+}
+
+// PipelineSpec exposes the design→pipeline mapping for the MPI runtime,
+// which streams chunks over the wire itself.
+func (l *Library) PipelineSpec(d Design, dt DataType) (pipeline.Spec, error) {
+	return l.pipelineSpec(d, dt)
+}
+
+// Pipeline exposes the library's chunk pipeline.
+func (l *Library) Pipeline() *pipeline.Pipeline { return l.pl }
+
+// CompressPipelined compresses data through the chunked pipeline and
+// returns a self-contained wire message:
+//
+//	PEDAL header (AlgoPipelined) | descriptor | chunk frames
+//
+// Frames appear in completion order, not index order. The report's
+// Virtual time is the pipeline makespan — the longest resource critical
+// path, not the sum of chunk costs — which is the whole point: with k
+// chunks spread over the SoC cores and the C-Engine, makespan ≈
+// serial/k on the SoC side, and engine fixed costs are paid once.
+func (l *Library) CompressPipelined(d Design, dt DataType, data []byte) ([]byte, Report, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, Report{}, ErrFinalized
+	}
+	op, old := l.beginOp()
+	defer l.endOp(op, old)
+
+	rep := Report{Design: d, Engine: hwmodel.SoC, InBytes: len(data)}
+	spec, err := l.pipelineSpec(d, dt)
+	if err != nil {
+		return nil, rep, err
+	}
+	// Pin the chunk size so the descriptor and the execution agree.
+	spec.ChunkSize = l.pl.ChunkSizeFor(len(data), spec)
+	count := 0
+	if len(data) > 0 {
+		count = (len(data) + spec.ChunkSize - 1) / spec.ChunkSize
+	}
+	l.chargeSoCBufPrep(op, len(data))
+	out := l.pool.GetCap(headerLen + 32 + flate.CompressBound(len(data)))
+	out = append(out, headerIndicator, byte(AlgoPipelined), headerIndicator)
+	out = pipeline.AppendDescriptor(out, spec.Algo, count, spec.ChunkSize, len(data))
+	sum, err := l.pl.Compress(data, spec, func(ch pipeline.Chunk) error {
+		out = pipeline.AppendChunkFrame(out, ch.Index, ch.OrigLen, ch.Data)
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	op.Add(stats.PhaseCompress, sum.Makespan)
+	if sum.EngineChunks > 0 {
+		rep.Engine = hwmodel.CEngine
+	}
+	if d.Engine == hwmodel.CEngine && sum.EngineChunks == 0 {
+		rep.Fallback = true
+	}
+	rep.OutBytes = len(out) - headerLen
+	rep.Phases = op.Snapshot()
+	rep.Counts = op.Counts()
+	rep.Virtual = op.Total()
+	return out, rep, nil
+}
+
+// DecompressPipelined decodes a CompressPipelined message. It is the
+// explicit counterpart of routing the message through Decompress (the
+// header dispatches to the same implementation).
+func (l *Library) DecompressPipelined(engine hwmodel.Engine, msg []byte, maxOutput int) ([]byte, Report, error) {
+	return l.Decompress(engine, TypeBytes, msg, maxOutput)
+}
+
+// decompressPipelined handles the AlgoPipelined case of Decompress: all
+// chunk frames are already in memory, so every chunk "arrives" at
+// virtual time zero and the session fans the decodes across the SoC
+// workers and the C-Engine.
+func (l *Library) decompressPipelined(op *stats.Breakdown, rep *Report, body []byte, maxOutput int) ([]byte, error) {
+	sess, count, err := l.newPipelinedSession(rep.Engine, body, maxOutput)
+	if err != nil {
+		return nil, err
+	}
+	rest := sess.rest
+	for i := 0; i < count; i++ {
+		index, origLen, chunkBody, r, err := pipeline.ParseChunkFrame(rest)
+		if err != nil {
+			return nil, err
+		}
+		rest = r
+		if err := sess.s.Submit(index, origLen, chunkBody, 0); err != nil {
+			return nil, err
+		}
+	}
+	out, sum, err := sess.s.Wait()
+	if err != nil {
+		return nil, err
+	}
+	l.chargeSoCBufPrep(op, len(out))
+	op.Add(stats.PhaseDecompress, sum.Makespan)
+	if sum.EngineChunks > 0 {
+		rep.Engine = hwmodel.CEngine
+	} else if rep.Engine == hwmodel.CEngine {
+		rep.Engine = hwmodel.SoC
+		rep.Fallback = true
+	}
+	return out, nil
+}
+
+// PipelinedRecv is an open streamed-receive session: the MPI runtime
+// submits chunk frames as they land and waits once all have arrived.
+type PipelinedRecv struct {
+	s    *pipeline.DecompressSession
+	rest []byte
+	// Count is the expected chunk count from the descriptor.
+	Count int
+	// OrigLen is the total uncompressed size from the descriptor.
+	OrigLen int
+}
+
+// Submit feeds one chunk frame (as produced by AppendChunkFrame, without
+// descriptor) arriving at the given virtual time. The frame bytes must
+// stay valid until Wait.
+func (r *PipelinedRecv) Submit(frame []byte, arrival time.Duration) error {
+	index, origLen, body, rest, err := pipeline.ParseChunkFrame(frame)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("core: trailing %d bytes after chunk frame", len(rest))
+	}
+	return r.s.Submit(index, origLen, body, arrival)
+}
+
+// Wait blocks until every chunk decoded and returns the payload with the
+// pipeline summary.
+func (r *PipelinedRecv) Wait() ([]byte, pipeline.Summary, error) {
+	return r.s.Wait()
+}
+
+// NewPipelinedRecv opens a streamed-receive session from a descriptor
+// (the RTS payload in the MPI co-design). engine states the preferred
+// decompression hardware.
+func (l *Library) NewPipelinedRecv(engine hwmodel.Engine, desc []byte, maxOutput int) (*PipelinedRecv, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrFinalized
+	}
+	sess, count, err := l.newPipelinedSession(engine, desc, maxOutput)
+	if err != nil {
+		return nil, err
+	}
+	if len(sess.rest) != 0 {
+		return nil, fmt.Errorf("core: trailing %d bytes after pipeline descriptor", len(sess.rest))
+	}
+	sess.Count = count
+	return sess, nil
+}
+
+// newPipelinedSession parses a descriptor and opens the decompression
+// session. The caller must hold l.mu.
+func (l *Library) newPipelinedSession(engine hwmodel.Engine, body []byte, maxOutput int) (*PipelinedRecv, int, error) {
+	algo, count, chunkSize, origLen, rest, err := pipeline.ParseDescriptor(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if maxOutput > 0 && origLen > maxOutput {
+		return nil, 0, fmt.Errorf("core: pipelined payload of %d bytes exceeds receive buffer %d", origLen, maxOutput)
+	}
+	spec := pipeline.Spec{Algo: algo, Engine: engine == hwmodel.CEngine, Level: l.opts.Level}
+	sess, err := l.pl.NewDecompress(spec, count, chunkSize, origLen)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &PipelinedRecv{s: sess, rest: rest, Count: count, OrigLen: origLen}, count, nil
+}

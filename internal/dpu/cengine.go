@@ -199,6 +199,40 @@ func (e *CEngine) Submit(job Job) (*JobHandle, error) {
 	}
 }
 
+// TrySubmit is Submit without the blocking enqueue: when the work queue
+// is full it returns ErrQueueFull immediately instead of waiting for a
+// slot. The chunked pipeline uses it to spill overflow chunks to the SoC
+// cores rather than stalling the scheduler behind a saturated engine.
+func (e *CEngine) TrySubmit(job Job) (*JobHandle, error) {
+	if !e.Supports(job.Algo, job.Op) {
+		return nil, fmt.Errorf("%w: %v %v on %v C-Engine", ErrUnsupported, job.Algo, job.Op, e.gen)
+	}
+	var dec faults.Decision
+	if inj := e.getInjector(); inj != nil {
+		dec = inj.Next()
+		if dec.Class == faults.QueueFull {
+			return nil, fmt.Errorf("%w: %v %v", ErrQueueFull, job.Algo, job.Op)
+		}
+	}
+	h := &JobHandle{done: make(chan JobResult, 1)}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	e.submitters.Add(1)
+	e.mu.Unlock()
+	defer e.submitters.Done()
+	select {
+	case e.queue <- queued{job: job, handle: h, fault: dec}:
+		return h, nil
+	case <-e.done:
+		return nil, ErrClosed
+	default:
+		return nil, fmt.Errorf("%w: %v %v (queue depth %d)", ErrQueueFull, job.Algo, job.Op, cengineQueueDepth)
+	}
+}
+
 // Run is the synchronous convenience wrapper: submit and wait.
 func (e *CEngine) Run(job Job) JobResult {
 	h, err := e.Submit(job)

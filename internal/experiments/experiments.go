@@ -119,6 +119,7 @@ func Runners() []Runner {
 		{"ext-deploy", "Extension: §VI deployment scenarios (host vs DPU offload)", ExtDeploy},
 		{"ext-hybrid", "Extension: hybrid parallel SoC+C-Engine design (§V-C.2)", ExtHybrid},
 		{"ext-ablation", "Extension: ablation of PEDAL optimisations", ExtAblation},
+		{"ext-pipeline", "Extension: pipelined chunked compression–communication overlap", ExtPipeline},
 		{"ext-faults", "Extension: availability under injected C-Engine faults", ExtFaults},
 		{"ext-netfaults", "Extension: chaos soak — lossy fabric + overloaded daemon", ExtNetFaults},
 	}

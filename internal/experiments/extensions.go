@@ -171,3 +171,80 @@ func ExtAblation(o Options) (Table, error) {
 	}
 	return t, nil
 }
+
+// ExtPipeline measures the chunked compression–communication overlap
+// (internal/pipeline): serial compress-then-send vs the streamed
+// chunk-frame rendezvous, per generation and message size, plus the
+// library-level makespan comparison. The headline metrics are the
+// per-generation end-to-end speedups at the largest message size.
+func ExtPipeline(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-pipeline", Title: "Extension: pipelined chunked compression–communication overlap",
+		Columns: []string{"Gen", "Design", "Size(MB)", "Serial(ms)", "Pipelined(ms)", "Speedup"},
+		Metrics: map[string]float64{},
+	}
+	sizes := []int{1 << 20, 4 << 20}
+	if o.Quick {
+		sizes = []int{1 << 20, 2 << 20}
+	}
+	design := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+	oneWay := func(gen hwmodel.Generation, size int, pipelined bool) (time.Duration, error) {
+		res, err := osu.RunLatency(osu.P2PConfig{
+			World: mpi.WorldOptions{
+				Generation:  gen,
+				Compression: &mpi.CompressionConfig{Design: design, Pipelined: pipelined},
+			},
+			Sizes:      []int{size},
+			Iterations: o.iters(),
+			Payload:    losslessPayload(o),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res[0].Latency, nil
+	}
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		var speedup float64
+		for _, size := range sizes {
+			serial, err := oneWay(gen, size, false)
+			if err != nil {
+				return t, err
+			}
+			piped, err := oneWay(gen, size, true)
+			if err != nil {
+				return t, err
+			}
+			speedup = float64(serial) / float64(piped)
+			t.Rows = append(t.Rows, []string{
+				gen.String(), design.String(), mb(size),
+				ms(serial), ms(piped), fmt.Sprintf("%.2f", speedup),
+			})
+		}
+		// Largest size carries the headline metric.
+		t.Metrics[fmt.Sprintf("%s_pipelined_speedup", gen)] = speedup
+
+		// Library-level view: compression makespan vs the serial design
+		// (no wire in the picture — pure overlap of chunks across cores).
+		lib, err := core.Init(core.Options{Generation: gen})
+		if err != nil {
+			return t, err
+		}
+		data := losslessPayload(o)(sizes[len(sizes)-1])
+		msg, serialRep, err := lib.Compress(design, core.TypeBytes, data)
+		if err != nil {
+			lib.Finalize()
+			return t, err
+		}
+		lib.Release(msg)
+		msg, pipedRep, err := lib.CompressPipelined(design, core.TypeBytes, data)
+		if err != nil {
+			lib.Finalize()
+			return t, err
+		}
+		lib.Release(msg)
+		t.Metrics[fmt.Sprintf("%s_compress_makespan_speedup", gen)] =
+			float64(serialRep.Virtual) / float64(pipedRep.Virtual)
+		lib.Finalize()
+	}
+	return t, nil
+}

@@ -39,6 +39,27 @@ func TestExtHybridShape(t *testing.T) {
 	}
 }
 
+func TestExtPipelineShape(t *testing.T) {
+	tab, err := ExtPipeline(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sizes × 2 generations.
+	if len(tab.Rows) != 4 {
+		t.Fatalf("%d rows, want 4", len(tab.Rows))
+	}
+	// Acceptance: at ≥1 MiB the pipelined end-to-end latency is strictly
+	// below the serial compress-then-send path on BOTH generations.
+	for _, gen := range []string{"BlueField-2", "BlueField-3"} {
+		if v := tab.Metrics[gen+"_pipelined_speedup"]; v <= 1 {
+			t.Errorf("%s pipelined end-to-end speedup = %.2f, want > 1", gen, v)
+		}
+		if v := tab.Metrics[gen+"_compress_makespan_speedup"]; v <= 1 {
+			t.Errorf("%s compress makespan speedup = %.2f, want > 1", gen, v)
+		}
+	}
+}
+
 func TestExtAblationShape(t *testing.T) {
 	tab, err := ExtAblation(quick)
 	if err != nil {

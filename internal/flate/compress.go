@@ -2,6 +2,7 @@ package flate
 
 import (
 	"fmt"
+	"sync"
 
 	"pedal/internal/bits"
 	"pedal/internal/huffman"
@@ -14,10 +15,31 @@ const DefaultLevel = 6
 // Compress deflates src at the given level (1–9; 0 or out-of-range values
 // clamp). The result is a complete RFC 1951 stream.
 func Compress(src []byte, level int) []byte {
-	w := bits.NewWriter(len(src)/2 + 64)
-	c := &compressor{w: w, level: level}
+	return AppendCompress(make([]byte, 0, len(src)/2+64), src, level)
+}
+
+// AppendCompress deflates src at the given level and appends the RFC
+// 1951 stream to dst, returning the extended slice. All working state
+// (match-finder tables, token buffers, Huffman scratch) comes from a
+// sync.Pool, so when dst has capacity CompressBound(len(src)) the call
+// is allocation-free at steady state — the property the chunked
+// pipeline's per-chunk hot path relies on.
+func AppendCompress(dst, src []byte, level int) []byte {
+	s := getScratch()
+	s.w.ResetBuf(dst)
+	c := &compressor{w: &s.w, level: level, s: s}
 	c.compress(src)
-	return w.Bytes()
+	out := s.w.Bytes()
+	s.w.ResetBuf(nil) // do not retain the caller's buffer in the pool
+	putScratch(s)
+	return out
+}
+
+// CompressBound returns a dst capacity that guarantees AppendCompress
+// will not grow it: the stored-block worst case (5 bytes of header per
+// 65535-byte block) plus block headers and flush slack.
+func CompressBound(n int) int {
+	return n + n>>12 + 64
 }
 
 // blockTokens is the number of LZ77 tokens gathered per DEFLATE block.
@@ -25,9 +47,49 @@ func Compress(src []byte, level int) []byte {
 // tokens balances table overhead against adaptivity.
 const blockTokens = 1 << 16
 
+// scratch is the reusable per-compression state. Every slice and table
+// that the per-block path needs lives here so that steady-state
+// compression performs zero heap allocations.
+type scratch struct {
+	w       bits.Writer
+	matcher lz77.Matcher
+	tokens  []lz77.Token
+
+	litFreq  [numLitLenSyms]uint64
+	distFreq [numDistSyms]uint64
+	clcFreq  [numCLCSyms]uint64
+	seq      [numLitLenSyms + numDistSyms]uint8
+	clSyms   []clSym
+
+	hscratch huffman.Scratch
+	plan     dynamicPlan
+	litLens  [numLitLenSyms]uint8
+	distLens [numDistSyms]uint8
+	clcLens  [numCLCSyms]uint8
+	litCode  huffman.Code
+	distCode huffman.Code
+	clcCode  huffman.Code
+}
+
+var scratchPool = sync.Pool{New: func() any {
+	return &scratch{clSyms: make([]clSym, 0, numLitLenSyms+numDistSyms)}
+}}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
 type compressor struct {
 	w     *bits.Writer
 	level int
+	s     *scratch
+}
+
+// newCompressor builds a compressor writing to w, with pooled scratch.
+// The release function returns the scratch to the pool.
+func newCompressor(w *bits.Writer, level int) (*compressor, func()) {
+	s := getScratch()
+	c := &compressor{w: w, level: level, s: s}
+	return c, func() { putScratch(s) }
 }
 
 func (c *compressor) compress(src []byte) {
@@ -36,22 +98,19 @@ func (c *compressor) compress(src []byte) {
 		c.writeFixedBlock(nil, true)
 		return
 	}
-	var pending []lz77.Token
-	var blocks [][]lz77.Token
-	lz77.Tokenize(src, lz77.LevelParams(c.level), func(t lz77.Token) {
-		pending = append(pending, t)
-		if len(pending) == blockTokens {
-			blocks = append(blocks, pending)
-			pending = nil
-		}
-	})
-	if len(pending) > 0 || len(blocks) == 0 {
-		blocks = append(blocks, pending)
-	}
-	// Track the source span each block covers, for stored-block fallback.
+	s := c.s
+	s.tokens = s.matcher.Tokens(src, lz77.LevelParams(c.level), s.tokens[:0])
+	tokens := s.tokens
+	// Emit blocks of blockTokens tokens, tracking the source span each
+	// covers for the stored-block fallback.
 	off := 0
-	for bi, blk := range blocks {
-		final := bi == len(blocks)-1
+	for start := 0; start < len(tokens) || start == 0; start += blockTokens {
+		end := start + blockTokens
+		if end > len(tokens) {
+			end = len(tokens)
+		}
+		blk := tokens[start:end]
+		final := end == len(tokens)
 		span := 0
 		for _, t := range blk {
 			if t.IsLiteral() {
@@ -62,14 +121,24 @@ func (c *compressor) compress(src []byte) {
 		}
 		c.writeBlock(blk, src[off:off+span], final)
 		off += span
+		if final {
+			break
+		}
 	}
 }
 
 // writeBlock picks the cheapest encoding (stored / fixed / dynamic) for the
 // token block, mirroring zlib's block-type decision.
 func (c *compressor) writeBlock(tokens []lz77.Token, raw []byte, final bool) {
-	litFreq := make([]uint64, numLitLenSyms)
-	distFreq := make([]uint64, numDistSyms)
+	s := c.s
+	litFreq := s.litFreq[:]
+	distFreq := s.distFreq[:]
+	for i := range litFreq {
+		litFreq[i] = 0
+	}
+	for i := range distFreq {
+		distFreq[i] = 0
+	}
 	for _, t := range tokens {
 		if t.IsLiteral() {
 			litFreq[t.Lit]++
@@ -119,7 +188,9 @@ func fixedCost(litFreq, distFreq []uint64) int {
 	return cost
 }
 
-// dynamicPlan holds everything needed to emit a dynamic block.
+// dynamicPlan holds everything needed to emit a dynamic block. Its
+// slices and code tables point into the owning scratch and are reused
+// block after block.
 type dynamicPlan struct {
 	litLen   []uint8
 	dist     []uint8
@@ -142,26 +213,31 @@ type clSym struct {
 	ebits uint8
 }
 
-// planDynamic builds the dynamic-Huffman plan and returns its exact bit
-// cost.
+// planDynamic builds the dynamic-Huffman plan in the compressor's
+// scratch and returns its exact bit cost.
 func (c *compressor) planDynamic(litFreq, distFreq []uint64) (int, *dynamicPlan) {
-	litLen, err := huffman.BuildLengths(litFreq, maxCodeBits)
-	if err != nil {
+	s := c.s
+	litLen := s.litLens[:]
+	if err := s.hscratch.BuildLengthsInto(litFreq, maxCodeBits, litLen); err != nil {
 		// litFreq always contains end-of-block, so this cannot happen.
 		panic(fmt.Sprintf("flate: literal code build: %v", err))
 	}
-	distLen, err := huffman.BuildLengths(distFreq, maxCodeBits)
+	distLen := s.distLens[:]
+	err := s.hscratch.BuildLengthsInto(distFreq, maxCodeBits, distLen)
 	if err == huffman.ErrEmptyAlphabet {
 		// No distances used. RFC 1951 still requires at least one distance
 		// code length; declare one code of length 1 (allowed: "one distance
 		// code of zero bits" is encoded as a single code).
-		distLen = make([]uint8, numDistSyms)
+		for i := range distLen {
+			distLen[i] = 0
+		}
 		distLen[0] = 1
 	} else if err != nil {
 		panic(fmt.Sprintf("flate: distance code build: %v", err))
 	}
 
-	p := &dynamicPlan{litLen: litLen, dist: distLen}
+	p := &s.plan
+	*p = dynamicPlan{litLen: litLen, dist: distLen}
 	p.hlit = numLitLenSyms
 	for p.hlit > 257 && litLen[p.hlit-1] == 0 {
 		p.hlit--
@@ -172,17 +248,21 @@ func (c *compressor) planDynamic(litFreq, distFreq []uint64) (int, *dynamicPlan)
 	}
 
 	// RLE-encode the concatenated length sequence with symbols 16/17/18.
-	seq := make([]uint8, 0, p.hlit+p.hdist)
+	seq := s.seq[:0]
 	seq = append(seq, litLen[:p.hlit]...)
 	seq = append(seq, distLen[:p.hdist]...)
-	p.clSymbols = rleCodeLengths(seq)
+	p.clSymbols = rleCodeLengths(seq, s.clSyms[:0])
+	s.clSyms = p.clSymbols[:0]
 
-	clcFreq := make([]uint64, numCLCSyms)
+	clcFreq := s.clcFreq[:]
+	for i := range clcFreq {
+		clcFreq[i] = 0
+	}
 	for _, cs := range p.clSymbols {
 		clcFreq[cs.sym]++
 	}
-	clcLengths, err := huffman.BuildLengths(clcFreq, maxCLCBits)
-	if err != nil {
+	clcLengths := s.clcLens[:]
+	if err := s.hscratch.BuildLengthsInto(clcFreq, maxCLCBits, clcLengths); err != nil {
 		panic(fmt.Sprintf("flate: clc build: %v", err))
 	}
 	p.clcLengths = clcLengths
@@ -191,18 +271,16 @@ func (c *compressor) planDynamic(litFreq, distFreq []uint64) (int, *dynamicPlan)
 		p.hclen--
 	}
 
-	p.litCode, err = huffman.CanonicalCode(litLen)
-	if err != nil {
+	if err := huffman.CanonicalInto(litLen, &s.litCode); err != nil {
 		panic(err)
 	}
-	p.distCode, err = huffman.CanonicalCode(distLen)
-	if err != nil {
+	if err := huffman.CanonicalInto(distLen, &s.distCode); err != nil {
 		panic(err)
 	}
-	p.clcCode, err = huffman.CanonicalCode(clcLengths)
-	if err != nil {
+	if err := huffman.CanonicalInto(clcLengths, &s.clcCode); err != nil {
 		panic(err)
 	}
+	p.litCode, p.distCode, p.clcCode = &s.litCode, &s.distCode, &s.clcCode
 
 	// Exact bit cost: 3 (block header) + 14 (HLIT/HDIST/HCLEN) +
 	// 3*hclen + clc-coded lengths + payload.
@@ -224,9 +302,8 @@ func (c *compressor) planDynamic(litFreq, distFreq []uint64) (int, *dynamicPlan)
 
 // rleCodeLengths encodes a code-length sequence using repeat symbols:
 // 16 = repeat previous 3–6 times, 17 = repeat zero 3–10, 18 = repeat zero
-// 11–138 (RFC 1951 §3.2.7).
-func rleCodeLengths(seq []uint8) []clSym {
-	var out []clSym
+// 11–138 (RFC 1951 §3.2.7), appending to out.
+func rleCodeLengths(seq []uint8, out []clSym) []clSym {
 	i := 0
 	for i < len(seq) {
 		v := seq[i]
@@ -299,9 +376,9 @@ func (c *compressor) writeStored(raw []byte, final bool) {
 func (c *compressor) writeFixedBlock(tokens []lz77.Token, final bool) {
 	c.w.WriteBool(final)
 	c.w.WriteBits(1, 2) // BTYPE=01
-	litCode, _ := huffman.CanonicalCode(fixedLitLenLengths)
-	distCode, _ := huffman.CanonicalCode(fixedDistLengths)
-	c.writeTokens(tokens, litCode, distCode)
+	// The fixed code tables are process-wide constants, cached in
+	// internal/huffman instead of being rebuilt per block.
+	c.writeTokens(tokens, huffman.FixedLitLenCode(), huffman.FixedDistCode())
 }
 
 func (c *compressor) writeDynamicBlock(tokens []lz77.Token, p *dynamicPlan, final bool) {

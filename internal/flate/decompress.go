@@ -3,6 +3,7 @@ package flate
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"pedal/internal/bits"
 	"pedal/internal/huffman"
@@ -27,8 +28,23 @@ func Decompress(src []byte) ([]byte, error) {
 // DecompressLimit inflates src, failing with ErrTooLarge if the output
 // would exceed limit bytes.
 func DecompressLimit(src []byte, limit int) ([]byte, error) {
-	r := bits.NewReader(src)
-	var out []byte
+	return AppendDecompress(nil, src, limit)
+}
+
+// AppendDecompress inflates src, appending the output to dst and
+// returning the extended slice. limit caps the total length of the
+// returned slice (existing dst content included). When dst is a
+// zero-length slice with capacity for the expected output the call
+// avoids growth reallocations entirely, which is how the chunked
+// pipeline decodes each chunk straight into its slot of the
+// preallocated reassembly buffer. Existing dst bytes are visible to
+// back-references, i.e. they act as a preset dictionary.
+func AppendDecompress(dst, src []byte, limit int) ([]byte, error) {
+	s := infPool.Get().(*infScratch)
+	defer infPool.Put(s)
+	s.r.Reset(src)
+	r := &s.r
+	out := dst
 	for {
 		final, err := r.ReadBool()
 		if err != nil {
@@ -45,7 +61,7 @@ func DecompressLimit(src []byte, limit int) ([]byte, error) {
 			out, err = inflateHuffman(r, out, fixedLitDecoder(), fixedDistDecoder(), limit)
 		case 2:
 			var lit, dist *huffman.Decoder
-			lit, dist, err = readDynamicHeader(r)
+			lit, dist, err = s.readDynamicHeader(r)
 			if err == nil {
 				out, err = inflateHuffman(r, out, lit, dist, limit)
 			}
@@ -61,30 +77,47 @@ func DecompressLimit(src []byte, limit int) ([]byte, error) {
 	}
 }
 
+// infScratch bundles the per-call decompression state — bit reader,
+// dynamic-table decoders and their length arrays — so the steady-state
+// inflate path allocates nothing. Pooled because chunks decode
+// concurrently on the pipeline workers.
+type infScratch struct {
+	r          bits.Reader
+	lit        huffman.Decoder
+	dist       huffman.Decoder
+	clc        huffman.Decoder
+	lengths    [numLitLenSyms + numDistSyms]uint8
+	clcLengths [numCLCSyms]uint8
+}
+
+var infPool = sync.Pool{New: func() any { return new(infScratch) }}
+
+// The fixed decoders are shared across goroutines (the pipeline decodes
+// chunks concurrently), so they are built under a sync.Once rather than
+// the racy lazy-nil pattern.
 var (
-	fixedLit  *huffman.Decoder
-	fixedDist *huffman.Decoder
+	fixedDecOnce sync.Once
+	fixedLit     *huffman.Decoder
+	fixedDist    *huffman.Decoder
 )
 
-func fixedLitDecoder() *huffman.Decoder {
-	if fixedLit == nil {
-		d, err := huffman.NewDecoder(fixedLitLenLengths)
-		if err != nil {
-			panic(err)
-		}
-		fixedLit = d
+func buildFixedDecoders() {
+	var err error
+	if fixedLit, err = huffman.NewDecoder(fixedLitLenLengths); err != nil {
+		panic(err)
 	}
+	if fixedDist, err = huffman.NewDecoder(fixedDistLengths); err != nil {
+		panic(err)
+	}
+}
+
+func fixedLitDecoder() *huffman.Decoder {
+	fixedDecOnce.Do(buildFixedDecoders)
 	return fixedLit
 }
 
 func fixedDistDecoder() *huffman.Decoder {
-	if fixedDist == nil {
-		d, err := huffman.NewDecoder(fixedDistLengths)
-		if err != nil {
-			panic(err)
-		}
-		fixedDist = d
-	}
+	fixedDecOnce.Do(buildFixedDecoders)
 	return fixedDist
 }
 
@@ -102,14 +135,19 @@ func inflateStored(r *bits.Reader, out []byte, limit int) ([]byte, error) {
 	if len(out)+n > limit {
 		return nil, ErrTooLarge
 	}
-	buf := make([]byte, n)
-	if err := r.ReadBytes(buf); err != nil {
+	start := len(out)
+	if cap(out)-start >= n {
+		out = out[:start+n]
+	} else {
+		out = append(out, make([]byte, n)...)
+	}
+	if err := r.ReadBytes(out[start:]); err != nil {
 		return nil, fmt.Errorf("%w: truncated stored data", ErrCorrupt)
 	}
-	return append(out, buf...), nil
+	return out, nil
 }
 
-func readDynamicHeader(r *bits.Reader) (lit, dist *huffman.Decoder, err error) {
+func (s *infScratch) readDynamicHeader(r *bits.Reader) (lit, dist *huffman.Decoder, err error) {
 	hlit, err := r.ReadBits(5)
 	if err != nil {
 		return nil, nil, fmt.Errorf("%w: HLIT", ErrCorrupt)
@@ -126,7 +164,10 @@ func readDynamicHeader(r *bits.Reader) (lit, dist *huffman.Decoder, err error) {
 	if nlit > numLitLenSyms || ndist > numDistSyms {
 		return nil, nil, fmt.Errorf("%w: alphabet sizes %d/%d", ErrCorrupt, nlit, ndist)
 	}
-	clcLengths := make([]uint8, numCLCSyms)
+	clcLengths := s.clcLengths[:]
+	for i := range clcLengths {
+		clcLengths[i] = 0
+	}
 	for i := 0; i < nclc; i++ {
 		v, err := r.ReadBits(3)
 		if err != nil {
@@ -134,12 +175,15 @@ func readDynamicHeader(r *bits.Reader) (lit, dist *huffman.Decoder, err error) {
 		}
 		clcLengths[clcOrder[i]] = uint8(v)
 	}
-	clcDec, err := huffman.NewDecoder(clcLengths)
-	if err != nil {
+	if err := s.clc.Reset(clcLengths); err != nil {
 		return nil, nil, fmt.Errorf("%w: CLC code: %v", ErrCorrupt, err)
 	}
+	clcDec := &s.clc
 
-	lengths := make([]uint8, nlit+ndist)
+	lengths := s.lengths[:nlit+ndist]
+	for i := range lengths {
+		lengths[i] = 0
+	}
 	for i := 0; i < len(lengths); {
 		sym, err := clcDec.Decode(r)
 		if err != nil {
@@ -188,8 +232,7 @@ func readDynamicHeader(r *bits.Reader) (lit, dist *huffman.Decoder, err error) {
 	if lengths[endOfBlock] == 0 {
 		return nil, nil, fmt.Errorf("%w: end-of-block symbol has no code", ErrCorrupt)
 	}
-	lit, err = huffman.NewDecoder(lengths[:nlit])
-	if err != nil {
+	if err := s.lit.Reset(lengths[:nlit]); err != nil {
 		return nil, nil, fmt.Errorf("%w: literal code: %v", ErrCorrupt, err)
 	}
 	distLens := lengths[nlit:]
@@ -203,13 +246,12 @@ func readDynamicHeader(r *bits.Reader) (lit, dist *huffman.Decoder, err error) {
 	if allZero {
 		// Block has no distance codes (literal-only). Any distance decode
 		// attempt must fail; use a nil decoder.
-		return lit, nil, nil
+		return &s.lit, nil, nil
 	}
-	dist, err = huffman.NewDecoder(distLens)
-	if err != nil {
+	if err := s.dist.Reset(distLens); err != nil {
 		return nil, nil, fmt.Errorf("%w: distance code: %v", ErrCorrupt, err)
 	}
-	return lit, dist, nil
+	return &s.lit, &s.dist, nil
 }
 
 func inflateHuffman(r *bits.Reader, out []byte, lit, dist *huffman.Decoder, limit int) ([]byte, error) {

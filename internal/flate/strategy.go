@@ -34,7 +34,8 @@ func CompressStrategy(src []byte, level int, strategy Strategy) []byte {
 		return Compress(src, level)
 	}
 	w := bits.NewWriter(len(src)/2 + 64)
-	c := &compressor{w: w, level: level}
+	c, release := newCompressor(w, level)
+	defer release()
 	var tokens []lz77.Token
 	switch strategy {
 	case StrategyHuffmanOnly:
@@ -42,9 +43,7 @@ func CompressStrategy(src []byte, level int, strategy Strategy) []byte {
 	case StrategyRLE:
 		tokens = rleTokens(src)
 	case StrategyFixed:
-		lz77.Tokenize(src, lz77.LevelParams(level), func(t lz77.Token) {
-			tokens = append(tokens, t)
-		})
+		tokens = c.s.matcher.Tokens(src, lz77.LevelParams(level), nil)
 		c.writeFixedBlock(tokens, true)
 		return w.Bytes()
 	default:

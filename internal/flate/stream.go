@@ -66,17 +66,15 @@ func (w *Writer) Write(p []byte) (int, error) {
 // stream.
 func (w *Writer) flushWindow(final bool) error {
 	bw := bits.NewWriter(len(w.buf)/2 + 64)
-	c := &compressor{w: bw, level: w.level}
+	c, release := newCompressor(bw, w.level)
+	defer release()
 	if len(w.buf) == 0 {
 		if final {
 			c.writeFixedBlock(nil, true)
 		}
 	} else {
-		var tokens []lz77.Token
-		lz77.Tokenize(w.buf, lz77.LevelParams(w.level), func(t lz77.Token) {
-			tokens = append(tokens, t)
-		})
-		c.writeBlock(tokens, w.buf, final)
+		c.s.tokens = c.s.matcher.Tokens(w.buf, lz77.LevelParams(w.level), c.s.tokens[:0])
+		c.writeBlock(c.s.tokens, w.buf, final)
 	}
 	if !final {
 		// Sync flush: empty non-final stored block re-aligns to a byte.

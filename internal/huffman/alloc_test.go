@@ -1,0 +1,68 @@
+package huffman
+
+import "testing"
+
+// TestFixedCodesCached: the fixed RFC 1951 tables must be built once and
+// returned by pointer — no per-call table construction on the chunked
+// hot path.
+func TestFixedCodesCached(t *testing.T) {
+	if FixedLitLenCode() != FixedLitLenCode() {
+		t.Error("FixedLitLenCode rebuilt per call")
+	}
+	if FixedDistCode() != FixedDistCode() {
+		t.Error("FixedDistCode rebuilt per call")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = FixedLitLenCode()
+		_ = FixedDistCode()
+		_ = FixedLitLenLengths()
+		_ = FixedDistLengths()
+	}); n != 0 {
+		t.Errorf("fixed-table accessors allocate %.1f per call", n)
+	}
+	// Sanity: the cached tables are the canonical fixed codes.
+	c := FixedLitLenCode()
+	if len(c.Len) != 288 || c.Len[0] != 8 || c.Len[200] != 9 || c.Len[260] != 7 || c.Len[287] != 8 {
+		t.Error("fixed lit/len lengths wrong")
+	}
+}
+
+// TestScratchBuildZeroAlloc is the allocation regression test for the
+// dynamic-table scratch path: at steady state (warmed storage) a full
+// build-lengths + canonical-code cycle must not allocate.
+func TestScratchBuildZeroAlloc(t *testing.T) {
+	freq := make([]uint64, 286)
+	for i := range freq {
+		freq[i] = uint64(i%7) + 1
+	}
+	var s Scratch
+	lengths := make([]uint8, len(freq))
+	var code Code
+	// Warm the scratch and code storage.
+	if err := s.BuildLengthsInto(freq, 15, lengths); err != nil {
+		t.Fatal(err)
+	}
+	if err := CanonicalInto(lengths, &code); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if err := s.BuildLengthsInto(freq, 15, lengths); err != nil {
+			t.Fatal(err)
+		}
+		if err := CanonicalInto(lengths, &code); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("steady-state table build allocates %.1f per run, want 0", n)
+	}
+	// The scratch output must agree with the allocating entry points.
+	ref, err := BuildLengths(freq, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if ref[i] != lengths[i] {
+			t.Fatalf("symbol %d: scratch length %d != reference %d", i, lengths[i], ref[i])
+		}
+	}
+}

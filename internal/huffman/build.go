@@ -10,9 +10,7 @@
 package huffman
 
 import (
-	"container/heap"
 	"errors"
-	"fmt"
 )
 
 // MaxSymbols is a sanity cap on alphabet size (SZ3 quantizer bins can be
@@ -48,12 +46,58 @@ func (h *nodeHeap) Less(i, j int) bool {
 	return a.symbol < b.symbol
 }
 func (h *nodeHeap) Swap(i, j int) { h.order[i], h.order[j] = h.order[j], h.order[i] }
-func (h *nodeHeap) Push(x any)    { h.order = append(h.order, x.(int)) }
-func (h *nodeHeap) Pop() any {
-	old := h.order
-	n := len(old)
-	x := old[n-1]
-	h.order = old[:n-1]
+
+// The heap operations are hand-rolled rather than delegated to
+// container/heap: its any-typed Push/Pop box every node index, which
+// would put an allocation inside the per-block hot path.
+
+func (h *nodeHeap) up(j int) {
+	for j > 0 {
+		p := (j - 1) / 2
+		if !h.Less(j, p) {
+			return
+		}
+		h.Swap(j, p)
+		j = p
+	}
+}
+
+func (h *nodeHeap) down(i int) {
+	n := len(h.order)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && h.Less(r, l) {
+			least = r
+		}
+		if !h.Less(least, i) {
+			return
+		}
+		h.Swap(i, least)
+		i = least
+	}
+}
+
+func (h *nodeHeap) init() {
+	for i := len(h.order)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *nodeHeap) push(x int) {
+	h.order = append(h.order, x)
+	h.up(len(h.order) - 1)
+}
+
+func (h *nodeHeap) pop() int {
+	x := h.order[0]
+	last := len(h.order) - 1
+	h.order[0] = h.order[last]
+	h.order = h.order[:last]
+	h.down(0)
 	return x
 }
 
@@ -62,74 +106,10 @@ func (h *nodeHeap) Pop() any {
 // If only one symbol has nonzero frequency it is assigned length 1, as
 // DEFLATE requires at least one bit per coded symbol.
 func BuildLengths(freq []uint64, maxBits int) ([]uint8, error) {
-	if len(freq) == 0 || len(freq) > MaxSymbols {
-		return nil, fmt.Errorf("huffman: bad alphabet size %d", len(freq))
-	}
-	if maxBits < 1 || maxBits > 32 {
-		return nil, fmt.Errorf("huffman: bad length limit %d", maxBits)
-	}
-
 	lengths := make([]uint8, len(freq))
-	nonzero := 0
-	last := -1
-	for s, f := range freq {
-		if f > 0 {
-			nonzero++
-			last = s
-		}
-	}
-	switch nonzero {
-	case 0:
-		return nil, ErrEmptyAlphabet
-	case 1:
-		lengths[last] = 1
-		return lengths, nil
-	}
-
-	h := &nodeHeap{}
-	h.nodes = make([]node, 0, 2*nonzero)
-	for s, f := range freq {
-		if f > 0 {
-			h.nodes = append(h.nodes, node{weight: f, symbol: s, left: -1, right: -1})
-			h.order = append(h.order, len(h.nodes)-1)
-		}
-	}
-	heap.Init(h)
-	for h.Len() > 1 {
-		a := heap.Pop(h).(int)
-		b := heap.Pop(h).(int)
-		d := h.nodes[a].depth
-		if h.nodes[b].depth > d {
-			d = h.nodes[b].depth
-		}
-		h.nodes = append(h.nodes, node{
-			weight: h.nodes[a].weight + h.nodes[b].weight,
-			symbol: -1, left: a, right: b, depth: d + 1,
-		})
-		heap.Push(h, len(h.nodes)-1)
-	}
-	root := h.order[0]
-
-	// Walk the tree iteratively, assigning depths to leaves.
-	type item struct{ idx, depth int }
-	stack := []item{{root, 0}}
-	for len(stack) > 0 {
-		it := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		n := h.nodes[it.idx]
-		if n.symbol >= 0 {
-			d := it.depth
-			if d == 0 {
-				d = 1 // single-symbol case already handled, defensive
-			}
-			lengths[n.symbol] = uint8(d)
-			continue
-		}
-		stack = append(stack, item{n.left, it.depth + 1}, item{n.right, it.depth + 1})
-	}
-
-	if maxLen(lengths) > uint8(maxBits) {
-		limitLengths(lengths, maxBits)
+	var s Scratch
+	if err := s.BuildLengthsInto(freq, maxBits, lengths); err != nil {
+		return nil, err
 	}
 	return lengths, nil
 }
@@ -197,37 +177,9 @@ type Code struct {
 // CanonicalCode assigns canonical codes (numerically increasing within a
 // length, shorter lengths first; RFC 1951 §3.2.2) for the given lengths.
 func CanonicalCode(lengths []uint8) (*Code, error) {
-	maxBits := int(maxLen(lengths))
-	if maxBits == 0 {
-		return nil, ErrEmptyAlphabet
-	}
-	blCount := make([]int, maxBits+1)
-	for _, l := range lengths {
-		if l > 0 {
-			blCount[l]++
-		}
-	}
-	// Validate the Kraft inequality before assigning codes.
-	var kraft uint64
-	for b := 1; b <= maxBits; b++ {
-		kraft += uint64(blCount[b]) << uint(maxBits-b)
-	}
-	if kraft > 1<<uint(maxBits) {
-		return nil, fmt.Errorf("huffman: oversubscribed code lengths (kraft %d > %d)", kraft, uint64(1)<<uint(maxBits))
-	}
-	nextCode := make([]uint32, maxBits+2)
-	var code uint32
-	for b := 1; b <= maxBits; b++ {
-		code = (code + uint32(blCount[b-1])) << 1
-		nextCode[b] = code
-	}
-	c := &Code{Bits: make([]uint32, len(lengths)), Len: append([]uint8(nil), lengths...)}
-	for s, l := range lengths {
-		if l == 0 {
-			continue
-		}
-		c.Bits[s] = nextCode[l]
-		nextCode[l]++
+	c := &Code{}
+	if err := CanonicalInto(lengths, c); err != nil {
+		return nil, err
 	}
 	return c, nil
 }

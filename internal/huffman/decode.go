@@ -38,27 +38,47 @@ type Decoder struct {
 	primary   []decodeEntry
 	secondary [][]decodeEntry
 	codes     []revCode
-	maxBits   uint8
+	// code is the scratch canonical-code storage reused across Resets.
+	code    Code
+	maxBits uint8
 	// minBits is the shortest code length, used for the slow path bound.
 	minBits uint8
 }
 
 // NewDecoder builds a decoder for the canonical code defined by lengths.
 func NewDecoder(lengths []uint8) (*Decoder, error) {
-	code, err := CanonicalCode(lengths)
-	if err != nil {
+	d := &Decoder{}
+	if err := d.Reset(lengths); err != nil {
 		return nil, err
 	}
-	d := &Decoder{maxBits: maxLen(lengths), minBits: 255}
+	return d, nil
+}
+
+// Reset rebuilds the decoder for a new canonical code, reusing the
+// primary/secondary tables and slow-path storage from earlier builds so
+// that per-block dynamic-table decoding allocates nothing at steady
+// state (the chunked decompression hot path pools Decoders).
+func (d *Decoder) Reset(lengths []uint8) error {
+	if err := CanonicalInto(lengths, &d.code); err != nil {
+		return err
+	}
+	d.maxBits = maxLen(lengths)
+	d.minBits = 255
 	for _, l := range lengths {
 		if l > 0 && l < d.minBits {
 			d.minBits = l
 		}
 	}
-	d.primary = make([]decodeEntry, 1<<primaryBits)
-	for i := range d.primary {
-		d.primary[i].symbol = -1
+	if cap(d.primary) >= 1<<primaryBits {
+		d.primary = d.primary[:1<<primaryBits]
+	} else {
+		d.primary = make([]decodeEntry, 1<<primaryBits)
 	}
+	for i := range d.primary {
+		d.primary[i] = decodeEntry{symbol: -1}
+	}
+	d.codes = d.codes[:0]
+	d.secondary = d.secondary[:0]
 
 	for s, l := range lengths {
 		if l == 0 {
@@ -66,7 +86,7 @@ func NewDecoder(lengths []uint8) (*Decoder, error) {
 		}
 		// DEFLATE streams store the code MSB-first; we read LSB-first, so
 		// the lookup index is the bit-reversed code.
-		rev := bits.Reverse(code.Bits[s], uint(l))
+		rev := bits.Reverse(d.code.Bits[s], uint(l))
 		d.codes = append(d.codes, revCode{rev: rev, len: l})
 		if l <= primaryBits {
 			// Fill every primary slot whose low l bits equal rev.
@@ -81,12 +101,7 @@ func NewDecoder(lengths []uint8) (*Decoder, error) {
 		pe := &d.primary[prefix]
 		need := uint8(d.maxBits) - primaryBits
 		if pe.sub == 0 && pe.subBits == 0 {
-			d.secondary = append(d.secondary, make([]decodeEntry, 1<<need))
-			sub := d.secondary[len(d.secondary)-1]
-			for i := range sub {
-				sub[i].symbol = -1
-			}
-			*pe = decodeEntry{symbol: -1, subBits: need, sub: int32(len(d.secondary) - 1), len: 0}
+			*pe = decodeEntry{symbol: -1, subBits: need, sub: d.grabSecondary(need), len: 0}
 		}
 		sub := d.secondary[pe.sub]
 		hi := rev >> primaryBits
@@ -95,7 +110,32 @@ func NewDecoder(lengths []uint8) (*Decoder, error) {
 			sub[idx] = decodeEntry{symbol: int32(s), len: l}
 		}
 	}
-	return d, nil
+	return nil
+}
+
+// grabSecondary returns the index of a cleared secondary table of
+// 1<<need entries, reusing storage retained from previous Resets.
+func (d *Decoder) grabSecondary(need uint8) int32 {
+	idx := len(d.secondary)
+	var sub []decodeEntry
+	if cap(d.secondary) > idx {
+		d.secondary = d.secondary[:idx+1]
+		sub = d.secondary[idx]
+	}
+	if cap(sub) >= 1<<need {
+		sub = sub[:1<<need]
+	} else {
+		sub = make([]decodeEntry, 1<<need)
+	}
+	if idx == len(d.secondary) {
+		d.secondary = append(d.secondary, sub)
+	} else {
+		d.secondary[idx] = sub
+	}
+	for i := range sub {
+		sub[i] = decodeEntry{symbol: -1}
+	}
+	return int32(idx)
 }
 
 // Decode reads one symbol from r.

@@ -1,0 +1,74 @@
+package huffman
+
+import "sync"
+
+// DEFLATE's fixed Huffman codes (RFC 1951 §3.2.6) never change, yet the
+// compressor used to rebuild them for every fixed block — a measurable
+// allocation cost on the chunked hot path. They are built exactly once
+// here and shared; Code tables are read-only after construction so the
+// cached pointers are safe for concurrent use.
+
+var (
+	fixedOnce    sync.Once
+	fixedLitLen  *Code
+	fixedDist    *Code
+	fixedLitLens []uint8
+	fixedDistLns []uint8
+)
+
+func buildFixed() {
+	fixedLitLens = make([]uint8, 288)
+	for i := range fixedLitLens {
+		switch {
+		case i < 144:
+			fixedLitLens[i] = 8
+		case i < 256:
+			fixedLitLens[i] = 9
+		case i < 280:
+			fixedLitLens[i] = 7
+		default:
+			fixedLitLens[i] = 8
+		}
+	}
+	fixedDistLns = make([]uint8, 30)
+	for i := range fixedDistLns {
+		fixedDistLns[i] = 5
+	}
+	var err error
+	fixedLitLen, err = CanonicalCode(fixedLitLens)
+	if err != nil {
+		panic(err)
+	}
+	fixedDist, err = CanonicalCode(fixedDistLns)
+	if err != nil {
+		panic(err)
+	}
+}
+
+// FixedLitLenCode returns the cached fixed literal/length code table
+// (288 symbols). Callers must treat it as read-only.
+func FixedLitLenCode() *Code {
+	fixedOnce.Do(buildFixed)
+	return fixedLitLen
+}
+
+// FixedDistCode returns the cached fixed distance code table (30
+// symbols, 5 bits each). Callers must treat it as read-only.
+func FixedDistCode() *Code {
+	fixedOnce.Do(buildFixed)
+	return fixedDist
+}
+
+// FixedLitLenLengths returns the fixed literal/length code lengths.
+// Callers must treat the slice as read-only.
+func FixedLitLenLengths() []uint8 {
+	fixedOnce.Do(buildFixed)
+	return fixedLitLens
+}
+
+// FixedDistLengths returns the fixed distance code lengths. Callers must
+// treat the slice as read-only.
+func FixedDistLengths() []uint8 {
+	fixedOnce.Do(buildFixed)
+	return fixedDistLns
+}

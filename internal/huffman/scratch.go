@@ -1,0 +1,157 @@
+package huffman
+
+import (
+	"fmt"
+)
+
+// Scratch holds reusable state for code construction so that repeated
+// dynamic-table builds (one per DEFLATE block on the chunked hot path)
+// allocate nothing at steady state. A Scratch is not safe for concurrent
+// use; pool instances with sync.Pool.
+type Scratch struct {
+	heap  nodeHeap
+	stack []treeItem
+}
+
+type treeItem struct{ idx, depth int }
+
+// BuildLengthsInto is BuildLengths writing into a caller-provided
+// lengths slice (len(lengths) must equal len(freq)), reusing the
+// scratch's heap and traversal storage.
+func (s *Scratch) BuildLengthsInto(freq []uint64, maxBits int, lengths []uint8) error {
+	if len(freq) == 0 || len(freq) > MaxSymbols {
+		return fmt.Errorf("huffman: bad alphabet size %d", len(freq))
+	}
+	if len(lengths) != len(freq) {
+		return fmt.Errorf("huffman: lengths size %d != alphabet %d", len(lengths), len(freq))
+	}
+	if maxBits < 1 || maxBits > 32 {
+		return fmt.Errorf("huffman: bad length limit %d", maxBits)
+	}
+	for i := range lengths {
+		lengths[i] = 0
+	}
+	nonzero := 0
+	last := -1
+	for sym, f := range freq {
+		if f > 0 {
+			nonzero++
+			last = sym
+		}
+	}
+	switch nonzero {
+	case 0:
+		return ErrEmptyAlphabet
+	case 1:
+		lengths[last] = 1
+		return nil
+	}
+
+	h := &s.heap
+	h.nodes = h.nodes[:0]
+	h.order = h.order[:0]
+	for sym, f := range freq {
+		if f > 0 {
+			h.nodes = append(h.nodes, node{weight: f, symbol: sym, left: -1, right: -1})
+			h.order = append(h.order, len(h.nodes)-1)
+		}
+	}
+	h.init()
+	for h.Len() > 1 {
+		a := h.pop()
+		b := h.pop()
+		d := h.nodes[a].depth
+		if h.nodes[b].depth > d {
+			d = h.nodes[b].depth
+		}
+		h.nodes = append(h.nodes, node{
+			weight: h.nodes[a].weight + h.nodes[b].weight,
+			symbol: -1, left: a, right: b, depth: d + 1,
+		})
+		h.push(len(h.nodes) - 1)
+	}
+	root := h.order[0]
+
+	// Walk the tree iteratively, assigning depths to leaves.
+	stack := append(s.stack[:0], treeItem{root, 0})
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := h.nodes[it.idx]
+		if n.symbol >= 0 {
+			d := it.depth
+			if d == 0 {
+				d = 1 // single-symbol case already handled, defensive
+			}
+			lengths[n.symbol] = uint8(d)
+			continue
+		}
+		stack = append(stack, treeItem{n.left, it.depth + 1}, treeItem{n.right, it.depth + 1})
+	}
+	s.stack = stack[:0]
+
+	if maxLen(lengths) > uint8(maxBits) {
+		limitLengths(lengths, maxBits)
+	}
+	return nil
+}
+
+// CanonicalInto assigns canonical codes into a caller-provided Code,
+// reusing its Bits and Len storage. The allocation-free counterpart of
+// CanonicalCode.
+func CanonicalInto(lengths []uint8, c *Code) error {
+	maxBits := int(maxLen(lengths))
+	if maxBits == 0 {
+		return ErrEmptyAlphabet
+	}
+	if maxBits > 32 {
+		return fmt.Errorf("huffman: code length %d exceeds 32", maxBits)
+	}
+	var blCount [33]int
+	for _, l := range lengths {
+		if l > 0 {
+			blCount[l]++
+		}
+	}
+	// Validate the Kraft inequality before assigning codes.
+	var kraft uint64
+	for b := 1; b <= maxBits; b++ {
+		kraft += uint64(blCount[b]) << uint(maxBits-b)
+	}
+	if kraft > 1<<uint(maxBits) {
+		return fmt.Errorf("huffman: oversubscribed code lengths (kraft %d > %d)", kraft, uint64(1)<<uint(maxBits))
+	}
+	var nextCode [34]uint32
+	var code uint32
+	for b := 1; b <= maxBits; b++ {
+		code = (code + uint32(blCount[b-1])) << 1
+		nextCode[b] = code
+	}
+	c.Bits = growU32(c.Bits, len(lengths))
+	c.Len = growU8(c.Len, len(lengths))
+	copy(c.Len, lengths)
+	for s, l := range lengths {
+		if l == 0 {
+			c.Bits[s] = 0
+			continue
+		}
+		c.Bits[s] = nextCode[l]
+		nextCode[l]++
+	}
+	return nil
+}
+
+// growU32 returns a slice of length n, reusing b's storage when it fits.
+func growU32(b []uint32, n int) []uint32 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]uint32, n)
+}
+
+func growU8(b []uint8, n int) []uint8 {
+	if cap(b) >= n {
+		return b[:n]
+	}
+	return make([]uint8, n)
+}

@@ -49,7 +49,14 @@ func load32(p []byte, i int) uint32 {
 // compressed bytes. Incompressible input grows by at most
 // CompressBlockBound(len(src)) - len(src) bytes.
 func CompressBlock(src []byte) []byte {
-	dst := make([]byte, 0, CompressBlockBound(len(src)))
+	return AppendCompressBlock(make([]byte, 0, CompressBlockBound(len(src))), src)
+}
+
+// AppendCompressBlock compresses src into the LZ4 block format,
+// appending to dst. With cap(dst)-len(dst) ≥ CompressBlockBound(len(src))
+// the call performs no heap allocation (the hash table is a fixed-size
+// stack array).
+func AppendCompressBlock(dst, src []byte) []byte {
 	n := len(src)
 	if n == 0 {
 		return dst

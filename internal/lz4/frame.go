@@ -33,7 +33,25 @@ const (
 // Compress produces a complete LZ4 frame: magic, frame descriptor with
 // content size and content checksum, 4 MB blocks, end mark, checksum.
 func Compress(src []byte) []byte {
-	out := make([]byte, 0, CompressBlockBound(len(src))+32)
+	return AppendCompress(make([]byte, 0, CompressBlockBound(len(src))+32), src)
+}
+
+// CompressBound returns a dst capacity that guarantees AppendCompress
+// will not reallocate: frame header (15) + per-block size words and
+// worst-case block expansion + end mark and content checksum. The
+// compressed attempt for a block that ends up stored transiently needs
+// the full CompressBlockBound, so that is what is budgeted.
+func CompressBound(n int) int {
+	blocks := n/blockMax + 1
+	return n + n/255 + 20*blocks + 32
+}
+
+// AppendCompress is Compress appending to dst. With
+// cap(dst)-len(dst) ≥ CompressBound(len(src)) the call performs no heap
+// allocation: each block is compressed directly into dst after a size
+// placeholder, and rewound to a stored block if compression expanded it.
+func AppendCompress(dst, src []byte) []byte {
+	out := dst
 	out = appendLE32(out, frameMagic)
 
 	flg := byte(flgVersion | flgContentChecksum | flgContentSize)
@@ -57,13 +75,18 @@ func Compress(src []byte) []byte {
 		if len(chunk) == 0 {
 			break
 		}
-		comp := CompressBlock(chunk)
-		if len(comp) >= len(chunk) {
+		// Compress in place after a 4-byte size placeholder; rewind to a
+		// stored block if the result did not shrink.
+		sizePos := len(out)
+		out = appendLE32(out, 0)
+		out = AppendCompressBlock(out, chunk)
+		compLen := len(out) - sizePos - 4
+		if compLen >= len(chunk) {
+			out = out[:sizePos]
 			out = appendLE32(out, uint32(len(chunk))|uncompressedBit)
 			out = append(out, chunk...)
 		} else {
-			out = appendLE32(out, uint32(len(comp)))
-			out = append(out, comp...)
+			writeLE32(out[sizePos:], uint32(compLen))
 		}
 	}
 	out = appendLE32(out, 0) // EndMark
@@ -177,6 +200,10 @@ func DecompressLimit(src []byte, limit int) ([]byte, error) {
 
 func appendLE32(dst []byte, v uint32) []byte {
 	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func writeLE32(p []byte, v uint32) {
+	p[0], p[1], p[2], p[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
 }
 
 func readLE32(p []byte) uint32 {

@@ -77,70 +77,100 @@ func hash4(p []byte, i int) uint32 {
 
 // Tokenize scans src and emits LZ77 tokens via emit. The emit function is
 // called in stream order. Params control effort; use LevelParams.
+//
+// Tokenize allocates its hash tables per call; repeated callers on a hot
+// path should hold a Matcher and use Matcher.Tokens, which reuses them.
 func Tokenize(src []byte, p Params, emit func(Token)) {
-	n := len(src)
-	if n == 0 {
+	var m Matcher
+	for _, t := range m.Tokens(src, p, nil) {
+		emit(t)
+	}
+}
+
+// Matcher is a reusable match finder: the 32K-entry hash head table and
+// the per-position chain links persist across calls, so steady-state
+// tokenisation of same-sized inputs allocates nothing. A Matcher is not
+// safe for concurrent use; pool instances with sync.Pool.
+type Matcher struct {
+	head [hashSize]int32
+	prev []int32
+	src  []byte
+	p    Params
+}
+
+func (m *Matcher) insert(i int) {
+	if i+4 > len(m.src) {
 		return
 	}
-	head := make([]int32, hashSize)
-	for i := range head {
-		head[i] = -1
-	}
-	prev := make([]int32, n)
+	h := hash4(m.src, i)
+	m.prev[i] = m.head[h]
+	m.head[h] = int32(i)
+}
 
-	insert := func(i int) {
-		if i+4 > n {
-			return
-		}
-		h := hash4(src, i)
-		prev[i] = head[h]
-		head[h] = int32(i)
+// findMatch returns the best match length and distance at position i,
+// probing at most chain candidates.
+func (m *Matcher) findMatch(i, prevLen int) (bestLen, bestDist int) {
+	src, n := m.src, len(m.src)
+	if i+4 > n {
+		return 0, 0
 	}
-
-	// findMatch returns the best match length and distance at position i,
-	// probing at most chain candidates.
-	findMatch := func(i, prevLen int) (bestLen, bestDist int) {
-		if i+4 > n {
-			return 0, 0
-		}
-		limit := i - WindowSize
-		if limit < 0 {
-			limit = 0
-		}
-		chain := p.ChainLen
-		if prevLen >= p.GoodLen {
-			chain >>= 2
-		}
-		maxLen := n - i
-		if maxLen > MaxMatch {
-			maxLen = MaxMatch
-		}
-		if maxLen < MinMatch {
-			return 0, 0
-		}
-		bestLen = MinMatch - 1
-		cand := head[hash4(src, i)]
-		for chain > 0 && cand >= int32(limit) {
-			c := int(cand)
-			// Quick reject: check the byte that would extend the best match.
-			if src[c+bestLen] == src[i+bestLen] && src[c] == src[i] {
-				l := matchLen(src, c, i, maxLen)
-				if l > bestLen {
-					bestLen = l
-					bestDist = i - c
-					if l >= p.NiceLen || l == maxLen {
-						break
-					}
+	limit := i - WindowSize
+	if limit < 0 {
+		limit = 0
+	}
+	chain := m.p.ChainLen
+	if prevLen >= m.p.GoodLen {
+		chain >>= 2
+	}
+	maxLen := n - i
+	if maxLen > MaxMatch {
+		maxLen = MaxMatch
+	}
+	if maxLen < MinMatch {
+		return 0, 0
+	}
+	bestLen = MinMatch - 1
+	cand := m.head[hash4(src, i)]
+	for chain > 0 && cand >= int32(limit) {
+		c := int(cand)
+		// Quick reject: check the byte that would extend the best match.
+		if src[c+bestLen] == src[i+bestLen] && src[c] == src[i] {
+			l := matchLen(src, c, i, maxLen)
+			if l > bestLen {
+				bestLen = l
+				bestDist = i - c
+				if l >= m.p.NiceLen || l == maxLen {
+					break
 				}
 			}
-			cand = prev[c]
-			chain--
 		}
-		if bestLen < MinMatch {
-			return 0, 0
-		}
-		return bestLen, bestDist
+		cand = m.prev[c]
+		chain--
 	}
+	if bestLen < MinMatch {
+		return 0, 0
+	}
+	return bestLen, bestDist
+}
+
+// Tokens scans src and appends its LZ77 token stream to dst, returning
+// the extended slice. Passing a dst with sufficient capacity makes the
+// call allocation-free.
+func (m *Matcher) Tokens(src []byte, p Params, dst []Token) []Token {
+	n := len(src)
+	if n == 0 {
+		return dst
+	}
+	for i := range m.head {
+		m.head[i] = -1
+	}
+	if cap(m.prev) < n {
+		m.prev = make([]int32, n)
+	} else {
+		m.prev = m.prev[:n]
+	}
+	m.src, m.p = src, p
+	defer func() { m.src = nil }()
 
 	i := 0
 	// Lazy matching state: a pending match from the previous position.
@@ -150,32 +180,32 @@ func Tokenize(src []byte, p Params, emit func(Token)) {
 		curLen, curDist := 0, 0
 		if i+MinMatch <= n {
 			prevL := pendLen
-			curLen, curDist = findMatch(i, prevL)
+			curLen, curDist = m.findMatch(i, prevL)
 		}
 		if pendPos >= 0 {
 			// Decide between pending match at i-1 and current match at i.
 			if curLen > pendLen {
 				// Current wins: emit literal for i-1, keep evaluating.
-				emit(Token{Lit: src[pendPos]})
-				insert(pendPos)
+				dst = append(dst, Token{Lit: src[pendPos]})
+				m.insert(pendPos)
 				pendLen, pendDist, pendPos = curLen, curDist, i
 				i++
 				continue
 			}
 			// Pending wins: emit it; skip its span.
-			emit(Token{Len: uint16(pendLen), Dist: uint16(pendDist)})
+			dst = append(dst, Token{Len: uint16(pendLen), Dist: uint16(pendDist)})
 			end := pendPos + pendLen
-			insert(pendPos)
+			m.insert(pendPos)
 			for j := i; j < end && j < n; j++ {
-				insert(j)
+				m.insert(j)
 			}
 			i = end
 			pendLen, pendDist, pendPos = 0, 0, -1
 			continue
 		}
 		if curLen == 0 {
-			emit(Token{Lit: src[i]})
-			insert(i)
+			dst = append(dst, Token{Lit: src[i]})
+			m.insert(i)
 			i++
 			continue
 		}
@@ -186,16 +216,17 @@ func Tokenize(src []byte, p Params, emit func(Token)) {
 			continue
 		}
 		// Take the match immediately.
-		emit(Token{Len: uint16(curLen), Dist: uint16(curDist)})
+		dst = append(dst, Token{Len: uint16(curLen), Dist: uint16(curDist)})
 		end := i + curLen
 		for j := i; j < end && j < n; j++ {
-			insert(j)
+			m.insert(j)
 		}
 		i = end
 	}
 	if pendPos >= 0 {
-		emit(Token{Len: uint16(pendLen), Dist: uint16(pendDist)})
+		dst = append(dst, Token{Len: uint16(pendLen), Dist: uint16(pendDist)})
 	}
+	return dst
 }
 
 // matchLen counts how many bytes match between src[a:] and src[b:], up to

@@ -10,6 +10,7 @@
 package mempool
 
 import (
+	"math/bits"
 	"sync"
 )
 
@@ -37,13 +38,13 @@ func New() *Pool {
 }
 
 // sizeClass returns the bucket exponent for n bytes: the smallest k with
-// 1<<k >= n.
+// 1<<k >= n. Computed in O(1) from the bit length of n-1 (for n ≤ 1 the
+// class is 0), instead of the shift loop this used to be.
 func sizeClass(n int) uint {
-	k := uint(0)
-	for 1<<k < n {
-		k++
+	if n <= 1 {
+		return 0
 	}
-	return k
+	return uint(bits.Len(uint(n - 1)))
 }
 
 // Get returns a buffer with length n. The buffer may contain stale data.
@@ -63,6 +64,17 @@ func (p *Pool) Get(n int) []byte {
 	p.misses++
 	p.mu.Unlock()
 	return make([]byte, n, 1<<k)
+}
+
+// GetCap returns a zero-length buffer with capacity at least n, for
+// append-style producers (compressors whose output size is not known in
+// advance). As long as the final length stays within the size-class
+// capacity, appends never reallocate; Put accepts the grown slice back.
+func (p *Pool) GetCap(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	return p.Get(n)[:0]
 }
 
 // Put returns a buffer to the pool. The caller must not use buf after

@@ -61,6 +61,13 @@ type CompressionConfig struct {
 	// MinSize overrides the size above which messages are compressed;
 	// zero means the rendezvous threshold.
 	MinSize int
+	// Pipelined streams Rendezvous messages as chunked frames: chunk
+	// compression fans across the SoC workers and the C-Engine, each
+	// compressed chunk departs the moment it completes, and the receiver
+	// decompresses chunks while later ones are still in flight
+	// (internal/pipeline). Messages below the rendezvous threshold use
+	// the ordinary path.
+	Pipelined bool
 }
 
 // WorldOptions configures a world of ranks.

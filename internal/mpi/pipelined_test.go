@@ -1,0 +1,218 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+	"pedal/internal/transport"
+)
+
+// pipelinedPayload is compressible text sized for the rendezvous path.
+func pipelinedPayload(n int) []byte {
+	unit := []byte("<msg seq=\"9\">streamed chunk frame overlap test payload</msg>\n")
+	out := make([]byte, n)
+	for i := 0; i < n; i += len(unit) {
+		copy(out[i:], unit)
+	}
+	return out
+}
+
+func pipelinedWorld(gen hwmodel.Generation, d core.Design) WorldOptions {
+	return WorldOptions{
+		Generation:  gen,
+		Compression: &CompressionConfig{Design: d, Pipelined: true},
+	}
+}
+
+// TestPipelinedRoundTrip ping-pongs a large message through the streamed
+// chunk-frame rendezvous for representative designs on both generations.
+func TestPipelinedRoundTrip(t *testing.T) {
+	designs := []core.Design{
+		{Algo: core.AlgoDeflate, Engine: hwmodel.SoC},
+		{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine},
+		{Algo: core.AlgoLZ4, Engine: hwmodel.SoC},
+		{Algo: core.AlgoZlib, Engine: hwmodel.SoC},
+		core.DesignHybrid(),
+	}
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		for _, d := range designs {
+			t.Run(fmt.Sprintf("%v/%v", gen, d), func(t *testing.T) {
+				comms, err := NewWorld(2, pipelinedWorld(gen, d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer closeWorld(comms)
+				payload := pipelinedPayload(2<<20 + 4321)
+				run(t, comms, func(c *Comm) error {
+					if c.Rank() == 0 {
+						if err := c.Send(1, 7, payload); err != nil {
+							return err
+						}
+						got, err := c.Recv(1, 8, len(payload)+64)
+						if err != nil {
+							return err
+						}
+						if !bytes.Equal(got, payload) {
+							return fmt.Errorf("reply mismatch: %d bytes", len(got))
+						}
+					} else {
+						got, err := c.Recv(0, 7, len(payload)+64)
+						if err != nil {
+							return err
+						}
+						if !bytes.Equal(got, payload) {
+							return fmt.Errorf("request mismatch: %d bytes", len(got))
+						}
+						if err := c.Send(0, 8, got); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+			})
+		}
+	}
+}
+
+// TestPipelinedSmallStaysEager: below the rendezvous threshold the
+// pipelined flag must not change the ordinary eager/serial path.
+func TestPipelinedSmallStaysEager(t *testing.T) {
+	d := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+	comms, err := NewWorld(2, pipelinedWorld(hwmodel.BlueField2, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	payload := pipelinedPayload(4 << 10)
+	run(t, comms, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, payload)
+		}
+		got, err := c.Recv(0, 0, len(payload)+64)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, payload) {
+			return fmt.Errorf("eager payload mismatch")
+		}
+		return nil
+	})
+}
+
+// TestPipelinedBeatsSerialLatency is the acceptance headline: for a
+// ≥1 MiB message the pipelined one-way latency must be strictly below
+// the serial compress-then-send latency on BOTH generations.
+func TestPipelinedBeatsSerialLatency(t *testing.T) {
+	d := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+	payload := pipelinedPayload(2 << 20)
+	oneWay := func(gen hwmodel.Generation, pipelined bool) time.Duration {
+		opts := WorldOptions{
+			Generation:  gen,
+			Compression: &CompressionConfig{Design: d, Pipelined: pipelined},
+		}
+		comms, err := NewWorld(2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer closeWorld(comms)
+		run(t, comms, func(c *Comm) error {
+			if c.Rank() == 0 {
+				return c.Send(1, 0, payload)
+			}
+			got, err := c.Recv(0, 0, len(payload)+64)
+			if err == nil && !bytes.Equal(got, payload) {
+				return fmt.Errorf("payload mismatch")
+			}
+			return err
+		})
+		return comms[1].Clock().Now()
+	}
+	for _, gen := range []hwmodel.Generation{hwmodel.BlueField2, hwmodel.BlueField3} {
+		serial := oneWay(gen, false)
+		piped := oneWay(gen, true)
+		if piped >= serial {
+			t.Errorf("%v: pipelined latency %v not below serial %v", gen, piped, serial)
+		} else {
+			t.Logf("%v: serial %v, pipelined %v (%.2fx)", gen, serial, piped, float64(serial)/float64(piped))
+		}
+	}
+}
+
+// TestPipelinedUnderNetFaults streams chunk frames across a faulty
+// fabric healed by the reliability sublayer: every fault class plus the
+// mixed storm must deliver bit-exact payloads.
+func TestPipelinedUnderNetFaults(t *testing.T) {
+	d := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+	for _, sc := range lossyScenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			cfg := sc.cfg
+			comms, err := NewWorld(2, WorldOptions{
+				NetFaults:           &cfg,
+				Compression:         &CompressionConfig{Design: d, Pipelined: true},
+				RendezvousThreshold: 64 << 10,
+				RelOptions: transport.ReliableOptions{
+					RTO:    time.Millisecond,
+					MaxRTO: 10 * time.Millisecond,
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer closeWorld(comms)
+			run(t, comms, func(c *Comm) error {
+				for round := 0; round < 4; round++ {
+					payload := pipelinedPayload(512<<10 + round*8192)
+					if c.Rank() == 0 {
+						if err := c.Send(1, round, payload); err != nil {
+							return err
+						}
+						got, err := c.Recv(1, round, len(payload)+64)
+						if err != nil {
+							return err
+						}
+						if !bytes.Equal(got, payload) {
+							return fmt.Errorf("round %d: reply corrupted", round)
+						}
+					} else {
+						got, err := c.Recv(0, round, len(payload)+64)
+						if err != nil {
+							return err
+						}
+						if !bytes.Equal(got, payload) {
+							return fmt.Errorf("round %d: request corrupted", round)
+						}
+						if err := c.Send(0, round, got); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+		})
+	}
+}
+
+// TestPipelinedTruncation: a pipelined RTS announcing more data than the
+// receive buffer must fail cleanly with ErrTruncate.
+func TestPipelinedTruncation(t *testing.T) {
+	d := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+	comms, err := NewWorld(2, pipelinedWorld(hwmodel.BlueField2, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWorld(comms)
+	payload := pipelinedPayload(1 << 20)
+	errc := make(chan error, 1)
+	go func() { errc <- comms[0].Send(1, 0, payload) }()
+	_, err = comms[1].Recv(0, 0, 1024)
+	if err == nil {
+		t.Fatal("truncated pipelined receive succeeded")
+	}
+	// Unblock the sender: close tears the world down.
+	closeWorld(comms)
+	<-errc
+}

@@ -16,6 +16,11 @@ const (
 	kindRTS
 	kindCTS
 	kindData
+	// kindChunk carries one compressed chunk of a pipelined rendezvous
+	// stream (see pipelined.go). An RTS with a non-empty payload (the
+	// pipeline descriptor) announces the stream; chunks are matched by
+	// (src, seq) like DATA frames.
+	kindChunk
 )
 
 // envHeaderLen is the fixed envelope prefix:
@@ -163,6 +168,11 @@ func (c *Comm) SendTyped(dst, tag int, dt core.DataType, data []byte) error {
 	// PEDAL hook, sender side: between the shim and transport layers
 	// (Fig. 6). Only Rendezvous-class messages are compressed.
 	if cc := c.compressionFor(origLen); cc != nil {
+		if cc.Pipelined && origLen >= c.opts.RendezvousThreshold {
+			// Streamed-frame rendezvous: chunks go on the wire as they
+			// compress instead of after one monolithic compression.
+			return c.sendPipelined(dst, tag, dt, cc, data)
+		}
 		msg, rep, err := c.pedal.Compress(cc.Design, dt, data)
 		if err != nil {
 			return fmt.Errorf("mpi: pedal compress: %w", err)
@@ -220,7 +230,15 @@ func (c *Comm) RecvTyped(src, tag int, dt core.DataType, maxLen int) ([]byte, er
 		payload = env.payload
 		origLen = env.origLen
 	case kindRTS:
-		c.clock.AdvanceTo(durationOf(env.departure) + c.wire(envHeaderLen))
+		c.clock.AdvanceTo(durationOf(env.departure) + c.wire(envHeaderLen+len(env.payload)))
+		if len(env.payload) > 0 {
+			// An RTS carrying a payload is a pipelined stream descriptor:
+			// reassemble and decompress chunk frames as they land.
+			if maxLen > 0 && env.origLen > maxLen {
+				return nil, fmt.Errorf("%w: %d > %d", ErrTruncate, env.origLen, maxLen)
+			}
+			return c.recvPipelined(env, dt, maxLen)
+		}
 		// Grant: MPICH posts the receive with a PEDAL-generated buffer
 		// sized from the RTS (paper §IV).
 		if err := c.sendFrame(env.src, kindCTS, env.tag, env.seq, 0, nil); err != nil {

@@ -1,0 +1,250 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"pedal/internal/dpu"
+	"pedal/internal/flate"
+	"pedal/internal/hwmodel"
+	"pedal/internal/lz4"
+	"pedal/internal/sz3"
+	"pedal/internal/zlibfmt"
+)
+
+// DecompressSession reassembles a chunked payload while chunks are still
+// in flight: each Submit schedules the chunk's decompression across the
+// SoC workers and the C-Engine immediately, decoding straight into the
+// chunk's slot of the preallocated output buffer. Submit is not safe for
+// concurrent use (the MPI progress loop calls it from one goroutine);
+// the decode work itself runs concurrently.
+type DecompressSession struct {
+	p         *Pipeline
+	spec      Spec
+	out       []byte
+	chunkSize int
+	count     int
+	seen      []bool
+	submitted int
+	pl        *planner
+	wg        sync.WaitGroup
+
+	mu       sync.Mutex
+	firstErr error
+}
+
+// NewDecompress opens a reassembly session for count chunks of
+// chunkSize bytes (the last possibly shorter) totalling origLen
+// uncompressed bytes. The geometry is validated against origLen so a
+// corrupt descriptor cannot cause over-allocation.
+func (p *Pipeline) NewDecompress(spec Spec, count, chunkSize, origLen int) (*DecompressSession, error) {
+	if !spec.Algo.valid() {
+		return nil, fmt.Errorf("%w: algo %d", ErrBadSpec, spec.Algo)
+	}
+	if count < 0 || count > MaxChunks || origLen < 0 {
+		return nil, fmt.Errorf("%w: count %d origLen %d", ErrBadSpec, count, origLen)
+	}
+	if count == 0 {
+		if origLen != 0 {
+			return nil, fmt.Errorf("%w: zero chunks but origLen %d", ErrBadSpec, origLen)
+		}
+		return &DecompressSession{p: p, spec: spec}, nil
+	}
+	if chunkSize <= 0 {
+		return nil, fmt.Errorf("%w: chunk size %d", ErrBadSpec, chunkSize)
+	}
+	// origLen must land inside the last chunk: (count-1)*chunkSize <
+	// origLen ≤ count*chunkSize, guarding against both truncated and
+	// padded descriptors.
+	if origLen > count*chunkSize || origLen <= (count-1)*chunkSize {
+		return nil, fmt.Errorf("%w: %d chunks of %d cannot cover %d bytes", ErrBadSpec, count, chunkSize, origLen)
+	}
+	return &DecompressSession{
+		p:         p,
+		spec:      spec,
+		out:       make([]byte, origLen),
+		chunkSize: chunkSize,
+		count:     count,
+		seen:      make([]bool, count),
+		pl:        p.newPlanner(spec, hwmodel.Decompress),
+	}, nil
+}
+
+// Submit schedules chunk index, whose uncompressed size is origLen and
+// compressed body is comp, arriving at the given virtual time (the
+// receiver's clock when the chunk's frame landed). comp must stay valid
+// and unmodified until Wait returns. Chunks may arrive in any order.
+func (s *DecompressSession) Submit(index, origLen int, comp []byte, arrival time.Duration) error {
+	if index < 0 || index >= s.count {
+		return fmt.Errorf("%w: index %d of %d", ErrBadChunk, index, s.count)
+	}
+	if s.seen[index] {
+		return fmt.Errorf("%w: duplicate index %d", ErrBadChunk, index)
+	}
+	off := index * s.chunkSize
+	want := s.chunkSize
+	if off+want > len(s.out) {
+		want = len(s.out) - off
+	}
+	if origLen != want {
+		return fmt.Errorf("%w: chunk %d declares %d bytes, geometry says %d", ErrBadChunk, index, origLen, want)
+	}
+	s.seen[index] = true
+	s.submitted++
+	_, engine := s.pl.place(arrival, origLen)
+	// Full-capacity slice so the decoder cannot spill past the slot even
+	// transiently.
+	slot := s.out[off : off : off+origLen]
+
+	if engine {
+		h, err := s.p.dev.CEngine().TrySubmit(dpu.Job{
+			Algo: s.pl.engAlgo, Op: hwmodel.Decompress, Input: comp, MaxOutput: origLen,
+		})
+		if err == nil {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				res := h.Wait()
+				if res.Err == nil && res.VerifyOutput() && len(res.Output) == origLen {
+					copy(slot[:origLen], res.Output)
+					return
+				}
+				// Hardware failure: decode in software instead.
+				s.fail(s.decode(comp, slot, origLen))
+			}()
+			return nil
+		}
+		// Queue saturated: fall through to the SoC pool.
+	}
+	s.wg.Add(1)
+	s.p.jobs <- func() {
+		defer s.wg.Done()
+		s.fail(s.decode(comp, slot, origLen))
+	}
+	return nil
+}
+
+func (s *DecompressSession) fail(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+	s.mu.Unlock()
+}
+
+// decode decompresses comp into slot (a zero-length slice whose capacity
+// is exactly origLen).
+func (s *DecompressSession) decode(comp, slot []byte, origLen int) error {
+	switch s.spec.Algo {
+	case AlgoDeflate:
+		out, err := flate.AppendDecompress(slot, comp, origLen)
+		if err != nil {
+			return err
+		}
+		if len(out) != origLen {
+			return fmt.Errorf("%w: deflate chunk decoded %d of %d bytes", ErrBadChunk, len(out), origLen)
+		}
+		return nil
+	case AlgoZlib:
+		out, err := zlibfmt.DecompressLimit(comp, origLen)
+		if err != nil {
+			return err
+		}
+		if len(out) != origLen {
+			return fmt.Errorf("%w: zlib chunk decoded %d of %d bytes", ErrBadChunk, len(out), origLen)
+		}
+		copy(slot[:origLen], out)
+		return nil
+	case AlgoLZ4:
+		out, err := lz4.DecompressLimit(comp, origLen)
+		if err != nil {
+			return err
+		}
+		if len(out) != origLen {
+			return fmt.Errorf("%w: lz4 chunk decoded %d of %d bytes", ErrBadChunk, len(out), origLen)
+		}
+		copy(slot[:origLen], out)
+		return nil
+	case AlgoSZ3F32:
+		vals, _, err := sz3.DecompressFloat32(comp)
+		if err != nil {
+			return err
+		}
+		if len(vals)*4 != origLen {
+			return fmt.Errorf("%w: sz3 chunk decoded %d floats for %d bytes", ErrBadChunk, len(vals), origLen)
+		}
+		b := slot[:origLen]
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+		}
+		return nil
+	case AlgoSZ3F64:
+		vals, _, err := sz3.DecompressFloat64(comp)
+		if err != nil {
+			return err
+		}
+		if len(vals)*8 != origLen {
+			return fmt.Errorf("%w: sz3 chunk decoded %d floats for %d bytes", ErrBadChunk, len(vals), origLen)
+		}
+		b := slot[:origLen]
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: algo %d", ErrBadSpec, s.spec.Algo)
+	}
+}
+
+// Wait blocks until every submitted chunk has decoded and returns the
+// reassembled payload with the session's virtual-time summary. It fails
+// with ErrIncomplete when chunks are missing.
+func (s *DecompressSession) Wait() ([]byte, Summary, error) {
+	if s.submitted != s.count {
+		return nil, Summary{}, fmt.Errorf("%w: %d of %d submitted", ErrIncomplete, s.submitted, s.count)
+	}
+	s.wg.Wait()
+	sum := Summary{Chunks: s.count, ChunkSize: s.chunkSize}
+	if s.pl != nil {
+		sum.Makespan = s.pl.makespan
+		sum.Busy = s.pl.busy
+		sum.EngineChunks = s.pl.engChunks
+	}
+	s.mu.Lock()
+	err := s.firstErr
+	s.mu.Unlock()
+	if err != nil {
+		return nil, sum, err
+	}
+	return s.out, sum, nil
+}
+
+// bytesToF32 reinterprets little-endian bytes as float32 values.
+func bytesToF32(data []byte) ([]float32, error) {
+	if len(data)%4 != 0 {
+		return nil, fmt.Errorf("%w: %d bytes not float32-aligned", ErrBadChunk, len(data))
+	}
+	out := make([]float32, len(data)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	return out, nil
+}
+
+// bytesToF64 reinterprets little-endian bytes as float64 values.
+func bytesToF64(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("%w: %d bytes not float64-aligned", ErrBadChunk, len(data))
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out, nil
+}

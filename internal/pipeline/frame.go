@@ -1,0 +1,91 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Self-describing wire framing for the streamed-chunk protocol. A
+// pipelined payload is a descriptor followed by one frame per chunk in
+// completion order:
+//
+//	descriptor: algo(1) | uvarint chunkCount | uvarint chunkSize | uvarint origLen
+//	frame:      uvarint index | uvarint origLen | uvarint compLen | compLen body bytes
+//
+// Frames carry their own index because completion order is not index
+// order — the receiver reassembles by offset while later chunks are
+// still in flight.
+
+// ErrFrame reports malformed chunk framing.
+var ErrFrame = errors.New("pipeline: bad frame")
+
+// maxFrameOrigLen bounds a single chunk's declared uncompressed size.
+const maxFrameOrigLen = 1 << 30
+
+// AppendChunkFrame appends one chunk frame to dst.
+func AppendChunkFrame(dst []byte, index, origLen int, body []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(index))
+	dst = binary.AppendUvarint(dst, uint64(origLen))
+	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	return append(dst, body...)
+}
+
+// ParseChunkFrame decodes one chunk frame from the front of src,
+// returning the remaining bytes. The body aliases src.
+func ParseChunkFrame(src []byte) (index, origLen int, body, rest []byte, err error) {
+	idx, n := binary.Uvarint(src)
+	if n <= 0 || idx >= MaxChunks {
+		return 0, 0, nil, nil, fmt.Errorf("%w: chunk index", ErrFrame)
+	}
+	src = src[n:]
+	ol, n := binary.Uvarint(src)
+	if n <= 0 || ol > maxFrameOrigLen {
+		return 0, 0, nil, nil, fmt.Errorf("%w: chunk origLen", ErrFrame)
+	}
+	src = src[n:]
+	cl, n := binary.Uvarint(src)
+	if n <= 0 || cl > uint64(len(src)-n) {
+		return 0, 0, nil, nil, fmt.Errorf("%w: chunk body length", ErrFrame)
+	}
+	src = src[n:]
+	return int(idx), int(ol), src[:cl], src[cl:], nil
+}
+
+// AppendDescriptor appends the stream descriptor to dst.
+func AppendDescriptor(dst []byte, algo Algo, count, chunkSize, origLen int) []byte {
+	dst = append(dst, byte(algo))
+	dst = binary.AppendUvarint(dst, uint64(count))
+	dst = binary.AppendUvarint(dst, uint64(chunkSize))
+	return binary.AppendUvarint(dst, uint64(origLen))
+}
+
+// ParseDescriptor decodes the stream descriptor from the front of src,
+// returning the remaining bytes (the first chunk frame). The geometry
+// is range-checked here; cross-field consistency is enforced by
+// Pipeline.NewDecompress.
+func ParseDescriptor(src []byte) (algo Algo, count, chunkSize, origLen int, rest []byte, err error) {
+	if len(src) < 1 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: empty descriptor", ErrFrame)
+	}
+	algo = Algo(src[0])
+	if !algo.valid() {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: algo %d", ErrFrame, src[0])
+	}
+	src = src[1:]
+	c, n := binary.Uvarint(src)
+	if n <= 0 || c > MaxChunks {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: chunk count", ErrFrame)
+	}
+	src = src[n:]
+	cs, n := binary.Uvarint(src)
+	if n <= 0 || cs > maxFrameOrigLen {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: chunk size", ErrFrame)
+	}
+	src = src[n:]
+	ol, n := binary.Uvarint(src)
+	if n <= 0 || ol > maxFrameOrigLen {
+		return 0, 0, 0, 0, nil, fmt.Errorf("%w: origLen", ErrFrame)
+	}
+	return algo, int(c), int(cs), int(ol), src[n:], nil
+}

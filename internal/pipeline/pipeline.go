@@ -1,0 +1,481 @@
+// Package pipeline implements PEDAL's chunked streaming compression
+// scheduler: a payload is split into fixed-size chunks that are fanned
+// out across a persistent pool of SoC worker goroutines and the
+// C-Engine's asynchronous job queue, and the compressed chunks are
+// delivered to a caller-provided sink in completion order. Because the
+// sink typically transmits each chunk as it completes, transmission of
+// chunk i overlaps compression of chunk i+1 — the compression/
+// communication overlap the paper's §VI extension sketches.
+//
+// Virtual-time accounting follows the cost model in internal/hwmodel.
+// The SoC side is modelled as one queue per ARM core; a chunk placed on
+// a core occupies it for the full single-stream OpCost of the chunk.
+// The C-Engine is modelled as a serial batched resource: its large fixed
+// submission cost (work-queue descriptor setup, ~1.3 ms on BlueField-2)
+// is paid once per busy period, and chunks that queue back-to-back
+// behind it pay only their streaming cost. This mirrors how DOCA batch
+// submission amortises setup across queued descriptors; without it,
+// chunking would *add* one fixed cost per chunk and lose to the serial
+// path outright. The pipeline makespan is therefore the maximum over
+// resources of their critical paths — not the sum of stage times.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pedal/internal/dpu"
+	"pedal/internal/flate"
+	"pedal/internal/hwmodel"
+	"pedal/internal/lz4"
+	"pedal/internal/mempool"
+	"pedal/internal/sz3"
+	"pedal/internal/zlibfmt"
+)
+
+// Errors.
+var (
+	ErrClosed     = errors.New("pipeline: closed")
+	ErrBadSpec    = errors.New("pipeline: bad spec")
+	ErrBadChunk   = errors.New("pipeline: bad chunk")
+	ErrIncomplete = errors.New("pipeline: missing chunks")
+)
+
+// Algo selects the per-chunk codec.
+type Algo uint8
+
+// Codecs. The SZ3 variants differ in element width; chunk boundaries are
+// 8-byte aligned so both split cleanly.
+const (
+	AlgoDeflate Algo = iota + 1
+	AlgoZlib
+	AlgoLZ4
+	AlgoSZ3F32
+	AlgoSZ3F64
+)
+
+func (a Algo) String() string {
+	switch a {
+	case AlgoDeflate:
+		return "deflate"
+	case AlgoZlib:
+		return "zlib"
+	case AlgoLZ4:
+		return "lz4"
+	case AlgoSZ3F32:
+		return "sz3-f32"
+	case AlgoSZ3F64:
+		return "sz3-f64"
+	default:
+		return fmt.Sprintf("Algo(%d)", uint8(a))
+	}
+}
+
+func (a Algo) valid() bool { return a >= AlgoDeflate && a <= AlgoSZ3F64 }
+
+// Spec configures one pipelined operation.
+type Spec struct {
+	Algo Algo
+	// Engine permits C-Engine offload where the hardware supports the
+	// path (Table II); unsupported combinations silently run on the SoC.
+	Engine bool
+	// Level is the deflate/zlib effort (0 means DefaultLevel).
+	Level int
+	// SZ3 configures the lossy codec for the SZ3 algos.
+	SZ3 sz3.Config
+	// ChunkSize overrides the adaptive chunk size (rounded up to a
+	// multiple of chunkAlign). Zero selects automatically.
+	ChunkSize int
+}
+
+// Chunk sizing policy.
+const (
+	// MinChunk keeps per-chunk framing and fixed costs amortised.
+	MinChunk = 64 << 10
+	// MaxChunk bounds per-chunk latency so overlap kicks in early.
+	MaxChunk = 1 << 20
+	// MaxChunksPerOp caps the fan-out of one operation at the C-Engine
+	// work-queue depth so every chunk can be in flight at once.
+	MaxChunksPerOp = 128
+	// MaxChunks bounds the chunk index accepted from the wire.
+	MaxChunks = 1 << 20
+	// chunkAlign keeps chunk boundaries on 8-byte (float64) boundaries.
+	chunkAlign = 8
+)
+
+// Chunk is one compressed chunk handed to the sink. Data is only valid
+// during the sink call; the backing buffer returns to the pool after.
+type Chunk struct {
+	Index   int
+	Offset  int
+	OrigLen int
+	Data    []byte
+	// Engine reports whether the chunk was produced by the C-Engine.
+	Engine bool
+	// Done is the chunk's virtual completion time relative to the start
+	// of the operation.
+	Done time.Duration
+}
+
+// Summary is the virtual-time account of one pipelined operation.
+type Summary struct {
+	// Makespan is the virtual duration of the whole operation: the
+	// maximum completion time across all resources, not the sum.
+	Makespan time.Duration
+	// Busy is the total virtual compute time across all resources; the
+	// difference between Chunks×serial-cost and Busy is the model's view
+	// of chunking overhead (none under this cost model).
+	Busy         time.Duration
+	Chunks       int
+	EngineChunks int
+	CompBytes    int
+	ChunkSize    int
+}
+
+// Pipeline owns a persistent SoC worker pool bound to one device. It is
+// safe for concurrent use; workers are shared across operations.
+type Pipeline struct {
+	dev     *dpu.Device
+	gen     hwmodel.Generation
+	pool    *mempool.Pool
+	jobs    chan func()
+	wg      sync.WaitGroup
+	workers int
+	once    sync.Once
+}
+
+// New starts a pipeline with one worker goroutine per SoC core (or the
+// given override) on dev. pool supplies output buffers; nil creates a
+// private pool.
+func New(dev *dpu.Device, workers int, pool *mempool.Pool) *Pipeline {
+	if workers <= 0 {
+		workers = dev.SoC().Cores
+	}
+	if pool == nil {
+		pool = mempool.New()
+	}
+	p := &Pipeline{
+		dev:     dev,
+		gen:     dev.Generation(),
+		pool:    pool,
+		jobs:    make(chan func(), 4*workers),
+		workers: workers,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Close stops the worker pool after draining queued work.
+func (p *Pipeline) Close() {
+	p.once.Do(func() {
+		close(p.jobs)
+		p.wg.Wait()
+	})
+}
+
+// Workers returns the SoC worker count.
+func (p *Pipeline) Workers() int { return p.workers }
+
+// ChunkSizeFor returns the chunk size the pipeline will use for an
+// n-byte payload under spec: adaptive between MinChunk and MaxChunk,
+// aimed at two waves of work per SoC core, aligned to chunkAlign, and
+// floored so the chunk count never exceeds MaxChunksPerOp.
+func (p *Pipeline) ChunkSizeFor(n int, spec Spec) int {
+	cs := spec.ChunkSize
+	if cs <= 0 {
+		cs = n / (2 * p.workers)
+		if cs < MinChunk {
+			cs = MinChunk
+		}
+		if cs > MaxChunk {
+			cs = MaxChunk
+		}
+	}
+	cs = (cs + chunkAlign - 1) &^ (chunkAlign - 1)
+	if minCS := (n + MaxChunksPerOp - 1) / MaxChunksPerOp; cs < minCS {
+		cs = (minCS + chunkAlign - 1) &^ (chunkAlign - 1)
+	}
+	return cs
+}
+
+// planner is the greedy earliest-finish scheduler over the virtual
+// resources: per-core SoC queues plus the batched serial C-Engine.
+type planner struct {
+	gen       hwmodel.Generation
+	spec      Spec
+	op        hwmodel.Op
+	cores     []time.Duration
+	engAlgo   hwmodel.Algo
+	engOK     bool
+	engFixed  time.Duration
+	engFree   time.Duration
+	engUsed   bool
+	engChunks int
+	busy      time.Duration
+	makespan  time.Duration
+}
+
+func (p *Pipeline) newPlanner(spec Spec, op hwmodel.Op) *planner {
+	pl := &planner{gen: p.gen, spec: spec, op: op, cores: make([]time.Duration, p.workers)}
+	if spec.Engine {
+		var a hwmodel.Algo
+		switch {
+		case spec.Algo == AlgoDeflate:
+			a = hwmodel.Deflate
+		case spec.Algo == AlgoLZ4 && op == hwmodel.Decompress:
+			a = hwmodel.LZ4
+		}
+		if a != 0 && p.dev.SupportsCEngine(a, op) {
+			if f, ok := hwmodel.OpCost(p.gen, hwmodel.CEngine, a, op, 0); ok {
+				pl.engAlgo, pl.engOK, pl.engFixed = a, true, f
+			}
+		}
+	}
+	return pl
+}
+
+// socCost is the single-core SoC cost of op over n payload bytes. For
+// decompression n is the chunk's *uncompressed* size — virtual time
+// scales with the data volume moved, matching doca.SoCRun and the
+// C-Engine's accounting.
+func socCost(gen hwmodel.Generation, spec Spec, op hwmodel.Op, n int) time.Duration {
+	switch spec.Algo {
+	case AlgoDeflate:
+		d, _ := hwmodel.OpCost(gen, hwmodel.SoC, hwmodel.Deflate, op, n)
+		return d
+	case AlgoZlib:
+		d, _ := hwmodel.OpCost(gen, hwmodel.SoC, hwmodel.Zlib, op, n)
+		return d
+	case AlgoLZ4:
+		d, _ := hwmodel.OpCost(gen, hwmodel.SoC, hwmodel.LZ4, op, n)
+		return d
+	case AlgoSZ3F32, AlgoSZ3F64:
+		// Lossy core plus its FastLZ backend over the ~4× reduced
+		// quantized stream (paper §III-B).
+		core, _ := hwmodel.OpCost(gen, hwmodel.SoC, hwmodel.SZ3Core, op, n)
+		back, _ := hwmodel.OpCost(gen, hwmodel.SoC, hwmodel.FastLZ, op, n/4)
+		return core + back
+	default:
+		return 0
+	}
+}
+
+// place schedules one chunk whose cost scales with n bytes, arriving at
+// the given virtual time, onto the resource that finishes it earliest.
+// It returns the chunk's completion time and whether it went to the
+// C-Engine. Chunks queued back-to-back on the engine pay the fixed
+// submission cost only when the engine was idle (a new busy period).
+func (pl *planner) place(arrival time.Duration, n int) (time.Duration, bool) {
+	sc := socCost(pl.gen, pl.spec, pl.op, n)
+	ci := 0
+	for i, f := range pl.cores {
+		if f < pl.cores[ci] {
+			ci = i
+		}
+	}
+	socStart := arrival
+	if pl.cores[ci] > socStart {
+		socStart = pl.cores[ci]
+	}
+	socDone := socStart + sc
+
+	if pl.engOK {
+		full, _ := hwmodel.OpCost(pl.gen, hwmodel.CEngine, pl.engAlgo, pl.op, n)
+		stream := full - pl.engFixed
+		start := arrival
+		if pl.engFree > start {
+			start = pl.engFree
+		}
+		cost := stream
+		if !pl.engUsed || start > pl.engFree {
+			cost += pl.engFixed
+		}
+		if engDone := start + cost; engDone <= socDone {
+			pl.engUsed = true
+			pl.engChunks++
+			pl.engFree = engDone
+			pl.busy += cost
+			if engDone > pl.makespan {
+				pl.makespan = engDone
+			}
+			return engDone, true
+		}
+	}
+	pl.cores[ci] = socDone
+	pl.busy += sc
+	if socDone > pl.makespan {
+		pl.makespan = socDone
+	}
+	return socDone, false
+}
+
+type compResult struct {
+	out      []byte
+	buf      []byte // pooled backing buffer, nil for engine output
+	err      error
+	fellBack bool
+}
+
+// Compress splits src into chunks, compresses them across the SoC
+// workers and the C-Engine, and calls sink once per chunk in virtual
+// completion order. Chunk.Data is valid only during the sink call. The
+// returned Summary carries the pipeline makespan; a sink error aborts
+// delivery (remaining chunks are discarded) and is returned.
+func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summary, error) {
+	if !spec.Algo.valid() {
+		return Summary{}, fmt.Errorf("%w: algo %d", ErrBadSpec, spec.Algo)
+	}
+	n := len(src)
+	if n == 0 {
+		return Summary{}, nil
+	}
+	cs := p.ChunkSizeFor(n, spec)
+	k := (n + cs - 1) / cs
+
+	type slot struct {
+		done   time.Duration
+		engine bool
+		off    int
+		clen   int
+	}
+	pl := p.newPlanner(spec, hwmodel.Compress)
+	slots := make([]slot, k)
+	for i := range slots {
+		off := i * cs
+		clen := cs
+		if off+clen > n {
+			clen = n - off
+		}
+		done, eng := pl.place(0, clen)
+		slots[i] = slot{done: done, engine: eng, off: off, clen: clen}
+	}
+	// Delivery order is known up front: the virtual schedule fixes each
+	// chunk's completion time before any real work runs.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return slots[order[a]].done < slots[order[b]].done })
+
+	results := make([]chan compResult, k)
+	for i := range results {
+		results[i] = make(chan compResult, 1)
+	}
+	// Dispatch in index order so the engine's FIFO matches the schedule.
+	for i := range slots {
+		i := i
+		s := slots[i]
+		data := src[s.off : s.off+s.clen]
+		if s.engine {
+			h, err := p.dev.CEngine().TrySubmit(dpu.Job{Algo: pl.engAlgo, Op: hwmodel.Compress, Input: data})
+			if err == nil {
+				go func() {
+					res := h.Wait()
+					if res.Err == nil && res.VerifyOutput() {
+						results[i] <- compResult{out: res.Output}
+						return
+					}
+					out, buf, serr := p.softCompress(spec, data)
+					results[i] <- compResult{out: out, buf: buf, err: serr, fellBack: true}
+				}()
+				continue
+			}
+			// Saturated or closed queue: spill to the SoC pool.
+			slots[i].engine = false
+		}
+		p.jobs <- func() {
+			out, buf, err := p.softCompress(spec, data)
+			results[i] <- compResult{out: out, buf: buf, err: err}
+		}
+	}
+
+	sum := Summary{Makespan: pl.makespan, Busy: pl.busy, Chunks: k, ChunkSize: cs}
+	var opErr error
+	for _, idx := range order {
+		r := <-results[idx]
+		if opErr != nil {
+			if r.buf != nil {
+				p.pool.Put(r.buf)
+			}
+			continue
+		}
+		if r.err != nil {
+			opErr = fmt.Errorf("pipeline: chunk %d: %w", idx, r.err)
+			continue
+		}
+		s := slots[idx]
+		done := s.done
+		engine := s.engine
+		if r.fellBack {
+			// The engine accepted the job and failed; the software retry
+			// serialises behind the scheduled completion.
+			done += socCost(p.gen, spec, hwmodel.Compress, s.clen)
+			engine = false
+			if done > sum.Makespan {
+				sum.Makespan = done
+			}
+		}
+		if engine {
+			sum.EngineChunks++
+		}
+		sum.CompBytes += len(r.out)
+		err := sink(Chunk{Index: idx, Offset: s.off, OrigLen: s.clen, Data: r.out, Engine: engine, Done: done})
+		if r.buf != nil {
+			p.pool.Put(r.buf)
+		}
+		if err != nil {
+			opErr = err
+		}
+	}
+	return sum, opErr
+}
+
+// softCompress compresses one chunk in software on the calling
+// goroutine. For deflate and LZ4 the output lands in a pooled buffer
+// (returned as buf for release after delivery); the zlib and SZ3 codecs
+// allocate their own framing.
+func (p *Pipeline) softCompress(spec Spec, data []byte) (out, buf []byte, err error) {
+	level := spec.Level
+	if level <= 0 {
+		level = flate.DefaultLevel
+	}
+	switch spec.Algo {
+	case AlgoDeflate:
+		buf = p.pool.GetCap(flate.CompressBound(len(data)))
+		out = flate.AppendCompress(buf, data, level)
+		return out, buf, nil
+	case AlgoZlib:
+		return zlibfmt.Compress(data, level), nil, nil
+	case AlgoLZ4:
+		buf = p.pool.GetCap(lz4.CompressBound(len(data)))
+		out = lz4.AppendCompress(buf, data)
+		return out, buf, nil
+	case AlgoSZ3F32:
+		vals, cerr := bytesToF32(data)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		out, err = sz3.CompressFloat32(vals, spec.SZ3)
+		return out, nil, err
+	case AlgoSZ3F64:
+		vals, cerr := bytesToF64(data)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		out, err = sz3.CompressFloat64(vals, spec.SZ3)
+		return out, nil, err
+	default:
+		return nil, nil, fmt.Errorf("%w: algo %d", ErrBadSpec, spec.Algo)
+	}
+}
