@@ -1,9 +1,10 @@
 GO ?= go
 
 # Packages exercised with the race detector: the concurrency-heavy layers
-# (engine queue + close protocol, retry path, MPI runtime, reliability
-# sublayer, service admission control).
-RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service ./internal/pipeline
+# (engine queue + close protocol + watchdog, retry path, MPI runtime,
+# reliability sublayer, service admission control, breaker half-open
+# probes).
+RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service ./internal/pipeline ./internal/faults
 
 # Per-target budget for the fuzz smoke pass (each Fuzz* function runs
 # this long beyond its seed corpus).
@@ -25,7 +26,7 @@ FUZZ_TARGETS = \
 	./internal/flate:FuzzRoundTrip \
 	./internal/pipeline:FuzzChunkFrame
 
-.PHONY: all build vet test race fuzz bench check
+.PHONY: all build vet test race fuzz bench check soak
 
 all: check
 
@@ -56,4 +57,14 @@ bench:
 		-bench='^(BenchmarkCompressChunk|BenchmarkDecompressChunk|BenchmarkPipelineOverlap|BenchmarkExtPipeline)$$' \
 		-benchmem . > BENCH_pipeline.json
 
+# Full-scale chaos soaks (fixed seed matrices): the engine fault-domain
+# sweep (stall/wedge/reset-fail over serial + pipelined paths) and the
+# network sweep (lossy fabric + overloaded daemon). `make check` runs
+# them when SOAK=1; standalone `make soak` always does.
+soak:
+	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak)$$' -v ./internal/experiments
+
 check: build vet test race fuzz
+ifeq ($(SOAK),1)
+check: soak
+endif

@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"pedal"
+	"pedal/internal/core"
+	"pedal/internal/dpu"
 	"pedal/internal/service"
 	"pedal/internal/stats"
 )
@@ -37,8 +39,9 @@ func main() {
 		gen     = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
 		eb      = flag.Float64("eb", 1e-4, "SZ3 absolute error bound")
 		drain   = flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
-		maxConc = flag.Int("max-concurrent", 0, "concurrent request limit (0 = GOMAXPROCS, negative = unlimited)")
-		queue   = flag.Int("queue-depth", 0, "admission queue depth before shedding (0 = default, negative = none)")
+		maxConc  = flag.Int("max-concurrent", 0, "concurrent request limit (0 = GOMAXPROCS, negative = unlimited)")
+		queue    = flag.Int("queue-depth", 0, "admission queue depth before shedding (0 = default, negative = none)")
+		watchdog = flag.Bool("watchdog", true, "arm the C-Engine stall watchdog (hot-reset + SoC replay on engine loss)")
 	)
 	flag.Parse()
 
@@ -52,7 +55,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pedald: unknown generation %q\n", *gen)
 		os.Exit(2)
 	}
-	lib, err := pedal.Init(pedal.Options{Generation: g, ErrorBound: *eb})
+	opts := pedal.Options{Generation: g, ErrorBound: *eb}
+	if *watchdog {
+		// A long-running daemon must survive engine loss: arm the stall
+		// watchdog with defaults so a wedged C-Engine hot-resets and
+		// in-flight jobs replay on the SoC instead of hanging clients.
+		opts.Resilience = &core.ResilienceOptions{Watchdog: &dpu.WatchdogConfig{}}
+	}
+	lib, err := pedal.Init(opts)
 	if err != nil {
 		log.Fatalf("pedald: %v", err)
 	}
@@ -87,9 +97,10 @@ func main() {
 		log.Printf("pedald: served %d requests (%d shed, %d drained, %d panics recovered)",
 			bd.Count(stats.CounterRequests), bd.Count(stats.CounterSheds),
 			bd.Count(stats.CounterDrained), bd.Count(stats.CounterPanics))
+		log.Printf("pedald: health %s", srv.HealthBody())
 	}()
 
-	log.Printf("pedald: serving %v PEDAL on %s", g, ln.Addr())
+	log.Printf("pedald: serving %v PEDAL on %s (health: %s)", g, ln.Addr(), srv.HealthBody())
 	if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
 		log.Fatalf("pedald: %v", err)
 	}

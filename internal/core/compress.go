@@ -2,9 +2,11 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
+	"pedal/internal/dpu"
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
 	"pedal/internal/lz4"
@@ -70,6 +72,7 @@ func (l *Library) Compress(d Design, dt DataType, data []byte) ([]byte, Report, 
 // DEFLATE, zlib and SZ3 hybrid paths.
 func (l *Library) engineCompressDeflate(op *stats.Breakdown, rep *Report, data []byte) ([]byte, error) {
 	supported := l.dev.SupportsCEngine(hwmodel.Deflate, hwmodel.Compress)
+	var engineErr error
 	if supported && l.engineAllowed(op) {
 		staging, release := l.stage(op, data)
 		defer release()
@@ -80,6 +83,7 @@ func (l *Library) engineCompressDeflate(op *stats.Breakdown, rep *Report, data [
 			return res.Output, nil
 		}
 		// Hardware failed at runtime: degrade to the SoC below.
+		engineErr = err
 	}
 	// SoC fallback: static for a missing capability (BlueField-3's
 	// C-Engine cannot compress, §V-C), dynamic for a failing or
@@ -87,6 +91,11 @@ func (l *Library) engineCompressDeflate(op *stats.Breakdown, rep *Report, data [
 	rep.Engine = hwmodel.SoC
 	rep.Fallback = true
 	rep.Degraded = supported
+	if errors.Is(engineErr, dpu.ErrEngineLost) {
+		// The journaled job was lost to a stall/wedge; this SoC pass is
+		// its deterministic replay (same input, algo, op).
+		op.Inc(stats.CounterJobsReplayed)
+	}
 	l.chargeSoCBufPrep(op, len(data))
 	out := flate.AppendCompress(l.pool.GetCap(flate.CompressBound(len(data))), data, l.opts.Level)
 	if _, err := l.ctx.SoCRun(hwmodel.Deflate, hwmodel.Compress, len(data)); err != nil {

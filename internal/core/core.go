@@ -103,6 +103,12 @@ type ResilienceOptions struct {
 	// DisableBreaker turns the breaker off entirely; hard engine
 	// failures then degrade ops one at a time.
 	DisableBreaker bool
+	// Watchdog, when non-nil, arms the C-Engine stall watchdog at Init
+	// (zero fields select dpu defaults): stalled jobs are failed with
+	// ErrEngineLost and replayed on the SoC, a wedged engine is
+	// hot-reset, and exhausted resets degrade it permanently. Nil leaves
+	// the watchdog off; jobs are then bounded only by JobDeadline.
+	Watchdog *dpu.WatchdogConfig
 }
 
 // Report describes one Compress or Decompress execution: where it ran,
@@ -233,6 +239,15 @@ func Init(opts Options) (*Library, error) {
 		}
 		lib.breaker = faults.NewBreaker(bc)
 	}
+	if r := opts.Resilience; r != nil && r.Watchdog != nil {
+		// Engine fault domain: the hook mirrors watchdog transitions into
+		// the lifetime counters and re-opens the DOCA context after a
+		// hot-reset. On a shared device the last library's hook wins —
+		// acceptable because the MPI runtime shares one engine whose
+		// recovery is device-global anyway.
+		dev.CEngine().SetEventHook(lib.onEngineEvent)
+		dev.CEngine().StartWatchdog(*r.Watchdog)
+	}
 	// Prewarm the buffer pool: default classes cover the paper's message
 	// sweep (4 KiB – 64 MiB) plus any caller-specified sizes.
 	sizes := []int{4 << 10, 64 << 10, 1 << 20, 8 << 20, 64 << 20}
@@ -315,16 +330,47 @@ func (l *Library) Release(buf []byte) { l.pool.Put(buf) }
 // experiments and tests can observe its state.
 func (l *Library) Breaker() *faults.Breaker { return l.breaker }
 
-// engineAllowed consults the circuit breaker before a C-Engine attempt.
-// A rejection means the breaker is open: the operation degrades straight
-// to the SoC and is counted.
+// engineAllowed consults the engine fault-domain state and the circuit
+// breaker before a C-Engine attempt. A rejection means the engine is
+// resetting/degraded or the breaker is open: the operation degrades
+// straight to the SoC and is counted.
 func (l *Library) engineAllowed(op *stats.Breakdown) bool {
+	if l.dev.CEngine().State() != dpu.EngineLive {
+		op.Inc(stats.CounterDegradedOps)
+		return false
+	}
 	if l.breaker == nil || l.breaker.Allow() {
 		return true
 	}
 	op.Inc(stats.CounterDegradedOps)
 	return false
 }
+
+// onEngineEvent is the C-Engine fault-domain hook: it mirrors watchdog
+// transitions into the lifetime counters and performs the DOCA re-open
+// half of a hot-reset. It runs on the watchdog goroutine and must not
+// take l.mu — the operation holding l.mu may be blocked waiting for this
+// very watchdog pass to fail its stalled job.
+func (l *Library) onEngineEvent(ev dpu.EngineEvent) {
+	switch ev.Kind {
+	case dpu.EventStallDetected:
+		l.total.Inc(stats.CounterEngineStalls)
+	case dpu.EventWedgeDeclared:
+		l.total.Inc(stats.CounterEngineWedges)
+	case dpu.EventResetOK:
+		l.total.Inc(stats.CounterEngineResets)
+		l.ctx.Reopen()
+	case dpu.EventResetFailed:
+		l.total.Inc(stats.CounterEngineResetFailures)
+	case dpu.EventDegraded:
+		l.total.Inc(stats.CounterEngineDegraded)
+	}
+}
+
+// EngineHealth snapshots the C-Engine fault domain (state, in-flight
+// depth, stall/reset/replay counters) for diagnostics and the service
+// health endpoint.
+func (l *Library) EngineHealth() dpu.EngineHealth { return l.dev.CEngine().Health() }
 
 // noteEngineResult feeds a C-Engine submission outcome to the breaker
 // and counters. Capability misses (ErrUnsupported) are static conditions

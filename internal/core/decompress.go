@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"pedal/internal/dpu"
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
 	"pedal/internal/lz4"
@@ -73,6 +75,7 @@ func (l *Library) Decompress(engine hwmodel.Engine, dt DataType, msg []byte, max
 // preferred engine with SoC fallback.
 func (l *Library) engineDecompress(op *stats.Breakdown, rep *Report, algo hwmodel.Algo, body []byte, maxOutput int) ([]byte, error) {
 	supported := rep.Engine == hwmodel.CEngine && l.dev.SupportsCEngine(algo, hwmodel.Decompress)
+	var engineErr error
 	if supported && l.engineAllowed(op) {
 		staging, release := l.stage(op, body)
 		defer release()
@@ -82,11 +85,17 @@ func (l *Library) engineDecompress(op *stats.Breakdown, rep *Report, algo hwmode
 			rep.Engine = hwmodel.CEngine
 			return res.Output, nil
 		}
+		engineErr = err
 	}
 	if rep.Engine == hwmodel.CEngine {
 		rep.Engine = hwmodel.SoC
 		rep.Fallback = true
 		rep.Degraded = supported
+	}
+	if errors.Is(engineErr, dpu.ErrEngineLost) {
+		// Journal replay: the lost engine job re-executes below on the
+		// SoC from the same input.
+		op.Inc(stats.CounterJobsReplayed)
 	}
 	l.chargeSoCBufPrep(op, maxOutput)
 	var out []byte

@@ -107,6 +107,9 @@ func (l *Library) CompressPipelined(d Design, dt DataType, data []byte) ([]byte,
 		return nil, rep, err
 	}
 	op.Add(stats.PhaseCompress, sum.Makespan)
+	if sum.Replayed > 0 {
+		op.CountAdd(stats.CounterJobsReplayed, uint64(sum.Replayed))
+	}
 	if sum.EngineChunks > 0 {
 		rep.Engine = hwmodel.CEngine
 	}
@@ -153,6 +156,9 @@ func (l *Library) decompressPipelined(op *stats.Breakdown, rep *Report, body []b
 	}
 	l.chargeSoCBufPrep(op, len(out))
 	op.Add(stats.PhaseDecompress, sum.Makespan)
+	if sum.Replayed > 0 {
+		op.CountAdd(stats.CounterJobsReplayed, uint64(sum.Replayed))
+	}
 	if sum.EngineChunks > 0 {
 		rep.Engine = hwmodel.CEngine
 	} else if rep.Engine == hwmodel.CEngine {

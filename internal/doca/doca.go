@@ -14,6 +14,7 @@ package doca
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"pedal/internal/checksum"
@@ -70,12 +71,19 @@ func (p RetryPolicy) normalized() RetryPolicy {
 // analogue of the doca_dev + doca_compress + progress-engine bundle a
 // real application sets up once.
 type Context struct {
-	dev    *dpu.Device
-	bd     *stats.Breakdown
-	inited bool
-	closed bool
-	policy RetryPolicy
-	rng    *faults.Rand
+	dev *dpu.Device
+	rng *faults.Rand
+
+	// mu guards the mutable context state below. The context has its own
+	// lock (rather than borrowing the caller's) because Reopen runs on
+	// the engine watchdog goroutine during a hot-reset, concurrently with
+	// whatever operation lost its job to the wedge.
+	mu      sync.Mutex
+	bd      *stats.Breakdown
+	inited  bool
+	closed  bool
+	policy  RetryPolicy
+	reopens uint64
 
 	// mapped tracks registered buffers (identity by slice backing array
 	// start). Real DOCA refuses jobs on unregistered memory.
@@ -101,30 +109,82 @@ func Init(dev *dpu.Device, bd *stats.Breakdown) (*Context, error) {
 }
 
 // SetRetryPolicy replaces the transient-failure handling policy.
-func (c *Context) SetRetryPolicy(p RetryPolicy) { c.policy = p }
+func (c *Context) SetRetryPolicy(p RetryPolicy) {
+	c.mu.Lock()
+	c.policy = p
+	c.mu.Unlock()
+}
 
 // RetryPolicy returns the active policy.
-func (c *Context) RetryPolicy() RetryPolicy { return c.policy }
+func (c *Context) RetryPolicy() RetryPolicy {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy
+}
 
 // Device returns the underlying DPU.
 func (c *Context) Device() *dpu.Device { return c.dev }
 
 // Close tears down the context. The device itself stays open (it may be
 // shared); real DOCA reference-counts the same way.
-func (c *Context) Close() { c.closed = true }
+func (c *Context) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// sink returns the current accounting target; the Breakdown itself is
+// concurrency-safe, only the pointer needs the lock (SwapBreakdown).
+func (c *Context) sink() *stats.Breakdown {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bd
+}
+
+// Reopen models the DOCA device re-open performed during an engine
+// hot-reset: every memory-map registration built against the dead engine
+// context is invalidated (real DOCA work queues and buf inventories do
+// not survive a context destroy), the rebuild cost is charged to
+// PhaseReset, and callers must re-register buffers before submitting
+// again. core installs this as the engine's reset hook so accounting and
+// mapping state track the hardware state machine.
+func (c *Context) Reopen() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.mapped = make(map[*byte]int)
+	c.reopens++
+	bd := c.bd
+	c.mu.Unlock()
+	bd.Add(stats.PhaseReset, hwmodel.ResetCost(c.dev.Generation()))
+}
+
+// Reopens reports how many hot-reset re-opens this context performed.
+func (c *Context) Reopens() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reopens
+}
 
 // MMap registers buf as DOCA-operable memory, charging the buffer
 // preparation cost (allocation + pinning + inventory registration). A
 // buffer must be mapped before jobs may reference it.
 func (c *Context) MMap(buf []byte) error {
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return ErrClosed
 	}
 	if len(buf) == 0 {
+		c.mu.Unlock()
 		return nil
 	}
-	c.bd.Add(stats.PhaseBufPrep, hwmodel.BufPrepCost(c.dev.Generation(), hwmodel.CEngine, len(buf)))
 	c.mapped[&buf[0]] = len(buf)
+	bd := c.bd
+	c.mu.Unlock()
+	bd.Add(stats.PhaseBufPrep, hwmodel.BufPrepCost(c.dev.Generation(), hwmodel.CEngine, len(buf)))
 	return nil
 }
 
@@ -132,6 +192,8 @@ func (c *Context) MMap(buf []byte) error {
 // preparation cost: the buffer belongs to a pool whose mapping was paid
 // once at PEDAL_Init (paper §III-C). Baseline runs must use MMap instead.
 func (c *Context) RegisterPrewarmed(buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
 		return ErrClosed
 	}
@@ -147,6 +209,8 @@ func (c *Context) IsMapped(buf []byte) bool {
 	if len(buf) == 0 {
 		return true
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n, ok := c.mapped[&buf[0]]
 	return ok && n >= len(buf)
 }
@@ -156,7 +220,9 @@ func (c *Context) Unmap(buf []byte) {
 	if len(buf) == 0 {
 		return
 	}
+	c.mu.Lock()
 	delete(c.mapped, &buf[0])
+	c.mu.Unlock()
 }
 
 // Result carries a completed job's output and its modelled duration.
@@ -178,18 +244,22 @@ type Result struct {
 // verified against the engine-reported CRC before being returned, so
 // corruption is detected here rather than propagated.
 func (c *Context) Submit(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutput int) (Result, error) {
-	if c.closed {
+	c.mu.Lock()
+	closed := c.closed
+	p := c.policy.normalized()
+	c.mu.Unlock()
+	if closed {
 		return Result{}, ErrClosed
 	}
 	if !c.IsMapped(input) {
 		return Result{}, fmt.Errorf("%w: submit requires a registered source buffer", ErrNotMapped)
 	}
-	p := c.policy.normalized()
 	var lastErr error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
 		if attempt > 0 {
-			c.bd.Inc(stats.CounterRetries)
-			c.bd.Add(stats.PhaseRetry, faults.Backoff(attempt-1, p.BaseBackoff, p.MaxBackoff, c.rng))
+			bd := c.sink()
+			bd.Inc(stats.CounterRetries)
+			bd.Add(stats.PhaseRetry, faults.Backoff(attempt-1, p.BaseBackoff, p.MaxBackoff, c.rng))
 		}
 		res, err := c.submitOnce(algo, op, input, maxOutput, p)
 		if err == nil {
@@ -206,20 +276,26 @@ func (c *Context) Submit(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutp
 // submitOnce performs one submission attempt: enqueue, bounded wait,
 // checksum verification, cost accounting.
 func (c *Context) submitOnce(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutput int, p RetryPolicy) (Result, error) {
-	h, err := c.dev.CEngine().Submit(dpu.Job{Algo: algo, Op: op, Input: input, MaxOutput: maxOutput})
+	job := dpu.Job{Algo: algo, Op: op, Input: input, MaxOutput: maxOutput}
+	if p.JobDeadline > 0 {
+		// Stamp the deadline on the descriptor too, so the engine can
+		// drop the job at dequeue once we have stopped waiting for it.
+		job.Deadline = time.Now().Add(p.JobDeadline)
+	}
+	h, err := c.dev.CEngine().Submit(job)
 	if err != nil {
 		return Result{}, err
 	}
 	res, ok := h.WaitTimeout(p.JobDeadline)
 	if !ok {
-		c.bd.Inc(stats.CounterTimeouts)
+		c.sink().Inc(stats.CounterTimeouts)
 		return Result{}, res.Err
 	}
 	if res.Err != nil {
 		return Result{}, res.Err
 	}
 	if sum := checksum.CRC32(res.Output); sum != res.Checksum {
-		c.bd.Inc(stats.CounterCorruptions)
+		c.sink().Inc(stats.CounterCorruptions)
 		return Result{}, fmt.Errorf("%w: CRC 0x%08x != engine 0x%08x over %d bytes",
 			dpu.ErrCorrupt, sum, res.Checksum, len(res.Output))
 	}
@@ -227,7 +303,7 @@ func (c *Context) submitOnce(algo hwmodel.Algo, op hwmodel.Op, input []byte, max
 	if op == hwmodel.Decompress {
 		phase = stats.PhaseDecompress
 	}
-	c.bd.Add(phase, res.Virtual)
+	c.sink().Add(phase, res.Virtual)
 	return Result{Output: res.Output, Virtual: res.Virtual}, nil
 }
 
@@ -244,22 +320,24 @@ func (c *Context) SoCRun(algo hwmodel.Algo, op hwmodel.Op, n int) (time.Duration
 	if op == hwmodel.Decompress {
 		phase = stats.PhaseDecompress
 	}
-	c.bd.Add(phase, d)
+	c.sink().Add(phase, d)
 	return d, nil
 }
 
 // SoCBufPrep charges a plain SoC-side allocation (no DOCA mapping).
 func (c *Context) SoCBufPrep(n int) {
-	c.bd.Add(stats.PhaseBufPrep, hwmodel.BufPrepCost(c.dev.Generation(), hwmodel.SoC, n))
+	c.sink().Add(stats.PhaseBufPrep, hwmodel.BufPrepCost(c.dev.Generation(), hwmodel.SoC, n))
 }
 
 // Breakdown exposes the accounting sink (used by experiments).
-func (c *Context) Breakdown() *stats.Breakdown { return c.bd }
+func (c *Context) Breakdown() *stats.Breakdown { return c.sink() }
 
 // SwapBreakdown redirects subsequent charges to bd and returns the
 // previous sink. PEDAL uses this to produce per-operation reports while
 // still accumulating a library-lifetime total.
 func (c *Context) SwapBreakdown(bd *stats.Breakdown) *stats.Breakdown {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	old := c.bd
 	c.bd = bd
 	return old

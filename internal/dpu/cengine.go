@@ -3,7 +3,9 @@ package dpu
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pedal/internal/checksum"
@@ -13,6 +15,32 @@ import (
 	"pedal/internal/lz4"
 	"pedal/internal/trace"
 )
+
+// EngineState is the C-Engine fault-domain position: Live serves jobs,
+// Resetting is the window between a declared wedge and a completed
+// hot-reset, Degraded is the permanent SoC-only escalation after reset
+// attempts are exhausted.
+type EngineState uint8
+
+// Engine states.
+const (
+	EngineLive EngineState = iota + 1
+	EngineResetting
+	EngineDegraded
+)
+
+func (s EngineState) String() string {
+	switch s {
+	case EngineLive:
+		return "live"
+	case EngineResetting:
+		return "resetting"
+	case EngineDegraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("EngineState(%d)", uint8(s))
+	}
+}
 
 // JobResult is the completion record of one C-Engine job.
 type JobResult struct {
@@ -25,6 +53,9 @@ type JobResult struct {
 	// verify it against the received bytes to detect corruption on the
 	// data path (see VerifyOutput).
 	Checksum uint32
+	// Seq is the engine-assigned submission sequence number, matching
+	// the in-flight journal entry the job was recorded under.
+	Seq uint64
 	// Err is non-nil when the job failed (unsupported path, corrupt
 	// input, or an injected runtime fault). Hardware reports such
 	// failures through the work queue's completion status.
@@ -49,11 +80,31 @@ type Job struct {
 	// provide a destination buffer; this models its capacity). Zero means
 	// a generous default.
 	MaxOutput int
+	// Deadline, when non-zero, is the completion deadline the submitter
+	// waits against. The worker drops jobs whose deadline has already
+	// expired at dequeue, completing them with ErrDeadline instead of
+	// wasting engine time on a result the caller has abandoned.
+	Deadline time.Time
 }
 
 // JobHandle tracks an in-flight job.
 type JobHandle struct {
+	seq  uint64
 	done chan JobResult
+}
+
+// Seq returns the engine-assigned submission sequence number.
+func (h *JobHandle) Seq() uint64 { return h.seq }
+
+// complete delivers r unless a result was already delivered. The first
+// writer wins; late or duplicate completions (a watchdog-failed job that
+// eventually finishes, a drained stale-epoch job) are dropped, so no
+// writer — worker or watchdog — can ever block on an abandoned handle.
+func (h *JobHandle) complete(r JobResult) {
+	select {
+	case h.done <- r:
+	default:
+	}
 }
 
 // Wait blocks until the job completes and returns its result.
@@ -61,8 +112,9 @@ func (h *JobHandle) Wait() JobResult { return <-h.done }
 
 // WaitTimeout blocks up to d for completion; ok=false means the deadline
 // fired first and the result carries ErrDeadline. The abandoned job may
-// still complete in the background — the handle's buffered channel keeps
-// the worker from blocking on it. d <= 0 waits forever.
+// still complete in the background — completion sends are non-blocking,
+// so the worker can never wedge on an abandoned handle. d <= 0 waits
+// forever.
 func (h *JobHandle) WaitTimeout(d time.Duration) (JobResult, bool) {
 	if d <= 0 {
 		return h.Wait(), true
@@ -73,7 +125,7 @@ func (h *JobHandle) WaitTimeout(d time.Duration) (JobResult, bool) {
 	case r := <-h.done:
 		return r, true
 	case <-timer.C:
-		return JobResult{Err: ErrDeadline}, false
+		return JobResult{Seq: h.seq, Err: ErrDeadline}, false
 	}
 }
 
@@ -84,7 +136,7 @@ func (h *JobHandle) WaitContext(ctx context.Context) (JobResult, bool) {
 	case r := <-h.done:
 		return r, true
 	case <-ctx.Done():
-		return JobResult{Err: fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())}, false
+		return JobResult{Seq: h.seq, Err: fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())}, false
 	}
 }
 
@@ -92,24 +144,197 @@ type queued struct {
 	job    Job
 	handle *JobHandle
 	fault  faults.Decision
+	seq    uint64
+}
+
+// journalEntry is one in-flight job's journal record: enough to detect a
+// stall (submit timestamp scored against the hwmodel latency budget) and
+// to deterministically re-execute the work on the SoC path after engine
+// loss (input ref, algo, op, seq — the caller owns the input buffer and
+// replays through its software codec when the handle fails with
+// ErrEngineLost).
+type journalEntry struct {
+	seq       uint64
+	algo      hwmodel.Algo
+	op        hwmodel.Op
+	input     []byte
+	submitted time.Time
+	handle    *JobHandle
+}
+
+// InflightJob is the exported view of one journal entry.
+type InflightJob struct {
+	Seq   uint64
+	Algo  hwmodel.Algo
+	Op    hwmodel.Op
+	Bytes int
+	Age   time.Duration
+}
+
+// engineEpoch is one incarnation of the hardware work queue and its
+// worker. A hot-reset retires the epoch and installs a fresh one, the
+// way a DOCA device re-open tears down and rebuilds the queue pair.
+type engineEpoch struct {
+	queue chan queued
+	// stop closes when the epoch retires (hot-reset or engine close),
+	// unblocking submitters stuck on a full queue and a wedged worker.
+	stop chan struct{}
+	// submitters counts Submit calls bound to this epoch; the queue
+	// closes only after they drain, so a send never races the close.
+	submitters sync.WaitGroup
+	// stale marks a reset-retired epoch: the worker fails newly dequeued
+	// jobs with ErrEngineLost instead of executing on dead hardware. A
+	// close-retired epoch keeps stale false so accepted jobs still run.
+	stale      atomic.Bool
+	retireOnce sync.Once
+	// drained closes once the queue is closed (after submitters finish).
+	drained chan struct{}
+}
+
+func newEpoch() *engineEpoch {
+	return &engineEpoch{
+		queue:   make(chan queued, cengineQueueDepth),
+		stop:    make(chan struct{}),
+		drained: make(chan struct{}),
+	}
+}
+
+// retire ends the epoch: failPending marks it stale (reset path — the
+// worker fails drained jobs), stop unblocks submitters and a wedged
+// worker, and the queue closes once in-flight submitters drain so the
+// worker exits.
+func (ep *engineEpoch) retire(failPending bool) {
+	ep.retireOnce.Do(func() {
+		if failPending {
+			ep.stale.Store(true)
+		}
+		close(ep.stop)
+		go func() {
+			ep.submitters.Wait()
+			close(ep.queue)
+			close(ep.drained)
+		}()
+	})
+}
+
+// WatchdogConfig tunes the stall watchdog and hot-reset escalation.
+// Zero fields select defaults.
+type WatchdogConfig struct {
+	// Interval between watchdog scans; zero means 2ms.
+	Interval time.Duration
+	// BudgetSlack multiplies the hwmodel expected latency of each job to
+	// form its overdue budget; zero means 8.
+	BudgetSlack float64
+	// BudgetFloor is the minimum per-job budget, absorbing queue wait
+	// and host scheduling noise; zero means 50ms.
+	BudgetFloor time.Duration
+	// WedgeAfter is K: this many stall detections without an intervening
+	// completed job declare the whole engine wedged (all in-flight jobs
+	// failed, hot-reset initiated); zero means 3.
+	WedgeAfter int
+	// MaxResetAttempts bounds hot-reset attempts before the engine
+	// escalates to permanent SoC-only degradation; zero means 3.
+	MaxResetAttempts int
+	// ResetBackoff is the wall delay between reset attempts; zero means
+	// 1ms.
+	ResetBackoff time.Duration
+}
+
+func (c WatchdogConfig) normalized() WatchdogConfig {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Millisecond
+	}
+	if c.BudgetSlack <= 0 {
+		c.BudgetSlack = 8
+	}
+	if c.BudgetFloor <= 0 {
+		c.BudgetFloor = 50 * time.Millisecond
+	}
+	if c.WedgeAfter <= 0 {
+		c.WedgeAfter = 3
+	}
+	if c.MaxResetAttempts <= 0 {
+		c.MaxResetAttempts = 3
+	}
+	if c.ResetBackoff <= 0 {
+		c.ResetBackoff = time.Millisecond
+	}
+	return c
+}
+
+// EngineEventKind names a fault-domain transition.
+type EngineEventKind uint8
+
+// Fault-domain events, emitted through the hook installed with
+// SetEventHook.
+const (
+	// EventStallDetected fires per job the watchdog failed as overdue.
+	EventStallDetected EngineEventKind = iota + 1
+	// EventWedgeDeclared fires when the stall streak crosses the
+	// threshold: all in-flight jobs are failed and a hot-reset begins.
+	EventWedgeDeclared
+	// EventResetOK fires when a hot-reset attempt brings the engine back
+	// to Live.
+	EventResetOK
+	// EventResetFailed fires per failed hot-reset attempt.
+	EventResetFailed
+	// EventDegraded fires when reset attempts are exhausted and the
+	// engine permanently degrades to SoC-only operation.
+	EventDegraded
+)
+
+// EngineEvent describes one fault-domain transition.
+type EngineEvent struct {
+	Kind  EngineEventKind
+	State EngineState
+	// Seq is the stalled job (EventStallDetected).
+	Seq uint64
+	// Pending is the in-flight job count failed by a wedge declaration.
+	Pending int
+	// Attempt is the 1-based reset attempt number.
+	Attempt int
+}
+
+// EngineHealth is a snapshot of the engine fault domain.
+type EngineHealth struct {
+	State    EngineState
+	Inflight int
+	// Stalls counts jobs the watchdog failed as overdue; Wedges counts
+	// whole-engine wedge declarations; Resets counts successful
+	// hot-resets; ResetFailures counts failed reset attempts.
+	Stalls, Wedges, Resets, ResetFailures uint64
+	// ExpiredDropped counts jobs dropped at dequeue because their
+	// deadline had already passed; LostJobs counts handles failed with
+	// ErrEngineLost (each is a replay candidate for the SoC path).
+	ExpiredDropped, LostJobs uint64
 }
 
 // CEngine is the hardware compression accelerator: a serial job queue
 // served by one worker, the way a hardware queue pair drains submissions
-// in order.
+// in order. It is also a recoverable fault domain: an optional watchdog
+// detects stalled jobs and wedged queues, fails the in-flight journal
+// with ErrEngineLost, and hot-resets the engine with bounded attempts
+// before degrading permanently to SoC-only operation.
 type CEngine struct {
-	gen   hwmodel.Generation
-	queue chan queued
-	// done signals close to submitters blocked on a full queue.
-	done chan struct{}
-	// submitters counts Submit calls past the closed-check; close waits
-	// for them before closing the queue so a send never races the close.
-	submitters sync.WaitGroup
+	gen hwmodel.Generation
+	// closeCh signals engine close to the watchdog goroutine.
+	closeCh chan struct{}
 
 	mu       sync.Mutex
 	closed   bool
 	tracer   *trace.Tracer
 	injector *faults.Injector
+	state    EngineState
+	epoch    *engineEpoch
+	seq      uint64
+	inflight map[uint64]*journalEntry
+	wd       *WatchdogConfig
+	hook     func(EngineEvent)
+	// stallStreak counts watchdog stall detections since the last
+	// genuinely completed job; reaching WedgeAfter declares a wedge.
+	stallStreak int
+
+	stalls, wedges, resets, resetFailures, expired, lost uint64
 }
 
 // SetTracer attaches an activity recorder; every executed job is logged.
@@ -143,16 +368,30 @@ func (e *CEngine) getInjector() *faults.Injector {
 	return e.injector
 }
 
+// SetEventHook installs the fault-domain transition listener (stall,
+// wedge, reset, degradation). The hook runs on the watchdog goroutine
+// and must not block; pass nil to remove it.
+func (e *CEngine) SetEventHook(fn func(EngineEvent)) {
+	e.mu.Lock()
+	e.hook = fn
+	e.mu.Unlock()
+}
+
 // cengineQueueDepth mirrors a typical DOCA work-queue depth.
 const cengineQueueDepth = 128
 
+// engineWatchdog labels watchdog trace events.
+const engineWatchdog = "watchdog"
+
 func newCEngine(gen hwmodel.Generation) *CEngine {
 	e := &CEngine{
-		gen:   gen,
-		queue: make(chan queued, cengineQueueDepth),
-		done:  make(chan struct{}),
+		gen:      gen,
+		closeCh:  make(chan struct{}),
+		state:    EngineLive,
+		epoch:    newEpoch(),
+		inflight: make(map[uint64]*journalEntry),
 	}
-	go e.worker()
+	go e.worker(e.epoch)
 	return e
 }
 
@@ -161,11 +400,64 @@ func (e *CEngine) Supports(algo hwmodel.Algo, op hwmodel.Op) bool {
 	return supportsCEngine(e.gen, algo, op)
 }
 
+// State reports the engine fault-domain position.
+func (e *CEngine) State() EngineState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
+}
+
+// Health snapshots the engine fault domain: state, in-flight depth, and
+// the stall/reset/replay counters.
+func (e *CEngine) Health() EngineHealth {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineHealth{
+		State:          e.state,
+		Inflight:       len(e.inflight),
+		Stalls:         e.stalls,
+		Wedges:         e.wedges,
+		Resets:         e.resets,
+		ResetFailures:  e.resetFailures,
+		ExpiredDropped: e.expired,
+		LostJobs:       e.lost,
+	}
+}
+
+// InflightJobs snapshots the in-flight journal (tests and diagnostics).
+func (e *CEngine) InflightJobs() []InflightJob {
+	now := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]InflightJob, 0, len(e.inflight))
+	for _, je := range e.inflight {
+		out = append(out, InflightJob{
+			Seq: je.seq, Algo: je.algo, Op: je.op,
+			Bytes: len(je.input), Age: now.Sub(je.submitted),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
 // Submit enqueues a job. It fails fast with ErrUnsupported when the
 // hardware lacks the path (callers should have checked Supports, the way
 // PEDAL's capability fallback does), with ErrQueueFull when the injector
-// models a busy work queue, and with ErrClosed after close.
+// models a busy work queue, with ErrEngineLost while the engine is
+// resetting or permanently degraded, and with ErrClosed after close.
 func (e *CEngine) Submit(job Job) (*JobHandle, error) {
+	return e.submit(job, true)
+}
+
+// TrySubmit is Submit without the blocking enqueue: when the work queue
+// is full it returns ErrQueueFull immediately instead of waiting for a
+// slot. The chunked pipeline uses it to spill overflow chunks to the SoC
+// cores rather than stalling the scheduler behind a saturated engine.
+func (e *CEngine) TrySubmit(job Job) (*JobHandle, error) {
+	return e.submit(job, false)
+}
+
+func (e *CEngine) submit(job Job, blocking bool) (*JobHandle, error) {
 	if !e.Supports(job.Algo, job.Op) {
 		return nil, fmt.Errorf("%w: %v %v on %v C-Engine", ErrUnsupported, job.Algo, job.Op, e.gen)
 	}
@@ -178,59 +470,79 @@ func (e *CEngine) Submit(job Job) (*JobHandle, error) {
 			return nil, fmt.Errorf("%w: %v %v", ErrQueueFull, job.Algo, job.Op)
 		}
 	}
-	h := &JobHandle{done: make(chan JobResult, 1)}
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
 		return nil, ErrClosed
 	}
-	e.submitters.Add(1)
+	if e.state != EngineLive {
+		st := e.state
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: engine %v", ErrEngineLost, st)
+	}
+	e.seq++
+	h := &JobHandle{seq: e.seq, done: make(chan JobResult, 1)}
+	ep := e.epoch
+	ep.submitters.Add(1)
+	// Journal the job before it leaves our hands: the watchdog scores
+	// this entry against the latency budget, and a wedge declaration
+	// fails it so the caller can replay on the SoC.
+	e.inflight[h.seq] = &journalEntry{
+		seq: h.seq, algo: job.Algo, op: job.Op, input: job.Input,
+		submitted: time.Now(), handle: h,
+	}
 	e.mu.Unlock()
-	defer e.submitters.Done()
+	defer ep.submitters.Done()
+	q := queued{job: job, handle: h, fault: dec, seq: h.seq}
 	// Enqueue outside the lock: a full queue must not wedge SetTracer or
-	// close behind a blocked send, and close never races this send — it
-	// signals done first and waits for in-flight submitters before
+	// close behind a blocked send, and retire never races this send — it
+	// signals stop first and waits for in-flight submitters before
 	// closing the queue.
+	if blocking {
+		select {
+		case ep.queue <- q:
+			return h, nil
+		case <-ep.stop:
+			return nil, e.submitFailed(h.seq)
+		}
+	}
 	select {
-	case e.queue <- queued{job: job, handle: h, fault: dec}:
+	case ep.queue <- q:
 		return h, nil
-	case <-e.done:
-		return nil, ErrClosed
+	case <-ep.stop:
+		return nil, e.submitFailed(h.seq)
+	default:
+		e.journalRemove(h.seq)
+		return nil, fmt.Errorf("%w: %v %v (queue depth %d)", ErrQueueFull, job.Algo, job.Op, cengineQueueDepth)
 	}
 }
 
-// TrySubmit is Submit without the blocking enqueue: when the work queue
-// is full it returns ErrQueueFull immediately instead of waiting for a
-// slot. The chunked pipeline uses it to spill overflow chunks to the SoC
-// cores rather than stalling the scheduler behind a saturated engine.
-func (e *CEngine) TrySubmit(job Job) (*JobHandle, error) {
-	if !e.Supports(job.Algo, job.Op) {
-		return nil, fmt.Errorf("%w: %v %v on %v C-Engine", ErrUnsupported, job.Algo, job.Op, e.gen)
-	}
-	var dec faults.Decision
-	if inj := e.getInjector(); inj != nil {
-		dec = inj.Next()
-		if dec.Class == faults.QueueFull {
-			return nil, fmt.Errorf("%w: %v %v", ErrQueueFull, job.Algo, job.Op)
-		}
-	}
-	h := &JobHandle{done: make(chan JobResult, 1)}
+// submitFailed cleans the journal after an enqueue lost against epoch
+// retirement and picks the caller-facing error.
+func (e *CEngine) submitFailed(seq uint64) error {
+	e.journalRemove(seq)
 	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return nil, ErrClosed
-	}
-	e.submitters.Add(1)
+	closed := e.closed
 	e.mu.Unlock()
-	defer e.submitters.Done()
-	select {
-	case e.queue <- queued{job: job, handle: h, fault: dec}:
-		return h, nil
-	case <-e.done:
-		return nil, ErrClosed
-	default:
-		return nil, fmt.Errorf("%w: %v %v (queue depth %d)", ErrQueueFull, job.Algo, job.Op, cengineQueueDepth)
+	if closed {
+		return ErrClosed
 	}
+	return fmt.Errorf("%w: engine resetting", ErrEngineLost)
+}
+
+func (e *CEngine) journalRemove(seq uint64) {
+	e.mu.Lock()
+	delete(e.inflight, seq)
+	e.mu.Unlock()
+}
+
+// jobCompleted retires a journal entry after genuine execution and
+// resets the watchdog's stall streak: a draining engine is not wedged.
+func (e *CEngine) jobCompleted(seq uint64) {
+	e.mu.Lock()
+	delete(e.inflight, seq)
+	e.stallStreak = 0
+	e.mu.Unlock()
 }
 
 // Run is the synchronous convenience wrapper: submit and wait.
@@ -242,10 +554,286 @@ func (e *CEngine) Run(job Job) JobResult {
 	return h.Wait()
 }
 
-func (e *CEngine) worker() {
-	for q := range e.queue {
-		q.handle.done <- e.execute(q.job, q.fault)
+func (e *CEngine) worker(ep *engineEpoch) {
+	for q := range ep.queue {
+		if ep.stale.Load() {
+			// Reset-retired epoch: the hardware behind this queue is
+			// gone. The watchdog already failed journaled handles; the
+			// duplicate completion below is a dropped non-blocking send.
+			e.journalRemove(q.seq)
+			q.handle.complete(JobResult{Seq: q.seq, Err: fmt.Errorf("%w: epoch retired", ErrEngineLost)})
+			continue
+		}
+		if !q.job.Deadline.IsZero() && time.Now().After(q.job.Deadline) {
+			// Dead on arrival: the submitter's wait deadline has already
+			// fired. Executing would spend engine time on an abandoned
+			// result, so drop at dequeue.
+			e.noteExpired(q)
+			e.journalRemove(q.seq)
+			q.handle.complete(JobResult{Seq: q.seq, Err: fmt.Errorf("%w: expired in queue", ErrDeadline)})
+			continue
+		}
+		switch q.fault.Class {
+		case faults.Stall:
+			// Injected descriptor loss: the engine accepted the job and
+			// will never complete it. The journal entry stays; only the
+			// watchdog (or the caller's wait deadline) frees the caller.
+			continue
+		case faults.Wedge:
+			// Injected firmware wedge: stop draining entirely until the
+			// epoch is retired by a hot-reset or engine close.
+			<-ep.stop
+			e.journalRemove(q.seq)
+			q.handle.complete(JobResult{Seq: q.seq, Err: fmt.Errorf("%w: engine wedged", ErrEngineLost)})
+			continue
+		}
+		res := e.execute(q.job, q.fault)
+		res.Seq = q.seq
+		e.jobCompleted(q.seq)
+		q.handle.complete(res)
 	}
+}
+
+func (e *CEngine) noteExpired(q queued) {
+	e.mu.Lock()
+	e.expired++
+	tr := e.tracer
+	e.mu.Unlock()
+	if tr != nil {
+		tr.Record(trace.Event{
+			Engine: hwmodel.CEngine.String(), Algo: q.job.Algo.String(),
+			Op: "deadline_expired_drop", InBytes: len(q.job.Input),
+			Err: ErrDeadline.Error(),
+		})
+	}
+}
+
+// StartWatchdog arms the stall watchdog: a goroutine that scores every
+// journaled job against its expected-latency budget, fails overdue jobs
+// with ErrEngineLost, declares the engine wedged after WedgeAfter
+// consecutive stalls, and drives the hot-reset/degradation state
+// machine. Idempotent: the first configuration wins.
+func (e *CEngine) StartWatchdog(cfg WatchdogConfig) {
+	cfg = cfg.normalized()
+	e.mu.Lock()
+	if e.closed || e.wd != nil {
+		e.mu.Unlock()
+		return
+	}
+	e.wd = &cfg
+	e.mu.Unlock()
+	go e.watchdog(cfg)
+}
+
+// WatchdogEnabled reports whether the stall watchdog is armed.
+func (e *CEngine) WatchdogEnabled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wd != nil
+}
+
+func (e *CEngine) watchdog(cfg WatchdogConfig) {
+	tick := time.NewTicker(cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.closeCh:
+			return
+		case <-tick.C:
+		}
+		if wedged := e.scan(cfg); wedged {
+			e.hotReset(cfg)
+		}
+	}
+}
+
+// budget is the expected-latency allowance for one in-flight job: the
+// hwmodel cost of the operation scaled by the configured slack, plus a
+// floor absorbing queue wait and host scheduling noise. Decompression
+// cost scales with the expanded output, unknown while in flight, so the
+// compressed size is inflated by a nominal expansion ratio first.
+func (e *CEngine) budget(cfg WatchdogConfig, je *journalEntry) time.Duration {
+	n := len(je.input)
+	if je.op == hwmodel.Decompress {
+		n *= 8
+	}
+	d, ok := hwmodel.OpCost(e.gen, hwmodel.CEngine, je.algo, je.op, n)
+	if !ok {
+		d = 0
+	}
+	return cfg.BudgetFloor + time.Duration(float64(d)*cfg.BudgetSlack)
+}
+
+// scan fails jobs whose budget has expired and reports whether the
+// stall streak crossed the wedge threshold (the caller then hot-resets).
+func (e *CEngine) scan(cfg WatchdogConfig) bool {
+	now := time.Now()
+	e.mu.Lock()
+	if e.closed || e.state != EngineLive {
+		e.mu.Unlock()
+		return false
+	}
+	var overdue []*journalEntry
+	for _, je := range e.inflight {
+		if now.Sub(je.submitted) > e.budget(cfg, je) {
+			overdue = append(overdue, je)
+		}
+	}
+	if len(overdue) == 0 {
+		e.mu.Unlock()
+		return false
+	}
+	sort.Slice(overdue, func(a, b int) bool { return overdue[a].seq < overdue[b].seq })
+	for _, je := range overdue {
+		delete(e.inflight, je.seq)
+		e.stalls++
+		e.lost++
+		e.stallStreak++
+	}
+	wedged := e.stallStreak >= cfg.WedgeAfter
+	var drained []*journalEntry
+	if wedged {
+		e.state = EngineResetting
+		e.wedges++
+		for _, je := range e.inflight {
+			drained = append(drained, je)
+			e.lost++
+		}
+		e.inflight = make(map[uint64]*journalEntry)
+		e.stallStreak = 0
+	}
+	tr := e.tracer
+	hook := e.hook
+	e.mu.Unlock()
+
+	for _, je := range overdue {
+		je.handle.complete(JobResult{Seq: je.seq, Err: fmt.Errorf(
+			"%w: job %d stalled (%v %v over %d bytes)", ErrEngineLost, je.seq, je.algo, je.op, len(je.input))})
+		if tr != nil {
+			tr.Record(trace.Event{
+				Engine: engineWatchdog, Algo: je.algo.String(),
+				Op: "engine_stall_detected", InBytes: len(je.input), Err: "job overdue",
+			})
+		}
+		if hook != nil {
+			hook(EngineEvent{Kind: EventStallDetected, State: EngineLive, Seq: je.seq})
+		}
+	}
+	if wedged {
+		sort.Slice(drained, func(a, b int) bool { return drained[a].seq < drained[b].seq })
+		for _, je := range drained {
+			je.handle.complete(JobResult{Seq: je.seq, Err: fmt.Errorf(
+				"%w: engine wedged with job %d in flight", ErrEngineLost, je.seq)})
+		}
+		pending := len(overdue) + len(drained)
+		if tr != nil {
+			tr.Record(trace.Event{
+				Engine: engineWatchdog, Op: "engine_wedge_declared",
+				InBytes: pending, Err: "stall streak exhausted budget",
+			})
+		}
+		if hook != nil {
+			hook(EngineEvent{Kind: EventWedgeDeclared, State: EngineResetting, Pending: pending})
+		}
+	}
+	return wedged
+}
+
+// hotReset retires the wedged epoch and re-opens the engine with a
+// fresh queue and worker (the DOCA work-queue teardown + rebuild of a
+// device re-open). Attempts are bounded: a firmware that refuses to come
+// back escalates to permanent SoC-only degradation.
+func (e *CEngine) hotReset(cfg WatchdogConfig) {
+	e.mu.Lock()
+	old := e.epoch
+	tr := e.tracer
+	hook := e.hook
+	e.mu.Unlock()
+	old.retire(true)
+	for attempt := 1; attempt <= cfg.MaxResetAttempts; attempt++ {
+		if attempt > 1 {
+			time.Sleep(cfg.ResetBackoff)
+		}
+		if dec := e.getInjector().NextReset(); dec.Class == faults.ResetFail {
+			e.mu.Lock()
+			e.resetFailures++
+			e.mu.Unlock()
+			if tr != nil {
+				tr.Record(trace.Event{Engine: engineWatchdog, Op: "engine_reset",
+					Err: fmt.Sprintf("attempt %d/%d failed", attempt, cfg.MaxResetAttempts)})
+			}
+			if hook != nil {
+				hook(EngineEvent{Kind: EventResetFailed, State: EngineResetting, Attempt: attempt})
+			}
+			continue
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			return
+		}
+		ep := newEpoch()
+		e.epoch = ep
+		e.state = EngineLive
+		e.resets++
+		e.mu.Unlock()
+		go e.worker(ep)
+		if tr != nil {
+			tr.Record(trace.Event{Engine: engineWatchdog, Op: "engine_reset"})
+		}
+		if hook != nil {
+			hook(EngineEvent{Kind: EventResetOK, State: EngineLive, Attempt: attempt})
+		}
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.state = EngineDegraded
+	e.mu.Unlock()
+	if tr != nil {
+		tr.Record(trace.Event{Engine: engineWatchdog, Op: "engine_degraded",
+			Err: "reset attempts exhausted"})
+	}
+	if hook != nil {
+		hook(EngineEvent{Kind: EventDegraded, State: EngineDegraded, Attempt: cfg.MaxResetAttempts})
+	}
+}
+
+// Reset manually hot-resets the engine: every in-flight job fails with
+// ErrEngineLost, the queue is rebuilt, and bounded attempts escalate to
+// permanent degradation exactly like a watchdog-initiated reset. It
+// returns the resulting state. Resetting and Degraded engines return
+// their current state unchanged.
+func (e *CEngine) Reset() EngineState {
+	e.mu.Lock()
+	if e.closed || e.state != EngineLive {
+		st := e.state
+		e.mu.Unlock()
+		return st
+	}
+	cfg := WatchdogConfig{}.normalized()
+	if e.wd != nil {
+		cfg = *e.wd
+	}
+	e.state = EngineResetting
+	var drained []*journalEntry
+	for _, je := range e.inflight {
+		drained = append(drained, je)
+		e.lost++
+	}
+	e.inflight = make(map[uint64]*journalEntry)
+	e.stallStreak = 0
+	e.mu.Unlock()
+	sort.Slice(drained, func(a, b int) bool { return drained[a].seq < drained[b].seq })
+	for _, je := range drained {
+		je.handle.complete(JobResult{Seq: je.seq, Err: fmt.Errorf(
+			"%w: manual reset with job %d in flight", ErrEngineLost, je.seq)})
+	}
+	e.hotReset(cfg)
+	return e.State()
 }
 
 func (e *CEngine) close() {
@@ -255,13 +843,14 @@ func (e *CEngine) close() {
 		return
 	}
 	e.closed = true
+	ep := e.epoch
 	e.mu.Unlock()
+	close(e.closeCh)
 	// Unblock submitters stuck on a full queue, wait until none are in
 	// flight, then close the queue so the worker drains what was
 	// accepted and exits. This ordering makes close(queue) race-free.
-	close(e.done)
-	e.submitters.Wait()
-	close(e.queue)
+	ep.retire(false)
+	<-ep.drained
 }
 
 // execute performs the real compression work and attaches the modelled

@@ -61,6 +61,12 @@ var (
 	ErrDeadline = errors.New("dpu: job deadline exceeded")
 	// ErrCorrupt marks engine output whose checksum failed verification.
 	ErrCorrupt = errors.New("dpu: engine output failed checksum")
+	// ErrEngineLost marks a job lost to an engine fault-domain event: the
+	// watchdog declared the job stalled, the whole engine wedged, or the
+	// engine is resetting/degraded. It is deliberately NOT transient —
+	// resubmitting to the same dead engine is futile; the caller must
+	// replay the journaled work on the SoC path instead.
+	ErrEngineLost = errors.New("dpu: engine lost")
 )
 
 // IsTransient reports whether err belongs to a failure class a caller

@@ -122,6 +122,7 @@ func Runners() []Runner {
 		{"ext-pipeline", "Extension: pipelined chunked compression–communication overlap", ExtPipeline},
 		{"ext-faults", "Extension: availability under injected C-Engine faults", ExtFaults},
 		{"ext-netfaults", "Extension: chaos soak — lossy fabric + overloaded daemon", ExtNetFaults},
+		{"ext-enginefaults", "Extension: chaos soak — self-healing C-Engine fault domain", ExtEngineFaults},
 	}
 }
 

@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBreakerHalfOpenSingleProbe hammers an open breaker from many
+// goroutines and asserts the half-open contract under concurrency:
+// exactly one request is admitted as the probe, everyone else is
+// rejected until the probe resolves. Run with -race; a lost update in
+// Allow would admit multiple probes at once.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Threshold: 1, ProbeEvery: 1})
+	if !b.Failure() {
+		t.Fatal("breaker did not trip at threshold 1")
+	}
+
+	const goroutines = 64
+	var admitted atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+
+	// ProbeEvery=1 makes the very first open-state request eligible, so
+	// the race is maximal: all 64 goroutines compete for the one probe
+	// slot.
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d probes admitted concurrently, want exactly 1", got)
+	}
+	if b.State() != StateHalfOpen {
+		t.Fatalf("state %v after probe admission, want half-open", b.State())
+	}
+
+	// The probe's outcome resolves the state for everyone: a failure
+	// re-opens (no new trip), and the next round again admits exactly
+	// one.
+	if b.Failure() {
+		t.Fatal("failed probe counted as a fresh trip")
+	}
+	admitted.Store(0)
+	start.Add(1)
+	done.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if b.Allow() {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("%d probes admitted after re-open, want exactly 1", got)
+	}
+	// A successful probe closes the breaker and everyone flows again.
+	if !b.Success() {
+		t.Fatal("probe success did not recover the breaker")
+	}
+	if !b.Allow() || b.State() != StateClosed {
+		t.Fatal("breaker not closed after successful probe")
+	}
+}

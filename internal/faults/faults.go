@@ -39,6 +39,18 @@ const (
 	// Hang stalls the worker for Delay before executing, modelling a
 	// latency spike that only a wait deadline can bound.
 	Hang
+	// Stall swallows the job: the engine accepts it and never completes
+	// it, the way a firmware wedge loses a descriptor. Only a watchdog
+	// tracking submit timestamps can recover the caller.
+	Stall
+	// Wedge freezes the engine's queue drain entirely: the job and
+	// everything submitted behind it sit undrained until the engine is
+	// hot-reset. This is the whole-engine failure mode of a wedged
+	// firmware state machine.
+	Wedge
+	// ResetFail fails a hot-reset attempt (the firmware refuses to come
+	// back); it is drawn per reset attempt via NextReset, never per job.
+	ResetFail
 )
 
 func (c Class) String() string {
@@ -55,6 +67,12 @@ func (c Class) String() string {
 		return "queue-full"
 	case Hang:
 		return "hang"
+	case Stall:
+		return "stall"
+	case Wedge:
+		return "wedge"
+	case ResetFail:
+		return "reset-fail"
 	default:
 		return fmt.Sprintf("Class(%d)", uint8(c))
 	}
@@ -74,13 +92,20 @@ type Config struct {
 	// Seed makes the schedule reproducible; zero selects a fixed
 	// default seed (injection stays deterministic either way).
 	Seed uint64
-	// PTransient, PPersistent, PCorrupt, PQueueFull, PHang are the
-	// per-job probabilities of each failure class.
+	// PTransient, PPersistent, PCorrupt, PQueueFull, PHang, PStall,
+	// PWedge are the per-job probabilities of each failure class.
 	PTransient  float64
 	PPersistent float64
 	PCorrupt    float64
 	PQueueFull  float64
 	PHang       float64
+	PStall      float64
+	PWedge      float64
+	// PResetFail is the per-attempt probability that an engine hot-reset
+	// fails (drawn by NextReset, independent of the per-job schedule and
+	// of MaxInjections — a wedged firmware does not heal just because
+	// the job fault budget ran out).
+	PResetFail float64
 	// HangDelay is the stall injected by the Hang class; zero means
 	// 20ms.
 	HangDelay time.Duration
@@ -131,6 +156,8 @@ func (i *Injector) Next() Decision {
 		{i.cfg.PCorrupt, Corrupt},
 		{i.cfg.PQueueFull, QueueFull},
 		{i.cfg.PHang, Hang},
+		{i.cfg.PStall, Stall},
+		{i.cfg.PWedge, Wedge},
 	} {
 		if u < c.p {
 			i.injected++
@@ -141,6 +168,23 @@ func (i *Injector) Next() Decision {
 			return d
 		}
 		u -= c.p
+	}
+	return Decision{}
+}
+
+// NextReset draws the verdict for one engine hot-reset attempt: a
+// Decision with Class ResetFail when the attempt must fail, None when
+// the reset succeeds. The draw shares the injector's PRNG so the whole
+// failure schedule (jobs and resets) replays from one seed.
+func (i *Injector) NextReset() Decision {
+	if i == nil {
+		return Decision{}
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.rng.Float64() < i.cfg.PResetFail {
+		i.injected++
+		return Decision{Class: ResetFail}
 	}
 	return Decision{}
 }

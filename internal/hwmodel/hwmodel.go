@@ -207,6 +207,18 @@ func InitCost(gen Generation) time.Duration {
 	}
 }
 
+// ResetCost is the engine hot-reset cost: work-queue teardown, C-Engine
+// context destroy + re-create, and doorbell re-arm. Far cheaper than a
+// full InitCost because the device stays open and the PE survives.
+func ResetCost(gen Generation) time.Duration {
+	switch gen {
+	case BlueField3:
+		return 18 * time.Millisecond
+	default:
+		return 25 * time.Millisecond
+	}
+}
+
 // BufPrepCost models buffer preparation: allocation plus mapping between
 // regular and DOCA-operable memory (mmap + buf-inventory registration).
 func BufPrepCost(gen Generation, eng Engine, n int) time.Duration {

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -34,6 +35,7 @@ type DecompressSession struct {
 
 	mu       sync.Mutex
 	firstErr error
+	replays  int
 }
 
 // NewDecompress opens a reassembly session for count chunks of
@@ -112,7 +114,15 @@ func (s *DecompressSession) Submit(index, origLen int, comp []byte, arrival time
 					copy(slot[:origLen], res.Output)
 					return
 				}
-				// Hardware failure: decode in software instead.
+				// Hardware failure: decode in software instead. An
+				// ErrEngineLost result is a journal replay — the chunk's
+				// slot geometry guarantees exactly-once delivery into the
+				// output no matter which path wins.
+				if errors.Is(res.Err, dpu.ErrEngineLost) {
+					s.mu.Lock()
+					s.replays++
+					s.mu.Unlock()
+				}
 				s.fail(s.decode(comp, slot, origLen))
 			}()
 			return nil
@@ -218,6 +228,7 @@ func (s *DecompressSession) Wait() ([]byte, Summary, error) {
 	}
 	s.mu.Lock()
 	err := s.firstErr
+	sum.Replayed = s.replays
 	s.mu.Unlock()
 	if err != nil {
 		return nil, sum, err

@@ -133,6 +133,11 @@ type Summary struct {
 	EngineChunks int
 	CompBytes    int
 	ChunkSize    int
+	// Replayed counts chunks whose engine job was lost to a stall or
+	// wedge (ErrEngineLost) and were re-executed on the SoC from the
+	// scheduler's chunk journal — each exactly once, so reassembly stays
+	// complete with no duplicate or missing chunks.
+	Replayed int
 }
 
 // Pipeline owns a persistent SoC worker pool bound to one device. It is
@@ -325,6 +330,9 @@ type compResult struct {
 	buf      []byte // pooled backing buffer, nil for engine output
 	err      error
 	fellBack bool
+	// replayed marks a fallback caused by engine loss (stall/wedge/
+	// reset) rather than an ordinary job failure.
+	replayed bool
 }
 
 // Compress splits src into chunks, compresses them across the SoC
@@ -387,7 +395,8 @@ func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summ
 						return
 					}
 					out, buf, serr := p.softCompress(spec, data)
-					results[i] <- compResult{out: out, buf: buf, err: serr, fellBack: true}
+					results[i] <- compResult{out: out, buf: buf, err: serr, fellBack: true,
+						replayed: errors.Is(res.Err, dpu.ErrEngineLost)}
 				}()
 				continue
 			}
@@ -424,6 +433,9 @@ func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summ
 			engine = false
 			if done > sum.Makespan {
 				sum.Makespan = done
+			}
+			if r.replayed {
+				sum.Replayed++
 			}
 		}
 		if engine {

@@ -201,6 +201,23 @@ func TestShutdownDrainsInFlight(t *testing.T) {
 	shutdownDone := make(chan error, 1)
 	go func() { shutdownDone <- s.Shutdown(ctx) }()
 
+	// Wait until the drain has observably begun: Shutdown pokes idle
+	// read deadlines before closing the listener, so once Dial is
+	// refused the idle connection has been released. Sending the "too
+	// late" request earlier would race past the drain poke — the server
+	// then (correctly) serves and counts it, which is not this test's
+	// scenario.
+	for deadline := time.Now().Add(5 * time.Second); ; time.Sleep(time.Millisecond) {
+		c, err := Dial(addr)
+		if err != nil {
+			break
+		}
+		c.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting after Shutdown")
+		}
+	}
+
 	// The idle connection is released promptly; its next request fails
 	// instead of hanging.
 	idle.Timeout = 5 * time.Second

@@ -1,7 +1,10 @@
 package service
 
 import (
+	"fmt"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -71,4 +74,72 @@ func (c *Client) Decompress(engine hwmodel.Engine, dt core.DataType, msg []byte,
 		maxOut: int64(maxOut),
 		data:   msg,
 	})
+}
+
+// Health is the parsed engine fault-domain status of a PEDAL service:
+// the daemon's view of its C-Engine (live / resetting / degraded) plus
+// the recovery counters.
+type Health struct {
+	State          string
+	Inflight       uint64
+	Stalls         uint64
+	Wedges         uint64
+	Resets         uint64
+	ResetFailures  uint64
+	ExpiredDropped uint64
+	LostJobs       uint64
+	JobsReplayed   uint64
+}
+
+// Live reports whether the daemon's engine is serving hardware jobs.
+func (h Health) Live() bool { return h.State == "live" }
+
+// Health queries the daemon's engine fault-domain status.
+func (c *Client) Health() (Health, error) {
+	body, err := c.roundTrip(request{op: opHealth})
+	if err != nil {
+		return Health{}, err
+	}
+	return parseHealth(body)
+}
+
+// parseHealth decodes the health endpoint's key=value text line.
+func parseHealth(body []byte) (Health, error) {
+	var h Health
+	for _, field := range strings.Fields(string(body)) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Health{}, fmt.Errorf("%w: malformed health field %q", ErrRemote, field)
+		}
+		if key == "state" {
+			h.State = val
+			continue
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			return Health{}, fmt.Errorf("%w: health field %q: %v", ErrRemote, field, err)
+		}
+		switch key {
+		case "inflight":
+			h.Inflight = n
+		case "stalls":
+			h.Stalls = n
+		case "wedges":
+			h.Wedges = n
+		case "resets":
+			h.Resets = n
+		case "reset_failures":
+			h.ResetFailures = n
+		case "expired_dropped":
+			h.ExpiredDropped = n
+		case "lost_jobs":
+			h.LostJobs = n
+		case "jobs_replayed":
+			h.JobsReplayed = n
+		}
+	}
+	if h.State == "" {
+		return Health{}, fmt.Errorf("%w: health response missing state", ErrRemote)
+	}
+	return h, nil
 }

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+)
+
+// TestHealthEndpoint: the daemon reports its engine fault-domain status
+// over the wire — live state and zeroed recovery counters on a fresh
+// server, with the counters still parseable after real traffic.
+func TestHealthEndpoint(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.Live() || h.State != "live" {
+		t.Fatalf("fresh daemon not live: %+v", h)
+	}
+	if h.Stalls != 0 || h.Wedges != 0 || h.Resets != 0 || h.LostJobs != 0 {
+		t.Fatalf("fresh daemon has nonzero recovery counters: %+v", h)
+	}
+
+	// Health interleaves with compression traffic on the same
+	// connection without desynchronising the stream.
+	data := bytes.Repeat([]byte("health endpoint interleave payload "), 1000)
+	msg, err := c.Compress(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}, core.TypeBytes, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err = c.Health(); err != nil || !h.Live() {
+		t.Fatalf("health after traffic: %+v err=%v", h, err)
+	}
+	out, err := c.Decompress(hwmodel.CEngine, core.TypeBytes, msg, len(data)+64)
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("round trip around health probe failed: %v", err)
+	}
+}
+
+// TestParseHealthRejectsMalformed: the client surfaces malformed health
+// bodies as ErrRemote instead of returning a zero Health.
+func TestParseHealthRejectsMalformed(t *testing.T) {
+	if _, err := parseHealth([]byte("state=live stalls=notanumber")); err == nil {
+		t.Fatal("malformed counter accepted")
+	}
+	if _, err := parseHealth([]byte("stalls=3")); err == nil {
+		t.Fatal("missing state accepted")
+	}
+	if _, err := parseHealth([]byte("garbage")); err == nil {
+		t.Fatal("keyless field accepted")
+	}
+	h, err := parseHealth([]byte("state=degraded stalls=2 wedges=1 resets=0 reset_failures=3 expired_dropped=4 lost_jobs=5 jobs_replayed=5 inflight=0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Live() || h.State != "degraded" || h.Stalls != 2 || h.ResetFailures != 3 || h.JobsReplayed != 5 {
+		t.Fatalf("parsed health wrong: %+v", h)
+	}
+}

@@ -25,6 +25,10 @@ import (
 const (
 	opCompress   = 1
 	opDecompress = 2
+	// opHealth asks for the daemon's engine fault-domain status; the
+	// response body is a text line of space-separated key=value pairs
+	// (the /health endpoint of a DPU compression daemon).
+	opHealth = 3
 )
 
 // Response status codes.

@@ -387,6 +387,10 @@ func (s *Server) execute(req request) (body []byte, err error) {
 	if s.execHook != nil {
 		return s.execHook(req)
 	}
+	if req.op == opHealth {
+		// Health carries no payload and no engine selector.
+		return s.HealthBody(), nil
+	}
 	engine := hwmodel.Engine(req.engine)
 	if engine != hwmodel.SoC && engine != hwmodel.CEngine {
 		return nil, errors.New("bad engine")
@@ -403,6 +407,18 @@ func (s *Server) execute(req request) (body []byte, err error) {
 	default:
 		return nil, errors.New("bad op")
 	}
+}
+
+// HealthBody renders the engine fault-domain status as the health
+// endpoint's key=value text line. Exposed so cmd/pedald can log the same
+// line at startup and drain.
+func (s *Server) HealthBody() []byte {
+	h := s.lib.EngineHealth()
+	replayed := s.lib.TotalBreakdown().Count(stats.CounterJobsReplayed)
+	return []byte(fmt.Sprintf(
+		"state=%s inflight=%d stalls=%d wedges=%d resets=%d reset_failures=%d expired_dropped=%d lost_jobs=%d jobs_replayed=%d",
+		h.State, h.Inflight, h.Stalls, h.Wedges, h.Resets, h.ResetFailures,
+		h.ExpiredDropped, h.LostJobs, replayed))
 }
 
 // ListenAndServe is the convenience entry used by cmd/pedald.

@@ -28,6 +28,9 @@ const (
 	// PhaseRetry accumulates the virtual backoff delays spent retrying
 	// transient C-Engine failures.
 	PhaseRetry Phase = "retry_backoff"
+	// PhaseReset accumulates the virtual cost of engine hot-resets
+	// (work-queue teardown + rebuild after a wedge).
+	PhaseReset Phase = "engine_reset"
 )
 
 // Counter names a monotonically increasing resilience event count.
@@ -55,6 +58,31 @@ const (
 	// CounterDegradedOps counts operations routed straight to the SoC
 	// because the breaker was open.
 	CounterDegradedOps Counter = "degraded_ops"
+)
+
+// Engine fault-domain counters (PR 4): the stall watchdog, hot-reset
+// state machine, and journal replay in internal/dpu and internal/core.
+const (
+	// CounterEngineStalls counts jobs the watchdog failed as overdue
+	// (submit timestamp exceeded the expected-latency budget).
+	CounterEngineStalls Counter = "engine_stall_detected"
+	// CounterEngineWedges counts whole-engine wedge declarations (K
+	// consecutive stalls; every in-flight job failed with ErrEngineLost).
+	CounterEngineWedges Counter = "engine_wedges"
+	// CounterEngineResets counts successful hot-resets (engine back to
+	// live); CounterEngineResetFailures counts failed reset attempts.
+	CounterEngineResets        Counter = "engine_reset"
+	CounterEngineResetFailures Counter = "engine_reset_failures"
+	// CounterEngineDegraded counts escalations to permanent SoC-only
+	// degradation after reset attempts were exhausted.
+	CounterEngineDegraded Counter = "engine_degraded_permanent"
+	// CounterJobsReplayed counts operations that lost their engine job to
+	// a stall/wedge and were deterministically re-executed on the SoC
+	// path from the in-flight journal.
+	CounterJobsReplayed Counter = "jobs_replayed"
+	// CounterJobsExpiredDropped counts queued jobs dropped at dequeue
+	// because their completion deadline had already passed.
+	CounterJobsExpiredDropped Counter = "jobs_dropped_expired"
 )
 
 // Network reliability counters (internal/transport's faulty wrapper and
