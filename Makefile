@@ -24,7 +24,9 @@ FUZZ_TARGETS = \
 	./internal/gzipfmt:FuzzDecompress \
 	./internal/flate:FuzzDecompress \
 	./internal/flate:FuzzRoundTrip \
-	./internal/pipeline:FuzzChunkFrame
+	./internal/pipeline:FuzzChunkFrame \
+	./internal/pipeline:FuzzDescriptor \
+	./internal/mpi:FuzzEnvelope
 
 .PHONY: all build vet test race fuzz bench check soak
 
@@ -58,11 +60,13 @@ bench:
 		-benchmem . > BENCH_pipeline.json
 
 # Full-scale chaos soaks (fixed seed matrices): the engine fault-domain
-# sweep (stall/wedge/reset-fail over serial + pipelined paths) and the
-# network sweep (lossy fabric + overloaded daemon). `make check` runs
-# them when SOAK=1; standalone `make soak` always does.
+# sweep (stall/wedge/reset-fail over serial + pipelined paths), the
+# network sweep (lossy fabric + overloaded daemon), and the rank
+# fault-domain sweep (crash/hang/restart mid-collective, detector +
+# shrink). `make check` runs them when SOAK=1; standalone `make soak`
+# always does.
 soak:
-	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak)$$' -v ./internal/experiments
+	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak|TestExtRankFaultsSoak)$$' -v ./internal/experiments
 
 check: build vet test race fuzz
 ifeq ($(SOAK),1)

@@ -27,10 +27,21 @@ func main() {
 		iters     = flag.Int("iters", 3, "iterations per size")
 		tcp       = flag.Bool("tcp", false, "use the TCP transport provider")
 		pipelined = flag.Bool("pipelined", false, "stream rendezvous messages as chunked frames (compression–communication overlap)")
+		detect    = flag.Duration("detector", 0, "arm the heartbeat failure detector with this suspicion budget (0 = off); measures the fault domain's overhead on the latency path")
+		deadline  = flag.Duration("deadline", 0, "per-operation deadline when the detector is armed (0 = none)")
 	)
 	flag.Parse()
 
 	world := mpi.WorldOptions{Baseline: *baseline, TCP: *tcp}
+	if *detect > 0 {
+		// Armed worlds use revocation-aware polling waits instead of
+		// bare blocking receives, so the benchmark exposes what the
+		// process fault domain costs on the critical path.
+		world.Detector = &mpi.DetectorConfig{SuspectAfter: *detect}
+		world.OpDeadline = *deadline
+	} else if *deadline > 0 {
+		fatal(fmt.Errorf("-deadline requires -detector"))
+	}
 	switch strings.ToLower(*gen) {
 	case "bf2":
 		world.Generation = hwmodel.BlueField2
@@ -70,7 +81,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("# OSU-style MPI Latency — %s on %s (baseline=%v pipelined=%v)\n", *design, *gen, *baseline, *pipelined)
+	fmt.Printf("# OSU-style MPI Latency — %s on %s (baseline=%v pipelined=%v detector=%v)\n", *design, *gen, *baseline, *pipelined, *detect)
 	fmt.Printf("%-12s %-16s %-16s\n", "Size(B)", "Latency(model)", "Wall/iter")
 	for _, r := range res {
 		fmt.Printf("%-12d %-16v %-16v\n", r.Size, r.Latency, r.Wall)

@@ -288,6 +288,11 @@ func (l *Library) TotalBreakdown() *stats.Breakdown { return l.total }
 // PoolStats reports memory-pool hits and misses.
 func (l *Library) PoolStats() (hits, misses uint64) { return l.pool.Stats() }
 
+// PoolOutstanding reports memory-pool buffers currently held by callers
+// (gets minus puts). Fault soaks sample it before and after injected
+// failures to assert aborted operations leak no pooled buffers.
+func (l *Library) PoolOutstanding() int64 { return l.pool.Outstanding() }
+
 // beginOp redirects accounting to a fresh per-op breakdown. Callers must
 // hold l.mu and call endOp with the returned values.
 func (l *Library) beginOp() (*stats.Breakdown, *stats.Breakdown) {

@@ -199,6 +199,12 @@ func (r *PipelinedRecv) Wait() ([]byte, pipeline.Summary, error) {
 	return r.s.Wait()
 }
 
+// Abort cancels the streamed receive: in-flight chunk decodes drain
+// first, so the session leaves no goroutine behind and the caller may
+// reuse its frame buffers. The MPI runtime calls it when a rank failure
+// interrupts a pipelined stream mid-flight.
+func (r *PipelinedRecv) Abort() { r.s.Abort() }
+
 // NewPipelinedRecv opens a streamed-receive session from a descriptor
 // (the RTS payload in the MPI co-design). engine states the preferred
 // decompression hardware.

@@ -123,6 +123,7 @@ func Runners() []Runner {
 		{"ext-faults", "Extension: availability under injected C-Engine faults", ExtFaults},
 		{"ext-netfaults", "Extension: chaos soak — lossy fabric + overloaded daemon", ExtNetFaults},
 		{"ext-enginefaults", "Extension: chaos soak — self-healing C-Engine fault domain", ExtEngineFaults},
+		{"ext-rankfaults", "Extension: chaos soak — rank-failure tolerance in the MPI runtime", ExtRankFaults},
 	}
 }
 

@@ -1,0 +1,391 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/faults"
+	"pedal/internal/hwmodel"
+	"pedal/internal/mpi"
+)
+
+// ExtRankFaults soaks the MPI process fault domain: seeded rank
+// crash/hang/restart schedules fire mid-broadcast, mid-reduce and
+// mid-pipelined-rendezvous on BlueField-2 and BlueField-3 worlds with
+// the heartbeat failure detector armed. The headline properties, per
+// scenario: every survivor observes the failure as a typed
+// ErrRankFailed (never a hang, never corrupt data), every survivor
+// completes Shrink onto the same dense epoch, a re-run of the
+// collective on the shrunk world moves correct bytes, and tearing the
+// world down leaks neither goroutines nor mempool buffers.
+func ExtRankFaults(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-rankfaults", Title: "Chaos soak: rank-failure tolerance in the MPI runtime (heartbeat detector + shrink)",
+		Columns: []string{"Scenario", "Ranks", "Faults", "Survivors", "Revocations", "Shrinks", "Epoch", "Rerun", "DataErr", "LeakedBufs"},
+		Metrics: map[string]float64{},
+	}
+	ranks, attempts := 5, 8
+	if o.Quick {
+		ranks, attempts = 4, 6
+	}
+	type scenario struct {
+		name string
+		gen  hwmodel.Generation
+		op   string // bcast | reduce | pipelined
+		seed uint64
+	}
+	var scenarios []scenario
+	for _, g := range []struct {
+		name string
+		gen  hwmodel.Generation
+	}{{"bf2", hwmodel.BlueField2}, {"bf3", hwmodel.BlueField3}} {
+		for i, op := range []string{"bcast", "reduce", "pipelined"} {
+			scenarios = append(scenarios, scenario{
+				name: g.name + "-" + op, gen: g.gen, op: op,
+				seed: 700 + uint64(i) + 10*uint64(g.gen),
+			})
+		}
+	}
+
+	baseline := runtime.NumGoroutine()
+	for _, sc := range scenarios {
+		res, err := runRankFaultScenario(sc.gen, sc.op, sc.seed, ranks, attempts)
+		if err != nil {
+			return t, fmt.Errorf("%s: %w", sc.name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			sc.name, fmt.Sprint(ranks), fmt.Sprint(res.faults), fmt.Sprint(res.survivors),
+			fmt.Sprint(res.revocations), fmt.Sprint(res.shrinks), fmt.Sprint(res.epoch),
+			fmt.Sprint(res.reruns), fmt.Sprint(res.dataErrs), fmt.Sprint(res.leakedBufs),
+		})
+		key := func(s string) string { return sc.name + "_" + s }
+		t.Metrics[key("ranks")] = float64(ranks)
+		t.Metrics[key("faults")] = float64(res.faults)
+		t.Metrics[key("survivors")] = float64(res.survivors)
+		t.Metrics[key("revocations")] = float64(res.revocations)
+		t.Metrics[key("shrinks")] = float64(res.shrinks)
+		t.Metrics[key("epoch")] = float64(res.epoch)
+		t.Metrics[key("reruns_ok")] = float64(res.reruns)
+		t.Metrics[key("data_errors")] = float64(res.dataErrs)
+		t.Metrics[key("leaked_buffers")] = float64(res.leakedBufs)
+		t.Metrics[key("epoch_agreed")] = boolMetric(res.epochAgreed)
+		t.Metrics[key("all_survivors_revoked")] = boolMetric(res.allRevoked)
+	}
+	// Goroutine hygiene across the whole matrix: every detector monitor,
+	// heartbeat ticker and decode worker must be gone once the worlds
+	// close. The settle loop tolerates runtime-internal stragglers.
+	leaked := 0
+	for i := 0; i < 200; i++ {
+		if leaked = runtime.NumGoroutine() - baseline; leaked <= 0 {
+			leaked = 0
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Metrics["leaked_goroutines"] = float64(leaked)
+	return t, nil
+}
+
+// rankFaultResult aggregates one scenario's outcome across ranks.
+type rankFaultResult struct {
+	faults      int
+	survivors   int
+	revocations int // survivors that observed >=1 ErrRankFailed
+	shrinks     int // survivors that completed >=1 Shrink
+	epoch       uint32
+	epochAgreed bool
+	allRevoked  bool
+	reruns      int // survivors whose post-shrink re-run succeeded
+	dataErrs    int
+	leakedBufs  int64
+}
+
+// syncTag is reserved for the post-recovery convergence handshake; the
+// soak rounds never use it, so a stale frame from an aborted round can
+// never satisfy a sync receive.
+const syncTag = 4242
+
+// starSync converges the survivors of a shrink: every non-root sends a
+// hello to group rank 0 and waits for its reply; the root replies only
+// after collecting a hello from every current group member. World rank
+// 0 is never drawn by the fault schedule, so it anchors the star. A
+// completed sync means every survivor has installed the same epoch and
+// drained its recovery — the collective re-run starts from lockstep.
+// Hellos carry constant bytes, so a stale hello from an earlier,
+// deadline-abandoned sync round is indistinguishable from a fresh one
+// and harmlessly satisfies the root's sweep.
+func starSync(c *mpi.Comm) error {
+	hello := []byte("sync")
+	if c.Rank() == 0 {
+		for r := 1; r < c.Size(); r++ {
+			if _, err := c.Recv(r, syncTag, 64); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < c.Size(); r++ {
+			if err := c.Send(r, syncTag, hello); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := c.Send(0, syncTag, hello); err != nil {
+		return err
+	}
+	_, err := c.Recv(0, syncTag, 64)
+	return err
+}
+
+func runRankFaultScenario(gen hwmodel.Generation, op string, seed uint64, ranks, attempts int) (rankFaultResult, error) {
+	schedule := faults.NewRankSchedule(faults.RankFaultConfig{
+		Seed: seed, PCrash: 0.45, PHang: 0.3, PRestart: 0.25,
+		MinOps: 1, MaxOps: 3, MaxFailures: 2,
+		// A hang must outlast SuspectAfter to fence the rank.
+		Pause: 900 * time.Millisecond,
+	}, ranks)
+	byRank := map[int]faults.RankFault{}
+	for _, f := range schedule {
+		byRank[f.Rank] = f
+	}
+
+	opts := mpi.WorldOptions{
+		Generation: gen,
+		// A generous suspicion budget: the soak may run on a single-core
+		// box where chunk-compression goroutines starve the heartbeat
+		// tickers for long stretches, and a starved ticker must not get
+		// a live rank fenced.
+		Detector: &mpi.DetectorConfig{
+			Interval:     2 * time.Millisecond,
+			SuspectAfter: 400 * time.Millisecond,
+		},
+		// Safety net: a survivor that desynchronises from the round
+		// structure while peers recover must error out, never hang.
+		OpDeadline: time.Second,
+	}
+	payload := bytes.Repeat([]byte("pedal rank fault soak payload / "), 256) // 8 KiB
+	if op == "pipelined" {
+		// Rendezvous-class (above the 64 KiB threshold) so the failure
+		// cuts a multi-chunk stream, but light enough that compressing it
+		// on every ring hop stays well inside OpDeadline on one core.
+		payload = bytes.Repeat([]byte("pedal rank fault pipelined soak payload text / "), 2100) // ≈96 KiB
+		opts.Compression = &mpi.CompressionConfig{
+			Design:    core.Design{Algo: core.AlgoLZ4, Engine: hwmodel.SoC},
+			Pipelined: true,
+		}
+	}
+	comms, err := mpi.NewWorld(ranks, opts)
+	if err != nil {
+		return rankFaultResult{}, err
+	}
+
+	// runOp takes a per-attempt tag: a deadline-aborted rendezvous leaves
+	// stale RTS and chunk frames in the peers' unexpected queues, and a
+	// retry on the same tag can match an abandoned stream and livelock —
+	// so, as a ULFM application would, every retry round gets a fresh tag
+	// and the litter of aborted attempts can never be matched again.
+	// (Collectives are immune: their eager frames carry the full constant
+	// payload, so a stale frame satisfies a retried receive correctly.)
+	runOp := func(c *mpi.Comm, tag int) ([]byte, error) {
+		switch op {
+		case "bcast":
+			return c.Bcast(0, payload)
+		case "reduce":
+			// Identical contributions: the element-wise max is membership-
+			// independent, so the result validates byte integrity across
+			// any shrink boundary.
+			got, err := c.Reduce(0, mpi.MaxFloat64, payload[:4096])
+			if err != nil {
+				return nil, err
+			}
+			if c.Rank() == 0 {
+				return got, nil
+			}
+			return payload[:4096], nil // non-root has nothing to verify
+		case "pipelined":
+			// Ring exchange: every hop is a pipelined rendezvous, so a
+			// death cuts streams mid-flight on both sides of the victim.
+			dst := (c.Rank() + 1) % c.Size()
+			src := (c.Rank() - 1 + c.Size()) % c.Size()
+			return c.Sendrecv(dst, tag, payload, src, tag, len(payload))
+		default:
+			return nil, fmt.Errorf("unknown op %q", op)
+		}
+	}
+	expect := func(out []byte) bool {
+		if op == "reduce" {
+			return bytes.Equal(out, payload[:4096])
+		}
+		return bytes.Equal(out, payload)
+	}
+
+	type rankOutcome struct {
+		died        bool
+		revocations int
+		shrinks     int
+		rerunOK     bool
+		dataErrs    int
+		epoch       uint32
+		err         error
+	}
+	outcomes := make([]rankOutcome, ranks)
+	var wg sync.WaitGroup
+	for i := range comms {
+		wg.Add(1)
+		go func(c *mpi.Comm, out *rankOutcome) {
+			defer wg.Done()
+			fault, faulty := byRank[c.WorldRank()]
+			for attempt := 0; attempt < attempts; attempt++ {
+				if faulty && attempt == fault.AfterOps {
+					switch fault.Class {
+					case faults.RankCrash:
+						c.Kill()
+						out.died = true
+						return
+					case faults.RankHang, faults.RankRestart:
+						// Freeze past the suspicion budget. A restart comes
+						// back as a zombie: fenced, every op refused — dead
+						// stays dead.
+						c.Hang(fault.Pause)
+						time.Sleep(fault.Pause + 40*time.Millisecond)
+						if fault.Class == faults.RankRestart {
+							if _, err := runOp(c, 99); !errors.Is(err, mpi.ErrRankFailed) {
+								out.err = fmt.Errorf("zombie op returned %v, want ErrRankFailed", err)
+							}
+						}
+						out.died = true
+						return
+					}
+				}
+				got, err := runOp(c, 100+attempt)
+				switch {
+				case err == nil:
+					if got != nil && !expect(got) {
+						out.dataErrs++
+					}
+				case errors.Is(err, mpi.ErrRankFailed):
+					out.revocations++
+					if serr := c.Shrink(); serr != nil {
+						if errors.Is(serr, mpi.ErrRankFailed) {
+							out.died = true // fenced mid-recovery
+							return
+						}
+						out.err = fmt.Errorf("shrink: %w", serr)
+						return
+					}
+					out.shrinks++
+				case errors.Is(err, mpi.ErrDeadline):
+					// Round desync while peers recovered: harmless, the
+					// verification re-run below restores lockstep.
+				default:
+					out.err = fmt.Errorf("attempt %d: %w", attempt, err)
+					return
+				}
+				// Pace the rounds so heartbeat staleness is observable and
+				// eager retries cannot flood a dead rank's inbox.
+				time.Sleep(2 * time.Millisecond)
+			}
+			// Verification. First settle until every scheduled death has
+			// been detected, then converge the survivors: a star
+			// handshake through group rank 0 (world rank 0, never drawn
+			// by the schedule) on a tag the soak rounds never used, so
+			// every survivor ends on the same epoch with the recovery
+			// fully absorbed before the collective re-runs.
+			time.Sleep(100 * time.Millisecond)
+			deadline := time.Now().Add(8 * time.Second)
+			absorb := func(err error) (fatal bool) {
+				if errors.Is(err, mpi.ErrRankFailed) {
+					out.revocations++
+					if serr := c.Shrink(); serr != nil {
+						if errors.Is(serr, mpi.ErrRankFailed) {
+							out.died = true
+							return true
+						}
+						out.err = fmt.Errorf("verify shrink: %w", serr)
+						return true
+					}
+					out.shrinks++
+					return false
+				}
+				if !errors.Is(err, mpi.ErrDeadline) {
+					out.err = fmt.Errorf("verify: %w", err)
+					return true
+				}
+				return false
+			}
+			for time.Now().Before(deadline) {
+				if err := starSync(c); err != nil {
+					if absorb(err) {
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				break
+			}
+			// Re-run the scenario's collective on the shrunk world.
+			for retry := 0; time.Now().Before(deadline); retry++ {
+				got, err := runOp(c, 9000+retry)
+				if err != nil {
+					if absorb(err) {
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				out.rerunOK = true
+				if got != nil && !expect(got) {
+					out.dataErrs++
+					out.rerunOK = false
+				}
+				break
+			}
+			out.epoch = c.Epoch()
+		}(comms[i], &outcomes[i])
+	}
+	wg.Wait()
+
+	res := rankFaultResult{faults: len(schedule), epochAgreed: true, allRevoked: true}
+	for i, out := range outcomes {
+		if out.err != nil {
+			return res, fmt.Errorf("rank %d: %w", i, out.err)
+		}
+		if out.died {
+			continue
+		}
+		res.survivors++
+		res.dataErrs += out.dataErrs
+		if out.revocations > 0 {
+			res.revocations++
+		} else if len(schedule) > 0 {
+			res.allRevoked = false
+		}
+		if out.shrinks > 0 {
+			res.shrinks++
+		}
+		if out.rerunOK {
+			res.reruns++
+		}
+		if res.epoch == 0 {
+			res.epoch = out.epoch
+		} else if out.epoch != res.epoch {
+			res.epochAgreed = false
+		}
+	}
+	// Buffer hygiene before teardown: every pooled compressed message a
+	// surviving or dead rank ever took must be back in its pool — aborted
+	// rendezvous and cut chunk streams included.
+	for _, c := range comms {
+		if lib := c.Pedal(); lib != nil {
+			res.leakedBufs += lib.PoolOutstanding()
+		}
+	}
+	for _, c := range comms {
+		c.Close()
+	}
+	return res, nil
+}

@@ -74,6 +74,9 @@ func (c Class) String() string {
 	case ResetFail:
 		return "reset-fail"
 	default:
+		if s, ok := rankClassString(c); ok {
+			return s
+		}
 		return fmt.Sprintf("Class(%d)", uint8(c))
 	}
 }

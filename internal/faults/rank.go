@@ -1,0 +1,124 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Process-level (rank) failure classes. These sit above the per-job and
+// per-frame classes: an entire MPI rank dies, pauses, or reboots, and
+// the runtime's heartbeat failure detector — not any single operation —
+// is what notices.
+const (
+	// RankCrash kills the rank silently and permanently: its heartbeat
+	// stops, in-flight sends are lost, and it never returns. Peers learn
+	// of the death only through the failure detector.
+	RankCrash Class = iota + 32
+	// RankHang pauses the rank's heartbeat for a bounded duration (a
+	// long GC pause, an OS hiccup). If the pause stays under the
+	// detector's suspicion timeout nothing happens; if it exceeds it the
+	// rank is declared dead and fenced even though the process lives.
+	RankHang
+	// RankRestart models a reboot: the heartbeat stops long enough for
+	// the detector to declare the rank dead, then resumes. The restarted
+	// process is a zombie from the world's perspective — ULFM semantics
+	// fence it out, and every operation it attempts fails.
+	RankRestart
+)
+
+// rankClassString covers the rank classes for Class.String.
+func rankClassString(c Class) (string, bool) {
+	switch c {
+	case RankCrash:
+		return "rank-crash", true
+	case RankHang:
+		return "rank-hang", true
+	case RankRestart:
+		return "rank-restart", true
+	}
+	return "", false
+}
+
+// RankFault is one scheduled process-level failure: rank Rank fails with
+// Class after it has completed AfterOps application operations. Pause is
+// the heartbeat gap for RankHang/RankRestart (ignored for RankCrash).
+type RankFault struct {
+	Rank     int
+	Class    Class
+	AfterOps int
+	Pause    time.Duration
+}
+
+func (f RankFault) String() string {
+	return fmt.Sprintf("rank %d: %v after %d ops", f.Rank, f.Class, f.AfterOps)
+}
+
+// RankFaultConfig draws a deterministic process-failure schedule for an
+// n-rank world. Probabilities are per rank and evaluated in struct
+// order against one uniform draw, like Config.
+type RankFaultConfig struct {
+	// Seed makes the schedule reproducible; zero selects the fixed
+	// default seed.
+	Seed uint64
+	// PCrash, PHang, PRestart are the per-rank probabilities of each
+	// class.
+	PCrash   float64
+	PHang    float64
+	PRestart float64
+	// MinOps and MaxOps bound the operation index at which a drawn
+	// fault fires (uniform in [MinOps, MaxOps]); MaxOps <= MinOps pins
+	// the fault at MinOps.
+	MinOps int
+	MaxOps int
+	// Pause is the heartbeat gap injected by RankHang/RankRestart; zero
+	// means 50ms.
+	Pause time.Duration
+	// MaxFailures caps how many ranks fail so the world always keeps
+	// survivors; zero means at most n-2 (a shrink needs two live ranks
+	// to still be a world worth shrinking).
+	MaxFailures int
+}
+
+// NewRankSchedule draws the failure schedule for an n-rank world:
+// at most MaxFailures entries, sorted by rank. Rank 0 is never drawn —
+// tests use it as the orchestrating survivor — but callers may of
+// course kill it explicitly.
+func NewRankSchedule(cfg RankFaultConfig, n int) []RankFault {
+	if n <= 0 {
+		return nil
+	}
+	if cfg.Pause <= 0 {
+		cfg.Pause = 50 * time.Millisecond
+	}
+	maxF := cfg.MaxFailures
+	if maxF <= 0 {
+		maxF = n - 2
+	}
+	if maxF > n-1 {
+		maxF = n - 1
+	}
+	rng := NewRand(cfg.Seed)
+	var out []RankFault
+	for r := 1; r < n && len(out) < maxF; r++ {
+		u := rng.Float64()
+		var class Class
+		switch {
+		case u < cfg.PCrash:
+			class = RankCrash
+		case u < cfg.PCrash+cfg.PHang:
+			class = RankHang
+		case u < cfg.PCrash+cfg.PHang+cfg.PRestart:
+			class = RankRestart
+		default:
+			continue
+		}
+		at := cfg.MinOps
+		if cfg.MaxOps > cfg.MinOps {
+			at += int(rng.Uint64() % uint64(cfg.MaxOps-cfg.MinOps+1))
+		}
+		out = append(out, RankFault{Rank: r, Class: class, AfterOps: at, Pause: cfg.Pause})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out
+}

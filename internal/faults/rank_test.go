@@ -1,0 +1,78 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestRankScheduleDeterministic(t *testing.T) {
+	cfg := RankFaultConfig{Seed: 7, PCrash: 0.3, PHang: 0.2, PRestart: 0.2, MinOps: 2, MaxOps: 9}
+	a := NewRankSchedule(cfg, 8)
+	b := NewRankSchedule(cfg, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different schedules:\n%v\n%v", a, b)
+	}
+	c := NewRankSchedule(RankFaultConfig{Seed: 8, PCrash: 0.3, PHang: 0.2, PRestart: 0.2, MinOps: 2, MaxOps: 9}, 8)
+	if reflect.DeepEqual(a, c) && len(a) > 0 {
+		t.Fatalf("different seeds produced identical non-empty schedules: %v", a)
+	}
+}
+
+func TestRankScheduleBounds(t *testing.T) {
+	// Certain failure for every rank: the cap must still leave survivors.
+	cfg := RankFaultConfig{Seed: 3, PCrash: 1.0, MinOps: 1, MaxOps: 4}
+	for n := 2; n <= 10; n++ {
+		sch := NewRankSchedule(cfg, n)
+		max := n - 2
+		if max < 0 {
+			max = 0
+		}
+		if len(sch) > max {
+			t.Fatalf("n=%d: %d failures exceeds default cap %d", n, len(sch), max)
+		}
+		for _, f := range sch {
+			if f.Rank <= 0 || f.Rank >= n {
+				t.Fatalf("n=%d: fault on invalid rank %d", n, f.Rank)
+			}
+			if f.Class != RankCrash {
+				t.Fatalf("PCrash=1 drew class %v", f.Class)
+			}
+			if f.AfterOps < cfg.MinOps || f.AfterOps > cfg.MaxOps {
+				t.Fatalf("AfterOps %d outside [%d,%d]", f.AfterOps, cfg.MinOps, cfg.MaxOps)
+			}
+			if f.Pause <= 0 {
+				t.Fatalf("zero Pause not defaulted")
+			}
+		}
+	}
+	if sch := NewRankSchedule(cfg, 0); sch != nil {
+		t.Fatalf("n=0 produced schedule %v", sch)
+	}
+}
+
+func TestRankScheduleExplicitCap(t *testing.T) {
+	cfg := RankFaultConfig{Seed: 11, PCrash: 0.4, PHang: 0.3, PRestart: 0.3, MaxFailures: 2, Pause: 5 * time.Millisecond}
+	sch := NewRankSchedule(cfg, 12)
+	if len(sch) > 2 {
+		t.Fatalf("MaxFailures=2 but got %d faults", len(sch))
+	}
+	for _, f := range sch {
+		if f.Pause != 5*time.Millisecond {
+			t.Fatalf("explicit Pause not propagated: %v", f.Pause)
+		}
+	}
+}
+
+func TestRankClassStrings(t *testing.T) {
+	for _, tc := range []struct {
+		c    Class
+		want string
+	}{
+		{RankCrash, "rank-crash"}, {RankHang, "rank-hang"}, {RankRestart, "rank-restart"},
+	} {
+		if got := tc.c.String(); got != tc.want {
+			t.Fatalf("%d.String() = %q, want %q", tc.c, got, tc.want)
+		}
+	}
+}

@@ -21,6 +21,10 @@ type Pool struct {
 
 	hits   uint64
 	misses uint64
+	// outstanding is gets minus puts: how many buffers callers currently
+	// hold. Leak checks assert it returns to a baseline after an
+	// operation aborts.
+	outstanding int64
 
 	// maxPerClass caps retained buffers per size class to bound memory.
 	maxPerClass int
@@ -54,6 +58,7 @@ func (p *Pool) Get(n int) []byte {
 	}
 	k := sizeClass(n)
 	p.mu.Lock()
+	p.outstanding++
 	if bucket := p.classes[k]; bucket != nil && len(*bucket) > 0 {
 		buf := (*bucket)[len(*bucket)-1]
 		*bucket = (*bucket)[:len(*bucket)-1]
@@ -95,6 +100,7 @@ func (p *Pool) Put(buf []byte) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.outstanding--
 	bucket := p.classes[k]
 	if bucket == nil {
 		b := make([][]byte, 0, p.maxPerClass)
@@ -114,6 +120,16 @@ func (p *Pool) Stats() (hits, misses uint64) {
 	return p.hits, p.misses
 }
 
+// Outstanding reports gets minus puts: the number of buffers currently
+// held by callers. Aborted operations must bring it back to its
+// pre-operation value, which is how the fault soaks assert no buffer
+// leaked with an interrupted stream.
+func (p *Pool) Outstanding() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.outstanding
+}
+
 // Prewarm allocates count buffers of each given size so that subsequent
 // Gets hit. PEDAL_Init calls this so the per-message path never
 // allocates.
@@ -129,9 +145,11 @@ func (p *Pool) Prewarm(sizes []int, count int) {
 		}
 	}
 	// Prewarming is setup, not steady-state behaviour: do not let it
-	// count as misses in the hit-rate statistics.
+	// count as misses in the hit-rate statistics, nor as negative
+	// outstanding buffers (the Puts above had no matching Gets).
 	p.mu.Lock()
 	p.misses = 0
 	p.hits = 0
+	p.outstanding = 0
 	p.mu.Unlock()
 }

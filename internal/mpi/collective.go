@@ -13,8 +13,8 @@ const (
 // Compression applies per hop exactly as in point-to-point transfers,
 // which is how the paper's Fig. 11 experiment runs.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
-	if c.closed {
-		return nil, ErrClosed
+	if err := c.opBegin(); err != nil {
+		return nil, err
 	}
 	if c.size == 1 {
 		return data, nil
@@ -53,8 +53,8 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // virtual clocks of all ranks converge to the max across participants,
 // mirroring real barrier semantics.
 func (c *Comm) Barrier() error {
-	if c.closed {
-		return ErrClosed
+	if err := c.opBegin(); err != nil {
+		return err
 	}
 	for mask := 1; mask < c.size; mask <<= 1 {
 		dst := (c.rank + mask) % c.size
@@ -72,8 +72,8 @@ func (c *Comm) Barrier() error {
 // Gather collects each rank's data at root; the result at root is
 // indexed by rank, nil elsewhere. Small helper used by examples.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
-	if c.closed {
-		return nil, ErrClosed
+	if err := c.opBegin(); err != nil {
+		return nil, err
 	}
 	if c.rank != root {
 		return nil, c.Send(root, tagGather, data)

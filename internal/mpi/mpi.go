@@ -19,6 +19,8 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"pedal/internal/core"
@@ -102,6 +104,17 @@ type WorldOptions struct {
 	// values select the transport defaults. Stats/Clock/Tracer fields
 	// are managed per rank and ignored here.
 	RelOptions transport.ReliableOptions
+	// Detector enables the heartbeat failure detector and the
+	// ULFM-style recovery path: rank crashes surface as ErrRankFailed
+	// instead of deadlocks, and survivors rebuild a dense communicator
+	// with Shrink. Nil runs without process fault tolerance (waits block
+	// exactly as before).
+	Detector *DetectorConfig
+	// OpDeadline bounds every blocking wait with a wall-clock deadline,
+	// independent of the detector: a receiver waiting on a rank that
+	// never sends observes ErrDeadline instead of blocking forever.
+	// Zero disables the deadline.
+	OpDeadline time.Duration
 }
 
 // Comm is one rank's communicator handle. A Comm is driven by a single
@@ -132,6 +145,30 @@ type Comm struct {
 	// deadlock-free (real MPI behaves the same way).
 	pending map[uint64]*Request
 
+	// Process fault domain (nil det disables it). worldRank is the
+	// transport-level identity, stable across shrinks; rank/size above
+	// describe the current dense group. group maps group rank → world
+	// rank, w2g the inverse (-1 for non-members), and epoch stamps
+	// every outgoing envelope so post-shrink re-runs drop the
+	// interrupted attempt's leftovers.
+	det       *detector
+	worldRank int
+	group     []int
+	w2g       []int
+	epoch     uint32
+
+	hbStop     chan struct{}
+	hbOnce     sync.Once
+	hbWG       sync.WaitGroup
+	pauseUntil atomic.Int64
+	killed     bool
+
+	// Shrink-agreement state (see shrink.go).
+	joins           map[int]bool
+	pendingCommit   *shrinkCommit
+	lastCommit      []byte
+	lastCommitEpoch uint32
+
 	seq    uint64
 	closed bool
 }
@@ -159,6 +196,10 @@ func NewWorld(n int, opts WorldOptions) ([]*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
+	var det *detector
+	if opts.Detector != nil {
+		det = newDetector(n, opts.Detector.withDefaults())
+	}
 	comms := make([]*Comm, n)
 	for i := 0; i < n; i++ {
 		clock := simclock.New()
@@ -178,14 +219,20 @@ func NewWorld(n int, opts WorldOptions) ([]*Comm, error) {
 			ep = transport.WrapReliable(ep, rel)
 		}
 		c := &Comm{
-			rank:    i,
-			size:    n,
-			ep:      ep,
-			opts:    opts,
-			clock:   clock,
-			netBD:   netBD,
-			bd:      stats.NewBreakdown(),
-			pending: make(map[uint64]*Request),
+			rank:      i,
+			size:      n,
+			ep:        ep,
+			opts:      opts,
+			clock:     clock,
+			netBD:     netBD,
+			bd:        stats.NewBreakdown(),
+			pending:   make(map[uint64]*Request),
+			worldRank: i,
+			group:     make([]int, n),
+			w2g:       make([]int, n),
+		}
+		for r := 0; r < n; r++ {
+			c.group[r], c.w2g[r] = r, r
 		}
 		if opts.Compression != nil {
 			lib, err := core.Init(core.Options{
@@ -197,12 +244,29 @@ func NewWorld(n int, opts WorldOptions) ([]*Comm, error) {
 				for _, done := range comms[:i] {
 					done.Close()
 				}
+				if det != nil {
+					// Unwind the references of the never-built ranks so
+					// the monitor goroutine stops.
+					for j := i; j < n; j++ {
+						det.release()
+					}
+				}
 				return nil, err
 			}
 			c.pedal = lib
 			c.dev = lib.Device()
 		}
+		if det != nil {
+			c.det = det
+			c.startHeartbeat()
+		}
 		comms[i] = c
+	}
+	if det != nil {
+		// Only now does staleness start counting: per-rank construction
+		// (PEDAL_init, worker pools) can exceed SuspectAfter, and the
+		// scan must not fence ranks that were never late, just unborn.
+		det.arm()
 	}
 	return comms, nil
 }
@@ -235,6 +299,10 @@ func (c *Comm) Close() {
 		return
 	}
 	c.closed = true
+	c.stopHeartbeat()
+	if c.det != nil {
+		c.det.release()
+	}
 	c.ep.Close()
 	if c.pedal != nil {
 		c.pedal.Finalize()

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"time"
 
 	"pedal/internal/core"
 )
@@ -22,6 +23,9 @@ type Request struct {
 	tag     int
 	seq     uint64
 	payload []byte
+	// pooled marks payload as a PEDAL pool buffer that must be released
+	// once the DATA frame is on the wire (or the request aborts).
+	pooled  bool
 	origLen int
 	rndv    bool
 
@@ -44,24 +48,27 @@ func (c *Comm) Isend(dst, tag int, data []byte) (*Request, error) {
 
 // IsendTyped is Isend with an explicit datatype.
 func (c *Comm) IsendTyped(dst, tag int, dt core.DataType, data []byte) (*Request, error) {
-	if c.closed {
-		return nil, ErrClosed
+	if err := c.opBegin(); err != nil {
+		return nil, err
 	}
 	origLen := len(data)
 	payload := data
+	pooled := false
 	if cc := c.compressionFor(origLen); cc != nil {
 		msg, rep, err := c.pedal.Compress(cc.Design, dt, data)
 		if err != nil {
 			return nil, fmt.Errorf("mpi: pedal compress: %w", err)
 		}
 		payload = msg
+		pooled = true
 		c.clock.Advance(rep.Virtual)
 		c.mergePhases(rep)
 	}
-	r := &Request{c: c, isSend: true, dst: dst, tag: tag, origLen: origLen, payload: payload}
+	r := &Request{c: c, isSend: true, dst: dst, tag: tag, origLen: origLen, payload: payload, pooled: pooled}
 	if origLen < c.opts.RendezvousThreshold {
 		r.done = true
 		r.err = c.sendFrame(dst, kindEager, tag, c.nextSeq(), origLen, payload)
+		r.release()
 		return r, r.err
 	}
 	r.rndv = true
@@ -71,10 +78,31 @@ func (c *Comm) IsendTyped(dst, tag int, dt core.DataType, data []byte) (*Request
 	c.pending[r.seq] = r
 	if err := c.sendFrame(dst, kindRTS, tag, r.seq, len(payload), nil); err != nil {
 		delete(c.pending, r.seq)
+		r.release()
 		r.done, r.err = true, err
 		return r, err
 	}
 	return r, nil
+}
+
+// release returns a pooled compressed payload to the PEDAL pool. The
+// envelope encoder copies onto the wire, so this is safe the moment the
+// frame has been sent — and mandatory when the request aborts, or the
+// fault soaks would count a leaked buffer.
+func (r *Request) release() {
+	if r.pooled && r.payload != nil {
+		r.c.pedal.Release(r.payload)
+	}
+	r.pooled = false
+	r.payload = nil
+}
+
+// abortSend completes a pending send with err, deregistering it from the
+// progress engine and releasing its payload.
+func (r *Request) abortSend(err error) {
+	delete(r.c.pending, r.seq)
+	r.release()
+	r.done, r.err = true, err
 }
 
 // Irecv starts a nonblocking receive. The match and transfer happen in
@@ -89,14 +117,15 @@ func (c *Comm) Irecv(src, tag int, maxLen int) (*Request, error) {
 
 // IrecvTyped is Irecv with an explicit datatype.
 func (c *Comm) IrecvTyped(src, tag int, dt core.DataType, maxLen int) (*Request, error) {
-	if c.closed {
-		return nil, ErrClosed
+	if err := c.usable(); err != nil {
+		return nil, err
 	}
 	return &Request{c: c, src: src, tag: tag, dt: dt, maxLen: maxLen}, nil
 }
 
 // Wait blocks until the request completes and returns the received
-// payload (nil for sends).
+// payload (nil for sends). A rank failure or revocation completes the
+// request with ErrRankFailed instead of blocking forever.
 func (r *Request) Wait() ([]byte, error) {
 	if r.done {
 		return r.data, r.err
@@ -106,21 +135,16 @@ func (r *Request) Wait() ([]byte, error) {
 		// (possibly by a nested wait that ran while we were blocked
 		// elsewhere).
 		c := r.c
+		start := time.Now()
 		for !r.done {
-			f, err := c.ep.Recv()
+			env, ok, err := c.step(r.dst, start)
 			if err != nil {
-				r.done, r.err = true, err
+				r.abortSend(err)
 				return nil, err
 			}
-			env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
-			if err != nil {
-				r.done, r.err = true, err
-				return nil, err
+			if ok {
+				c.unexpected = append(c.unexpected, env)
 			}
-			if c.progressCTS(env) {
-				continue // may have completed r or another pending send
-			}
-			c.unexpected = append(c.unexpected, env)
 		}
 		return nil, r.err
 	}
@@ -139,38 +163,58 @@ func (r *Request) Test() ([]byte, bool, error) {
 		return r.data, true, r.err
 	}
 	c := r.c
-	// Drain everything immediately available, servicing pending-send CTS
-	// grants (which may complete this very request) and queueing the
-	// rest.
-	for {
-		f, ok, err := c.ep.TryRecv()
-		if err != nil {
+	// Drain everything immediately available, absorbing control frames
+	// and pending-send CTS grants (which may complete this very request)
+	// and queueing the rest.
+	if err := c.drain(); err != nil {
+		if r.isSend {
+			r.abortSend(err)
+		} else {
 			r.done, r.err = true, err
-			return nil, true, err
 		}
-		if !ok {
-			break
-		}
-		env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
-		if err != nil {
-			r.done, r.err = true, err
-			return nil, true, err
-		}
-		if c.progressCTS(env) {
-			continue
-		}
-		c.unexpected = append(c.unexpected, env)
+		return nil, true, err
 	}
 	if r.isSend {
+		// A failure detector revocation also completes the request: the
+		// CTS this send waits for is never coming.
+		if !r.done && c.det != nil {
+			if err := c.liveness(r.dst, time.Time{}); err != nil {
+				r.abortSend(err)
+				return nil, true, err
+			}
+		}
 		return nil, r.done, r.err
 	}
 	for _, env := range c.unexpected {
-		if match(env, r.src, r.tag, kindEager, 0) || match(env, r.src, r.tag, kindRTS, 0) {
+		if c.accepts(env, r.src, r.tag, kindEager, 0) || c.accepts(env, r.src, r.tag, kindRTS, 0) {
 			data, err := r.Wait()
 			return data, true, err
 		}
 	}
 	return nil, false, nil
+}
+
+// drain pulls every immediately-available frame off the transport,
+// running each through absorb (control frames, stale drops, CTS
+// progress) and parking the rest on the unexpected queue.
+func (c *Comm) drain() error {
+	for {
+		f, ok, err := c.ep.TryRecv()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
+		if err != nil {
+			return err
+		}
+		if c.absorb(&env) {
+			continue
+		}
+		c.unexpected = append(c.unexpected, env)
+	}
 }
 
 // Waitall completes every request in order and returns the first error.
@@ -191,34 +235,16 @@ func Waitall(reqs ...*Request) error {
 // without receiving it, returning its source, tag and payload size when
 // present (MPI_Iprobe semantics: nonblocking).
 func (c *Comm) Probe(src, tag int) (fromRank, msgTag, size int, ok bool, err error) {
-	if c.closed {
-		return 0, 0, 0, false, ErrClosed
+	if err := c.usable(); err != nil {
+		return 0, 0, 0, false, err
 	}
-	// Drain the transport without blocking.
-	for {
-		f, got, err := c.ep.TryRecv()
-		if err != nil {
-			return 0, 0, 0, false, err
-		}
-		if !got {
-			break
-		}
-		env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
-		if err != nil {
-			return 0, 0, 0, false, err
-		}
-		if c.progressCTS(env) {
-			continue
-		}
-		c.unexpected = append(c.unexpected, env)
+	if err := c.drain(); err != nil {
+		return 0, 0, 0, false, err
 	}
 	for _, env := range c.unexpected {
-		if match(env, src, tag, kindEager, 0) {
-			return env.src, env.tag, env.origLen, true, nil
-		}
-		if match(env, src, tag, kindRTS, 0) {
+		if c.accepts(env, src, tag, kindEager, 0) || c.accepts(env, src, tag, kindRTS, 0) {
 			// The RTS advertises the (possibly compressed) payload size.
-			return env.src, env.tag, env.origLen, true, nil
+			return c.groupOf(env.world), env.tag, env.origLen, true, nil
 		}
 	}
 	return 0, 0, 0, false, nil
@@ -233,6 +259,11 @@ func (c *Comm) Sendrecv(dst, sendTag int, sendData []byte, src, recvTag int, max
 	}
 	got, err := c.Recv(src, recvTag, maxLen)
 	if err != nil {
+		if !sreq.done {
+			// The exchange is dead; don't leave the send registered (or
+			// its pooled payload held) in the progress engine.
+			sreq.abortSend(err)
+		}
 		return nil, err
 	}
 	if _, err := sreq.Wait(); err != nil {

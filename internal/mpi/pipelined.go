@@ -108,16 +108,22 @@ func (c *Comm) recvPipelined(env envelope, dt core.DataType, maxLen int) ([]byte
 		return nil, fmt.Errorf("mpi: pedal pipelined recv: %w", err)
 	}
 	if err := c.sendFrame(env.src, kindCTS, env.tag, env.seq, 0, nil); err != nil {
+		recv.Abort()
 		return nil, err
 	}
 	t0 := c.clock.Now()
 	for i := 0; i < recv.Count; i++ {
 		f, err := c.waitFor(env.src, AnyTag, kindChunk, env.seq)
 		if err != nil {
+			// Sender died (or the wait was revoked) mid-stream: drain the
+			// chunks already decoding and drop the half-built session so
+			// the interrupted transfer leaks no goroutine or buffer.
+			recv.Abort()
 			return nil, err
 		}
 		c.clock.AdvanceTo(durationOf(f.departure) + c.wire(envHeaderLen+len(f.payload)))
 		if err := recv.Submit(f.payload, c.clock.Now()-t0); err != nil {
+			recv.Abort()
 			return nil, fmt.Errorf("mpi: pedal pipelined recv: %w", err)
 		}
 	}

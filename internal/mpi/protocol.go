@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"pedal/internal/core"
+	"pedal/internal/stats"
+	"pedal/internal/transport"
 )
 
 // Wire protocol kinds. Eager messages carry their payload inline; larger
@@ -21,16 +23,30 @@ const (
 	// pipeline descriptor) announces the stream; chunks are matched by
 	// (src, seq) like DATA frames.
 	kindChunk
+	// kindShrinkJoin and kindShrinkCommit are the control frames of the
+	// ULFM-style shrink agreement (shrink.go). They bypass the epoch
+	// filter — agreement traffic must cross epochs by definition — and
+	// address world ranks directly.
+	kindShrinkJoin
+	kindShrinkCommit
 )
 
 // envHeaderLen is the fixed envelope prefix:
-// kind(1) + tag(4) + seq(8) + origLen(8).
-const envHeaderLen = 1 + 4 + 8 + 8
+// kind(1) + epoch(4) + tag(4) + seq(8) + origLen(8).
+const envHeaderLen = 1 + 4 + 4 + 8 + 8
 
 // envelope is a decoded frame.
 type envelope struct {
-	kind    byte
-	src     int
+	kind byte
+	// epoch is the sender's communicator epoch. Frames from older
+	// epochs are leftovers of an operation interrupted by a rank
+	// failure and are dropped; frames from a newer epoch are parked
+	// until this rank installs the matching shrink commit.
+	epoch uint32
+	// world is the sender's world (transport) rank; src is its dense
+	// group rank, resolved at match time (it changes across shrinks).
+	world int
+	src   int
 	tag     int
 	seq     uint64
 	origLen int
@@ -39,12 +55,13 @@ type envelope struct {
 	departure int64
 }
 
-func encodeEnvelope(kind byte, tag int, seq uint64, origLen int, payload []byte) []byte {
+func encodeEnvelope(kind byte, epoch uint32, tag int, seq uint64, origLen int, payload []byte) []byte {
 	buf := make([]byte, envHeaderLen+len(payload))
 	buf[0] = kind
-	binary.BigEndian.PutUint32(buf[1:5], uint32(int32(tag)))
-	binary.BigEndian.PutUint64(buf[5:13], seq)
-	binary.BigEndian.PutUint64(buf[13:21], uint64(origLen))
+	binary.BigEndian.PutUint32(buf[1:5], epoch)
+	binary.BigEndian.PutUint32(buf[5:9], uint32(int32(tag)))
+	binary.BigEndian.PutUint64(buf[9:17], seq)
+	binary.BigEndian.PutUint64(buf[17:25], uint64(origLen))
 	copy(buf[envHeaderLen:], payload)
 	return buf
 }
@@ -55,10 +72,12 @@ func decodeEnvelope(src int, data []byte, departure int64) (envelope, error) {
 	}
 	return envelope{
 		kind:      data[0],
-		src:       src,
-		tag:       int(int32(binary.BigEndian.Uint32(data[1:5]))),
-		seq:       binary.BigEndian.Uint64(data[5:13]),
-		origLen:   int(binary.BigEndian.Uint64(data[13:21])),
+		epoch:     binary.BigEndian.Uint32(data[1:5]),
+		world:     src,
+		src:       -1,
+		tag:       int(int32(binary.BigEndian.Uint32(data[5:9]))),
+		seq:       binary.BigEndian.Uint64(data[9:17]),
+		origLen:   int(binary.BigEndian.Uint64(data[17:25])),
 		payload:   data[envHeaderLen:],
 		departure: departure,
 	}, nil
@@ -70,20 +89,44 @@ func (c *Comm) nextSeq() uint64 {
 	return c.seq
 }
 
-// sendFrame transmits an envelope, stamping the rank's current virtual
-// time as the departure.
-func (c *Comm) sendFrame(dst int, kind byte, tag int, seq uint64, origLen int, payload []byte) error {
-	buf := encodeEnvelope(kind, tag, seq, origLen, payload)
-	return c.ep.Send(dst, buf, c.clock.Now())
+// groupOf translates a world rank to the current dense group rank, or -1
+// for non-members (dead or fenced ranks).
+func (c *Comm) groupOf(world int) int {
+	if world < 0 || world >= len(c.w2g) {
+		return -1
+	}
+	return c.w2g[world]
 }
 
-// match reports whether env satisfies a (src, tag, kind, seq) wait. A
-// negative src or tag is a wildcard; seq 0 is a wildcard.
-func match(env envelope, src, tag int, kind byte, seq uint64) bool {
-	if env.kind != kind {
+// sendFrame transmits an envelope to group rank dst under the current
+// epoch, stamping the rank's current virtual time as the departure.
+func (c *Comm) sendFrame(dst int, kind byte, tag int, seq uint64, origLen int, payload []byte) error {
+	if dst < 0 || dst >= len(c.group) {
+		return transport.ErrBadRank
+	}
+	buf := encodeEnvelope(kind, c.epoch, tag, seq, origLen, payload)
+	return c.ep.Send(c.group[dst], buf, c.clock.Now())
+}
+
+// sendControl transmits a shrink-agreement frame to a world rank under
+// an explicit epoch (the agreement crosses epochs by design).
+func (c *Comm) sendControl(world int, kind byte, epoch uint32, payload []byte) error {
+	buf := encodeEnvelope(kind, epoch, 0, 0, 0, payload)
+	return c.ep.Send(world, buf, c.clock.Now())
+}
+
+// accepts reports whether env satisfies a (src, tag, kind, seq) wait
+// under the current epoch and group. A negative src or tag is a
+// wildcard; seq 0 is a wildcard.
+func (c *Comm) accepts(env envelope, src, tag int, kind byte, seq uint64) bool {
+	if env.kind != kind || env.epoch != c.epoch {
 		return false
 	}
-	if src != AnySource && env.src != src {
+	g := c.groupOf(env.world)
+	if g < 0 {
+		return false
+	}
+	if src != AnySource && g != src {
 		return false
 	}
 	if kind == kindEager || kind == kindRTS {
@@ -102,48 +145,158 @@ func match(env envelope, src, tag int, kind byte, seq uint64) bool {
 // reports whether the envelope was consumed. This is the progress-engine
 // behaviour that keeps mutual-exchange patterns deadlock-free.
 func (c *Comm) progressCTS(env envelope) bool {
-	if env.kind != kindCTS {
+	if env.kind != kindCTS || env.epoch != c.epoch {
 		return false
 	}
 	r, ok := c.pending[env.seq]
-	if !ok || r.dst != env.src {
+	if !ok || r.dst < 0 || r.dst >= len(c.group) || c.group[r.dst] != env.world {
 		return false
 	}
 	delete(c.pending, env.seq)
 	c.clock.AdvanceTo(durationOf(env.departure) + c.wire(envHeaderLen))
 	r.err = c.sendFrame(r.dst, kindData, r.tag, r.seq, r.origLen, r.payload)
 	r.done = true
+	if r.pooled {
+		// The envelope encoder copied the payload onto the wire; the
+		// compressed buffer goes back to the pool now.
+		c.pedal.Release(r.payload)
+		r.pooled = false
+	}
 	r.payload = nil
 	return true
 }
 
-// waitFor blocks until a frame matching the criteria arrives, servicing
-// pending-send CTS grants and queueing everything else on the unexpected
-// list (MPI's unexpected-message queue).
-func (c *Comm) waitFor(src, tag int, kind byte, seq uint64) (envelope, error) {
-	for i, env := range c.unexpected {
-		if match(env, src, tag, kind, seq) {
-			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
-			return env, nil
-		}
+// absorb processes control and non-matchable frames, reporting whether
+// env was consumed: shrink frames feed the agreement, stale-epoch and
+// fenced-sender frames are dropped (the idempotence filter), CTS grants
+// service pending sends. Frames from a future epoch are NOT consumed —
+// they park on the unexpected queue until this rank installs the commit.
+func (c *Comm) absorb(env *envelope) bool {
+	switch env.kind {
+	case kindShrinkJoin:
+		c.noteJoin(*env)
+		return true
+	case kindShrinkCommit:
+		c.noteCommit(*env)
+		return true
 	}
+	if env.epoch < c.epoch || (env.epoch == c.epoch && c.groupOf(env.world) < 0) {
+		c.bd.Inc(stats.CounterStaleFrames)
+		return true
+	}
+	if env.epoch == c.epoch && c.progressCTS(*env) {
+		return true
+	}
+	return false
+}
+
+// step pulls one frame from the transport and runs it through absorb.
+// It returns (env, true, nil) when a data-path envelope is ready for the
+// caller to match, (zero, false, nil) when a frame was consumed
+// internally (so callers can re-check completion state), and an error
+// when the wait must abort: transport failure, rank failure/revocation,
+// or the operation deadline. await is the awaited group rank (AnySource
+// for wildcards) and start anchors the deadline.
+//
+// Without a detector or deadline the receive blocks exactly as before;
+// with either, the transport is polled so the failure checks interleave
+// with reception — this is what turns "receiver blocks forever on a
+// rank that never sends" into a typed error.
+func (c *Comm) step(await int, start time.Time) (envelope, bool, error) {
+	polling := c.det != nil || c.opts.OpDeadline > 0
 	for {
-		f, err := c.ep.Recv()
-		if err != nil {
-			return envelope{}, err
+		var f transport.Frame
+		if polling {
+			if err := c.liveness(await, start); err != nil {
+				return envelope{}, false, err
+			}
+			var ok bool
+			var err error
+			f, ok, err = c.ep.TryRecv()
+			if err != nil {
+				return envelope{}, false, err
+			}
+			if !ok {
+				time.Sleep(c.pollInterval())
+				continue
+			}
+		} else {
+			var err error
+			f, err = c.ep.Recv()
+			if err != nil {
+				return envelope{}, false, err
+			}
 		}
 		env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
 		if err != nil {
+			return envelope{}, false, err
+		}
+		if c.absorb(&env) {
+			return envelope{}, false, nil
+		}
+		return env, true, nil
+	}
+}
+
+// waitMatch blocks until a frame satisfying accept arrives, queueing
+// everything else on the unexpected list (MPI's unexpected-message
+// queue). The returned envelope has src resolved to the current group.
+func (c *Comm) waitMatch(await int, accept func(envelope) bool) (envelope, error) {
+	for i, env := range c.unexpected {
+		if accept(env) {
+			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
+			env.src = c.groupOf(env.world)
+			return env, nil
+		}
+	}
+	start := time.Now()
+	for {
+		env, ok, err := c.step(await, start)
+		if err != nil {
 			return envelope{}, err
 		}
-		if c.progressCTS(env) {
+		if !ok {
 			continue
 		}
-		if match(env, src, tag, kind, seq) {
+		if accept(env) {
+			env.src = c.groupOf(env.world)
 			return env, nil
 		}
 		c.unexpected = append(c.unexpected, env)
 	}
+}
+
+// waitFor blocks until a frame matching the criteria arrives.
+func (c *Comm) waitFor(src, tag int, kind byte, seq uint64) (envelope, error) {
+	return c.waitMatch(src, func(env envelope) bool {
+		return c.accepts(env, src, tag, kind, seq)
+	})
+}
+
+// waitForSendStart waits for the first frame of an incoming message:
+// either an eager payload or an RTS.
+func (c *Comm) waitForSendStart(src, tag int) (envelope, error) {
+	return c.waitMatch(src, func(env envelope) bool {
+		return c.accepts(env, src, tag, kindEager, 0) || c.accepts(env, src, tag, kindRTS, 0)
+	})
+}
+
+// usable rejects operations on closed or crashed communicators.
+func (c *Comm) usable() error {
+	if c.closed || c.killed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// opBegin is the entry check of every blocking operation: closed state
+// first, then an immediate fault check so an operation on a revoked
+// communicator fails fast instead of pushing frames at dead ranks.
+func (c *Comm) opBegin() error {
+	if err := c.usable(); err != nil {
+		return err
+	}
+	return c.liveness(AnySource, time.Time{})
 }
 
 // Send transmits data to dst with the given tag, compressing on the fly
@@ -160,11 +313,12 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 // SendTyped is Send with an explicit datatype (the Listing-1 datatype
 // parameter; float types enable the lossy design).
 func (c *Comm) SendTyped(dst, tag int, dt core.DataType, data []byte) error {
-	if c.closed {
-		return ErrClosed
+	if err := c.opBegin(); err != nil {
+		return err
 	}
 	origLen := len(data)
 	payload := data
+	pooled := false
 	// PEDAL hook, sender side: between the shim and transport layers
 	// (Fig. 6). Only Rendezvous-class messages are compressed.
 	if cc := c.compressionFor(origLen); cc != nil {
@@ -178,26 +332,41 @@ func (c *Comm) SendTyped(dst, tag int, dt core.DataType, data []byte) error {
 			return fmt.Errorf("mpi: pedal compress: %w", err)
 		}
 		payload = msg
+		pooled = true
 		c.clock.Advance(rep.Virtual)
 		c.mergePhases(rep)
 	}
+	release := func() {
+		if pooled {
+			// encodeEnvelope copies onto the wire, so the compressed
+			// buffer returns to the pool on every exit path — an aborted
+			// rendezvous must not leak it.
+			c.pedal.Release(payload)
+		}
+	}
 	if origLen < c.opts.RendezvousThreshold {
 		// Eager: single frame, payload inline.
-		return c.sendFrame(dst, kindEager, tag, c.nextSeq(), origLen, payload)
+		err := c.sendFrame(dst, kindEager, tag, c.nextSeq(), origLen, payload)
+		release()
+		return err
 	}
 	// Rendezvous: RTS carries the payload size; the receiver posts a
 	// PEDAL buffer of that size and grants with CTS.
 	seq := c.nextSeq()
 	if err := c.sendFrame(dst, kindRTS, tag, seq, len(payload), nil); err != nil {
+		release()
 		return err
 	}
 	cts, err := c.waitFor(dst, AnyTag, kindCTS, seq)
 	if err != nil {
+		release()
 		return err
 	}
 	// Merge the receiver's grant time plus control-message latency.
 	c.clock.AdvanceTo(durationOf(cts.departure) + c.wire(envHeaderLen))
-	return c.sendFrame(dst, kindData, tag, seq, origLen, payload)
+	err = c.sendFrame(dst, kindData, tag, seq, origLen, payload)
+	release()
+	return err
 }
 
 // Recv receives a message from src with the given tag into a new buffer
@@ -214,8 +383,8 @@ func (c *Comm) Recv(src, tag int, maxLen int) ([]byte, error) {
 
 // RecvTyped is Recv with an explicit datatype for the lossy design.
 func (c *Comm) RecvTyped(src, tag int, dt core.DataType, maxLen int) ([]byte, error) {
-	if c.closed {
-		return nil, ErrClosed
+	if err := c.opBegin(); err != nil {
+		return nil, err
 	}
 	// Wait for either an eager message or a rendezvous RTS.
 	env, err := c.waitForSendStart(src, tag)
@@ -274,34 +443,6 @@ func (c *Comm) RecvTyped(src, tag int, dt core.DataType, maxLen int) ([]byte, er
 		return out, nil
 	}
 	return payload, nil
-}
-
-// waitForSendStart waits for the first frame of an incoming message:
-// either an eager payload or an RTS.
-func (c *Comm) waitForSendStart(src, tag int) (envelope, error) {
-	for i, env := range c.unexpected {
-		if match(env, src, tag, kindEager, 0) || match(env, src, tag, kindRTS, 0) {
-			c.unexpected = append(c.unexpected[:i], c.unexpected[i+1:]...)
-			return env, nil
-		}
-	}
-	for {
-		f, err := c.ep.Recv()
-		if err != nil {
-			return envelope{}, err
-		}
-		env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
-		if err != nil {
-			return envelope{}, err
-		}
-		if c.progressCTS(env) {
-			continue
-		}
-		if match(env, src, tag, kindEager, 0) || match(env, src, tag, kindRTS, 0) {
-			return env, nil
-		}
-		c.unexpected = append(c.unexpected, env)
-	}
 }
 
 // mergePhases folds a PEDAL operation report into the rank's breakdown.

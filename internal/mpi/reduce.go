@@ -79,8 +79,8 @@ func mapFloat64(f func(x, y float64) float64) func(a, b []byte) ([]byte, error) 
 // tree MPICH uses for commutative operations. Compression applies per
 // hop like any point-to-point transfer. Non-root ranks return nil.
 func (c *Comm) Reduce(root int, op ReduceOp, data []byte) ([]byte, error) {
-	if c.closed {
-		return nil, ErrClosed
+	if err := c.opBegin(); err != nil {
+		return nil, err
 	}
 	if c.size == 1 {
 		return data, nil
@@ -126,8 +126,8 @@ func (c *Comm) Allreduce(op ReduceOp, data []byte) ([]byte, error) {
 // Scatter splits root's data into size equal chunks and delivers chunk i
 // to rank i. len(data) must be divisible by the world size at root.
 func (c *Comm) Scatter(root int, data []byte) ([]byte, error) {
-	if c.closed {
-		return nil, ErrClosed
+	if err := c.opBegin(); err != nil {
+		return nil, err
 	}
 	if c.size == 1 {
 		return data, nil
@@ -154,8 +154,8 @@ func (c *Comm) Scatter(root int, data []byte) ([]byte, error) {
 // the rank-ordered concatenation on all ranks (gather-to-root followed by
 // a broadcast of the concatenation).
 func (c *Comm) Allgather(data []byte) ([]byte, error) {
-	if c.closed {
-		return nil, ErrClosed
+	if err := c.opBegin(); err != nil {
+		return nil, err
 	}
 	if c.size == 1 {
 		return data, nil

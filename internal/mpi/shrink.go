@@ -1,0 +1,262 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"pedal/internal/stats"
+)
+
+// ULFM-style communicator shrink. After the detector declares deaths,
+// every survivor calls Shrink; the agreement elects the lowest surviving
+// world rank as coordinator, collects a join from every other survivor,
+// and commits a dense re-ranked group under a bumped epoch:
+//
+//	survivor ──kindShrinkJoin──▶ coordinator
+//	coordinator ──kindShrinkCommit(epoch+1, group)──▶ every survivor
+//
+// Joins are idempotent and re-sent every detector interval until the
+// commit lands, so lost joins, coordinator changes (the coordinator
+// itself dying mid-round restarts the election implicitly — survivors
+// re-send to the new lowest rank), and late joiners all converge. A
+// coordinator that has already installed answers stale joins by
+// replaying its last commit. If the membership the coordinator committed
+// turns out to contain a rank that died during the round, survivors
+// simply observe a fresh revocation on their next operation and run
+// another Shrink; the app-level retry loop (Shrink until the collective
+// succeeds) converges because epochs only move forward.
+//
+// Revocation ordering: Shrink first fails every pending nonblocking
+// request (releasing pooled payloads), then runs the agreement, and only
+// installs the new group after the commit — so no frame of the old epoch
+// can be matched by an operation of the new one. The epoch filter in
+// absorb drops the old attempt's leftovers, making post-shrink re-sends
+// exactly-once on top of the transport's sequence numbers.
+
+// shrinkCommit is a decoded commit: the new epoch and the dense group
+// (sorted surviving world ranks).
+type shrinkCommit struct {
+	epoch uint32
+	group []int
+}
+
+func encodeShrinkCommit(epoch uint32, group []int) []byte {
+	buf := make([]byte, 4, 4+binary.MaxVarintLen64*(len(group)+1))
+	binary.BigEndian.PutUint32(buf, epoch)
+	buf = binary.AppendUvarint(buf, uint64(len(group)))
+	for _, w := range group {
+		buf = binary.AppendUvarint(buf, uint64(w))
+	}
+	return buf
+}
+
+func parseShrinkCommit(payload []byte, worldSize int) (*shrinkCommit, error) {
+	if len(payload) < 5 {
+		return nil, fmt.Errorf("%w: short shrink commit (%d bytes)", ErrMismatch, len(payload))
+	}
+	sc := &shrinkCommit{epoch: binary.BigEndian.Uint32(payload)}
+	rest := payload[4:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count == 0 || count > uint64(worldSize) {
+		return nil, fmt.Errorf("%w: shrink commit group count %d", ErrMismatch, count)
+	}
+	rest = rest[n:]
+	sc.group = make([]int, 0, count)
+	prev := -1
+	for i := uint64(0); i < count; i++ {
+		w, n := binary.Uvarint(rest)
+		if n <= 0 || int(w) >= worldSize || int(w) <= prev {
+			return nil, fmt.Errorf("%w: shrink commit rank list invalid", ErrMismatch)
+		}
+		rest = rest[n:]
+		prev = int(w)
+		sc.group = append(sc.group, int(w))
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after shrink commit", ErrMismatch, len(rest))
+	}
+	return sc, nil
+}
+
+// noteJoin handles an incoming kindShrinkJoin. A join for a round this
+// rank already committed gets the commit replayed (late joiner); joins
+// for the current round are stashed for the coordinator role in Shrink.
+func (c *Comm) noteJoin(env envelope) {
+	if c.lastCommit != nil && c.lastCommitEpoch > env.epoch {
+		if c.groupOf(env.world) >= 0 {
+			_ = c.sendControl(env.world, kindShrinkCommit, c.lastCommitEpoch, c.lastCommit)
+		}
+		return
+	}
+	if c.joins == nil {
+		c.joins = make(map[int]bool)
+	}
+	c.joins[env.world] = true
+}
+
+// noteCommit stashes an incoming kindShrinkCommit for install; stale or
+// malformed commits are dropped.
+func (c *Comm) noteCommit(env envelope) {
+	sc, err := parseShrinkCommit(env.payload, len(c.w2g))
+	if err != nil || sc.epoch <= c.epoch {
+		c.bd.Inc(stats.CounterStaleFrames)
+		return
+	}
+	if c.pendingCommit == nil || sc.epoch > c.pendingCommit.epoch {
+		c.pendingCommit = sc
+	}
+}
+
+// install applies a committed group: dense re-rank, epoch bump, stale
+// unexpected-queue flush. It fails if this rank is not a member (fenced).
+func (c *Comm) install(sc *shrinkCommit) error {
+	idx := -1
+	for i, w := range sc.group {
+		if w == c.worldRank {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return &RankFailedError{Rank: c.worldRank, Fenced: true}
+	}
+	c.epoch = sc.epoch
+	c.group = append(c.group[:0:0], sc.group...)
+	c.rank = idx
+	c.size = len(sc.group)
+	for i := range c.w2g {
+		c.w2g[i] = -1
+	}
+	for g, w := range c.group {
+		c.w2g[w] = g
+	}
+	// Flush frames that can never match under the new epoch: the
+	// interrupted attempt's leftovers and traffic from fenced ranks.
+	kept := c.unexpected[:0]
+	for _, env := range c.unexpected {
+		if env.epoch == c.epoch && c.groupOf(env.world) >= 0 {
+			kept = append(kept, env)
+		} else {
+			c.bd.Inc(stats.CounterStaleFrames)
+		}
+	}
+	for i := len(kept); i < len(c.unexpected); i++ {
+		c.unexpected[i] = envelope{}
+	}
+	c.unexpected = kept
+	c.pendingCommit = nil
+	c.joins = nil
+	c.bd.Inc(stats.CounterShrinks)
+	return nil
+}
+
+// Shrink runs the agreement that replaces the communicator's group with
+// the dense, re-ranked set of surviving ranks under a new epoch — the
+// MPIX_Comm_shrink of this runtime. Every survivor must call it after
+// observing ErrRankFailed; it returns nil once the new group is
+// installed (Rank/Size reflect the shrunk world), a *RankFailedError
+// with Fenced set if this rank itself was declared dead, and ErrDeadline
+// if the agreement cannot complete within the detector's ShrinkTimeout.
+// Calling it on a fully-alive world is a no-op.
+func (c *Comm) Shrink() error {
+	if err := c.usable(); err != nil {
+		return err
+	}
+	d := c.det
+	if d == nil {
+		return fmt.Errorf("%w: Shrink requires WorldOptions.Detector", ErrBadConfig)
+	}
+	if !d.anyDead() && c.pendingCommit == nil {
+		return nil
+	}
+	// Revocation ordering, step 1: every pending nonblocking request
+	// fails now, before the group changes, releasing pooled payloads.
+	c.failPending(&RankFailedError{Rank: -1, Revoked: true})
+
+	deadline := time.Now().Add(d.cfg.ShrinkTimeout)
+	var lastJoinAt time.Time
+	lastCoord := -1
+	for {
+		if d.isDead(c.worldRank) {
+			return &RankFailedError{Rank: c.worldRank, Fenced: true}
+		}
+		if pc := c.pendingCommit; pc != nil && pc.epoch > c.epoch {
+			return c.install(pc)
+		}
+		alive := d.aliveRanks()
+		if len(alive) == 0 {
+			return &RankFailedError{Rank: c.worldRank, Fenced: true}
+		}
+		coord := alive[0]
+		if coord == c.worldRank {
+			all := true
+			for _, w := range alive {
+				if w != c.worldRank && !c.joins[w] {
+					all = false
+					break
+				}
+			}
+			if all {
+				commit := &shrinkCommit{epoch: c.epoch + 1, group: alive}
+				payload := encodeShrinkCommit(commit.epoch, commit.group)
+				for _, w := range alive {
+					if w == c.worldRank {
+						continue
+					}
+					if err := c.sendControl(w, kindShrinkCommit, commit.epoch, payload); err != nil {
+						return err
+					}
+				}
+				c.lastCommit, c.lastCommitEpoch = payload, commit.epoch
+				return c.install(commit)
+			}
+		} else if now := time.Now(); coord != lastCoord || now.Sub(lastJoinAt) >= d.cfg.Interval {
+			if err := c.sendControl(coord, kindShrinkJoin, c.epoch, nil); err != nil {
+				return err
+			}
+			if lastCoord == coord {
+				c.bd.Inc(stats.CounterShrinkJoinResends)
+			}
+			lastCoord, lastJoinAt = coord, now
+		}
+		// Pump the transport: joins and commits are absorbed, data
+		// frames of any epoch are parked on the unexpected queue.
+		progressed := false
+		for {
+			f, ok, err := c.ep.TryRecv()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			env, err := decodeEnvelope(f.Src, f.Data, int64(f.Departure))
+			if err != nil {
+				return err
+			}
+			progressed = true
+			if c.absorb(&env) {
+				continue
+			}
+			c.unexpected = append(c.unexpected, env)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: shrink agreement timed out", ErrDeadline)
+		}
+		if !progressed {
+			time.Sleep(c.pollInterval())
+		}
+	}
+}
+
+// Epoch returns the communicator's current epoch (bumped by each
+// installed Shrink).
+func (c *Comm) Epoch() uint32 { return c.epoch }
+
+// Group returns the current group as world ranks, indexed by group rank.
+func (c *Comm) Group() []int { return append([]int(nil), c.group...) }
+
+// WorldRank returns this rank's original (world) rank, stable across
+// shrinks; Rank returns the dense group rank.
+func (c *Comm) WorldRank() int { return c.worldRank }

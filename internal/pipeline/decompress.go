@@ -36,7 +36,13 @@ type DecompressSession struct {
 	mu       sync.Mutex
 	firstErr error
 	replays  int
+	aborted  bool
 }
+
+// ErrAborted reports a decompression session cancelled by Abort before
+// all chunks arrived (the sending rank died mid-stream, the MPI wait was
+// revoked, ...).
+var ErrAborted = errors.New("pipeline: session aborted")
 
 // NewDecompress opens a reassembly session for count chunks of
 // chunkSize bytes (the last possibly shorter) totalling origLen
@@ -80,6 +86,12 @@ func (p *Pipeline) NewDecompress(spec Spec, count, chunkSize, origLen int) (*Dec
 // receiver's clock when the chunk's frame landed). comp must stay valid
 // and unmodified until Wait returns. Chunks may arrive in any order.
 func (s *DecompressSession) Submit(index, origLen int, comp []byte, arrival time.Duration) error {
+	s.mu.Lock()
+	aborted := s.aborted
+	s.mu.Unlock()
+	if aborted {
+		return ErrAborted
+	}
 	if index < 0 || index >= s.count {
 		return fmt.Errorf("%w: index %d of %d", ErrBadChunk, index, s.count)
 	}
@@ -212,10 +224,34 @@ func (s *DecompressSession) decode(comp, slot []byte, origLen int) error {
 	}
 }
 
+// Abort cancels the session: it waits for already-submitted chunks to
+// finish decoding — so no decode goroutine outlives the session and the
+// caller may reuse submitted frame buffers immediately — then poisons
+// the session so later Submits fail with ErrAborted and Wait reports the
+// abort. Abort is idempotent and safe after a failed Submit; an MPI
+// receive interrupted by a rank failure calls it so a half-arrived
+// stream leaks neither goroutines nor buffers.
+func (s *DecompressSession) Abort() {
+	s.wg.Wait()
+	s.mu.Lock()
+	s.aborted = true
+	if s.firstErr == nil {
+		s.firstErr = ErrAborted
+	}
+	s.mu.Unlock()
+	s.out = nil
+}
+
 // Wait blocks until every submitted chunk has decoded and returns the
 // reassembled payload with the session's virtual-time summary. It fails
 // with ErrIncomplete when chunks are missing.
 func (s *DecompressSession) Wait() ([]byte, Summary, error) {
+	s.mu.Lock()
+	aborted := s.aborted
+	s.mu.Unlock()
+	if aborted {
+		return nil, Summary{}, ErrAborted
+	}
 	if s.submitted != s.count {
 		return nil, Summary{}, fmt.Errorf("%w: %d of %d submitted", ErrIncomplete, s.submitted, s.count)
 	}

@@ -1,0 +1,148 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+	"pedal/internal/pipeline"
+)
+
+// TestFrameRejects drives the wire decoders through the malformed
+// shapes a dying or hostile peer can produce: truncated at every field
+// boundary, lengths past every cap, bodies longer than the input.
+// Every rejection must be the typed ErrFrame, never a panic or an
+// allocation sized by attacker-controlled fields.
+func TestFrameRejects(t *testing.T) {
+	valid := pipeline.AppendChunkFrame(nil, 3, 64, bytes.Repeat([]byte{0xCD}, 48))
+	for cut := 0; cut < len(valid); cut++ {
+		if _, _, _, _, err := pipeline.ParseChunkFrame(valid[:cut]); err == nil {
+			// A truncation that still parses must consume only what it
+			// declares — the one legal case is cutting inside trailing
+			// garbage, which a single frame has none of.
+			t.Fatalf("truncated frame (%d of %d bytes) accepted", cut, len(valid))
+		} else if !errors.Is(err, pipeline.ErrFrame) {
+			t.Fatalf("truncated frame: untyped error %v", err)
+		}
+	}
+
+	frameCases := map[string][]byte{
+		"empty":               {},
+		"index at cap":        pipeline.AppendChunkFrame(nil, pipeline.MaxChunks, 0, nil),
+		"huge origLen":        {3, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0},
+		"body over input":     {3, 64, 200, 1, 2, 3},
+		"unterminated varint": bytes.Repeat([]byte{0x80}, 16),
+	}
+	for name, data := range frameCases {
+		if _, _, _, _, err := pipeline.ParseChunkFrame(data); !errors.Is(err, pipeline.ErrFrame) {
+			t.Errorf("frame %s: got %v, want ErrFrame", name, err)
+		}
+	}
+
+	descCases := map[string][]byte{
+		"empty":             {},
+		"bad algo":          {0x7F, 1, 1, 1},
+		"count at cap":      pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, pipeline.MaxChunks+1, 1, 1),
+		"huge chunkSize":    {byte(pipeline.AlgoDeflate), 1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 1},
+		"truncated origLen": {byte(pipeline.AlgoDeflate), 1, 1},
+	}
+	for name, data := range descCases {
+		if _, _, _, _, _, err := pipeline.ParseDescriptor(data); !errors.Is(err, pipeline.ErrFrame) {
+			t.Errorf("descriptor %s: got %v, want ErrFrame", name, err)
+		}
+	}
+}
+
+// FuzzDescriptor feeds arbitrary bytes to the descriptor parser and,
+// when a descriptor parses, opens a decompress session from it — the
+// cross-field geometry check must turn any inconsistent descriptor into
+// a typed error before a single output byte is allocated past origLen.
+func FuzzDescriptor(f *testing.F) {
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, 4, 64<<10, 200<<10))
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoLZ4, 0, 0, 0))
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoSZ3F32, 1, 4096, 4000))
+	// Rejected shapes as seeds: oversized count, padded geometry,
+	// truncated tail, unterminated varint.
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, pipeline.MaxChunks+1, 1, 1))
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, 4, 64<<10, 1))
+	f.Add([]byte{byte(pipeline.AlgoZlib), 2, 8})
+	f.Add(bytes.Repeat([]byte{0x80}, 12))
+
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { lib.Finalize() })
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		algo, count, chunkSize, origLen, _, err := pipeline.ParseDescriptor(data)
+		if err != nil {
+			return
+		}
+		if count > pipeline.MaxChunks || chunkSize > 1<<30 || origLen > 1<<30 {
+			t.Fatalf("parser accepted over-cap geometry: %d/%d/%d", count, chunkSize, origLen)
+		}
+		sess, err := lib.Pipeline().NewDecompress(pipeline.Spec{Algo: algo}, count, chunkSize, origLen)
+		if err != nil {
+			if !errors.Is(err, pipeline.ErrBadSpec) {
+				t.Fatalf("geometry rejection not typed: %v", err)
+			}
+			return
+		}
+		sess.Abort()
+	})
+}
+
+// TestAbortMidStream: an abort with chunks still in flight waits for
+// the in-flight decodes, then poisons the session — later Submits and
+// Wait return ErrAborted, and Abort is idempotent.
+func TestAbortMidStream(t *testing.T) {
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Finalize()
+
+	data := textData(256 << 10)
+	spec, err := lib.PipelineSpec(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}, core.TypeBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type chunk struct {
+		index, origLen int
+		data           []byte
+	}
+	var chunks []chunk
+	sum, err := lib.Pipeline().Compress(data, spec, func(ch pipeline.Chunk) error {
+		chunks = append(chunks, chunk{ch.Index, ch.OrigLen, append([]byte(nil), ch.Data...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Chunks < 2 {
+		t.Fatalf("need a multi-chunk stream, got %d", sum.Chunks)
+	}
+
+	sess, err := lib.Pipeline().NewDecompress(spec, sum.Chunks, sum.ChunkSize, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half the stream arrives, then the sender dies.
+	for _, ch := range chunks[:len(chunks)/2] {
+		if err := sess.Submit(ch.index, ch.origLen, ch.data, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Abort()
+	sess.Abort() // idempotent
+	last := chunks[len(chunks)-1]
+	if err := sess.Submit(last.index, last.origLen, last.data, 0); !errors.Is(err, pipeline.ErrAborted) {
+		t.Fatalf("submit after abort: got %v, want ErrAborted", err)
+	}
+	if _, _, err := sess.Wait(); !errors.Is(err, pipeline.ErrAborted) {
+		t.Fatalf("wait after abort: got %v, want ErrAborted", err)
+	}
+}

@@ -1,16 +1,24 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pedal/internal/core"
 	"pedal/internal/hwmodel"
 )
+
+// ErrPeerDead reports that the keepalive declared the service dead:
+// the configured number of consecutive probes went unanswered. Every
+// later call on the client — including Health — fails fast with it, so
+// callers distinguish "daemon gone" from a transient request error.
+var ErrPeerDead = errors.New("service: peer declared dead")
 
 // Client is a connection to a PEDAL service. Safe for concurrent use
 // (requests are serialised on the single connection, like a DOCA queue
@@ -22,6 +30,15 @@ type Client struct {
 	// zero means no deadline. A timed-out exchange leaves the stream
 	// desynchronised, so callers should close the client afterwards.
 	Timeout time.Duration
+
+	dead atomic.Bool
+	// lastOK is the unix-nano time of the last completed exchange; the
+	// keepalive scores connection staleness against it when a request in
+	// flight keeps it from probing directly.
+	lastOK atomic.Int64
+	kaMu   sync.Mutex
+	kaStop chan struct{}
+	kaDone chan struct{}
 }
 
 // Dial connects to a PEDAL service at addr.
@@ -36,21 +53,153 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an existing connection (tests use net.Pipe).
 func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
 
-// Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// Close stops the keepalive (if running) and closes the connection.
+func (c *Client) Close() error {
+	c.StopKeepalive()
+	return c.conn.Close()
+}
 
-// roundTrip serialises one request/response exchange.
+// roundTrip serialises one request/response exchange. A client whose
+// keepalive has declared the peer dead fails fast with ErrPeerDead and
+// never touches the (already closed) connection.
 func (c *Client) roundTrip(req request) ([]byte, error) {
+	if c.dead.Load() {
+		return nil, ErrPeerDead
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.Timeout > 0 {
 		c.conn.SetDeadline(time.Now().Add(c.Timeout))
 		defer c.conn.SetDeadline(time.Time{})
 	}
+	body, err := c.exchange(req)
+	if err != nil && c.dead.Load() {
+		// The keepalive closed the connection out from under this
+		// exchange; report the diagnosis, not the symptom.
+		return nil, ErrPeerDead
+	}
+	return body, err
+}
+
+// exchange writes one request and reads its response. Caller holds c.mu.
+func (c *Client) exchange(req request) ([]byte, error) {
 	if err := writeRequest(c.conn, req); err != nil {
 		return nil, err
 	}
-	return readResponse(c.conn)
+	body, err := readResponse(c.conn)
+	if err == nil || errors.Is(err, ErrRemote) || errors.Is(err, ErrBusy) {
+		// Any completed round trip — even an application error or a shed
+		// — proves the daemon alive.
+		c.lastOK.Store(time.Now().UnixNano())
+	}
+	return body, err
+}
+
+// Ping probes the service's keepalive endpoint once. The server answers
+// pings before admission control, so Ping succeeding means the daemon
+// process is alive, even under full load.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(request{op: opPing})
+	return err
+}
+
+// StartKeepalive arms a per-session failure detector: a background
+// goroutine pings the service every interval and, after misses
+// consecutive unanswered probes (each bounded by interval), declares
+// the peer dead — the connection is closed, any blocked request
+// unwinds, and every later call fails fast with ErrPeerDead (surfaced
+// through Health like any other operation). It is the service-plane
+// twin of the MPI runtime's heartbeat detector: detection latency is
+// interval × misses, and a slow-but-live daemon is kept (pings bypass
+// admission control). Idempotent while a keepalive is running; misses
+// < 1 is treated as 1.
+func (c *Client) StartKeepalive(interval time.Duration, misses int) {
+	if interval <= 0 || c.dead.Load() {
+		return
+	}
+	if misses < 1 {
+		misses = 1
+	}
+	c.kaMu.Lock()
+	defer c.kaMu.Unlock()
+	if c.kaStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	c.kaStop, c.kaDone = stop, done
+	c.lastOK.Store(time.Now().UnixNano())
+	go c.keepalive(interval, misses, stop, done)
+}
+
+// StopKeepalive stops the keepalive goroutine, if any, without marking
+// the peer dead. Safe to call at any time.
+func (c *Client) StopKeepalive() {
+	c.kaMu.Lock()
+	stop, done := c.kaStop, c.kaDone
+	c.kaStop, c.kaDone = nil, nil
+	c.kaMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Dead reports whether the keepalive has declared the peer dead.
+func (c *Client) Dead() bool { return c.dead.Load() }
+
+func (c *Client) keepalive(interval time.Duration, misses int, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	budget := interval * time.Duration(misses)
+	declare := func() {
+		// Diagnosis first, then teardown: a request racing the close
+		// must see ErrPeerDead, not a bare I/O error.
+		c.dead.Store(true)
+		c.conn.Close()
+	}
+	streak := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		if !c.mu.TryLock() {
+			// A request holds the connection. It cannot be interrupted
+			// for a probe, but its own completions refresh lastOK — so a
+			// connection silent past the whole miss budget is a wedged
+			// peer, and closing it is what frees the stuck caller.
+			if time.Since(time.Unix(0, c.lastOK.Load())) > budget {
+				declare()
+				return
+			}
+			continue
+		}
+		err := c.pingLocked(interval)
+		c.mu.Unlock()
+		if err != nil {
+			streak++
+			if streak >= misses {
+				declare()
+				return
+			}
+			continue
+		}
+		streak = 0
+	}
+}
+
+// pingLocked is one keepalive probe bounded by d. Caller holds c.mu.
+func (c *Client) pingLocked(d time.Duration) error {
+	if c.dead.Load() {
+		return ErrPeerDead
+	}
+	c.conn.SetDeadline(time.Now().Add(d))
+	defer c.conn.SetDeadline(time.Time{})
+	_, err := c.exchange(request{op: opPing})
+	return err
 }
 
 // Compress asks the service to compress data with the given design. The

@@ -29,6 +29,12 @@ const (
 	// response body is a text line of space-separated key=value pairs
 	// (the /health endpoint of a DPU compression daemon).
 	opHealth = 3
+	// opPing is the keepalive probe. The server answers before admission
+	// control, so a ping measures the daemon process being alive, not
+	// whether it has spare engine capacity: an overloaded-but-live
+	// service keeps its sessions, a dead one is detected even while its
+	// last responses are queued.
+	opPing = 4
 )
 
 // Response status codes.

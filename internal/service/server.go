@@ -343,6 +343,15 @@ func (s *Server) handle(conn net.Conn) {
 			s.bd.Inc(stats.CounterDrained)
 		}
 		s.mu.Unlock()
+		if req.op == opPing {
+			// Keepalive: answer before admission so overload never
+			// masquerades as death (a shed ping would let a busy spell
+			// tear down every session at once).
+			if err := respond(statusOK, nil); err != nil {
+				return
+			}
+			continue
+		}
 		release, ok := s.admit()
 		if !ok {
 			s.bd.Inc(stats.CounterSheds)

@@ -111,6 +111,36 @@ const (
 	CounterNetNacks Counter = "net_nacks_sent"
 )
 
+// Process fault-domain counters (PR 5): the heartbeat failure detector,
+// ULFM-style communicator shrink, and epoch-stamped frame filtering in
+// internal/mpi.
+const (
+	// CounterHeartbeats counts heartbeats the detector accepted from
+	// this rank.
+	CounterHeartbeats Counter = "heartbeats_sent"
+	// CounterRankDeaths counts ranks the detector declared failed
+	// (heartbeat staleness exceeded the suspicion timeout).
+	CounterRankDeaths Counter = "rank_deaths_declared"
+	// CounterFencedBeats counts heartbeats ignored because they came
+	// from a rank already declared dead (zombie fencing: a restarted or
+	// unhung process never rejoins the old world).
+	CounterFencedBeats Counter = "fenced_heartbeats_dropped"
+	// CounterRevocations counts operations aborted with a rank-failure
+	// error instead of blocking on a dead peer.
+	CounterRevocations Counter = "ops_revoked"
+	// CounterShrinks counts successful World.Shrink agreements installed
+	// by this rank (each installs a new dense group and epoch).
+	CounterShrinks Counter = "comm_shrinks"
+	// CounterStaleFrames counts frames dropped by the epoch filter:
+	// leftovers of an operation interrupted by a failure, or traffic
+	// from fenced ranks. Dropping them is what makes post-shrink re-runs
+	// idempotent.
+	CounterStaleFrames Counter = "stale_frames_dropped"
+	// CounterShrinkJoinResends counts join re-transmissions during the
+	// shrink agreement (coordinator change or lost first join).
+	CounterShrinkJoinResends Counter = "shrink_join_resends"
+)
+
 // Service admission-control counters (internal/service).
 const (
 	// CounterRequests counts requests the server answered (any status).
