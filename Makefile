@@ -4,7 +4,7 @@ GO ?= go
 # (engine queue + close protocol + watchdog, retry path, MPI runtime,
 # reliability sublayer, service admission control, breaker half-open
 # probes).
-RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service ./internal/pipeline ./internal/faults
+RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service ./internal/pipeline ./internal/faults ./internal/fleet
 
 # Per-target budget for the fuzz smoke pass (each Fuzz* function runs
 # this long beyond its seed corpus).
@@ -26,7 +26,8 @@ FUZZ_TARGETS = \
 	./internal/flate:FuzzRoundTrip \
 	./internal/pipeline:FuzzChunkFrame \
 	./internal/pipeline:FuzzDescriptor \
-	./internal/mpi:FuzzEnvelope
+	./internal/mpi:FuzzEnvelope \
+	./internal/service:FuzzProtocol
 
 .PHONY: all build vet test race fuzz bench check soak
 
@@ -61,12 +62,13 @@ bench:
 
 # Full-scale chaos soaks (fixed seed matrices): the engine fault-domain
 # sweep (stall/wedge/reset-fail over serial + pipelined paths), the
-# network sweep (lossy fabric + overloaded daemon), and the rank
+# network sweep (lossy fabric + overloaded daemon), the rank
 # fault-domain sweep (crash/hang/restart mid-collective, detector +
-# shrink). `make check` runs them when SOAK=1; standalone `make soak`
-# always does.
+# shrink), and the fleet sweep (sharded pedald under crash/stall/
+# restart/overload/drain). `make check` runs them when SOAK=1;
+# standalone `make soak` always does.
 soak:
-	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak|TestExtRankFaultsSoak)$$' -v ./internal/experiments
+	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak|TestExtRankFaultsSoak|TestExtFleetFaultsSoak)$$' -v ./internal/experiments
 
 check: build vet test race fuzz
 ifeq ($(SOAK),1)

@@ -5,17 +5,42 @@
 //	pedalc -algo deflate -engine cengine -gen bf2 input.bin > out.pedal
 //	pedalc -d out.pedal > input.bin
 //	pedalc -algo sz3 -dtype float32 -eb 1e-4 field.f32 > field.pedal
+//
+// With -connect it runs against a pedald daemon instead of a local
+// library, and maps the service's typed errors onto distinct exit
+// codes so soak scripts can tell a shed from a failure:
+//
+//	pedalc -connect 127.0.0.1:7070 input.bin > out.pedal
+//
+//	exit 0  success
+//	exit 1  generic error (I/O, bad message, ...)
+//	exit 2  usage error
+//	exit 3  server busy — request shed under overload (retryable)
+//	exit 4  peer dead or unreachable (dial failure, keepalive verdict)
+//	exit 5  remote application error (deterministic; do not retry)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"pedal"
+	"pedal/internal/service"
 	"pedal/internal/trace"
+)
+
+// Exit codes for typed service errors (see package comment).
+const (
+	exitGeneric = 1
+	exitUsage   = 2
+	exitBusy    = 3
+	exitPeer    = 4
+	exitRemote  = 5
 )
 
 func main() {
@@ -28,6 +53,9 @@ func main() {
 		decomp    = flag.Bool("d", false, "decompress instead of compress")
 		maxOutput = flag.Int("max", 1<<30, "maximum decompressed size")
 		showTrace = flag.Bool("trace", false, "dump the C-Engine job timeline to stderr")
+		connect   = flag.String("connect", "", "pedald address (host:port); empty runs the library locally")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request deadline in remote mode")
+		retries   = flag.Int("retries", service.DefaultRetryBudget, "busy-retry budget in remote mode (0 disables)")
 	)
 	flag.Parse()
 
@@ -43,7 +71,7 @@ func main() {
 	case "bf3", "bluefield3", "bluefield-3":
 		g = pedal.BlueField3
 	default:
-		fatal(fmt.Errorf("unknown generation %q", *gen))
+		usage(fmt.Errorf("unknown generation %q", *gen))
 	}
 	var e pedal.Engine
 	switch strings.ToLower(*engine) {
@@ -52,7 +80,7 @@ func main() {
 	case "cengine", "c-engine", "ce":
 		e = pedal.CEngine
 	default:
-		fatal(fmt.Errorf("unknown engine %q", *engine))
+		usage(fmt.Errorf("unknown engine %q", *engine))
 	}
 	var dt pedal.DataType
 	switch strings.ToLower(*dtype) {
@@ -63,7 +91,27 @@ func main() {
 	case "float64":
 		dt = pedal.TypeFloat64
 	default:
-		fatal(fmt.Errorf("unknown datatype %q", *dtype))
+		usage(fmt.Errorf("unknown datatype %q", *dtype))
+	}
+	var a pedal.AlgoID
+	if !*decomp {
+		switch strings.ToLower(*algo) {
+		case "deflate":
+			a = pedal.AlgoDeflate
+		case "zlib":
+			a = pedal.AlgoZlib
+		case "lz4":
+			a = pedal.AlgoLZ4
+		case "sz3":
+			a = pedal.AlgoSZ3
+		default:
+			usage(fmt.Errorf("unknown algorithm %q", *algo))
+		}
+	}
+
+	if *connect != "" {
+		runRemote(*connect, *timeout, *retries, a, e, dt, data, *decomp, *maxOutput)
+		return
 	}
 
 	lib, err := pedal.Init(pedal.Options{Generation: g, ErrorBound: *eb})
@@ -89,19 +137,6 @@ func main() {
 		return
 	}
 
-	var a pedal.AlgoID
-	switch strings.ToLower(*algo) {
-	case "deflate":
-		a = pedal.AlgoDeflate
-	case "zlib":
-		a = pedal.AlgoZlib
-	case "lz4":
-		a = pedal.AlgoLZ4
-	case "sz3":
-		a = pedal.AlgoSZ3
-	default:
-		fatal(fmt.Errorf("unknown algorithm %q", *algo))
-	}
 	msg, rep, err := lib.Compress(pedal.Design{Algo: a, Engine: e}, dt, data)
 	if err != nil {
 		fatal(err)
@@ -115,6 +150,35 @@ func main() {
 		rep.InBytes, rep.OutBytes, rep.Ratio(), rep.Engine, fb, rep.Virtual)
 }
 
+// runRemote executes one compress/decompress round against a pedald
+// daemon and exits with the typed code for whatever went wrong.
+func runRemote(addr string, timeout time.Duration, retries int, a pedal.AlgoID, e pedal.Engine, dt pedal.DataType, data []byte, decomp bool, maxOutput int) {
+	cl, err := service.DialTimeout(addr, timeout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pedalc: dial %s: %v\n", addr, err)
+		os.Exit(exitPeer)
+	}
+	defer cl.Close()
+	cl.Timeout = timeout
+	cl.Retry = &service.RetryPolicy{Budget: retries}
+
+	if decomp {
+		out, err := cl.Decompress(e, dt, data, maxOutput)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+		fmt.Fprintf(os.Stderr, "pedalc: decompressed %d -> %d bytes via %s\n", len(data), len(out), addr)
+		return
+	}
+	msg, err := cl.Compress(pedal.Design{Algo: a, Engine: e}, dt, data)
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(msg)
+	fmt.Fprintf(os.Stderr, "pedalc: %d -> %d bytes via %s\n", len(data), len(msg), addr)
+}
+
 func readInput(path string) ([]byte, error) {
 	if path == "" || path == "-" {
 		return io.ReadAll(os.Stdin)
@@ -124,5 +188,24 @@ func readInput(path string) ([]byte, error) {
 
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "pedalc: %v\n", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
+}
+
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "pedalc: %v\n", err)
+	os.Exit(exitUsage)
+}
+
+// exitCode maps the service's typed errors onto the documented exit
+// codes; anything untyped is a generic failure.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, service.ErrBusy):
+		return exitBusy
+	case errors.Is(err, service.ErrPeerDead):
+		return exitPeer
+	case errors.Is(err, service.ErrRemote):
+		return exitRemote
+	}
+	return exitGeneric
 }

@@ -35,13 +35,14 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7070", "listen address")
-		gen     = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
-		eb      = flag.Float64("eb", 1e-4, "SZ3 absolute error bound")
-		drain   = flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
-		maxConc  = flag.Int("max-concurrent", 0, "concurrent request limit (0 = GOMAXPROCS, negative = unlimited)")
-		queue    = flag.Int("queue-depth", 0, "admission queue depth before shedding (0 = default, negative = none)")
-		watchdog = flag.Bool("watchdog", true, "arm the C-Engine stall watchdog (hot-reset + SoC replay on engine loss)")
+		listen     = flag.String("listen", "127.0.0.1:7070", "listen address")
+		gen        = flag.String("gen", "bf2", "DPU generation: bf2 | bf3")
+		eb         = flag.Float64("eb", 1e-4, "SZ3 absolute error bound")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-drain deadline on SIGINT/SIGTERM")
+		maxConc    = flag.Int("max-concurrent", 0, "concurrent request limit (0 = GOMAXPROCS, negative = unlimited)")
+		queue      = flag.Int("queue-depth", 0, "admission queue depth before shedding (0 = default, negative = none)")
+		watchdog   = flag.Bool("watchdog", true, "arm the C-Engine stall watchdog (hot-reset + SoC replay on engine loss)")
+		retryAfter = flag.Duration("retry-after", 0, "Retry-After hint attached to busy rejections (0 = none)")
 	)
 	flag.Parse()
 
@@ -76,6 +77,7 @@ func main() {
 	srv.Logf = log.Printf
 	srv.MaxConcurrent = *maxConc
 	srv.QueueDepth = *queue
+	srv.RetryAfterHint = *retryAfter
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

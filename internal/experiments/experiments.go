@@ -124,6 +124,7 @@ func Runners() []Runner {
 		{"ext-netfaults", "Extension: chaos soak — lossy fabric + overloaded daemon", ExtNetFaults},
 		{"ext-enginefaults", "Extension: chaos soak — self-healing C-Engine fault domain", ExtEngineFaults},
 		{"ext-rankfaults", "Extension: chaos soak — rank-failure tolerance in the MPI runtime", ExtRankFaults},
+		{"ext-fleetfaults", "Extension: chaos soak — resilient sharded pedald fleet", ExtFleetFaults},
 	}
 }
 

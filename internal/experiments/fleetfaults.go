@@ -1,0 +1,402 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/faults"
+	"pedal/internal/fleet"
+	"pedal/internal/hwmodel"
+	"pedal/internal/service"
+	"pedal/internal/stats"
+)
+
+// ExtFleetFaults is the chaos soak for the fleet fault domain: N real
+// pedald instances on loopback behind a fleet.Router, driven by gold
+// and best-effort clients while a deterministic schedule crashes,
+// stalls, restarts, overloads and drains shards. The headline
+// properties: zero data errors, every rejected request a typed shed
+// (never a hang or silent loss), and no single-shard failure ever
+// failing a gold-class idempotent request — failover, hedging or
+// busy-retry completes it.
+func ExtFleetFaults(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-fleetfaults", Title: "Fleet resilience under shard crash/stall/restart/overload",
+		Columns: []string{"Scenario", "Shards", "Ops", "OK", "DataErr", "Untyped", "GoldFail",
+			"Sheds", "Quota", "Failover", "Hedge", "Eject", "Readmit", "Drain", "GoldMax(ms)"},
+		Metrics: map[string]float64{},
+	}
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		return t, err
+	}
+	defer lib.Finalize()
+
+	for _, sc := range fleetScenarios(o) {
+		if err := runFleetScenario(lib, sc, &t); err != nil {
+			return t, fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+	}
+	return t, nil
+}
+
+// fleetScenario is one soak configuration.
+type fleetScenario struct {
+	name       string
+	shards     int
+	gold, be   int // client goroutines per class
+	ops        int // operations per client
+	beTenant   string
+	serverConf func(*service.Server)
+	routerCfg  fleet.Config
+	schedule   []faults.ShardFault
+	poll       time.Duration // health poll interval (0: no poll loop)
+	// waitEject blocks after the main wave until the health plane has
+	// ejected a shard (the data path may spill around a wedged shard so
+	// fast — bounded load — that only the probes ever see it fail).
+	// waitReadmit additionally waits for a readmission, then runs a
+	// small second wave over the healed fleet. drainShard gracefully
+	// drains one shard mid-run instead.
+	waitEject   bool
+	waitReadmit bool
+	drainShard  bool
+}
+
+func fleetScenarios(o Options) []fleetScenario {
+	ops := 20
+	if o.Quick {
+		ops = 8
+	}
+	return []fleetScenario{
+		{
+			name: "clean", shards: 4, gold: 2, be: 4, ops: ops, beTenant: "tenant-be",
+			poll: 20 * time.Millisecond,
+		},
+		{
+			name: "crash", shards: 5, gold: 3, be: 3, ops: ops + 5, beTenant: "tenant-be",
+			schedule: []faults.ShardFault{
+				{Shard: 1, Class: faults.ShardCrash, AfterOps: 12},
+			},
+			routerCfg: fleet.Config{EjectAfter: 2},
+			poll:      15 * time.Millisecond,
+		},
+		{
+			name: "stall", shards: 4, gold: 3, be: 1, ops: ops + 10, beTenant: "tenant-be",
+			schedule: []faults.ShardFault{
+				{Shard: 2, Class: faults.ShardStall, AfterOps: 25, Stall: 300 * time.Millisecond},
+			},
+			routerCfg: fleet.Config{
+				// Adaptive hedging: warmed by the pre-stall ops, then the
+				// stalled shard's requests trigger hedges that win.
+				HedgeQuantile: 0.95, HedgeMinSamples: 8,
+				HedgeMaxDelay: 50 * time.Millisecond,
+				EjectAfter:    2, DegradeAfter: 150 * time.Millisecond,
+				ProbeTimeout:   60 * time.Millisecond,
+				RequestTimeout: 2 * time.Second,
+			},
+			poll:      15 * time.Millisecond,
+			waitEject: true,
+		},
+		{
+			name: "restart", shards: 4, gold: 2, be: 2, ops: ops + 5, beTenant: "tenant-be",
+			schedule: []faults.ShardFault{
+				{Shard: 0, Class: faults.ShardRestart, AfterOps: 10, Down: 400 * time.Millisecond},
+			},
+			routerCfg:   fleet.Config{EjectAfter: 2, ReadmitAfter: 2},
+			poll:        15 * time.Millisecond,
+			waitReadmit: true,
+		},
+		{
+			name: "overload", shards: 2, gold: 2, be: 8, ops: ops / 2, beTenant: "besteffort",
+			serverConf: func(s *service.Server) {
+				s.MaxConcurrent = 1
+				s.QueueDepth = 1
+				s.RetryAfterHint = time.Millisecond
+				s.ExecDelay = 2 * time.Millisecond
+			},
+			routerCfg: fleet.Config{
+				// Keep keys pinned to their primary so saturation is real
+				// shedding, not bounded-load spill.
+				LoadFactor: -1, ShardCapacity: 3,
+				TenantQuotas:    map[string]int{"besteffort": 2},
+				GoldBusyRetries: 20,
+			},
+		},
+		{
+			name: "drain", shards: 4, gold: 2, be: 2, ops: ops + 5, beTenant: "tenant-be",
+			poll: 20 * time.Millisecond, drainShard: true,
+		},
+	}
+}
+
+// fleetShardProc is one pedald instance under the harness: a real
+// server on a real loopback listener, restartable on the same address.
+type fleetShardProc struct {
+	lib  *core.Library
+	conf func(*service.Server)
+
+	mu   sync.Mutex
+	ln   net.Listener
+	srv  *service.Server
+	addr string
+}
+
+func (p *fleetShardProc) listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := service.NewServer(p.lib)
+	if p.conf != nil {
+		p.conf(srv)
+	}
+	p.mu.Lock()
+	p.ln, p.srv = ln, srv
+	p.addr = ln.Addr().String()
+	p.mu.Unlock()
+	go srv.Serve(ln)
+	return nil
+}
+
+func (p *fleetShardProc) server() *service.Server {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.srv
+}
+
+// crash kills the daemon abruptly: listener closed, connections cut.
+func (p *fleetShardProc) crash() {
+	if srv := p.server(); srv != nil {
+		srv.Close()
+	}
+}
+
+// restart crashes the daemon, waits out the outage, then rebinds the
+// same address (retrying briefly — the kernel may lag releasing it).
+func (p *fleetShardProc) restart(down time.Duration) {
+	addr := func() string { p.mu.Lock(); defer p.mu.Unlock(); return p.addr }()
+	p.crash()
+	go func() {
+		time.Sleep(down)
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if err := p.listen(addr); err == nil || time.Now().After(deadline) {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+}
+
+func runFleetScenario(lib *core.Library, sc fleetScenario, t *Table) error {
+	// Boot the shard fleet.
+	procs := make([]*fleetShardProc, sc.shards)
+	for i := range procs {
+		procs[i] = &fleetShardProc{lib: lib, conf: sc.serverConf}
+		if err := procs[i].listen("127.0.0.1:0"); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, p := range procs {
+			p.crash()
+		}
+	}()
+
+	router := fleet.NewRouter(sc.routerCfg)
+	defer router.Close()
+	for i, p := range procs {
+		router.AddShard(fmt.Sprintf("s%d", i), p.addr)
+	}
+	if sc.poll > 0 {
+		router.Start(sc.poll)
+	}
+
+	var (
+		completed  atomic.Int64 // fires the fault schedule
+		okOps      atomic.Uint64
+		dataErrs   atomic.Uint64
+		typedSheds atomic.Uint64
+		untyped    atomic.Uint64
+		goldFails  atomic.Uint64
+		goldMaxNs  atomic.Int64
+	)
+	design := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+
+	// The fault schedule fires synchronously from the op loop the moment
+	// the fleet's completed-op count crosses an entry's AfterOps, so the
+	// injection point is deterministic relative to the workload no matter
+	// how fast the ops run.
+	var schedMu sync.Mutex
+	schedIdx := 0
+	fireFaults := func(done int64) {
+		schedMu.Lock()
+		defer schedMu.Unlock()
+		for schedIdx < len(sc.schedule) && int64(sc.schedule[schedIdx].AfterOps) <= done {
+			f := sc.schedule[schedIdx]
+			schedIdx++
+			p := procs[f.Shard]
+			switch f.Class {
+			case faults.ShardCrash:
+				p.crash()
+			case faults.ShardStall:
+				if srv := p.server(); srv != nil {
+					srv.SetExecDelay(f.Stall)
+				}
+			case faults.ShardRestart:
+				p.restart(f.Down)
+			}
+		}
+	}
+
+	runOps := func(class fleet.Class, tenant, prefix string, n int) {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("%s/obj-%d", prefix, i)
+			body := bytes.Repeat([]byte(key+" pedal fleet soak payload / "), 40)
+			req := fleet.Request{Tenant: tenant, Key: key, Class: class, Idempotent: true}
+			start := time.Now()
+			msg, err := router.Compress(req, design, core.TypeBytes, body)
+			var out []byte
+			if err == nil {
+				out, err = router.Decompress(req, hwmodel.SoC, core.TypeBytes, msg, len(body)+64)
+			}
+			el := time.Since(start)
+			fireFaults(completed.Add(1))
+			if class == fleet.Gold {
+				for {
+					cur := goldMaxNs.Load()
+					if int64(el) <= cur || goldMaxNs.CompareAndSwap(cur, int64(el)) {
+						break
+					}
+				}
+			}
+			switch {
+			case err == nil && bytes.Equal(out, body):
+				okOps.Add(1)
+			case err == nil:
+				dataErrs.Add(1)
+			case errors.Is(err, service.ErrBusy):
+				typedSheds.Add(1)
+				if class == fleet.Gold {
+					goldFails.Add(1)
+				}
+			default:
+				untyped.Add(1)
+				if class == fleet.Gold {
+					goldFails.Add(1)
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < sc.gold; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			runOps(fleet.Gold, "tenant-gold", fmt.Sprintf("g%d", g), sc.ops)
+		}(g)
+	}
+	for b := 0; b < sc.be; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			runOps(fleet.BestEffort, sc.beTenant, fmt.Sprintf("b%d", b), sc.ops)
+		}(b)
+	}
+
+	var drainErr error
+	if sc.drainShard {
+		// Let traffic establish, then gracefully drain one live shard
+		// that currently owns traffic.
+		for completed.Load() < 8 {
+			time.Sleep(time.Millisecond)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		victim := router.Primary("g0/obj-0")
+		drainErr = router.Drain(ctx, victim)
+		cancel()
+		if drainErr == nil {
+			// The daemon behind the drained shard can now shut down
+			// without failing anything.
+			idx := victimIndex(victim)
+			if idx >= 0 && idx < len(procs) {
+				sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+				if srv := procs[idx].server(); srv != nil {
+					srv.Shutdown(sctx)
+				}
+				scancel()
+			}
+		}
+	}
+	wg.Wait()
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+
+	rs := router.Stats()
+	if sc.waitEject {
+		deadline := time.Now().Add(8 * time.Second)
+		for rs.Count(stats.CounterShardEjects) == 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if sc.waitReadmit {
+		// The restarted shard must come back: wait for the health plane
+		// to readmit it, then prove it serves again with a second wave.
+		deadline := time.Now().Add(8 * time.Second)
+		for rs.Count(stats.CounterShardReadmits) == 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		runOps(fleet.Gold, "tenant-gold", "postwave", 10)
+	}
+
+	totalOps := int64(sc.gold+sc.be) * int64(sc.ops)
+	if sc.waitReadmit {
+		totalOps += 10
+	}
+	sheds := rs.Count(stats.CounterFleetSheds)
+	quota := rs.Count(stats.CounterQuotaSheds)
+	goldMax := time.Duration(goldMaxNs.Load())
+	t.Rows = append(t.Rows, []string{
+		sc.name, fmt.Sprint(sc.shards), fmt.Sprint(totalOps), fmt.Sprint(okOps.Load()),
+		fmt.Sprint(dataErrs.Load()), fmt.Sprint(untyped.Load()), fmt.Sprint(goldFails.Load()),
+		fmt.Sprint(sheds), fmt.Sprint(quota),
+		fmt.Sprint(rs.Count(stats.CounterFailovers)), fmt.Sprint(rs.Count(stats.CounterHedges)),
+		fmt.Sprint(rs.Count(stats.CounterShardEjects)), fmt.Sprint(rs.Count(stats.CounterShardReadmits)),
+		fmt.Sprint(rs.Count(stats.CounterShardDrains)), ms(goldMax),
+	})
+	key := func(s string) string { return "fleet_" + sc.name + "_" + s }
+	t.Metrics[key("ops")] = float64(totalOps)
+	t.Metrics[key("ok")] = float64(okOps.Load())
+	t.Metrics[key("data_errors")] = float64(dataErrs.Load())
+	t.Metrics[key("typed_sheds")] = float64(typedSheds.Load())
+	t.Metrics[key("untyped_errors")] = float64(untyped.Load())
+	t.Metrics[key("gold_failures")] = float64(goldFails.Load())
+	t.Metrics[key("router_sheds")] = float64(sheds)
+	t.Metrics[key("quota_sheds")] = float64(quota)
+	t.Metrics[key("failovers")] = float64(rs.Count(stats.CounterFailovers))
+	t.Metrics[key("hedges")] = float64(rs.Count(stats.CounterHedges))
+	t.Metrics[key("hedge_wins")] = float64(rs.Count(stats.CounterHedgeWins))
+	t.Metrics[key("ejects")] = float64(rs.Count(stats.CounterShardEjects))
+	t.Metrics[key("readmits")] = float64(rs.Count(stats.CounterShardReadmits))
+	t.Metrics[key("drains")] = float64(rs.Count(stats.CounterShardDrains))
+	t.Metrics[key("gold_max_ms")] = float64(goldMax) / float64(time.Millisecond)
+	return nil
+}
+
+// victimIndex recovers the proc index from a shard id ("s3" -> 3).
+func victimIndex(id string) int {
+	var i int
+	if _, err := fmt.Sscanf(id, "s%d", &i); err != nil {
+		return -1
+	}
+	return i
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import "testing"
+
+// TestExtFleetFaultsSoak runs the fleet chaos soak at full scale and
+// asserts the PR's acceptance criteria: with ≥4 shards under crash,
+// stall, restart, overload and drain schedules — zero data errors,
+// every rejected request a typed shed (untyped errors are zero), and
+// no gold-class idempotent request ever failing: a killed or wedged
+// shard is absorbed by failover, hedging or busy-retry.
+func TestExtFleetFaultsSoak(t *testing.T) {
+	tb, err := ExtFleetFaults(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	m := tb.Metrics
+
+	scenarios := []string{"clean", "crash", "stall", "restart", "overload", "drain"}
+	for _, sc := range scenarios {
+		key := func(s string) string { return "fleet_" + sc + "_" + s }
+		if m[key("ops")] == 0 {
+			t.Errorf("%s: no operations ran", sc)
+		}
+		if got := m[key("data_errors")]; got != 0 {
+			t.Errorf("%s: %v data errors", sc, got)
+		}
+		if got := m[key("untyped_errors")]; got != 0 {
+			t.Errorf("%s: %v untyped errors (every rejection must be a typed shed)", sc, got)
+		}
+		if got := m[key("gold_failures")]; got != 0 {
+			t.Errorf("%s: %v gold-class failures (failover/hedge/retry must complete them)", sc, got)
+		}
+	}
+
+	// Clean baseline: everything succeeds, nothing fires.
+	if m["fleet_clean_ok"] != m["fleet_clean_ops"] {
+		t.Errorf("clean: ok %v != ops %v", m["fleet_clean_ok"], m["fleet_clean_ops"])
+	}
+	for _, counter := range []string{"failovers", "ejects", "router_sheds", "quota_sheds"} {
+		if got := m["fleet_clean_"+counter]; got != 0 {
+			t.Errorf("clean: %s = %v, want 0", counter, got)
+		}
+	}
+
+	// Crash: the dead shard was routed around and ejected.
+	if m["fleet_crash_failovers"] == 0 {
+		t.Error("crash: no failovers — the dead shard was never routed around")
+	}
+	if m["fleet_crash_ejects"] == 0 {
+		t.Error("crash: the dead shard was never ejected")
+	}
+
+	// Stall: hedging fired against the wedged shard and the shard was
+	// taken out of rotation (probe timeout or degraded-latency path).
+	if m["fleet_stall_hedges"] == 0 {
+		t.Error("stall: no hedges launched against the slow shard")
+	}
+	if m["fleet_stall_ejects"] == 0 {
+		t.Error("stall: the wedged shard was never ejected")
+	}
+	// Gold tail latency stayed bounded: far below the 2s request
+	// timeout and the 300ms stall plateau.
+	if got := m["fleet_stall_gold_max_ms"]; got >= 2000 {
+		t.Errorf("stall: gold max latency %vms reached the timeout ceiling", got)
+	}
+
+	// Restart: ejected while dark, readmitted by half-open probes, and
+	// the healed fleet served a second wave.
+	if m["fleet_restart_ejects"] == 0 {
+		t.Error("restart: shard never ejected during the outage")
+	}
+	if m["fleet_restart_readmits"] == 0 {
+		t.Error("restart: shard never readmitted after recovery")
+	}
+
+	// Overload: load was genuinely shed, best-effort first — quota and
+	// router sheds fired, and every gold request still completed (the
+	// per-scenario gold_failures check above covers the latter).
+	if m["fleet_overload_typed_sheds"] == 0 {
+		t.Error("overload: nothing was shed under 10x oversubscription")
+	}
+	if m["fleet_overload_quota_sheds"] == 0 {
+		t.Error("overload: tenant quota never fired")
+	}
+
+	// Drain: exactly one graceful drain, zero errors around it.
+	if got := m["fleet_drain_drains"]; got != 1 {
+		t.Errorf("drain: %v drains recorded, want 1", got)
+	}
+	if m["fleet_drain_ok"] != m["fleet_drain_ops"] {
+		t.Errorf("drain: ok %v != ops %v — the migration dropped requests",
+			m["fleet_drain_ok"], m["fleet_drain_ops"])
+	}
+}

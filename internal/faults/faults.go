@@ -77,6 +77,9 @@ func (c Class) String() string {
 		if s, ok := rankClassString(c); ok {
 			return s
 		}
+		if s, ok := shardClassString(c); ok {
+			return s
+		}
 		return fmt.Sprintf("Class(%d)", uint8(c))
 	}
 }

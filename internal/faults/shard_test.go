@@ -1,0 +1,61 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestShardScheduleDeterministic(t *testing.T) {
+	cfg := ShardFaultConfig{Seed: 7, PCrash: 0.3, PStall: 0.3, PRestart: 0.3, MinOps: 10, MaxOps: 50}
+	a := NewShardSchedule(cfg, 6)
+	b := NewShardSchedule(cfg, 6)
+	if len(a) == 0 {
+		t.Fatal("schedule empty at 90% combined probability")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic schedule: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestShardScheduleKeepsSurvivors(t *testing.T) {
+	cfg := ShardFaultConfig{PCrash: 1} // every shard wants to die
+	for n := 2; n <= 8; n++ {
+		sched := NewShardSchedule(cfg, n)
+		max := n - 2
+		if max < 1 {
+			max = 1
+		}
+		if len(sched) > max {
+			t.Fatalf("n=%d: %d failures scheduled, cap is %d", n, len(sched), max)
+		}
+	}
+}
+
+func TestShardScheduleOrderedByFiring(t *testing.T) {
+	cfg := ShardFaultConfig{Seed: 3, PCrash: 0.5, PStall: 0.5, MinOps: 0, MaxOps: 100, MaxFailures: 6}
+	sched := NewShardSchedule(cfg, 8)
+	for i := 1; i < len(sched); i++ {
+		if sched[i].AfterOps < sched[i-1].AfterOps {
+			t.Fatalf("schedule not sorted by firing op: %v", sched)
+		}
+	}
+}
+
+func TestShardScheduleDefaults(t *testing.T) {
+	sched := NewShardSchedule(ShardFaultConfig{PStall: 1, PRestart: 0, MaxFailures: 1}, 4)
+	if len(sched) != 1 {
+		t.Fatalf("want 1 entry, got %v", sched)
+	}
+	f := sched[0]
+	if f.Class != ShardStall || f.Stall != 250*time.Millisecond || f.Down != 200*time.Millisecond {
+		t.Fatalf("defaults not applied: %+v", f)
+	}
+	if f.Class.String() != "shard-stall" {
+		t.Fatalf("String() = %q", f.Class.String())
+	}
+}

@@ -1,0 +1,198 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"pedal/internal/service"
+	"pedal/internal/stats"
+)
+
+// ShardInfo is one shard's entry in the fleet health view.
+type ShardInfo struct {
+	ID       string
+	Addr     string
+	State    string
+	Inflight int
+	// Engine is the engine fault-domain state the shard last reported
+	// through its health endpoint ("live", "degraded", ...).
+	Engine  string
+	LastErr string
+}
+
+// View returns the current health view, sorted by shard id.
+func (r *Router) View() []ShardInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ShardInfo, 0, len(r.order))
+	for _, id := range r.order {
+		s := r.shards[id]
+		out = append(out, ShardInfo{
+			ID:       s.ID,
+			Addr:     s.Addr,
+			State:    s.state.String(),
+			Inflight: int(s.inflight.Load()),
+			Engine:   s.engine,
+			LastErr:  s.lastErr,
+		})
+	}
+	return out
+}
+
+// Poll probes every non-draining shard once and applies the outcomes:
+// live shards accumulate failure streaks toward ejection, ejected
+// shards accumulate half-open successes toward readmission. Each probe
+// is a fresh dial + ping + health exchange so it exercises the same
+// path a new client would — a daemon that accepts connections but
+// cannot answer (wedged executor, stalled admission) fails its probe.
+func (r *Router) Poll() {
+	r.mu.Lock()
+	type target struct {
+		s     *Shard
+		state shardState
+	}
+	targets := make([]target, 0, len(r.order))
+	for _, id := range r.order {
+		s := r.shards[id]
+		if s.state == stateLive || s.state == stateEjected {
+			targets = append(targets, target{s, s.state})
+		}
+	}
+	r.mu.Unlock()
+
+	for _, t := range targets {
+		h, err := r.probe(t.s)
+		r.mu.Lock()
+		if t.s.state != t.state {
+			// State changed underneath the probe (data path ejected it,
+			// or an operator drained it) — discard the stale result.
+			r.mu.Unlock()
+			continue
+		}
+		switch {
+		case t.state == stateLive && err != nil:
+			t.s.failStreak++
+			t.s.lastErr = err.Error()
+			if t.s.failStreak >= r.cfg.ejectAfter() {
+				r.ejectLocked(t.s, err.Error())
+			}
+		case t.state == stateLive:
+			t.s.failStreak = 0
+			t.s.engine = h.State
+		case err != nil: // ejected, still failing
+			t.s.okProbes = 0
+			t.s.lastErr = err.Error()
+		default: // ejected, probe succeeded: half-open progress
+			t.s.okProbes++
+			t.s.engine = h.State
+			if t.s.okProbes >= r.cfg.readmitAfter() {
+				r.readmitLocked(t.s)
+			}
+		}
+		r.mu.Unlock()
+	}
+}
+
+// probe checks one shard over a fresh connection: ping proves the
+// daemon answers its control channel, health proves a request can make
+// it through admission and back. A busy answer counts as healthy —
+// saturation is load shedding at work, not shard death.
+func (r *Router) probe(s *Shard) (service.Health, error) {
+	timeout := r.cfg.probeTimeout()
+	be, err := r.cfg.Dial(s.Addr, timeout)
+	if err != nil {
+		return service.Health{}, err
+	}
+	defer be.Close()
+	if err := be.Ping(); err != nil {
+		return service.Health{}, err
+	}
+	h, err := be.Health()
+	if err != nil {
+		if errors.Is(err, service.ErrBusy) {
+			return service.Health{}, nil
+		}
+		return service.Health{}, err
+	}
+	return h, nil
+}
+
+// Start launches the background poll loop at the given interval (zero
+// means 100ms). Stop halts it; Close calls Stop.
+func (r *Router) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	r.pollMu.Lock()
+	defer r.pollMu.Unlock()
+	if r.pollStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	r.pollStop, r.pollDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				r.Poll()
+			}
+		}
+	}()
+}
+
+// Stop halts the background poll loop started by Start.
+func (r *Router) Stop() {
+	r.pollMu.Lock()
+	stop, done := r.pollStop, r.pollDone
+	r.pollStop, r.pollDone = nil, nil
+	r.pollMu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Drain gracefully removes a shard: it is immediately excluded from new
+// routing decisions — the consistent-hash ring hands its ranges to the
+// ring successors — and Drain then waits for its in-flight requests to
+// finish (or ctx to expire) before reporting it fully drained. The
+// caller shuts the daemon down only after Drain returns nil.
+func (r *Router) Drain(ctx context.Context, id string) error {
+	r.mu.Lock()
+	s, ok := r.shards[id]
+	if !ok {
+		r.mu.Unlock()
+		return errors.New("fleet: unknown shard " + id)
+	}
+	if s.state == stateDraining || s.state == stateDrained {
+		r.mu.Unlock()
+		return nil
+	}
+	s.state = stateDraining
+	r.traceLocked("drain", id, "")
+	r.mu.Unlock()
+
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	r.mu.Lock()
+	s.state = stateDrained
+	r.mu.Unlock()
+	r.bd.Inc(stats.CounterShardDrains)
+	r.trace("drained", id, "")
+	s.recycle()
+	return nil
+}

@@ -1,0 +1,152 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/stats"
+)
+
+func TestHealthEjectAndReadmit(t *testing.T) {
+	r, f := newTestFleet(2, Config{EjectAfter: 3, ReadmitAfter: 2})
+	defer r.Close()
+	f.shard("s0").set(func(s *fakeShard) { s.down = true })
+
+	for i := 0; i < 3; i++ {
+		r.Poll()
+	}
+	if st := stateOf(r, "s0"); st != "ejected" {
+		t.Fatalf("s0 state %q after 3 failed probes, want ejected", st)
+	}
+	if r.Stats().Count(stats.CounterShardEjects) != 1 {
+		t.Fatalf("eject counter = %d, want 1", r.Stats().Count(stats.CounterShardEjects))
+	}
+	// An ejected shard takes no traffic: every key routes to s1.
+	for i := 0; i < 20; i++ {
+		body, err := r.Compress(goldReq("key-"+string(rune('a'+i))), testDesign, core.TypeBytes, []byte("d"))
+		if err != nil {
+			t.Fatalf("request failed with one shard ejected: %v", err)
+		}
+		if string(body[:3]) != "s1:" {
+			t.Fatalf("ejected shard served a request: %q", body)
+		}
+	}
+
+	// Recovery: half-open probes must succeed ReadmitAfter times.
+	f.shard("s0").set(func(s *fakeShard) { s.down = false })
+	r.Poll()
+	if st := stateOf(r, "s0"); st != "ejected" {
+		t.Fatalf("readmitted after a single probe, want 2 (state %q)", st)
+	}
+	r.Poll()
+	if st := stateOf(r, "s0"); st != "live" {
+		t.Fatalf("s0 state %q after recovery probes, want live", st)
+	}
+	if r.Stats().Count(stats.CounterShardReadmits) != 1 {
+		t.Fatalf("readmit counter = %d, want 1", r.Stats().Count(stats.CounterShardReadmits))
+	}
+}
+
+func TestHealthDataPathEjects(t *testing.T) {
+	// Ejection must also trigger from request failures alone, without
+	// any poll running: three broken exchanges take the shard out.
+	r, f := newTestFleet(3, Config{EjectAfter: 3, FailoverAttempts: -1})
+	defer r.Close()
+	key := "object-1"
+	primary := r.Primary(key)
+	f.shard(primary).set(func(s *fakeShard) { s.fail = true })
+	for i := 0; i < 3; i++ {
+		req := Request{Key: key} // not idempotent: no failover, error surfaces
+		r.Compress(req, testDesign, core.TypeBytes, []byte("d"))
+	}
+	if st := stateOf(r, primary); st != "ejected" {
+		t.Fatalf("primary state %q after 3 data-path failures, want ejected", st)
+	}
+	if r.Primary(key) == primary {
+		t.Fatal("ejected shard still primary")
+	}
+}
+
+func TestHealthDegradedEject(t *testing.T) {
+	r, f := newTestFleet(3, Config{EjectAfter: 2, DegradeAfter: time.Millisecond, FailoverAttempts: -1})
+	defer r.Close()
+	key := "object-3"
+	primary := r.Primary(key)
+	f.shard(primary).set(func(s *fakeShard) { s.delay = 5 * time.Millisecond })
+	for i := 0; i < 2; i++ {
+		if _, err := r.Compress(Request{Key: key}, testDesign, core.TypeBytes, []byte("d")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := stateOf(r, primary); st != "ejected" {
+		t.Fatalf("slow shard state %q, want ejected (degraded)", st)
+	}
+}
+
+func TestDrainMigratesRange(t *testing.T) {
+	r, f := newTestFleet(3, Config{})
+	defer r.Close()
+	key := "object-8"
+	primary := r.Primary(key)
+
+	// A request in flight on the draining shard: Drain must wait it out.
+	f.shard(primary).set(func(s *fakeShard) { s.delay = 20 * time.Millisecond })
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Compress(goldReq(key), testDesign, core.TypeBytes, []byte("slow"))
+		done <- err
+	}()
+	for r.shardByID(primary).inflight.Load() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx, primary); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if st := stateOf(r, primary); st != "drained" {
+		t.Fatalf("state %q after drain, want drained", st)
+	}
+	if got := r.Primary(key); got == primary || got == "" {
+		t.Fatalf("hash range did not migrate: primary still %q", got)
+	}
+	if r.Stats().Count(stats.CounterShardDrains) != 1 {
+		t.Fatalf("drain counter = %d, want 1", r.Stats().Count(stats.CounterShardDrains))
+	}
+	// Traffic continues on the survivors.
+	if _, err := r.Compress(goldReq(key), testDesign, core.TypeBytes, []byte("d")); err != nil {
+		t.Fatalf("post-drain request failed: %v", err)
+	}
+}
+
+func TestViewReportsFleet(t *testing.T) {
+	r, f := newTestFleet(2, Config{EjectAfter: 1})
+	defer r.Close()
+	f.shard("s1").set(func(s *fakeShard) { s.down = true })
+	r.Poll()
+	view := r.View()
+	if len(view) != 2 {
+		t.Fatalf("view has %d shards, want 2", len(view))
+	}
+	if view[0].ID != "s0" || view[0].State != "live" {
+		t.Fatalf("s0 entry wrong: %+v", view[0])
+	}
+	if view[1].ID != "s1" || view[1].State != "ejected" || view[1].LastErr == "" {
+		t.Fatalf("s1 entry wrong: %+v", view[1])
+	}
+}
+
+func stateOf(r *Router, id string) string {
+	for _, info := range r.View() {
+		if info.ID == id {
+			return info.State
+		}
+	}
+	return ""
+}

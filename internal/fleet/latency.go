@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is a fixed-size ring of recent successful request latencies
+// feeding the hedge-delay quantile estimate. Hedging wants "recent
+// typical latency", not all-time history, so old samples age out.
+type latWindow struct {
+	mu    sync.Mutex
+	buf   []time.Duration
+	next  int
+	count int
+}
+
+const defaultLatWindow = 512
+
+func newLatWindow(size int) *latWindow {
+	if size <= 0 {
+		size = defaultLatWindow
+	}
+	return &latWindow{buf: make([]time.Duration, size)}
+}
+
+func (w *latWindow) add(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+	w.mu.Unlock()
+}
+
+func (w *latWindow) size() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// quantile returns the q-th latency quantile (q in (0,1]) over the
+// window, or 0 when empty. Copies and sorts; the window is small and
+// this runs at most once per hedged request.
+func (w *latWindow) quantile(q float64) time.Duration {
+	w.mu.Lock()
+	n := w.count
+	tmp := make([]time.Duration, n)
+	copy(tmp, w.buf[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	if q <= 0 {
+		return tmp[0]
+	}
+	if q >= 1 {
+		return tmp[n-1]
+	}
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	return tmp[i]
+}

@@ -1,0 +1,121 @@
+// Package fleet is a shard-aware routing layer in front of N pedald
+// instances: the deployment where a fleet of DPU compression daemons
+// fronts heavy multi-tenant traffic and no single wedged or crashed
+// shard may take its clients down with it.
+//
+// The pieces, mirroring what a production DPU-offload service exposes:
+//
+//   - a consistent-hash ring (bounded-load variant) mapping tenant/key
+//     onto a primary shard plus an ordered failover sequence,
+//   - a resilience contract: idempotent requests fail over to the next
+//     shard on peer death, and slow gold-class requests are hedged after
+//     a latency-percentile delay with first-wins completion,
+//   - per-tenant quotas and priority classes (gold / best-effort)
+//     layered over the daemons' own MaxConcurrent/QueueDepth admission,
+//     so overload sheds best-effort first — every shed typed and
+//     carrying a Retry-After hint, never a hang,
+//   - a fleet health plane polling each shard's ping/health endpoints
+//     into a shared view that drives routing: wedged or degraded shards
+//     are ejected, half-open probes readmit them, and graceful drain
+//     migrates a shard's hash range before its daemon shuts down.
+package fleet
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultReplicas is the virtual-node count per shard on the ring. More
+// replicas smooth the range distribution; 64 keeps the worst shard
+// within a few percent of the mean for small fleets.
+const DefaultReplicas = 64
+
+// ringPoint is one virtual node: a hash position owned by a shard.
+type ringPoint struct {
+	hash uint64
+	id   string
+}
+
+// hashRing is an immutable consistent-hash ring over shard ids. The
+// router rebuilds it on membership change (add/remove), not on health
+// transitions, so a shard's hash ranges are stable across eject/readmit
+// cycles and keys return to their primary when it recovers.
+type hashRing struct {
+	points []ringPoint // sorted by hash
+	n      int         // distinct shard count
+}
+
+// newRing builds a ring with replicas virtual nodes per shard.
+func newRing(ids []string, replicas int) *hashRing {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &hashRing{n: len(ids)}
+	r.points = make([]ringPoint, 0, len(ids)*replicas)
+	for _, id := range ids {
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(id + "#" + strconv.Itoa(v)), id: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].id < r.points[j].id
+	})
+	return r
+}
+
+// sequence returns every shard id in ring-walk order from key's hash
+// point: the primary first, then the distinct successors. Removing a
+// shard from the ring hands exactly its ranges to the successors, which
+// is what makes failover and drain migrate only the affected keys.
+func (r *hashRing) sequence(key string) []string {
+	if r == nil || len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	out := make([]string, 0, r.n)
+	for j := 0; j < len(r.points) && len(out) < r.n; j++ {
+		id := r.points[(i+j)%len(r.points)].id
+		if !containsID(out, id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func containsID(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// hash64 is FNV-1a with a murmur3-style avalanche finalizer, inlined so
+// routing allocates nothing per lookup. Raw FNV clusters on the short,
+// near-identical vnode labels ("s0#0", "s0#1", ...); the finalizer
+// spreads them uniformly around the ring.
+func hash64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

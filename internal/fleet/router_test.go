@@ -1,0 +1,315 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+	"pedal/internal/service"
+	"pedal/internal/stats"
+)
+
+// fakeShard is one in-memory shard behind the fake dialer. Behaviour
+// flags are flipped mid-test to simulate crashes, wedges and overload.
+type fakeShard struct {
+	name string
+
+	mu     sync.Mutex
+	down   bool // dial refused
+	fail   bool // established connections error out
+	busy   bool // requests shed with a Retry-After hint
+	remote bool // requests fail with a deterministic app error
+	delay  time.Duration
+
+	served atomic.Int64
+}
+
+func (s *fakeShard) set(f func(*fakeShard)) {
+	s.mu.Lock()
+	f(s)
+	s.mu.Unlock()
+}
+
+type fakeConn struct{ s *fakeShard }
+
+func (c *fakeConn) op(data []byte) ([]byte, error) {
+	c.s.mu.Lock()
+	fail, busy, remote, delay := c.s.fail, c.s.busy, c.s.remote, c.s.delay
+	c.s.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if fail {
+		return nil, errors.New("write: broken pipe")
+	}
+	if busy {
+		return nil, &service.BusyError{RetryAfter: time.Millisecond}
+	}
+	if remote {
+		return nil, fmt.Errorf("%w: bad payload", service.ErrRemote)
+	}
+	c.s.served.Add(1)
+	return append([]byte(c.s.name+":"), data...), nil
+}
+
+func (c *fakeConn) Compress(_ core.Design, _ core.DataType, data []byte) ([]byte, error) {
+	return c.op(data)
+}
+
+func (c *fakeConn) Decompress(_ hwmodel.Engine, _ core.DataType, msg []byte, _ int) ([]byte, error) {
+	return c.op(msg)
+}
+
+func (c *fakeConn) Health() (service.Health, error) {
+	if _, err := c.op(nil); err != nil {
+		return service.Health{}, err
+	}
+	return service.Health{State: "live"}, nil
+}
+
+func (c *fakeConn) Ping() error {
+	// Pings bypass admission: a busy shard still answers them.
+	c.s.mu.Lock()
+	fail := c.s.fail
+	c.s.mu.Unlock()
+	if fail {
+		return errors.New("ping: broken pipe")
+	}
+	return nil
+}
+
+func (c *fakeConn) Close() error { return nil }
+
+// fakeFleet owns n fake shards and the dialer wired into the router.
+type fakeFleet struct {
+	mu     sync.Mutex
+	shards map[string]*fakeShard // by address
+}
+
+func (f *fakeFleet) dial(addr string, _ time.Duration) (Backend, error) {
+	f.mu.Lock()
+	s := f.shards[addr]
+	f.mu.Unlock()
+	if s == nil {
+		return nil, errors.New("dial: no such shard")
+	}
+	s.mu.Lock()
+	down := s.down
+	s.mu.Unlock()
+	if down {
+		return nil, errors.New("dial: connection refused")
+	}
+	return &fakeConn{s: s}, nil
+}
+
+// newTestFleet builds a router over n fake shards named s0..s(n-1).
+func newTestFleet(n int, cfg Config) (*Router, *fakeFleet) {
+	f := &fakeFleet{shards: make(map[string]*fakeShard)}
+	cfg.Dial = f.dial
+	r := NewRouter(cfg)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("s%d", i)
+		addr := "addr-" + name
+		f.shards[addr] = &fakeShard{name: name}
+		r.AddShard(name, addr)
+	}
+	return r, f
+}
+
+func (f *fakeFleet) shard(name string) *fakeShard {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards["addr-"+name]
+}
+
+var testDesign = core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}
+
+func goldReq(key string) Request {
+	return Request{Tenant: "t", Key: key, Class: Gold, Idempotent: true}
+}
+
+func TestRouterKeyAffinity(t *testing.T) {
+	r, _ := newTestFleet(4, Config{})
+	defer r.Close()
+	first, err := r.Compress(goldReq("object-7"), testDesign, core.TypeBytes, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		got, err := r.Compress(goldReq("object-7"), testDesign, core.TypeBytes, []byte("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(first) {
+			t.Fatalf("key changed shards: %q then %q", first, got)
+		}
+	}
+}
+
+func TestRouterFailover(t *testing.T) {
+	r, f := newTestFleet(3, Config{})
+	defer r.Close()
+	key := "object-42"
+	primary := r.Primary(key)
+	f.shard(primary).set(func(s *fakeShard) { s.fail = true })
+	body, err := r.Compress(goldReq(key), testDesign, core.TypeBytes, []byte("data"))
+	if err != nil {
+		t.Fatalf("failover did not rescue the request: %v", err)
+	}
+	if string(body) == primary+":data" {
+		t.Fatalf("response came from the dead primary %s", primary)
+	}
+	if got := r.Stats().Count(stats.CounterFailovers); got == 0 {
+		t.Fatal("no failover counted")
+	}
+}
+
+func TestRouterNonIdempotentNeverFailsOver(t *testing.T) {
+	r, f := newTestFleet(3, Config{})
+	defer r.Close()
+	key := "object-9"
+	f.shard(r.Primary(key)).set(func(s *fakeShard) { s.fail = true })
+	req := Request{Key: key, Class: Gold} // Idempotent: false
+	if _, err := r.Compress(req, testDesign, core.TypeBytes, []byte("d")); err == nil {
+		t.Fatal("non-idempotent request must not be re-executed elsewhere")
+	}
+	if got := r.Stats().Count(stats.CounterFailovers); got != 0 {
+		t.Fatalf("counted %d failovers for a non-idempotent request", got)
+	}
+}
+
+func TestRouterRemoteErrorFailsFast(t *testing.T) {
+	r, f := newTestFleet(3, Config{})
+	defer r.Close()
+	key := "object-13"
+	f.shard(r.Primary(key)).set(func(s *fakeShard) { s.remote = true })
+	_, err := r.Compress(goldReq(key), testDesign, core.TypeBytes, []byte("d"))
+	if !errors.Is(err, service.ErrRemote) {
+		t.Fatalf("want ErrRemote, got %v", err)
+	}
+	if got := r.Stats().Count(stats.CounterFailovers); got != 0 {
+		t.Fatalf("deterministic app error must not fail over (%d failovers)", got)
+	}
+}
+
+func TestRouterHedgeFirstWins(t *testing.T) {
+	r, f := newTestFleet(3, Config{HedgeDelay: 2 * time.Millisecond})
+	defer r.Close()
+	key := "object-5"
+	primary := r.Primary(key)
+	f.shard(primary).set(func(s *fakeShard) { s.delay = 300 * time.Millisecond })
+
+	start := time.Now()
+	body, err := r.Compress(goldReq(key), testDesign, core.TypeBytes, []byte("d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 150*time.Millisecond {
+		t.Fatalf("hedge did not rescue the tail: took %v", el)
+	}
+	if string(body) == primary+":d" {
+		t.Fatalf("slow primary %s won, expected the hedge", primary)
+	}
+	if r.Stats().Count(stats.CounterHedges) == 0 || r.Stats().Count(stats.CounterHedgeWins) == 0 {
+		t.Fatalf("hedge counters not incremented: %v", r.Stats().Counts())
+	}
+	if r.Stats().Get(stats.PhaseHedgeWait) == 0 {
+		t.Fatal("hedge wait not charged as virtual time")
+	}
+}
+
+func TestRouterBestEffortShed(t *testing.T) {
+	// LoadFactor -1 disables bounded-load spill so the saturated shard
+	// stays the key's primary and the shed path is what fires.
+	r, f := newTestFleet(3, Config{ShardCapacity: 1, RetryAfterHint: 3 * time.Millisecond, LoadFactor: -1})
+	defer r.Close()
+	key := "object-2"
+	primary := r.Primary(key)
+	// Saturate the primary with a genuinely in-flight slow request.
+	f.shard(primary).set(func(s *fakeShard) { s.delay = 50 * time.Millisecond })
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.Compress(goldReq(key), testDesign, core.TypeBytes, []byte("slow"))
+	}()
+	for r.shardByID(primary).inflight.Load() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	_, err := r.Compress(Request{Key: key, Class: BestEffort, Idempotent: true},
+		testDesign, core.TypeBytes, []byte("d"))
+	if !errors.Is(err, service.ErrBusy) {
+		t.Fatalf("want a typed shed matching ErrBusy, got %v", err)
+	}
+	if hint := service.RetryAfter(err); hint != 3*time.Millisecond {
+		t.Fatalf("Retry-After hint = %v, want 3ms", hint)
+	}
+	if r.Stats().Count(stats.CounterFleetSheds) == 0 {
+		t.Fatal("shed not counted")
+	}
+	<-done
+}
+
+func TestRouterTenantQuota(t *testing.T) {
+	r, _ := newTestFleet(2, Config{TenantQuotas: map[string]int{"noisy": 1}})
+	defer r.Close()
+	r.mu.Lock()
+	r.tenantLoad["noisy"] = 1 // one request already in flight
+	r.mu.Unlock()
+	_, err := r.Compress(Request{Tenant: "noisy", Key: "k", Class: BestEffort, Idempotent: true},
+		testDesign, core.TypeBytes, []byte("d"))
+	var qe *QuotaError
+	if !errors.As(err, &qe) || !errors.Is(err, service.ErrBusy) {
+		t.Fatalf("want QuotaError matching ErrBusy, got %v", err)
+	}
+	if service.RetryAfter(err) <= 0 {
+		t.Fatal("quota shed carries no Retry-After hint")
+	}
+	// Other tenants are unaffected.
+	if _, err := r.Compress(Request{Tenant: "quiet", Key: "k", Idempotent: true},
+		testDesign, core.TypeBytes, []byte("d")); err != nil {
+		t.Fatalf("unrelated tenant shed: %v", err)
+	}
+}
+
+func TestRouterGoldBusyRetry(t *testing.T) {
+	r, f := newTestFleet(2, Config{GoldBusyRetries: 10})
+	defer r.Close()
+	for i := 0; i < 2; i++ {
+		f.shard(fmt.Sprintf("s%d", i)).set(func(s *fakeShard) { s.busy = true })
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		for i := 0; i < 2; i++ {
+			f.shard(fmt.Sprintf("s%d", i)).set(func(s *fakeShard) { s.busy = false })
+		}
+	}()
+	if _, err := r.Compress(goldReq("k"), testDesign, core.TypeBytes, []byte("d")); err != nil {
+		t.Fatalf("gold request not carried across the busy spell: %v", err)
+	}
+	if r.Stats().Get(stats.PhaseRetry) == 0 {
+		t.Fatal("busy backoff not charged as virtual time")
+	}
+}
+
+func TestRouterNoShards(t *testing.T) {
+	r := NewRouter(Config{Dial: func(string, time.Duration) (Backend, error) {
+		return nil, errors.New("unused")
+	}})
+	defer r.Close()
+	if _, err := r.Compress(goldReq("k"), testDesign, core.TypeBytes, nil); !errors.Is(err, ErrNoShards) {
+		t.Fatalf("want ErrNoShards, got %v", err)
+	}
+}
+
+// shardByID is a test helper reaching the internal shard record.
+func (r *Router) shardByID(id string) *Shard {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.shards[id]
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pedal/internal/core"
+	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
 )
 
@@ -19,6 +20,57 @@ import (
 // later call on the client — including Health — fails fast with it, so
 // callers distinguish "daemon gone" from a transient request error.
 var ErrPeerDead = errors.New("service: peer declared dead")
+
+// RetryPolicy configures client-side retry of ErrBusy sheds: jittered
+// exponential backoff with a per-call retry budget, floored by the
+// server's Retry-After hint when the shed carried one. Only busy sheds
+// are retried — the request never reached the compression path, so
+// re-sending it is always safe; remote application errors and peer
+// failures are surfaced immediately as before.
+type RetryPolicy struct {
+	// Budget is the maximum number of retries per call (on top of the
+	// initial attempt). Zero means DefaultRetryBudget; negative disables
+	// retry.
+	Budget int
+	// Base and Max shape the exponential backoff (zero selects the
+	// faults.Backoff defaults: 50µs base, 5ms cap).
+	Base time.Duration
+	Max  time.Duration
+	// Seed seeds the jitter PRNG (deterministic tests); zero selects the
+	// fixed default.
+	Seed uint64
+
+	mu  sync.Mutex
+	rng *faults.Rand
+}
+
+// DefaultRetryBudget is the retry budget when RetryPolicy.Budget is 0.
+const DefaultRetryBudget = 3
+
+func (p *RetryPolicy) budget() int {
+	if p.Budget == 0 {
+		return DefaultRetryBudget
+	}
+	if p.Budget < 0 {
+		return 0
+	}
+	return p.Budget
+}
+
+// delay computes the sleep before retry attempt (0-based), honoring the
+// shed's Retry-After hint as a floor with jitter above it.
+func (p *RetryPolicy) delay(attempt int, err error) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = faults.NewRand(p.Seed)
+	}
+	d := faults.Backoff(attempt, p.Base, p.Max, p.rng)
+	if hint := RetryAfter(err); hint > 0 && hint > d {
+		d = hint + time.Duration(p.rng.Float64()*float64(hint/2))
+	}
+	return d
+}
 
 // Client is a connection to a PEDAL service. Safe for concurrent use
 // (requests are serialised on the single connection, like a DOCA queue
@@ -30,6 +82,10 @@ type Client struct {
 	// zero means no deadline. A timed-out exchange leaves the stream
 	// desynchronised, so callers should close the client afterwards.
 	Timeout time.Duration
+	// Retry, when set, retries busy sheds with jittered backoff under a
+	// per-call budget. Nil preserves the fail-fast behaviour (ErrBusy is
+	// returned on the first shed).
+	Retry *RetryPolicy
 
 	dead atomic.Bool
 	// lastOK is the unix-nano time of the last completed exchange; the
@@ -50,6 +106,17 @@ func Dial(addr string) (*Client, error) {
 	return &Client{conn: conn}, nil
 }
 
+// DialTimeout connects to a PEDAL service at addr with a bounded dial.
+// The fleet router's health plane uses it so a black-holed shard fails
+// its probe within the probe timeout instead of hanging on SYN.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{conn: conn}, nil
+}
+
 // NewClient wraps an existing connection (tests use net.Pipe).
 func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
 
@@ -59,10 +126,26 @@ func (c *Client) Close() error {
 	return c.conn.Close()
 }
 
-// roundTrip serialises one request/response exchange. A client whose
+// roundTrip runs one exchange, retrying busy sheds under the retry
+// policy's budget. Only ErrBusy is retried: the server read the request
+// and refused it before execution, so the stream is clean and the
+// request provably never ran.
+func (c *Client) roundTrip(req request) ([]byte, error) {
+	body, err := c.once(req)
+	if c.Retry == nil {
+		return body, err
+	}
+	for attempt := 0; attempt < c.Retry.budget() && errors.Is(err, ErrBusy); attempt++ {
+		time.Sleep(c.Retry.delay(attempt, err))
+		body, err = c.once(req)
+	}
+	return body, err
+}
+
+// once serialises one request/response exchange. A client whose
 // keepalive has declared the peer dead fails fast with ErrPeerDead and
 // never touches the (already closed) connection.
-func (c *Client) roundTrip(req request) ([]byte, error) {
+func (c *Client) once(req request) ([]byte, error) {
 	if c.dead.Load() {
 		return nil, ErrPeerDead
 	}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 )
 
 // Protocol op codes.
@@ -58,6 +59,65 @@ var ErrRemote = errors.New("service: remote error")
 // connection remains usable; callers may retry, ideally after a
 // backoff.
 var ErrBusy = errors.New("service: server busy")
+
+// BusyError is a shed carrying the server's Retry-After hint. It
+// matches errors.Is(err, ErrBusy), so existing callers that only test
+// for ErrBusy keep working; hint-aware callers recover the duration via
+// RetryAfter.
+type BusyError struct {
+	RetryAfter time.Duration
+}
+
+func (e *BusyError) Error() string {
+	return fmt.Sprintf("service: server busy (retry after %v)", e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrBusy) match.
+func (e *BusyError) Is(target error) bool { return target == ErrBusy }
+
+// RetryAfterDuration exposes the hint to the RetryAfter helper.
+func (e *BusyError) RetryAfterDuration() time.Duration { return e.RetryAfter }
+
+// RetryAfter extracts a Retry-After hint from any error in err's chain
+// (BusyError here, the fleet router's shed errors, ...). Zero means no
+// hint.
+func RetryAfter(err error) time.Duration {
+	for err != nil {
+		if h, ok := err.(interface{ RetryAfterDuration() time.Duration }); ok {
+			return h.RetryAfterDuration()
+		}
+		err = errors.Unwrap(err)
+	}
+	return 0
+}
+
+// maxRetryAfter bounds a hint accepted off the wire; anything larger is
+// treated as garbage and dropped (the shed still surfaces as ErrBusy).
+const maxRetryAfter = time.Minute
+
+// retryAfterBody encodes a positive Retry-After hint as a statusBusy
+// body: 8 bytes, little-endian nanoseconds. An empty body (the pre-hint
+// wire format) still decodes as a plain ErrBusy, keeping old and new
+// peers compatible in both directions.
+func retryAfterBody(d time.Duration) []byte {
+	if d <= 0 {
+		return nil
+	}
+	body := make([]byte, 8)
+	binary.LittleEndian.PutUint64(body, uint64(d))
+	return body
+}
+
+// parseRetryAfter decodes a statusBusy body into the typed busy error.
+func parseRetryAfter(body []byte) error {
+	if len(body) == 8 {
+		d := time.Duration(binary.LittleEndian.Uint64(body))
+		if d > 0 && d <= maxRetryAfter {
+			return &BusyError{RetryAfter: d}
+		}
+	}
+	return ErrBusy
+}
 
 type request struct {
 	op     byte
@@ -113,11 +173,45 @@ func readRequest(r io.Reader) (request, error) {
 	if n > maxPayload {
 		return request{}, fmt.Errorf("service: request payload %d too large", n)
 	}
-	req.data = make([]byte, n)
-	if _, err := io.ReadFull(r, req.data); err != nil {
+	data, err := readBody(r, n)
+	if err != nil {
 		return request{}, err
 	}
+	req.data = data
 	return req, nil
+}
+
+// bodyChunk is the allocation step for reading length-prefixed bodies.
+const bodyChunk = 1 << 20
+
+// readBody reads an n-byte body in bounded chunks, growing the buffer
+// as bytes actually arrive. A forged length prefix therefore cannot
+// make the peer allocate maxPayload up front — the connection fails at
+// the first missing byte having bought at most one chunk.
+func readBody(r io.Reader, n uint64) ([]byte, error) {
+	if n == 0 {
+		return []byte{}, nil
+	}
+	if n <= bodyChunk {
+		body := make([]byte, n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return nil, err
+		}
+		return body, nil
+	}
+	body := make([]byte, 0, bodyChunk)
+	for uint64(len(body)) < n {
+		step := n - uint64(len(body))
+		if step > bodyChunk {
+			step = bodyChunk
+		}
+		off := len(body)
+		body = append(body, make([]byte, step)...)
+		if _, err := io.ReadFull(r, body[off:]); err != nil {
+			return nil, err
+		}
+	}
+	return body, nil
 }
 
 func writeResponse(w io.Writer, status byte, body []byte) error {
@@ -136,15 +230,15 @@ func readResponse(r io.Reader) ([]byte, error) {
 	if n > maxPayload {
 		return nil, fmt.Errorf("service: response payload %d too large", n)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
+	body, err := readBody(r, n)
+	if err != nil {
 		return nil, err
 	}
 	switch hdr[0] {
 	case statusOK:
 		return body, nil
 	case statusBusy:
-		return nil, ErrBusy
+		return nil, parseRetryAfter(body)
 	default:
 		return nil, fmt.Errorf("%w: %s", ErrRemote, body)
 	}

@@ -1,0 +1,131 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"pedal/internal/stats"
+)
+
+// TestClientRetriesBusyWithinBudget holds the server's only slot, lets
+// a second client hit statusBusy, and checks its retry policy carries
+// the request through once the slot frees.
+func TestClientRetriesBusyWithinBudget(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	addr, s := startServerWith(t, func(s *Server) {
+		s.MaxConcurrent = 1
+		s.QueueDepth = -1
+		s.RetryAfterHint = 2 * time.Millisecond
+		s.execHook = func(req request) ([]byte, error) {
+			entered <- struct{}{}
+			<-gate
+			return append([]byte(nil), req.data...), nil
+		}
+	})
+	slow, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	slowDone := make(chan error, 1)
+	go func() { slowDone <- compressReq(slow, []byte("holds the slot")) }()
+	<-entered
+
+	retrier, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer retrier.Close()
+	retrier.Retry = &RetryPolicy{Budget: 50, Base: time.Millisecond, Max: 5 * time.Millisecond}
+	go func() {
+		// Free the slot partway through the retry budget.
+		waitCounter(t, s, stats.CounterSheds, 2)
+		close(gate)
+	}()
+	if err := compressReq(retrier, []byte("retried")); err != nil {
+		t.Fatalf("retry policy did not carry the request through: %v", err)
+	}
+	if err := <-slowDone; err != nil {
+		t.Fatalf("slot holder: %v", err)
+	}
+	if got := s.Stats().Count(stats.CounterSheds); got < 2 {
+		t.Fatalf("sheds = %d, want the retrier to have been shed at least twice", got)
+	}
+}
+
+// TestClientRetryBudgetExhausted pins that a saturated server still
+// surfaces ErrBusy once the budget runs out — bounded retry, no hang.
+func TestClientRetryBudgetExhausted(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	entered := make(chan struct{}, 8)
+	addr, s := startServerWith(t, func(s *Server) {
+		s.MaxConcurrent = 1
+		s.QueueDepth = -1
+		s.execHook = func(req request) ([]byte, error) {
+			entered <- struct{}{}
+			<-gate
+			return nil, nil
+		}
+	})
+	slow, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	go compressReq(slow, []byte("holds the slot forever"))
+	<-entered
+
+	retrier, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer retrier.Close()
+	retrier.Retry = &RetryPolicy{Budget: 3, Base: 100 * time.Microsecond, Max: time.Millisecond}
+	if err := compressReq(retrier, []byte("doomed")); !errors.Is(err, ErrBusy) {
+		t.Fatalf("want ErrBusy after budget exhaustion, got %v", err)
+	}
+	if got := s.Stats().Count(stats.CounterSheds); got != 4 {
+		t.Fatalf("sheds = %d, want 4 (1 attempt + 3 retries)", got)
+	}
+}
+
+// TestBusyCarriesRetryAfterHint checks the hint survives the wire when
+// the server is configured with one.
+func TestBusyCarriesRetryAfterHint(t *testing.T) {
+	gate := make(chan struct{})
+	defer close(gate)
+	entered := make(chan struct{}, 8)
+	addr, _ := startServerWith(t, func(s *Server) {
+		s.MaxConcurrent = 1
+		s.QueueDepth = -1
+		s.RetryAfterHint = 4 * time.Millisecond
+		s.execHook = func(req request) ([]byte, error) {
+			entered <- struct{}{}
+			<-gate
+			return nil, nil
+		}
+	})
+	slow, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	go compressReq(slow, []byte("holds"))
+	<-entered
+
+	shed, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shed.Close()
+	err = compressReq(shed, []byte("shed me"))
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("want ErrBusy, got %v", err)
+	}
+	if got := RetryAfter(err); got != 4*time.Millisecond {
+		t.Fatalf("Retry-After = %v, want 4ms", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pedal/internal/core"
@@ -81,8 +82,17 @@ type Server struct {
 	// ExecDelay stalls each admitted request for the given duration
 	// before executing it, while holding its admission slot. Chaos and
 	// soak harnesses use it to model a slow or contended engine and
-	// drive the server into sustained overload deterministically.
+	// drive the server into sustained overload deterministically. To
+	// change the delay while the server is running use SetExecDelay.
 	ExecDelay time.Duration
+	// execDelay overrides ExecDelay when non-zero: nanoseconds, with -1
+	// meaning "explicitly zero". Lets fault injectors flip a live
+	// server between stalled and healthy without racing the handlers.
+	execDelay atomic.Int64
+	// RetryAfterHint, when positive, is carried on every statusBusy
+	// response so clients back off for at least that long instead of
+	// guessing. Zero keeps the pre-hint wire format (empty busy body).
+	RetryAfterHint time.Duration
 
 	// execHook replaces execute when non-nil (tests use it to inject
 	// slow or panicking handlers).
@@ -101,6 +111,30 @@ func NewServer(lib *core.Library) *Server {
 
 // Stats exposes the server's request/shed/panic/drain counters.
 func (s *Server) Stats() *stats.Breakdown { return s.bd }
+
+// SetExecDelay changes the per-request execution stall on a running
+// server (atomically — handlers may be mid-request). Chaos harnesses
+// use it to wedge and un-wedge a live shard.
+func (s *Server) SetExecDelay(d time.Duration) {
+	if d <= 0 {
+		s.execDelay.Store(-1)
+		return
+	}
+	s.execDelay.Store(int64(d))
+}
+
+// currentExecDelay resolves the effective stall: the atomic override if
+// SetExecDelay was ever called, the ExecDelay field otherwise.
+func (s *Server) currentExecDelay() time.Duration {
+	switch v := s.execDelay.Load(); {
+	case v > 0:
+		return time.Duration(v)
+	case v < 0:
+		return 0
+	default:
+		return s.ExecDelay
+	}
+}
 
 // initAdmission resolves the semaphore and queue once, at first use, so
 // MaxConcurrent/QueueDepth can be set any time before Serve.
@@ -356,7 +390,7 @@ func (s *Server) handle(conn net.Conn) {
 		if !ok {
 			s.bd.Inc(stats.CounterSheds)
 			s.Tracer.Record(trace.Event{Engine: "service", Op: "shed", InBytes: len(req.data), Err: "busy"})
-			if err := respond(statusBusy, nil); err != nil {
+			if err := respond(statusBusy, retryAfterBody(s.RetryAfterHint)); err != nil {
 				return
 			}
 			continue
@@ -390,8 +424,8 @@ func (s *Server) execute(req request) (body []byte, err error) {
 			err = fmt.Errorf("internal error: handler panic: %v", r)
 		}
 	}()
-	if s.ExecDelay > 0 {
-		time.Sleep(s.ExecDelay)
+	if d := s.currentExecDelay(); d > 0 {
+		time.Sleep(d)
 	}
 	if s.execHook != nil {
 		return s.execHook(req)

@@ -31,6 +31,10 @@ const (
 	// PhaseReset accumulates the virtual cost of engine hot-resets
 	// (work-queue teardown + rebuild after a wedge).
 	PhaseReset Phase = "engine_reset"
+	// PhaseHedgeWait accumulates the latency-percentile delays the fleet
+	// router waited before launching hedge requests: the price of tail
+	// tolerance, charged as virtual time like retry backoff.
+	PhaseHedgeWait Phase = "hedge_wait"
 )
 
 // Counter names a monotonically increasing resilience event count.
@@ -154,6 +158,32 @@ const (
 	// CounterDrained counts requests completed while the server was
 	// draining towards shutdown.
 	CounterDrained Counter = "drained_requests"
+)
+
+// Fleet fault-domain counters (internal/fleet): the shard router's
+// shedding, failover, hedging and health-plane machinery.
+const (
+	// CounterFleetSheds counts best-effort requests the router refused
+	// because the primary shard was saturated (priority load shedding).
+	CounterFleetSheds Counter = "fleet_sheds"
+	// CounterQuotaSheds counts requests refused because the tenant was
+	// over its in-flight quota.
+	CounterQuotaSheds Counter = "fleet_quota_sheds"
+	// CounterFailovers counts attempts re-routed to a failover shard
+	// after a peer-class failure on the previous one.
+	CounterFailovers Counter = "fleet_failovers"
+	// CounterHedges counts hedge requests launched after the latency
+	// trigger fired; CounterHedgeWins counts the hedges that finished
+	// before the primary attempt.
+	CounterHedges    Counter = "fleet_hedges"
+	CounterHedgeWins Counter = "fleet_hedge_wins"
+	// CounterShardEjects and CounterShardReadmits count shard health
+	// transitions out of and back into the routing set.
+	CounterShardEjects   Counter = "shards_ejected"
+	CounterShardReadmits Counter = "shards_readmitted"
+	// CounterShardDrains counts shards gracefully drained: hash range
+	// migrated, in-flight requests completed, daemon safe to stop.
+	CounterShardDrains Counter = "shards_drained"
 )
 
 // Breakdown is a concurrency-safe accumulator of virtual durations per

@@ -122,6 +122,19 @@ func (t *Tracer) String() string {
 	return sb.String()
 }
 
+// CountOps reports how many retained events match the given engine and
+// op ("" matches all). Experiment assertions use it to check that a
+// fault-handling path actually fired (e.g. fleet failovers or ejects).
+func (t *Tracer) CountOps(engine, op string) int {
+	n := 0
+	for _, e := range t.Events() {
+		if (engine == "" || e.Engine == engine) && (op == "" || e.Op == op) {
+			n++
+		}
+	}
+	return n
+}
+
 // TotalVirtual sums the modelled durations of all retained events,
 // optionally filtered by engine ("" matches all).
 func (t *Tracer) TotalVirtual(engine string) time.Duration {
