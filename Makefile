@@ -4,7 +4,7 @@ GO ?= go
 # (engine queue + close protocol + watchdog, retry path, MPI runtime,
 # reliability sublayer, service admission control, breaker half-open
 # probes).
-RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service ./internal/pipeline ./internal/faults ./internal/fleet
+RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service ./internal/pipeline ./internal/faults ./internal/fleet ./internal/ckpt
 
 # Per-target budget for the fuzz smoke pass (each Fuzz* function runs
 # this long beyond its seed corpus).
@@ -27,7 +27,8 @@ FUZZ_TARGETS = \
 	./internal/pipeline:FuzzChunkFrame \
 	./internal/pipeline:FuzzDescriptor \
 	./internal/mpi:FuzzEnvelope \
-	./internal/service:FuzzProtocol
+	./internal/service:FuzzProtocol \
+	./internal/ckpt:FuzzManifest
 
 .PHONY: all build vet test race fuzz bench check soak
 
@@ -65,10 +66,11 @@ bench:
 # network sweep (lossy fabric + overloaded daemon), the rank
 # fault-domain sweep (crash/hang/restart mid-collective, detector +
 # shrink), and the fleet sweep (sharded pedald under crash/stall/
-# restart/overload/drain). `make check` runs them when SOAK=1;
-# standalone `make soak` always does.
+# restart/overload/drain), and the storage sweep (checkpoint store
+# under tear/rot/stall/crash-mid-commit). `make check` runs them when
+# SOAK=1; standalone `make soak` always does.
 soak:
-	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak|TestExtRankFaultsSoak|TestExtFleetFaultsSoak)$$' -v ./internal/experiments
+	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak|TestExtRankFaultsSoak|TestExtFleetFaultsSoak|TestExtCkptFaultsSoak)$$' -v ./internal/experiments
 
 check: build vet test race fuzz
 ifeq ($(SOAK),1)

@@ -1,0 +1,221 @@
+// Command pedalck operates a crash-consistent compressed checkpoint
+// store (internal/ckpt) on a local directory: the storage fault domain
+// as an operational tool.
+//
+//	pedalck save -dir /ckpt -epoch 3 -replicas 2 rank0.bin rank1.bin
+//	pedalck restore -dir /ckpt -out restored-rank
+//	pedalck scrub -dir /ckpt
+//	pedalck ls -dir /ckpt
+//
+// save commits the given per-rank files as one epoch under the store's
+// two-phase protocol (staged, fsync'd, digest-verified, atomically
+// renamed). restore loads the newest restorable epoch with full digest
+// verification and read-repair, writing each rank to <out><rank>.
+// scrub verifies every retained epoch, repairs what replicas allow and
+// condemns what they don't. ls lists committed epochs.
+//
+// Typed storage errors map onto distinct exit codes so operational
+// scripts can tell bit rot from a missing store:
+//
+//	exit 0  success
+//	exit 1  generic error (I/O, ...)
+//	exit 2  usage error
+//	exit 3  torn manifest
+//	exit 4  shard rot beyond repair
+//	exit 5  no restorable checkpoint / epoch condemned
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"pedal/internal/ckpt"
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+)
+
+const (
+	exitGeneric   = 1
+	exitUsage     = 2
+	exitTorn      = 3
+	exitRot       = 4
+	exitNoRestore = 5
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(errors.New("missing verb"))
+	}
+	verb := os.Args[1]
+	fs := flag.NewFlagSet("pedalck "+verb, flag.ExitOnError)
+	var (
+		dir      = fs.String("dir", "", "checkpoint store directory (required)")
+		algo     = fs.String("algo", "deflate", "shard codec: deflate | zlib | lz4 | none")
+		gen      = fs.String("gen", "bf2", "DPU generation: bf2 | bf3")
+		epoch    = fs.Uint64("epoch", 0, "epoch number (save: required; restore: 0 = newest)")
+		replicas = fs.Int("replicas", 1, "shard copies per epoch (save)")
+		retain   = fs.Int("retain", 2, "committed epochs to keep (save)")
+		out      = fs.String("out", "rank", "restore output path prefix (one file per rank)")
+		maxShard = fs.Int("max", 1<<30, "maximum decompressed shard size")
+	)
+	fs.Parse(os.Args[2:])
+	if *dir == "" {
+		usage(errors.New("-dir is required"))
+	}
+
+	g := hwmodel.BlueField2
+	if *gen == "bf3" {
+		g = hwmodel.BlueField3
+	}
+	comp, cleanup, err := buildCompressor(*algo, g)
+	if err != nil {
+		usage(err)
+	}
+	defer cleanup()
+
+	dfs, err := ckpt.NewDirFS(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	store, err := ckpt.Open(dfs, ckpt.Config{
+		Compressor: comp, Replicas: *replicas, Retain: *retain, MaxShardBytes: *maxShard,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch verb {
+	case "save":
+		runSave(store, *epoch, fs.Args())
+	case "restore":
+		runRestore(store, *epoch, *out)
+	case "scrub":
+		runScrub(store)
+	case "ls":
+		runLs(store)
+	default:
+		usage(fmt.Errorf("unknown verb %q", verb))
+	}
+}
+
+func buildCompressor(algo string, g hwmodel.Generation) (ckpt.Compressor, func(), error) {
+	if algo == "none" {
+		return ckpt.NopCompressor{}, func() {}, nil
+	}
+	var a core.AlgoID
+	switch algo {
+	case "deflate":
+		a = core.AlgoDeflate
+	case "zlib":
+		a = core.AlgoZlib
+	case "lz4":
+		a = core.AlgoLZ4
+	default:
+		return nil, nil, fmt.Errorf("unknown codec %q", algo)
+	}
+	lib, err := core.Init(core.Options{Generation: g})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &ckpt.LibraryCompressor{
+		Lib:    lib,
+		Design: core.Design{Algo: a, Engine: hwmodel.SoC},
+		Type:   core.TypeBytes,
+	}, func() { lib.Finalize() }, nil
+}
+
+func runSave(store *ckpt.Store, epoch uint64, files []string) {
+	if epoch == 0 {
+		usage(errors.New("save needs -epoch ≥ 1"))
+	}
+	if len(files) == 0 {
+		usage(errors.New("save needs one file per rank"))
+	}
+	shards := make([][]byte, len(files))
+	for i, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		shards[i] = data
+	}
+	m, err := store.Commit(epoch, shards)
+	if err != nil {
+		fatal(err)
+	}
+	var stored uint64
+	for _, sh := range m.Shards {
+		stored += sh.Size
+	}
+	fmt.Printf("committed epoch %d: %d ranks, %d replica(s), %d compressed bytes\n",
+		m.Epoch, len(m.Shards), m.Replicas, stored)
+}
+
+func runRestore(store *ckpt.Store, epoch uint64, out string) {
+	var cp *ckpt.Checkpoint
+	var err error
+	if epoch == 0 {
+		cp, err = store.Restore()
+	} else {
+		cp, err = store.RestoreEpoch(epoch)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for rank, data := range cp.Shards {
+		if werr := os.WriteFile(fmt.Sprintf("%s%d", out, rank), data, 0o644); werr != nil {
+			fatal(werr)
+		}
+	}
+	fmt.Printf("restored epoch %d: %d ranks", cp.Epoch, len(cp.Shards))
+	if cp.RotDetected > 0 {
+		fmt.Printf(" (%d rotten copies detected, %d repaired)", cp.RotDetected, cp.Repaired)
+	}
+	fmt.Println()
+}
+
+func runScrub(store *ckpt.Store) {
+	rep, err := store.Scrub()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scrubbed %d epochs, %d shard copies: %d rotten, %d repaired, %d condemned\n",
+		rep.Epochs, rep.ShardCopies, rep.RotDetected, rep.Repaired, len(rep.Condemned))
+	for e, cerr := range rep.Condemned {
+		fmt.Fprintf(os.Stderr, "condemned epoch %d: %v\n", e, cerr)
+	}
+	if len(rep.Condemned) > 0 {
+		os.Exit(exitNoRestore)
+	}
+}
+
+func runLs(store *ckpt.Store) {
+	epochs, err := store.Epochs()
+	if err != nil {
+		fatal(err)
+	}
+	for _, e := range epochs {
+		fmt.Println(e)
+	}
+}
+
+func usage(err error) {
+	fmt.Fprintf(os.Stderr, "pedalck: %v\nusage: pedalck save|restore|scrub|ls -dir DIR [flags] [files...]\n", err)
+	os.Exit(exitUsage)
+}
+
+// fatal maps typed storage errors to distinct exit codes.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pedalck:", err)
+	switch {
+	case errors.Is(err, ckpt.ErrNoCheckpoint), errors.Is(err, ckpt.ErrEpochCondemned):
+		os.Exit(exitNoRestore)
+	case errors.Is(err, ckpt.ErrShardRot):
+		os.Exit(exitRot)
+	case errors.Is(err, ckpt.ErrTornManifest):
+		os.Exit(exitTorn)
+	}
+	os.Exit(exitGeneric)
+}

@@ -1,0 +1,47 @@
+package checksum
+
+import "io"
+
+// CRC32Writer is an io.Writer that forwards every byte to an underlying
+// writer while folding it into a running CRC-32 (IEEE). It lets callers
+// digest a stream *during* the write — a checkpoint shard hashes while
+// it lands on disk — instead of re-reading the bytes in a second pass.
+//
+// A nil underlying writer is allowed and turns the type into a pure
+// streaming digest (the incremental counterpart of the one-shot CRC32).
+type CRC32Writer struct {
+	w   io.Writer
+	crc uint32
+	n   int64
+}
+
+// NewCRC32Writer returns a digest writer teeing into w (nil w digests
+// without forwarding).
+func NewCRC32Writer(w io.Writer) *CRC32Writer { return &CRC32Writer{w: w} }
+
+// Write forwards p to the underlying writer and absorbs the bytes that
+// were actually written into the digest, so a short write never leaves
+// the digest ahead of the stream.
+func (c *CRC32Writer) Write(p []byte) (int, error) {
+	n := len(p)
+	var err error
+	if c.w != nil {
+		n, err = c.w.Write(p)
+		if n < 0 {
+			n = 0
+		}
+	}
+	c.crc = CRC32Update(c.crc, p[:n])
+	c.n += int64(n)
+	return n, err
+}
+
+// Sum32 returns the CRC-32 of everything written so far.
+func (c *CRC32Writer) Sum32() uint32 { return c.crc }
+
+// N reports how many bytes have been digested.
+func (c *CRC32Writer) N() int64 { return c.n }
+
+// Reset rewinds the digest (and byte count) to the initial state; the
+// underlying writer is kept.
+func (c *CRC32Writer) Reset() { c.crc, c.n = 0, 0 }

@@ -1,0 +1,85 @@
+package checksum
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC32WriterMatchesOneShot(t *testing.T) {
+	f := func(p []byte) bool {
+		var buf bytes.Buffer
+		w := NewCRC32Writer(&buf)
+		if _, err := w.Write(p); err != nil {
+			return false
+		}
+		return w.Sum32() == CRC32(p) && bytes.Equal(buf.Bytes(), p) && w.N() == int64(len(p))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC32WriterIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 100000)
+	rng.Read(data)
+	w := NewCRC32Writer(nil)
+	for off := 0; off < len(data); {
+		n := rng.Intn(7000) + 1
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if _, err := w.Write(data[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+	}
+	if got, want := w.Sum32(), CRC32(data); got != want {
+		t.Fatalf("incremental CRC32 = %#x, want %#x", got, want)
+	}
+	if w.N() != int64(len(data)) {
+		t.Fatalf("N = %d, want %d", w.N(), len(data))
+	}
+}
+
+// shortWriter accepts only the first byte of each Write, then errors.
+type shortWriter struct{ got []byte }
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	s.got = append(s.got, p[0])
+	return 1, errors.New("short")
+}
+
+func TestCRC32WriterShortWrite(t *testing.T) {
+	// The digest must cover only the bytes the underlying writer took,
+	// never the bytes the caller attempted: a torn write that is later
+	// retried would otherwise double-digest the tail.
+	s := &shortWriter{}
+	w := NewCRC32Writer(s)
+	n, err := w.Write([]byte("abc"))
+	if n != 1 || err == nil {
+		t.Fatalf("Write = (%d, %v), want (1, error)", n, err)
+	}
+	if got, want := w.Sum32(), CRC32([]byte("a")); got != want {
+		t.Fatalf("digest after short write = %#x, want CRC32(\"a\") = %#x", got, want)
+	}
+}
+
+func TestCRC32WriterReset(t *testing.T) {
+	w := NewCRC32Writer(nil)
+	w.Write([]byte("garbage"))
+	w.Reset()
+	w.Write([]byte("abc"))
+	if got, want := w.Sum32(), CRC32([]byte("abc")); got != want {
+		t.Fatalf("digest after Reset = %#x, want %#x", got, want)
+	}
+	if w.N() != 3 {
+		t.Fatalf("N after Reset = %d, want 3", w.N())
+	}
+}

@@ -1,0 +1,380 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"pedal/internal/faults"
+)
+
+// testShards builds deterministic per-rank payloads that differ by
+// epoch, so a restore proves *which* epoch it recovered.
+func testShards(epoch uint64, ranks int) [][]byte {
+	out := make([][]byte, ranks)
+	for r := range out {
+		out[r] = bytes.Repeat([]byte(fmt.Sprintf("epoch-%d-rank-%d|", epoch, r)), 50+r)
+	}
+	return out
+}
+
+func mustOpen(t *testing.T, fs FS, cfg Config) *Store {
+	t.Helper()
+	if cfg.Compressor == nil {
+		cfg.Compressor = NopCompressor{}
+	}
+	s, err := Open(fs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func checkShards(t *testing.T, cp *Checkpoint, epoch uint64, ranks int) {
+	t.Helper()
+	if cp.Epoch != epoch {
+		t.Fatalf("restored epoch %d, want %d", cp.Epoch, epoch)
+	}
+	want := testShards(epoch, ranks)
+	if len(cp.Shards) != ranks {
+		t.Fatalf("%d shards, want %d", len(cp.Shards), ranks)
+	}
+	for r := range want {
+		if !bytes.Equal(cp.Shards[r], want[r]) {
+			t.Fatalf("shard %d content mismatch after restore", r)
+		}
+	}
+}
+
+func TestCommitRestoreRoundTrip(t *testing.T) {
+	for _, fsKind := range []string{"mem", "dir"} {
+		t.Run(fsKind, func(t *testing.T) {
+			var fs FS = NewMemFS()
+			if fsKind == "dir" {
+				dfs, err := NewDirFS(t.TempDir())
+				if err != nil {
+					t.Fatal(err)
+				}
+				fs = dfs
+			}
+			s := mustOpen(t, fs, Config{Replicas: 2, ErrorBound: 1e-4})
+			if _, err := s.Commit(1, testShards(1, 4)); err != nil {
+				t.Fatal(err)
+			}
+			cp, err := s.Restore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkShards(t, cp, 1, 4)
+			if cp.RotDetected != 0 || cp.Repaired != 0 {
+				t.Fatalf("clean restore reported rot=%d repaired=%d", cp.RotDetected, cp.Repaired)
+			}
+			if cp.Manifest.ErrorBound != 1e-4 {
+				t.Fatalf("manifest error bound %g, want 1e-4", cp.Manifest.ErrorBound)
+			}
+		})
+	}
+}
+
+func TestEpochsMustIncrease(t *testing.T) {
+	s := mustOpen(t, NewMemFS(), Config{})
+	if _, err := s.Commit(3, testShards(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Commit(3, testShards(3, 2)); err == nil {
+		t.Fatal("re-committing the same epoch succeeded")
+	}
+	if _, err := s.Commit(2, testShards(2, 2)); err == nil {
+		t.Fatal("committing an older epoch succeeded")
+	}
+}
+
+func TestRetention(t *testing.T) {
+	s := mustOpen(t, NewMemFS(), Config{Retain: 2})
+	for e := uint64(1); e <= 5; e++ {
+		if _, err := s.Commit(e, testShards(e, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	epochs, err := s.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 || epochs[0] != 4 || epochs[1] != 5 {
+		t.Fatalf("retained epochs %v, want [4 5]", epochs)
+	}
+}
+
+func TestReplicaReadRepair(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs, Config{Replicas: 2})
+	if _, err := s.Commit(1, testShards(1, 3)); err != nil {
+		t.Fatal(err)
+	}
+	// Rot copy 0 of shard 2; copy 1 survives.
+	if err := FlipBit(fs, epochDirName(1)+"/"+shardFileName(2, 0), 123); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShards(t, cp, 1, 3)
+	if cp.RotDetected != 1 || cp.Repaired != 1 {
+		t.Fatalf("rot=%d repaired=%d, want 1/1", cp.RotDetected, cp.Repaired)
+	}
+	// The repair is durable: a second restore is clean.
+	cp, err = s.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.RotDetected != 0 {
+		t.Fatalf("rot detected again after repair: %d", cp.RotDetected)
+	}
+	// The rotten copy was quarantined for forensics.
+	names, err := fs.ReadDir(quarantineDir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("quarantine holds %v (err %v), want 1 entry", names, err)
+	}
+}
+
+func TestSourceRepair(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs, Config{Replicas: 1})
+	if _, err := s.Commit(1, testShards(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(fs, epochDirName(1)+"/"+shardFileName(1, 0), 7); err != nil {
+		t.Fatal(err)
+	}
+	// Without a source, the only copy is beyond repair.
+	if _, err := s.RestoreEpoch(1); !errors.Is(err, ErrShardRot) {
+		t.Fatalf("RestoreEpoch = %v, want ErrShardRot", err)
+	}
+	// With a source, the shard re-materialises and the file is healed.
+	s.SetSource(func(epoch uint64, rank int) ([]byte, error) {
+		return testShards(epoch, 2)[rank], nil
+	})
+	cp, err := s.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShards(t, cp, 1, 2)
+	if cp.Repaired != 1 {
+		t.Fatalf("repaired = %d, want 1", cp.Repaired)
+	}
+	s.SetSource(nil)
+	if cp, err = s.Restore(); err != nil || cp.RotDetected != 0 {
+		t.Fatalf("post-repair restore: cp=%+v err=%v", cp, err)
+	}
+}
+
+func TestRestoreFallsBackPastRottenEpoch(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs, Config{Replicas: 1, Retain: 3})
+	for e := uint64(1); e <= 2; e++ {
+		if _, err := s.Commit(e, testShards(e, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 2's only copy of shard 0 rots with no repair path: restart
+	// lands on epoch 1, never on a hybrid.
+	if err := FlipBit(fs, epochDirName(2)+"/"+shardFileName(0, 0), 99); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShards(t, cp, 1, 2)
+}
+
+func TestTornManifestFallsBack(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs, Config{})
+	for e := uint64(1); e <= 2; e++ {
+		if _, err := s.Commit(e, testShards(e, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tear epoch 2's manifest mid-file.
+	mp := epochDirName(2) + "/" + manifestName
+	raw, err := fs.ReadFile(mp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(mp, raw[:len(raw)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RestoreEpoch(2); !errors.Is(err, ErrTornManifest) {
+		t.Fatalf("RestoreEpoch(2) = %v, want ErrTornManifest", err)
+	}
+	cp, err := s.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShards(t, cp, 1, 2)
+}
+
+func TestRestoreEmptyStore(t *testing.T) {
+	s := mustOpen(t, NewMemFS(), Config{})
+	if _, err := s.Restore(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("Restore on empty store = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestScrubRepairsAndCondemns(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs, Config{Replicas: 2, Retain: 4})
+	for e := uint64(1); e <= 3; e++ {
+		if _, err := s.Commit(e, testShards(e, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Epoch 1: repairable rot (one copy of one shard).
+	if err := FlipBit(fs, epochDirName(1)+"/"+shardFileName(1, 0), 5); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 2: both copies of shard 0 rot — beyond repair.
+	if err := FlipBit(fs, epochDirName(2)+"/"+shardFileName(0, 0), 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(fs, epochDirName(2)+"/"+shardFileName(0, 1), 7); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Epochs != 3 {
+		t.Fatalf("scrubbed %d epochs, want 3", rep.Epochs)
+	}
+	if rep.RotDetected != 3 {
+		t.Fatalf("rot detected = %d, want 3", rep.RotDetected)
+	}
+	if rep.Repaired != 1 {
+		t.Fatalf("repaired = %d, want 1", rep.Repaired)
+	}
+	cerr, ok := rep.Condemned[2]
+	if !ok || len(rep.Condemned) != 1 {
+		t.Fatalf("condemned = %v, want exactly epoch 2", rep.Condemned)
+	}
+	if !errors.Is(cerr, ErrEpochCondemned) || !errors.Is(cerr, ErrShardRot) {
+		t.Fatalf("condemnation error %v lacks typed wrapping", cerr)
+	}
+	// The condemned epoch is out of the restore sequence; newest wins.
+	epochs, err := s.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(epochs) != 2 || epochs[0] != 1 || epochs[1] != 3 {
+		t.Fatalf("epochs after scrub = %v, want [1 3]", epochs)
+	}
+	cp, err := s.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShards(t, cp, 3, 3)
+	// A second scrub over the healed store is clean.
+	rep, err = s.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RotDetected != 0 || len(rep.Condemned) != 0 {
+		t.Fatalf("second scrub found rot=%d condemned=%v", rep.RotDetected, rep.Condemned)
+	}
+}
+
+func TestOpenSweepsStaleStaging(t *testing.T) {
+	fs := NewMemFS()
+	s := mustOpen(t, fs, Config{})
+	if _, err := s.Commit(1, testShards(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Fake an interrupted commit.
+	if err := fs.MkdirAll(stagingDirName(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(stagingDirName(2)+"/"+shardFileName(0, 0), []byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, fs, Config{})
+	names, err := fs.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, ok := parseEpochDir(n, ".staging-"); ok {
+			t.Fatalf("stale staging %s survived Open", n)
+		}
+	}
+	cp, err := s2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShards(t, cp, 1, 2)
+}
+
+func TestFaultFSTearsAreDetected(t *testing.T) {
+	// A seeded schedule of silent torn writes during commit: restores
+	// must still always land on a verified checkpoint (replica repair
+	// or previous-epoch fallback), never return garbage.
+	mem := NewMemFS()
+	inj := faults.NewDiskInjector(faults.DiskFaultConfig{Seed: 1234, PTear: 0.1})
+	fs := NewFaultFS(mem, inj)
+	s := mustOpen(t, fs, Config{Replicas: 2, Retain: 3})
+	s.SetSource(func(epoch uint64, rank int) ([]byte, error) {
+		return testShards(epoch, 3)[rank], nil
+	})
+	committed := []uint64{}
+	aborted := 0
+	for e := uint64(1); e <= 12; e++ {
+		if _, err := s.Commit(e, testShards(e, 3)); err == nil {
+			committed = append(committed, e)
+		} else {
+			// Commit read-back verification turns a silent tear into a
+			// clean typed abort — never an untyped failure, never a
+			// committed epoch holding a torn shard.
+			if !IsTyped(err) {
+				t.Fatalf("epoch %d: torn commit aborted with untyped error %v", e, err)
+			}
+			aborted++
+		}
+	}
+	if _, injected := inj.Counts(); injected == 0 {
+		t.Fatal("schedule injected nothing")
+	}
+	if len(committed) == 0 {
+		t.Fatal("no epoch committed under 10% tear rate")
+	}
+	if aborted == 0 {
+		t.Fatal("no commit was aborted by read-back verification under 10% tear rate")
+	}
+	cp, err := s.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range committed {
+		if cp.Epoch == e {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("restored epoch %d was never committed", cp.Epoch)
+	}
+	checkShards(t, cp, cp.Epoch, 3)
+}
+
+func TestIsTyped(t *testing.T) {
+	for _, err := range []error{ErrTornManifest, ErrShardRot, ErrEpochCondemned, ErrNoCheckpoint, ErrCrashed,
+		fmt.Errorf("wrap: %w", ErrShardRot)} {
+		if !IsTyped(err) {
+			t.Errorf("IsTyped(%v) = false", err)
+		}
+	}
+	if IsTyped(errors.New("random")) {
+		t.Error("IsTyped(random) = true")
+	}
+}

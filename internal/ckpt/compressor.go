@@ -1,0 +1,79 @@
+package ckpt
+
+import (
+	"pedal/internal/core"
+	"pedal/internal/fleet"
+)
+
+// Compressor encodes and decodes shard payloads. The key names the
+// shard ("epoch-…/shard-…") so fleet-backed implementations can route
+// it with affinity; local implementations ignore it. Implementations
+// must be deterministic — the repair ladder re-compresses a shard from
+// source and expects the manifest digest to match — and safe for
+// concurrent use.
+type Compressor interface {
+	Compress(key string, data []byte) ([]byte, error)
+	Decompress(key string, msg []byte, maxOut int) ([]byte, error)
+}
+
+// LibraryCompressor runs shards through a local core.Library — the
+// single-node path where every rank compresses on its own DPU.
+type LibraryCompressor struct {
+	Lib    *core.Library
+	Design core.Design
+	Type   core.DataType
+}
+
+// Compress implements Compressor.
+func (c *LibraryCompressor) Compress(_ string, data []byte) ([]byte, error) {
+	msg, _, err := c.Lib.Compress(c.Design, c.Type, data)
+	return msg, err
+}
+
+// Decompress implements Compressor.
+func (c *LibraryCompressor) Decompress(_ string, msg []byte, maxOut int) ([]byte, error) {
+	out, _, err := c.Lib.Decompress(c.Design.Engine, c.Type, msg, maxOut)
+	return out, err
+}
+
+// RouterCompressor runs shards through a fleet.Router, so checkpoint
+// shards compress on remote pedald instances with the fleet's failover,
+// hedging and shedding semantics. Shard keys ride into the router's
+// consistent hashing, spreading one checkpoint's shards across the
+// fleet while keeping each shard's retries affine.
+type RouterCompressor struct {
+	Router *fleet.Router
+	Design core.Design
+	Type   core.DataType
+	// Tenant and Class fill the routing request; checkpoint I/O defaults
+	// to best-effort unless Class is set to fleet.Gold.
+	Tenant string
+	Class  fleet.Class
+}
+
+func (c *RouterCompressor) req(key string) fleet.Request {
+	return fleet.Request{Tenant: c.Tenant, Key: key, Class: c.Class, Idempotent: true}
+}
+
+// Compress implements Compressor.
+func (c *RouterCompressor) Compress(key string, data []byte) ([]byte, error) {
+	return c.Router.Compress(c.req(key), c.Design, c.Type, data)
+}
+
+// Decompress implements Compressor.
+func (c *RouterCompressor) Decompress(key string, msg []byte, maxOut int) ([]byte, error) {
+	return c.Router.Decompress(c.req(key), c.Design.Engine, c.Type, msg, maxOut)
+}
+
+// NopCompressor stores shards verbatim — unit tests and raw archival.
+type NopCompressor struct{}
+
+// Compress implements Compressor.
+func (NopCompressor) Compress(_ string, data []byte) ([]byte, error) {
+	return append([]byte(nil), data...), nil
+}
+
+// Decompress implements Compressor.
+func (NopCompressor) Decompress(_ string, msg []byte, _ int) ([]byte, error) {
+	return append([]byte(nil), msg...), nil
+}

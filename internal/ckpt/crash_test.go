@@ -1,0 +1,144 @@
+package ckpt
+
+import (
+	"errors"
+	"testing"
+
+	"pedal/internal/faults"
+)
+
+// commitOps counts the mutating FS operations one commit of epoch 2
+// performs, by dry-running it through a fault-free injector.
+func commitOps(t *testing.T, ranks, replicas int) int {
+	t.Helper()
+	mem := NewMemFS()
+	s := mustOpen(t, mem, Config{Replicas: replicas})
+	if _, err := s.Commit(1, testShards(1, ranks)); err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewDiskInjector(faults.DiskFaultConfig{})
+	s2 := mustOpen(t, NewFaultFS(mem, inj), Config{Replicas: replicas})
+	if _, err := s2.Commit(2, testShards(2, ranks)); err != nil {
+		t.Fatal(err)
+	}
+	ops, _ := inj.Counts()
+	return int(ops)
+}
+
+// TestCrashAtEverySyscall is the atomicity proof: kill the committer at
+// every single mutating syscall of a commit (torn write at the kill
+// point, all unsynced state dropped), restart over the surviving bytes,
+// and require that restore always lands on a complete verified
+// checkpoint — the previous epoch or the new one, never a hybrid and
+// never an untyped error.
+func TestCrashAtEverySyscall(t *testing.T) {
+	const ranks, replicas = 3, 2
+	total := commitOps(t, ranks, replicas)
+	if total < 10 {
+		t.Fatalf("commit took only %d ops; protocol shrank?", total)
+	}
+	sawOld, sawNew := false, false
+	for k := 1; k <= total+1; k++ {
+		// Fresh store with epoch 1 committed cleanly.
+		mem := NewMemFS()
+		s := mustOpen(t, mem, Config{Replicas: replicas})
+		if _, err := s.Commit(1, testShards(1, ranks)); err != nil {
+			t.Fatal(err)
+		}
+		// Commit epoch 2 with the kill switch armed at syscall k.
+		inj := faults.NewDiskInjector(faults.DiskFaultConfig{Seed: uint64(k), CrashAfterOps: k})
+		ffs := NewFaultFS(mem, inj)
+		s2 := mustOpen(t, ffs, Config{Replicas: replicas})
+		_, err := s2.Commit(2, testShards(2, ranks))
+		if k <= total {
+			if !ffs.Crashed() {
+				t.Fatalf("k=%d: kill switch never fired", k)
+			}
+			// A kill on the post-rename root fsync is past the commit
+			// point: Commit rightly reports success. Anywhere else it
+			// must fail with the typed crash error.
+			if err != nil && !errors.Is(err, ErrCrashed) {
+				t.Fatalf("k=%d: commit err = %v, want nil or ErrCrashed", k, err)
+			}
+		} else if err != nil {
+			t.Fatalf("k=%d (past last op): commit failed: %v", k, err)
+		}
+
+		// Restart: a new process opens the surviving bytes.
+		s3 := mustOpen(t, ffs.Underlying(), Config{Replicas: replicas})
+		cp, rerr := s3.Restore()
+		if rerr != nil {
+			t.Fatalf("k=%d: restore after crash failed: %v", k, rerr)
+		}
+		switch cp.Epoch {
+		case 1:
+			sawOld = true
+		case 2:
+			sawNew = true
+		default:
+			t.Fatalf("k=%d: restored impossible epoch %d", k, cp.Epoch)
+		}
+		if err == nil && cp.Epoch != 2 {
+			t.Fatalf("k=%d: commit reported success but restore found epoch %d", k, cp.Epoch)
+		}
+		checkShards(t, cp, cp.Epoch, ranks)
+		if cp.RotDetected != 0 {
+			t.Fatalf("k=%d: restored epoch %d with rot=%d; crash must not corrupt committed data",
+				k, cp.Epoch, cp.RotDetected)
+		}
+	}
+	// The sweep must have exercised both outcomes.
+	if !sawOld || !sawNew {
+		t.Fatalf("sweep one-sided: sawOld=%v sawNew=%v", sawOld, sawNew)
+	}
+}
+
+// TestCrashLeavesStagingForNextOpen proves the recovery half: a store
+// killed before its rename leaves a .staging- directory behind, and the
+// next Open sweeps it without touching the committed epoch.
+func TestCrashLeavesStagingForNextOpen(t *testing.T) {
+	const ranks, replicas = 2, 1
+	mem := NewMemFS()
+	s := mustOpen(t, mem, Config{Replicas: replicas})
+	if _, err := s.Commit(1, testShards(1, ranks)); err != nil {
+		t.Fatal(err)
+	}
+	// Kill late in the commit (after shard writes, before the rename):
+	// ops = stale RemoveAll + MkdirAll + ranks*(write+sync) + manifest
+	// write; killing there leaves a populated staging directory...
+	k := 2 + 2*ranks + 1
+	inj := faults.NewDiskInjector(faults.DiskFaultConfig{Seed: 7, CrashAfterOps: k})
+	s2 := mustOpen(t, NewFaultFS(mem, inj), Config{Replicas: replicas})
+	if _, err := s2.Commit(2, testShards(2, ranks)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("commit err = %v, want ErrCrashed", err)
+	}
+	// ...but only its synced contents survive the power loss.
+	staging := false
+	names, err := mem.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, ok := parseEpochDir(n, ".staging-"); ok {
+			staging = true
+		}
+	}
+	if !staging {
+		t.Fatal("no staging directory survived the crash")
+	}
+	s3 := mustOpen(t, mem, Config{Replicas: replicas})
+	cp, err := s3.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkShards(t, cp, 1, ranks)
+	names, err = mem.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if _, ok := parseEpochDir(n, ".staging-"); ok {
+			t.Fatalf("stale staging %s survived Open", n)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package ckpt
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"pedal/internal/faults"
+)
+
+// ErrCrashed is returned by every mutating operation of a FaultFS whose
+// CrashMidCommit trigger has fired: the process is "dead" and the store
+// holds exactly the bytes that were durable at the kill point.
+var ErrCrashed = errors.New("ckpt: store crashed mid-commit (injected)")
+
+// crasher is implemented by filesystems that can drop unsynced state at
+// a simulated power loss (MemFS).
+type crasher interface{ Crash() }
+
+// FaultFS wraps an FS and applies a seeded faults.DiskInjector schedule
+// to every mutating operation: torn writes (a prefix lands, the call
+// "succeeds"), silent bit rot at write time, injected stalls, and a
+// crash-mid-commit kill switch after which all mutations fail with
+// ErrCrashed and leave the store untouched. Reads are never faulted —
+// rot in committed data is injected explicitly with FlipBit so
+// detection counts stay exact.
+type FaultFS struct {
+	fs  FS
+	inj *faults.DiskInjector
+	// sleep is swappable for tests; nil means time.Sleep.
+	sleep func(time.Duration)
+
+	mu   sync.Mutex
+	dead bool
+}
+
+// NewFaultFS wraps fs with the injector's fault schedule. A nil
+// injector passes everything through.
+func NewFaultFS(fs FS, inj *faults.DiskInjector) *FaultFS {
+	return &FaultFS{fs: fs, inj: inj}
+}
+
+// Underlying returns the wrapped FS — the view a *restarted* process
+// has of the store after the injected crash killed this one.
+func (f *FaultFS) Underlying() FS { return f.fs }
+
+// Crashed reports whether the kill switch has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+// apply draws one decision and handles the classes common to all
+// mutating ops: stalls sleep and pass through, the first crash decision
+// marks the FS dead (the caller applies its op-specific torn effect,
+// then the power loss), later ones fail without touching anything.
+// The bool result reports whether this call is the kill point itself.
+func (f *FaultFS) apply() (faults.DiskDecision, bool, error) {
+	f.mu.Lock()
+	if f.dead {
+		f.mu.Unlock()
+		return faults.DiskDecision{}, false, ErrCrashed
+	}
+	d := f.inj.Next()
+	if d.Class == faults.CrashMidCommit {
+		f.dead = true
+		f.mu.Unlock()
+		return d, true, ErrCrashed
+	}
+	f.mu.Unlock()
+	if d.Class == faults.DiskStall {
+		if f.sleep != nil {
+			f.sleep(d.Stall)
+		} else {
+			time.Sleep(d.Stall)
+		}
+		d.Class = faults.None
+	}
+	return d, false, nil
+}
+
+// powerLoss drops all unsynced store state, if the FS models that.
+func (f *FaultFS) powerLoss() {
+	if c, ok := f.fs.(crasher); ok {
+		c.Crash()
+	}
+}
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(p string) error {
+	if _, kill, err := f.apply(); err != nil {
+		if kill {
+			f.powerLoss()
+		}
+		return err
+	}
+	return f.fs.MkdirAll(p)
+}
+
+// WriteFile implements FS, the main injection point: tears leave a
+// prefix and succeed; rot flips one bit and succeeds; the crash kill
+// tears the write, drops unsynced store state, and fails.
+func (f *FaultFS) WriteFile(p string, data []byte) error {
+	d, kill, err := f.apply()
+	if err != nil {
+		if kill {
+			// The kill point lands mid-write: a torn prefix reaches the
+			// page cache, then the power goes.
+			f.fs.WriteFile(p, data[:int(d.Frac*float64(len(data)))])
+			f.powerLoss()
+		}
+		return err
+	}
+	switch d.Class {
+	case faults.DiskTear:
+		n := int(d.Frac * float64(len(data)))
+		return f.fs.WriteFile(p, data[:n])
+	case faults.DiskRot:
+		if len(data) > 0 {
+			rotted := append([]byte(nil), data...)
+			bit := d.Bit % (uint64(len(rotted)) * 8)
+			rotted[bit/8] ^= 1 << (bit % 8)
+			return f.fs.WriteFile(p, rotted)
+		}
+	}
+	return f.fs.WriteFile(p, data)
+}
+
+// Sync implements FS.
+func (f *FaultFS) Sync(p string) error {
+	if _, kill, err := f.apply(); err != nil {
+		if kill {
+			f.powerLoss()
+		}
+		return err
+	}
+	return f.fs.Sync(p)
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldPath, newPath string) error {
+	if _, kill, err := f.apply(); err != nil {
+		if kill {
+			f.powerLoss()
+		}
+		return err
+	}
+	return f.fs.Rename(oldPath, newPath)
+}
+
+// RemoveAll implements FS.
+func (f *FaultFS) RemoveAll(p string) error {
+	if _, kill, err := f.apply(); err != nil {
+		if kill {
+			f.powerLoss()
+		}
+		return err
+	}
+	return f.fs.RemoveAll(p)
+}
+
+// ReadDir implements FS (reads are never faulted).
+func (f *FaultFS) ReadDir(p string) ([]string, error) { return f.fs.ReadDir(p) }
+
+// ReadFile implements FS (reads are never faulted).
+func (f *FaultFS) ReadFile(p string) ([]byte, error) { return f.fs.ReadFile(p) }

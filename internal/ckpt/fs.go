@@ -1,0 +1,332 @@
+// Package ckpt is the storage fault domain: a crash-consistent
+// compressed checkpoint/restart store. Writers persist per-rank
+// compressed shards under a two-phase commit — shards land in a staging
+// directory with per-shard CRCs, then a manifest is fsync'd and
+// atomically renamed into place — so a crash at any instant leaves
+// either the previous complete checkpoint or the new one, never a torn
+// hybrid. Restart loads the newest valid manifest, verifies every shard
+// digest before decode, and read-repairs shards that fail verification
+// from a surviving replica copy or by re-compressing from source; a
+// background Scrub pass walks retained epochs, detects silent bit rot,
+// and repairs or condemns.
+//
+// All storage goes through the FS interface so the fault soaks can
+// inject torn writes, bit rot, stalls and crash-mid-commit kills at
+// syscall granularity (FaultFS), and the crash-sweep tests can model
+// fsync-aware durability in memory (MemFS).
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FS is the slash-separated filesystem surface the store runs on,
+// rooted at the store directory. WriteFile contents are NOT durable
+// until Sync(path) returns; Rename is atomic.
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string) error
+	// ReadDir lists the names of a directory's entries, sorted.
+	ReadDir(path string) ([]string, error)
+	// ReadFile returns a file's current contents.
+	ReadFile(path string) ([]byte, error)
+	// WriteFile creates or truncates a file with the given contents.
+	WriteFile(path string, data []byte) error
+	// Sync makes a file's contents (or a directory's entries) durable.
+	Sync(path string) error
+	// Rename atomically moves a file or directory.
+	Rename(oldPath, newPath string) error
+	// RemoveAll deletes a file or directory tree; missing paths are not
+	// an error.
+	RemoveAll(path string) error
+}
+
+// DirFS is the production FS: a real directory tree under Root.
+type DirFS struct {
+	Root string
+}
+
+// NewDirFS returns an FS rooted at dir, creating it if needed.
+func NewDirFS(dir string) (*DirFS, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, err
+	}
+	return &DirFS{Root: dir}, nil
+}
+
+func (d *DirFS) abs(p string) string { return filepath.Join(d.Root, filepath.FromSlash(p)) }
+
+// MkdirAll implements FS.
+func (d *DirFS) MkdirAll(p string) error { return os.MkdirAll(d.abs(p), 0o777) }
+
+// ReadDir implements FS.
+func (d *DirFS) ReadDir(p string) ([]string, error) {
+	ents, err := os.ReadDir(d.abs(p))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS.
+func (d *DirFS) ReadFile(p string) ([]byte, error) { return os.ReadFile(d.abs(p)) }
+
+// WriteFile implements FS.
+func (d *DirFS) WriteFile(p string, data []byte) error {
+	return os.WriteFile(d.abs(p), data, 0o666)
+}
+
+// Sync implements FS: fsync on the file or directory.
+func (d *DirFS) Sync(p string) error {
+	f, err := os.Open(d.abs(p))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Rename implements FS.
+func (d *DirFS) Rename(oldPath, newPath string) error {
+	return os.Rename(d.abs(oldPath), d.abs(newPath))
+}
+
+// RemoveAll implements FS.
+func (d *DirFS) RemoveAll(p string) error { return os.RemoveAll(d.abs(p)) }
+
+// memFile models one file's durability state: dirty is what the page
+// cache holds, durable is what survives a crash. A file whose contents
+// were never synced disappears entirely at a crash.
+type memFile struct {
+	dirty   []byte
+	durable []byte
+	synced  bool
+}
+
+// MemFS is an in-memory FS with fsync-aware crash semantics: Crash()
+// reverts every file to its last-synced contents and drops files that
+// were never synced, so tests can prove the commit protocol's fsync
+// ordering actually carries the durability, not accident. Directory
+// creations and renames are modelled as immediately durable (the
+// journalled-metadata simplification); file *data* is not.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+// NewMemFS returns an empty in-memory FS with the root directory
+// present.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files: make(map[string]*memFile),
+		dirs:  map[string]bool{".": true},
+	}
+}
+
+func clean(p string) string {
+	p = path.Clean("/" + p)[1:]
+	if p == "" {
+		return "."
+	}
+	return p
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = clean(p)
+	for p != "." {
+		m.dirs[p] = true
+		p = path.Dir(p)
+	}
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(p string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = clean(p)
+	if !m.dirs[p] {
+		return nil, &os.PathError{Op: "readdir", Path: p, Err: os.ErrNotExist}
+	}
+	seen := map[string]bool{}
+	collect := func(child string) {
+		if p == "." {
+			if i := strings.IndexByte(child, '/'); i >= 0 {
+				child = child[:i]
+			}
+			seen[child] = true
+			return
+		}
+		if strings.HasPrefix(child, p+"/") {
+			rest := child[len(p)+1:]
+			if i := strings.IndexByte(rest, '/'); i >= 0 {
+				rest = rest[:i]
+			}
+			seen[rest] = true
+		}
+	}
+	for f := range m.files {
+		collect(f)
+	}
+	for d := range m.dirs {
+		if d != "." {
+			collect(d)
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// ReadFile implements FS: it serves the latest (page-cache) contents.
+func (m *MemFS) ReadFile(p string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[clean(p)]
+	if !ok {
+		return nil, &os.PathError{Op: "read", Path: p, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), f.dirty...), nil
+}
+
+// WriteFile implements FS: the new contents are dirty until Sync.
+func (m *MemFS) WriteFile(p string, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = clean(p)
+	if dir := path.Dir(p); !m.dirs[dir] {
+		return &os.PathError{Op: "write", Path: p, Err: os.ErrNotExist}
+	}
+	f, ok := m.files[p]
+	if !ok {
+		f = &memFile{}
+		m.files[p] = f
+	}
+	f.dirty = append([]byte(nil), data...)
+	return nil
+}
+
+// Sync implements FS: file contents become durable (directories are a
+// no-op under the journalled-metadata simplification).
+func (m *MemFS) Sync(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = clean(p)
+	if f, ok := m.files[p]; ok {
+		f.durable = append([]byte(nil), f.dirty...)
+		f.synced = true
+		return nil
+	}
+	if m.dirs[p] {
+		return nil
+	}
+	return &os.PathError{Op: "sync", Path: p, Err: os.ErrNotExist}
+}
+
+// Rename implements FS: atomic for files and whole directory trees.
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldPath, newPath = clean(oldPath), clean(newPath)
+	if f, ok := m.files[oldPath]; ok {
+		delete(m.files, oldPath)
+		m.files[newPath] = f
+		for p := path.Dir(newPath); p != "."; p = path.Dir(p) {
+			m.dirs[p] = true
+		}
+		return nil
+	}
+	if !m.dirs[oldPath] {
+		return &os.PathError{Op: "rename", Path: oldPath, Err: os.ErrNotExist}
+	}
+	moved := map[string]*memFile{}
+	for f, mf := range m.files {
+		if strings.HasPrefix(f, oldPath+"/") {
+			moved[newPath+f[len(oldPath):]] = mf
+			delete(m.files, f)
+		}
+	}
+	for f, mf := range moved {
+		m.files[f] = mf
+	}
+	for d := range m.dirs {
+		if d == oldPath || strings.HasPrefix(d, oldPath+"/") {
+			delete(m.dirs, d)
+			m.dirs[newPath+d[len(oldPath):]] = true
+		}
+	}
+	for p := path.Dir(newPath); p != "."; p = path.Dir(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+// RemoveAll implements FS.
+func (m *MemFS) RemoveAll(p string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p = clean(p)
+	delete(m.files, p)
+	for f := range m.files {
+		if strings.HasPrefix(f, p+"/") {
+			delete(m.files, f)
+		}
+	}
+	for d := range m.dirs {
+		if d == p || strings.HasPrefix(d, p+"/") {
+			delete(m.dirs, d)
+		}
+	}
+	return nil
+}
+
+// Crash simulates a process/power loss: every file reverts to its
+// last-synced contents, and files whose data was never synced vanish.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p, f := range m.files {
+		if !f.synced {
+			delete(m.files, p)
+			continue
+		}
+		f.dirty = append([]byte(nil), f.durable...)
+	}
+}
+
+// FlipBit flips one bit of a file in place without going through the
+// write path — the injection primitive for silent bit rot in committed
+// checkpoints. The bit index is taken modulo the file's size in bits.
+func FlipBit(fs FS, p string, bit uint64) error {
+	data, err := fs.ReadFile(p)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("ckpt: cannot rot empty file %s", p)
+	}
+	bit %= uint64(len(data)) * 8
+	data[bit/8] ^= 1 << (bit % 8)
+	if err := fs.WriteFile(p, data); err != nil {
+		return err
+	}
+	return fs.Sync(p)
+}

@@ -1,0 +1,48 @@
+package ckpt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzManifest throws arbitrary bytes at the manifest decoder: it must
+// never panic or over-allocate, and everything it accepts must survive
+// an encode/decode round-trip unchanged.
+func FuzzManifest(f *testing.F) {
+	seeds := []*Manifest{
+		{Epoch: 1, Replicas: 1, Shards: []ShardInfo{{Size: 10, CRC: 0xdeadbeef}}},
+		{Epoch: 1 << 40, Replicas: 4, Algo: 2, DataType: 1, BoundMode: 1, ErrorBound: 1e-4,
+			Shards: []ShardInfo{{Size: 1, CRC: 1}, {Size: 2, CRC: 2}, {Size: 3, CRC: 3}}},
+	}
+	for _, m := range seeds {
+		f.Add(m.Encode())
+		// Truncations and single-byte corruptions widen the corpus.
+		enc := m.Encode()
+		f.Add(enc[:len(enc)/2])
+		flip := append([]byte(nil), enc...)
+		flip[len(flip)-1] ^= 0x01
+		f.Add(flip)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("PCKM"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeManifest(data)
+		if err != nil {
+			return
+		}
+		if len(m.Shards) > MaxShards {
+			t.Fatalf("decoder accepted %d shards past the bound", len(m.Shards))
+		}
+		enc := m.Encode()
+		if !bytes.Equal(enc, data) {
+			t.Fatalf("accepted input is not canonical: % x vs % x", data, enc)
+		}
+		m2, err := DecodeManifest(enc)
+		if err != nil {
+			t.Fatalf("re-decode of canonical encoding failed: %v", err)
+		}
+		if m2.Epoch != m.Epoch || m2.Replicas != m.Replicas || len(m2.Shards) != len(m.Shards) {
+			t.Fatal("round-trip mismatch")
+		}
+	})
+}

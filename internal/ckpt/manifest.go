@@ -1,0 +1,142 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"pedal/internal/checksum"
+)
+
+// Typed storage fault-domain errors. Callers branch on these with
+// errors.Is; anything else escaping the store is a bug the soaks count
+// as an untyped error.
+var (
+	// ErrTornManifest reports a manifest that fails structural or CRC
+	// validation — a torn write or rot in the metadata itself. The epoch
+	// carrying it is unreadable, but older epochs are unaffected.
+	ErrTornManifest = errors.New("ckpt: torn or corrupt manifest")
+	// ErrShardRot reports a shard whose every copy fails digest
+	// verification and that no repair rung (replica, source) could
+	// recover.
+	ErrShardRot = errors.New("ckpt: shard failed digest verification beyond repair")
+	// ErrEpochCondemned reports an epoch declared unrecoverable and
+	// retired from the restore sequence.
+	ErrEpochCondemned = errors.New("ckpt: epoch condemned")
+	// ErrNoCheckpoint reports that no committed epoch could be restored.
+	ErrNoCheckpoint = errors.New("ckpt: no restorable checkpoint")
+)
+
+// Manifest metadata limits: a decoder must reject absurd counts before
+// allocating, so a fuzzed manifest can never balloon memory.
+const (
+	// MaxShards bounds the per-checkpoint shard (rank) count.
+	MaxShards = 1 << 16
+	// MaxShardSize bounds one compressed shard's recorded size (1 GiB).
+	MaxShardSize = 1 << 30
+)
+
+// manifest wire layout (little-endian):
+//
+//	magic "PCKM" | version u8 | epoch u64 | replicas u8 | algo u8 |
+//	dtype u8 | boundmode u8 | errbound f64 | nshards u32 |
+//	nshards × { size u64 | crc u32 } | trailer crc u32
+//
+// The trailer CRC covers every preceding byte, so any tear or flip
+// anywhere in the manifest is detected as ErrTornManifest.
+const (
+	manifestMagic   = "PCKM"
+	manifestVersion = 1
+	manifestHdrLen  = 4 + 1 + 8 + 1 + 1 + 1 + 1 + 8 + 4
+	shardEntryLen   = 8 + 4
+)
+
+// ShardInfo is one rank's shard record: the compressed size and CRC-32
+// every on-disk copy must match.
+type ShardInfo struct {
+	Size uint64
+	CRC  uint32
+}
+
+// Manifest describes one committed checkpoint epoch: which shards it
+// holds, their digests, and the compression configuration that encoded
+// them (so restart decodes with the same error-bound semantics).
+type Manifest struct {
+	Epoch    uint64
+	Replicas uint8
+	// Algo, DataType, BoundMode, ErrorBound record the compression
+	// configuration (core.AlgoID / core.DataType / sz3.BoundMode values;
+	// stored as raw bytes so the manifest codec has no core dependency).
+	Algo       uint8
+	DataType   uint8
+	BoundMode  uint8
+	ErrorBound float64
+	Shards     []ShardInfo
+}
+
+// Encode renders the manifest with its trailer CRC.
+func (m *Manifest) Encode() []byte {
+	out := make([]byte, 0, manifestHdrLen+len(m.Shards)*shardEntryLen+4)
+	out = append(out, manifestMagic...)
+	out = append(out, manifestVersion)
+	out = binary.LittleEndian.AppendUint64(out, m.Epoch)
+	out = append(out, m.Replicas, m.Algo, m.DataType, m.BoundMode)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(m.ErrorBound))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(m.Shards)))
+	for _, s := range m.Shards {
+		out = binary.LittleEndian.AppendUint64(out, s.Size)
+		out = binary.LittleEndian.AppendUint32(out, s.CRC)
+	}
+	return binary.LittleEndian.AppendUint32(out, checksum.CRC32(out))
+}
+
+// DecodeManifest parses and validates a manifest. Every failure mode —
+// short buffer, bad magic, wrong version, absurd counts, trailing
+// garbage, CRC mismatch — comes back as ErrTornManifest so the caller's
+// recovery policy (fall back to the previous epoch) has one branch.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < manifestHdrLen+4 {
+		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrTornManifest, len(b), manifestHdrLen+4)
+	}
+	if string(b[:4]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrTornManifest, b[:4])
+	}
+	if b[4] != manifestVersion {
+		return nil, fmt.Errorf("%w: unknown version %d", ErrTornManifest, b[4])
+	}
+	// Validate the trailer CRC before trusting any counted field.
+	body, trailer := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if checksum.CRC32(body) != trailer {
+		return nil, fmt.Errorf("%w: trailer CRC mismatch", ErrTornManifest)
+	}
+	m := &Manifest{
+		Epoch:      binary.LittleEndian.Uint64(b[5:]),
+		Replicas:   b[13],
+		Algo:       b[14],
+		DataType:   b[15],
+		BoundMode:  b[16],
+		ErrorBound: math.Float64frombits(binary.LittleEndian.Uint64(b[17:])),
+	}
+	n := binary.LittleEndian.Uint32(b[25:])
+	if n > MaxShards {
+		return nil, fmt.Errorf("%w: %d shards exceeds limit %d", ErrTornManifest, n, MaxShards)
+	}
+	if want := manifestHdrLen + int(n)*shardEntryLen + 4; len(b) != want {
+		return nil, fmt.Errorf("%w: %d bytes for %d shards, want %d", ErrTornManifest, len(b), n, want)
+	}
+	if m.Replicas == 0 {
+		return nil, fmt.Errorf("%w: zero replicas", ErrTornManifest)
+	}
+	m.Shards = make([]ShardInfo, n)
+	off := manifestHdrLen
+	for i := range m.Shards {
+		m.Shards[i].Size = binary.LittleEndian.Uint64(b[off:])
+		m.Shards[i].CRC = binary.LittleEndian.Uint32(b[off+8:])
+		if m.Shards[i].Size > MaxShardSize {
+			return nil, fmt.Errorf("%w: shard %d size %d exceeds limit", ErrTornManifest, i, m.Shards[i].Size)
+		}
+		off += shardEntryLen
+	}
+	return m, nil
+}

@@ -1,0 +1,185 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+
+	"pedal/internal/checksum"
+	"pedal/internal/stats"
+)
+
+// Checkpoint is one restored epoch: every shard decoded after passing
+// digest verification (directly or via repair).
+type Checkpoint struct {
+	Epoch    uint64
+	Manifest *Manifest
+	// Shards holds the decompressed per-rank state.
+	Shards [][]byte
+	// RotDetected counts shard copies that failed verification during
+	// this restore; Repaired counts copies rewritten from a surviving
+	// replica or from source.
+	RotDetected int
+	Repaired    int
+}
+
+// Restore loads the newest restorable checkpoint: epochs are tried
+// newest-first, every shard digest is verified before decode, and
+// shards that fail verification run the repair ladder (replica copy,
+// then source re-compression) instead of aborting. An epoch that stays
+// unrecoverable is skipped — restart lands on the previous complete
+// checkpoint, never on a torn hybrid. With no restorable epoch at all,
+// the error wraps ErrNoCheckpoint plus the newest epoch's failure.
+func (s *Store) Restore() (*Checkpoint, error) {
+	epochs, err := s.Epochs()
+	if err != nil {
+		return nil, err
+	}
+	var firstErr error
+	for i := len(epochs) - 1; i >= 0; i-- {
+		cp, err := s.RestoreEpoch(epochs[i])
+		if err == nil {
+			return cp, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		s.trace("restore_skip", epochDirName(epochs[i]), err.Error())
+	}
+	if firstErr != nil {
+		return nil, fmt.Errorf("%w: newest failure: %w", ErrNoCheckpoint, firstErr)
+	}
+	return nil, ErrNoCheckpoint
+}
+
+// RestoreEpoch loads one specific epoch with full verification and
+// read-repair.
+func (s *Store) RestoreEpoch(epoch uint64) (*Checkpoint, error) {
+	dir := epochDirName(epoch)
+	raw, err := s.fs.ReadFile(dir + "/" + manifestName)
+	if err != nil {
+		return nil, fmt.Errorf("%w: epoch %d: %v", ErrTornManifest, epoch, err)
+	}
+	m, err := DecodeManifest(raw)
+	if err != nil {
+		s.bd.Inc(stats.CounterCkptTornManifests)
+		return nil, fmt.Errorf("epoch %d: %w", epoch, err)
+	}
+	if m.Epoch != epoch {
+		s.bd.Inc(stats.CounterCkptTornManifests)
+		return nil, fmt.Errorf("%w: epoch %d manifest claims epoch %d", ErrTornManifest, epoch, m.Epoch)
+	}
+	cp := &Checkpoint{Epoch: epoch, Manifest: m, Shards: make([][]byte, len(m.Shards))}
+	for rank := range m.Shards {
+		payload, rot, repaired, err := s.loadShard(dir, m, rank)
+		cp.RotDetected += rot
+		cp.Repaired += repaired
+		if err != nil {
+			return nil, fmt.Errorf("epoch %d: %w", epoch, err)
+		}
+		out, err := s.cfg.Compressor.Decompress(dir+"/"+shardFileName(rank, 0), payload, s.cfg.MaxShardBytes)
+		if err != nil {
+			// A digest-verified payload that fails decode means the
+			// whole epoch was written by a broken encoder; treat it as
+			// rot beyond repair.
+			return nil, fmt.Errorf("epoch %d: %w: shard %d decode: %v", epoch, ErrShardRot, rank, err)
+		}
+		cp.Shards[rank] = out
+	}
+	s.bd.Inc(stats.CounterCkptRestores)
+	s.trace("restore", dir, "")
+	return cp, nil
+}
+
+// verifyPayload checks one on-disk shard copy against its manifest
+// record.
+func verifyPayload(payload []byte, info ShardInfo) bool {
+	return uint64(len(payload)) == info.Size && checksum.CRC32(payload) == info.CRC
+}
+
+// loadShard returns a digest-verified compressed payload for one rank,
+// walking the repair ladder:
+//
+//	rung 0 — read a copy whose size and CRC match the manifest;
+//	rung 1 — a failed copy is quarantined and rewritten from the first
+//	         surviving replica;
+//	rung 2 — with every copy gone, the shard is re-materialised from
+//	         Source and re-compressed; a digest match proves the
+//	         round-trip and repairs the files in place;
+//	rung 3 — nothing left: typed ErrShardRot.
+func (s *Store) loadShard(dir string, m *Manifest, rank int) (payload []byte, rot, repaired int, err error) {
+	info := m.Shards[rank]
+	var good []byte
+	var bad []uint8
+	for c := uint8(0); c < m.Replicas; c++ {
+		p := dir + "/" + shardFileName(rank, c)
+		data, rerr := s.fs.ReadFile(p)
+		if rerr == nil && verifyPayload(data, info) {
+			if good == nil {
+				good = data
+			}
+			continue
+		}
+		// Torn, rotten or missing copy.
+		rot++
+		s.bd.Inc(stats.CounterCkptRotDetected)
+		s.trace("rot_detected", p, "")
+		bad = append(bad, c)
+	}
+	if good == nil {
+		// Rung 2: re-materialise from source.
+		if s.source == nil {
+			return nil, rot, repaired, fmt.Errorf("%w: shard %d, all %d copies failed, no source",
+				ErrShardRot, rank, m.Replicas)
+		}
+		orig, serr := s.source(m.Epoch, rank)
+		if serr != nil {
+			return nil, rot, repaired, fmt.Errorf("%w: shard %d, all copies failed, source: %v",
+				ErrShardRot, rank, serr)
+		}
+		recomp, cerr := s.cfg.Compressor.Compress(dir+"/"+shardFileName(rank, 0), orig)
+		if cerr != nil {
+			return nil, rot, repaired, fmt.Errorf("%w: shard %d re-compress: %v", ErrShardRot, rank, cerr)
+		}
+		if !verifyPayload(recomp, info) {
+			return nil, rot, repaired, fmt.Errorf("%w: shard %d source re-compression digest mismatch",
+				ErrShardRot, rank)
+		}
+		good = recomp
+	}
+	// Repair every bad copy from the verified bytes.
+	for _, c := range bad {
+		p := dir + "/" + shardFileName(rank, c)
+		s.quarantine(p)
+		if werr := s.fs.WriteFile(p, good); werr == nil {
+			if serr := s.fs.Sync(p); serr == nil {
+				repaired++
+				s.bd.Inc(stats.CounterCkptRepairs)
+				s.trace("repair", p, "")
+			}
+		}
+	}
+	return good, rot, repaired, nil
+}
+
+// quarantine moves a failed shard copy aside (best-effort) so forensic
+// bits survive the rewrite.
+func (s *Store) quarantine(p string) {
+	if err := s.fs.MkdirAll(quarantineDir); err != nil {
+		return
+	}
+	name := p
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			name = name[:i] + "_" + name[i+1:]
+		}
+	}
+	_ = s.fs.Rename(p, quarantineDir+"/"+name)
+}
+
+// IsTyped reports whether an error is one of the store's typed storage
+// errors (vs an unexpected/untyped failure) — soak bookkeeping.
+func IsTyped(err error) bool {
+	return errors.Is(err, ErrTornManifest) || errors.Is(err, ErrShardRot) ||
+		errors.Is(err, ErrEpochCondemned) || errors.Is(err, ErrNoCheckpoint) ||
+		errors.Is(err, ErrCrashed)
+}

@@ -1,0 +1,81 @@
+package ckpt
+
+import (
+	"fmt"
+
+	"pedal/internal/stats"
+)
+
+// ScrubReport summarises one scrub pass over the retained epochs.
+type ScrubReport struct {
+	// Epochs is how many committed epochs were walked; ShardCopies how
+	// many shard files were digest-checked.
+	Epochs      int
+	ShardCopies int
+	// RotDetected counts copies failing verification (torn or rotten);
+	// Repaired counts copies rewritten from a surviving replica or
+	// source.
+	RotDetected int
+	Repaired    int
+	// Condemned lists epochs retired as unrecoverable, with the typed
+	// error that condemned each.
+	Condemned map[uint64]error
+}
+
+// Scrub walks every committed epoch oldest-first, verifies the manifest
+// and every shard copy, repairs what a surviving replica or the source
+// can rebuild, and condemns epochs beyond repair: the directory is
+// renamed out of the restore sequence and the condemnation recorded
+// with a typed error (ErrEpochCondemned wrapping ErrTornManifest or
+// ErrShardRot). Scrub itself only fails on FS breakage — rot is its
+// job, not its error.
+func (s *Store) Scrub() (ScrubReport, error) {
+	rep := ScrubReport{Condemned: map[uint64]error{}}
+	epochs, err := s.Epochs()
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range epochs {
+		rep.Epochs++
+		if cerr := s.scrubEpoch(e, &rep); cerr != nil {
+			// Unrecoverable: retire the epoch from the restore set.
+			rep.Condemned[e] = fmt.Errorf("%w: epoch %d: %w", ErrEpochCondemned, e, cerr)
+			s.bd.Inc(stats.CounterCkptCondemned)
+			s.trace("condemn", epochDirName(e), cerr.Error())
+			if rerr := s.fs.Rename(epochDirName(e), condemnedDirName(e)); rerr != nil {
+				return rep, rerr
+			}
+		}
+	}
+	return rep, nil
+}
+
+// scrubEpoch verifies and repairs one epoch in place. A typed error
+// means the epoch cannot be made whole.
+func (s *Store) scrubEpoch(epoch uint64, rep *ScrubReport) error {
+	dir := epochDirName(epoch)
+	raw, err := s.fs.ReadFile(dir + "/" + manifestName)
+	if err != nil {
+		s.bd.Inc(stats.CounterCkptTornManifests)
+		return fmt.Errorf("%w: %v", ErrTornManifest, err)
+	}
+	m, err := DecodeManifest(raw)
+	if err != nil {
+		s.bd.Inc(stats.CounterCkptTornManifests)
+		return err
+	}
+	if m.Epoch != epoch {
+		s.bd.Inc(stats.CounterCkptTornManifests)
+		return fmt.Errorf("%w: directory epoch %d vs manifest epoch %d", ErrTornManifest, epoch, m.Epoch)
+	}
+	for rank := range m.Shards {
+		rep.ShardCopies += int(m.Replicas)
+		_, rot, repaired, err := s.loadShard(dir, m, rank)
+		rep.RotDetected += rot
+		rep.Repaired += repaired
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package datasets
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestSnapshotsDeterministic(t *testing.T) {
+	s := Snapshots{Seed: 42, Ranks: 3, Elems: 4096}
+	if !bytes.Equal(s.Rank(7, 1), s.Rank(7, 1)) {
+		t.Fatal("same (epoch, rank) produced different bytes")
+	}
+	if bytes.Equal(s.Rank(7, 1), s.Rank(7, 2)) {
+		t.Fatal("different ranks produced identical bytes")
+	}
+	if bytes.Equal(s.Rank(7, 1), s.Rank(8, 1)) {
+		t.Fatal("different epochs produced identical bytes")
+	}
+	if bytes.Equal(s.Rank(7, 1), Snapshots{Seed: 43, Ranks: 3, Elems: 4096}.Rank(7, 1)) {
+		t.Fatal("different seeds produced identical bytes")
+	}
+}
+
+func TestSnapshotsShape(t *testing.T) {
+	s := Snapshots{} // all defaults
+	ep := s.Epoch(1)
+	if len(ep) != 4 {
+		t.Fatalf("default ranks = %d, want 4", len(ep))
+	}
+	for r, b := range ep {
+		if len(b) != 4*64*1024 {
+			t.Fatalf("rank %d: %d bytes, want %d", r, len(b), 4*64*1024)
+		}
+	}
+}
+
+// TestSnapshotsDrift pins the workload shape: consecutive epochs of one
+// rank differ by small deltas (a drifting field), while far-apart
+// epochs have moved substantially.
+func TestSnapshotsDrift(t *testing.T) {
+	s := Snapshots{Seed: 1, Elems: 8192}
+	meanAbsDelta := func(a, b []byte) float64 {
+		fa, fb := Floats(a), Floats(b)
+		var sum float64
+		for i := range fa {
+			sum += math.Abs(float64(fa[i] - fb[i]))
+		}
+		return sum / float64(len(fa))
+	}
+	near := meanAbsDelta(s.Rank(10, 0), s.Rank(11, 0))
+	far := meanAbsDelta(s.Rank(10, 0), s.Rank(60, 0))
+	if near > 0.3 {
+		t.Fatalf("consecutive epochs differ by %.3f on average; drift too fast for a snapshot series", near)
+	}
+	if far < 2*near {
+		t.Fatalf("epoch 60 vs 10 delta %.3f not clearly above consecutive delta %.3f", far, near)
+	}
+	// The field is bounded: amplitudes sum to 4.6 plus noise.
+	for _, v := range Floats(s.Rank(10, 0)) {
+		if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 5 {
+			t.Fatalf("field value %g out of range", v)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"pedal/internal/ckpt"
+	"pedal/internal/core"
+	"pedal/internal/datasets"
+	"pedal/internal/faults"
+	"pedal/internal/fleet"
+	"pedal/internal/hwmodel"
+	"pedal/internal/stats"
+)
+
+// ExtCkptFaults is the chaos soak for the storage fault domain:
+// multi-rank checkpoint/restart cycles over a compressed ckpt.Store
+// while a seeded schedule tears writes, rots bits, stalls I/O and kills
+// the committer mid-commit. The headline properties: zero data errors
+// (every restored shard byte-identical to the snapshot it checkpointed),
+// zero untyped errors (every storage failure surfaces as a typed ckpt
+// error), and restart-to-verified-state after every cycle — a crash at
+// any point leaves the previous complete checkpoint or the new one,
+// never a torn hybrid.
+func ExtCkptFaults(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-ckptfaults", Title: "Checkpoint/restart resilience under disk tear/rot/stall/crash",
+		Columns: []string{"Scenario", "Ranks", "Cycles", "Commits", "Crashes", "Restores",
+			"DataErr", "Untyped", "RotInj", "RotDet", "Repairs", "Condemned"},
+		Metrics: map[string]float64{},
+	}
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		return t, err
+	}
+	defer lib.Finalize()
+
+	for _, sc := range ckptScenarios(o) {
+		if err := runCkptScenario(lib, sc, &t); err != nil {
+			return t, fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+	}
+	return t, nil
+}
+
+// ckptScenario is one storage soak configuration.
+type ckptScenario struct {
+	name     string
+	ranks    int
+	cycles   int
+	replicas int
+	seed     uint64
+	// dirFS runs over a real on-disk DirFS instead of MemFS; remote
+	// compresses shards through a fleet.Router over live pedald procs.
+	dirFS  bool
+	remote bool
+	// Silent write-path fault probabilities (FaultFS schedule).
+	pTear, pRot, pStall float64
+	// flipPerCycle injects explicit bit rot into that many committed
+	// shard copies after each successful commit (counted exactly, so the
+	// test can assert 100% detection).
+	flipPerCycle int
+	// condemnOld destroys every replica of one shard in an old epoch
+	// near the end, then scrubs: the epoch must be condemned, not
+	// half-restored.
+	condemnOld bool
+	// crashEvery arms the mid-commit kill switch on every Nth cycle
+	// (1-based); the kill op index is drawn from the seeded stream.
+	crashEvery int
+	// source enables the repair ladder's re-materialisation rung.
+	source bool
+}
+
+func ckptScenarios(o Options) []ckptScenario {
+	cycles := 8
+	if o.Quick {
+		cycles = 4
+	}
+	return []ckptScenario{
+		{name: "clean", ranks: 4, cycles: cycles, replicas: 1, seed: 11, dirFS: true},
+		{name: "torn-write", ranks: 4, cycles: cycles, replicas: 2, seed: 12, pTear: 0.15, source: true},
+		{name: "bit-rot", ranks: 3, cycles: cycles, replicas: 2, seed: 13, flipPerCycle: 1, condemnOld: true},
+		{name: "crash-commit", ranks: 3, cycles: cycles, replicas: 1, seed: 14, crashEvery: 2},
+		{name: "disk-stall", ranks: 3, cycles: cycles, replicas: 1, seed: 15, pStall: 0.3},
+		{name: "combined", ranks: 4, cycles: cycles + 2, replicas: 2, seed: 16,
+			pTear: 0.08, pRot: 0.05, pStall: 0.1, crashEvery: 3, source: true},
+		{name: "remote", ranks: 4, cycles: cycles, replicas: 1, seed: 17, remote: true},
+	}
+}
+
+func runCkptScenario(lib *core.Library, sc ckptScenario, t *Table) error {
+	elems := 8 * 1024
+	snap := datasets.Snapshots{Seed: int64(sc.seed), Ranks: sc.ranks, Elems: elems}
+	design := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+
+	var comp ckpt.Compressor = &ckpt.LibraryCompressor{Lib: lib, Design: design, Type: core.TypeBytes}
+	if sc.remote {
+		// Checkpoint shards compress on live pedald instances behind the
+		// fleet router — the storage and fleet fault domains composed.
+		procs := make([]*fleetShardProc, 2)
+		for i := range procs {
+			procs[i] = &fleetShardProc{lib: lib}
+			if err := procs[i].listen("127.0.0.1:0"); err != nil {
+				return err
+			}
+		}
+		defer func() {
+			for _, p := range procs {
+				p.crash()
+			}
+		}()
+		router := fleet.NewRouter(fleet.Config{})
+		defer router.Close()
+		for i, p := range procs {
+			router.AddShard(fmt.Sprintf("s%d", i), p.addr)
+		}
+		comp = &ckpt.RouterCompressor{Router: router, Design: design, Type: core.TypeBytes,
+			Tenant: "ckpt", Class: fleet.Gold}
+	}
+
+	// One base FS holds the store across the whole scenario; crash
+	// cycles wrap it in a fresh FaultFS ("process") and restart over the
+	// underlying bytes, exactly like a killed and relaunched committer.
+	var base ckpt.FS = ckpt.NewMemFS()
+	if sc.dirFS {
+		dir, err := os.MkdirTemp("", "pedal-ckpt-soak-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		dfs, err := ckpt.NewDirFS(dir)
+		if err != nil {
+			return err
+		}
+		base = dfs
+	}
+
+	bd := stats.NewBreakdown()
+	cfg := ckpt.Config{
+		Compressor: comp, Replicas: sc.replicas, Retain: sc.cycles + 1,
+		Algo: uint8(design.Algo), ErrorBound: 0, Stats: bd,
+	}
+	source := func(epoch uint64, rank int) ([]byte, error) { return snap.Rank(epoch, rank), nil }
+
+	// The scenario's steady write-path injector; crash cycles get their
+	// own single-shot injector so the kill index is independent.
+	steady := faults.NewDiskInjector(faults.DiskFaultConfig{
+		Seed: sc.seed, PTear: sc.pTear, PRot: sc.pRot, PStall: sc.pStall, Stall: 200 * time.Microsecond,
+	})
+	rnd := faults.NewRand(sc.seed ^ 0xc0ffee)
+
+	var (
+		commits, crashes              int
+		restoresOK, restoresAttempted int
+		dataErrs, untyped             int
+		rotInjected                   int
+	)
+	verify := func(cp *ckpt.Checkpoint) {
+		want := snap.Epoch(cp.Epoch)
+		if len(cp.Shards) != len(want) {
+			dataErrs++
+			return
+		}
+		for r := range want {
+			if !bytes.Equal(cp.Shards[r], want[r]) {
+				dataErrs++
+			}
+		}
+	}
+
+	for e := uint64(1); e <= uint64(sc.cycles); e++ {
+		fs := ckpt.NewFaultFS(base, steady)
+		crashing := sc.crashEvery > 0 && int(e)%sc.crashEvery == 0
+		if crashing {
+			k := int(rnd.Uint64()%20) + 1
+			fs = ckpt.NewFaultFS(base, faults.NewDiskInjector(faults.DiskFaultConfig{
+				Seed: sc.seed + e, CrashAfterOps: k,
+			}))
+		}
+		st, err := ckpt.Open(fs, cfg)
+		if err != nil {
+			if ckpt.IsTyped(err) {
+				crashes++
+			} else {
+				untyped++
+			}
+			continue
+		}
+		if sc.source {
+			st.SetSource(source)
+		}
+		_, err = st.Commit(e, snap.Epoch(e))
+		switch {
+		case err == nil:
+			commits++
+		case errors.Is(err, ckpt.ErrCrashed):
+			crashes++
+		case ckpt.IsTyped(err):
+			// Typed storage failure: the commit aborted cleanly.
+		default:
+			untyped++
+		}
+
+		// Explicit bit rot on committed data (counted exactly; read paths
+		// are never fault-injected, so detection accounting is exact).
+		if sc.flipPerCycle > 0 && err == nil {
+			for i := 0; i < sc.flipPerCycle; i++ {
+				rank := int(rnd.Uint64()) % sc.ranks
+				copyN := uint8(rnd.Uint64()) % uint8(sc.replicas)
+				p := ckpt.ShardPath(e, rank, copyN)
+				if ferr := ckpt.FlipBit(base, p, rnd.Uint64()); ferr == nil {
+					rotInjected++
+				}
+			}
+		}
+
+		// Restart: a fresh process opens the surviving bytes and must
+		// reach a verified state every single cycle — once any commit has
+		// ever succeeded (before that, ErrNoCheckpoint is the right
+		// answer, not a restorable state).
+		if commits == 0 {
+			continue
+		}
+		st2, err := ckpt.Open(base, cfg)
+		if err != nil {
+			untyped++
+			continue
+		}
+		if sc.source {
+			st2.SetSource(source)
+		}
+		restoresAttempted++
+		cp, rerr := st2.Restore()
+		if rerr != nil {
+			if !ckpt.IsTyped(rerr) {
+				untyped++
+			}
+			continue
+		}
+		restoresOK++
+		verify(cp)
+	}
+
+	// Scrub-and-condemn: destroy every replica of one shard of an old
+	// epoch, then scrub. The epoch must be condemned (typed), the newest
+	// checkpoint must survive, and a restore afterwards still verifies.
+	condemned := 0
+	if sc.condemnOld {
+		epochs := []uint64{}
+		st, err := ckpt.Open(base, cfg)
+		if err != nil {
+			return err
+		}
+		if epochs, err = st.Epochs(); err != nil {
+			return err
+		}
+		if len(epochs) >= 2 {
+			victim := epochs[0]
+			for c := uint8(0); c < uint8(sc.replicas); c++ {
+				if ferr := ckpt.FlipBit(base, ckpt.ShardPath(victim, 0, c), rnd.Uint64()); ferr == nil {
+					rotInjected++
+				}
+			}
+			rep, serr := st.Scrub()
+			if serr != nil {
+				return serr
+			}
+			for _, cerr := range rep.Condemned {
+				if !errors.Is(cerr, ckpt.ErrEpochCondemned) {
+					untyped++
+				}
+			}
+			condemned = len(rep.Condemned)
+			restoresAttempted++
+			cp, rerr := st.Restore()
+			if rerr != nil {
+				if !ckpt.IsTyped(rerr) {
+					untyped++
+				}
+			} else {
+				restoresOK++
+				verify(cp)
+			}
+		}
+	}
+
+	rotDet := int(bd.Count(stats.CounterCkptRotDetected))
+	repairs := int(bd.Count(stats.CounterCkptRepairs))
+	t.Rows = append(t.Rows, []string{
+		sc.name, fmt.Sprint(sc.ranks), fmt.Sprint(sc.cycles), fmt.Sprint(commits),
+		fmt.Sprint(crashes), fmt.Sprintf("%d/%d", restoresOK, restoresAttempted),
+		fmt.Sprint(dataErrs), fmt.Sprint(untyped), fmt.Sprint(rotInjected),
+		fmt.Sprint(rotDet), fmt.Sprint(repairs), fmt.Sprint(condemned),
+	})
+	key := func(s string) string { return "ckpt_" + sc.name + "_" + s }
+	t.Metrics[key("cycles")] = float64(sc.cycles)
+	t.Metrics[key("commits")] = float64(commits)
+	t.Metrics[key("crashes")] = float64(crashes)
+	t.Metrics[key("restores_ok")] = float64(restoresOK)
+	t.Metrics[key("restores_attempted")] = float64(restoresAttempted)
+	t.Metrics[key("data_errors")] = float64(dataErrs)
+	t.Metrics[key("untyped_errors")] = float64(untyped)
+	t.Metrics[key("rot_injected")] = float64(rotInjected)
+	t.Metrics[key("rot_detected")] = float64(rotDet)
+	t.Metrics[key("repairs")] = float64(repairs)
+	t.Metrics[key("condemned")] = float64(condemned)
+	t.Metrics[key("torn_manifests")] = float64(bd.Count(stats.CounterCkptTornManifests))
+	ops, injected := steady.Counts()
+	t.Metrics[key("fs_ops")] = float64(ops)
+	t.Metrics[key("faults_injected")] = float64(injected)
+	return nil
+}

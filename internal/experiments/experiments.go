@@ -125,6 +125,7 @@ func Runners() []Runner {
 		{"ext-enginefaults", "Extension: chaos soak — self-healing C-Engine fault domain", ExtEngineFaults},
 		{"ext-rankfaults", "Extension: chaos soak — rank-failure tolerance in the MPI runtime", ExtRankFaults},
 		{"ext-fleetfaults", "Extension: chaos soak — resilient sharded pedald fleet", ExtFleetFaults},
+		{"ext-ckptfaults", "Extension: chaos soak — crash-consistent compressed checkpoint store", ExtCkptFaults},
 	}
 }
 

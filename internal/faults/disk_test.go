@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDiskInjectorDeterministic(t *testing.T) {
+	cfg := DiskFaultConfig{Seed: 42, PTear: 0.1, PRot: 0.1, PStall: 0.1}
+	a, b := NewDiskInjector(cfg), NewDiskInjector(cfg)
+	for i := 0; i < 500; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("op %d: schedules diverge: %+v vs %+v", i, da, db)
+		}
+	}
+	_, inj := a.Counts()
+	if inj == 0 {
+		t.Fatal("no faults injected at 30% total probability over 500 ops")
+	}
+}
+
+func TestDiskInjectorClasses(t *testing.T) {
+	inj := NewDiskInjector(DiskFaultConfig{Seed: 7, PTear: 0.2, PRot: 0.2, PStall: 0.2})
+	seen := map[Class]int{}
+	for i := 0; i < 1000; i++ {
+		d := inj.Next()
+		seen[d.Class]++
+		switch d.Class {
+		case DiskTear:
+			if d.Frac < 0 || d.Frac >= 1 {
+				t.Fatalf("tear frac %v out of [0,1)", d.Frac)
+			}
+		case DiskStall:
+			if d.Stall != 2*time.Millisecond {
+				t.Fatalf("default stall = %v, want 2ms", d.Stall)
+			}
+		}
+	}
+	for _, c := range []Class{None, DiskTear, DiskRot, DiskStall} {
+		if seen[c] == 0 {
+			t.Errorf("class %v never drawn", c)
+		}
+	}
+	if seen[CrashMidCommit] != 0 {
+		t.Errorf("crash drawn without CrashAfterOps")
+	}
+}
+
+func TestDiskInjectorCrashAfterOps(t *testing.T) {
+	inj := NewDiskInjector(DiskFaultConfig{Seed: 3, CrashAfterOps: 5})
+	for i := 1; i <= 4; i++ {
+		if d := inj.Next(); d.Class != None {
+			t.Fatalf("op %d: class %v before crash point", i, d.Class)
+		}
+		if inj.Crashed() {
+			t.Fatalf("crashed before op 5")
+		}
+	}
+	// Op 5 is the kill point; everything after stays dead.
+	if d := inj.Next(); d.Class != CrashMidCommit {
+		t.Fatalf("op 5: class %v, want crash-mid-commit", d.Class)
+	}
+	if !inj.Crashed() {
+		t.Fatal("Crashed() false after the kill point")
+	}
+	for i := 6; i <= 10; i++ {
+		if d := inj.Next(); d.Class != CrashMidCommit {
+			t.Fatalf("op %d: class %v, want crash-mid-commit (store stays dead)", i, d.Class)
+		}
+	}
+	if _, inj := inj.Counts(); inj != 1 {
+		t.Fatalf("injected = %d, want 1 (the crash counts once)", inj)
+	}
+}
+
+func TestDiskInjectorMaxInjections(t *testing.T) {
+	inj := NewDiskInjector(DiskFaultConfig{Seed: 9, PTear: 1, MaxInjections: 3})
+	n := 0
+	for i := 0; i < 100; i++ {
+		if inj.Next().Class == DiskTear {
+			n++
+		}
+	}
+	if n != 3 {
+		t.Fatalf("injected %d tears, want 3 (MaxInjections)", n)
+	}
+}
+
+func TestDiskClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		DiskTear:       "disk-tear",
+		DiskRot:        "disk-rot",
+		DiskStall:      "disk-stall",
+		CrashMidCommit: "crash-mid-commit",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("Class(%d).String() = %q, want %q", uint8(c), got, want)
+		}
+	}
+}

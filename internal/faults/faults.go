@@ -80,6 +80,9 @@ func (c Class) String() string {
 		if s, ok := shardClassString(c); ok {
 			return s
 		}
+		if s, ok := diskClassString(c); ok {
+			return s
+		}
 		return fmt.Sprintf("Class(%d)", uint8(c))
 	}
 }

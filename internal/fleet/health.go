@@ -171,14 +171,21 @@ func (r *Router) Drain(ctx context.Context, id string) error {
 		r.mu.Unlock()
 		return errors.New("fleet: unknown shard " + id)
 	}
-	if s.state == stateDraining || s.state == stateDrained {
+	if s.state == stateDrained {
 		r.mu.Unlock()
 		return nil
 	}
-	s.state = stateDraining
-	r.traceLocked("drain", id, "")
+	if s.state != stateDraining {
+		s.state = stateDraining
+		r.traceLocked("drain", id, "")
+	}
 	r.mu.Unlock()
 
+	// Every concurrent Drain caller waits for in-flight zero itself: a
+	// second call arriving while another drain is underway must NOT
+	// return early, or its caller would kill the daemon with requests
+	// still on the wire. Whoever observes the barrier first performs the
+	// drained transition; the state check keeps it single-shot.
 	tick := time.NewTicker(time.Millisecond)
 	defer tick.Stop()
 	for s.inflight.Load() > 0 {
@@ -189,10 +196,15 @@ func (r *Router) Drain(ctx context.Context, id string) error {
 		}
 	}
 	r.mu.Lock()
-	s.state = stateDrained
+	first := s.state == stateDraining
+	if first {
+		s.state = stateDrained
+	}
 	r.mu.Unlock()
-	r.bd.Inc(stats.CounterShardDrains)
-	r.trace("drained", id, "")
-	s.recycle()
+	if first {
+		r.bd.Inc(stats.CounterShardDrains)
+		r.trace("drained", id, "")
+		s.recycle()
+	}
 	return nil
 }

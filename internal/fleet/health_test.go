@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -122,6 +123,97 @@ func TestDrainMigratesRange(t *testing.T) {
 	// Traffic continues on the survivors.
 	if _, err := r.Compress(goldReq(key), testDesign, core.TypeBytes, []byte("d")); err != nil {
 		t.Fatalf("post-drain request failed: %v", err)
+	}
+}
+
+func TestConcurrentDrainsAllWaitForInflight(t *testing.T) {
+	// Two Drain calls racing on the same shard: BOTH must block until
+	// the in-flight request finishes. The old behaviour let the second
+	// caller return nil immediately (state already draining) — its
+	// caller would then kill the daemon with a request on the wire.
+	r, f := newTestFleet(3, Config{})
+	defer r.Close()
+	key := "object-9"
+	primary := r.Primary(key)
+	f.shard(primary).set(func(s *fakeShard) { s.delay = 30 * time.Millisecond })
+	reqDone := make(chan error, 1)
+	go func() {
+		_, err := r.Compress(goldReq(key), testDesign, core.TypeBytes, []byte("slow"))
+		reqDone <- err
+	}()
+	sh := r.shardByID(primary)
+	for sh.inflight.Load() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	const drainers = 4
+	leaks := make(chan int64, drainers)
+	var wg sync.WaitGroup
+	for i := 0; i < drainers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := r.Drain(ctx, primary); err != nil {
+				leaks <- -1
+				return
+			}
+			// The shutdown-safety contract: when Drain returns nil the
+			// caller may kill the daemon, so nothing may be in flight.
+			leaks <- sh.inflight.Load()
+		}()
+	}
+	wg.Wait()
+	close(leaks)
+	for n := range leaks {
+		if n != 0 {
+			t.Fatalf("a Drain returned with inflight=%d (want 0 for every caller)", n)
+		}
+	}
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if got := r.Stats().Count(stats.CounterShardDrains); got != 1 {
+		t.Fatalf("drain counter = %d, want 1 (single-shot transition)", got)
+	}
+}
+
+func TestDrainVsHalfOpenReadmit(t *testing.T) {
+	// The race from the fleet PR's review notes: an ejected shard is
+	// accumulating half-open probe successes toward readmission while an
+	// operator drains it. Whatever the interleaving, the shard must end
+	// drained — a stale probe result must never resurrect it.
+	for iter := 0; iter < 25; iter++ {
+		r, f := newTestFleet(2, Config{EjectAfter: 1, ReadmitAfter: 1})
+		f.shard("s0").set(func(s *fakeShard) { s.down = true })
+		r.Poll()
+		if st := stateOf(r, "s0"); st != "ejected" {
+			t.Fatalf("setup: s0 state %q, want ejected", st)
+		}
+		f.shard("s0").set(func(s *fakeShard) { s.down = false })
+
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { // half-open probes racing toward readmission
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				r.Poll()
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := r.Drain(ctx, "s0"); err != nil {
+				t.Errorf("iter %d: drain: %v", iter, err)
+			}
+		}()
+		wg.Wait()
+		cancel()
+		if st := stateOf(r, "s0"); st != "drained" {
+			t.Fatalf("iter %d: s0 state %q after drain vs readmit race, want drained", iter, st)
+		}
+		r.Close()
 	}
 }
 

@@ -186,6 +186,29 @@ const (
 	CounterShardDrains Counter = "shards_drained"
 )
 
+// Storage fault-domain counters (internal/ckpt): the checkpoint store's
+// commit protocol, digest verification and scrub-and-repair machinery.
+const (
+	// CounterCkptCommits counts checkpoints made durable (manifest
+	// atomically renamed into place).
+	CounterCkptCommits Counter = "ckpt_commits"
+	// CounterCkptRestores counts restarts that recovered a fully
+	// digest-verified checkpoint.
+	CounterCkptRestores Counter = "ckpt_restores"
+	// CounterCkptTornManifests counts manifests rejected by magic/CRC
+	// validation (torn write or rot in the metadata itself).
+	CounterCkptTornManifests Counter = "ckpt_torn_manifests"
+	// CounterCkptRotDetected counts shard copies that failed digest
+	// verification (torn writes and silent bit rot both land here).
+	CounterCkptRotDetected Counter = "ckpt_rot_detected"
+	// CounterCkptRepairs counts shard copies rewritten from a surviving
+	// replica or re-compressed from source (read-repair and scrub).
+	CounterCkptRepairs Counter = "ckpt_shard_repairs"
+	// CounterCkptCondemned counts epochs declared unrecoverable and
+	// retired from the restore sequence.
+	CounterCkptCondemned Counter = "ckpt_epochs_condemned"
+)
+
 // Breakdown is a concurrency-safe accumulator of virtual durations per
 // phase plus resilience event counters.
 type Breakdown struct {
