@@ -22,15 +22,24 @@ FUZZ_TARGETS = \
 	./internal/sz3:FuzzDecompressContainer \
 	./internal/sz3:FuzzRoundTripBound \
 	./internal/gzipfmt:FuzzDecompress \
+	./internal/lz77:FuzzLZ77RoundTrip \
 	./internal/flate:FuzzDecompress \
 	./internal/flate:FuzzRoundTrip \
+	./internal/flate:FuzzDifferentialStdlib \
 	./internal/pipeline:FuzzChunkFrame \
 	./internal/pipeline:FuzzDescriptor \
 	./internal/mpi:FuzzEnvelope \
 	./internal/service:FuzzProtocol \
 	./internal/ckpt:FuzzManifest
 
-.PHONY: all build vet test race fuzz bench check soak
+# Kernel benchmark sweep recorded in BENCH_kernels.json: the SWAR hot
+# loops (match finder, Huffman codec, SZ3 quantization slabs) plus the
+# end-to-end chunk path they feed.
+KERNEL_BENCH = { \
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/lz77 ./internal/huffman ./internal/sz3; \
+	$(GO) test -run='^$$' -bench='^(BenchmarkCompressChunk|BenchmarkDecompressChunk)$$' -benchmem .; }
+
+.PHONY: all build vet test race fuzz bench benchdiff check soak
 
 all: check
 
@@ -60,6 +69,13 @@ bench:
 	$(GO) test -run='^$$' -json \
 		-bench='^(BenchmarkCompressChunk|BenchmarkDecompressChunk|BenchmarkPipelineOverlap|BenchmarkExtPipeline)$$' \
 		-benchmem . > BENCH_pipeline.json
+	$(KERNEL_BENCH) | $(GO) run ./cmd/benchdiff -update BENCH_kernels.json
+
+# Re-run the kernel benchmarks and fail if anything slowed down more than
+# 15% against the committed BENCH_kernels.json (or if a zero-allocation
+# hot path started allocating).
+benchdiff:
+	$(KERNEL_BENCH) | $(GO) run ./cmd/benchdiff -check BENCH_kernels.json
 
 # Full-scale chaos soaks (fixed seed matrices): the engine fault-domain
 # sweep (stall/wedge/reset-fail over serial + pipelined paths), the

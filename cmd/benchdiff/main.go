@@ -1,0 +1,222 @@
+// Command benchdiff records and compares kernel benchmark results.
+//
+// It reads `go test -bench -benchmem` text output on stdin and maintains
+// a JSON ledger with a frozen "baseline" section (the pre-optimisation
+// numbers) and a "current" section updated on each -update run:
+//
+//	go test -run='^$' -bench=. -benchmem ./internal/lz77 | benchdiff -update BENCH_kernels.json
+//	go test -run='^$' -bench=. -benchmem ./internal/lz77 | benchdiff -check BENCH_kernels.json
+//
+// -update rewrites "current" (creating "baseline" from the incoming run
+// only when the file does not yet exist) and recomputes per-benchmark
+// speedups. -check compares the incoming run against the committed
+// "current" numbers and exits non-zero if any benchmark slowed down by
+// more than -threshold percent — the CI guard against quietly losing
+// the SWAR kernel wins.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+const schemaID = "pedal-kernel-bench/1"
+
+// Result is one benchmark measurement.
+type Result struct {
+	NsPerOp     float64  `json:"ns_per_op"`
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  *int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Ledger is the on-disk benchmark file.
+type Ledger struct {
+	Schema   string             `json:"schema"`
+	Baseline map[string]Result  `json:"baseline"`
+	Current  map[string]Result  `json:"current"`
+	Speedup  map[string]float64 `json:"speedup"`
+}
+
+// benchLine matches one `go test -bench` result row, e.g.
+//
+//	BenchmarkMatchLen-8  3207020  218.9 ns/op  1178.45 MB/s  0 B/op  0 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so results compare across
+// machines with different core counts.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op` +
+		`(?:\s+([0-9.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func parse(r *bufio.Scanner) (map[string]Result, error) {
+	out := make(map[string]Result)
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1][len("Benchmark"):]
+		res := Result{}
+		res.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			v, _ := strconv.ParseFloat(m[3], 64)
+			res.MBPerS = &v
+		}
+		if m[4] != "" {
+			v, _ := strconv.ParseInt(m[4], 10, 64)
+			res.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseInt(m[5], 10, 64)
+			res.AllocsPerOp = &v
+		}
+		out[name] = res
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return out, nil
+}
+
+func load(path string) (*Ledger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var l Ledger
+	if err := json.Unmarshal(data, &l); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if l.Schema != schemaID {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, l.Schema, schemaID)
+	}
+	return &l, nil
+}
+
+func save(path string, l *Ledger) error {
+	data, err := json.MarshalIndent(l, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func update(path string, fresh map[string]Result) error {
+	l, err := load(path)
+	if err != nil {
+		return err
+	}
+	if l == nil {
+		l = &Ledger{Schema: schemaID, Baseline: fresh}
+	}
+	if l.Baseline == nil {
+		l.Baseline = fresh
+	}
+	l.Current = fresh
+	l.Speedup = make(map[string]float64)
+	for name, cur := range l.Current {
+		if base, ok := l.Baseline[name]; ok && cur.NsPerOp > 0 {
+			l.Speedup[name] = round2(base.NsPerOp / cur.NsPerOp)
+		}
+	}
+	if err := save(path, l); err != nil {
+		return err
+	}
+	for _, name := range sortedNames(l.Current) {
+		if s, ok := l.Speedup[name]; ok {
+			fmt.Printf("%-28s %12.1f ns/op  %5.2fx vs baseline\n",
+				name, l.Current[name].NsPerOp, s)
+		} else {
+			fmt.Printf("%-28s %12.1f ns/op  (no baseline)\n",
+				name, l.Current[name].NsPerOp)
+		}
+	}
+	return nil
+}
+
+func round2(x float64) float64 {
+	return float64(int64(x*100+0.5)) / 100
+}
+
+func check(path string, fresh map[string]Result, thresholdPct float64) error {
+	l, err := load(path)
+	if err != nil {
+		return err
+	}
+	if l == nil {
+		return fmt.Errorf("%s does not exist; run -update first", path)
+	}
+	regressions := 0
+	for _, name := range sortedNames(fresh) {
+		ref, ok := l.Current[name]
+		if !ok || ref.NsPerOp <= 0 {
+			fmt.Printf("%-28s new benchmark, no reference\n", name)
+			continue
+		}
+		got := fresh[name]
+		deltaPct := (got.NsPerOp - ref.NsPerOp) / ref.NsPerOp * 100
+		status := "ok"
+		if deltaPct > thresholdPct {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-28s %12.1f ns/op  %+7.1f%%  %s\n", name, got.NsPerOp, deltaPct, status)
+		// Alloc-count gates are exact: the zero-allocation hot paths must
+		// stay zero-allocation.
+		if ref.AllocsPerOp != nil && *ref.AllocsPerOp == 0 &&
+			got.AllocsPerOp != nil && *got.AllocsPerOp > 0 {
+			fmt.Printf("%-28s allocs/op rose 0 -> %d  REGRESSION\n", name, *got.AllocsPerOp)
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", regressions, thresholdPct)
+	}
+	return nil
+}
+
+func main() {
+	updateFlag := flag.Bool("update", false, "rewrite the ledger's current section from stdin")
+	checkFlag := flag.Bool("check", false, "compare stdin against the ledger's current section")
+	threshold := flag.Float64("threshold", 15, "allowed ns/op regression percentage for -check")
+	flag.Parse()
+
+	if *updateFlag == *checkFlag || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff (-update | -check) [-threshold pct] <ledger.json> < bench-output")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	fresh, err := parse(bufio.NewScanner(os.Stdin))
+	if err == nil {
+		if *updateFlag {
+			err = update(path, fresh)
+		} else {
+			err = check(path, fresh, *threshold)
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

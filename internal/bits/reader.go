@@ -1,6 +1,7 @@
 package bits
 
 import (
+	"encoding/binary"
 	"errors"
 	"io"
 )
@@ -9,11 +10,17 @@ import (
 var ErrUnexpectedEOF = errors.New("bits: unexpected end of stream")
 
 // Reader consumes bits LSB-first from a byte slice.
+//
+// The reservoir is 64 bits wide and refilled with a single unaligned
+// 8-byte load whenever at least 8 source bytes remain, so a run of
+// table-driven Huffman decodes pays one bounds check per ~7 consumed
+// bytes instead of one per byte. The scalar byte-at-a-time path only
+// runs inside the final 8 bytes of the stream.
 type Reader struct {
 	buf  []byte
 	pos  int    // next byte index
 	bits uint64 // buffered bits, LSB-first
-	n    uint   // number of valid buffered bits
+	n    uint   // number of valid buffered bits (≤ 64)
 }
 
 // NewReader returns a Reader over p. The Reader does not copy p.
@@ -21,8 +28,25 @@ func NewReader(p []byte) *Reader {
 	return &Reader{buf: p}
 }
 
-// fill buffers at least want bits if available.
+// fill buffers at least want bits if available. want must be ≤ 32.
+//
+// The reservoir invariant is speculative: bits 0..n-1 are the next n
+// stream bits, and bits n..63 are either zero or the *correct
+// continuation* (the stream bits of the not-yet-credited bytes at pos).
+// The word-wide refill exploits that: it ORs a full 8-byte load at
+// position n, credits only the whole bytes that fit (n becomes 56..63),
+// and leaves the partially-loaded byte's bits sitting above n, where the
+// next refill ORs the identical values back in.
 func (r *Reader) fill(want uint) {
+	if r.n >= want {
+		return
+	}
+	if r.pos+8 <= len(r.buf) {
+		r.bits |= binary.LittleEndian.Uint64(r.buf[r.pos:]) << (r.n & 63)
+		r.pos += int((63 - r.n) >> 3)
+		r.n |= 56
+		return
+	}
 	for r.n < want && r.pos < len(r.buf) {
 		r.bits |= uint64(r.buf[r.pos]) << r.n
 		r.pos++
@@ -89,6 +113,10 @@ func (r *Reader) ReadBytes(p []byte) error {
 			r.n -= 8
 			continue
 		}
+		// Reservoir drained (n == 0 after the byte-aligned loop). Any
+		// speculative continuation bits above n refer to the bytes at
+		// pos, which are consumed directly below — drop them.
+		r.bits = 0
 		if r.pos >= len(r.buf) {
 			return io.ErrUnexpectedEOF
 		}

@@ -406,21 +406,52 @@ func (c *compressor) emitCode(code *huffman.Code, sym int) {
 }
 
 func (c *compressor) writeTokens(tokens []lz77.Token, lit, dist *huffman.Code) {
+	w := c.w
+	litBits, litLens := lit.Bits, lit.Len
+	distBits, distLens := dist.Bits, dist.Len
+	// Codes are batched into a 64-bit staging word: literal runs
+	// accumulate until another code might not fit (codes are at most
+	// maxCodeBits wide), and a whole match — length code, length extra,
+	// distance code, distance extra, at most 15+5+15+13 = 48 bits —
+	// lands with a single WriteBits64.
+	var acc uint64
+	var n uint
 	for _, t := range tokens {
 		if t.IsLiteral() {
-			c.emitCode(lit, int(t.Lit))
+			l := uint(litLens[t.Lit])
+			acc |= uint64(bits.Reverse(litBits[t.Lit], l)) << n
+			n += l
+			if n > 56-maxCodeBits {
+				w.WriteBits64(acc, n)
+				acc, n = 0, 0
+			}
 			continue
 		}
+		if n > 0 {
+			w.WriteBits64(acc, n)
+		}
 		lc := int(lengthCodeOf[t.Len])
-		c.emitCode(lit, 257+lc)
-		if lengthExtra[lc] > 0 {
-			c.w.WriteBits(uint32(int(t.Len)-lengthBase[lc]), lengthExtra[lc])
+		sym := 257 + lc
+		l := uint(litLens[sym])
+		acc = uint64(bits.Reverse(litBits[sym], l))
+		n = l
+		if e := lengthExtra[lc]; e > 0 {
+			acc |= uint64(int(t.Len)-lengthBase[lc]) << n
+			n += e
 		}
 		dc := distCodeOf(int(t.Dist))
-		c.emitCode(dist, dc)
-		if distExtra[dc] > 0 {
-			c.w.WriteBits(uint32(int(t.Dist)-distBase[dc]), distExtra[dc])
+		ld := uint(distLens[dc])
+		acc |= uint64(bits.Reverse(distBits[dc], ld)) << n
+		n += ld
+		if e := distExtra[dc]; e > 0 {
+			acc |= uint64(int(t.Dist)-distBase[dc]) << n
+			n += e
 		}
+		w.WriteBits64(acc, n)
+		acc, n = 0, 0
+	}
+	if n > 0 {
+		w.WriteBits64(acc, n)
 	}
 	c.emitCode(lit, endOfBlock)
 }

@@ -103,7 +103,10 @@ var (
 
 func buildFixedDecoders() {
 	var err error
-	if fixedLit, err = huffman.NewDecoder(fixedLitLenLengths); err != nil {
+	// Literal decoders are paired: symbols below 256 (plain literals, no
+	// extra bits) may fuse two-per-lookup. Length and distance symbols
+	// trail extra bits, so they never fuse.
+	if fixedLit, err = huffman.NewPairedDecoder(fixedLitLenLengths, endOfBlock); err != nil {
 		panic(err)
 	}
 	if fixedDist, err = huffman.NewDecoder(fixedDistLengths); err != nil {
@@ -232,7 +235,7 @@ func (s *infScratch) readDynamicHeader(r *bits.Reader) (lit, dist *huffman.Decod
 	if lengths[endOfBlock] == 0 {
 		return nil, nil, fmt.Errorf("%w: end-of-block symbol has no code", ErrCorrupt)
 	}
-	if err := s.lit.Reset(lengths[:nlit]); err != nil {
+	if err := s.lit.ResetPaired(lengths[:nlit], endOfBlock); err != nil {
 		return nil, nil, fmt.Errorf("%w: literal code: %v", ErrCorrupt, err)
 	}
 	distLens := lengths[nlit:]
@@ -256,9 +259,18 @@ func (s *infScratch) readDynamicHeader(r *bits.Reader) (lit, dist *huffman.Decod
 
 func inflateHuffman(r *bits.Reader, out []byte, lit, dist *huffman.Decoder, limit int) ([]byte, error) {
 	for {
-		sym, err := lit.Decode(r)
+		sym, sym2, ok2, err := lit.DecodePair(r)
 		if err != nil {
 			return nil, fmt.Errorf("%w: literal decode: %v", ErrCorrupt, err)
+		}
+		if ok2 {
+			// Fused path: the decoder only pairs symbols below endOfBlock,
+			// so both are plain literals.
+			if len(out)+2 > limit {
+				return nil, ErrTooLarge
+			}
+			out = append(out, byte(sym), byte(sym2))
+			continue
 		}
 		switch {
 		case sym < endOfBlock:
@@ -305,9 +317,20 @@ func inflateHuffman(r *bits.Reader, out []byte, lit, dist *huffman.Decoder, limi
 			if len(out)+length > limit {
 				return nil, ErrTooLarge
 			}
-			start := len(out) - d
-			for k := 0; k < length; k++ {
-				out = append(out, out[start+k])
+			// Word-wide match copy. Non-overlapping spans go through one
+			// memmove; overlapping spans (d < length) repeat the available
+			// prefix with doubling copies — each pass uses only bytes
+			// written by earlier passes, so distance-1 runs still expand
+			// correctly while long RLE matches run at memmove speed.
+			n0 := len(out)
+			start := n0 - d
+			out = append(out, make([]byte, length)...)
+			if d >= length {
+				copy(out[n0:], out[start:start+length])
+			} else {
+				for pos := n0; pos < len(out); {
+					pos += copy(out[pos:], out[start:pos])
+				}
 			}
 		}
 	}

@@ -1,0 +1,102 @@
+package flate
+
+import (
+	"bytes"
+	stdflate "compress/flate"
+	"io"
+	"testing"
+)
+
+// stdInflate decodes a raw DEFLATE stream with the standard library — the
+// independent reference implementation our encoder is checked against.
+func stdInflate(comp []byte) ([]byte, error) {
+	r := stdflate.NewReader(bytes.NewReader(comp))
+	defer r.Close()
+	return io.ReadAll(r)
+}
+
+// FuzzDifferentialStdlib is the cross-implementation check for the SWAR
+// encoder and the pair-decoding inflater:
+//
+//  1. our Compress output must be valid DEFLATE as judged by the stdlib
+//     inflater, and decode to the input;
+//  2. stdlib-compressed data must decode identically through our
+//     DecodePair-based inflater.
+//
+// Any bit-packing bug in WriteBits64 batching or table bug in the paired
+// Huffman decoder shows up as a divergence here.
+func FuzzDifferentialStdlib(f *testing.F) {
+	f.Add([]byte(""), 6)
+	f.Add([]byte("abcabcabcabc"), 1)
+	f.Add(bytes.Repeat([]byte{0}, 2048), 9)
+	f.Add([]byte("differential seed: the quick brown fox, the quick brown fox"), 5)
+	f.Add(bytes.Repeat([]byte("0123456789abcdef"), 200), 7)
+	f.Fuzz(func(t *testing.T, data []byte, level int) {
+		// Direction 1: our encoder, stdlib decoder.
+		comp := Compress(data, level%10)
+		got, err := stdInflate(comp)
+		if err != nil {
+			t.Fatalf("stdlib rejects our stream: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("stdlib decode mismatch: %d vs %d bytes", len(got), len(data))
+		}
+
+		// Direction 2: stdlib encoder, our decoder.
+		lvl := level % 10
+		if lvl == 0 {
+			lvl = stdflate.HuffmanOnly // exercise the literal-only path too
+		}
+		var buf bytes.Buffer
+		w, err := stdflate.NewWriter(&buf, lvl)
+		if err != nil {
+			t.Fatalf("stdlib writer: %v", err)
+		}
+		if _, err := w.Write(data); err != nil {
+			t.Fatalf("stdlib compress: %v", err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("stdlib close: %v", err)
+		}
+		got, err = DecompressLimit(buf.Bytes(), len(data)+64)
+		if err != nil {
+			t.Fatalf("our decoder rejects stdlib stream: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("our decode of stdlib stream mismatch: %d vs %d bytes", len(got), len(data))
+		}
+	})
+}
+
+// TestDifferentialStdlibCorpus runs the differential check over a fixed
+// corpus so `go test` exercises both directions without the fuzzer.
+func TestDifferentialStdlibCorpus(t *testing.T) {
+	corpus := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("hello, world"),
+		bytes.Repeat([]byte{'x'}, 10000),
+		bytes.Repeat([]byte("abcdefgh"), 5000),
+		func() []byte { // pseudo-random, incompressible
+			b := make([]byte, 8192)
+			s := uint64(42)
+			for i := range b {
+				s = s*6364136223846793005 + 1442695040888963407
+				b[i] = byte(s >> 56)
+			}
+			return b
+		}(),
+	}
+	for i, data := range corpus {
+		for level := 1; level <= 9; level += 2 {
+			comp := Compress(data, level)
+			got, err := stdInflate(comp)
+			if err != nil {
+				t.Fatalf("corpus %d level %d: stdlib rejects our stream: %v", i, level, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("corpus %d level %d: stdlib decode mismatch", i, level)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+
+	"pedal/internal/bits"
+)
+
+// benchStream Huffman-encodes n symbols drawn from dist with the code
+// built for that distribution, returning the decoder and the bit stream.
+func benchStream(b *testing.B, nsyms, n int, skew bool) (*Decoder, []byte, []int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	freq := make([]uint64, nsyms)
+	syms := make([]int, n)
+	for i := range syms {
+		var s int
+		if skew {
+			// Geometric-ish skew: short codes dominate, as in real streams.
+			s = int(rng.ExpFloat64() * float64(nsyms) / 16)
+			if s >= nsyms {
+				s = nsyms - 1
+			}
+		} else {
+			s = rng.Intn(nsyms)
+		}
+		syms[i] = s
+		freq[s]++
+	}
+	code, err := Build(freq, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := bits.NewWriter(n)
+	for _, s := range syms {
+		l := uint(code.Len[s])
+		w.WriteBits(bits.Reverse(code.Bits[s], l), l)
+	}
+	lengths := make([]uint8, nsyms)
+	copy(lengths, code.Len)
+	dec, err := NewDecoder(lengths)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return dec, w.Bytes(), syms
+}
+
+// BenchmarkDecodeSkewed decodes a symbol stream with a skewed (realistic)
+// distribution — short codes dominate, so the two-symbols-per-lookup fast
+// path applies most of the time.
+func BenchmarkDecodeSkewed(b *testing.B) {
+	const n = 1 << 16
+	dec, stream, syms := benchStream(b, 256, n, true)
+	r := bits.NewReader(stream)
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(stream)
+		for k := 0; k < n; k++ {
+			s, err := dec.Decode(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s != syms[k] {
+				b.Fatalf("symbol %d: got %d want %d", k, s, syms[k])
+			}
+		}
+	}
+}
+
+// BenchmarkDecodePairSkewed is BenchmarkDecodeSkewed through the fused
+// two-symbols-per-lookup path — the configuration flate's literal runs
+// decode with.
+func BenchmarkDecodePairSkewed(b *testing.B) {
+	const n = 1 << 16
+	dec, stream, syms := benchStream(b, 256, n, true)
+	if err := dec.ResetPaired(lengthsOf(dec), 256); err != nil {
+		b.Fatal(err)
+	}
+	r := bits.NewReader(stream)
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(stream)
+		for k := 0; k < n; {
+			s1, s2, ok2, err := dec.DecodePair(r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s1 != syms[k] {
+				b.Fatalf("symbol %d: got %d want %d", k, s1, syms[k])
+			}
+			k++
+			if ok2 {
+				// The last pair may straddle the byte-padding tail; only
+				// verify s2 while it maps to a real symbol.
+				if k < n && s2 != syms[k] {
+					b.Fatalf("symbol %d: got %d want %d", k, s2, syms[k])
+				}
+				k++
+			}
+		}
+	}
+}
+
+// lengthsOf recovers the code lengths a decoder was built from.
+func lengthsOf(d *Decoder) []uint8 {
+	lengths := make([]uint8, len(d.code.Len))
+	copy(lengths, d.code.Len)
+	return lengths
+}
+
+// BenchmarkDecodeUniform decodes a uniform distribution over a large
+// alphabet — longer codes, exercising the secondary-table path.
+func BenchmarkDecodeUniform(b *testing.B) {
+	const n = 1 << 16
+	dec, stream, _ := benchStream(b, 4096, n, false)
+	r := bits.NewReader(stream)
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Reset(stream)
+		for k := 0; k < n; k++ {
+			if _, err := dec.Decode(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkEncode measures the encoder kernel: bit-reversing and writing
+// one code per symbol (the flate writeTokens inner operation).
+func BenchmarkEncode(b *testing.B) {
+	const n = 1 << 16
+	_, _, syms := benchStream(b, 256, n, true)
+	freq := make([]uint64, 256)
+	for _, s := range syms {
+		freq[s]++
+	}
+	code, err := Build(freq, 15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := bits.NewWriter(n)
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		for _, s := range syms {
+			l := uint(code.Len[s])
+			w.WriteBits(bits.Reverse(code.Bits[s], l), l)
+		}
+	}
+}

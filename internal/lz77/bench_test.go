@@ -1,0 +1,63 @@
+package lz77
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// BenchmarkMatchLen measures the raw byte-comparison kernel on long
+// matches — the loop the SWAR (8-byte XOR + TrailingZeros64) rewrite
+// targets.
+func BenchmarkMatchLen(b *testing.B) {
+	src := bytes.Repeat([]byte("abcdefgh"), 128) // 1 KiB, fully self-similar
+	b.SetBytes(MaxMatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l := matchLen(src, 0, 512, MaxMatch); l != MaxMatch {
+			b.Fatalf("matchLen = %d", l)
+		}
+	}
+}
+
+// BenchmarkTokenizeRLE drives the match finder over a distance-1 run,
+// the overlapping-match worst case for the skip-span insert loop.
+func BenchmarkTokenizeRLE(b *testing.B) {
+	src := bytes.Repeat([]byte{'a'}, 256<<10)
+	var m Matcher
+	var toks []Token
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		toks = m.Tokens(src, LevelParams(6), toks[:0])
+	}
+}
+
+// BenchmarkTokenizeCompressible is the representative hot-path shape:
+// structured text with medium-length repeats, default level.
+func BenchmarkTokenizeCompressible(b *testing.B) {
+	src := []byte(strings.Repeat("<chunk seq=\"11\">pipelined per-chunk payload</chunk>\n", 5120))[:256<<10]
+	var m Matcher
+	var toks []Token
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		toks = m.Tokens(src, LevelParams(6), toks[:0])
+	}
+}
+
+// BenchmarkTokenizeRandom bounds the incompressible worst case: every
+// position hashes and probes but no matches are found.
+func BenchmarkTokenizeRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 256<<10)
+	rng.Read(src)
+	var m Matcher
+	var toks []Token
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		toks = m.Tokens(src, LevelParams(6), toks[:0])
+	}
+}

@@ -1,0 +1,42 @@
+package lz77
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLZ77RoundTrip tokenizes arbitrary input at every level and requires
+// Expand to reproduce it exactly, with every token structurally valid
+// (in-range lengths and distances). This is the differential check for
+// the SWAR match finder: whatever matchLen and the hash chains decide,
+// the token stream must still describe the input.
+func FuzzLZ77RoundTrip(f *testing.F) {
+	f.Add([]byte(""), 6)
+	f.Add([]byte("abcabcabcabcabcabc"), 1)
+	f.Add(bytes.Repeat([]byte{'a'}, 1000), 9)
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), 6)
+	f.Add(bytes.Repeat([]byte("0123456789abcdef"), 64), 3)
+	f.Fuzz(func(t *testing.T, data []byte, level int) {
+		toks := tokenize(data, level%10)
+		pos := 0
+		for i, tok := range toks {
+			if tok.IsLiteral() {
+				pos++
+				continue
+			}
+			if int(tok.Len) < MinMatch || int(tok.Len) > MaxMatch {
+				t.Fatalf("token %d: length %d out of [%d,%d]", i, tok.Len, MinMatch, MaxMatch)
+			}
+			if int(tok.Dist) < 1 || int(tok.Dist) > WindowSize || int(tok.Dist) > pos {
+				t.Fatalf("token %d: distance %d invalid at position %d", i, tok.Dist, pos)
+			}
+			pos += int(tok.Len)
+		}
+		if pos != len(data) {
+			t.Fatalf("tokens cover %d bytes, input has %d", pos, len(data))
+		}
+		if got := Expand(toks); !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(data))
+		}
+	})
+}

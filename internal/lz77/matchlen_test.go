@@ -1,0 +1,156 @@
+package lz77
+
+import (
+	"bytes"
+	"testing"
+)
+
+// naiveMatchLen is the obviously-correct byte-at-a-time reference the
+// SWAR matchLen must agree with.
+func naiveMatchLen(src []byte, a, b, maxLen int) int {
+	l := 0
+	for l < maxLen && src[a+l] == src[b+l] {
+		l++
+	}
+	return l
+}
+
+// TestMatchLenEndsAtSourceEnd covers matches running exactly to len(src):
+// the word loop must not read past the slice, and partial tails shorter
+// than 8 bytes must be compared byte-wise.
+func TestMatchLenEndsAtSourceEnd(t *testing.T) {
+	// Every tail length 0..16 past the last full word.
+	for tail := 0; tail <= 16; tail++ {
+		pat := bytes.Repeat([]byte("qrstuvwx"), 4)[:8+tail]
+		src := append(append([]byte{}, pat...), pat...)
+		a, b := 0, len(pat)
+		maxLen := len(src) - b // match may run exactly to len(src)
+		if got := matchLen(src, a, b, maxLen); got != maxLen {
+			t.Fatalf("tail %d: matchLen = %d, want full %d", tail, got, maxLen)
+		}
+	}
+}
+
+// TestMatchLenMismatchPositions checks that the first differing byte is
+// located exactly, at every offset within and across word boundaries.
+func TestMatchLenMismatchPositions(t *testing.T) {
+	const n = 40
+	for diff := 0; diff < n; diff++ {
+		src := make([]byte, 2*n)
+		for i := 0; i < n; i++ {
+			src[i] = byte(i * 7)
+			src[n+i] = byte(i * 7)
+		}
+		src[n+diff] ^= 0xFF
+		got := matchLen(src, 0, n, n)
+		if got != diff {
+			t.Fatalf("mismatch at %d: matchLen = %d", diff, got)
+		}
+		if want := naiveMatchLen(src, 0, n, n); got != want {
+			t.Fatalf("mismatch at %d: SWAR %d != naive %d", diff, got, want)
+		}
+	}
+}
+
+// TestMatchLenMaxMatchTruncation verifies a longer-than-MaxMatch run is
+// clamped by the maxLen argument, mid-word and on word boundaries.
+func TestMatchLenMaxMatchTruncation(t *testing.T) {
+	src := bytes.Repeat([]byte{'z'}, 2*MaxMatch+64)
+	for _, maxLen := range []int{MaxMatch, 256, 8, 7, 3, 1, 0} {
+		if got := matchLen(src, 0, 16, maxLen); got != maxLen {
+			t.Fatalf("maxLen %d: matchLen = %d", maxLen, got)
+		}
+	}
+}
+
+// TestMatchLenDistanceOne exercises a=b-1 — the RLE case where the two
+// windows overlap by 7 of every 8 loaded bytes.
+func TestMatchLenDistanceOne(t *testing.T) {
+	src := bytes.Repeat([]byte{'r'}, 100)
+	src[60] = 's' // run ends here
+	got := matchLen(src, 0, 1, 99)
+	want := naiveMatchLen(src, 0, 1, 99)
+	if got != want || got != 59 {
+		t.Fatalf("dist-1 run: SWAR %d, naive %d, want 59", got, want)
+	}
+}
+
+// TestTokenizeMatchToEnd compresses input whose best match extends to the
+// final byte of src — the span insertion and match emission must both
+// handle ends flush with len(src).
+func TestTokenizeMatchToEnd(t *testing.T) {
+	for extra := 0; extra <= 10; extra++ {
+		pat := []byte("abcdefghij")
+		src := append(append([]byte{}, pat...), pat[:len(pat)-extra%len(pat)]...)
+		toks := tokenize(src, 9)
+		if got := Expand(toks); !bytes.Equal(got, src) {
+			t.Fatalf("extra %d: round-trip mismatch", extra)
+		}
+	}
+}
+
+// TestTokenizeRLEDistanceOne checks that long single-byte runs produce
+// dist-1 matches (self-overlapping copies) and round-trip.
+func TestTokenizeRLEDistanceOne(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAB}, 4096)
+	toks := tokenize(src, 6)
+	sawDist1 := false
+	for _, tok := range toks {
+		if !tok.IsLiteral() && tok.Dist == 1 {
+			sawDist1 = true
+			break
+		}
+	}
+	if !sawDist1 {
+		t.Fatal("no dist-1 match on a uniform run")
+	}
+	if got := Expand(toks); !bytes.Equal(got, src) {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+// TestTokenizeWindowBoundaryCandidate places the only match candidate
+// right at the 32 KiB window edge: one copy just inside the window must
+// be found, one just outside must be ignored (distances above WindowSize
+// cannot be encoded).
+func TestTokenizeWindowBoundaryCandidate(t *testing.T) {
+	pat := []byte("WINDOWEDGEPATTERN")
+	mk := func(gap int) []byte {
+		src := append([]byte{}, pat...)
+		for i := 0; len(src) < len(pat)+gap; i++ {
+			// Incompressible filler (no internal repeats).
+			src = append(src, byte(i), byte(i>>8), byte(i*131+17))
+		}
+		src = src[:len(pat)+gap]
+		return append(src, pat...)
+	}
+
+	inside := mk(WindowSize - len(pat)) // candidate distance == WindowSize
+	toks := tokenize(inside, 9)
+	found := false
+	for _, tok := range toks {
+		if !tok.IsLiteral() && int(tok.Dist) == WindowSize {
+			found = true
+		}
+		if !tok.IsLiteral() && int(tok.Dist) > WindowSize {
+			t.Fatalf("distance %d exceeds window", tok.Dist)
+		}
+	}
+	if !found {
+		t.Fatal("match at exactly WindowSize distance not found")
+	}
+	if got := Expand(toks); !bytes.Equal(got, inside) {
+		t.Fatal("round-trip mismatch (inside window)")
+	}
+
+	outside := mk(WindowSize - len(pat) + 1) // distance == WindowSize+1
+	toks = tokenize(outside, 9)
+	for _, tok := range toks {
+		if !tok.IsLiteral() && int(tok.Dist) > WindowSize {
+			t.Fatalf("emitted out-of-window distance %d", tok.Dist)
+		}
+	}
+	if got := Expand(toks); !bytes.Equal(got, outside) {
+		t.Fatal("round-trip mismatch (outside window)")
+	}
+}

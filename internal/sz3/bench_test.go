@@ -1,0 +1,98 @@
+package sz3
+
+import (
+	"math"
+	"testing"
+)
+
+// benchField2D builds a smooth 2-D field (sum of sinusoids plus a gentle
+// gradient) of the kind the quantizer sees from the paper's scientific
+// datasets: almost every element quantizes, code 0 is rare.
+func benchField2D(nx, ny int) ([]float64, Config) {
+	vals := make([]float64, nx*ny)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			x, y := float64(i)/float64(nx), float64(j)/float64(ny)
+			vals[i*ny+j] = math.Sin(8*x)*math.Cos(6*y) + 0.3*x + 0.1*y
+		}
+	}
+	return vals, Config{
+		ErrorBound: 1e-4,
+		Dims:       []int{nx, ny},
+		Backend:    BackendNone, // isolate predict+quantize+entropy from the lossless backend
+	}
+}
+
+func benchField3D(nx, ny, nz int) ([]float64, Config) {
+	vals := make([]float64, nx*ny*nz)
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				x, y, z := float64(i)/float64(nx), float64(j)/float64(ny), float64(k)/float64(nz)
+				vals[(i*ny+j)*nz+k] = math.Sin(5*x+3*y) * math.Cos(4*z)
+			}
+		}
+	}
+	return vals, Config{
+		ErrorBound: 1e-4,
+		Dims:       []int{nx, ny, nz},
+		Backend:    BackendNone,
+	}
+}
+
+func benchCompress(b *testing.B, vals []float64, cfg Config) {
+	b.Helper()
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressFloat64(vals, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQuantizeLorenzo2D is the headline SZ3 quantize benchmark: the
+// Lorenzo predict→quantize slab over a 512×512 field.
+func BenchmarkQuantizeLorenzo2D(b *testing.B) {
+	vals, cfg := benchField2D(512, 512)
+	cfg.Predictor = PredictorLorenzo
+	benchCompress(b, vals, cfg)
+}
+
+// BenchmarkQuantizeLorenzo3D exercises the 7-point 3-D Lorenzo stencil.
+func BenchmarkQuantizeLorenzo3D(b *testing.B) {
+	vals, cfg := benchField3D(64, 64, 64)
+	cfg.Predictor = PredictorLorenzo
+	benchCompress(b, vals, cfg)
+}
+
+// BenchmarkQuantizeRegression2D drives the per-block linear-model path.
+func BenchmarkQuantizeRegression2D(b *testing.B) {
+	vals, cfg := benchField2D(512, 512)
+	cfg.Predictor = PredictorRegression
+	benchCompress(b, vals, cfg)
+}
+
+// BenchmarkQuantizeInterp2D drives the dyadic interpolation predictor.
+func BenchmarkQuantizeInterp2D(b *testing.B) {
+	vals, cfg := benchField2D(512, 512)
+	cfg.Predictor = PredictorInterpolation
+	benchCompress(b, vals, cfg)
+}
+
+// BenchmarkDequantizeLorenzo2D is the decode-side counterpart.
+func BenchmarkDequantizeLorenzo2D(b *testing.B) {
+	vals, cfg := benchField2D(512, 512)
+	cfg.Predictor = PredictorLorenzo
+	comp, err := CompressFloat64(vals, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecompressFloat64(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

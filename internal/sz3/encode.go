@@ -53,10 +53,22 @@ func encodeCodes(codes []uint16) ([]byte, error) {
 		out = append(out, l)
 		prev = s
 	}
+	// Two codes fold into each 64-bit write: szMaxCodeBits caps a pair at
+	// 40 bits, comfortably inside WriteBits64's 56-bit budget.
 	w := bits.NewWriter(len(codes) / 2)
-	for _, c := range codes {
-		l := uint(code.Len[c])
-		w.WriteBits(bits.Reverse(code.Bits[c], l), l)
+	cbits, clens := code.Bits, code.Len
+	i := 0
+	for ; i+1 < len(codes); i += 2 {
+		c1, c2 := codes[i], codes[i+1]
+		l1, l2 := uint(clens[c1]), uint(clens[c2])
+		acc := uint64(bits.Reverse(cbits[c1], l1)) |
+			uint64(bits.Reverse(cbits[c2], l2))<<l1
+		w.WriteBits64(acc, l1+l2)
+	}
+	if i < len(codes) {
+		c := codes[i]
+		l := uint(clens[c])
+		w.WriteBits(bits.Reverse(cbits[c], l), l)
 	}
 	stream := w.Bytes()
 	out = binary.AppendUvarint(out, uint64(len(codes)))
@@ -110,13 +122,30 @@ func decodeCodes(src []byte) ([]uint16, int, error) {
 	if pos+int(streamLen) > len(src) {
 		return nil, 0, fmt.Errorf("%w: truncated bitstream", ErrCorrupt)
 	}
-	dec, err := huffman.NewDecoder(lengths)
+	// Quantization codes carry no extra bits, so every symbol may fuse:
+	// DecodePair retires two short codes per table lookup. The loop stops
+	// pairing one symbol early so a fused read can never consume padding
+	// past the declared count.
+	dec, err := huffman.NewPairedDecoder(lengths, numQuantCodes)
 	if err != nil {
 		return nil, 0, fmt.Errorf("%w: code table: %v", ErrCorrupt, err)
 	}
 	r := bits.NewReader(src[pos : pos+int(streamLen)])
 	codes := make([]uint16, count)
-	for i := range codes {
+	i := 0
+	for i+1 < len(codes) {
+		s1, s2, ok2, err := dec.DecodePair(r)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: code %d: %v", ErrCorrupt, i, err)
+		}
+		codes[i] = uint16(s1)
+		i++
+		if ok2 {
+			codes[i] = uint16(s2)
+			i++
+		}
+	}
+	for ; i < len(codes); i++ {
 		s, err := dec.Decode(r)
 		if err != nil {
 			return nil, 0, fmt.Errorf("%w: code %d: %v", ErrCorrupt, i, err)

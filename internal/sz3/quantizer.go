@@ -1,7 +1,5 @@
 package sz3
 
-import "math"
-
 // quantRadius is the linear-scaling quantizer radius: quantization codes
 // occupy [1, 2*quantRadius-1] with code 0 reserved for unpredictable
 // values stored exactly (SZ's convention).
@@ -18,6 +16,21 @@ type quantizer struct {
 	twoEB float64
 }
 
+// roundMagic rounds to the nearest integer (ties to even) by pushing the
+// value into the 2^52 binade, where the float64 ulp is exactly 1:
+// (x + roundMagic) - roundMagic. Three FP adds replace math.Round's
+// bit-manipulation sequence. Only valid for |x| < 2^51, but any input
+// large enough to break it also fails the quantRadius range check, and
+// NaN/±Inf propagate and fail it too. The tie direction differs from
+// math.Round at exact bin boundaries; that only selects between two
+// equally valid codes — the reconstruction-bound verification is what
+// guarantees correctness, not the rounding mode.
+const roundMagic = 3 << 51
+
+func roundNearest(x float64) float64 {
+	return x + roundMagic - roundMagic
+}
+
 func newQuantizer(eb float64) quantizer {
 	return quantizer{eb: eb, twoEB: 2 * eb}
 }
@@ -31,8 +44,12 @@ func newQuantizer(eb float64) quantizer {
 // decompressor reconstructions are bit-identical.
 func (q quantizer) quantize(orig, pred float64, round32 bool) (code uint16, recon float64, ok bool) {
 	diff := orig - pred
-	qi := math.Round(diff / q.twoEB)
-	if math.IsNaN(qi) || math.IsInf(qi, 0) || qi <= -quantRadius || qi >= quantRadius {
+	qi := roundNearest(diff / q.twoEB)
+	// The single range comparison replaces the old explicit NaN/Inf
+	// checks: a NaN qi fails both comparisons and ±Inf fails one, so all
+	// pathological inputs fall through to the exact-storage path without
+	// dedicated branches in the hot loop.
+	if !(qi > -quantRadius && qi < quantRadius) {
 		return 0, 0, false
 	}
 	recon = pred + qi*q.twoEB
@@ -40,11 +57,15 @@ func (q quantizer) quantize(orig, pred float64, round32 bool) (code uint16, reco
 		recon = float64(float32(recon))
 	}
 	// Floating-point cancellation can break the bound for huge magnitudes;
-	// verify and fall back rather than violate the guarantee.
-	if math.Abs(recon-orig) > q.eb {
+	// verify and fall back rather than violate the guarantee. Written as
+	// two comparisons (not math.Abs) so a NaN difference also falls back.
+	d := recon - orig
+	if !(d <= q.eb && d >= -q.eb) {
 		return 0, 0, false
 	}
-	return uint16(int(qi) + quantRadius), recon, true
+	// int32 (not int): qi is in (-32768, 32768) so the sum fits int32 on
+	// every platform, keeping the cast well-defined on 32-bit builds.
+	return uint16(int32(qi) + quantRadius), recon, true
 }
 
 // dequantize reconstructs a value from its code. The caller guarantees

@@ -1,0 +1,115 @@
+package sz3
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantizeRadiusBoundary pins behaviour at the ±quantRadius edges of
+// the code range. Regression test for the int conversion in quantize: the
+// sum qi+quantRadius must be computed in a signed 32-bit type so the
+// uint16 narrowing is well-defined on every platform, and codes at the
+// extremes must round-trip through dequantize within the bound.
+func TestQuantizeRadiusBoundary(t *testing.T) {
+	const eb = 0.5 // twoEB = 1.0, so qi == diff exactly
+	q := newQuantizer(eb)
+
+	cases := []struct {
+		name     string
+		diff     float64
+		wantOK   bool
+		wantCode uint16
+	}{
+		{"zero", 0, true, quantRadius},
+		{"max-positive", quantRadius - 1, true, 2*quantRadius - 1},
+		{"min-negative", -(quantRadius - 1), true, 1},
+		{"positive-overflow", quantRadius, false, 0},
+		{"negative-overflow", -quantRadius, false, 0},
+		{"far-positive-overflow", 1e18, false, 0},
+		{"far-negative-overflow", -1e18, false, 0},
+		{"nan", math.NaN(), false, 0},
+		{"pos-inf", math.Inf(1), false, 0},
+		{"neg-inf", math.Inf(-1), false, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pred := 1000.0
+			orig := pred + tc.diff
+			if tc.name == "nan" || math.IsInf(tc.diff, 0) {
+				orig = tc.diff
+			}
+			code, recon, ok := q.quantize(orig, pred, false)
+			if ok != tc.wantOK {
+				t.Fatalf("quantize(diff=%g): ok = %v, want %v", tc.diff, ok, tc.wantOK)
+			}
+			if !ok {
+				return
+			}
+			if code != tc.wantCode {
+				t.Fatalf("quantize(diff=%g): code = %d, want %d", tc.diff, code, tc.wantCode)
+			}
+			if code == 0 {
+				t.Fatal("ok quantization produced reserved code 0")
+			}
+			if math.Abs(recon-orig) > eb {
+				t.Fatalf("reconstruction %g violates bound: orig %g, eb %g", recon, orig, eb)
+			}
+			if got := q.dequantize(pred, code, false); got != recon {
+				t.Fatalf("dequantize(%d) = %g, want compressor reconstruction %g", code, got, recon)
+			}
+		})
+	}
+}
+
+// TestQuantizeBoundaryEndToEnd drives values that quantize to the extreme
+// codes through the full pipeline: the largest representable jumps must
+// compress losslessly within the bound, one bin further must take the
+// exact-storage fallback, and both must decompress correctly.
+func TestQuantizeBoundaryEndToEnd(t *testing.T) {
+	const eb = 0.5
+	vals := []float64{
+		0,
+		quantRadius - 1, // exactly the max positive code from pred≈0
+		0,
+		-(quantRadius - 1), // max negative code
+		0,
+		quantRadius + 10, // out of range: exact fallback
+		0,
+	}
+	cfg := Config{ErrorBound: eb, Dims: []int{len(vals)}, Backend: BackendNone, Predictor: PredictorLorenzo}
+	comp, err := CompressFloat64(vals, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if math.Abs(v-vals[i]) > eb {
+			t.Fatalf("element %d: |%g - %g| exceeds bound %g", i, v, vals[i], eb)
+		}
+	}
+}
+
+// TestRoundNearestAgreesWithRound documents the one place roundNearest may
+// differ from math.Round — exact .5 ties — and checks it matches
+// everywhere else in the quantizer's operating range.
+func TestRoundNearestAgreesWithRound(t *testing.T) {
+	for _, x := range []float64{0, 0.25, 0.75, 1.25, -0.25, -0.75, 3.3, -3.3,
+		32766.4, -32766.4, 1e6 + 0.4, -1e6 - 0.4} {
+		if got, want := roundNearest(x), math.Round(x); got != want {
+			t.Fatalf("roundNearest(%g) = %g, math.Round = %g", x, got, want)
+		}
+	}
+	// Ties round to even, not away from zero: a known, accepted difference.
+	if got := roundNearest(0.5); got != 0 {
+		t.Fatalf("roundNearest(0.5) = %g, want 0 (ties-to-even)", got)
+	}
+	if got := roundNearest(1.5); got != 2 {
+		t.Fatalf("roundNearest(1.5) = %g, want 2 (ties-to-even)", got)
+	}
+	if got := roundNearest(-0.5); got != 0 {
+		t.Fatalf("roundNearest(-0.5) = %g, want 0 (ties-to-even)", got)
+	}
+}

@@ -1,0 +1,538 @@
+package sz3
+
+import "math"
+
+// This file holds the batched predict→quantize kernels the block-wise
+// compress/decompress paths run instead of the generic
+// elemIter/quantizer combination. The generic path pays, per element, an
+// odometer step, a coords div/mod per dimension, a closure call, and a
+// branchy quantize; the slabs below walk each block with plain nested
+// loops, hoist the global-edge guards out of the interior, and inline a
+// branch-reduced quantizer.
+//
+// Invariant: every floating-point operation happens in exactly the same
+// order as the scalar helpers (lorenzo.predict, regressionModel.eval,
+// quantizer.quantize/dequantize). The compressor verifies its bound
+// against its own reconstruction, and the decompressor reproduces that
+// reconstruction from the code stream — if either side re-associates an
+// addition the reconstructions drift and the error-bound guarantee
+// silently breaks. Change the stencil expressions only in lockstep with
+// predictor.go.
+
+// quantSlab is the compression-side state threaded through the block
+// kernels: original values in, reconstruction + quantization codes +
+// exact fallbacks out. Codes and exact values are appended in block
+// traversal order, matching the decoder's consumption order.
+type quantSlab struct {
+	eb      float64
+	twoEB   float64
+	round32 bool
+	vals    []float64
+	recon   []float64
+	codes   []uint16
+	exact   []float64
+	strides []int
+	dims    []int
+}
+
+// q1 quantizes one element against its prediction: the inlined,
+// branch-reduced body of quantizer.quantize plus the exact-storage
+// fallback. NaN/Inf originals and out-of-range codes fail the single
+// range comparison (NaN compares false) and fall through.
+func (s *quantSlab) q1(idx int, pred float64) {
+	orig := s.vals[idx]
+	qi := roundNearest((orig - pred) / s.twoEB)
+	if qi > -quantRadius && qi < quantRadius {
+		r := pred + qi*s.twoEB
+		if s.round32 {
+			r = float64(float32(r))
+		}
+		if d := r - orig; d <= s.eb && d >= -s.eb {
+			s.codes = append(s.codes, uint16(int32(qi)+quantRadius))
+			s.recon[idx] = r
+			return
+		}
+	}
+	v := orig
+	if s.round32 {
+		v = float64(float32(v))
+	}
+	s.codes = append(s.codes, 0)
+	s.exact = append(s.exact, v)
+	s.recon[idx] = v
+}
+
+// lorenzoBlock dispatches on dimensionality. lo/hi are global bounds
+// (inclusive/exclusive); predictions read the global recon array, so
+// stencils reach across block boundaries exactly as the scalar walk did.
+func (s *quantSlab) lorenzoBlock(lo, hi []int) {
+	switch len(s.dims) {
+	case 1:
+		s.lorenzo1D(lo[0], hi[0])
+	case 2:
+		s.lorenzo2D(lo, hi)
+	default:
+		s.lorenzo3D(lo, hi)
+	}
+}
+
+func (s *quantSlab) lorenzo1D(lo0, hi0 int) {
+	recon := s.recon
+	i := lo0
+	if i == 0 {
+		s.q1(0, 0)
+		i++
+	}
+	for ; i < hi0; i++ {
+		s.q1(i, recon[i-1])
+	}
+}
+
+func (s *quantSlab) lorenzo2D(lo, hi []int) {
+	recon := s.recon
+	s0 := s.strides[0]
+	for i := lo[0]; i < hi[0]; i++ {
+		row := i * s0
+		j := lo[1]
+		if i == 0 {
+			// Global top edge: the i-neighbours are zero.
+			if j == 0 {
+				s.q1(0, 0)
+				j = 1
+			}
+			for ; j < hi[1]; j++ {
+				idx := row + j
+				var b float64 = recon[idx-1]
+				s.q1(idx, 0+b-0)
+			}
+			continue
+		}
+		if j == 0 {
+			// Global left edge of an interior row.
+			a := recon[row-s0]
+			s.q1(row, a+0-0)
+			j = 1
+		}
+		for ; j < hi[1]; j++ {
+			idx := row + j
+			s.q1(idx, recon[idx-s0]+recon[idx-1]-recon[idx-s0-1])
+		}
+	}
+}
+
+func (s *quantSlab) lorenzo3D(lo, hi []int) {
+	recon := s.recon
+	si, sj := s.strides[0], s.strides[1]
+	for i := lo[0]; i < hi[0]; i++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			row := i*si + j*sj
+			k := lo[2]
+			if i == 0 || j == 0 || k == 0 {
+				// Global faces: fall back to the guarded stencil for the
+				// edge elements of this pencil, then rejoin the interior.
+				for ; k < hi[2]; k++ {
+					if i != 0 && j != 0 && k != 0 {
+						break
+					}
+					idx := row + k
+					var fi, fj, fk, fij, fik, fjk, fijk float64
+					if i > 0 {
+						fi = recon[idx-si]
+					}
+					if j > 0 {
+						fj = recon[idx-sj]
+					}
+					if k > 0 {
+						fk = recon[idx-1]
+					}
+					if i > 0 && j > 0 {
+						fij = recon[idx-si-sj]
+					}
+					if i > 0 && k > 0 {
+						fik = recon[idx-si-1]
+					}
+					if j > 0 && k > 0 {
+						fjk = recon[idx-sj-1]
+					}
+					if i > 0 && j > 0 && k > 0 {
+						fijk = recon[idx-si-sj-1]
+					}
+					s.q1(idx, fi+fj+fk-fij-fik-fjk+fijk)
+				}
+			}
+			for ; k < hi[2]; k++ {
+				idx := row + k
+				s.q1(idx, recon[idx-si]+recon[idx-sj]+recon[idx-1]-
+					recon[idx-si-sj]-recon[idx-si-1]-recon[idx-sj-1]+
+					recon[idx-si-sj-1])
+			}
+		}
+	}
+}
+
+// regressionBlock quantizes a block against its fitted linear model.
+// The hoisted per-row partial sums reproduce eval's sequential adds:
+// ((c0 + c1·i) + c2·j) + c3·k.
+func (s *quantSlab) regressionBlock(lo, hi []int, m regressionModel) {
+	c0 := float64(m.coef[0])
+	c1 := float64(m.coef[1])
+	switch len(s.dims) {
+	case 1:
+		for i := lo[0]; i < hi[0]; i++ {
+			s.q1(i, c0+c1*float64(i-lo[0]))
+		}
+	case 2:
+		c2 := float64(m.coef[2])
+		s0 := s.strides[0]
+		for i := lo[0]; i < hi[0]; i++ {
+			row := i * s0
+			ri := c0 + c1*float64(i-lo[0])
+			for j := lo[1]; j < hi[1]; j++ {
+				s.q1(row+j, ri+c2*float64(j-lo[1]))
+			}
+		}
+	default:
+		c2, c3 := float64(m.coef[2]), float64(m.coef[3])
+		si, sj := s.strides[0], s.strides[1]
+		for i := lo[0]; i < hi[0]; i++ {
+			ri := c0 + c1*float64(i-lo[0])
+			for j := lo[1]; j < hi[1]; j++ {
+				row := i*si + j*sj
+				rij := ri + c2*float64(j-lo[1])
+				for k := lo[2]; k < hi[2]; k++ {
+					s.q1(row+k, rij+c3*float64(k-lo[2]))
+				}
+			}
+		}
+	}
+}
+
+// fitBlock least-squares-fits the per-block linear model with direct
+// loops — the closure-free counterpart of fitRegression, accumulating in
+// the same raster order so it produces identical coefficients.
+func fitBlock(vals []float64, strides, lo, hi []int) regressionModel {
+	nd := len(lo)
+	n := 1
+	for d := 0; d < nd; d++ {
+		n *= hi[d] - lo[d]
+	}
+	if n == 0 {
+		return regressionModel{}
+	}
+	var meanX [3]float64
+	var meanV float64
+	forEachBlock(vals, strides, lo, hi, func(idx int, l0, l1, l2 int) {
+		meanX[0] += float64(l0)
+		if nd > 1 {
+			meanX[1] += float64(l1)
+		}
+		if nd > 2 {
+			meanX[2] += float64(l2)
+		}
+		meanV += vals[idx]
+	})
+	fn := float64(n)
+	for d := 0; d < nd; d++ {
+		meanX[d] /= fn
+	}
+	meanV /= fn
+	var num, den [3]float64
+	forEachBlock(vals, strides, lo, hi, func(idx int, l0, l1, l2 int) {
+		dv := vals[idx] - meanV
+		locals := [3]int{l0, l1, l2}
+		for d := 0; d < nd; d++ {
+			dx := float64(locals[d]) - meanX[d]
+			num[d] += dx * dv
+			den[d] += dx * dx
+		}
+	})
+	var m regressionModel
+	for d := 0; d < nd; d++ {
+		if den[d] > 0 {
+			m.coef[d+1] = float32(num[d] / den[d])
+		}
+	}
+	c0 := meanV
+	for d := 0; d < nd; d++ {
+		c0 -= float64(m.coef[d+1]) * meanX[d]
+	}
+	m.coef[0] = float32(c0)
+	return m
+}
+
+// forEachBlock rasters a block, yielding the global index and block-local
+// coordinates of every element without per-element division.
+func forEachBlock(vals []float64, strides, lo, hi []int, fn func(idx, l0, l1, l2 int)) {
+	switch len(lo) {
+	case 1:
+		for i := lo[0]; i < hi[0]; i++ {
+			fn(i, i-lo[0], 0, 0)
+		}
+	case 2:
+		s0 := strides[0]
+		for i := lo[0]; i < hi[0]; i++ {
+			row := i * s0
+			for j := lo[1]; j < hi[1]; j++ {
+				fn(row+j, i-lo[0], j-lo[1], 0)
+			}
+		}
+	default:
+		si, sj := strides[0], strides[1]
+		for i := lo[0]; i < hi[0]; i++ {
+			for j := lo[1]; j < hi[1]; j++ {
+				row := i*si + j*sj
+				for k := lo[2]; k < hi[2]; k++ {
+					fn(row+k, i-lo[0], j-lo[1], k-lo[2])
+				}
+			}
+		}
+	}
+}
+
+// chooseBlock is the Auto predictor's per-block decision with direct
+// loops: fit the model, compare both predictors' absolute error on the
+// original values, pick the smaller — semantics identical to the scalar
+// chooseRegression (the Lorenzo estimate reads original values as a
+// stand-in for the reconstruction).
+func chooseBlock(vals []float64, strides, dims, lo, hi []int) (bool, regressionModel) {
+	model := fitBlock(vals, strides, lo, hi)
+	c0 := float64(model.coef[0])
+	c1 := float64(model.coef[1])
+	var regErr, lorErr float64
+	switch len(dims) {
+	case 1:
+		for i := lo[0]; i < hi[0]; i++ {
+			regErr += math.Abs(vals[i] - (c0 + c1*float64(i-lo[0])))
+			var p float64
+			if i > 0 {
+				p = vals[i-1]
+			}
+			lorErr += math.Abs(vals[i] - p)
+		}
+	case 2:
+		c2 := float64(model.coef[2])
+		s0 := strides[0]
+		for i := lo[0]; i < hi[0]; i++ {
+			row := i * s0
+			ri := c0 + c1*float64(i-lo[0])
+			for j := lo[1]; j < hi[1]; j++ {
+				idx := row + j
+				regErr += math.Abs(vals[idx] - (ri + c2*float64(j-lo[1])))
+				var a, b, d float64
+				if i > 0 {
+					a = vals[idx-s0]
+				}
+				if j > 0 {
+					b = vals[idx-1]
+				}
+				if i > 0 && j > 0 {
+					d = vals[idx-s0-1]
+				}
+				lorErr += math.Abs(vals[idx] - (a + b - d))
+			}
+		}
+	default:
+		c2, c3 := float64(model.coef[2]), float64(model.coef[3])
+		si, sj := strides[0], strides[1]
+		for i := lo[0]; i < hi[0]; i++ {
+			ri := c0 + c1*float64(i-lo[0])
+			for j := lo[1]; j < hi[1]; j++ {
+				row := i*si + j*sj
+				rij := ri + c2*float64(j-lo[1])
+				for k := lo[2]; k < hi[2]; k++ {
+					idx := row + k
+					regErr += math.Abs(vals[idx] - (rij + c3*float64(k-lo[2])))
+					var fi, fj, fk, fij, fik, fjk, fijk float64
+					if i > 0 {
+						fi = vals[idx-si]
+					}
+					if j > 0 {
+						fj = vals[idx-sj]
+					}
+					if k > 0 {
+						fk = vals[idx-1]
+					}
+					if i > 0 && j > 0 {
+						fij = vals[idx-si-sj]
+					}
+					if i > 0 && k > 0 {
+						fik = vals[idx-si-1]
+					}
+					if j > 0 && k > 0 {
+						fjk = vals[idx-sj-1]
+					}
+					if i > 0 && j > 0 && k > 0 {
+						fijk = vals[idx-si-sj-1]
+					}
+					lorErr += math.Abs(vals[idx] - (fi + fj + fk - fij - fik - fjk + fijk))
+				}
+			}
+		}
+	}
+	return regErr < lorErr, model
+}
+
+// dequantSlab is the decompression-side counterpart: codes + exact
+// fallbacks in, reconstruction out. The caller pre-validates that the
+// exact-value stream covers every zero code, so the kernels below cannot
+// fail mid-block.
+type dequantSlab struct {
+	twoEB   float64
+	round32 bool
+	recon   []float64
+	codes   []uint16
+	exact   []float64
+	strides []int
+	dims    []int
+	k       int // next code
+	ei      int // next exact value
+}
+
+// d1 reconstructs one element: the inlined quantizer.dequantize plus the
+// exact-value path for code 0.
+func (s *dequantSlab) d1(idx int, pred float64) {
+	code := s.codes[s.k]
+	s.k++
+	if code == 0 {
+		s.recon[idx] = s.exact[s.ei]
+		s.ei++
+		return
+	}
+	qi := float64(int(code) - quantRadius)
+	r := pred + qi*s.twoEB
+	if s.round32 {
+		r = float64(float32(r))
+	}
+	s.recon[idx] = r
+}
+
+func (s *dequantSlab) lorenzoBlock(lo, hi []int) {
+	switch len(s.dims) {
+	case 1:
+		recon := s.recon
+		i := lo[0]
+		if i == 0 {
+			s.d1(0, 0)
+			i++
+		}
+		for ; i < hi[0]; i++ {
+			s.d1(i, recon[i-1])
+		}
+	case 2:
+		s.lorenzo2D(lo, hi)
+	default:
+		s.lorenzo3D(lo, hi)
+	}
+}
+
+func (s *dequantSlab) lorenzo2D(lo, hi []int) {
+	recon := s.recon
+	s0 := s.strides[0]
+	for i := lo[0]; i < hi[0]; i++ {
+		row := i * s0
+		j := lo[1]
+		if i == 0 {
+			if j == 0 {
+				s.d1(0, 0)
+				j = 1
+			}
+			for ; j < hi[1]; j++ {
+				idx := row + j
+				var b float64 = recon[idx-1]
+				s.d1(idx, 0+b-0)
+			}
+			continue
+		}
+		if j == 0 {
+			a := recon[row-s0]
+			s.d1(row, a+0-0)
+			j = 1
+		}
+		for ; j < hi[1]; j++ {
+			idx := row + j
+			s.d1(idx, recon[idx-s0]+recon[idx-1]-recon[idx-s0-1])
+		}
+	}
+}
+
+func (s *dequantSlab) lorenzo3D(lo, hi []int) {
+	recon := s.recon
+	si, sj := s.strides[0], s.strides[1]
+	for i := lo[0]; i < hi[0]; i++ {
+		for j := lo[1]; j < hi[1]; j++ {
+			row := i*si + j*sj
+			k := lo[2]
+			if i == 0 || j == 0 || k == 0 {
+				for ; k < hi[2]; k++ {
+					if i != 0 && j != 0 && k != 0 {
+						break
+					}
+					idx := row + k
+					var fi, fj, fk, fij, fik, fjk, fijk float64
+					if i > 0 {
+						fi = recon[idx-si]
+					}
+					if j > 0 {
+						fj = recon[idx-sj]
+					}
+					if k > 0 {
+						fk = recon[idx-1]
+					}
+					if i > 0 && j > 0 {
+						fij = recon[idx-si-sj]
+					}
+					if i > 0 && k > 0 {
+						fik = recon[idx-si-1]
+					}
+					if j > 0 && k > 0 {
+						fjk = recon[idx-sj-1]
+					}
+					if i > 0 && j > 0 && k > 0 {
+						fijk = recon[idx-si-sj-1]
+					}
+					s.d1(idx, fi+fj+fk-fij-fik-fjk+fijk)
+				}
+			}
+			for ; k < hi[2]; k++ {
+				idx := row + k
+				s.d1(idx, recon[idx-si]+recon[idx-sj]+recon[idx-1]-
+					recon[idx-si-sj]-recon[idx-si-1]-recon[idx-sj-1]+
+					recon[idx-si-sj-1])
+			}
+		}
+	}
+}
+
+func (s *dequantSlab) regressionBlock(lo, hi []int, m regressionModel) {
+	c0 := float64(m.coef[0])
+	c1 := float64(m.coef[1])
+	switch len(s.dims) {
+	case 1:
+		for i := lo[0]; i < hi[0]; i++ {
+			s.d1(i, c0+c1*float64(i-lo[0]))
+		}
+	case 2:
+		c2 := float64(m.coef[2])
+		s0 := s.strides[0]
+		for i := lo[0]; i < hi[0]; i++ {
+			row := i * s0
+			ri := c0 + c1*float64(i-lo[0])
+			for j := lo[1]; j < hi[1]; j++ {
+				s.d1(row+j, ri+c2*float64(j-lo[1]))
+			}
+		}
+	default:
+		c2, c3 := float64(m.coef[2]), float64(m.coef[3])
+		si, sj := s.strides[0], s.strides[1]
+		for i := lo[0]; i < hi[0]; i++ {
+			ri := c0 + c1*float64(i-lo[0])
+			for j := lo[1]; j < hi[1]; j++ {
+				row := i*si + j*sj
+				rij := ri + c2*float64(j-lo[1])
+				for k := lo[2]; k < hi[2]; k++ {
+					s.d1(row+k, rij+c3*float64(k-lo[2]))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package sz3
+
+import (
+	"math"
+	"testing"
+)
+
+// compressScalar reproduces the pre-slab block-wise compression path:
+// generic elemIter walk, per-element coords, scalar lorenzo.predict /
+// regressionModel.eval / quantizer.quantize. The slab kernels must
+// produce byte-identical streams — they are a re-scheduling of the same
+// floating-point operations, not a reformulation.
+func compressScalar(vals []float64, dt DataType, cfg Config) ([]byte, error) {
+	n := len(vals)
+	eb := effectiveBound(vals, cfg)
+	q := newQuantizer(eb)
+	round32 := dt == Float32
+	lz := newLorenzo(cfg.Dims)
+	edge := blockEdge(len(cfg.Dims))
+
+	recon := make([]float64, n)
+	codes := make([]uint16, 0, n)
+	var exact []float64
+	var flags []bool
+	var models []regressionModel
+	coordBuf := make([]int, len(cfg.Dims))
+
+	blockIter(cfg.Dims, edge, func(lo, hi []int) {
+		blockN := 1
+		for d := range lo {
+			blockN *= hi[d] - lo[d]
+		}
+		useReg := false
+		var model regressionModel
+		switch cfg.Predictor {
+		case PredictorRegression:
+			useReg = true
+		case PredictorAuto:
+			useReg, model = chooseRegression(vals, lz, lo, hi, blockN)
+		}
+		if useReg && cfg.Predictor == PredictorRegression {
+			model = fitRegression(len(lo), blockN, func(yield func([]int, float64)) {
+				elemIter(lz.strides, lo, hi, func(idx int, local []int) {
+					yield(local, vals[idx])
+				})
+			})
+		}
+		flags = append(flags, useReg)
+		if useReg {
+			models = append(models, model)
+		}
+		elemIter(lz.strides, lo, hi, func(idx int, local []int) {
+			var pred float64
+			if useReg {
+				pred = model.eval(local)
+			} else {
+				lz.coords(idx, coordBuf)
+				pred = lz.predict(recon, idx, coordBuf)
+			}
+			code, r, ok := q.quantize(vals[idx], pred, round32)
+			if !ok {
+				codes = append(codes, 0)
+				v := vals[idx]
+				if round32 {
+					v = float64(float32(v))
+				}
+				exact = append(exact, v)
+				recon[idx] = v
+				return
+			}
+			codes = append(codes, code)
+			recon[idx] = r
+		})
+	})
+
+	return assemblePayload(cfg, dt, eb, flags, models, codes, exact)
+}
+
+func slabEquivCases(t *testing.T) []struct {
+	name string
+	vals []float64
+	cfg  Config
+} {
+	t.Helper()
+	field2, cfg2 := benchField2D(67, 53) // ragged edge blocks
+	field3, cfg3 := benchField3D(17, 13, 11)
+	line := make([]float64, 501)
+	for i := range line {
+		line[i] = math.Sin(float64(i)/40) * 100
+	}
+	// A hostile field: NaN, infinities, huge magnitudes that force the
+	// exact-value fallback, plus zeros.
+	hostile := make([]float64, len(field2))
+	copy(hostile, field2)
+	hostile[3] = math.NaN()
+	hostile[70] = math.Inf(1)
+	hostile[71] = math.Inf(-1)
+	hostile[200] = 1e300
+	hostile[201] = -1e300
+	hostile[500] = 0
+
+	cases := []struct {
+		name string
+		vals []float64
+		cfg  Config
+	}{}
+	for _, p := range []PredictorKind{PredictorLorenzo, PredictorRegression, PredictorAuto} {
+		c2 := cfg2
+		c2.Predictor = p
+		cases = append(cases, struct {
+			name string
+			vals []float64
+			cfg  Config
+		}{name: "2d-" + p.String(), vals: field2, cfg: c2})
+		c3 := cfg3
+		c3.Predictor = p
+		cases = append(cases, struct {
+			name string
+			vals []float64
+			cfg  Config
+		}{name: "3d-" + p.String(), vals: field3, cfg: c3})
+		c1 := Config{ErrorBound: 1e-3, Dims: []int{len(line)}, Backend: BackendNone, Predictor: p}
+		cases = append(cases, struct {
+			name string
+			vals []float64
+			cfg  Config
+		}{name: "1d-" + p.String(), vals: line, cfg: c1})
+		ch := cfg2
+		ch.Predictor = p
+		cases = append(cases, struct {
+			name string
+			vals []float64
+			cfg  Config
+		}{name: "hostile-" + p.String(), vals: hostile, cfg: ch})
+	}
+	return cases
+}
+
+// TestSlabMatchesScalarCompress pins the slab kernels to the scalar
+// reference implementation: identical compressed bytes for every
+// predictor and dimensionality, including edge blocks and values that
+// take the exact-storage fallback.
+func TestSlabMatchesScalarCompress(t *testing.T) {
+	for _, tc := range slabEquivCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := tc.cfg.withDefaults(len(tc.vals))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := compressScalar(tc.vals, Float64, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := CompressFloat64(tc.vals, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("stream length %d, scalar reference %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("streams diverge at byte %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestSlabDequantMatchesQuantizer pins the decompression slab to the
+// scalar dequantizer: decompressing must reproduce the compressor's
+// reconstruction bit-for-bit (that identity is what the error-bound
+// guarantee rests on).
+func TestSlabDequantMatchesQuantizer(t *testing.T) {
+	for _, tc := range slabEquivCases(t) {
+		t.Run(tc.name, func(t *testing.T) {
+			comp, err := CompressFloat64(tc.vals, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := DecompressFloat64(comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := tc.cfg.withDefaults(len(tc.vals))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eb := effectiveBound(tc.vals, cfg)
+			for i, v := range got {
+				orig := tc.vals[i]
+				if math.IsNaN(orig) || math.IsInf(orig, 0) {
+					if math.Float64bits(v) != math.Float64bits(orig) {
+						t.Fatalf("element %d: special value not stored exactly", i)
+					}
+					continue
+				}
+				if math.Abs(v-orig) > eb {
+					t.Fatalf("element %d: |%g - %g| exceeds bound %g", i, v, orig, eb)
+				}
+			}
+		})
+	}
+}

@@ -168,67 +168,47 @@ func compress(vals []float64, dt DataType, cfg Config) ([]byte, error) {
 	lz := newLorenzo(cfg.Dims)
 	edge := blockEdge(len(cfg.Dims))
 
-	recon := make([]float64, n)
-	codes := make([]uint16, 0, n)
-	var exact []float64
 	var flags []bool
 	var models []regressionModel
-	coordBuf := make([]int, len(cfg.Dims))
 
 	if cfg.Predictor == PredictorInterpolation {
-		codes, exact = compressInterpND(vals, cfg.Dims, q, round32)
+		codes, exact := compressInterpND(vals, cfg.Dims, q, round32)
 		return assemblePayload(cfg, dt, eb, flags, models, codes, exact)
 	}
 
+	// The per-block quantization runs through the slab kernels
+	// (slab.go): nested raster loops with the global-edge stencil
+	// guards hoisted out of the interior and the quantizer inlined.
+	qs := &quantSlab{
+		eb:      eb,
+		twoEB:   q.twoEB,
+		round32: round32,
+		vals:    vals,
+		recon:   make([]float64, n),
+		codes:   make([]uint16, 0, n),
+		strides: lz.strides,
+		dims:    cfg.Dims,
+	}
 	blockIter(cfg.Dims, edge, func(lo, hi []int) {
-		blockN := 1
-		for d := range lo {
-			blockN *= hi[d] - lo[d]
-		}
 		useReg := false
 		var model regressionModel
 		switch cfg.Predictor {
 		case PredictorRegression:
 			useReg = true
+			model = fitBlock(vals, lz.strides, lo, hi)
 		case PredictorAuto:
-			useReg, model = chooseRegression(vals, lz, lo, hi, blockN)
-		}
-		if useReg && cfg.Predictor == PredictorRegression {
-			model = fitRegression(len(lo), blockN, func(yield func([]int, float64)) {
-				elemIter(lz.strides, lo, hi, func(idx int, local []int) {
-					yield(local, vals[idx])
-				})
-			})
+			useReg, model = chooseBlock(vals, lz.strides, cfg.Dims, lo, hi)
 		}
 		flags = append(flags, useReg)
 		if useReg {
 			models = append(models, model)
+			qs.regressionBlock(lo, hi, model)
+		} else {
+			qs.lorenzoBlock(lo, hi)
 		}
-		elemIter(lz.strides, lo, hi, func(idx int, local []int) {
-			var pred float64
-			if useReg {
-				pred = model.eval(local)
-			} else {
-				lz.coords(idx, coordBuf)
-				pred = lz.predict(recon, idx, coordBuf)
-			}
-			code, r, ok := q.quantize(vals[idx], pred, round32)
-			if !ok {
-				codes = append(codes, 0)
-				v := vals[idx]
-				if round32 {
-					v = float64(float32(v))
-				}
-				exact = append(exact, v)
-				recon[idx] = v
-				return
-			}
-			codes = append(codes, code)
-			recon[idx] = r
-		})
 	})
 
-	return assemblePayload(cfg, dt, eb, flags, models, codes, exact)
+	return assemblePayload(cfg, dt, eb, flags, models, qs.codes, qs.exact)
 }
 
 // assemblePayload serialises the pipeline outputs and applies the
@@ -472,9 +452,27 @@ func decompress(comp []byte) ([]float64, DataType, Config, error) {
 	}
 	lz := newLorenzo(cfg.Dims)
 	edge := blockEdge(len(cfg.Dims))
-	recon := make([]float64, total)
-	coordBuf := make([]int, len(cfg.Dims))
-	codeIdx, exactIdx, blockIdx, modelIdx := 0, 0, 0, 0
+	// Pre-validate that the exact-value stream covers every zero code so
+	// the slab kernels run without per-element error checks.
+	zeros := 0
+	for _, c := range codes {
+		if c == 0 {
+			zeros++
+		}
+	}
+	if zeros > len(exact) {
+		return nil, 0, cfg, fmt.Errorf("%w: missing exact value", ErrCorrupt)
+	}
+	ds := &dequantSlab{
+		twoEB:   q.twoEB,
+		round32: round32,
+		recon:   make([]float64, total),
+		codes:   codes,
+		exact:   exact,
+		strides: lz.strides,
+		dims:    cfg.Dims,
+	}
+	blockIdx, modelIdx := 0, 0
 	var walkErr error
 	blockIter(cfg.Dims, edge, func(lo, hi []int) {
 		if walkErr != nil {
@@ -486,42 +484,19 @@ func decompress(comp []byte) ([]float64, DataType, Config, error) {
 		}
 		useReg := flags[blockIdx]
 		blockIdx++
-		var model regressionModel
 		if useReg {
 			if modelIdx >= len(models) {
 				walkErr = fmt.Errorf("%w: missing regression model", ErrCorrupt)
 				return
 			}
-			model = models[modelIdx]
+			ds.regressionBlock(lo, hi, models[modelIdx])
 			modelIdx++
+			return
 		}
-		elemIter(lz.strides, lo, hi, func(idx int, local []int) {
-			if walkErr != nil {
-				return
-			}
-			code := codes[codeIdx]
-			codeIdx++
-			if code == 0 {
-				if exactIdx >= len(exact) {
-					walkErr = fmt.Errorf("%w: missing exact value", ErrCorrupt)
-					return
-				}
-				recon[idx] = exact[exactIdx]
-				exactIdx++
-				return
-			}
-			var pred float64
-			if useReg {
-				pred = model.eval(local)
-			} else {
-				lz.coords(idx, coordBuf)
-				pred = lz.predict(recon, idx, coordBuf)
-			}
-			recon[idx] = q.dequantize(pred, code, round32)
-		})
+		ds.lorenzoBlock(lo, hi)
 	})
 	if walkErr != nil {
 		return nil, 0, cfg, walkErr
 	}
-	return recon, dt, cfg, nil
+	return ds.recon, dt, cfg, nil
 }
