@@ -26,6 +26,8 @@ FUZZ_TARGETS = \
 	./internal/flate:FuzzDecompress \
 	./internal/flate:FuzzRoundTrip \
 	./internal/flate:FuzzDifferentialStdlib \
+	./internal/flate:FuzzInflateCorrupt \
+	./internal/sz3:FuzzSZ3DecodeCorrupt \
 	./internal/pipeline:FuzzChunkFrame \
 	./internal/pipeline:FuzzDescriptor \
 	./internal/mpi:FuzzEnvelope \
@@ -67,7 +69,7 @@ fuzz:
 bench:
 	$(GO) test -bench=. -benchmem
 	$(GO) test -run='^$$' -json \
-		-bench='^(BenchmarkCompressChunk|BenchmarkDecompressChunk|BenchmarkPipelineOverlap|BenchmarkExtPipeline)$$' \
+		-bench='^(BenchmarkCompressChunk|BenchmarkDecompressChunk|BenchmarkPipelineOverlap|BenchmarkVerifiedCompress|BenchmarkExtPipeline)$$' \
 		-benchmem . > BENCH_pipeline.json
 	$(KERNEL_BENCH) | $(GO) run ./cmd/benchdiff -update BENCH_kernels.json
 
@@ -82,11 +84,13 @@ benchdiff:
 # network sweep (lossy fabric + overloaded daemon), the rank
 # fault-domain sweep (crash/hang/restart mid-collective, detector +
 # shrink), and the fleet sweep (sharded pedald under crash/stall/
-# restart/overload/drain), and the storage sweep (checkpoint store
-# under tear/rot/stall/crash-mid-commit). `make check` runs them when
-# SOAK=1; standalone `make soak` always does.
+# restart/overload/drain), the storage sweep (checkpoint store under
+# tear/rot/stall/crash-mid-commit), and the compute sweep (silent data
+# corruption under verified compression, hop checksums and quarantine).
+# `make check` runs them when SOAK=1; standalone `make soak` always
+# does.
 soak:
-	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak|TestExtRankFaultsSoak|TestExtFleetFaultsSoak|TestExtCkptFaultsSoak)$$' -v ./internal/experiments
+	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak|TestExtRankFaultsSoak|TestExtFleetFaultsSoak|TestExtCkptFaultsSoak|TestExtSDCFaultsSoak)$$' -v ./internal/experiments
 
 check: build vet test race fuzz
 ifeq ($(SOAK),1)

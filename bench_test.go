@@ -16,10 +16,12 @@ package pedal_test
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"pedal"
 	"pedal/internal/experiments"
 	"pedal/internal/flate"
+	"pedal/internal/integrity"
 )
 
 var quick = experiments.Options{Quick: true}
@@ -199,6 +201,54 @@ func BenchmarkPipelineOverlap(b *testing.B) {
 		lib.Release(msg)
 	}
 	b.ReportMetric(float64(serial.Virtual)/float64(piped.Virtual), "makespan_speedup")
+}
+
+// BenchmarkVerifiedCompress drives CompressPipelined with VerifySampled
+// — the compute fault domain's steady-state screening mode, which
+// decode-verifies one chunk in eight against the source before release
+// — so BENCH_pipeline.json records what verification costs next to
+// BenchmarkPipelineOverlap's unverified baseline. The verified-overhead
+// metric is the wall-clock ratio against an Off-mode library on the
+// same payload; the acceptance bar is < 1.10.
+func BenchmarkVerifiedCompress(b *testing.B) {
+	data := bytes.Repeat([]byte("<sample id=\"6\">verified pipeline benchmark payload</sample>\n"), 4<<20/60)
+	run := func(lib *pedal.Library) {
+		msg, _, err := lib.CompressPipelined(pedal.DesignSoCDeflate, pedal.TypeBytes, data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lib.Release(msg)
+	}
+	base, err := pedal.Init(pedal.Options{Generation: pedal.BlueField3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer base.Finalize()
+	lib, err := pedal.Init(pedal.Options{Generation: pedal.BlueField3, Verify: integrity.VerifySampled})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lib.Finalize()
+	// Warm both libraries' pools, then time an equal slice of baseline
+	// work for the overhead ratio.
+	run(base)
+	run(lib)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(lib)
+	}
+	verified := b.Elapsed()
+	b.StopTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		run(base)
+	}
+	baseline := time.Since(start)
+	if baseline > 0 {
+		b.ReportMetric(verified.Seconds()/baseline.Seconds(), "verified_overhead_ratio")
+	}
 }
 
 func BenchmarkDecompressCEngineDeflate(b *testing.B) {

@@ -66,9 +66,47 @@ var crcTable = func() [256]uint32 {
 	return t
 }()
 
+// crcTable8 extends crcTable to the slicing-by-8 form: crcTable8[k][b]
+// is the CRC contribution of byte b followed by k zero bytes, so eight
+// table lookups advance the register by a whole 64-bit word.
+var crcTable8 = func() [8][256]uint32 {
+	var t [8][256]uint32
+	t[0] = crcTable
+	for i := 0; i < 256; i++ {
+		c := crcTable[i]
+		for k := 1; k < 8; k++ {
+			c = crcTable[byte(c)] ^ (c >> 8)
+			t[k][i] = c
+		}
+	}
+	return t
+}()
+
 // CRC32Update continues a CRC-32 (IEEE) over p from a previous value.
-// Start with crc = 0.
+// Start with crc = 0. The hop-carried digests of the pipelined path run
+// this over every payload byte, so the bulk loop uses slicing-by-8:
+// eight bytes per iteration through the derived tables, with the plain
+// byte-at-a-time loop (crcUpdateBytewise, kept as the differential
+// reference) finishing the tail.
 func CRC32Update(crc uint32, p []byte) uint32 {
+	c := crc ^ 0xFFFFFFFF
+	for len(p) >= 8 {
+		c ^= le32(p)
+		c = crcTable8[7][byte(c)] ^ crcTable8[6][byte(c>>8)] ^
+			crcTable8[5][byte(c>>16)] ^ crcTable8[4][byte(c>>24)] ^
+			crcTable8[3][p[4]] ^ crcTable8[2][p[5]] ^
+			crcTable8[1][p[6]] ^ crcTable8[0][p[7]]
+		p = p[8:]
+	}
+	for _, b := range p {
+		c = crcTable[byte(c)^b] ^ (c >> 8)
+	}
+	return c ^ 0xFFFFFFFF
+}
+
+// crcUpdateBytewise is the definitional byte-at-a-time loop; the
+// checksum tests pin the slicing-by-8 kernel against it.
+func crcUpdateBytewise(crc uint32, p []byte) uint32 {
 	c := crc ^ 0xFFFFFFFF
 	for _, b := range p {
 		c = crcTable[byte(c)^b] ^ (c >> 8)
@@ -78,6 +116,95 @@ func CRC32Update(crc uint32, p []byte) uint32 {
 
 // CRC32 is a one-shot CRC-32 (IEEE) over p.
 func CRC32(p []byte) uint32 { return CRC32Update(0, p) }
+
+// gf2MatrixSquare sets square = mat², composing the linear operator
+// with itself.
+func gf2MatrixSquare(square, mat *[32]uint32) {
+	for n := 0; n < 32; n++ {
+		square[n] = gf2MatrixTimes(mat, mat[n])
+	}
+}
+
+// CRC32Zeros is the precomputed GF(2) operator that advances a CRC-32
+// register past a fixed number of zero bytes. Building one costs
+// O(log n) 32×32 matrix squarings; applying it (Combine) is a single
+// matrix–vector product, so a caller stitching many equal-sized
+// segments — the pipeline combining per-chunk digests — builds the
+// operator once and pays ~32 XORs per chunk thereafter.
+type CRC32Zeros [32]uint32
+
+// gf2MatrixTimes multiplies the GF(2) 32×32 matrix mat by the bit
+// vector vec (each matrix column is one uint32 row of mat).
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; vec >>= 1 {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		i++
+	}
+	return sum
+}
+
+// MakeCRC32Zeros builds the advance-past-n-zero-bytes operator by
+// repeated squaring of the one-zero-bit shift (zlib's crc32_combine
+// construction, with the powers composed into a standalone matrix).
+func MakeCRC32Zeros(n int) *CRC32Zeros {
+	res := &CRC32Zeros{}
+	for i := range res {
+		res[i] = 1 << i // identity: n <= 0 combines to crc1 ^ crc2
+	}
+	if n <= 0 {
+		return res
+	}
+	var even, odd [32]uint32
+	// odd = the one-bit-shift operator with the polynomial fed back.
+	odd[0] = 0xEDB88320
+	row := uint32(1)
+	for i := 1; i < 32; i++ {
+		odd[i] = row
+		row <<= 1
+	}
+	// Square twice: even = shift-by-2-bits, odd = shift-by-4-bits; the
+	// next squaring inside the loop lands on 8 bits = one zero byte.
+	gf2MatrixSquare(&even, &odd)
+	gf2MatrixSquare(&odd, &even)
+	mat, other := &odd, &even
+	var tmp CRC32Zeros
+	for nn := uint64(n); nn != 0; nn >>= 1 {
+		gf2MatrixSquare(other, mat) // mat for 2^i zero bytes
+		mat, other = other, mat
+		if nn&1 != 0 {
+			// Powers of one operator commute, so the fold order is free.
+			for i := range tmp {
+				tmp[i] = gf2MatrixTimes(mat, res[i])
+			}
+			*res = tmp
+		}
+	}
+	return res
+}
+
+// Combine returns the CRC-32 of A‖B given crc1 = CRC32(A) and
+// crc2 = CRC32(B), where len(B) is the operator's byte count.
+func (z *CRC32Zeros) Combine(crc1, crc2 uint32) uint32 {
+	return gf2MatrixTimes((*[32]uint32)(z), crc1) ^ crc2
+}
+
+// CRC32Combine returns the CRC-32 of the concatenation A‖B given only
+// crc1 = CRC32(A), crc2 = CRC32(B) and len2 = len(B). The CRC register
+// update is linear over GF(2), so appending len2 bytes to A is the
+// matrix operator "advance one zero byte" raised to the len2-th power
+// applied to crc1, XORed with crc2 — O(log len2) regardless of payload
+// size, which is what lets the pipeline digest each chunk on its own
+// worker and stitch the stream CRC afterwards instead of paying a
+// serial pass over the input.
+func CRC32Combine(crc1, crc2 uint32, len2 int) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	return MakeCRC32Zeros(len2).Combine(crc1, crc2)
+}
 
 // xxHash32 prime constants (xxHash specification).
 const (

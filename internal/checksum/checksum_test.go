@@ -86,6 +86,61 @@ func TestCRC32UpdateComposes(t *testing.T) {
 	}
 }
 
+// TestCRC32SlicingMatchesBytewise pins the slicing-by-8 bulk loop
+// against the definitional byte-at-a-time update on every length 0..257
+// and at every alignment within an 8-byte word, including mid-stream
+// continuations — the three ways a table-derivation bug could hide.
+func TestCRC32SlicingMatchesBytewise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := make([]byte, 300)
+	rng.Read(data)
+	for n := 0; n <= 257; n++ {
+		for off := 0; off < 8 && off+n <= len(data); off++ {
+			p := data[off : off+n]
+			if got, want := CRC32(p), crcUpdateBytewise(0, p); got != want {
+				t.Fatalf("CRC32(len=%d off=%d) = %#x, bytewise %#x", n, off, got, want)
+			}
+			mid := CRC32Update(CRC32(data[:off]), p)
+			if want := crcUpdateBytewise(crcUpdateBytewise(0, data[:off]), p); mid != want {
+				t.Fatalf("CRC32Update(len=%d off=%d) = %#x, bytewise %#x", n, off, mid, want)
+			}
+		}
+	}
+}
+
+// TestCRC32Combine pins the GF(2) operator composition: combining the
+// independent CRCs of two segments must equal the CRC of their
+// concatenation for every split of a random payload, so the pipeline
+// can digest chunks in parallel and stitch the stream CRC afterwards.
+func TestCRC32Combine(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	data := make([]byte, 1000)
+	rng.Read(data)
+	whole := CRC32(data)
+	for split := 0; split <= len(data); split += 13 {
+		a, b := data[:split], data[split:]
+		if got := CRC32Combine(CRC32(a), CRC32(b), len(b)); got != whole {
+			t.Fatalf("CRC32Combine(split=%d) = %#x, want %#x", split, got, whole)
+		}
+	}
+	// Multi-way: fold a chunked payload left to right.
+	const chunk = 96
+	acc := CRC32(data[:chunk])
+	for off := chunk; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		acc = CRC32Combine(acc, CRC32(data[off:end]), end-off)
+	}
+	if acc != whole {
+		t.Fatalf("chunked CRC32Combine fold = %#x, want %#x", acc, whole)
+	}
+	if got := CRC32Combine(0xDEADBEEF, 0, 0); got != 0xDEADBEEF {
+		t.Fatalf("CRC32Combine with empty tail = %#x, want identity", got)
+	}
+}
+
 func TestXXH32KnownVectors(t *testing.T) {
 	// Reference values from the canonical xxHash implementation.
 	cases := []struct {

@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"pedal/internal/checksum"
 	"pedal/internal/core"
 	"pedal/internal/fleet"
 )
@@ -14,6 +15,20 @@ import (
 type Compressor interface {
 	Compress(key string, data []byte) ([]byte, error)
 	Decompress(key string, msg []byte, maxOut int) ([]byte, error)
+}
+
+// CheckedCompressor is the optional hop-carried-checksum extension of
+// Compressor: CompressChecked also returns the CRC of the message
+// computed at the compression source (the library's own digest of the
+// bytes it produced, or a fleet response digest already verified
+// against the remote source). Commit verifies the bytes it is about to
+// stage against the carried digest — so corruption between the
+// compressor hop and the staging write is a typed abort, not a
+// committed epoch of damaged shards — and records the carried value in
+// the manifest instead of recomputing one from possibly-damaged bytes.
+type CheckedCompressor interface {
+	Compressor
+	CompressChecked(key string, data []byte) (msg []byte, crc uint32, err error)
 }
 
 // LibraryCompressor runs shards through a local core.Library — the
@@ -34,6 +49,14 @@ func (c *LibraryCompressor) Compress(_ string, data []byte) ([]byte, error) {
 func (c *LibraryCompressor) Decompress(_ string, msg []byte, maxOut int) ([]byte, error) {
 	out, _, err := c.Lib.Decompress(c.Design.Engine, c.Type, msg, maxOut)
 	return out, err
+}
+
+// CompressChecked implements CheckedCompressor: the carried digest is
+// the library's MsgCRC, computed over the message as it left the
+// compression path.
+func (c *LibraryCompressor) CompressChecked(_ string, data []byte) ([]byte, uint32, error) {
+	msg, rep, err := c.Lib.Compress(c.Design, c.Type, data)
+	return msg, rep.MsgCRC, err
 }
 
 // RouterCompressor runs shards through a fleet.Router, so checkpoint
@@ -65,6 +88,18 @@ func (c *RouterCompressor) Decompress(key string, msg []byte, maxOut int) ([]byt
 	return c.Router.Decompress(c.req(key), c.Design.Engine, c.Type, msg, maxOut)
 }
 
+// CompressChecked implements CheckedCompressor: the shard hop runs with
+// checksums on both directions, so the message handed back was already
+// verified against the remote source digest; its CRC is carried onward
+// for Commit's staging verification.
+func (c *RouterCompressor) CompressChecked(key string, data []byte) ([]byte, uint32, error) {
+	msg, err := c.Router.CompressChecked(c.req(key), c.Design, c.Type, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return msg, checksum.CRC32(msg), nil
+}
+
 // NopCompressor stores shards verbatim — unit tests and raw archival.
 type NopCompressor struct{}
 
@@ -76,4 +111,10 @@ func (NopCompressor) Compress(_ string, data []byte) ([]byte, error) {
 // Decompress implements Compressor.
 func (NopCompressor) Decompress(_ string, msg []byte, _ int) ([]byte, error) {
 	return append([]byte(nil), msg...), nil
+}
+
+// CompressChecked implements CheckedCompressor.
+func (NopCompressor) CompressChecked(_ string, data []byte) ([]byte, uint32, error) {
+	out := append([]byte(nil), data...)
+	return out, checksum.CRC32(out), nil
 }

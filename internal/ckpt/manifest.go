@@ -26,6 +26,13 @@ var (
 	ErrEpochCondemned = errors.New("ckpt: epoch condemned")
 	// ErrNoCheckpoint reports that no committed epoch could be restored.
 	ErrNoCheckpoint = errors.New("ckpt: no restorable checkpoint")
+	// ErrNondeterministic reports a Compressor whose output differs
+	// between two runs over the same input. The repair ladder's
+	// source-re-compression rung depends on determinism (the manifest
+	// digest must match the re-compressed bytes), so a nondeterministic
+	// compressor is surfaced as its own typed failure instead of an
+	// unexplained digest mismatch.
+	ErrNondeterministic = errors.New("ckpt: compressor output is nondeterministic")
 )
 
 // Manifest metadata limits: a decoder must reject absurd counts before

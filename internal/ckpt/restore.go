@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -136,11 +137,20 @@ func (s *Store) loadShard(dir string, m *Manifest, rank int) (payload []byte, ro
 			return nil, rot, repaired, fmt.Errorf("%w: shard %d, all copies failed, source: %v",
 				ErrShardRot, rank, serr)
 		}
-		recomp, cerr := s.cfg.Compressor.Compress(dir+"/"+shardFileName(rank, 0), orig)
+		key := dir + "/" + shardFileName(rank, 0)
+		recomp, cerr := s.cfg.Compressor.Compress(key, orig)
 		if cerr != nil {
 			return nil, rot, repaired, fmt.Errorf("%w: shard %d re-compress: %v", ErrShardRot, rank, cerr)
 		}
 		if !verifyPayload(recomp, info) {
+			// Distinguish "the source data changed / the manifest is wrong"
+			// from "the compressor itself is unstable": a second run over
+			// the same input that disagrees with the first convicts the
+			// compressor, which no repair rung can work around.
+			if again, aerr := s.cfg.Compressor.Compress(key, orig); aerr == nil && !bytes.Equal(recomp, again) {
+				return nil, rot, repaired, fmt.Errorf("%w: shard %d re-compression runs differ",
+					ErrNondeterministic, rank)
+			}
 			return nil, rot, repaired, fmt.Errorf("%w: shard %d source re-compression digest mismatch",
 				ErrShardRot, rank)
 		}
@@ -181,5 +191,5 @@ func (s *Store) quarantine(p string) {
 func IsTyped(err error) bool {
 	return errors.Is(err, ErrTornManifest) || errors.Is(err, ErrShardRot) ||
 		errors.Is(err, ErrEpochCondemned) || errors.Is(err, ErrNoCheckpoint) ||
-		errors.Is(err, ErrCrashed)
+		errors.Is(err, ErrCrashed) || errors.Is(err, ErrNondeterministic)
 }

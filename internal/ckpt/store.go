@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"pedal/internal/checksum"
+	"pedal/internal/integrity"
 	"pedal/internal/stats"
 	"pedal/internal/trace"
 )
@@ -210,12 +211,20 @@ func (s *Store) Commit(epoch uint64, shards [][]byte) (*Manifest, error) {
 	}
 	dir := epochDirName(epoch)
 	for rank, data := range shards {
-		payload, err := s.cfg.Compressor.Compress(dir+"/"+shardFileName(rank, 0), data)
+		payload, crc, err := s.compressShard(dir+"/"+shardFileName(rank, 0), data)
 		if err != nil {
 			_ = s.fs.RemoveAll(staging)
 			return nil, fmt.Errorf("ckpt: compress shard %d: %w", rank, err)
 		}
-		m.Shards[rank] = ShardInfo{Size: uint64(len(payload)), CRC: checksum.CRC32(payload)}
+		if got := checksum.CRC32(payload); got != crc {
+			// The compressor's source digest disagrees with the bytes that
+			// arrived here: the shard was damaged on the compressor hop.
+			// Typed abort before anything reaches disk.
+			s.bd.Inc(stats.CounterHopsRejected)
+			_ = s.fs.RemoveAll(staging)
+			return nil, &integrity.CorruptError{Hop: "ckpt.commit", Segment: "shard", Index: rank, Want: crc, Got: got}
+		}
+		m.Shards[rank] = ShardInfo{Size: uint64(len(payload)), CRC: crc}
 		for c := uint8(0); c < m.Replicas; c++ {
 			p := staging + "/" + shardFileName(rank, c)
 			if err := s.fs.WriteFile(p, payload); err != nil {
@@ -266,6 +275,22 @@ func (s *Store) Commit(epoch uint64, shards [][]byte) (*Manifest, error) {
 		}
 	}
 	return m, nil
+}
+
+// compressShard runs one shard through the compressor, preferring the
+// checked path when the compressor offers it: the returned CRC is then
+// the digest computed at the compression source, so Commit's
+// verification spans the whole compressor hop. Plain compressors get
+// their digest computed here (the pre-integrity behaviour).
+func (s *Store) compressShard(key string, data []byte) ([]byte, uint32, error) {
+	if cc, ok := s.cfg.Compressor.(CheckedCompressor); ok {
+		return cc.CompressChecked(key, data)
+	}
+	payload, err := s.cfg.Compressor.Compress(key, data)
+	if err != nil {
+		return nil, 0, err
+	}
+	return payload, checksum.CRC32(payload), nil
 }
 
 // abortCommit tears down a failed staging directory. After an injected

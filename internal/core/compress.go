@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"pedal/internal/checksum"
 	"pedal/internal/dpu"
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
@@ -54,6 +55,20 @@ func (l *Library) Compress(d Design, dt DataType, data []byte) ([]byte, Report, 
 	if err != nil {
 		return nil, rep, err
 	}
+	// Compute fault domain: software-produced payloads get their SDC
+	// injection here (the engine injects internally, pre-checksum); then
+	// the sampler decides whether this operation decode-verifies. A
+	// quarantined engine's output is always verified — those are the
+	// half-open probes that earn readmission.
+	if rep.Engine != hwmodel.CEngine {
+		l.injectSDC(payload)
+	}
+	if l.sampler.Hit() || (rep.Engine == hwmodel.CEngine && l.dev.CEngine().Quarantined()) {
+		payload, err = l.verifyCompressed(op, d, &rep, dt, data, payload)
+		if err != nil {
+			return nil, rep, err
+		}
+	}
 	msg := l.getBuf(headerLen + len(payload))
 	putHeader(msg, d.Algo)
 	copy(msg[headerLen:], payload)
@@ -61,6 +76,10 @@ func (l *Library) Compress(d Design, dt DataType, data []byte) ([]byte, Report, 
 	// The payload staging buffer is dead after the copy; recycling it
 	// keeps the steady-state compress path allocation-free.
 	l.pool.Put(payload)
+	// Source-side CRC: computed once here so every downstream hop —
+	// pipeline descriptor, transport frame, fleet response, checkpoint
+	// shard — can carry and check it instead of recomputing or trusting.
+	rep.MsgCRC = checksum.CRC32(msg)
 	rep.Phases = op.Snapshot()
 	rep.Counts = op.Counts()
 	rep.Virtual = op.Total()

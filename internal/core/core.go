@@ -10,6 +10,7 @@ import (
 	"pedal/internal/dpu"
 	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
 	"pedal/internal/mempool"
 	"pedal/internal/pipeline"
 	"pedal/internal/stats"
@@ -82,6 +83,22 @@ type Options struct {
 	// Init so tests and the fault-sweep experiment can exercise the
 	// failure paths deterministically.
 	FaultInjector *faults.Injector
+	// Verify selects verified compression: Off trusts kernel output (the
+	// pre-integrity behaviour), Sampled decode-verifies one in
+	// VerifySampleN operations, Full verifies every one. Verification
+	// catches silent data corruption — a flipped bit in an engine result,
+	// a miscompiled vector kernel — before the bytes leave the library,
+	// and transparently re-executes on the scalar reference path.
+	Verify integrity.VerifyMode
+	// VerifySampleN is the sampling stride for VerifySampled; zero means
+	// integrity.DefaultSampleN.
+	VerifySampleN int
+	// ComputeFaults, when set, is installed on the device's C-Engine and
+	// the SoC compress paths at Init: it injects silent data corruption
+	// (bit flips, quantizer drift, buffer stomps) *before* checksums are
+	// taken, so only verified compression can catch it. Used by the
+	// ext-sdcfaults soak.
+	ComputeFaults *faults.ComputeInjector
 }
 
 // ResilienceOptions configures the fault-handling layer. Zero fields
@@ -129,6 +146,12 @@ type Report struct {
 	// Counts reports the resilience events (retries, timeouts, breaker
 	// transitions...) this operation incurred.
 	Counts map[stats.Counter]uint64
+	// MsgCRC is the CRC-32 of the returned buffer (the wire message for
+	// Compress, the expanded output for Decompress), computed once at the
+	// source so downstream hops — pipeline descriptors, transport frames,
+	// fleet responses, checkpoint shards — can carry and check it instead
+	// of recomputing or trusting.
+	MsgCRC uint32
 }
 
 // Ratio is the compression ratio original/compressed of a compression
@@ -155,7 +178,14 @@ type Library struct {
 	// breaker guards the C-Engine path against a failing engine; nil
 	// when disabled.
 	breaker *faults.Breaker
-	closed  bool
+	// sampler decides which operations decode-verify their output
+	// (compute fault domain); nil-safe, never hits when Verify is Off.
+	sampler *integrity.Sampler
+	// sdc is the silent-data-corruption injector shared with the
+	// C-Engine; the SoC compress producers consult it too so vectorized
+	// software kernels are faultable. Nil in production.
+	sdc    *faults.ComputeInjector
+	closed bool
 }
 
 // ErrFinalized is returned by operations on a finalized library.
@@ -230,6 +260,14 @@ func Init(opts Options) (*Library, error) {
 	ctx.SetRetryPolicy(policy)
 	if opts.FaultInjector != nil {
 		dev.SetFaultInjector(opts.FaultInjector)
+	}
+	// Compute fault domain: the sampler gates decode-verification, the
+	// SDC injector (tests/soaks only) corrupts kernel output pre-checksum
+	// on both the C-Engine and the SoC producers.
+	lib.sampler = integrity.NewSampler(opts.Verify, opts.VerifySampleN)
+	if opts.ComputeFaults != nil {
+		lib.sdc = opts.ComputeFaults
+		dev.CEngine().SetComputeInjector(opts.ComputeFaults)
 	}
 	if r := opts.Resilience; r == nil || !r.DisableBreaker {
 		bc := faults.BreakerConfig{}
@@ -341,6 +379,13 @@ func (l *Library) Breaker() *faults.Breaker { return l.breaker }
 // straight to the SoC and is counted.
 func (l *Library) engineAllowed(op *stats.Breakdown) bool {
 	if l.dev.CEngine().State() != dpu.EngineLive {
+		op.Inc(stats.CounterDegradedOps)
+		return false
+	}
+	// Integrity quarantine: an engine with a verified-mismatch streak is
+	// held on the scalar/SoC path, with half-open probes letting it earn
+	// readmission once its output verifies clean again.
+	if !l.dev.CEngine().IntegrityAllow() {
 		op.Inc(stats.CounterDegradedOps)
 		return false
 	}

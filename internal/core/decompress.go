@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"pedal/internal/checksum"
 	"pedal/internal/dpu"
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
@@ -65,6 +66,8 @@ func (l *Library) Decompress(engine hwmodel.Engine, dt DataType, msg []byte, max
 		return nil, rep, err
 	}
 	rep.OutBytes = len(out)
+	// Expanded-output CRC for hop carrying (mirrors Compress.MsgCRC).
+	rep.MsgCRC = checksum.CRC32(out)
 	rep.Phases = op.Snapshot()
 	rep.Counts = op.Counts()
 	rep.Virtual = op.Total()

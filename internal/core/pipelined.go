@@ -1,11 +1,14 @@
 package core
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"time"
 
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
 	"pedal/internal/pipeline"
 	"pedal/internal/stats"
 	"pedal/internal/sz3"
@@ -23,8 +26,11 @@ const AlgoPipelined AlgoID = 6
 // engine); SZ3 runs its SoC core with the FastLZ backend per chunk.
 func (l *Library) pipelineSpec(d Design, dt DataType) (pipeline.Spec, error) {
 	spec := pipeline.Spec{
-		Engine: d.Engine == hwmodel.CEngine || d.Algo == AlgoHybrid,
-		Level:  l.opts.Level,
+		Engine:        d.Engine == hwmodel.CEngine || d.Algo == AlgoHybrid,
+		Level:         l.opts.Level,
+		Verify:        l.opts.Verify,
+		VerifySampleN: l.opts.VerifySampleN,
+		SDC:           l.sdc,
 	}
 	switch d.Algo {
 	case AlgoDeflate, AlgoHybrid:
@@ -96,19 +102,37 @@ func (l *Library) CompressPipelined(d Design, dt DataType, data []byte) ([]byte,
 		count = (len(data) + spec.ChunkSize - 1) / spec.ChunkSize
 	}
 	l.chargeSoCBufPrep(op, len(data))
+	// The descriptor carries the source payload CRC only under
+	// VerifyFull — and even then no serial digest pass runs here: the
+	// pipeline workers each CRC their own chunk alongside the
+	// compression and Summary.SrcCRC carries the combined stream value,
+	// which is patched over the descriptor's placeholder below (the CRC
+	// is the descriptor's trailing 4 bytes, and chunk frames only ever
+	// append after it).
 	out := l.pool.GetCap(headerLen + 32 + flate.CompressBound(len(data)))
 	out = append(out, headerIndicator, byte(AlgoPipelined), headerIndicator)
-	out = pipeline.AppendDescriptor(out, spec.Algo, count, spec.ChunkSize, len(data))
+	out = pipeline.AppendDescriptor(out, spec.Algo, count, spec.ChunkSize, len(data), 0)
+	descEnd := len(out)
 	sum, err := l.pl.Compress(data, spec, func(ch pipeline.Chunk) error {
-		out = pipeline.AppendChunkFrame(out, ch.Index, ch.OrigLen, ch.Data)
+		out = pipeline.AppendChunkFrame(out, ch.Index, ch.OrigLen, ch.CRC, ch.Data)
 		return nil
 	})
 	if err != nil {
 		return nil, rep, err
 	}
+	binary.LittleEndian.PutUint32(out[descEnd-4:descEnd], sum.SrcCRC)
 	op.Add(stats.PhaseCompress, sum.Makespan)
 	if sum.Replayed > 0 {
 		op.CountAdd(stats.CounterJobsReplayed, uint64(sum.Replayed))
+	}
+	if sum.VerifyMismatches > 0 {
+		op.CountAdd(stats.CounterVerifyMismatches, uint64(sum.VerifyMismatches))
+	}
+	if sum.ScalarFallbacks > 0 {
+		op.CountAdd(stats.CounterScalarFallbacks, uint64(sum.ScalarFallbacks))
+	}
+	if sum.Quarantines > 0 {
+		op.CountAdd(stats.CounterCoresQuarantined, uint64(sum.Quarantines))
 	}
 	if sum.EngineChunks > 0 {
 		rep.Engine = hwmodel.CEngine
@@ -141,17 +165,23 @@ func (l *Library) decompressPipelined(op *stats.Breakdown, rep *Report, body []b
 	}
 	rest := sess.rest
 	for i := 0; i < count; i++ {
-		index, origLen, chunkBody, r, err := pipeline.ParseChunkFrame(rest)
+		index, origLen, crc, chunkBody, r, err := pipeline.ParseChunkFrame(rest)
 		if err != nil {
 			return nil, err
 		}
 		rest = r
-		if err := sess.s.Submit(index, origLen, chunkBody, 0); err != nil {
+		if err := sess.s.Submit(index, origLen, crc, chunkBody, 0); err != nil {
+			if errors.Is(err, integrity.ErrCorrupt) {
+				op.Inc(stats.CounterHopsRejected)
+			}
 			return nil, err
 		}
 	}
 	out, sum, err := sess.s.Wait()
 	if err != nil {
+		if errors.Is(err, integrity.ErrCorrupt) {
+			op.Inc(stats.CounterHopsRejected)
+		}
 		return nil, err
 	}
 	l.chargeSoCBufPrep(op, len(out))
@@ -183,14 +213,14 @@ type PipelinedRecv struct {
 // descriptor) arriving at the given virtual time. The frame bytes must
 // stay valid until Wait.
 func (r *PipelinedRecv) Submit(frame []byte, arrival time.Duration) error {
-	index, origLen, body, rest, err := pipeline.ParseChunkFrame(frame)
+	index, origLen, crc, body, rest, err := pipeline.ParseChunkFrame(frame)
 	if err != nil {
 		return err
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("core: trailing %d bytes after chunk frame", len(rest))
 	}
-	return r.s.Submit(index, origLen, body, arrival)
+	return r.s.Submit(index, origLen, crc, body, arrival)
 }
 
 // Wait blocks until every chunk decoded and returns the payload with the
@@ -228,7 +258,7 @@ func (l *Library) NewPipelinedRecv(engine hwmodel.Engine, desc []byte, maxOutput
 // newPipelinedSession parses a descriptor and opens the decompression
 // session. The caller must hold l.mu.
 func (l *Library) newPipelinedSession(engine hwmodel.Engine, body []byte, maxOutput int) (*PipelinedRecv, int, error) {
-	algo, count, chunkSize, origLen, rest, err := pipeline.ParseDescriptor(body)
+	algo, count, chunkSize, origLen, srcCRC, rest, err := pipeline.ParseDescriptor(body)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -236,7 +266,7 @@ func (l *Library) newPipelinedSession(engine hwmodel.Engine, body []byte, maxOut
 		return nil, 0, fmt.Errorf("core: pipelined payload of %d bytes exceeds receive buffer %d", origLen, maxOutput)
 	}
 	spec := pipeline.Spec{Algo: algo, Engine: engine == hwmodel.CEngine, Level: l.opts.Level}
-	sess, err := l.pl.NewDecompress(spec, count, chunkSize, origLen)
+	sess, err := l.pl.NewDecompress(spec, count, chunkSize, origLen, srcCRC)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -12,6 +12,7 @@ import (
 	"pedal/internal/faults"
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
 	"pedal/internal/lz4"
 	"pedal/internal/trace"
 )
@@ -307,6 +308,13 @@ type EngineHealth struct {
 	// deadline had already passed; LostJobs counts handles failed with
 	// ErrEngineLost (each is a replay candidate for the SoC path).
 	ExpiredDropped, LostJobs uint64
+	// Quarantined reports the compute fault domain's verdict: the
+	// engine is benched after repeated decode-verified mismatches and
+	// only half-open probes run on it. CorruptMismatches /
+	// Quarantines / Readmits are the ledger's lifetime totals.
+	Quarantined           bool
+	CorruptMismatches     uint64
+	Quarantines, Readmits uint64
 }
 
 // CEngine is the hardware compression accelerator: a serial job queue
@@ -324,12 +332,17 @@ type CEngine struct {
 	closed   bool
 	tracer   *trace.Tracer
 	injector *faults.Injector
-	state    EngineState
-	epoch    *engineEpoch
-	seq      uint64
-	inflight map[uint64]*journalEntry
-	wd       *WatchdogConfig
-	hook     func(EngineEvent)
+	// sdc corrupts compressed output pre-checksum (silent data
+	// corruption); integrity is the mismatch ledger that quarantines
+	// the complex after repeated verified mismatches.
+	sdc       *faults.ComputeInjector
+	integrity *integrity.Ledger
+	state     EngineState
+	epoch     *engineEpoch
+	seq       uint64
+	inflight  map[uint64]*journalEntry
+	wd        *WatchdogConfig
+	hook      func(EngineEvent)
 	// stallStreak counts watchdog stall detections since the last
 	// genuinely completed job; reaching WedgeAfter declares a wedge.
 	stallStreak int
@@ -366,6 +379,75 @@ func (e *CEngine) getInjector() *faults.Injector {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.injector
+}
+
+// engineUnitID is the quarantine-ledger unit ID for the C-Engine
+// complex (the serial hardware queue is one fault unit; SoC worker
+// cores are 1..N and tracked by their own layers).
+const engineUnitID = 0
+
+// SetComputeInjector attaches the silent-data-corruption schedule:
+// compressed outputs are corrupted *before* the engine checksums them,
+// so only decode-verification catches it. Pass nil to disable.
+func (e *CEngine) SetComputeInjector(inj *faults.ComputeInjector) {
+	e.mu.Lock()
+	e.sdc = inj
+	e.mu.Unlock()
+}
+
+func (e *CEngine) getComputeInjector() *faults.ComputeInjector {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sdc
+}
+
+// ReportCorrupt records one decode-verified mismatch against the
+// engine's output in the quarantine ledger and reports whether this
+// mismatch quarantined the engine (K consecutive mismatches bench the
+// complex; core falls back to the scalar/SoC path until a half-open
+// probe clears it).
+func (e *CEngine) ReportCorrupt() bool {
+	quarantined := e.ledger().Mismatch(engineUnitID)
+	if quarantined {
+		if tr := e.getTracer(); tr != nil {
+			tr.Record(trace.Event{Engine: hwmodel.CEngine.String(), Op: "quarantine",
+				Err: "verified mismatch threshold reached"})
+		}
+	}
+	return quarantined
+}
+
+// ReportVerified records one decode-verified success: the mismatch
+// streak resets, and a quarantined engine that passed its half-open
+// probe is readmitted. Reports whether a readmission happened.
+func (e *CEngine) ReportVerified() bool {
+	readmitted := e.ledger().Verified(engineUnitID)
+	if readmitted {
+		if tr := e.getTracer(); tr != nil {
+			tr.Record(trace.Event{Engine: hwmodel.CEngine.String(), Op: "readmit"})
+		}
+	}
+	return readmitted
+}
+
+// IntegrityAllow reports whether the quarantine ledger lets the engine
+// execute: always for a clean engine, one half-open probe per window
+// for a quarantined one. Callers that take the probe must report its
+// verified outcome.
+func (e *CEngine) IntegrityAllow() bool { return e.ledger().Allow(engineUnitID) }
+
+// Quarantined reports the quarantine state without probe side effects.
+func (e *CEngine) Quarantined() bool { return e.ledger().Quarantined(engineUnitID) }
+
+// ledger lazily builds the quarantine ledger so zero-value engines and
+// engines built before the compute fault domain keep working.
+func (e *CEngine) ledger() *integrity.Ledger {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.integrity == nil {
+		e.integrity = integrity.NewLedger(integrity.LedgerConfig{})
+	}
+	return e.integrity
 }
 
 // SetEventHook installs the fault-domain transition listener (stall,
@@ -410,17 +492,23 @@ func (e *CEngine) State() EngineState {
 // Health snapshots the engine fault domain: state, in-flight depth, and
 // the stall/reset/replay counters.
 func (e *CEngine) Health() EngineHealth {
+	led := e.ledger()
+	mm, q, r := led.Counts()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return EngineHealth{
-		State:          e.state,
-		Inflight:       len(e.inflight),
-		Stalls:         e.stalls,
-		Wedges:         e.wedges,
-		Resets:         e.resets,
-		ResetFailures:  e.resetFailures,
-		ExpiredDropped: e.expired,
-		LostJobs:       e.lost,
+		State:             e.state,
+		Inflight:          len(e.inflight),
+		Stalls:            e.stalls,
+		Wedges:            e.wedges,
+		Resets:            e.resets,
+		ResetFailures:     e.resetFailures,
+		ExpiredDropped:    e.expired,
+		LostJobs:          e.lost,
+		Quarantined:       led.Quarantined(engineUnitID),
+		CorruptMismatches: mm,
+		Quarantines:       q,
+		Readmits:          r,
 	}
 }
 
@@ -904,6 +992,19 @@ func (e *CEngine) executeInner(job Job, fault faults.Decision) JobResult {
 	}
 	if err != nil {
 		return JobResult{Err: err}
+	}
+	// Compute-fault (SDC) injection happens BEFORE the engine digests
+	// its output: the corrupted bytes carry a valid checksum, exactly
+	// like a miscomputing compression lane. VerifyOutput cannot see it;
+	// only decode-verification against the source digest can. Compress
+	// only — the SDC model targets the compression kernels the paper
+	// offloads.
+	if job.Op == hwmodel.Compress {
+		if inj := e.getComputeInjector(); inj != nil {
+			if d := inj.Next(engineUnitID); d.Class != faults.None {
+				inj.Apply(d, out)
+			}
+		}
 	}
 	// The engine reports the CRC of the data it produced; corruption
 	// injected below therefore mismatches it, the way a bit flip on the

@@ -126,6 +126,7 @@ func Runners() []Runner {
 		{"ext-rankfaults", "Extension: chaos soak — rank-failure tolerance in the MPI runtime", ExtRankFaults},
 		{"ext-fleetfaults", "Extension: chaos soak — resilient sharded pedald fleet", ExtFleetFaults},
 		{"ext-ckptfaults", "Extension: chaos soak — crash-consistent compressed checkpoint store", ExtCkptFaults},
+		{"ext-sdcfaults", "Extension: chaos soak — silent-data-corruption detection and quarantine", ExtSDCFaults},
 	}
 }
 

@@ -1,0 +1,88 @@
+package experiments
+
+import "testing"
+
+// TestExtSDCFaultsSoak runs the compute fault-domain chaos soak at full
+// scale and asserts the PR's acceptance criteria: silent data
+// corruption injected into the kernels (bit flips, quantizer drift,
+// buffer stomps) across the serial, pipelined, fleet and checkpoint
+// paths — zero data errors delivered anywhere, zero untyped errors,
+// 100% detection under VerifyFull, repeat offenders quarantined and
+// readmitted once clean, and VerifySampled under 10% overhead.
+func TestExtSDCFaultsSoak(t *testing.T) {
+	tb, err := ExtSDCFaults(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	m := tb.Metrics
+
+	faulted := []string{"serial-flip", "serial-drift", "pipelined-stomp", "mixed",
+		"quarantine-readmit", "fleet-hop", "ckpt-hop"}
+	for _, sc := range faulted {
+		key := func(s string) string { return "sdc_" + sc + "_" + s }
+		if m[key("ops")] == 0 {
+			t.Errorf("%s: no operations ran", sc)
+		}
+		if m[key("injected")] == 0 {
+			t.Errorf("%s: the injector never fired — the scenario tested nothing", sc)
+		}
+		if got := m[key("data_errors")]; got != 0 {
+			t.Errorf("%s: %v data errors — corrupt bytes were delivered to a caller", sc, got)
+		}
+		if got := m[key("untyped_errors")]; got != 0 {
+			t.Errorf("%s: %v untyped errors (every failure must be integrity-typed)", sc, got)
+		}
+		if inj, det := m[key("injected")], m[key("detected")]; det != inj {
+			t.Errorf("%s: %v corruptions injected but %v detected — VerifyFull must catch 100%%", sc, inj, det)
+		}
+	}
+
+	// Compute-path scenarios: every detection was transparently healed by
+	// a scalar re-execution, so callers saw neither an error nor a wrong
+	// byte.
+	for _, sc := range []string{"serial-flip", "serial-drift", "pipelined-stomp", "mixed", "quarantine-readmit"} {
+		if m["sdc_"+sc+"_fallbacks"] == 0 {
+			t.Errorf("%s: detections were not healed by scalar re-execution", sc)
+		}
+	}
+
+	// Quarantine ladder: a unit corrupting every execution is benched
+	// after the mismatch threshold, served by the scalar path during the
+	// outage, and readmitted by a half-open probe once its injection
+	// budget is spent.
+	if m["sdc_quarantine-readmit_quarantines"] == 0 {
+		t.Error("quarantine-readmit: the hard-bad engine was never quarantined")
+	}
+	if m["sdc_quarantine-readmit_readmits"] == 0 {
+		t.Error("quarantine-readmit: the recovered engine was never readmitted")
+	}
+	if m["sdc_quarantine-readmit_quarantined_end"] != 0 {
+		t.Error("quarantine-readmit: engine still quarantined after recovery")
+	}
+
+	// Fleet hop: the corrupt shard was ejected exactly once and
+	// readmitted exactly once after its answers verified clean again.
+	if got := m["sdc_fleet-hop_quarantines"]; got != 1 {
+		t.Errorf("fleet-hop: %v shard quarantines, want 1", got)
+	}
+	if got := m["sdc_fleet-hop_readmits"]; got != 1 {
+		t.Errorf("fleet-hop: %v shard readmissions, want 1", got)
+	}
+
+	// Checkpoint hop: every corrupt compression was rejected at the
+	// commit boundary (counted as a hop rejection) and the clean retry
+	// landed — commits equal the cycle count.
+	if inj, rej := m["sdc_ckpt-hop_injected"], m["sdc_ckpt-hop_hops_rejected"]; rej != inj {
+		t.Errorf("ckpt-hop: %v injected, %v hop rejections", inj, rej)
+	}
+	if m["sdc_ckpt-hop_commits"] == 0 {
+		t.Error("ckpt-hop: no commits landed")
+	}
+
+	// VerifySampled screening overhead on the serial DEFLATE hot path
+	// stays under the 10%% budget.
+	if got := m["sdc_sampled_overhead_pct"]; got >= 10 {
+		t.Errorf("sampled-overhead: %.1f%% throughput overhead, want < 10%%", got)
+	}
+}

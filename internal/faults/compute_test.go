@@ -1,0 +1,153 @@
+package faults
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestComputeInjectorDeterministic(t *testing.T) {
+	draw := func() []ComputeDecision {
+		inj := NewComputeInjector(ComputeFaultConfig{
+			Seed: 7, PKernelFlip: 0.2, PQuantDrift: 0.2, PBufferStomp: 0.2,
+		})
+		var ds []ComputeDecision
+		for core := 0; core < 3; core++ {
+			for op := 0; op < 50; op++ {
+				ds = append(ds, inj.Next(core))
+			}
+		}
+		return ds
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverges at draw %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestComputeInjectorPerCoreSchedules(t *testing.T) {
+	inj := NewComputeInjector(ComputeFaultConfig{Seed: 3, PKernelFlip: 0.5})
+	var c0, c1 []ComputeDecision
+	for op := 0; op < 40; op++ {
+		c0 = append(c0, inj.Next(0))
+		c1 = append(c1, inj.Next(1))
+	}
+	same := true
+	for i := range c0 {
+		if c0[i] != c1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("cores 0 and 1 drew identical schedules — per-core streams must be independent")
+	}
+}
+
+func TestComputeInjectorCoreFilter(t *testing.T) {
+	inj := NewComputeInjector(ComputeFaultConfig{Seed: 5, PKernelFlip: 1, Cores: []int{2}})
+	for op := 0; op < 20; op++ {
+		if d := inj.Next(1); d.Class != None {
+			t.Fatal("unarmed core drew a fault")
+		}
+	}
+	if d := inj.Next(2); d.Class != KernelFlip {
+		t.Fatal("armed core must draw with P=1")
+	}
+}
+
+func TestComputeInjectorApply(t *testing.T) {
+	inj := NewComputeInjector(ComputeFaultConfig{})
+	base := bytes.Repeat([]byte{0x11}, 64)
+
+	flip := append([]byte(nil), base...)
+	if !inj.Apply(ComputeDecision{Class: KernelFlip, Off: 9, Bit: 3}, flip) {
+		t.Fatal("apply reported no mutation")
+	}
+	diff := 0
+	for i := range flip {
+		if flip[i] != base[i] {
+			diff++
+			if flip[i]^base[i] != 1<<3 {
+				t.Errorf("kernel-flip changed more than one bit: %02x -> %02x", base[i], flip[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("kernel-flip touched %d bytes, want 1", diff)
+	}
+
+	drift := append([]byte(nil), base...)
+	inj.Apply(ComputeDecision{Class: QuantDrift, Off: 5, Drift: -1}, drift)
+	diff = 0
+	for i := range drift {
+		if drift[i] != base[i] {
+			diff++
+			if drift[i] != base[i]-1 {
+				t.Errorf("quant-drift is not off-by-one: %02x -> %02x", base[i], drift[i])
+			}
+		}
+	}
+	if diff != 1 {
+		t.Errorf("quant-drift touched %d bytes, want 1", diff)
+	}
+
+	stomp := append([]byte(nil), base...)
+	inj.Apply(ComputeDecision{Class: BufferStomp, Off: 60, Span: 16}, stomp)
+	diff = 0
+	for i := range stomp {
+		if stomp[i] != base[i] {
+			diff++
+		}
+	}
+	if diff == 0 || diff > 16 {
+		t.Errorf("buffer-stomp touched %d bytes, want 1..16 clamped at the end", diff)
+	}
+
+	// Empty output cannot be corrupted and must not count.
+	if inj.Apply(ComputeDecision{Class: KernelFlip}, nil) {
+		t.Error("apply on empty output reported a mutation")
+	}
+	if _, injected := inj.Counts(); injected != 3 {
+		t.Errorf("injected = %d, want 3", injected)
+	}
+}
+
+func TestComputeInjectorMaxInjections(t *testing.T) {
+	inj := NewComputeInjector(ComputeFaultConfig{Seed: 9, PKernelFlip: 1, MaxInjections: 2})
+	buf := make([]byte, 32)
+	fired := 0
+	for op := 0; op < 30; op++ {
+		if d := inj.Next(0); d.Class != None {
+			inj.Apply(d, buf)
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Errorf("MaxInjections=2 fired %d times", fired)
+	}
+}
+
+func TestComputeInjectorNilSafety(t *testing.T) {
+	var inj *ComputeInjector
+	if d := inj.Next(0); d.Class != None {
+		t.Error("nil injector drew a fault")
+	}
+	if inj.Apply(ComputeDecision{Class: KernelFlip}, make([]byte, 8)) {
+		t.Error("nil injector applied a fault")
+	}
+	if ops, injected := inj.Counts(); ops+injected != 0 {
+		t.Error("nil injector counted something")
+	}
+}
+
+func TestComputeClassStrings(t *testing.T) {
+	for c, want := range map[Class]string{
+		KernelFlip: "kernel-flip", QuantDrift: "quant-drift", BufferStomp: "buffer-stomp",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+}

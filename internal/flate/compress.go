@@ -42,6 +42,43 @@ func CompressBound(n int) int {
 	return n + n>>12 + 64
 }
 
+// AppendCompressVerified deflates src like AppendCompress, but runs the
+// SWAR tokenizer's output through the scalar lz77 referee before
+// encoding. A token stream that fails to reproduce src byte-for-byte is
+// discarded and src is emitted as stored blocks instead — the scalar
+// reference encoding, trivially correct and decodable by any inflater.
+// The returned bool reports whether the referee had to intervene.
+// Allocation-free under the same conditions as AppendCompress.
+func AppendCompressVerified(dst, src []byte, level int) ([]byte, bool) {
+	s := getScratch()
+	s.w.ResetBuf(dst)
+	c := &compressor{w: &s.w, level: level, s: s}
+	refereed := c.compressVerified(src)
+	out := s.w.Bytes()
+	s.w.ResetBuf(nil) // do not retain the caller's buffer in the pool
+	putScratch(s)
+	return out, refereed
+}
+
+// compressVerified is compress with the scalar token referee between
+// tokenization and encoding.
+func (c *compressor) compressVerified(src []byte) bool {
+	if len(src) == 0 {
+		c.writeFixedBlock(nil, true)
+		return false
+	}
+	s := c.s
+	s.tokens = s.matcher.Tokens(src, lz77.LevelParams(c.level), s.tokens[:0])
+	if !lz77.VerifyTokens(s.tokens, src) {
+		// The match finder misbehaved: fall back to the stored-block
+		// reference path, which touches none of the SWAR machinery.
+		c.writeStored(src, true)
+		return true
+	}
+	c.emitTokenBlocks(s.tokens, src)
+	return false
+}
+
 // blockTokens is the number of LZ77 tokens gathered per DEFLATE block.
 // zlib flushes blocks on similar granularity; one Huffman table per ~64K
 // tokens balances table overhead against adaptivity.
@@ -100,9 +137,13 @@ func (c *compressor) compress(src []byte) {
 	}
 	s := c.s
 	s.tokens = s.matcher.Tokens(src, lz77.LevelParams(c.level), s.tokens[:0])
-	tokens := s.tokens
-	// Emit blocks of blockTokens tokens, tracking the source span each
-	// covers for the stored-block fallback.
+	c.emitTokenBlocks(s.tokens, src)
+}
+
+// emitTokenBlocks writes the token stream as DEFLATE blocks of
+// blockTokens tokens each, tracking the source span each covers for the
+// stored-block fallback.
+func (c *compressor) emitTokenBlocks(tokens []lz77.Token, src []byte) {
 	off := 0
 	for start := 0; start < len(tokens) || start == 0; start += blockTokens {
 		end := start + blockTokens

@@ -2,6 +2,7 @@ package flate
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -35,6 +36,42 @@ func FuzzRoundTrip(f *testing.F) {
 		}
 		if !bytes.Equal(got, data) {
 			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(data))
+		}
+	})
+}
+
+// FuzzInflateCorrupt is the silent-data-corruption fuzzer: it takes a
+// well-formed compressed stream, flips one bit (or truncates), and
+// requires the inflater to either succeed or fail with a *typed* error
+// — ErrCorrupt or ErrTooLarge — never panic, loop, or leak an untyped
+// failure. A typed error is what lets every hop above (verified
+// compression, the pipeline, the service) classify the failure as
+// corruption rather than a bug.
+func FuzzInflateCorrupt(f *testing.F) {
+	f.Add([]byte("seed payload for corruption, compressible compressible"), uint32(17), uint8(0))
+	f.Add(bytes.Repeat([]byte("abc123"), 400), uint32(300), uint8(5))
+	f.Add([]byte{}, uint32(0), uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, bitPos uint32, cut uint8) {
+		comp := Compress(data, 6)
+		if len(comp) == 0 {
+			return
+		}
+		// One deterministic mutation: flip a bit, then optionally truncate.
+		mut := append([]byte(nil), comp...)
+		pos := int(bitPos) % (len(mut) * 8)
+		mut[pos/8] ^= 1 << (pos % 8)
+		if n := int(cut); n > 0 && n < len(mut) {
+			mut = mut[:len(mut)-n]
+		}
+		out, err := DecompressLimit(mut, len(data)+64)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("untyped inflate error on corrupt stream: %v", err)
+			}
+			return
+		}
+		if len(out) > len(data)+64 {
+			t.Fatalf("limit exceeded on corrupt stream: %d bytes", len(out))
 		}
 	})
 }

@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
+	"pedal/internal/stats"
+)
+
+// corruptShard is a shard whose checked responses fail digest
+// verification while the corrupt flag is up: the hop-level model of a
+// core silently flipping bits in every answer.
+type corruptShard struct {
+	fakeShard
+	mu      sync.Mutex
+	corrupt bool
+}
+
+type corruptConn struct {
+	fakeConn
+	s *corruptShard
+}
+
+func (c *corruptConn) checked(data []byte) ([]byte, error) {
+	c.s.mu.Lock()
+	corrupt := c.s.corrupt
+	c.s.mu.Unlock()
+	if corrupt {
+		return nil, &integrity.CorruptError{Hop: "service.response", Segment: "compress", Want: 1, Got: 2}
+	}
+	return c.fakeConn.op(data)
+}
+
+func (c *corruptConn) CompressChecked(_ core.Design, _ core.DataType, data []byte) ([]byte, error) {
+	return c.checked(data)
+}
+
+func (c *corruptConn) DecompressChecked(_ hwmodel.Engine, _ core.DataType, msg []byte, _ int) ([]byte, error) {
+	return c.checked(msg)
+}
+
+// newCorruptFleet is newTestFleet with shard s0 swapped for a
+// checked-capable corruptible shard.
+func newCorruptFleet(cfg Config) (*Router, *corruptShard, *fakeFleet) {
+	f := &fakeFleet{shards: make(map[string]*fakeShard)}
+	cs := &corruptShard{fakeShard: fakeShard{name: "s0"}}
+	cfg.Dial = func(addr string, _ time.Duration) (Backend, error) {
+		if addr == "addr-s0" {
+			return &corruptConn{fakeConn: fakeConn{s: &cs.fakeShard}, s: cs}, nil
+		}
+		return f.dial(addr, 0)
+	}
+	r := NewRouter(cfg)
+	r.AddShard("s0", "addr-s0")
+	for _, name := range []string{"s1", "s2"} {
+		f.shards["addr-"+name] = &fakeShard{name: name}
+		r.AddShard(name, "addr-"+name)
+	}
+	return r, cs, f
+}
+
+// findCorruptKey returns a key whose primary is s0, so requests hit the
+// corruptible shard first.
+func findCorruptKey(t *testing.T, r *Router) string {
+	t.Helper()
+	for _, key := range []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8", "k9"} {
+		if r.Primary(key) == "s0" {
+			return key
+		}
+	}
+	t.Fatal("no key routes to s0")
+	return ""
+}
+
+// TestCorruptAnswersFailoverAndQuarantine: a shard answering with
+// damaged bytes must not poison the caller — idempotent requests fail
+// over to a clean shard — and after EjectAfter consecutive corrupt
+// answers the shard is quarantined out of routing.
+func TestCorruptAnswersFailoverAndQuarantine(t *testing.T) {
+	r, cs, _ := newCorruptFleet(Config{EjectAfter: 2})
+	defer r.Close()
+	key := findCorruptKey(t, r)
+	cs.mu.Lock()
+	cs.corrupt = true
+	cs.mu.Unlock()
+
+	// Each request: s0 answers corrupt, failover wins on a clean shard.
+	for i := 0; i < 2; i++ {
+		out, err := r.CompressChecked(goldReq(key), testDesign, core.TypeBytes, []byte("payload"))
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("request %d: empty body", i)
+		}
+	}
+	if got := r.bd.Count(stats.CounterHopsRejected); got != 2 {
+		t.Fatalf("hops_rejected = %d, want 2", got)
+	}
+	if got := r.bd.Count(stats.CounterCoresQuarantined); got != 1 {
+		t.Fatalf("cores_quarantined = %d, want 1", got)
+	}
+	// Quarantined: s0 no longer routes, requests go clean without any
+	// corrupt detour.
+	if r.Primary(key) == "s0" {
+		t.Fatal("quarantined shard still primary")
+	}
+	before := r.bd.Count(stats.CounterHopsRejected)
+	if _, err := r.CompressChecked(goldReq(key), testDesign, core.TypeBytes, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.bd.Count(stats.CounterHopsRejected); got != before {
+		t.Fatal("request still reached the quarantined shard")
+	}
+
+	// Repair the shard; the health plane's half-open probe readmits it.
+	cs.mu.Lock()
+	cs.corrupt = false
+	cs.mu.Unlock()
+	r.Poll()
+	if r.bd.Count(stats.CounterShardReadmits) != 1 {
+		t.Fatal("repaired shard not readmitted")
+	}
+}
+
+// TestCorruptNonIdempotentSurfaces: without idempotence there is no
+// failover — the typed corruption error reaches the caller so it can
+// decide what re-execution means.
+func TestCorruptNonIdempotentSurfaces(t *testing.T) {
+	r, cs, _ := newCorruptFleet(Config{EjectAfter: 3})
+	defer r.Close()
+	key := findCorruptKey(t, r)
+	cs.mu.Lock()
+	cs.corrupt = true
+	cs.mu.Unlock()
+	req := Request{Tenant: "t", Key: key, Class: Gold}
+	_, err := r.CompressChecked(req, testDesign, core.TypeBytes, []byte("payload"))
+	if !errors.Is(err, integrity.ErrCorrupt) {
+		t.Fatalf("err = %v, want integrity.ErrCorrupt", err)
+	}
+}
+
+// TestUncheckedBackendFallback: a backend without the checked surface
+// still serves CompressChecked via the plain call.
+func TestUncheckedBackendFallback(t *testing.T) {
+	r, _ := newTestFleet(2, Config{})
+	defer r.Close()
+	out, err := r.CompressChecked(goldReq("obj"), testDesign, core.TypeBytes, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty body")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"pedal/internal/core"
 	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
 	"pedal/internal/service"
 	"pedal/internal/stats"
 	"pedal/internal/trace"
@@ -25,6 +26,15 @@ type Backend interface {
 	Health() (service.Health, error)
 	Ping() error
 	Close() error
+}
+
+// CheckedBackend is the optional hop-carried-checksum extension of
+// Backend: both directions of the shard hop carry a CRC digest and a
+// mismatch surfaces as a typed integrity.ErrCorrupt. *service.Client
+// implements it. Backends without it fall back to the unchecked calls.
+type CheckedBackend interface {
+	CompressChecked(d core.Design, dt core.DataType, data []byte) ([]byte, error)
+	DecompressChecked(engine hwmodel.Engine, dt core.DataType, msg []byte, maxOut int) ([]byte, error)
 }
 
 // Class is a request priority class. Overload sheds best-effort first:
@@ -314,12 +324,13 @@ type Shard struct {
 	conn   Backend
 
 	// Guarded by Router.mu:
-	state      shardState
-	failStreak int    // consecutive peer-class failures (data path + probes)
-	slowStreak int    // consecutive over-DegradeAfter successes
-	okProbes   int    // consecutive half-open probe successes while ejected
-	engine     string // last engine fault-domain state reported by Health
-	lastErr    string
+	state         shardState
+	failStreak    int    // consecutive peer-class failures (data path + probes)
+	slowStreak    int    // consecutive over-DegradeAfter successes
+	corruptStreak int    // consecutive checksum-mismatch answers
+	okProbes      int    // consecutive half-open probe successes while ejected
+	engine        string // last engine fault-domain state reported by Health
+	lastErr       string
 }
 
 // backend returns the shard's connection, dialing lazily.
@@ -464,6 +475,32 @@ func (r *Router) Decompress(req Request, engine hwmodel.Engine, dt core.DataType
 	return r.do(req, func(be Backend) ([]byte, error) { return be.Decompress(engine, dt, msg, maxOut) })
 }
 
+// CompressChecked routes a compression request with hop-carried
+// checksums on both directions of the shard hop. A digest mismatch is a
+// typed integrity error: idempotent requests fail over to another shard
+// (the corruption is shard- or path-local, not deterministic), and a
+// shard producing ejectAfter consecutive corrupt answers is quarantined
+// from routing until the health plane's half-open probes readmit it.
+func (r *Router) CompressChecked(req Request, d core.Design, dt core.DataType, data []byte) ([]byte, error) {
+	return r.do(req, func(be Backend) ([]byte, error) {
+		if cb, ok := be.(CheckedBackend); ok {
+			return cb.CompressChecked(d, dt, data)
+		}
+		return be.Compress(d, dt, data)
+	})
+}
+
+// DecompressChecked routes a decompression request with hop-carried
+// checksums (see CompressChecked).
+func (r *Router) DecompressChecked(req Request, engine hwmodel.Engine, dt core.DataType, msg []byte, maxOut int) ([]byte, error) {
+	return r.do(req, func(be Backend) ([]byte, error) {
+		if cb, ok := be.(CheckedBackend); ok {
+			return cb.DecompressChecked(engine, dt, msg, maxOut)
+		}
+		return be.Decompress(engine, dt, msg, maxOut)
+	})
+}
+
 // do applies tenant admission, then runs the routing sequence; gold
 // requests shed busy by every candidate re-run it after a jittered
 // backoff that honors the Retry-After hint.
@@ -525,10 +562,18 @@ const (
 	// errClassRemote: the shard executed the request and returned an
 	// application error; another shard would compute the same answer.
 	errClassRemote
+	// errClassCorrupt: a hop-carried checksum caught damaged bytes on
+	// this shard's path. Unlike errClassRemote the answer is not
+	// deterministic — another shard (or even a retry) would produce clean
+	// bytes — so corrupt answers are failover-eligible, and repeated ones
+	// quarantine the shard.
+	errClassCorrupt
 )
 
 func classify(err error) errClass {
 	switch {
+	case errors.Is(err, integrity.ErrCorrupt):
+		return errClassCorrupt
 	case errors.Is(err, service.ErrBusy):
 		return errClassBusy
 	case errors.Is(err, service.ErrRemote):
@@ -745,6 +790,7 @@ func (r *Router) recordOutcome(s *Shard, err error, lat time.Duration) {
 		r.lat.add(lat)
 		r.mu.Lock()
 		s.failStreak = 0
+		s.corruptStreak = 0
 		if r.cfg.DegradeAfter > 0 && lat > r.cfg.DegradeAfter {
 			s.slowStreak++
 			if s.slowStreak >= r.cfg.ejectAfter() {
@@ -756,8 +802,24 @@ func (r *Router) recordOutcome(s *Shard, err error, lat time.Duration) {
 		r.mu.Unlock()
 		return
 	}
-	if c := classify(err); c == errClassBusy || c == errClassRemote {
+	switch classify(err) {
+	case errClassBusy, errClassRemote:
 		return // the daemon answered; it is alive
+	case errClassCorrupt:
+		// The shard answered with damaged bytes. The stream itself is
+		// intact (the frame was read in full before the digest check), so
+		// the connection survives — but the answer counts toward a
+		// quarantine streak: a core flipping bits keeps flipping them.
+		r.bd.Inc(stats.CounterHopsRejected)
+		r.mu.Lock()
+		s.corruptStreak++
+		s.lastErr = err.Error()
+		if s.corruptStreak >= r.cfg.ejectAfter() {
+			r.bd.Inc(stats.CounterCoresQuarantined)
+			r.ejectLocked(s, "corrupt: "+err.Error())
+		}
+		r.mu.Unlock()
+		return
 	}
 	s.recycle()
 	r.mu.Lock()
@@ -786,7 +848,7 @@ func (r *Router) readmitLocked(s *Shard) {
 		return
 	}
 	s.state = stateLive
-	s.failStreak, s.slowStreak, s.okProbes = 0, 0, 0
+	s.failStreak, s.slowStreak, s.corruptStreak, s.okProbes = 0, 0, 0, 0
 	s.lastErr = ""
 	r.bd.Inc(stats.CounterShardReadmits)
 	r.traceLocked("readmit", s.ID, "")

@@ -1,0 +1,286 @@
+// Package integrity is the compute fault domain: end-to-end defences
+// against silent data corruption (SDC) in the compression offload path.
+//
+// The other five fault domains (engine, network, process, fleet,
+// storage) all assume that when a kernel finishes without an error its
+// output is correct. A miscompiling SWAR loop, a flipped bit in
+// C-Engine SRAM or a stale mempool buffer breaks exactly that
+// assumption: the bytes are wrong and every downstream hop — transport
+// frame, fleet response, checkpoint shard — faithfully preserves the
+// wrong bytes. This package holds the three primitives the defence is
+// built from:
+//
+//   - VerifyMode: the verified-compression policy (Off / Sampled /
+//     Full) that decode-verifies compressed output against a source
+//     digest before it is released to the caller.
+//   - CorruptError: the typed error every hop raises when a carried
+//     checksum no longer matches the bytes, identifying the segment
+//     and the hop that caught it.
+//   - Ledger: the per-unit mismatch ledger behind quarantine — after K
+//     verified mismatches a compute unit is pulled from service and
+//     half-open re-probed until it proves itself clean again.
+package integrity
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// VerifyMode selects how often compressed output is decode-verified
+// against its source digest before release.
+type VerifyMode uint8
+
+const (
+	// VerifyOff trusts kernel output (the pre-PR-9 behaviour).
+	VerifyOff VerifyMode = iota
+	// VerifySampled verifies one in every SampleN operations — cheap
+	// steady-state screening that still bounds the time an SDC-prone
+	// unit can emit garbage undetected.
+	VerifySampled
+	// VerifyFull verifies every operation before release.
+	VerifyFull
+)
+
+func (m VerifyMode) String() string {
+	switch m {
+	case VerifyOff:
+		return "off"
+	case VerifySampled:
+		return "sampled"
+	case VerifyFull:
+		return "full"
+	default:
+		return fmt.Sprintf("verify(%d)", uint8(m))
+	}
+}
+
+// DefaultSampleN is the Sampled-mode period when the caller does not
+// choose one: verify one operation in every 8.
+const DefaultSampleN = 8
+
+// Sampler decides which operations a VerifyMode verifies. It is
+// allocation-free and safe for concurrent use (the pipelined path calls
+// Hit from every worker).
+type Sampler struct {
+	mode VerifyMode
+	n    uint32
+	ctr  atomic.Uint32
+}
+
+// NewSampler returns a sampler for mode; n is the Sampled period
+// (values < 1 fall back to DefaultSampleN).
+func NewSampler(mode VerifyMode, n int) *Sampler {
+	if n < 1 {
+		n = DefaultSampleN
+	}
+	return &Sampler{mode: mode, n: uint32(n)}
+}
+
+// Mode reports the sampler's verify mode.
+func (s *Sampler) Mode() VerifyMode {
+	if s == nil {
+		return VerifyOff
+	}
+	return s.mode
+}
+
+// Hit reports whether the next operation must be verified. A nil
+// sampler never verifies.
+func (s *Sampler) Hit() bool {
+	if s == nil {
+		return false
+	}
+	switch s.mode {
+	case VerifyFull:
+		return true
+	case VerifySampled:
+		return s.ctr.Add(1)%s.n == 0
+	default:
+		return false
+	}
+}
+
+// ErrCorrupt is the sentinel every detected-corruption error wraps:
+// errors.Is(err, integrity.ErrCorrupt) identifies an SDC caught before
+// it escaped, at whatever hop caught it.
+var ErrCorrupt = errors.New("integrity: data corruption detected")
+
+// CorruptError identifies a corrupted segment and the hop that caught
+// it. Want/Got carry the CRC-32 pair when the detection was a checksum
+// comparison (both zero for differential-referee detections).
+type CorruptError struct {
+	// Hop names the layer that observed the mismatch: "verify",
+	// "pipeline", "fleet", "ckpt", "engine".
+	Hop string
+	// Segment identifies the corrupted unit within the hop (an
+	// algorithm name, a shard ID, a checkpoint key...).
+	Segment string
+	// Index is the chunk index for chunked streams, -1 otherwise.
+	Index int
+	// Want is the carried (source) CRC-32; Got the CRC-32 of the bytes
+	// observed at the hop.
+	Want, Got uint32
+}
+
+func (e *CorruptError) Error() string {
+	if e.Want == 0 && e.Got == 0 {
+		return fmt.Sprintf("integrity: corruption at hop %s (segment %s, index %d): referee mismatch",
+			e.Hop, e.Segment, e.Index)
+	}
+	return fmt.Sprintf("integrity: corruption at hop %s (segment %s, index %d): crc %08x, carried %08x",
+		e.Hop, e.Segment, e.Index, e.Got, e.Want)
+}
+
+// Is makes errors.Is(err, ErrCorrupt) true for every CorruptError.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// LedgerConfig tunes the quarantine ladder. The zero value uses the
+// defaults.
+type LedgerConfig struct {
+	// Quarantine after this many consecutive verified mismatches
+	// (default 3). A single cosmic-ray flip should not bench a core;
+	// a pattern should.
+	Threshold int
+	// While quarantined, let one probe operation through every
+	// ProbeEvery Allow calls (default 8) — the half-open re-probe.
+	ProbeEvery int
+}
+
+func (c LedgerConfig) threshold() int {
+	if c.Threshold <= 0 {
+		return 3
+	}
+	return c.Threshold
+}
+
+func (c LedgerConfig) probeEvery() int {
+	if c.ProbeEvery <= 0 {
+		return 8
+	}
+	return c.ProbeEvery
+}
+
+// Ledger tracks verified mismatches per compute unit and drives the
+// quarantine state machine:
+//
+//	clean --K consecutive mismatches--> quarantined
+//	quarantined --every Nth Allow--> probe granted
+//	probe verified clean --> readmitted
+//	probe mismatch --> stays quarantined, probe window restarts
+//
+// Units are small integer IDs (engine complex 0, SoC worker cores
+// 1..N). A nil Ledger allows everything and records nothing.
+type Ledger struct {
+	mu    sync.Mutex
+	cfg   LedgerConfig
+	units map[int]*unitState
+
+	mismatches  uint64
+	quarantines uint64
+	readmits    uint64
+}
+
+type unitState struct {
+	streak      int
+	quarantined bool
+	sinceProbe  int
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger(cfg LedgerConfig) *Ledger {
+	return &Ledger{cfg: cfg, units: make(map[int]*unitState)}
+}
+
+func (l *Ledger) unit(id int) *unitState {
+	u := l.units[id]
+	if u == nil {
+		u = &unitState{}
+		l.units[id] = u
+	}
+	return u
+}
+
+// Mismatch records one verified mismatch against unit id and reports
+// whether this mismatch transitioned the unit into quarantine.
+func (l *Ledger) Mismatch(id int) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.mismatches++
+	u := l.unit(id)
+	u.streak++
+	if !u.quarantined && u.streak >= l.cfg.threshold() {
+		u.quarantined = true
+		u.sinceProbe = 0
+		l.quarantines++
+		return true
+	}
+	return false
+}
+
+// Verified records one verification success for unit id: the mismatch
+// streak resets, and a quarantined unit that just proved itself clean
+// on a probe is readmitted. Reports whether a readmission happened.
+func (l *Ledger) Verified(id int) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.unit(id)
+	u.streak = 0
+	if u.quarantined {
+		u.quarantined = false
+		l.readmits++
+		return true
+	}
+	return false
+}
+
+// Allow reports whether unit id may execute. Clean units always may; a
+// quarantined unit gets one probe every ProbeEvery calls (the half-open
+// gate). Callers MUST report the probe's outcome via Verified or
+// Mismatch, or the unit stays benched forever.
+func (l *Ledger) Allow(id int) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.unit(id)
+	if !u.quarantined {
+		return true
+	}
+	u.sinceProbe++
+	if u.sinceProbe >= l.cfg.probeEvery() {
+		u.sinceProbe = 0
+		return true
+	}
+	return false
+}
+
+// Quarantined reports unit id's quarantine state without the probe
+// side effects of Allow.
+func (l *Ledger) Quarantined(id int) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	u := l.units[id]
+	return u != nil && u.quarantined
+}
+
+// Counts returns the lifetime mismatch / quarantine / readmit totals.
+func (l *Ledger) Counts() (mismatches, quarantines, readmits uint64) {
+	if l == nil {
+		return 0, 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mismatches, l.quarantines, l.readmits
+}

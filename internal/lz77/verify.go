@@ -1,0 +1,33 @@
+package lz77
+
+// VerifyTokens is the scalar referee for the SWAR match finder: it
+// checks that a token stream reproduces src exactly, using nothing but
+// byte compares — no hashing, no word-parallel tricks, no shared state
+// with the tokenizer it is judging. The SWAR path may legitimately pick
+// *different* tokens than a scalar tokenizer would (stride-skipped span
+// insertion changes match choices), so the referee is semantic, not a
+// byte-compare of token streams: whatever tokens were emitted, they
+// must expand to src. Allocation-free and O(len(src)).
+func VerifyTokens(tokens []Token, src []byte) bool {
+	pos := 0
+	for _, t := range tokens {
+		if t.IsLiteral() {
+			if pos >= len(src) || src[pos] != t.Lit {
+				return false
+			}
+			pos++
+			continue
+		}
+		l, d := int(t.Len), int(t.Dist)
+		if l < MinMatch || l > MaxMatch || d < 1 || d > pos || pos+l > len(src) {
+			return false
+		}
+		for j := 0; j < l; j++ {
+			if src[pos+j] != src[pos+j-d] {
+				return false
+			}
+		}
+		pos += l
+	}
+	return pos == len(src)
+}

@@ -1,0 +1,93 @@
+package lz77
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestVerifyTokensAcceptsTokenizer(t *testing.T) {
+	srcs := [][]byte{
+		nil,
+		[]byte("abc"),
+		bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 200),
+		bytes.Repeat([]byte{0}, 4096),
+	}
+	var m Matcher
+	for _, src := range srcs {
+		for _, level := range []int{1, 6, 9} {
+			tokens := m.Tokens(src, LevelParams(level), nil)
+			if !VerifyTokens(tokens, src) {
+				t.Errorf("referee rejected a correct token stream (len %d, level %d)", len(src), level)
+			}
+		}
+	}
+}
+
+func TestVerifyTokensRejectsCorruption(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh pattern pattern pattern "), 64)
+	var m Matcher
+	good := m.Tokens(src, LevelParams(6), nil)
+	if !VerifyTokens(good, src) {
+		t.Fatal("baseline stream rejected")
+	}
+
+	mutate := func(f func([]Token)) []Token {
+		bad := append([]Token(nil), good...)
+		f(bad)
+		return bad
+	}
+	cases := map[string][]Token{
+		"wrong literal": mutate(func(ts []Token) {
+			for i := range ts {
+				if ts[i].IsLiteral() {
+					ts[i].Lit ^= 0x01
+					return
+				}
+			}
+		}),
+		"wrong distance": mutate(func(ts []Token) {
+			for i := range ts {
+				if !ts[i].IsLiteral() && ts[i].Dist > 1 {
+					ts[i].Dist--
+					return
+				}
+			}
+		}),
+		"wrong length": mutate(func(ts []Token) {
+			for i := range ts {
+				if !ts[i].IsLiteral() {
+					ts[i].Len++
+					return
+				}
+			}
+		}),
+		"truncated": good[:len(good)-1],
+		"oob distance": mutate(func(ts []Token) {
+			for i := range ts {
+				if !ts[i].IsLiteral() {
+					ts[i].Dist = uint16(i) + 30000
+					return
+				}
+			}
+		}),
+	}
+	for name, bad := range cases {
+		if VerifyTokens(bad, src) {
+			t.Errorf("%s: referee accepted a corrupt token stream", name)
+		}
+	}
+}
+
+func TestVerifyTokensZeroAlloc(t *testing.T) {
+	src := bytes.Repeat([]byte("zero alloc referee "), 512)
+	var m Matcher
+	tokens := m.Tokens(src, LevelParams(6), nil)
+	allocs := testing.AllocsPerRun(50, func() {
+		if !VerifyTokens(tokens, src) {
+			t.Fatal("rejected")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("VerifyTokens allocates %.1f/op, want 0", allocs)
+	}
+}

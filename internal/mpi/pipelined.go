@@ -1,10 +1,13 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
+	"pedal/internal/checksum"
 	"pedal/internal/core"
+	"pedal/internal/integrity"
 	"pedal/internal/pipeline"
 	"pedal/internal/stats"
 )
@@ -37,7 +40,21 @@ func (c *Comm) sendPipelined(dst, tag int, dt core.DataType, cc *CompressionConf
 	// Pin the chunk size so descriptor and execution agree.
 	spec.ChunkSize = lib.Pipeline().ChunkSizeFor(len(data), spec)
 	count := (len(data) + spec.ChunkSize - 1) / spec.ChunkSize
-	desc := pipeline.AppendDescriptor(nil, spec.Algo, count, spec.ChunkSize, len(data))
+	// Hop-carried end-to-end digest under VerifyFull: computed once
+	// here, checked by the receiver's Wait against the reassembled
+	// payload. The zero sentinel below Full keeps the fast path and the
+	// Sampled screening tier unchanged (per-chunk frame CRCs still guard
+	// every hop). Unlike the local CompressPipelined path — which lets
+	// the workers digest their own chunks and patches the combined CRC
+	// over the descriptor afterwards — the streamed protocol puts the
+	// descriptor on the wire before any chunk compresses (it doubles as
+	// the RTS signal), so the sender pays one up-front pass through the
+	// slicing-by-8 kernel.
+	var srcCRC uint32
+	if spec.Verify == integrity.VerifyFull {
+		srcCRC = checksum.CRC32(data)
+	}
+	desc := pipeline.AppendDescriptor(nil, spec.Algo, count, spec.ChunkSize, len(data), srcCRC)
 
 	seq := c.nextSeq()
 	if err := c.sendFrame(dst, kindRTS, tag, seq, len(data), desc); err != nil {
@@ -59,7 +76,7 @@ func (c *Comm) sendPipelined(dst, tag int, dt core.DataType, cc *CompressionConf
 		sendErr    error
 	)
 	sum, err := lib.Pipeline().Compress(data, spec, func(ch pipeline.Chunk) error {
-		frame = pipeline.AppendChunkFrame(frame[:0], ch.Index, ch.OrigLen, ch.Data)
+		frame = pipeline.AppendChunkFrame(frame[:0], ch.Index, ch.OrigLen, ch.CRC, ch.Data)
 		// Departure: when the chunk's compression completes on the virtual
 		// schedule, but no earlier than the link finishing the previous
 		// frame (NIC serialisation: occupancy is the bandwidth term of the
@@ -123,12 +140,18 @@ func (c *Comm) recvPipelined(env envelope, dt core.DataType, maxLen int) ([]byte
 		}
 		c.clock.AdvanceTo(durationOf(f.departure) + c.wire(envHeaderLen+len(f.payload)))
 		if err := recv.Submit(f.payload, c.clock.Now()-t0); err != nil {
+			if errors.Is(err, integrity.ErrCorrupt) {
+				c.bd.Inc(stats.CounterHopsRejected)
+			}
 			recv.Abort()
 			return nil, fmt.Errorf("mpi: pedal pipelined recv: %w", err)
 		}
 	}
 	out, sum, err := recv.Wait()
 	if err != nil {
+		if errors.Is(err, integrity.ErrCorrupt) {
+			c.bd.Inc(stats.CounterHopsRejected)
+		}
 		return nil, fmt.Errorf("mpi: pedal pipelined recv: %w", err)
 	}
 	c.clock.AdvanceTo(t0 + sum.Makespan)

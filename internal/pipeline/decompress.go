@@ -8,9 +8,11 @@ import (
 	"sync"
 	"time"
 
+	"pedal/internal/checksum"
 	"pedal/internal/dpu"
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
 	"pedal/internal/lz4"
 	"pedal/internal/sz3"
 	"pedal/internal/zlibfmt"
@@ -32,6 +34,12 @@ type DecompressSession struct {
 	submitted int
 	pl        *planner
 	wg        sync.WaitGroup
+	// wantCRC is the descriptor-carried CRC of the whole uncompressed
+	// payload (zero when the source did not carry one); Wait checks the
+	// reassembled output against it. rejected counts chunks this hop
+	// refused for a frame-CRC mismatch.
+	wantCRC  uint32
+	rejected int
 
 	mu       sync.Mutex
 	firstErr error
@@ -47,8 +55,13 @@ var ErrAborted = errors.New("pipeline: session aborted")
 // NewDecompress opens a reassembly session for count chunks of
 // chunkSize bytes (the last possibly shorter) totalling origLen
 // uncompressed bytes. The geometry is validated against origLen so a
-// corrupt descriptor cannot cause over-allocation.
-func (p *Pipeline) NewDecompress(spec Spec, count, chunkSize, origLen int) (*DecompressSession, error) {
+// corrupt descriptor cannot cause over-allocation. srcCRC is the
+// descriptor-carried CRC of the uncompressed payload (zero when not
+// carried); Wait checks the reassembled output against it, so
+// end-to-end corruption — even a corrupt chunk whose frame CRC was
+// recomputed by a malicious or buggy hop — cannot reach the caller
+// undetected.
+func (p *Pipeline) NewDecompress(spec Spec, count, chunkSize, origLen int, srcCRC uint32) (*DecompressSession, error) {
 	if !spec.Algo.valid() {
 		return nil, fmt.Errorf("%w: algo %d", ErrBadSpec, spec.Algo)
 	}
@@ -59,7 +72,7 @@ func (p *Pipeline) NewDecompress(spec Spec, count, chunkSize, origLen int) (*Dec
 		if origLen != 0 {
 			return nil, fmt.Errorf("%w: zero chunks but origLen %d", ErrBadSpec, origLen)
 		}
-		return &DecompressSession{p: p, spec: spec}, nil
+		return &DecompressSession{p: p, spec: spec, wantCRC: srcCRC}, nil
 	}
 	if chunkSize <= 0 {
 		return nil, fmt.Errorf("%w: chunk size %d", ErrBadSpec, chunkSize)
@@ -78,6 +91,7 @@ func (p *Pipeline) NewDecompress(spec Spec, count, chunkSize, origLen int) (*Dec
 		count:     count,
 		seen:      make([]bool, count),
 		pl:        p.newPlanner(spec, hwmodel.Decompress),
+		wantCRC:   srcCRC,
 	}, nil
 }
 
@@ -85,7 +99,12 @@ func (p *Pipeline) NewDecompress(spec Spec, count, chunkSize, origLen int) (*Dec
 // compressed body is comp, arriving at the given virtual time (the
 // receiver's clock when the chunk's frame landed). comp must stay valid
 // and unmodified until Wait returns. Chunks may arrive in any order.
-func (s *DecompressSession) Submit(index, origLen int, comp []byte, arrival time.Duration) error {
+//
+// crc is the frame-carried source CRC of comp (zero when not carried):
+// this hop checks the received bytes against it and rejects a mismatch
+// with a typed integrity.CorruptError identifying the chunk, before any
+// decode work is scheduled.
+func (s *DecompressSession) Submit(index, origLen int, crc uint32, comp []byte, arrival time.Duration) error {
 	s.mu.Lock()
 	aborted := s.aborted
 	s.mu.Unlock()
@@ -94,6 +113,12 @@ func (s *DecompressSession) Submit(index, origLen int, comp []byte, arrival time
 	}
 	if index < 0 || index >= s.count {
 		return fmt.Errorf("%w: index %d of %d", ErrBadChunk, index, s.count)
+	}
+	if crc != 0 {
+		if got := checksum.CRC32(comp); got != crc {
+			s.rejected++
+			return &integrity.CorruptError{Hop: "pipeline.submit", Segment: "chunk", Index: index, Want: crc, Got: got}
+		}
 	}
 	if s.seen[index] {
 		return fmt.Errorf("%w: duplicate index %d", ErrBadChunk, index)
@@ -142,7 +167,7 @@ func (s *DecompressSession) Submit(index, origLen int, comp []byte, arrival time
 		// Queue saturated: fall through to the SoC pool.
 	}
 	s.wg.Add(1)
-	s.p.jobs <- func() {
+	s.p.jobs <- func(int) {
 		defer s.wg.Done()
 		s.fail(s.decode(comp, slot, origLen))
 	}
@@ -269,8 +294,19 @@ func (s *DecompressSession) Wait() ([]byte, Summary, error) {
 	if err != nil {
 		return nil, sum, err
 	}
+	// End-to-end check: the reassembled payload must match the CRC the
+	// source computed before any chunking, compression, or transit.
+	if s.wantCRC != 0 {
+		if got := checksum.CRC32(s.out); got != s.wantCRC {
+			return nil, sum, &integrity.CorruptError{Hop: "pipeline.wait", Segment: "payload", Want: s.wantCRC, Got: got}
+		}
+	}
 	return s.out, sum, nil
 }
+
+// Rejected reports how many chunk submissions this session refused for
+// a frame-CRC mismatch (hop-level corruption detection).
+func (s *DecompressSession) Rejected() int { return s.rejected }
 
 // bytesToF32 reinterprets little-endian bytes as float32 values.
 func bytesToF32(data []byte) ([]float32, error) {

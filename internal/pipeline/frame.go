@@ -10,12 +10,24 @@ import (
 // pipelined payload is a descriptor followed by one frame per chunk in
 // completion order:
 //
-//	descriptor: algo(1) | uvarint chunkCount | uvarint chunkSize | uvarint origLen
-//	frame:      uvarint index | uvarint origLen | uvarint compLen | compLen body bytes
+//	descriptor: algo(1) | uvarint chunkCount | uvarint chunkSize | uvarint origLen | srcCRC(4, LE)
+//	frame:      uvarint index | uvarint origLen | uvarint compLen | crc(4, LE) | compLen body bytes
 //
 // Frames carry their own index because completion order is not index
 // order — the receiver reassembles by offset while later chunks are
 // still in flight.
+//
+// The CRC fields are the hop-carried checksums of the integrity plane:
+// computed once at the source (the engine's completion metadata, or one
+// software pass over a freshly compressed chunk) and carried with the
+// data so every hop — transport, fleet, checkpoint — checks the same
+// digest instead of recomputing or trusting. A frame CRC covers the
+// chunk's compressed body; the descriptor's srcCRC covers the whole
+// *uncompressed* payload (zero means "not carried", the sentinel used
+// below VerifyFull so the hot path and the Sampled screening tier stay
+// unchanged). Both are
+// fixed-width little-endian rather than uvarint: a CRC is uniformly
+// random, so a varint would average five bytes and save nothing.
 
 // ErrFrame reports malformed chunk framing.
 var ErrFrame = errors.New("pipeline: bad frame")
@@ -23,69 +35,86 @@ var ErrFrame = errors.New("pipeline: bad frame")
 // maxFrameOrigLen bounds a single chunk's declared uncompressed size.
 const maxFrameOrigLen = 1 << 30
 
-// AppendChunkFrame appends one chunk frame to dst.
-func AppendChunkFrame(dst []byte, index, origLen int, body []byte) []byte {
+// AppendChunkFrame appends one chunk frame to dst. crc is the
+// source-computed CRC-32 of body, carried hop to hop.
+func AppendChunkFrame(dst []byte, index, origLen int, crc uint32, body []byte) []byte {
 	dst = binary.AppendUvarint(dst, uint64(index))
 	dst = binary.AppendUvarint(dst, uint64(origLen))
 	dst = binary.AppendUvarint(dst, uint64(len(body)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc)
 	return append(dst, body...)
 }
 
 // ParseChunkFrame decodes one chunk frame from the front of src,
-// returning the remaining bytes. The body aliases src.
-func ParseChunkFrame(src []byte) (index, origLen int, body, rest []byte, err error) {
+// returning the remaining bytes. The body aliases src. The carried CRC
+// is returned for the receiver to check against the body; parsing does
+// not check it (the hop boundary — DecompressSession.Submit — does, so
+// the rejection is attributed to the hop that observed it).
+func ParseChunkFrame(src []byte) (index, origLen int, crc uint32, body, rest []byte, err error) {
 	idx, n := binary.Uvarint(src)
 	if n <= 0 || idx >= MaxChunks {
-		return 0, 0, nil, nil, fmt.Errorf("%w: chunk index", ErrFrame)
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: chunk index", ErrFrame)
 	}
 	src = src[n:]
 	ol, n := binary.Uvarint(src)
 	if n <= 0 || ol > maxFrameOrigLen {
-		return 0, 0, nil, nil, fmt.Errorf("%w: chunk origLen", ErrFrame)
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: chunk origLen", ErrFrame)
 	}
 	src = src[n:]
 	cl, n := binary.Uvarint(src)
-	if n <= 0 || cl > uint64(len(src)-n) {
-		return 0, 0, nil, nil, fmt.Errorf("%w: chunk body length", ErrFrame)
+	if n <= 0 || cl > uint64(len(src)-n-4) {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: chunk body length", ErrFrame)
 	}
 	src = src[n:]
-	return int(idx), int(ol), src[:cl], src[cl:], nil
+	if len(src) < 4 {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: chunk crc", ErrFrame)
+	}
+	crc = binary.LittleEndian.Uint32(src)
+	src = src[4:]
+	return int(idx), int(ol), crc, src[:cl], src[cl:], nil
 }
 
-// AppendDescriptor appends the stream descriptor to dst.
-func AppendDescriptor(dst []byte, algo Algo, count, chunkSize, origLen int) []byte {
+// AppendDescriptor appends the stream descriptor to dst. srcCRC is the
+// CRC-32 of the whole uncompressed payload (zero when not carried).
+func AppendDescriptor(dst []byte, algo Algo, count, chunkSize, origLen int, srcCRC uint32) []byte {
 	dst = append(dst, byte(algo))
 	dst = binary.AppendUvarint(dst, uint64(count))
 	dst = binary.AppendUvarint(dst, uint64(chunkSize))
-	return binary.AppendUvarint(dst, uint64(origLen))
+	dst = binary.AppendUvarint(dst, uint64(origLen))
+	return binary.LittleEndian.AppendUint32(dst, srcCRC)
 }
 
 // ParseDescriptor decodes the stream descriptor from the front of src,
 // returning the remaining bytes (the first chunk frame). The geometry
 // is range-checked here; cross-field consistency is enforced by
-// Pipeline.NewDecompress.
-func ParseDescriptor(src []byte) (algo Algo, count, chunkSize, origLen int, rest []byte, err error) {
+// Pipeline.NewDecompress, and the srcCRC is checked against the
+// reassembled payload by DecompressSession.Wait.
+func ParseDescriptor(src []byte) (algo Algo, count, chunkSize, origLen int, srcCRC uint32, rest []byte, err error) {
 	if len(src) < 1 {
-		return 0, 0, 0, 0, nil, fmt.Errorf("%w: empty descriptor", ErrFrame)
+		return 0, 0, 0, 0, 0, nil, fmt.Errorf("%w: empty descriptor", ErrFrame)
 	}
 	algo = Algo(src[0])
 	if !algo.valid() {
-		return 0, 0, 0, 0, nil, fmt.Errorf("%w: algo %d", ErrFrame, src[0])
+		return 0, 0, 0, 0, 0, nil, fmt.Errorf("%w: algo %d", ErrFrame, src[0])
 	}
 	src = src[1:]
 	c, n := binary.Uvarint(src)
 	if n <= 0 || c > MaxChunks {
-		return 0, 0, 0, 0, nil, fmt.Errorf("%w: chunk count", ErrFrame)
+		return 0, 0, 0, 0, 0, nil, fmt.Errorf("%w: chunk count", ErrFrame)
 	}
 	src = src[n:]
 	cs, n := binary.Uvarint(src)
 	if n <= 0 || cs > maxFrameOrigLen {
-		return 0, 0, 0, 0, nil, fmt.Errorf("%w: chunk size", ErrFrame)
+		return 0, 0, 0, 0, 0, nil, fmt.Errorf("%w: chunk size", ErrFrame)
 	}
 	src = src[n:]
 	ol, n := binary.Uvarint(src)
 	if n <= 0 || ol > maxFrameOrigLen {
-		return 0, 0, 0, 0, nil, fmt.Errorf("%w: origLen", ErrFrame)
+		return 0, 0, 0, 0, 0, nil, fmt.Errorf("%w: origLen", ErrFrame)
 	}
-	return algo, int(c), int(cs), int(ol), src[n:], nil
+	src = src[n:]
+	if len(src) < 4 {
+		return 0, 0, 0, 0, 0, nil, fmt.Errorf("%w: source crc", ErrFrame)
+	}
+	return algo, int(c), int(cs), int(ol), binary.LittleEndian.Uint32(src), src[4:], nil
 }

@@ -10,39 +10,43 @@ import (
 func TestChunkFrameRoundTrip(t *testing.T) {
 	body := []byte("compressed chunk body")
 	var stream []byte
-	stream = pipeline.AppendChunkFrame(stream, 3, 65536, body)
-	stream = pipeline.AppendChunkFrame(stream, 0, 12, nil)
+	stream = pipeline.AppendChunkFrame(stream, 3, 65536, 0xDEADBEEF, body)
+	stream = pipeline.AppendChunkFrame(stream, 0, 12, 0, nil)
 
-	index, origLen, got, rest, err := pipeline.ParseChunkFrame(stream)
+	index, origLen, crc, got, rest, err := pipeline.ParseChunkFrame(stream)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if index != 3 || origLen != 65536 || !bytes.Equal(got, body) {
-		t.Fatalf("frame 1: index=%d origLen=%d body=%q", index, origLen, got)
+	if index != 3 || origLen != 65536 || crc != 0xDEADBEEF || !bytes.Equal(got, body) {
+		t.Fatalf("frame 1: index=%d origLen=%d crc=%#x body=%q", index, origLen, crc, got)
 	}
-	index, origLen, got, rest, err = pipeline.ParseChunkFrame(rest)
+	index, origLen, crc, got, rest, err = pipeline.ParseChunkFrame(rest)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if index != 0 || origLen != 12 || len(got) != 0 || len(rest) != 0 {
-		t.Fatalf("frame 2: index=%d origLen=%d body=%q rest=%d", index, origLen, got, len(rest))
+	if index != 0 || origLen != 12 || crc != 0 || len(got) != 0 || len(rest) != 0 {
+		t.Fatalf("frame 2: index=%d origLen=%d crc=%#x body=%q rest=%d", index, origLen, crc, got, len(rest))
 	}
 }
 
 func TestDescriptorRoundTrip(t *testing.T) {
-	desc := pipeline.AppendDescriptor(nil, pipeline.AlgoLZ4, 7, 256<<10, 7<<18-13)
-	algo, count, chunkSize, origLen, rest, err := pipeline.ParseDescriptor(desc)
+	desc := pipeline.AppendDescriptor(nil, pipeline.AlgoLZ4, 7, 256<<10, 7<<18-13, 0xCAFEF00D)
+	algo, count, chunkSize, origLen, srcCRC, rest, err := pipeline.ParseDescriptor(desc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if algo != pipeline.AlgoLZ4 || count != 7 || chunkSize != 256<<10 || origLen != 7<<18-13 || len(rest) != 0 {
-		t.Fatalf("descriptor mismatch: %v %d %d %d rest=%d", algo, count, chunkSize, origLen, len(rest))
+	if algo != pipeline.AlgoLZ4 || count != 7 || chunkSize != 256<<10 || origLen != 7<<18-13 || srcCRC != 0xCAFEF00D || len(rest) != 0 {
+		t.Fatalf("descriptor mismatch: %v %d %d %d %#x rest=%d", algo, count, chunkSize, origLen, srcCRC, len(rest))
 	}
-	if _, _, _, _, _, err := pipeline.ParseDescriptor([]byte{0x00, 1, 1, 1}); err == nil {
+	if _, _, _, _, _, _, err := pipeline.ParseDescriptor([]byte{0x00, 1, 1, 1}); err == nil {
 		t.Error("invalid algo accepted")
 	}
-	if _, _, _, _, _, err := pipeline.ParseDescriptor(nil); err == nil {
+	if _, _, _, _, _, _, err := pipeline.ParseDescriptor(nil); err == nil {
 		t.Error("empty descriptor accepted")
+	}
+	// A descriptor truncated inside the CRC field must not parse.
+	if _, _, _, _, _, _, err := pipeline.ParseDescriptor(desc[:len(desc)-2]); err == nil {
+		t.Error("descriptor truncated inside srcCRC accepted")
 	}
 }
 
@@ -50,25 +54,25 @@ func TestDescriptorRoundTrip(t *testing.T) {
 // A successful parse must re-encode to a stream that parses back to the
 // same values, and the parser must never read outside the input.
 func FuzzChunkFrame(f *testing.F) {
-	f.Add(pipeline.AppendChunkFrame(nil, 0, 0, nil))
-	f.Add(pipeline.AppendChunkFrame(nil, 5, 1<<20, []byte("body bytes")))
-	f.Add(pipeline.AppendChunkFrame(pipeline.AppendChunkFrame(nil, 1, 64, bytes.Repeat([]byte{0xAB}, 64)), 2, 64, nil))
+	f.Add(pipeline.AppendChunkFrame(nil, 0, 0, 0, nil))
+	f.Add(pipeline.AppendChunkFrame(nil, 5, 1<<20, 0x01020304, []byte("body bytes")))
+	f.Add(pipeline.AppendChunkFrame(pipeline.AppendChunkFrame(nil, 1, 64, 7, bytes.Repeat([]byte{0xAB}, 64)), 2, 64, 0, nil))
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		index, origLen, body, rest, err := pipeline.ParseChunkFrame(data)
+		index, origLen, crc, body, rest, err := pipeline.ParseChunkFrame(data)
 		if err != nil {
 			return
 		}
 		if len(body)+len(rest) > len(data) {
 			t.Fatalf("parsed %d body + %d rest from %d input bytes", len(body), len(rest), len(data))
 		}
-		re := pipeline.AppendChunkFrame(nil, index, origLen, body)
-		i2, o2, b2, r2, err := pipeline.ParseChunkFrame(re)
+		re := pipeline.AppendChunkFrame(nil, index, origLen, crc, body)
+		i2, o2, c2, b2, r2, err := pipeline.ParseChunkFrame(re)
 		if err != nil {
 			t.Fatalf("re-encoded frame does not parse: %v", err)
 		}
-		if i2 != index || o2 != origLen || !bytes.Equal(b2, body) || len(r2) != 0 {
-			t.Fatalf("re-encode mismatch: (%d,%d,%d) vs (%d,%d,%d)", index, origLen, len(body), i2, o2, len(b2))
+		if i2 != index || o2 != origLen || c2 != crc || !bytes.Equal(b2, body) || len(r2) != 0 {
+			t.Fatalf("re-encode mismatch: (%d,%d,%#x,%d) vs (%d,%d,%#x,%d)", index, origLen, crc, len(body), i2, o2, c2, len(b2))
 		}
 	})
 }

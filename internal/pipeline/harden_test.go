@@ -16,9 +16,9 @@ import (
 // Every rejection must be the typed ErrFrame, never a panic or an
 // allocation sized by attacker-controlled fields.
 func TestFrameRejects(t *testing.T) {
-	valid := pipeline.AppendChunkFrame(nil, 3, 64, bytes.Repeat([]byte{0xCD}, 48))
+	valid := pipeline.AppendChunkFrame(nil, 3, 64, 0x11223344, bytes.Repeat([]byte{0xCD}, 48))
 	for cut := 0; cut < len(valid); cut++ {
-		if _, _, _, _, err := pipeline.ParseChunkFrame(valid[:cut]); err == nil {
+		if _, _, _, _, _, err := pipeline.ParseChunkFrame(valid[:cut]); err == nil {
 			// A truncation that still parses must consume only what it
 			// declares — the one legal case is cutting inside trailing
 			// garbage, which a single frame has none of.
@@ -30,13 +30,13 @@ func TestFrameRejects(t *testing.T) {
 
 	frameCases := map[string][]byte{
 		"empty":               {},
-		"index at cap":        pipeline.AppendChunkFrame(nil, pipeline.MaxChunks, 0, nil),
+		"index at cap":        pipeline.AppendChunkFrame(nil, pipeline.MaxChunks, 0, 0, nil),
 		"huge origLen":        {3, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 0},
 		"body over input":     {3, 64, 200, 1, 2, 3},
 		"unterminated varint": bytes.Repeat([]byte{0x80}, 16),
 	}
 	for name, data := range frameCases {
-		if _, _, _, _, err := pipeline.ParseChunkFrame(data); !errors.Is(err, pipeline.ErrFrame) {
+		if _, _, _, _, _, err := pipeline.ParseChunkFrame(data); !errors.Is(err, pipeline.ErrFrame) {
 			t.Errorf("frame %s: got %v, want ErrFrame", name, err)
 		}
 	}
@@ -44,12 +44,12 @@ func TestFrameRejects(t *testing.T) {
 	descCases := map[string][]byte{
 		"empty":             {},
 		"bad algo":          {0x7F, 1, 1, 1},
-		"count at cap":      pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, pipeline.MaxChunks+1, 1, 1),
+		"count at cap":      pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, pipeline.MaxChunks+1, 1, 1, 0),
 		"huge chunkSize":    {byte(pipeline.AlgoDeflate), 1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F, 1},
 		"truncated origLen": {byte(pipeline.AlgoDeflate), 1, 1},
 	}
 	for name, data := range descCases {
-		if _, _, _, _, _, err := pipeline.ParseDescriptor(data); !errors.Is(err, pipeline.ErrFrame) {
+		if _, _, _, _, _, _, err := pipeline.ParseDescriptor(data); !errors.Is(err, pipeline.ErrFrame) {
 			t.Errorf("descriptor %s: got %v, want ErrFrame", name, err)
 		}
 	}
@@ -60,13 +60,13 @@ func TestFrameRejects(t *testing.T) {
 // cross-field geometry check must turn any inconsistent descriptor into
 // a typed error before a single output byte is allocated past origLen.
 func FuzzDescriptor(f *testing.F) {
-	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, 4, 64<<10, 200<<10))
-	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoLZ4, 0, 0, 0))
-	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoSZ3F32, 1, 4096, 4000))
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, 4, 64<<10, 200<<10, 0))
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoLZ4, 0, 0, 0, 0))
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoSZ3F32, 1, 4096, 4000, 0xA1B2C3D4))
 	// Rejected shapes as seeds: oversized count, padded geometry,
 	// truncated tail, unterminated varint.
-	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, pipeline.MaxChunks+1, 1, 1))
-	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, 4, 64<<10, 1))
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, pipeline.MaxChunks+1, 1, 1, 0))
+	f.Add(pipeline.AppendDescriptor(nil, pipeline.AlgoDeflate, 4, 64<<10, 1, 0))
 	f.Add([]byte{byte(pipeline.AlgoZlib), 2, 8})
 	f.Add(bytes.Repeat([]byte{0x80}, 12))
 
@@ -77,14 +77,14 @@ func FuzzDescriptor(f *testing.F) {
 	f.Cleanup(func() { lib.Finalize() })
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		algo, count, chunkSize, origLen, _, err := pipeline.ParseDescriptor(data)
+		algo, count, chunkSize, origLen, srcCRC, _, err := pipeline.ParseDescriptor(data)
 		if err != nil {
 			return
 		}
 		if count > pipeline.MaxChunks || chunkSize > 1<<30 || origLen > 1<<30 {
 			t.Fatalf("parser accepted over-cap geometry: %d/%d/%d", count, chunkSize, origLen)
 		}
-		sess, err := lib.Pipeline().NewDecompress(pipeline.Spec{Algo: algo}, count, chunkSize, origLen)
+		sess, err := lib.Pipeline().NewDecompress(pipeline.Spec{Algo: algo}, count, chunkSize, origLen, srcCRC)
 		if err != nil {
 			if !errors.Is(err, pipeline.ErrBadSpec) {
 				t.Fatalf("geometry rejection not typed: %v", err)
@@ -112,11 +112,12 @@ func TestAbortMidStream(t *testing.T) {
 	}
 	type chunk struct {
 		index, origLen int
+		crc            uint32
 		data           []byte
 	}
 	var chunks []chunk
 	sum, err := lib.Pipeline().Compress(data, spec, func(ch pipeline.Chunk) error {
-		chunks = append(chunks, chunk{ch.Index, ch.OrigLen, append([]byte(nil), ch.Data...)})
+		chunks = append(chunks, chunk{ch.Index, ch.OrigLen, ch.CRC, append([]byte(nil), ch.Data...)})
 		return nil
 	})
 	if err != nil {
@@ -126,20 +127,20 @@ func TestAbortMidStream(t *testing.T) {
 		t.Fatalf("need a multi-chunk stream, got %d", sum.Chunks)
 	}
 
-	sess, err := lib.Pipeline().NewDecompress(spec, sum.Chunks, sum.ChunkSize, len(data))
+	sess, err := lib.Pipeline().NewDecompress(spec, sum.Chunks, sum.ChunkSize, len(data), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Half the stream arrives, then the sender dies.
 	for _, ch := range chunks[:len(chunks)/2] {
-		if err := sess.Submit(ch.index, ch.origLen, ch.data, 0); err != nil {
+		if err := sess.Submit(ch.index, ch.origLen, ch.crc, ch.data, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
 	sess.Abort()
 	sess.Abort() // idempotent
 	last := chunks[len(chunks)-1]
-	if err := sess.Submit(last.index, last.origLen, last.data, 0); !errors.Is(err, pipeline.ErrAborted) {
+	if err := sess.Submit(last.index, last.origLen, last.crc, last.data, 0); !errors.Is(err, pipeline.ErrAborted) {
 		t.Fatalf("submit after abort: got %v, want ErrAborted", err)
 	}
 	if _, _, err := sess.Wait(); !errors.Is(err, pipeline.ErrAborted) {

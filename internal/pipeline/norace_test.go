@@ -1,0 +1,7 @@
+//go:build !race
+
+package pipeline
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; see race_test.go.
+const raceEnabled = false

@@ -21,15 +21,19 @@
 package pipeline
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"pedal/internal/checksum"
 	"pedal/internal/dpu"
+	"pedal/internal/faults"
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
 	"pedal/internal/lz4"
 	"pedal/internal/mempool"
 	"pedal/internal/sz3"
@@ -89,6 +93,18 @@ type Spec struct {
 	// ChunkSize overrides the adaptive chunk size (rounded up to a
 	// multiple of chunkAlign). Zero selects automatically.
 	ChunkSize int
+	// Verify enables per-chunk verified compression: decode-verify for
+	// the lossless codecs, the scalar-reference differential referee for
+	// SZ3. A mismatching chunk is re-executed on the trusted scalar path
+	// before delivery. Off trusts kernel output.
+	Verify integrity.VerifyMode
+	// VerifySampleN is the sampling stride for VerifySampled; zero means
+	// integrity.DefaultSampleN.
+	VerifySampleN int
+	// SDC, when set, injects silent data corruption into SoC-produced
+	// chunks (the C-Engine carries its own injector); each worker draws
+	// from its own per-core seeded stream. Tests and soaks only.
+	SDC *faults.ComputeInjector
 }
 
 // Chunk sizing policy.
@@ -115,6 +131,10 @@ type Chunk struct {
 	Data    []byte
 	// Engine reports whether the chunk was produced by the C-Engine.
 	Engine bool
+	// CRC is the source-computed CRC-32 of Data — the hop-carried
+	// checksum downstream layers (frames, transport, fleet, checkpoint)
+	// carry and check instead of recomputing or trusting.
+	CRC uint32
 	// Done is the chunk's virtual completion time relative to the start
 	// of the operation.
 	Done time.Duration
@@ -138,6 +158,20 @@ type Summary struct {
 	// scheduler's chunk journal — each exactly once, so reassembly stays
 	// complete with no duplicate or missing chunks.
 	Replayed int
+	// VerifyMismatches counts chunks whose verification caught silent
+	// data corruption; ScalarFallbacks counts the trusted scalar
+	// re-executions that replaced them; Quarantines counts engine
+	// quarantine transitions those mismatches triggered.
+	VerifyMismatches int
+	ScalarFallbacks  int
+	Quarantines      int
+	// SrcCRC is the CRC-32 of the whole uncompressed payload under
+	// VerifyFull (zero otherwise, the "not carried" descriptor
+	// sentinel). Each worker digests its own chunk alongside the
+	// compression and the sink loop stitches the stream value with
+	// CRC32Combine, so the end-to-end digest costs no serial pass over
+	// the input.
+	SrcCRC uint32
 }
 
 // Pipeline owns a persistent SoC worker pool bound to one device. It is
@@ -146,7 +180,7 @@ type Pipeline struct {
 	dev     *dpu.Device
 	gen     hwmodel.Generation
 	pool    *mempool.Pool
-	jobs    chan func()
+	jobs    chan func(core int)
 	wg      sync.WaitGroup
 	workers int
 	once    sync.Once
@@ -166,17 +200,20 @@ func New(dev *dpu.Device, workers int, pool *mempool.Pool) *Pipeline {
 		dev:     dev,
 		gen:     dev.Generation(),
 		pool:    pool,
-		jobs:    make(chan func(), 4*workers),
+		jobs:    make(chan func(core int), 4*workers),
 		workers: workers,
 	}
+	// Each worker is pinned to a virtual core identity so the SDC
+	// injector's per-core seeded schedules stay reproducible regardless
+	// of which goroutine the runtime schedules first.
 	for i := 0; i < workers; i++ {
 		p.wg.Add(1)
-		go func() {
+		go func(core int) {
 			defer p.wg.Done()
 			for f := range p.jobs {
-				f()
+				f(core)
 			}
-		}()
+		}(i)
 	}
 	return p
 }
@@ -241,7 +278,10 @@ func (p *Pipeline) newPlanner(spec Spec, op hwmodel.Op) *planner {
 		case spec.Algo == AlgoLZ4 && op == hwmodel.Decompress:
 			a = hwmodel.LZ4
 		}
-		if a != 0 && p.dev.SupportsCEngine(a, op) {
+		// A quarantined engine is held off the schedule except for the
+		// ledger's half-open probe admissions, which re-earn trust chunk
+		// by chunk.
+		if a != 0 && p.dev.SupportsCEngine(a, op) && p.dev.CEngine().IntegrityAllow() {
 			if f, ok := hwmodel.OpCost(p.gen, hwmodel.CEngine, a, op, 0); ok {
 				pl.engAlgo, pl.engOK, pl.engFixed = a, true, f
 			}
@@ -328,11 +368,20 @@ func (pl *planner) place(arrival time.Duration, n int) (time.Duration, bool) {
 type compResult struct {
 	out      []byte
 	buf      []byte // pooled backing buffer, nil for engine output
+	crc      uint32 // source-computed CRC of out, carried hop to hop
+	srcCRC   uint32 // CRC of the chunk's *uncompressed* bytes (verify on)
 	err      error
 	fellBack bool
 	// replayed marks a fallback caused by engine loss (stall/wedge/
 	// reset) rather than an ordinary job failure.
 	replayed bool
+	// mismatch marks a chunk whose verification caught silent
+	// corruption; redo marks the scalar re-execution that replaced it;
+	// quarantined marks a mismatch that tipped the engine's integrity
+	// ledger over its threshold.
+	mismatch    bool
+	redo        bool
+	quarantined bool
 }
 
 // Compress splits src into chunks, compresses them across the SoC
@@ -380,6 +429,16 @@ func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summ
 	for i := range results {
 		results[i] = make(chan compResult, 1)
 	}
+	sampler := integrity.NewSampler(spec.Verify, spec.VerifySampleN)
+	// Under VerifyFull each producer also digests its chunk's *source*
+	// bytes on its own core — the per-chunk CRCs are stitched into the
+	// end-to-end stream digest after the sink loop, so the descriptor
+	// CRC never costs a serial pass over the input. Sampled mode is the
+	// bounded-cost screening tier: it keeps the unconditional per-chunk
+	// hop CRCs and the sampled decode-verify, but does not carry the
+	// full-coverage stream digest (a 100% source pass would defeat the
+	// point of sampling).
+	digest := spec.Verify == integrity.VerifyFull
 	// Dispatch in index order so the engine's FIFO matches the schedule.
 	for i := range slots {
 		i := i
@@ -390,29 +449,44 @@ func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summ
 			if err == nil {
 				go func() {
 					res := h.Wait()
+					var r compResult
 					if res.Err == nil && res.VerifyOutput() {
-						results[i] <- compResult{out: res.Output}
-						return
+						r = p.checkEngineChunk(spec, sampler, data, res.Output, res.Checksum)
+					} else {
+						r = p.produceSoft(0, spec, sampler, data)
+						r.fellBack = true
+						r.replayed = errors.Is(res.Err, dpu.ErrEngineLost)
 					}
-					out, buf, serr := p.softCompress(spec, data)
-					results[i] <- compResult{out: out, buf: buf, err: serr, fellBack: true,
-						replayed: errors.Is(res.Err, dpu.ErrEngineLost)}
+					if digest {
+						r.srcCRC = checksum.CRC32(data)
+					}
+					results[i] <- r
 				}()
 				continue
 			}
 			// Saturated or closed queue: spill to the SoC pool.
 			slots[i].engine = false
 		}
-		p.jobs <- func() {
-			out, buf, err := p.softCompress(spec, data)
-			results[i] <- compResult{out: out, buf: buf, err: err}
+		p.jobs <- func(core int) {
+			r := p.produceSoft(core, spec, sampler, data)
+			if digest {
+				r.srcCRC = checksum.CRC32(data)
+			}
+			results[i] <- r
 		}
 	}
 
 	sum := Summary{Makespan: pl.makespan, Busy: pl.busy, Chunks: k, ChunkSize: cs}
+	var srcs []uint32
+	if digest {
+		srcs = make([]uint32, k)
+	}
 	var opErr error
 	for _, idx := range order {
 		r := <-results[idx]
+		if digest {
+			srcs[idx] = r.srcCRC
+		}
 		if opErr != nil {
 			if r.buf != nil {
 				p.pool.Put(r.buf)
@@ -441,13 +515,38 @@ func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summ
 		if engine {
 			sum.EngineChunks++
 		}
+		if r.mismatch {
+			sum.VerifyMismatches++
+		}
+		if r.redo {
+			sum.ScalarFallbacks++
+		}
+		if r.quarantined {
+			sum.Quarantines++
+		}
 		sum.CompBytes += len(r.out)
-		err := sink(Chunk{Index: idx, Offset: s.off, OrigLen: s.clen, Data: r.out, Engine: engine, Done: done})
+		err := sink(Chunk{Index: idx, Offset: s.off, OrigLen: s.clen, Data: r.out, Engine: engine, CRC: r.crc, Done: done})
 		if r.buf != nil {
 			p.pool.Put(r.buf)
 		}
 		if err != nil {
 			opErr = err
+		}
+	}
+	if digest && opErr == nil {
+		// Stitch the per-chunk source digests in index order: each
+		// combine advances the running CRC past the next chunk's length,
+		// so the fold equals one pass over the whole payload. All chunks
+		// but the last share one length, so one precomputed zero-operator
+		// serves the whole fold at ~32 XORs per chunk.
+		zop := checksum.MakeCRC32Zeros(cs)
+		sum.SrcCRC = srcs[0]
+		for i := 1; i < k; i++ {
+			if slots[i].clen == cs {
+				sum.SrcCRC = zop.Combine(sum.SrcCRC, srcs[i])
+			} else {
+				sum.SrcCRC = checksum.CRC32Combine(sum.SrcCRC, srcs[i], slots[i].clen)
+			}
 		}
 	}
 	return sum, opErr
@@ -486,6 +585,151 @@ func (p *Pipeline) softCompress(spec Spec, data []byte) (out, buf []byte, err er
 			return nil, nil, cerr
 		}
 		out, err = sz3.CompressFloat64(vals, spec.SZ3)
+		return out, nil, err
+	default:
+		return nil, nil, fmt.Errorf("%w: algo %d", ErrBadSpec, spec.Algo)
+	}
+}
+
+// produceSoft is the SoC chunk producer with the compute fault domain
+// wired through: compress, give the SDC injector its shot (the fault
+// model's stand-in for a misbehaving vector kernel on this core), then
+// — when the sampler elects this chunk — decode-verify and fall back to
+// the trusted scalar path on a mismatch. The chunk CRC is computed
+// *after* injection: a corrupted chunk carries a checksum matching its
+// corrupt bytes, which is exactly what makes the corruption silent to
+// every downstream hop and leaves verification as the only detector.
+func (p *Pipeline) produceSoft(core int, spec Spec, sampler *integrity.Sampler, data []byte) compResult {
+	out, buf, err := p.softCompress(spec, data)
+	if err != nil {
+		return compResult{err: err}
+	}
+	if inj := spec.SDC; inj != nil {
+		if d := inj.Next(core); d.Class != faults.None {
+			inj.Apply(d, out)
+		}
+	}
+	r := compResult{out: out, buf: buf}
+	if sampler.Hit() && !p.verifyChunk(spec, data, out) {
+		r.mismatch = true
+		redo, rbuf, rerr := p.softCompressVerified(spec, data)
+		if buf != nil {
+			p.pool.Put(buf)
+		}
+		if rerr == nil && !p.verifyChunk(spec, data, redo) {
+			rerr = &integrity.CorruptError{Hop: "pipeline.chunk", Segment: spec.Algo.String()}
+		}
+		if rerr != nil {
+			return compResult{err: rerr, mismatch: true}
+		}
+		r.out, r.buf, r.redo = redo, rbuf, true
+	}
+	r.crc = checksum.CRC32(r.out)
+	return r
+}
+
+// checkEngineChunk post-processes a successful engine chunk: the
+// engine's completion checksum is the hop-carried CRC (taken over
+// whatever bytes the engine produced — silently corrupt or not), and
+// the sampler decides whether to decode-verify. Engine output is always
+// verified while the engine is quarantined: those are the half-open
+// probes that earn readmission. A mismatch feeds the integrity ledger
+// and re-executes the chunk on the trusted scalar path.
+func (p *Pipeline) checkEngineChunk(spec Spec, sampler *integrity.Sampler, data, out []byte, crc uint32) compResult {
+	eng := p.dev.CEngine()
+	if !sampler.Hit() && !eng.Quarantined() {
+		return compResult{out: out, crc: crc}
+	}
+	if p.verifyChunk(spec, data, out) {
+		eng.ReportVerified()
+		return compResult{out: out, crc: crc}
+	}
+	r := compResult{mismatch: true, fellBack: true, quarantined: eng.ReportCorrupt()}
+	redo, rbuf, rerr := p.softCompressVerified(spec, data)
+	if rerr == nil && !p.verifyChunk(spec, data, redo) {
+		rerr = &integrity.CorruptError{Hop: "pipeline.chunk", Segment: spec.Algo.String()}
+	}
+	if rerr != nil {
+		r.err = rerr
+		return r
+	}
+	r.out, r.buf, r.redo, r.crc = redo, rbuf, true, checksum.CRC32(redo)
+	return r
+}
+
+// verifyChunk answers "does this compressed chunk faithfully encode
+// data?": a pooled decode-and-compare for the lossless codecs, the
+// scalar-reference differential referee for SZ3 (whose slab kernels are
+// pinned byte-identical to the reference walk). The deflate path is
+// allocation-free so VerifySampled keeps the chunk hot path at zero
+// allocations per op.
+func (p *Pipeline) verifyChunk(spec Spec, data, out []byte) bool {
+	switch spec.Algo {
+	case AlgoDeflate:
+		buf := p.pool.GetCap(len(data))
+		dec, err := flate.AppendDecompress(buf, out, len(data))
+		ok := err == nil && bytes.Equal(dec, data)
+		p.pool.Put(buf)
+		return ok
+	case AlgoZlib:
+		dec, err := zlibfmt.DecompressLimit(out, len(data))
+		return err == nil && bytes.Equal(dec, data)
+	case AlgoLZ4:
+		dec, err := lz4.DecompressLimit(out, len(data))
+		return err == nil && bytes.Equal(dec, data)
+	case AlgoSZ3F32:
+		vals, err := bytesToF32(data)
+		if err != nil {
+			return false
+		}
+		ref, err := sz3.CompressFloat32Reference(vals, spec.SZ3)
+		return err == nil && bytes.Equal(ref, out)
+	case AlgoSZ3F64:
+		vals, err := bytesToF64(data)
+		if err != nil {
+			return false
+		}
+		ref, err := sz3.CompressFloat64Reference(vals, spec.SZ3)
+		return err == nil && bytes.Equal(ref, out)
+	default:
+		return false
+	}
+}
+
+// softCompressVerified is the trusted scalar re-execution path: the
+// token-refereed DEFLATE encoder (stored-block recovery) for the
+// deflate-based codecs, the scalar reference walk for SZ3, a plain
+// recompression for LZ4 (re-verified by the caller).
+func (p *Pipeline) softCompressVerified(spec Spec, data []byte) (out, buf []byte, err error) {
+	level := spec.Level
+	if level <= 0 {
+		level = flate.DefaultLevel
+	}
+	switch spec.Algo {
+	case AlgoDeflate:
+		buf = p.pool.GetCap(flate.CompressBound(len(data)))
+		out, _ = flate.AppendCompressVerified(buf, data, level)
+		return out, buf, nil
+	case AlgoZlib:
+		body, _ := flate.AppendCompressVerified(nil, data, level)
+		return zlibfmt.Assemble(level, body, data), nil, nil
+	case AlgoLZ4:
+		buf = p.pool.GetCap(lz4.CompressBound(len(data)))
+		out = lz4.AppendCompress(buf, data)
+		return out, buf, nil
+	case AlgoSZ3F32:
+		vals, cerr := bytesToF32(data)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		out, err = sz3.CompressFloat32Reference(vals, spec.SZ3)
+		return out, nil, err
+	case AlgoSZ3F64:
+		vals, cerr := bytesToF64(data)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		out, err = sz3.CompressFloat64Reference(vals, spec.SZ3)
 		return out, nil, err
 	default:
 		return nil, nil, fmt.Errorf("%w: algo %d", ErrBadSpec, spec.Algo)

@@ -7,9 +7,11 @@ import (
 	"testing"
 	"time"
 
+	"pedal/internal/checksum"
 	"pedal/internal/core"
 	"pedal/internal/dpu"
 	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
 	"pedal/internal/pipeline"
 	"pedal/internal/sz3"
 )
@@ -101,6 +103,31 @@ func TestCompletionOrderDelivery(t *testing.T) {
 	}
 }
 
+// TestStreamDigestStitching pins the parallel end-to-end digest: under
+// VerifyFull every worker digests its own source chunk and the sink
+// loop stitches them with CRC32Combine, so Summary.SrcCRC must equal a
+// straight CRC-32 of the whole payload — including on a ragged last
+// chunk and a single-chunk stream — while Off and Sampled carry the
+// zero "not carried" sentinel.
+func TestStreamDigestStitching(t *testing.T) {
+	p := newPipeline(t, hwmodel.BlueField3)
+	for _, n := range []int{3<<20 + 12345, 256 << 10, 100} {
+		data := textData(n)
+		want := checksum.CRC32(data)
+		spec := pipeline.Spec{Algo: pipeline.AlgoDeflate, Verify: integrity.VerifyFull}
+		_, sum := collect(t, p, data, spec)
+		if sum.SrcCRC != want {
+			t.Errorf("n=%d: stitched SrcCRC %#x, want %#x", n, sum.SrcCRC, want)
+		}
+		for _, mode := range []integrity.VerifyMode{integrity.VerifyOff, integrity.VerifySampled} {
+			spec.Verify = mode
+			if _, sum := collect(t, p, data, spec); sum.SrcCRC != 0 {
+				t.Errorf("n=%d verify=%v: SrcCRC %#x, want 0 sentinel", n, mode, sum.SrcCRC)
+			}
+		}
+	}
+}
+
 // TestMakespanBeatsSerial is the point of the pipeline: with k chunks
 // spread over the SoC cores, the virtual makespan must be well below the
 // single-stream cost of the same payload.
@@ -149,14 +176,14 @@ func roundTrip(t *testing.T, gen hwmodel.Generation, spec pipeline.Spec, data []
 	p := newPipeline(t, gen)
 	spec.ChunkSize = p.ChunkSizeFor(len(data), spec)
 	chunks, sum := collect(t, p, data, spec)
-	sess, err := p.NewDecompress(spec, len(chunks), sum.ChunkSize, len(data))
+	sess, err := p.NewDecompress(spec, len(chunks), sum.ChunkSize, len(data), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	order := submitOrder(len(chunks))
 	for _, i := range order {
 		ch := chunks[i]
-		if err := sess.Submit(ch.Index, ch.OrigLen, ch.Data, 0); err != nil {
+		if err := sess.Submit(ch.Index, ch.OrigLen, ch.CRC, ch.Data, 0); err != nil {
 			t.Fatalf("submit chunk %d: %v", ch.Index, err)
 		}
 	}
@@ -276,21 +303,21 @@ func TestDecompressRejects(t *testing.T) {
 	}
 
 	// Bad geometry: count×chunkSize can't cover origLen.
-	if _, err := p.NewDecompress(spec, 1, sum.ChunkSize, len(data)); err == nil {
+	if _, err := p.NewDecompress(spec, 1, sum.ChunkSize, len(data), 0); err == nil {
 		t.Error("undersized geometry accepted")
 	}
 	// Duplicate and out-of-range submits.
-	sess, err := p.NewDecompress(spec, 3, sum.ChunkSize, len(data))
+	sess, err := p.NewDecompress(spec, 3, sum.ChunkSize, len(data), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Submit(chunks[0].Index, chunks[0].OrigLen, chunks[0].Data, 0); err != nil {
+	if err := sess.Submit(chunks[0].Index, chunks[0].OrigLen, chunks[0].CRC, chunks[0].Data, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := sess.Submit(chunks[0].Index, chunks[0].OrigLen, chunks[0].Data, 0); err == nil {
+	if err := sess.Submit(chunks[0].Index, chunks[0].OrigLen, chunks[0].CRC, chunks[0].Data, 0); err == nil {
 		t.Error("duplicate chunk accepted")
 	}
-	if err := sess.Submit(7, 1, []byte{0}, 0); err == nil {
+	if err := sess.Submit(7, 1, 0, []byte{0}, 0); err == nil {
 		t.Error("out-of-range index accepted")
 	}
 	// Missing chunks surface as ErrIncomplete.

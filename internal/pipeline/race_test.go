@@ -1,0 +1,9 @@
+//go:build race
+
+package pipeline
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; allocation-contract tests skip under it because the detector's
+// shadow-memory bookkeeping allocates on paths that are allocation-free
+// in a normal build.
+const raceEnabled = true

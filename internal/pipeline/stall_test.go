@@ -51,6 +51,7 @@ func TestPipelinedStallMidStream(t *testing.T) {
 	for op := 0; op < 8 && replayed == 0; op++ {
 		type delivered struct {
 			origLen int
+			crc     uint32
 			data    []byte
 		}
 		seen := map[int]delivered{}
@@ -58,7 +59,7 @@ func TestPipelinedStallMidStream(t *testing.T) {
 			if _, dup := seen[ch.Index]; dup {
 				t.Fatalf("chunk %d delivered twice", ch.Index)
 			}
-			seen[ch.Index] = delivered{origLen: ch.OrigLen, data: append([]byte(nil), ch.Data...)}
+			seen[ch.Index] = delivered{origLen: ch.OrigLen, crc: ch.CRC, data: append([]byte(nil), ch.Data...)}
 			return nil
 		})
 		if err != nil {
@@ -71,12 +72,12 @@ func TestPipelinedStallMidStream(t *testing.T) {
 
 		// Reassemble through the decompress session: byte-identical or
 		// the stall recovery corrupted the stream.
-		sess, err := lib.Pipeline().NewDecompress(spec, sum.Chunks, sum.ChunkSize, len(data))
+		sess, err := lib.Pipeline().NewDecompress(spec, sum.Chunks, sum.ChunkSize, len(data), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for idx, d := range seen {
-			if err := sess.Submit(idx, d.origLen, d.data, 0); err != nil {
+			if err := sess.Submit(idx, d.origLen, d.crc, d.data, 0); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -10,9 +11,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pedal/internal/checksum"
 	"pedal/internal/core"
 	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
 )
 
 // ErrPeerDead reports that the keepalive declared the service dead:
@@ -308,6 +311,53 @@ func (c *Client) Decompress(engine hwmodel.Engine, dt core.DataType, msg []byte,
 	})
 }
 
+// CompressChecked is Compress with hop-carried checksums on both
+// directions of the wire: the request carries the source CRC of data
+// (verified by the daemon before compression) and the response carries
+// the daemon-computed CRC of the message (verified here on receipt). A
+// mismatch in either direction surfaces as a typed integrity.ErrCorrupt
+// instead of silently delivering damaged bytes.
+func (c *Client) CompressChecked(d core.Design, dt core.DataType, data []byte) ([]byte, error) {
+	return c.checkedRoundTrip(request{
+		op:     opCompressChecked,
+		algo:   byte(d.Algo),
+		engine: byte(d.Engine),
+		dtype:  byte(dt),
+	}, data, "compress")
+}
+
+// DecompressChecked is Decompress with hop-carried checksums on both
+// directions (see CompressChecked).
+func (c *Client) DecompressChecked(engine hwmodel.Engine, dt core.DataType, msg []byte, maxOut int) ([]byte, error) {
+	return c.checkedRoundTrip(request{
+		op:     opDecompressChecked,
+		engine: byte(engine),
+		dtype:  byte(dt),
+		maxOut: int64(maxOut),
+	}, msg, "decompress")
+}
+
+// checkedRoundTrip prefixes the request payload with its CRC, runs the
+// exchange, and verifies the CRC prefix of the response body.
+func (c *Client) checkedRoundTrip(req request, payload []byte, segment string) ([]byte, error) {
+	data := make([]byte, checkedDigestLen, checkedDigestLen+len(payload))
+	binary.LittleEndian.PutUint32(data, checksum.CRC32(payload))
+	req.data = append(data, payload...)
+	body, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < checkedDigestLen {
+		return nil, fmt.Errorf("%w: checked response missing digest", ErrRemote)
+	}
+	want := binary.LittleEndian.Uint32(body)
+	out := body[checkedDigestLen:]
+	if got := checksum.CRC32(out); got != want {
+		return nil, &integrity.CorruptError{Hop: "service.response", Segment: segment, Want: want, Got: got}
+	}
+	return out, nil
+}
+
 // Health is the parsed engine fault-domain status of a PEDAL service:
 // the daemon's view of its C-Engine (live / resetting / degraded) plus
 // the recovery counters.
@@ -321,6 +371,15 @@ type Health struct {
 	ExpiredDropped uint64
 	LostJobs       uint64
 	JobsReplayed   uint64
+	// Integrity counters from the silent-data-corruption fault domain:
+	// decode-verify mismatches caught by verified compression, chunks or
+	// requests a hop rejected on a checksum mismatch, cores quarantined
+	// after repeated mismatches, and jobs re-executed on the scalar
+	// reference path.
+	VerifyMismatches uint64
+	HopsRejected     uint64
+	CoresQuarantined uint64
+	ScalarFallbacks  uint64
 }
 
 // Live reports whether the daemon's engine is serving hardware jobs.
@@ -368,6 +427,14 @@ func parseHealth(body []byte) (Health, error) {
 			h.LostJobs = n
 		case "jobs_replayed":
 			h.JobsReplayed = n
+		case "verify_mismatches":
+			h.VerifyMismatches = n
+		case "hops_rejected":
+			h.HopsRejected = n
+		case "cores_quarantined":
+			h.CoresQuarantined = n
+		case "scalar_fallbacks":
+			h.ScalarFallbacks = n
 		}
 	}
 	if h.State == "" {

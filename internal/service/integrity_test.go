@@ -1,0 +1,118 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+
+	"pedal/internal/checksum"
+	"pedal/internal/core"
+	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
+)
+
+// TestCheckedRoundTrip: the checked ops carry digests on both
+// directions and round-trip byte-identically with the plain ops.
+func TestCheckedRoundTrip(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	data := bytes.Repeat([]byte("verified service payload with hop digests "), 3000)
+	d := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.CEngine}
+	msg, err := c.CompressChecked(d, core.TypeBytes, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msg) >= len(data) {
+		t.Fatalf("no compression: %d vs %d", len(msg), len(data))
+	}
+	out, err := c.DecompressChecked(hwmodel.CEngine, core.TypeBytes, msg, len(data)+64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, data) {
+		t.Fatal("checked round trip mismatch")
+	}
+	// The health line now carries the integrity counters (all zero on a
+	// clean run, but present and parseable).
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.VerifyMismatches != 0 || h.HopsRejected != 0 || h.CoresQuarantined != 0 {
+		t.Fatalf("clean run reported integrity events: %+v", h)
+	}
+}
+
+// TestCheckedRequestDigestMismatch: a request whose payload disagrees
+// with its carried digest is rejected server-side before any
+// compression work, with the detection counted.
+func TestCheckedRequestDigestMismatch(t *testing.T) {
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lib.Finalize)
+	s := NewServer(lib)
+	payload := []byte("damaged in transit")
+	data := make([]byte, checkedDigestLen+len(payload))
+	binary.LittleEndian.PutUint32(data, checksum.CRC32(payload)^0xFFFF) // wrong digest
+	copy(data[checkedDigestLen:], payload)
+	_, err = s.execute(request{op: opCompressChecked, algo: byte(core.AlgoDeflate), engine: byte(hwmodel.SoC), data: data})
+	if !errors.Is(err, integrity.ErrCorrupt) {
+		t.Fatalf("err = %v, want integrity.ErrCorrupt", err)
+	}
+	var ce *integrity.CorruptError
+	if !errors.As(err, &ce) || ce.Hop != "service.request" {
+		t.Fatalf("error detail = %+v", err)
+	}
+	body := s.HealthBody()
+	h, perr := parseHealth(body)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	if h.HopsRejected != 1 {
+		t.Fatalf("hops_rejected = %d, want 1 (health line %q)", h.HopsRejected, body)
+	}
+}
+
+// TestCheckedResponseDigestMismatch: the client rejects a response body
+// whose bytes disagree with the carried digest — a daemon (or the wire)
+// corrupting responses cannot hand the application damaged bytes.
+func TestCheckedResponseDigestMismatch(t *testing.T) {
+	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(lib.Finalize)
+	s := NewServer(lib)
+	s.execHook = func(request) ([]byte, error) {
+		body := make([]byte, checkedDigestLen+8)
+		binary.LittleEndian.PutUint32(body, 0x12345678) // not the CRC of 8 zero bytes
+		return body, nil
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(s.Close)
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.CompressChecked(core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}, core.TypeBytes, []byte("x"))
+	if !errors.Is(err, integrity.ErrCorrupt) {
+		t.Fatalf("err = %v, want integrity.ErrCorrupt", err)
+	}
+	var ce *integrity.CorruptError
+	if !errors.As(err, &ce) || ce.Hop != "service.response" {
+		t.Fatalf("error detail = %+v", err)
+	}
+}

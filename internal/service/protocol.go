@@ -36,7 +36,20 @@ const (
 	// service keeps its sessions, a dead one is detected even while its
 	// last responses are queued.
 	opPing = 4
+	// opCompressChecked / opDecompressChecked are the hop-carried-checksum
+	// variants: the request payload is crc(4 LE) || data and the statusOK
+	// response body is crc(4 LE) || payload. The server verifies the
+	// request digest before touching the compression path and the client
+	// verifies the response digest, so corruption on either direction of
+	// the service hop surfaces as a typed integrity error instead of
+	// silently reaching the application.
+	opCompressChecked   = 5
+	opDecompressChecked = 6
 )
+
+// checkedDigestLen is the fixed little-endian CRC32 prefix carried by
+// checked requests and responses.
+const checkedDigestLen = 4
 
 // Response status codes.
 const (

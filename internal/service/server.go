@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"log"
@@ -12,8 +13,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pedal/internal/checksum"
 	"pedal/internal/core"
 	"pedal/internal/hwmodel"
+	"pedal/internal/integrity"
 	"pedal/internal/stats"
 	"pedal/internal/trace"
 )
@@ -447,9 +450,57 @@ func (s *Server) execute(req request) (body []byte, err error) {
 	case opDecompress:
 		out, _, err := s.lib.Decompress(engine, dt, req.data, int(req.maxOut))
 		return out, err
+	case opCompressChecked:
+		payload, err := s.checkRequestDigest(req, "compress")
+		if err != nil {
+			return nil, err
+		}
+		d := core.Design{Algo: core.AlgoID(req.algo), Engine: engine}
+		msg, rep, err := s.lib.Compress(d, dt, payload)
+		if err != nil {
+			return nil, err
+		}
+		return prependDigest(rep.MsgCRC, msg), nil
+	case opDecompressChecked:
+		payload, err := s.checkRequestDigest(req, "decompress")
+		if err != nil {
+			return nil, err
+		}
+		out, rep, err := s.lib.Decompress(engine, dt, payload, int(req.maxOut))
+		if err != nil {
+			return nil, err
+		}
+		return prependDigest(rep.MsgCRC, out), nil
 	default:
 		return nil, errors.New("bad op")
 	}
+}
+
+// checkRequestDigest strips and verifies the crc(4 LE) prefix of a
+// checked request. A mismatch means the request bytes were damaged on
+// the host→daemon hop: the request is rejected with a typed integrity
+// error before any compression work, and the daemon's hops_rejected
+// counter records the detection.
+func (s *Server) checkRequestDigest(req request, segment string) ([]byte, error) {
+	if len(req.data) < checkedDigestLen {
+		return nil, errors.New("checked request missing digest")
+	}
+	want := binary.LittleEndian.Uint32(req.data)
+	payload := req.data[checkedDigestLen:]
+	if got := checksum.CRC32(payload); got != want {
+		s.bd.Inc(stats.CounterHopsRejected)
+		return nil, &integrity.CorruptError{Hop: "service.request", Segment: segment, Want: want, Got: got}
+	}
+	return payload, nil
+}
+
+// prependDigest builds a checked response body: the source-computed CRC
+// (MsgCRC from the library, not recomputed at the wire) followed by the
+// payload.
+func prependDigest(crc uint32, payload []byte) []byte {
+	body := make([]byte, checkedDigestLen, checkedDigestLen+len(payload))
+	binary.LittleEndian.PutUint32(body, crc)
+	return append(body, payload...)
 }
 
 // HealthBody renders the engine fault-domain status as the health
@@ -457,11 +508,20 @@ func (s *Server) execute(req request) (body []byte, err error) {
 // line at startup and drain.
 func (s *Server) HealthBody() []byte {
 	h := s.lib.EngineHealth()
-	replayed := s.lib.TotalBreakdown().Count(stats.CounterJobsReplayed)
+	tb := s.lib.TotalBreakdown()
+	replayed := tb.Count(stats.CounterJobsReplayed)
+	// The integrity counters fold the library's detections (verified
+	// compression, pipeline hops) with the daemon's own wire-hop
+	// rejections — one line answers "has this daemon ever seen silent
+	// data corruption".
 	return []byte(fmt.Sprintf(
-		"state=%s inflight=%d stalls=%d wedges=%d resets=%d reset_failures=%d expired_dropped=%d lost_jobs=%d jobs_replayed=%d",
+		"state=%s inflight=%d stalls=%d wedges=%d resets=%d reset_failures=%d expired_dropped=%d lost_jobs=%d jobs_replayed=%d verify_mismatches=%d hops_rejected=%d cores_quarantined=%d scalar_fallbacks=%d",
 		h.State, h.Inflight, h.Stalls, h.Wedges, h.Resets, h.ResetFailures,
-		h.ExpiredDropped, h.LostJobs, replayed))
+		h.ExpiredDropped, h.LostJobs, replayed,
+		tb.Count(stats.CounterVerifyMismatches),
+		tb.Count(stats.CounterHopsRejected)+s.bd.Count(stats.CounterHopsRejected),
+		tb.Count(stats.CounterCoresQuarantined),
+		tb.Count(stats.CounterScalarFallbacks)))
 }
 
 // ListenAndServe is the convenience entry used by cmd/pedald.

@@ -209,6 +209,26 @@ const (
 	CounterCkptCondemned Counter = "ckpt_epochs_condemned"
 )
 
+// Compute fault-domain counters (internal/integrity): verified
+// compression, hop-carried checksum rejection and the silent-data-
+// corruption quarantine ladder.
+const (
+	// CounterVerifyMismatches counts compressed outputs that failed
+	// decode-verification against the source digest (or the scalar-vs-
+	// slab differential referee) before release.
+	CounterVerifyMismatches Counter = "verify_mismatches"
+	// CounterHopsRejected counts payloads rejected at a hop boundary
+	// (pipeline reassembly, fleet response, checkpoint write-back)
+	// because the hop-carried CRC no longer matched the bytes.
+	CounterHopsRejected Counter = "hops_rejected"
+	// CounterCoresQuarantined counts compute units (C-Engine complexes)
+	// pulled from service after repeated verified mismatches.
+	CounterCoresQuarantined Counter = "cores_quarantined"
+	// CounterScalarFallbacks counts operations transparently re-executed
+	// on the scalar reference path after a verification failure.
+	CounterScalarFallbacks Counter = "scalar_fallbacks"
+)
+
 // Breakdown is a concurrency-safe accumulator of virtual durations per
 // phase plus resilience event counters.
 type Breakdown struct {

@@ -1,6 +1,7 @@
 package sz3
 
 import (
+	"errors"
 	"math"
 	"testing"
 )
@@ -50,5 +51,45 @@ func FuzzRoundTripBound(f *testing.F) {
 				t.Fatalf("element %d error %g", i, math.Abs(got[i]-vals[i]))
 			}
 		}
+	})
+}
+
+// FuzzSZ3DecodeCorrupt is the silent-data-corruption fuzzer for the SZ3
+// container: a well-formed stream with one flipped bit (and optional
+// truncation) must decode, or fail with the typed ErrCorrupt — never
+// panic and never surface an untyped error. Typed failures are what the
+// verification layers above rely on to classify corruption.
+func FuzzSZ3DecodeCorrupt(f *testing.F) {
+	f.Add(int64(7), uint16(64), uint32(40), uint8(0))
+	f.Add(int64(1), uint16(500), uint32(3000), uint8(3))
+	f.Add(int64(99), uint16(9), uint32(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, bitPos uint32, cut uint8) {
+		if n == 0 {
+			n = 1
+		}
+		vals := make([]float64, n)
+		x := uint64(seed)
+		for i := range vals {
+			x = x*6364136223846793005 + 1442695040888963407
+			vals[i] = math.Sin(float64(i)*0.01) + float64(x%1000)/1e6
+		}
+		comp, err := CompressFloat64(vals, Config{ErrorBound: 1e-3})
+		if err != nil || len(comp) == 0 {
+			return
+		}
+		mut := append([]byte(nil), comp...)
+		pos := int(bitPos) % (len(mut) * 8)
+		mut[pos/8] ^= 1 << (pos % 8)
+		if c := int(cut); c > 0 && c < len(mut) {
+			mut = mut[:len(mut)-c]
+		}
+		out, _, err := DecompressFloat64(mut)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("untyped sz3 decode error on corrupt stream: %v", err)
+			}
+			return
+		}
+		_ = out
 	})
 }

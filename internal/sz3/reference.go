@@ -1,0 +1,112 @@
+package sz3
+
+// This file is the scalar reference compressor — the differential
+// referee for PR 8's slab kernels. compressReference reproduces the
+// pre-slab block-wise path: generic elemIter walk, per-element coords,
+// scalar lorenzo.predict / regressionModel.eval / quantizer.quantize.
+// The slab kernels are a re-scheduling of the same floating-point
+// operations, not a reformulation, so the two paths must produce
+// byte-identical streams (pinned by TestSlabMatchesScalarCompress).
+// Verified compression exploits that identity: recompress through this
+// path and compare bytes — any divergence means the vectorized kernel
+// (or the memory under it) misbehaved, and the reference output is the
+// trusted replacement.
+
+// CompressFloat64Reference compresses like CompressFloat64 but through
+// the scalar reference walk. Byte-identical to the slab path on a
+// correct machine; used as the differential referee and as the
+// trusted re-execution path after a verification mismatch.
+func CompressFloat64Reference(data []float64, cfg Config) ([]byte, error) {
+	cfg, err := cfg.withDefaults(len(data))
+	if err != nil {
+		return nil, err
+	}
+	return compressReference(data, Float64, cfg)
+}
+
+// CompressFloat32Reference is the float32 counterpart of
+// CompressFloat64Reference.
+func CompressFloat32Reference(data []float32, cfg Config) ([]byte, error) {
+	cfg, err := cfg.withDefaults(len(data))
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]float64, len(data))
+	for i, v := range data {
+		vals[i] = float64(v)
+	}
+	return compressReference(vals, Float32, cfg)
+}
+
+// compressReference is the scalar block-predictor walk. The
+// interpolation predictor has no slab variant (it is already scalar),
+// so it routes to the shared implementation — recompression still
+// referees output corruption there.
+func compressReference(vals []float64, dt DataType, cfg Config) ([]byte, error) {
+	if cfg.Predictor == PredictorInterpolation {
+		return compress(vals, dt, cfg)
+	}
+	n := len(vals)
+	eb := effectiveBound(vals, cfg)
+	q := newQuantizer(eb)
+	round32 := dt == Float32
+	lz := newLorenzo(cfg.Dims)
+	edge := blockEdge(len(cfg.Dims))
+
+	recon := make([]float64, n)
+	codes := make([]uint16, 0, n)
+	var exact []float64
+	var flags []bool
+	var models []regressionModel
+	coordBuf := make([]int, len(cfg.Dims))
+
+	blockIter(cfg.Dims, edge, func(lo, hi []int) {
+		blockN := 1
+		for d := range lo {
+			blockN *= hi[d] - lo[d]
+		}
+		useReg := false
+		var model regressionModel
+		switch cfg.Predictor {
+		case PredictorRegression:
+			useReg = true
+		case PredictorAuto:
+			useReg, model = chooseRegression(vals, lz, lo, hi, blockN)
+		}
+		if useReg && cfg.Predictor == PredictorRegression {
+			model = fitRegression(len(lo), blockN, func(yield func([]int, float64)) {
+				elemIter(lz.strides, lo, hi, func(idx int, local []int) {
+					yield(local, vals[idx])
+				})
+			})
+		}
+		flags = append(flags, useReg)
+		if useReg {
+			models = append(models, model)
+		}
+		elemIter(lz.strides, lo, hi, func(idx int, local []int) {
+			var pred float64
+			if useReg {
+				pred = model.eval(local)
+			} else {
+				lz.coords(idx, coordBuf)
+				pred = lz.predict(recon, idx, coordBuf)
+			}
+			code, r, ok := q.quantize(vals[idx], pred, round32)
+			if !ok {
+				codes = append(codes, 0)
+				v := vals[idx]
+				if round32 {
+					v = float64(float32(v))
+				}
+				exact = append(exact, v)
+				recon[idx] = v
+				return
+			}
+			codes = append(codes, code)
+			recon[idx] = r
+		})
+	})
+
+	return assemblePayload(cfg, dt, eb, flags, models, codes, exact)
+}

@@ -5,76 +5,10 @@ import (
 	"testing"
 )
 
-// compressScalar reproduces the pre-slab block-wise compression path:
-// generic elemIter walk, per-element coords, scalar lorenzo.predict /
-// regressionModel.eval / quantizer.quantize. The slab kernels must
-// produce byte-identical streams — they are a re-scheduling of the same
-// floating-point operations, not a reformulation.
-func compressScalar(vals []float64, dt DataType, cfg Config) ([]byte, error) {
-	n := len(vals)
-	eb := effectiveBound(vals, cfg)
-	q := newQuantizer(eb)
-	round32 := dt == Float32
-	lz := newLorenzo(cfg.Dims)
-	edge := blockEdge(len(cfg.Dims))
-
-	recon := make([]float64, n)
-	codes := make([]uint16, 0, n)
-	var exact []float64
-	var flags []bool
-	var models []regressionModel
-	coordBuf := make([]int, len(cfg.Dims))
-
-	blockIter(cfg.Dims, edge, func(lo, hi []int) {
-		blockN := 1
-		for d := range lo {
-			blockN *= hi[d] - lo[d]
-		}
-		useReg := false
-		var model regressionModel
-		switch cfg.Predictor {
-		case PredictorRegression:
-			useReg = true
-		case PredictorAuto:
-			useReg, model = chooseRegression(vals, lz, lo, hi, blockN)
-		}
-		if useReg && cfg.Predictor == PredictorRegression {
-			model = fitRegression(len(lo), blockN, func(yield func([]int, float64)) {
-				elemIter(lz.strides, lo, hi, func(idx int, local []int) {
-					yield(local, vals[idx])
-				})
-			})
-		}
-		flags = append(flags, useReg)
-		if useReg {
-			models = append(models, model)
-		}
-		elemIter(lz.strides, lo, hi, func(idx int, local []int) {
-			var pred float64
-			if useReg {
-				pred = model.eval(local)
-			} else {
-				lz.coords(idx, coordBuf)
-				pred = lz.predict(recon, idx, coordBuf)
-			}
-			code, r, ok := q.quantize(vals[idx], pred, round32)
-			if !ok {
-				codes = append(codes, 0)
-				v := vals[idx]
-				if round32 {
-					v = float64(float32(v))
-				}
-				exact = append(exact, v)
-				recon[idx] = v
-				return
-			}
-			codes = append(codes, code)
-			recon[idx] = r
-		})
-	})
-
-	return assemblePayload(cfg, dt, eb, flags, models, codes, exact)
-}
+// The scalar reference walk lives in production code now (reference.go,
+// promoted in the verified-compression PR so it can serve as the
+// differential referee and the trusted re-execution path); these tests
+// keep pinning the slab kernels to it byte for byte.
 
 func slabEquivCases(t *testing.T) []struct {
 	name string
@@ -147,7 +81,7 @@ func TestSlabMatchesScalarCompress(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := compressScalar(tc.vals, Float64, cfg)
+			want, err := compressReference(tc.vals, Float64, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
