@@ -4,7 +4,7 @@ GO ?= go
 # (engine queue + close protocol + watchdog, retry path, MPI runtime,
 # reliability sublayer, service admission control, breaker half-open
 # probes).
-RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service ./internal/pipeline ./internal/faults ./internal/fleet ./internal/ckpt
+RACE_PKGS = ./internal/dpu ./internal/doca ./internal/mpi ./internal/transport ./internal/service ./internal/pipeline ./internal/faults ./internal/fleet ./internal/ckpt ./internal/mempool
 
 # Per-target budget for the fuzz smoke pass (each Fuzz* function runs
 # this long beyond its seed corpus).
@@ -85,12 +85,13 @@ benchdiff:
 # fault-domain sweep (crash/hang/restart mid-collective, detector +
 # shrink), and the fleet sweep (sharded pedald under crash/stall/
 # restart/overload/drain), the storage sweep (checkpoint store under
-# tear/rot/stall/crash-mid-commit), and the compute sweep (silent data
-# corruption under verified compression, hop checksums and quarantine).
-# `make check` runs them when SOAK=1; standalone `make soak` always
-# does.
+# tear/rot/stall/crash-mid-commit), the compute sweep (silent data
+# corruption under verified compression, hop checksums and quarantine),
+# and the overload sweep (memory-budget squeezes, slow consumers and
+# deadline storms under budgets + brownout). `make check` runs them when
+# SOAK=1; standalone `make soak` always does.
 soak:
-	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak|TestExtRankFaultsSoak|TestExtFleetFaultsSoak|TestExtCkptFaultsSoak|TestExtSDCFaultsSoak)$$' -v ./internal/experiments
+	$(GO) test -count=1 -run '^(TestExtEngineFaultsSoak|TestExtNetFaultsSoak|TestExtRankFaultsSoak|TestExtFleetFaultsSoak|TestExtCkptFaultsSoak|TestExtSDCFaultsSoak|TestExtOverloadFaultsSoak)$$' -v ./internal/experiments
 
 check: build vet test race fuzz
 ifeq ($(SOAK),1)

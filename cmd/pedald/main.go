@@ -43,6 +43,8 @@ func main() {
 		queue      = flag.Int("queue-depth", 0, "admission queue depth before shedding (0 = default, negative = none)")
 		watchdog   = flag.Bool("watchdog", true, "arm the C-Engine stall watchdog (hot-reset + SoC replay on engine loss)")
 		retryAfter = flag.Duration("retry-after", 0, "Retry-After hint attached to busy rejections (0 = none)")
+		memBudget  = flag.Int64("mem-budget", 0, "memory-pool budget in bytes; governed draws beyond it shed with a typed busy error (0 = unbounded)")
+		deadline   = flag.Duration("default-deadline", 0, "per-request execution-deadline ceiling; hints looser than this are capped (0 = none)")
 	)
 	flag.Parse()
 
@@ -56,7 +58,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pedald: unknown generation %q\n", *gen)
 		os.Exit(2)
 	}
-	opts := pedal.Options{Generation: g, ErrorBound: *eb}
+	opts := pedal.Options{Generation: g, ErrorBound: *eb, MemBudget: *memBudget}
 	if *watchdog {
 		// A long-running daemon must survive engine loss: arm the stall
 		// watchdog with defaults so a wedged C-Engine hot-resets and
@@ -78,6 +80,7 @@ func main() {
 	srv.MaxConcurrent = *maxConc
 	srv.QueueDepth = *queue
 	srv.RetryAfterHint = *retryAfter
+	srv.DefaultDeadline = *deadline
 
 	sigs := make(chan os.Signal, 2)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
@@ -99,6 +102,10 @@ func main() {
 		log.Printf("pedald: served %d requests (%d shed, %d drained, %d panics recovered)",
 			bd.Count(stats.CounterRequests), bd.Count(stats.CounterSheds),
 			bd.Count(stats.CounterDrained), bd.Count(stats.CounterPanics))
+		snap := lib.PoolSnapshot()
+		log.Printf("pedald: pool peak %d B of budget %d B (%d pressure rejects, %d deadline abandons, %d brownout steps)",
+			snap.PeakBytes, snap.Budget, bd.Count(stats.CounterMemPressure),
+			bd.Count(stats.CounterDeadlineAbandoned), bd.Count(stats.CounterBrownouts))
 		log.Printf("pedald: health %s", srv.HealthBody())
 	}()
 

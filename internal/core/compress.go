@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,15 +28,31 @@ import (
 // "intelligently fall back to SoC-based compression designs ... avoiding
 // software failures" — and reports the fallback.
 func (l *Library) Compress(d Design, dt DataType, data []byte) ([]byte, Report, error) {
+	return l.CompressContext(context.Background(), d, dt, data)
+}
+
+// CompressContext is Compress bounded by a caller deadline: the
+// operation checkpoints ctx on entry, inside the engine submit/wait
+// path, and before message assembly. Expired work is abandoned with a
+// typed dpu.ErrDeadline, pooled staging buffers are released, and the
+// abandonment is counted and traced. A background context takes exactly
+// the classic Compress path.
+func (l *Library) CompressContext(ctx context.Context, d Design, dt DataType, data []byte) ([]byte, Report, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil, Report{}, ErrFinalized
 	}
+	ctx, cancel := l.withOpDeadline(ctx)
+	defer cancel()
+	defer l.setOpCtx(ctx)()
 	op, old := l.beginOp()
 	defer l.endOp(op, old)
 
 	rep := Report{Design: d, Engine: d.Engine, InBytes: len(data)}
+	if err := l.checkDeadline(op, "compress"); err != nil {
+		return nil, rep, err
+	}
 	var payload []byte
 	var err error
 	switch d.Algo {
@@ -53,6 +70,13 @@ func (l *Library) Compress(d Design, dt DataType, data []byte) ([]byte, Report, 
 		err = fmt.Errorf("core: unknown algorithm %v", d.Algo)
 	}
 	if err != nil {
+		return nil, rep, err
+	}
+	// Deadline checkpoint between compression and verification/assembly:
+	// a caller that gave up mid-compression gets its typed abandonment
+	// now, with the payload staging buffer released rather than leaked.
+	if err := l.checkDeadline(op, "compress"); err != nil {
+		l.pool.Put(payload)
 		return nil, rep, err
 	}
 	// Compute fault domain: software-produced payloads get their SDC
@@ -95,11 +119,16 @@ func (l *Library) engineCompressDeflate(op *stats.Breakdown, rep *Report, data [
 	if supported && l.engineAllowed(op) {
 		staging, release := l.stage(op, data)
 		defer release()
-		res, err := l.ctx.Submit(hwmodel.Deflate, hwmodel.Compress, staging, 0)
+		res, err := l.ctx.SubmitCtx(l.curOpCtx(), hwmodel.Deflate, hwmodel.Compress, staging, 0)
 		l.noteEngineResult(op, err)
 		if err == nil {
 			rep.Engine = hwmodel.CEngine
 			return res.Output, nil
+		}
+		if cerr := l.checkDeadline(op, "engine-compress"); cerr != nil {
+			// The engine attempt died with the caller's deadline: abandon
+			// instead of burning the SoC fallback on unwanted work.
+			return nil, cerr
 		}
 		// Hardware failed at runtime: degrade to the SoC below.
 		engineErr = err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -99,6 +100,16 @@ type Options struct {
 	// taken, so only verified compression can catch it. Used by the
 	// ext-sdcfaults soak.
 	ComputeFaults *faults.ComputeInjector
+	// MemBudget caps the memory pool's outstanding bytes (overload fault
+	// domain): governed draws (GetCtx/TryGet at the service and staging
+	// boundaries) wait or shed once held bytes reach the budget, so the
+	// daemon degrades instead of OOMing. Zero leaves the pool ungoverned.
+	MemBudget int64
+	// DefaultDeadline bounds each operation when the caller's context
+	// carries no deadline of its own: expired work is abandoned at the
+	// next checkpoint with a typed dpu.ErrDeadline. Zero means no
+	// implicit deadline (context-free calls behave exactly as before).
+	DefaultDeadline time.Duration
 }
 
 // ResilienceOptions configures the fault-handling layer. Zero fields
@@ -186,6 +197,11 @@ type Library struct {
 	// software kernels are faultable. Nil in production.
 	sdc    *faults.ComputeInjector
 	closed bool
+	// opCtx is the active operation's caller context (overload fault
+	// domain). l.mu serializes operations, so the engine-path helpers
+	// read it instead of threading a parameter through every signature;
+	// nil means background (the classic context-free entry points).
+	opCtx context.Context
 }
 
 // ErrFinalized is returned by operations on a finalized library.
@@ -291,6 +307,11 @@ func Init(opts Options) (*Library, error) {
 	sizes := []int{4 << 10, 64 << 10, 1 << 20, 8 << 20, 64 << 20}
 	sizes = append(sizes, opts.PrewarmSizes...)
 	lib.pool.Prewarm(sizes, 4)
+	// Overload fault domain: arm the pool budget after prewarming so the
+	// retained warm buffers never count against it.
+	if opts.MemBudget > 0 {
+		lib.pool.SetBudget(opts.MemBudget)
+	}
 	return lib, nil
 }
 
@@ -326,10 +347,77 @@ func (l *Library) TotalBreakdown() *stats.Breakdown { return l.total }
 // PoolStats reports memory-pool hits and misses.
 func (l *Library) PoolStats() (hits, misses uint64) { return l.pool.Stats() }
 
+// Pool exposes the library's governed memory pool so the service layer
+// can draw request staging buffers from the same budget the compression
+// paths charge.
+func (l *Library) Pool() *mempool.Pool { return l.pool }
+
+// PoolSnapshot reports the full pool counter set, including the
+// overload-domain budget accounting (held/peak bytes, pressure events,
+// oversize drops).
+func (l *Library) PoolSnapshot() mempool.Snapshot { return l.pool.Snapshot() }
+
 // PoolOutstanding reports memory-pool buffers currently held by callers
 // (gets minus puts). Fault soaks sample it before and after injected
 // failures to assert aborted operations leak no pooled buffers.
 func (l *Library) PoolOutstanding() int64 { return l.pool.Outstanding() }
+
+// nopCancel is the no-allocation cancel returned when no implicit
+// deadline is applied.
+func nopCancel() {}
+
+// withOpDeadline applies the library's DefaultDeadline to a context that
+// carries none of its own. Callers must invoke the returned cancel.
+func (l *Library) withOpDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if l.opts.DefaultDeadline > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			return context.WithTimeout(ctx, l.opts.DefaultDeadline)
+		}
+	}
+	return ctx, nopCancel
+}
+
+// setOpCtx installs ctx as the active operation's context (callers hold
+// l.mu) and returns a restore func for the previous value. Background
+// contexts are stored as nil so the hot paths skip all checkpointing.
+func (l *Library) setOpCtx(ctx context.Context) func() {
+	prev := l.opCtx
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	l.opCtx = ctx
+	return func() { l.opCtx = prev }
+}
+
+// curOpCtx returns the active operation's context (callers hold l.mu).
+func (l *Library) curOpCtx() context.Context {
+	if l.opCtx != nil {
+		return l.opCtx
+	}
+	return context.Background()
+}
+
+// checkDeadline is a deadline checkpoint: when the active operation's
+// context has expired it counts the abandonment, traces it, and returns
+// the typed error the caller must propagate after releasing any pooled
+// buffers it holds. A nil/background context costs one nil check.
+func (l *Library) checkDeadline(op *stats.Breakdown, where string) error {
+	if l.opCtx == nil {
+		return nil
+	}
+	err := l.opCtx.Err()
+	if err == nil {
+		return nil
+	}
+	op.Inc(stats.CounterDeadlineAbandoned)
+	if tr := l.dev.CEngine().Tracer(); tr != nil {
+		tr.Record(trace.Event{Engine: "core", Op: "deadline_abandoned", Algo: where, Err: err.Error()})
+	}
+	return fmt.Errorf("core: %s abandoned at deadline checkpoint: %w: %v", where, dpu.ErrDeadline, err)
+}
 
 // beginOp redirects accounting to a fresh per-op breakdown. Callers must
 // hold l.mu and call endOp with the returned values.
@@ -434,6 +522,12 @@ func (l *Library) noteEngineResult(op *stats.Breakdown, err error) {
 		return
 	}
 	if errors.Is(err, dpu.ErrUnsupported) {
+		return
+	}
+	if errors.Is(err, dpu.ErrDeadline) && l.opCtx != nil && l.opCtx.Err() != nil {
+		// The caller's deadline expired mid-wait: an abandonment, not an
+		// engine fault — feeding it to the breaker would let a deadline
+		// storm trip the engine open while the hardware is healthy.
 		return
 	}
 	op.Inc(stats.CounterEngineFailures)

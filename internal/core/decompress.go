@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -26,6 +27,14 @@ import (
 // A message without a PEDAL header is an uncompressed payload by
 // protocol; it is returned verbatim with a zero-cost report.
 func (l *Library) Decompress(engine hwmodel.Engine, dt DataType, msg []byte, maxOutput int) ([]byte, Report, error) {
+	return l.DecompressContext(context.Background(), engine, dt, msg, maxOutput)
+}
+
+// DecompressContext is Decompress bounded by a caller deadline: entry
+// and engine submit/wait checkpoints abandon expired work with a typed
+// dpu.ErrDeadline (counted and traced as deadline_abandoned). A
+// background context takes exactly the classic Decompress path.
+func (l *Library) DecompressContext(ctx context.Context, engine hwmodel.Engine, dt DataType, msg []byte, maxOutput int) ([]byte, Report, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -40,11 +49,17 @@ func (l *Library) Decompress(engine hwmodel.Engine, dt DataType, msg []byte, max
 	if maxOutput <= 0 {
 		maxOutput = 1 << 30
 	}
+	octx, cancel := l.withOpDeadline(ctx)
+	defer cancel()
+	defer l.setOpCtx(octx)()
 	op, old := l.beginOp()
 	defer l.endOp(op, old)
 
 	d := Design{Algo: algo, Engine: engine}
 	rep := Report{Design: d, Engine: engine, InBytes: len(body)}
+	if err := l.checkDeadline(op, "decompress"); err != nil {
+		return nil, rep, err
+	}
 	var out []byte
 	switch algo {
 	case AlgoDeflate:
@@ -82,11 +97,14 @@ func (l *Library) engineDecompress(op *stats.Breakdown, rep *Report, algo hwmode
 	if supported && l.engineAllowed(op) {
 		staging, release := l.stage(op, body)
 		defer release()
-		res, err := l.ctx.Submit(algo, hwmodel.Decompress, staging, maxOutput)
+		res, err := l.ctx.SubmitCtx(l.curOpCtx(), algo, hwmodel.Decompress, staging, maxOutput)
 		l.noteEngineResult(op, err)
 		if err == nil {
 			rep.Engine = hwmodel.CEngine
 			return res.Output, nil
+		}
+		if cerr := l.checkDeadline(op, "engine-decompress"); cerr != nil {
+			return nil, cerr
 		}
 		engineErr = err
 	}

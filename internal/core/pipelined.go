@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"time"
 
+	"pedal/internal/dpu"
 	"pedal/internal/flate"
 	"pedal/internal/hwmodel"
 	"pedal/internal/integrity"
@@ -82,15 +84,30 @@ func (l *Library) Pipeline() *pipeline.Pipeline { return l.pl }
 // chunks spread over the SoC cores and the C-Engine, makespan ≈
 // serial/k on the SoC side, and engine fixed costs are paid once.
 func (l *Library) CompressPipelined(d Design, dt DataType, data []byte) ([]byte, Report, error) {
+	return l.CompressPipelinedContext(context.Background(), d, dt, data)
+}
+
+// CompressPipelinedContext is CompressPipelined bounded by a caller
+// deadline: the pipeline's dispatch and delivery loops checkpoint ctx
+// per chunk, expired operations abandon with a typed dpu.ErrDeadline,
+// and the partially-assembled output buffer returns to the pool. A
+// background context takes exactly the classic path.
+func (l *Library) CompressPipelinedContext(ctx context.Context, d Design, dt DataType, data []byte) ([]byte, Report, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil, Report{}, ErrFinalized
 	}
+	octx, cancel := l.withOpDeadline(ctx)
+	defer cancel()
+	defer l.setOpCtx(octx)()
 	op, old := l.beginOp()
 	defer l.endOp(op, old)
 
 	rep := Report{Design: d, Engine: hwmodel.SoC, InBytes: len(data)}
+	if err := l.checkDeadline(op, "compress-pipelined"); err != nil {
+		return nil, rep, err
+	}
 	spec, err := l.pipelineSpec(d, dt)
 	if err != nil {
 		return nil, rep, err
@@ -113,11 +130,18 @@ func (l *Library) CompressPipelined(d Design, dt DataType, data []byte) ([]byte,
 	out = append(out, headerIndicator, byte(AlgoPipelined), headerIndicator)
 	out = pipeline.AppendDescriptor(out, spec.Algo, count, spec.ChunkSize, len(data), 0)
 	descEnd := len(out)
-	sum, err := l.pl.Compress(data, spec, func(ch pipeline.Chunk) error {
+	sum, err := l.pl.CompressContext(l.curOpCtx(), data, spec, func(ch pipeline.Chunk) error {
 		out = pipeline.AppendChunkFrame(out, ch.Index, ch.OrigLen, ch.CRC, ch.Data)
 		return nil
 	})
 	if err != nil {
+		// The partially assembled message is dead; recycling it is what
+		// lets the overload soak assert zero leaked buffers after a
+		// deadline storm.
+		l.pool.Put(out)
+		if errors.Is(err, dpu.ErrDeadline) {
+			op.Inc(stats.CounterDeadlineAbandoned)
+		}
 		return nil, rep, err
 	}
 	binary.LittleEndian.PutUint32(out[descEnd-4:descEnd], sum.SrcCRC)

@@ -12,6 +12,7 @@
 package doca
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -244,6 +245,16 @@ type Result struct {
 // verified against the engine-reported CRC before being returned, so
 // corruption is detected here rather than propagated.
 func (c *Context) Submit(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutput int) (Result, error) {
+	return c.SubmitCtx(context.Background(), algo, op, input, maxOutput)
+}
+
+// SubmitCtx is Submit bounded by a caller deadline: the retry loop
+// checkpoints ctx before every attempt and the completion wait selects
+// on it, so work the caller has abandoned stops at the next checkpoint
+// with a typed dpu.ErrDeadline (counted as a deadline_abandoned event)
+// instead of burning attempts nobody is waiting for. A background
+// context takes exactly the classic Submit path.
+func (c *Context) SubmitCtx(ctx context.Context, algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutput int) (Result, error) {
 	c.mu.Lock()
 	closed := c.closed
 	p := c.policy.normalized()
@@ -256,16 +267,27 @@ func (c *Context) Submit(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutp
 	}
 	var lastErr error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if ctx != nil && ctx.Err() != nil {
+			c.sink().Inc(stats.CounterDeadlineAbandoned)
+			return Result{}, fmt.Errorf("doca: abandoned before attempt %d: %w: %v",
+				attempt+1, dpu.ErrDeadline, ctx.Err())
+		}
 		if attempt > 0 {
 			bd := c.sink()
 			bd.Inc(stats.CounterRetries)
 			bd.Add(stats.PhaseRetry, faults.Backoff(attempt-1, p.BaseBackoff, p.MaxBackoff, c.rng))
 		}
-		res, err := c.submitOnce(algo, op, input, maxOutput, p)
+		res, err := c.submitOnce(ctx, algo, op, input, maxOutput, p)
 		if err == nil {
 			return res, nil
 		}
 		if !dpu.IsTransient(err) {
+			return Result{}, err
+		}
+		if ctx != nil && ctx.Err() != nil {
+			// The attempt failed because the caller's deadline expired
+			// mid-wait: that is an abandonment, not a transient to retry.
+			c.sink().Inc(stats.CounterDeadlineAbandoned)
 			return Result{}, err
 		}
 		lastErr = err
@@ -275,18 +297,23 @@ func (c *Context) Submit(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutp
 
 // submitOnce performs one submission attempt: enqueue, bounded wait,
 // checksum verification, cost accounting.
-func (c *Context) submitOnce(algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutput int, p RetryPolicy) (Result, error) {
+func (c *Context) submitOnce(ctx context.Context, algo hwmodel.Algo, op hwmodel.Op, input []byte, maxOutput int, p RetryPolicy) (Result, error) {
 	job := dpu.Job{Algo: algo, Op: op, Input: input, MaxOutput: maxOutput}
 	if p.JobDeadline > 0 {
 		// Stamp the deadline on the descriptor too, so the engine can
 		// drop the job at dequeue once we have stopped waiting for it.
 		job.Deadline = time.Now().Add(p.JobDeadline)
 	}
+	if ctx != nil {
+		if d, ok := ctx.Deadline(); ok && (job.Deadline.IsZero() || d.Before(job.Deadline)) {
+			job.Deadline = d
+		}
+	}
 	h, err := c.dev.CEngine().Submit(job)
 	if err != nil {
 		return Result{}, err
 	}
-	res, ok := h.WaitTimeout(p.JobDeadline)
+	res, ok := h.WaitContextTimeout(ctx, p.JobDeadline)
 	if !ok {
 		c.sink().Inc(stats.CounterTimeouts)
 		return Result{}, res.Err

@@ -141,6 +141,30 @@ func (h *JobHandle) WaitContext(ctx context.Context) (JobResult, bool) {
 	}
 }
 
+// WaitContextTimeout blocks until completion, ctx cancellation, or the
+// elapsed timeout d, whichever fires first; ok=false means the job was
+// abandoned and the result carries ErrDeadline. A background context
+// with no deadline takes the allocation-free WaitTimeout path, so the
+// hot benchmarks see no new machinery. d <= 0 means no elapsed bound.
+func (h *JobHandle) WaitContextTimeout(ctx context.Context, d time.Duration) (JobResult, bool) {
+	if ctx == nil || ctx.Done() == nil {
+		return h.WaitTimeout(d)
+	}
+	if d <= 0 {
+		return h.WaitContext(ctx)
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-h.done:
+		return r, true
+	case <-timer.C:
+		return JobResult{Seq: h.seq, Err: ErrDeadline}, false
+	case <-ctx.Done():
+		return JobResult{Seq: h.seq, Err: fmt.Errorf("%w: %v", ErrDeadline, ctx.Err())}, false
+	}
+}
+
 type queued struct {
 	job    Job
 	handle *JobHandle

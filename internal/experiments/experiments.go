@@ -127,6 +127,7 @@ func Runners() []Runner {
 		{"ext-fleetfaults", "Extension: chaos soak — resilient sharded pedald fleet", ExtFleetFaults},
 		{"ext-ckptfaults", "Extension: chaos soak — crash-consistent compressed checkpoint store", ExtCkptFaults},
 		{"ext-sdcfaults", "Extension: chaos soak — silent-data-corruption detection and quarantine", ExtSDCFaults},
+		{"ext-overloadfaults", "Extension: chaos soak — overload fault domain (budgets, deadlines, brownout)", ExtOverloadFaults},
 	}
 }
 

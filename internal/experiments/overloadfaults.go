@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pedal/internal/core"
+	"pedal/internal/dpu"
+	"pedal/internal/faults"
+	"pedal/internal/fleet"
+	"pedal/internal/hwmodel"
+	"pedal/internal/service"
+	"pedal/internal/stats"
+)
+
+// ExtOverloadFaults is the chaos soak for the overload fault domain:
+// a small pedald fleet with governed memory budgets and end-to-end
+// deadlines, driven by mixed-tenant sustained load (gold traffic via
+// the fleet router, best-effort host apps dialing a shard directly)
+// while a deterministic schedule squeezes pool budgets, stalls
+// consumers, and storms deadlines. The headline properties: zero data
+// errors, every refusal typed (busy with a Retry-After hint, or a
+// deadline error satisfying errors.Is dpu.ErrDeadline — never a hang,
+// an untyped failure, or a silent loss), peak pool bytes bounded by
+// the configured budget, and zero leaked buffers after drain.
+func ExtOverloadFaults(o Options) (Table, error) {
+	t := Table{
+		ID: "ext-overloadfaults", Title: "Overload resilience under memory pressure, slow consumers, and deadline storms",
+		Columns: []string{"Scenario", "Shards", "Ops", "OK", "DataErr", "Untyped", "Busy", "Deadline",
+			"MemShed", "Brownout", "Abandoned", "PeakMiB", "Leaked"},
+		Metrics: map[string]float64{},
+	}
+	for _, sc := range overloadScenarios(o) {
+		if err := runOverloadScenario(sc, &t); err != nil {
+			return t, fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+	}
+	return t, nil
+}
+
+// overloadScenario is one soak configuration. Each shard runs its own
+// library so per-shard pool budgets can be squeezed independently.
+type overloadScenario struct {
+	name     string
+	shards   int
+	gold, be int // client goroutines per class
+	ops      int // operations per client
+	// budget is each shard library's steady-state pool budget;
+	// defaultDeadline is each server's hint-free request ceiling.
+	budget          int64
+	defaultDeadline time.Duration
+	serverConf      func(*service.Server)
+	routerCfg       fleet.Config
+	schedule        []faults.OverloadFault
+	// directBE routes the best-effort clients straight at shard 0 as
+	// flagged low-priority connections (the host-app deployment), so
+	// the brownout ladder has something to shed first; otherwise they
+	// go through the router like gold.
+	directBE bool
+	// Scenario-specific floor assertions, checked by the soak test via
+	// the exported metrics.
+	wantMemSheds  bool
+	wantBrownouts bool
+	wantDeadlines bool
+}
+
+// overloadPayloadBytes sizes the per-op payload (40 KiB, pool charge
+// 64 KiB) so a squeezed MemPressure budget below that charge refuses
+// every governed draw deterministically.
+const overloadPayloadBytes = 40 << 10
+
+func overloadScenarios(o Options) []overloadScenario {
+	ops := 30
+	if o.Quick {
+		ops = 10
+	}
+	budget := int64(64 << 20)
+	return []overloadScenario{
+		{
+			// Baseline: budgets and deadlines on, nobody squeezed — the
+			// governance machinery must be invisible to healthy traffic.
+			name: "mixed", shards: 3, gold: 2, be: 4, ops: ops,
+			budget: budget, defaultDeadline: 5 * time.Second,
+			routerCfg: fleet.Config{RequestBudget: 20 * time.Second},
+		},
+		{
+			// One shard's pool budget collapses below a single request's
+			// charge: every governed draw on it must refuse as a typed
+			// busy shed while the rest of the fleet absorbs gold traffic.
+			name: "mempressure", shards: 3, gold: 2, be: 4, ops: ops + 10,
+			budget: budget, defaultDeadline: 5 * time.Second,
+			routerCfg: fleet.Config{RequestBudget: 20 * time.Second, GoldBusyRetries: 10},
+			schedule: []faults.OverloadFault{
+				{Shard: 0, Class: faults.MemPressure, AfterOps: 15, Ops: 60, Budget: 48 << 10},
+			},
+			directBE:     true,
+			wantMemSheds: true,
+		},
+		{
+			// A slow consumer wedges the only execution slot; queue
+			// occupancy must walk the brownout ladder and shed the
+			// flagged best-effort connections first.
+			name: "slowconsumer", shards: 2, gold: 2, be: 6, ops: ops,
+			budget: budget, defaultDeadline: 5 * time.Second,
+			serverConf: func(s *service.Server) {
+				s.MaxConcurrent = 1
+				s.QueueDepth = 2
+				s.RetryAfterHint = 500 * time.Microsecond
+			},
+			routerCfg: fleet.Config{RequestBudget: 20 * time.Second, GoldBusyRetries: 20},
+			schedule: []faults.OverloadFault{
+				{Shard: 0, Class: faults.SlowConsumer, AfterOps: 10, Ops: 80, Stall: 3 * time.Millisecond},
+			},
+			directBE:      true,
+			wantBrownouts: true,
+		},
+		{
+			// A deadline storm: the victim's ceiling collapses to 1µs, so
+			// nearly every request on it must be abandoned at a checkpoint
+			// with the typed deadline error — and release its buffers.
+			name: "deadlinestorm", shards: 2, gold: 2, be: 4, ops: ops + 10,
+			budget: budget, defaultDeadline: 5 * time.Second,
+			routerCfg: fleet.Config{RequestBudget: 20 * time.Second},
+			schedule: []faults.OverloadFault{
+				{Shard: 0, Class: faults.DeadlineStorm, AfterOps: 10, Ops: 60, Deadline: time.Microsecond},
+			},
+			directBE:      true,
+			wantDeadlines: true,
+		},
+	}
+}
+
+// overloadRestore is a scheduled end-of-episode action.
+type overloadRestore struct {
+	at int64
+	fn func()
+}
+
+func runOverloadScenario(sc overloadScenario, t *Table) error {
+	// Boot the fleet: one library per shard so pool budgets are
+	// per-shard resources, like device memory on separate DPUs.
+	libs := make([]*core.Library, sc.shards)
+	procs := make([]*fleetShardProc, sc.shards)
+	for i := range procs {
+		lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2, MemBudget: sc.budget})
+		if err != nil {
+			return err
+		}
+		libs[i] = lib
+		procs[i] = &fleetShardProc{lib: lib, conf: func(s *service.Server) {
+			s.DefaultDeadline = sc.defaultDeadline
+			if sc.serverConf != nil {
+				sc.serverConf(s)
+			}
+		}}
+		if err := procs[i].listen("127.0.0.1:0"); err != nil {
+			return err
+		}
+	}
+	defer func() {
+		for _, p := range procs {
+			p.crash()
+		}
+		for _, lib := range libs {
+			lib.Finalize()
+		}
+	}()
+
+	cfg := sc.routerCfg
+	cfg.Dial = func(addr string, timeout time.Duration) (fleet.Backend, error) {
+		cl, err := service.DialTimeout(addr, timeout)
+		if err != nil {
+			return nil, err
+		}
+		cl.Timeout = timeout
+		cl.DeadlineHints = true
+		return cl, nil
+	}
+	router := fleet.NewRouter(cfg)
+	defer router.Close()
+	for i, p := range procs {
+		router.AddShard(fmt.Sprintf("s%d", i), p.addr)
+	}
+
+	var (
+		completed      atomic.Int64
+		okOps          atomic.Uint64
+		dataErrs       atomic.Uint64
+		typedBusy      atomic.Uint64
+		typedDeadlines atomic.Uint64
+		untyped        atomic.Uint64
+	)
+	design := core.Design{Algo: core.AlgoDeflate, Engine: hwmodel.SoC}
+
+	// The fault schedule fires synchronously from the op loop (see
+	// runFleetScenario); overload episodes additionally schedule their
+	// own restore a fixed op count later, so squeeze and recovery are
+	// both deterministic relative to the workload.
+	var schedMu sync.Mutex
+	schedIdx := 0
+	var restores []overloadRestore
+	fireFaults := func(done int64) {
+		schedMu.Lock()
+		defer schedMu.Unlock()
+		for i := 0; i < len(restores); {
+			if restores[i].at <= done {
+				restores[i].fn()
+				restores = append(restores[:i], restores[i+1:]...)
+				continue
+			}
+			i++
+		}
+		for schedIdx < len(sc.schedule) && int64(sc.schedule[schedIdx].AfterOps) <= done {
+			f := sc.schedule[schedIdx]
+			schedIdx++
+			lib, srv := libs[f.Shard], procs[f.Shard].server()
+			until := int64(f.AfterOps + f.Ops)
+			switch f.Class {
+			case faults.MemPressure:
+				orig := lib.Pool().Budget()
+				lib.Pool().SetBudget(f.Budget)
+				restores = append(restores, overloadRestore{at: until, fn: func() { lib.Pool().SetBudget(orig) }})
+			case faults.SlowConsumer:
+				if srv != nil {
+					srv.SetExecDelay(f.Stall)
+					restores = append(restores, overloadRestore{at: until, fn: func() { srv.SetExecDelay(0) }})
+				}
+			case faults.DeadlineStorm:
+				if srv != nil {
+					srv.SetDefaultDeadline(f.Deadline)
+					restores = append(restores, overloadRestore{at: until, fn: func() { srv.SetDefaultDeadline(sc.defaultDeadline) }})
+				}
+			}
+		}
+	}
+
+	classifyOutcome := func(err error, out, body []byte) {
+		switch {
+		case err == nil && bytes.Equal(out, body):
+			okOps.Add(1)
+		case err == nil:
+			dataErrs.Add(1)
+		case errors.Is(err, dpu.ErrDeadline):
+			typedDeadlines.Add(1)
+		case errors.Is(err, service.ErrBusy):
+			typedBusy.Add(1)
+		default:
+			untyped.Add(1)
+		}
+	}
+
+	payload := func(key string) []byte {
+		unit := []byte(key + " pedal overload soak / ")
+		return bytes.Repeat(unit, overloadPayloadBytes/len(unit)+1)[:overloadPayloadBytes]
+	}
+
+	routedOps := func(class fleet.Class, tenant, prefix string, n int) {
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("%s/obj-%d", prefix, i)
+			body := payload(key)
+			req := fleet.Request{Tenant: tenant, Key: key, Class: class, Idempotent: true}
+			msg, err := router.Compress(req, design, core.TypeBytes, body)
+			var out []byte
+			if err == nil {
+				out, err = router.Decompress(req, hwmodel.SoC, core.TypeBytes, msg, len(body)+64)
+			}
+			fireFaults(completed.Add(1))
+			classifyOutcome(err, out, body)
+		}
+	}
+
+	// directOps is the host-app deployment: a low-priority client pinned
+	// to one daemon, carrying deadline hints, retrying busy sheds under
+	// its own call budget.
+	directOps := func(addr, prefix string, n int) {
+		cl, err := service.Dial(addr)
+		if err != nil {
+			untyped.Add(uint64(n))
+			return
+		}
+		defer cl.Close()
+		cl.Timeout = 2 * time.Second
+		cl.DeadlineHints = true
+		cl.BestEffort = true
+		cl.Retry = &service.RetryPolicy{Budget: 3}
+		for i := 0; i < n; i++ {
+			key := fmt.Sprintf("%s/obj-%d", prefix, i)
+			body := payload(key)
+			msg, err := cl.Compress(design, core.TypeBytes, body)
+			var out []byte
+			if err == nil {
+				out, err = cl.Decompress(hwmodel.SoC, core.TypeBytes, msg, len(body)+64)
+			}
+			fireFaults(completed.Add(1))
+			classifyOutcome(err, out, body)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < sc.gold; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			routedOps(fleet.Gold, "tenant-gold", fmt.Sprintf("g%d", g), sc.ops)
+		}(g)
+	}
+	for b := 0; b < sc.be; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			if sc.directBE {
+				directOps(procs[0].addr, fmt.Sprintf("b%d", b), sc.ops)
+			} else {
+				routedOps(fleet.BestEffort, "tenant-be", fmt.Sprintf("b%d", b), sc.ops)
+			}
+		}(b)
+	}
+	wg.Wait()
+
+	// Drain accounting: after the load stops, every pooled buffer must
+	// come home and the peak must never have pierced the steady budget.
+	var leaked int64
+	var peak int64
+	var memSheds, brownouts, abandoned uint64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		leaked = 0
+		for _, lib := range libs {
+			leaked += lib.PoolOutstanding()
+		}
+		if leaked == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for i, lib := range libs {
+		snap := lib.PoolSnapshot()
+		if snap.PeakBytes > peak {
+			peak = snap.PeakBytes
+		}
+		memSheds += snap.PressureRejects
+		abandoned += lib.TotalBreakdown().Count(stats.CounterDeadlineAbandoned)
+		if srv := procs[i].server(); srv != nil {
+			sb := srv.Stats()
+			memSheds += sb.Count(stats.CounterMemPressure)
+			brownouts += sb.Count(stats.CounterBrownouts)
+			abandoned += sb.Count(stats.CounterDeadlineAbandoned)
+		}
+	}
+
+	totalOps := int64(sc.gold+sc.be) * int64(sc.ops)
+	t.Rows = append(t.Rows, []string{
+		sc.name, fmt.Sprint(sc.shards), fmt.Sprint(totalOps), fmt.Sprint(okOps.Load()),
+		fmt.Sprint(dataErrs.Load()), fmt.Sprint(untyped.Load()),
+		fmt.Sprint(typedBusy.Load()), fmt.Sprint(typedDeadlines.Load()),
+		fmt.Sprint(memSheds), fmt.Sprint(brownouts), fmt.Sprint(abandoned),
+		fmt.Sprintf("%.2f", float64(peak)/(1<<20)), fmt.Sprint(leaked),
+	})
+	key := func(s string) string { return "overload_" + sc.name + "_" + s }
+	t.Metrics[key("ops")] = float64(totalOps)
+	t.Metrics[key("ok")] = float64(okOps.Load())
+	t.Metrics[key("data_errors")] = float64(dataErrs.Load())
+	t.Metrics[key("untyped_errors")] = float64(untyped.Load())
+	t.Metrics[key("typed_busy")] = float64(typedBusy.Load())
+	t.Metrics[key("typed_deadlines")] = float64(typedDeadlines.Load())
+	t.Metrics[key("mem_sheds")] = float64(memSheds)
+	t.Metrics[key("brownouts")] = float64(brownouts)
+	t.Metrics[key("deadline_abandoned")] = float64(abandoned)
+	t.Metrics[key("peak_pool_bytes")] = float64(peak)
+	t.Metrics[key("pool_budget")] = float64(sc.budget)
+	t.Metrics[key("leaked_buffers")] = float64(leaked)
+	return nil
+}

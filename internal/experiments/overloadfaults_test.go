@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"testing"
+
+	"pedal/internal/testutil"
+)
+
+// TestExtOverloadFaultsSoak runs the overload chaos soak at full scale
+// and asserts the PR's acceptance criteria: under memory-pressure
+// squeezes, slow consumers, and deadline storms — zero data errors,
+// zero untyped errors (every refusal is a typed busy shed or a typed
+// deadline error), peak pool bytes bounded by the configured budget,
+// and zero leaked buffers or goroutines after drain.
+func TestExtOverloadFaultsSoak(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	tb, err := ExtOverloadFaults(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", tb)
+	m := tb.Metrics
+
+	scenarios := []string{"mixed", "mempressure", "slowconsumer", "deadlinestorm"}
+	for _, sc := range scenarios {
+		key := func(s string) string { return "overload_" + sc + "_" + s }
+		if m[key("ops")] == 0 {
+			t.Errorf("%s: no operations ran", sc)
+		}
+		if got := m[key("data_errors")]; got != 0 {
+			t.Errorf("%s: %v data errors", sc, got)
+		}
+		if got := m[key("untyped_errors")]; got != 0 {
+			t.Errorf("%s: %v untyped errors (every refusal must be typed busy or deadline)", sc, got)
+		}
+		if peak, budget := m[key("peak_pool_bytes")], m[key("pool_budget")]; peak > budget {
+			t.Errorf("%s: peak pool bytes %v exceeded the configured budget %v", sc, peak, budget)
+		}
+		if got := m[key("leaked_buffers")]; got != 0 {
+			t.Errorf("%s: %v pooled buffers leaked after drain", sc, got)
+		}
+	}
+
+	// Baseline: governance on, nobody squeezed — everything succeeds
+	// and no overload machinery fires.
+	if m["overload_mixed_ok"] != m["overload_mixed_ops"] {
+		t.Errorf("mixed: ok %v != ops %v", m["overload_mixed_ok"], m["overload_mixed_ops"])
+	}
+	for _, counter := range []string{"mem_sheds", "brownouts", "deadline_abandoned"} {
+		if got := m["overload_mixed_"+counter]; got != 0 {
+			t.Errorf("mixed: %s = %v, want 0", counter, got)
+		}
+	}
+
+	// Memory pressure: the squeezed shard refused governed draws and
+	// converted the shortage into typed busy sheds.
+	if m["overload_mempressure_mem_sheds"] == 0 {
+		t.Error("mempressure: the squeezed pool never refused a draw")
+	}
+
+	// Slow consumer: queue occupancy walked the brownout ladder.
+	if m["overload_slowconsumer_brownouts"] == 0 {
+		t.Error("slowconsumer: the brownout ladder never stepped up")
+	}
+
+	// Deadline storm: work was abandoned at checkpoints and surfaced as
+	// typed deadline errors, not untyped failures.
+	if m["overload_deadlinestorm_deadline_abandoned"] == 0 {
+		t.Error("deadlinestorm: no work was abandoned at a deadline checkpoint")
+	}
+	if m["overload_deadlinestorm_typed_deadlines"] == 0 {
+		t.Error("deadlinestorm: no caller ever saw the typed deadline error")
+	}
+}

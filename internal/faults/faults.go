@@ -86,6 +86,9 @@ func (c Class) String() string {
 		if s, ok := computeClassString(c); ok {
 			return s
 		}
+		if s, ok := overloadClassString(c); ok {
+			return s
+		}
 		return fmt.Sprintf("Class(%d)", uint8(c))
 	}
 }

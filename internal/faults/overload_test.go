@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestOverloadClassStrings(t *testing.T) {
+	for class, want := range map[Class]string{
+		MemPressure:   "mem-pressure",
+		SlowConsumer:  "slow-consumer",
+		DeadlineStorm: "deadline-storm",
+	} {
+		if got := class.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", class, got, want)
+		}
+	}
+}
+
+func TestOverloadScheduleDeterministic(t *testing.T) {
+	cfg := OverloadFaultConfig{
+		Seed:           7,
+		PMemPressure:   0.4,
+		PSlowConsumer:  0.3,
+		PDeadlineStorm: 0.3,
+		MinOps:         10,
+		MaxOps:         90,
+	}
+	a := NewOverloadSchedule(cfg, 6)
+	b := NewOverloadSchedule(cfg, 6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("schedule not deterministic:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("probability 1.0 drew no faults")
+	}
+	for i, f := range a {
+		if f.AfterOps < cfg.MinOps || f.AfterOps > cfg.MaxOps {
+			t.Errorf("fault %d fires at %d, outside [%d, %d]", i, f.AfterOps, cfg.MinOps, cfg.MaxOps)
+		}
+		if i > 0 && f.AfterOps < a[i-1].AfterOps {
+			t.Errorf("schedule not sorted: %v before %v", a[i-1], f)
+		}
+		if f.Ops <= 0 || f.Budget <= 0 || f.Stall <= 0 || f.Deadline <= 0 {
+			t.Errorf("fault %d missing defaults: %+v", i, f)
+		}
+	}
+}
+
+func TestOverloadScheduleCaps(t *testing.T) {
+	cfg := OverloadFaultConfig{
+		PMemPressure: 1.0, // every shard draws a fault
+		MaxFailures:  2,
+		Ops:          25,
+		Budget:       4 << 20,
+		Stall:        time.Millisecond,
+		Deadline:     50 * time.Microsecond,
+	}
+	sched := NewOverloadSchedule(cfg, 8)
+	if len(sched) != 2 {
+		t.Fatalf("MaxFailures=2 drew %d faults", len(sched))
+	}
+	for _, f := range sched {
+		if f.Budget != 4<<20 || f.Stall != time.Millisecond || f.Deadline != 50*time.Microsecond || f.Ops != 25 {
+			t.Errorf("configured knobs not carried: %+v", f)
+		}
+	}
+	if got := NewOverloadSchedule(cfg, 0); got != nil {
+		t.Errorf("n=0 schedule = %v, want nil", got)
+	}
+}

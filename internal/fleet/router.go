@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pedal/internal/core"
+	"pedal/internal/dpu"
 	"pedal/internal/faults"
 	"pedal/internal/hwmodel"
 	"pedal/internal/integrity"
@@ -182,6 +183,12 @@ type Config struct {
 
 	// RequestTimeout bounds each shard attempt; zero means 5s.
 	RequestTimeout time.Duration
+	// RequestBudget bounds one whole routed operation end to end —
+	// every failover, hedge, and gold busy-retry draws from the same
+	// budget, so a request cannot outlive its caller's patience by
+	// retrying. Zero means 4× RequestTimeout; negative disables the
+	// end-to-end deadline (classic unbounded retries).
+	RequestBudget time.Duration
 	// Dial opens a connection to a shard address with the given
 	// round-trip timeout. Nil uses service.DialTimeout.
 	Dial func(addr string, timeout time.Duration) (Backend, error)
@@ -260,6 +267,16 @@ func (c *Config) requestTimeout() time.Duration {
 		return 5 * time.Second
 	}
 	return c.RequestTimeout
+}
+
+func (c *Config) requestBudget() time.Duration {
+	if c.RequestBudget < 0 {
+		return 0
+	}
+	if c.RequestBudget == 0 {
+		return 4 * c.requestTimeout()
+	}
+	return c.RequestBudget
 }
 
 func (c *Config) hedgeMinSamples() int {
@@ -503,19 +520,37 @@ func (r *Router) DecompressChecked(req Request, engine hwmodel.Engine, dt core.D
 
 // do applies tenant admission, then runs the routing sequence; gold
 // requests shed busy by every candidate re-run it after a jittered
-// backoff that honors the Retry-After hint.
+// backoff that honors the Retry-After hint. One end-to-end budget
+// (RequestBudget) covers the whole sequence: busy-retries, failovers,
+// and hedges all inherit what remains of it, and exhaustion surfaces
+// as a typed deadline error rather than a sleep past the caller's
+// patience.
 func (r *Router) do(req Request, op func(Backend) ([]byte, error)) ([]byte, error) {
 	release, err := r.admitTenant(req.Tenant)
 	if err != nil {
 		return nil, err
 	}
 	defer release()
+	var overall time.Time
+	if budget := r.cfg.requestBudget(); budget > 0 {
+		overall = time.Now().Add(budget)
+	}
 	for attempt := 0; ; attempt++ {
-		body, err := r.doOnce(req, op)
+		body, err := r.doOnce(req, op, overall)
 		if err == nil || req.Class != Gold || attempt >= r.cfg.goldBusyRetries() || !errors.Is(err, service.ErrBusy) {
 			return body, err
 		}
 		d := r.busyBackoff(attempt, err)
+		if !overall.IsZero() && d >= time.Until(overall) {
+			// Sleeping through the backoff would overrun the request's
+			// end-to-end budget: abandon the retry sequence, typed.
+			r.bd.Inc(stats.CounterDeadlineAbandoned)
+			r.trace("deadline_abandoned", req.Key, err.Error())
+			return nil, &service.DeadlineError{
+				RetryAfter: service.RetryAfter(err),
+				Msg:        fmt.Sprintf("fleet: busy-retry backoff %v overruns the request budget", d),
+			}
+		}
 		r.bd.Add(stats.PhaseRetry, d)
 		time.Sleep(d)
 	}
@@ -576,6 +611,12 @@ func classify(err error) errClass {
 		return errClassCorrupt
 	case errors.Is(err, service.ErrBusy):
 		return errClassBusy
+	case errors.Is(err, dpu.ErrDeadline):
+		// The shard answered but abandoned the work at its deadline — it
+		// is alive and overloaded, exactly like a busy shed: no ejection
+		// streak, and gold idempotent requests may fail over to a shard
+		// with more headroom.
+		return errClassBusy
 	case errors.Is(err, service.ErrRemote):
 		return errClassRemote
 	default:
@@ -586,7 +627,10 @@ func classify(err error) errClass {
 // doOnce runs one pass over the candidate sequence: primary attempt,
 // optional hedge after the latency-percentile delay, failover on
 // peer-class errors (and on busy, for gold), first success wins.
-func (r *Router) doOnce(req Request, op func(Backend) ([]byte, error)) ([]byte, error) {
+// Failovers and hedges are only launched while the end-to-end budget
+// (overall; zero time = unbounded) has time remaining — a duplicate
+// attempt the caller can no longer wait for is wasted shard work.
+func (r *Router) doOnce(req Request, op func(Backend) ([]byte, error), overall time.Time) ([]byte, error) {
 	cands := r.candidates(req.Key)
 	if len(cands) == 0 {
 		return nil, ErrNoShards
@@ -627,7 +671,7 @@ func (r *Router) doOnce(req Request, op func(Backend) ([]byte, error)) ([]byte, 
 	var hedgeTimer <-chan time.Time
 	var hedgeDelay time.Duration
 	if req.Idempotent && req.Class == Gold && launched < maxAttempts {
-		if d, ok := r.hedgeDelay(); ok {
+		if d, ok := r.hedgeDelay(); ok && (overall.IsZero() || time.Until(overall) > d) {
 			hedgeDelay = d
 			hedgeTimer = time.After(d)
 		}
@@ -657,6 +701,13 @@ func (r *Router) doOnce(req Request, op func(Backend) ([]byte, error)) ([]byte, 
 			canFailover := req.Idempotent && launched < maxAttempts && next < len(cands)
 			if class == errClassBusy && req.Class != Gold {
 				// A best-effort shed stands; the caller backs off.
+				canFailover = false
+			}
+			if canFailover && !overall.IsZero() && time.Until(overall) <= 0 {
+				// Budget exhausted: a failover attempt could not finish
+				// in time the caller still has.
+				r.bd.Inc(stats.CounterDeadlineAbandoned)
+				r.trace("deadline_abandoned", res.shard.ID, "failover budget exhausted")
 				canFailover = false
 			}
 			if canFailover {

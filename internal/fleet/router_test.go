@@ -12,6 +12,7 @@ import (
 	"pedal/internal/hwmodel"
 	"pedal/internal/service"
 	"pedal/internal/stats"
+	"pedal/internal/testutil"
 )
 
 // fakeShard is one in-memory shard behind the fake dialer. Behaviour
@@ -134,6 +135,7 @@ func goldReq(key string) Request {
 }
 
 func TestRouterKeyAffinity(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	r, _ := newTestFleet(4, Config{})
 	defer r.Close()
 	first, err := r.Compress(goldReq("object-7"), testDesign, core.TypeBytes, []byte("x"))
@@ -152,6 +154,7 @@ func TestRouterKeyAffinity(t *testing.T) {
 }
 
 func TestRouterFailover(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	r, f := newTestFleet(3, Config{})
 	defer r.Close()
 	key := "object-42"
@@ -198,6 +201,7 @@ func TestRouterRemoteErrorFailsFast(t *testing.T) {
 }
 
 func TestRouterHedgeFirstWins(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	r, f := newTestFleet(3, Config{HedgeDelay: 2 * time.Millisecond})
 	defer r.Close()
 	key := "object-5"
@@ -278,6 +282,7 @@ func TestRouterTenantQuota(t *testing.T) {
 }
 
 func TestRouterGoldBusyRetry(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	r, f := newTestFleet(2, Config{GoldBusyRetries: 10})
 	defer r.Close()
 	for i := 0; i < 2; i++ {

@@ -1,0 +1,206 @@
+package mempool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBudgetTryGet(t *testing.T) {
+	p := New()
+	p.SetBudget(4096)
+	a, err := p.TryGet(2048)
+	if err != nil {
+		t.Fatalf("first TryGet: %v", err)
+	}
+	b, err := p.TryGet(2048)
+	if err != nil {
+		t.Fatalf("second TryGet: %v", err)
+	}
+	if _, err := p.TryGet(1); !errors.Is(err, ErrMemPressure) {
+		t.Fatalf("over-budget TryGet = %v, want ErrMemPressure", err)
+	}
+	p.Put(a)
+	if _, err := p.TryGet(1024); err != nil {
+		t.Fatalf("TryGet after Put: %v", err)
+	}
+	p.Put(b)
+	if snap := p.Snapshot(); snap.PressureRejects != 1 {
+		t.Fatalf("PressureRejects = %d, want 1", snap.PressureRejects)
+	}
+}
+
+func TestBudgetPlainGetStillServes(t *testing.T) {
+	p := New()
+	p.SetBudget(1024)
+	// Plain Get never fails: it charges only, so pressure is visible
+	// without new control flow on the hot path.
+	a := p.Get(4096)
+	if len(a) != 4096 {
+		t.Fatalf("len = %d", len(a))
+	}
+	if held := p.HeldBytes(); held != 4096 {
+		t.Fatalf("held = %d, want 4096", held)
+	}
+	p.Put(a)
+	if held := p.HeldBytes(); held != 0 {
+		t.Fatalf("held after Put = %d, want 0", held)
+	}
+}
+
+func TestGetCtxBlocksUntilReturn(t *testing.T) {
+	p := New()
+	p.SetBudget(4096)
+	held, err := p.GetCtx(context.Background(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		buf, err := p.GetCtx(ctx, 1024)
+		if err == nil {
+			p.Put(buf)
+		}
+		got <- err
+	}()
+	// The waiter must not complete while the budget is fully held.
+	select {
+	case err := <-got:
+		t.Fatalf("GetCtx returned %v while budget exhausted", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Put(held)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("GetCtx after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GetCtx never woke after budget release")
+	}
+	if snap := p.Snapshot(); snap.PressureWaits == 0 {
+		t.Fatal("PressureWaits not counted")
+	}
+}
+
+func TestGetCtxCancellation(t *testing.T) {
+	p := New()
+	p.SetBudget(1024)
+	buf, err := p.GetCtx(context.Background(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Put(buf)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.GetCtx(ctx, 512)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrMemPressure) {
+			t.Fatalf("cancelled GetCtx = %v, want ErrMemPressure wrap", err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled GetCtx = %v, want context.Canceled wrap", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled GetCtx never returned")
+	}
+}
+
+func TestGetCtxNeverAdmissible(t *testing.T) {
+	p := New()
+	p.SetBudget(1024)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := p.GetCtx(ctx, 4096); !errors.Is(err, ErrMemPressure) {
+		t.Fatalf("impossible GetCtx = %v, want ErrMemPressure", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("impossible GetCtx waited instead of failing fast")
+	}
+}
+
+// TestBudgetStress hammers a governed pool from many goroutines mixing
+// TryGet, GetCtx and plain-Get-free returns, and asserts the two
+// overload invariants: governed admissions never push held bytes past
+// the budget, and Outstanding returns to zero after the drain. Run
+// under -race this is the satellite concurrency-coverage test.
+func TestBudgetStress(t *testing.T) {
+	const budget = 1 << 20
+	p := New()
+	p.SetBudget(budget)
+	var over atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 400; i++ {
+				n := 1 << uint(10+(g+i)%7) // 1 KiB .. 64 KiB
+				var buf []byte
+				var err error
+				if i%2 == 0 {
+					buf, err = p.TryGet(n)
+					if errors.Is(err, ErrMemPressure) {
+						continue
+					}
+				} else {
+					buf, err = p.GetCtx(ctx, n)
+				}
+				if err != nil {
+					t.Errorf("get(%d): %v", n, err)
+					return
+				}
+				if held := p.HeldBytes(); held > budget {
+					over.Store(true)
+				}
+				buf[0] = byte(i)
+				p.Put(buf)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if over.Load() {
+		t.Fatalf("held bytes exceeded budget %d under governed load", budget)
+	}
+	if snap := p.Snapshot(); snap.Outstanding != 0 || snap.HeldBytes != 0 {
+		t.Fatalf("after drain: outstanding=%d held=%d, want 0/0", snap.Outstanding, snap.HeldBytes)
+	}
+	if peak := p.PeakBytes(); peak > budget {
+		t.Fatalf("peak %d exceeded budget %d", peak, budget)
+	}
+}
+
+func TestOversizePutDropped(t *testing.T) {
+	p := New()
+	big := p.Get(DefaultMaxPooledSize + 1)
+	if cap(big) < DefaultMaxPooledSize+1 {
+		t.Fatalf("cap = %d", cap(big))
+	}
+	p.Put(big)
+	snap := p.Snapshot()
+	if snap.DroppedOversize != 1 {
+		t.Fatalf("DroppedOversize = %d, want 1", snap.DroppedOversize)
+	}
+	if snap.Outstanding != 0 || snap.HeldBytes != 0 {
+		t.Fatalf("outstanding=%d held=%d after oversize Put", snap.Outstanding, snap.HeldBytes)
+	}
+	// The oversize buffer must not have been parked in a class bucket:
+	// a following oversize Get is a miss, not a poisoned-class hit.
+	p.Get(DefaultMaxPooledSize + 1)
+	if hits, _ := p.Stats(); hits != 0 {
+		t.Fatalf("oversize Get hit a retained oversize buffer (hits=%d)", hits)
+	}
+}

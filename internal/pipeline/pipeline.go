@@ -22,10 +22,12 @@ package pipeline
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pedal/internal/checksum"
@@ -184,6 +186,12 @@ type Pipeline struct {
 	wg      sync.WaitGroup
 	workers int
 	once    sync.Once
+	// maxConc is the brownout concurrency cap (overload fault domain):
+	// 0 means unrestricted; n>0 bounds how many chunks of one operation
+	// are in flight at once (and shrinks the virtual schedule to match),
+	// so each in-flight chunk's pooled buffers are the only ones held.
+	// 1 is the serial-fallback rung of the brownout ladder.
+	maxConc atomic.Int32
 }
 
 // New starts a pipeline with one worker goroutine per SoC core (or the
@@ -229,6 +237,29 @@ func (p *Pipeline) Close() {
 // Workers returns the SoC worker count.
 func (p *Pipeline) Workers() int { return p.workers }
 
+// SetMaxConcurrency installs the brownout concurrency cap: n > 0 bounds
+// how many chunks of one operation run at once (1 = serial fallback);
+// n <= 0 restores full fan-out. Safe to flip while operations run —
+// in-flight operations keep the cap they started with.
+func (p *Pipeline) SetMaxConcurrency(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.maxConc.Store(int32(n))
+}
+
+// MaxConcurrency reports the active brownout cap (0 = unrestricted).
+func (p *Pipeline) MaxConcurrency() int { return int(p.maxConc.Load()) }
+
+// effWorkers is the SoC parallelism the virtual schedule plans against:
+// the worker count, shrunk by the brownout cap when one is set.
+func (p *Pipeline) effWorkers() int {
+	if c := int(p.maxConc.Load()); c > 0 && c < p.workers {
+		return c
+	}
+	return p.workers
+}
+
 // ChunkSizeFor returns the chunk size the pipeline will use for an
 // n-byte payload under spec: adaptive between MinChunk and MaxChunk,
 // aimed at two waves of work per SoC core, aligned to chunkAlign, and
@@ -236,7 +267,7 @@ func (p *Pipeline) Workers() int { return p.workers }
 func (p *Pipeline) ChunkSizeFor(n int, spec Spec) int {
 	cs := spec.ChunkSize
 	if cs <= 0 {
-		cs = n / (2 * p.workers)
+		cs = n / (2 * p.effWorkers())
 		if cs < MinChunk {
 			cs = MinChunk
 		}
@@ -269,7 +300,7 @@ type planner struct {
 }
 
 func (p *Pipeline) newPlanner(spec Spec, op hwmodel.Op) *planner {
-	pl := &planner{gen: p.gen, spec: spec, op: op, cores: make([]time.Duration, p.workers)}
+	pl := &planner{gen: p.gen, spec: spec, op: op, cores: make([]time.Duration, p.effWorkers())}
 	if spec.Engine {
 		var a hwmodel.Algo
 		switch {
@@ -390,12 +421,32 @@ type compResult struct {
 // returned Summary carries the pipeline makespan; a sink error aborts
 // delivery (remaining chunks are discarded) and is returned.
 func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summary, error) {
+	return p.CompressContext(context.Background(), src, spec, sink)
+}
+
+// deadlineErr is the typed abandonment error for an expired chunk: the
+// layers above unwrap it to dpu.ErrDeadline.
+func deadlineErr(ctx context.Context) error {
+	return fmt.Errorf("%w: %v", dpu.ErrDeadline, ctx.Err())
+}
+
+// CompressContext is Compress bounded by a caller deadline. The
+// dispatch loop checkpoints ctx per chunk — chunks past the expiry are
+// failed with a typed dpu.ErrDeadline instead of compressed — and the
+// delivery loop stops sinking once the deadline passes, draining every
+// dispatched chunk so all pooled buffers return. A background context
+// takes exactly the classic Compress path.
+func (p *Pipeline) CompressContext(ctx context.Context, src []byte, spec Spec, sink func(Chunk) error) (Summary, error) {
 	if !spec.Algo.valid() {
 		return Summary{}, fmt.Errorf("%w: algo %d", ErrBadSpec, spec.Algo)
 	}
 	n := len(src)
 	if n == 0 {
 		return Summary{}, nil
+	}
+	ctxExpires := ctx != nil && ctx.Done() != nil
+	if ctxExpires && ctx.Err() != nil {
+		return Summary{}, deadlineErr(ctx)
 	}
 	cs := p.ChunkSizeFor(n, spec)
 	k := (n + cs - 1) / cs
@@ -439,11 +490,37 @@ func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summ
 	// full-coverage stream digest (a 100% source pass would defeat the
 	// point of sampling).
 	digest := spec.Verify == integrity.VerifyFull
+	// Brownout concurrency cap: a real semaphore bounds in-flight chunks
+	// (and with them the pooled buffers an operation can hold at once),
+	// acquired at dispatch and released once the chunk's result is
+	// posted. Nil when unrestricted.
+	var sem chan struct{}
+	if c := p.effWorkers(); c < k && int(p.maxConc.Load()) > 0 {
+		sem = make(chan struct{}, c)
+	}
+	acquire := func() {
+		if sem != nil {
+			sem <- struct{}{}
+		}
+	}
+	post := func(i int, r compResult) {
+		results[i] <- r
+		if sem != nil {
+			<-sem
+		}
+	}
 	// Dispatch in index order so the engine's FIFO matches the schedule.
 	for i := range slots {
 		i := i
 		s := slots[i]
 		data := src[s.off : s.off+s.clen]
+		// Deadline checkpoint: chunks dispatched after expiry would be
+		// work nobody collects — fail them typed instead of running them.
+		if ctxExpires && ctx.Err() != nil {
+			results[i] <- compResult{err: deadlineErr(ctx)}
+			continue
+		}
+		acquire()
 		if s.engine {
 			h, err := p.dev.CEngine().TrySubmit(dpu.Job{Algo: pl.engAlgo, Op: hwmodel.Compress, Input: data})
 			if err == nil {
@@ -460,7 +537,7 @@ func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summ
 					if digest {
 						r.srcCRC = checksum.CRC32(data)
 					}
-					results[i] <- r
+					post(i, r)
 				}()
 				continue
 			}
@@ -472,7 +549,7 @@ func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summ
 			if digest {
 				r.srcCRC = checksum.CRC32(data)
 			}
-			results[i] <- r
+			post(i, r)
 		}
 	}
 
@@ -486,6 +563,12 @@ func (p *Pipeline) Compress(src []byte, spec Spec, sink func(Chunk) error) (Summ
 		r := <-results[idx]
 		if digest {
 			srcs[idx] = r.srcCRC
+		}
+		// Deadline checkpoint: once the caller's budget expires, stop
+		// delivering and drain the remaining chunks so every pooled
+		// buffer returns before the typed error surfaces.
+		if opErr == nil && ctxExpires && ctx.Err() != nil {
+			opErr = deadlineErr(ctx)
 		}
 		if opErr != nil {
 			if r.buf != nil {

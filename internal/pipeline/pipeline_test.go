@@ -14,6 +14,7 @@ import (
 	"pedal/internal/integrity"
 	"pedal/internal/pipeline"
 	"pedal/internal/sz3"
+	"pedal/internal/testutil"
 )
 
 func textData(n int) []byte {
@@ -36,6 +37,7 @@ func floatData(n int) []byte {
 
 func newPipeline(t *testing.T, gen hwmodel.Generation) *pipeline.Pipeline {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	dev, err := dpu.NewDevice(gen, dpu.SeparatedHost)
 	if err != nil {
 		t.Fatal(err)

@@ -87,8 +87,20 @@ type Client struct {
 	Timeout time.Duration
 	// Retry, when set, retries busy sheds with jittered backoff under a
 	// per-call budget. Nil preserves the fail-fast behaviour (ErrBusy is
-	// returned on the first shed).
+	// returned on the first shed). With Timeout set, retries never sleep
+	// past the call's overall deadline (entry time + Timeout): a backoff
+	// that would overrun it returns a typed DeadlineError carrying the
+	// server's Retry-After hint instead.
 	Retry *RetryPolicy
+	// DeadlineHints, when set (and Timeout > 0), carries the remaining
+	// call budget on every request as a wire deadline hint, so the
+	// server abandons work the caller has already given up on. Off by
+	// default: the flagged op byte is not understood by legacy servers.
+	DeadlineHints bool
+	// BestEffort marks this client's requests as low priority: under
+	// brownout the server sheds them first, protecting paying traffic.
+	// Off by default (legacy wire format).
+	BestEffort bool
 
 	dead atomic.Bool
 	// lastOK is the unix-nano time of the last completed exchange; the
@@ -132,30 +144,55 @@ func (c *Client) Close() error {
 // roundTrip runs one exchange, retrying busy sheds under the retry
 // policy's budget. Only ErrBusy is retried: the server read the request
 // and refused it before execution, so the stream is clean and the
-// request provably never ran.
+// request provably never ran. The whole exchange — every attempt and
+// every backoff sleep — is bounded by one overall deadline fixed at
+// entry (now + Timeout); a backoff that would overrun it fails typed
+// with DeadlineError instead of sleeping past the caller's budget.
 func (c *Client) roundTrip(req request) ([]byte, error) {
-	body, err := c.once(req)
+	var overall time.Time
+	if c.Timeout > 0 {
+		overall = time.Now().Add(c.Timeout)
+	}
+	body, err := c.once(req, overall)
 	if c.Retry == nil {
 		return body, err
 	}
 	for attempt := 0; attempt < c.Retry.budget() && errors.Is(err, ErrBusy); attempt++ {
-		time.Sleep(c.Retry.delay(attempt, err))
-		body, err = c.once(req)
+		d := c.Retry.delay(attempt, err)
+		if !overall.IsZero() && d >= time.Until(overall) {
+			return nil, &DeadlineError{
+				RetryAfter: RetryAfter(err),
+				Msg:        fmt.Sprintf("busy-retry backoff %v overruns the call budget", d),
+			}
+		}
+		time.Sleep(d)
+		body, err = c.once(req, overall)
 	}
 	return body, err
 }
 
-// once serialises one request/response exchange. A client whose
-// keepalive has declared the peer dead fails fast with ErrPeerDead and
-// never touches the (already closed) connection.
-func (c *Client) once(req request) ([]byte, error) {
+// once serialises one request/response exchange bounded by the call's
+// overall deadline. A client whose keepalive has declared the peer dead
+// fails fast with ErrPeerDead and never touches the (already closed)
+// connection.
+func (c *Client) once(req request, overall time.Time) ([]byte, error) {
 	if c.dead.Load() {
 		return nil, ErrPeerDead
 	}
+	req.bestEffort = c.BestEffort && req.op != opPing // keepalives are never shed
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.Timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.Timeout))
+	if !overall.IsZero() {
+		// Remaining budget is measured after the connection lock: time
+		// spent queued behind another request counts against the caller.
+		remain := time.Until(overall)
+		if remain <= 0 {
+			return nil, &DeadlineError{Msg: "call budget exhausted before send"}
+		}
+		if c.DeadlineHints {
+			req.deadline = remain
+		}
+		c.conn.SetDeadline(overall)
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	body, err := c.exchange(req)
@@ -380,6 +417,16 @@ type Health struct {
 	HopsRejected     uint64
 	CoresQuarantined uint64
 	ScalarFallbacks  uint64
+	// Overload fault-domain counters: governed pool occupancy against
+	// its byte budget, memory-pressure sheds, deadline-abandoned work,
+	// and the brownout ladder (step count plus current rung).
+	PoolHeld          uint64
+	PoolPeak          uint64
+	PoolBudget        uint64
+	MemPressure       uint64
+	DeadlineAbandoned uint64
+	Brownouts         uint64
+	BrownoutRung      uint64
 }
 
 // Live reports whether the daemon's engine is serving hardware jobs.
@@ -435,6 +482,20 @@ func parseHealth(body []byte) (Health, error) {
 			h.CoresQuarantined = n
 		case "scalar_fallbacks":
 			h.ScalarFallbacks = n
+		case "pool_held":
+			h.PoolHeld = n
+		case "pool_peak":
+			h.PoolPeak = n
+		case "pool_budget":
+			h.PoolBudget = n
+		case "mem_pressure":
+			h.MemPressure = n
+		case "deadline_abandoned":
+			h.DeadlineAbandoned = n
+		case "brownouts":
+			h.Brownouts = n
+		case "brownout_rung":
+			h.BrownoutRung = n
 		}
 	}
 	if h.State == "" {

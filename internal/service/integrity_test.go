@@ -63,7 +63,7 @@ func TestCheckedRequestDigestMismatch(t *testing.T) {
 	data := make([]byte, checkedDigestLen+len(payload))
 	binary.LittleEndian.PutUint32(data, checksum.CRC32(payload)^0xFFFF) // wrong digest
 	copy(data[checkedDigestLen:], payload)
-	_, err = s.execute(request{op: opCompressChecked, algo: byte(core.AlgoDeflate), engine: byte(hwmodel.SoC), data: data})
+	_, _, err = s.execute(request{op: opCompressChecked, algo: byte(core.AlgoDeflate), engine: byte(hwmodel.SoC), data: data})
 	if !errors.Is(err, integrity.ErrCorrupt) {
 		t.Fatalf("err = %v, want integrity.ErrCorrupt", err)
 	}

@@ -6,7 +6,13 @@
 //
 // Request:
 //
-//	op(1) algo(1) engine(1) dtype(1) maxOut(8 LE) len(8 LE) payload
+//	op(1) algo(1) engine(1) dtype(1) maxOut(8 LE) len(8 LE) [deadline(8 LE)] payload
+//
+// The high bits of the op byte are flags: flagDeadline marks an extra
+// 8-byte little-endian deadline hint (remaining nanoseconds of the
+// caller's budget) between the fixed header and the payload, and
+// flagBestEffort marks the request sheddable first under brownout.
+// Both are opt-in on the client, so a legacy peer never sees them.
 //
 // Response:
 //
@@ -20,6 +26,8 @@ import (
 	"io"
 	"net"
 	"time"
+
+	"pedal/internal/dpu"
 )
 
 // Protocol op codes.
@@ -47,6 +55,26 @@ const (
 	opDecompressChecked = 6
 )
 
+// Op-byte flags (overload fault domain). Flag-free requests are exactly
+// the legacy wire format; a client only sets a flag when it was
+// explicitly configured to, so old servers never see one.
+const (
+	// flagDeadline marks an 8-byte little-endian deadline hint (the
+	// remaining nanoseconds of the caller's end-to-end budget) carried
+	// between the fixed header and the payload.
+	flagDeadline = 0x80
+	// flagBestEffort marks the request as low priority: the server's
+	// brownout ladder sheds flagged requests first under overload.
+	flagBestEffort = 0x40
+	// opMask recovers the op code from a flagged op byte.
+	opMask = 0x3f
+)
+
+// maxWireDeadline bounds a deadline hint accepted off the wire; larger
+// values are treated as garbage and dropped (the request still runs,
+// just without a caller deadline).
+const maxWireDeadline = time.Hour
+
 // checkedDigestLen is the fixed little-endian CRC32 prefix carried by
 // checked requests and responses.
 const checkedDigestLen = 4
@@ -60,6 +88,11 @@ const (
 	// request was read in full and the connection stays usable; the
 	// client surfaces ErrBusy and may retry.
 	statusBusy = 2
+	// statusDeadline reports that the request's deadline budget expired
+	// before the work completed; the partial work was abandoned at a
+	// checkpoint and its buffers released. The client surfaces a typed
+	// DeadlineError (errors.Is dpu.ErrDeadline).
+	statusDeadline = 3
 )
 
 // maxPayload bounds a single request or response body.
@@ -108,6 +141,34 @@ func RetryAfter(err error) time.Duration {
 // treated as garbage and dropped (the shed still surfaces as ErrBusy).
 const maxRetryAfter = time.Minute
 
+// DeadlineError reports that a call's end-to-end deadline budget ran
+// out — on the server (statusDeadline: the work was abandoned at a
+// checkpoint) or on the client (a retry backoff would have overrun the
+// caller's budget). It matches errors.Is(err, dpu.ErrDeadline), so the
+// overload fault domain surfaces one typed error at every layer, and it
+// carries the last Retry-After hint seen so callers that re-enqueue the
+// work know how long the congestion is expected to last.
+type DeadlineError struct {
+	// RetryAfter is the last busy hint observed before the budget ran
+	// out; zero when none was seen.
+	RetryAfter time.Duration
+	// Msg describes where the budget was exhausted.
+	Msg string
+}
+
+func (e *DeadlineError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("service: deadline exceeded: %s (retry after %v)", e.Msg, e.RetryAfter)
+	}
+	return "service: deadline exceeded: " + e.Msg
+}
+
+// Is makes errors.Is(err, dpu.ErrDeadline) match.
+func (e *DeadlineError) Is(target error) bool { return target == dpu.ErrDeadline }
+
+// RetryAfterDuration exposes the hint to the RetryAfter helper.
+func (e *DeadlineError) RetryAfterDuration() time.Duration { return e.RetryAfter }
+
 // retryAfterBody encodes a positive Retry-After hint as a statusBusy
 // body: 8 bytes, little-endian nanoseconds. An empty body (the pre-hint
 // wire format) still decodes as a plain ErrBusy, keeping old and new
@@ -139,6 +200,14 @@ type request struct {
 	dtype  byte
 	maxOut int64
 	data   []byte
+	// deadline is the caller's remaining budget hint (flagDeadline);
+	// zero means none was carried.
+	deadline time.Duration
+	// bestEffort marks the request sheddable first (flagBestEffort).
+	bestEffort bool
+	// deadlineAt is the server-side absolute deadline, stamped when the
+	// request is read so queue wait counts against the budget.
+	deadlineAt time.Time
 }
 
 // coalesceLimit bounds the payload size up to which header and body are
@@ -168,23 +237,58 @@ func writeFrame(w io.Writer, hdr, body []byte) error {
 }
 
 func writeRequest(w io.Writer, r request) error {
-	hdr := make([]byte, 4+8+8)
-	hdr[0], hdr[1], hdr[2], hdr[3] = r.op, r.algo, r.engine, r.dtype
+	op := r.op
+	extra := 0
+	if r.deadline > 0 {
+		op |= flagDeadline
+		extra = 8
+	}
+	if r.bestEffort {
+		op |= flagBestEffort
+	}
+	hdr := make([]byte, 4+8+8+extra)
+	hdr[0], hdr[1], hdr[2], hdr[3] = op, r.algo, r.engine, r.dtype
 	binary.LittleEndian.PutUint64(hdr[4:], uint64(r.maxOut))
 	binary.LittleEndian.PutUint64(hdr[12:], uint64(len(r.data)))
+	if extra > 0 {
+		binary.LittleEndian.PutUint64(hdr[20:], uint64(r.deadline))
+	}
 	return writeFrame(w, hdr, r.data)
 }
 
-func readRequest(r io.Reader) (request, error) {
+// readRequestHeader reads and parses the fixed header (plus the deadline
+// extension when flagged) and returns the request metadata and the body
+// length still on the wire.
+func readRequestHeader(r io.Reader) (request, uint64, error) {
 	hdr := make([]byte, 4+8+8)
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return request{}, err
+		return request{}, 0, err
 	}
-	req := request{op: hdr[0], algo: hdr[1], engine: hdr[2], dtype: hdr[3]}
+	req := request{op: hdr[0] & opMask, algo: hdr[1], engine: hdr[2], dtype: hdr[3]}
+	req.bestEffort = hdr[0]&flagBestEffort != 0
 	req.maxOut = int64(binary.LittleEndian.Uint64(hdr[4:]))
 	n := binary.LittleEndian.Uint64(hdr[12:])
 	if n > maxPayload {
-		return request{}, fmt.Errorf("service: request payload %d too large", n)
+		return request{}, 0, fmt.Errorf("service: request payload %d too large", n)
+	}
+	if hdr[0]&flagDeadline != 0 {
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return request{}, 0, err
+		}
+		d := time.Duration(binary.LittleEndian.Uint64(ext[:]))
+		if d > 0 && d <= maxWireDeadline {
+			req.deadline = d
+			req.deadlineAt = time.Now().Add(d)
+		}
+	}
+	return req, n, nil
+}
+
+func readRequest(r io.Reader) (request, error) {
+	req, n, err := readRequestHeader(r)
+	if err != nil {
+		return request{}, err
 	}
 	data, err := readBody(r, n)
 	if err != nil {
@@ -252,6 +356,8 @@ func readResponse(r io.Reader) ([]byte, error) {
 		return body, nil
 	case statusBusy:
 		return nil, parseRetryAfter(body)
+	case statusDeadline:
+		return nil, &DeadlineError{Msg: "server abandoned work: " + string(body)}
 	default:
 		return nil, fmt.Errorf("%w: %s", ErrRemote, body)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"runtime"
@@ -15,6 +16,7 @@ import (
 
 	"pedal/internal/checksum"
 	"pedal/internal/core"
+	"pedal/internal/dpu"
 	"pedal/internal/hwmodel"
 	"pedal/internal/integrity"
 	"pedal/internal/stats"
@@ -94,8 +96,24 @@ type Server struct {
 	execDelay atomic.Int64
 	// RetryAfterHint, when positive, is carried on every statusBusy
 	// response so clients back off for at least that long instead of
-	// guessing. Zero keeps the pre-hint wire format (empty busy body).
+	// guessing. Zero keeps the pre-hint wire format (empty busy body) —
+	// unless the server is under pool or queue pressure, in which case a
+	// load-scaled hint is synthesised so clients back off harder exactly
+	// when the daemon needs them to (cooperative backpressure).
 	RetryAfterHint time.Duration
+	// DefaultDeadline bounds requests that carry no deadline hint of
+	// their own, and acts as a ceiling on hints that are looser. Zero
+	// leaves hint-free requests unbounded (classic behaviour).
+	DefaultDeadline time.Duration
+	// defaultDeadline overrides DefaultDeadline when non-zero:
+	// nanoseconds, with -1 meaning "explicitly zero". Lets fault
+	// injectors storm a live server with tiny deadlines without racing
+	// the handlers (the SetExecDelay pattern).
+	defaultDeadline atomic.Int64
+
+	// rung is the brownout ladder state (rungHealthy..rungSerial),
+	// stepped by load observed at request admission.
+	rung atomic.Int32
 
 	// execHook replaces execute when non-nil (tests use it to inject
 	// slow or panicking handlers).
@@ -137,6 +155,182 @@ func (s *Server) currentExecDelay() time.Duration {
 	default:
 		return s.ExecDelay
 	}
+}
+
+// SetDefaultDeadline changes the server-side deadline ceiling on a
+// running server (atomically — handlers may be mid-request). Chaos
+// harnesses use it to drive a deadline storm against a live shard.
+func (s *Server) SetDefaultDeadline(d time.Duration) {
+	if d <= 0 {
+		s.defaultDeadline.Store(-1)
+		return
+	}
+	s.defaultDeadline.Store(int64(d))
+}
+
+// currentDefaultDeadline resolves the effective ceiling: the atomic
+// override if SetDefaultDeadline was ever called, the DefaultDeadline
+// field otherwise.
+func (s *Server) currentDefaultDeadline() time.Duration {
+	switch v := s.defaultDeadline.Load(); {
+	case v > 0:
+		return time.Duration(v)
+	case v < 0:
+		return 0
+	default:
+		return s.DefaultDeadline
+	}
+}
+
+// Brownout ladder rungs (overload fault domain). Load — the worse of
+// pool-budget occupancy and admission-queue occupancy — steps the
+// server up the ladder: first low-priority requests are shed, then the
+// chunk pipeline's concurrency is halved, finally it falls back to
+// serial. Each rung trades throughput for bounded memory instead of
+// failing unpredictably.
+const (
+	rungHealthy = iota
+	rungShedBestEffort
+	rungShrinkPipeline
+	rungSerial
+)
+
+// Brownout step-up thresholds per rung; a rung steps back down one
+// level once load clears its own threshold by brownoutHysteresis.
+var brownoutUp = [4]float64{0, 0.70, 0.85, 0.95}
+
+const brownoutHysteresis = 0.15
+
+// defaultPressureRetryAfter is the synthesised Retry-After hint when
+// the server sheds under pressure but RetryAfterHint was not set.
+const defaultPressureRetryAfter = 2 * time.Millisecond
+
+// loadFactor measures overload pressure in [0,1+): the worse of pool
+// budget occupancy (held/budget) and admission queue occupancy.
+func (s *Server) loadFactor() float64 {
+	var load float64
+	if snap := s.lib.PoolSnapshot(); snap.Budget > 0 {
+		load = float64(snap.HeldBytes) / float64(snap.Budget)
+	}
+	s.initAdmission()
+	if s.queue != nil {
+		if q := float64(len(s.queue)) / float64(cap(s.queue)); q > load {
+			load = q
+		}
+	}
+	return load
+}
+
+// pressureHint scales the Retry-After hint by current load, so a busy
+// response under deep pressure asks for a longer backoff than one at
+// the edge of capacity.
+func (s *Server) pressureHint() time.Duration {
+	h := s.RetryAfterHint
+	load := s.loadFactor()
+	if h <= 0 {
+		if load < brownoutUp[rungShedBestEffort] {
+			return 0
+		}
+		h = defaultPressureRetryAfter
+	}
+	if load > 0 {
+		scale := load
+		if scale > 1 {
+			scale = 1
+		}
+		h += time.Duration(scale * float64(3*h))
+	}
+	if h > maxRetryAfter {
+		h = maxRetryAfter
+	}
+	return h
+}
+
+// maybeBrownout re-evaluates the brownout rung against current load and
+// applies the rung's pipeline concurrency cap. Returns the rung in
+// effect for this request.
+func (s *Server) maybeBrownout() int {
+	load := s.loadFactor()
+	cur := int(s.rung.Load())
+	want := cur
+	if cur < rungSerial && load >= brownoutUp[cur+1] {
+		for want < rungSerial && load >= brownoutUp[want+1] {
+			want++
+		}
+	} else if cur > rungHealthy && load < brownoutUp[cur]-brownoutHysteresis {
+		want--
+	}
+	if want != cur && s.rung.CompareAndSwap(int32(cur), int32(want)) {
+		s.applyRung(want, cur, load)
+		return want
+	}
+	return cur
+}
+
+// applyRung installs a rung's pipeline concurrency cap and records the
+// transition (brownout steps count once per upward transition).
+func (s *Server) applyRung(want, cur int, load float64) {
+	pl := s.lib.Pipeline()
+	switch want {
+	case rungSerial:
+		pl.SetMaxConcurrency(1)
+	case rungShrinkPipeline:
+		pl.SetMaxConcurrency((pl.Workers() + 1) / 2)
+	default:
+		pl.SetMaxConcurrency(0)
+	}
+	op := "brownout_clear"
+	if want > cur {
+		op = "brownout"
+		s.bd.Inc(stats.CounterBrownouts)
+	}
+	s.Tracer.Record(trace.Event{Engine: "service", Op: op, InBytes: want, OutBytes: cur,
+		Err: fmt.Sprintf("load=%.2f", load)})
+}
+
+// BrownoutRung exposes the current ladder rung (0 = healthy) for
+// operational tooling and soak assertions.
+func (s *Server) BrownoutRung() int { return int(s.rung.Load()) }
+
+// readRequestGoverned reads one request, drawing the body from the
+// library's governed memory pool when a budget is configured. When the
+// pool refuses the draw (budget exhausted) the body is still read —
+// the stream must stay framed — but shed=true tells the handler to
+// answer statusBusy instead of executing, converting memory pressure
+// into cooperative backpressure. putBody releases a pooled body back
+// to the budget and must be called exactly once.
+func (s *Server) readRequestGoverned(conn net.Conn) (req request, putBody func(), shed bool, err error) {
+	req, n, err := readRequestHeader(conn)
+	if err != nil {
+		return request{}, nil, false, err
+	}
+	putBody = func() {}
+	if n == 0 {
+		req.data = []byte{}
+		return req, putBody, false, nil
+	}
+	pool := s.lib.Pool()
+	// Oversize bodies (larger than the whole budget) can never be
+	// admitted; they bypass governance rather than shedding forever.
+	if budget := pool.Budget(); budget > 0 && int64(n) <= budget {
+		buf, gerr := pool.TryGet(int(n))
+		if gerr == nil {
+			if _, err := io.ReadFull(conn, buf); err != nil {
+				pool.Put(buf)
+				return request{}, nil, false, err
+			}
+			req.data = buf
+			return req, func() { pool.Put(buf) }, false, nil
+		}
+		s.bd.Inc(stats.CounterMemPressure)
+		shed = true
+	}
+	body, err := readBody(conn, n)
+	if err != nil {
+		return request{}, nil, false, err
+	}
+	req.data = body
+	return req, putBody, shed, nil
 }
 
 // initAdmission resolves the semaphore and queue once, at first use, so
@@ -368,7 +562,7 @@ func (s *Server) handle(conn net.Conn) {
 			conn.SetReadDeadline(time.Time{})
 		}
 		s.mu.Unlock()
-		req, err := readRequest(conn)
+		req, putBody, memShed, err := s.readRequestGoverned(conn)
 		if err != nil {
 			return // EOF, deadline, drain poke, or broken connection
 		}
@@ -384,46 +578,86 @@ func (s *Server) handle(conn net.Conn) {
 			// Keepalive: answer before admission so overload never
 			// masquerades as death (a shed ping would let a busy spell
 			// tear down every session at once).
+			putBody()
 			if err := respond(statusOK, nil); err != nil {
+				return
+			}
+			continue
+		}
+		rung := s.maybeBrownout()
+		if memShed || (rung >= rungShedBestEffort && req.bestEffort) {
+			why := "best_effort"
+			if memShed {
+				why = "mem_pressure"
+			}
+			putBody()
+			s.bd.Inc(stats.CounterSheds)
+			s.Tracer.Record(trace.Event{Engine: "service", Op: "shed", InBytes: len(req.data), Err: why})
+			if err := respond(statusBusy, retryAfterBody(s.pressureHint())); err != nil {
 				return
 			}
 			continue
 		}
 		release, ok := s.admit()
 		if !ok {
+			putBody()
 			s.bd.Inc(stats.CounterSheds)
 			s.Tracer.Record(trace.Event{Engine: "service", Op: "shed", InBytes: len(req.data), Err: "busy"})
-			if err := respond(statusBusy, retryAfterBody(s.RetryAfterHint)); err != nil {
+			if err := respond(statusBusy, retryAfterBody(s.pressureHint())); err != nil {
 				return
 			}
 			continue
 		}
-		body, err := s.execute(req)
+		body, pooled, err := s.execute(req)
 		release()
+		// Buffers go back to the budget only after the response bytes are
+		// on the wire (or the write failed): the response may alias the
+		// request buffer (decompress passthrough), and a daemon that never
+		// returned pool-drawn response bodies would bleed its budget dry.
+		finish := func() {
+			putBody()
+			if pooled && body != nil {
+				s.lib.Release(body)
+			}
+		}
 		s.bd.Inc(stats.CounterRequests)
 		if err != nil {
-			if werr := respond(statusErr, []byte(err.Error())); werr != nil {
+			finish()
+			status := byte(statusErr)
+			if errors.Is(err, dpu.ErrDeadline) {
+				// The request's budget ran out mid-flight: the work was
+				// abandoned at a checkpoint and the client gets the typed
+				// status so it never mistakes overload for a data error.
+				status = statusDeadline
+				s.bd.Inc(stats.CounterDeadlineAbandoned)
+				s.Tracer.Record(trace.Event{Engine: "service", Op: "deadline_abandoned", Err: err.Error()})
+			}
+			if werr := respond(status, []byte(err.Error())); werr != nil {
 				return
 			}
 			continue
 		}
-		if err := respond(statusOK, body); err != nil {
+		err = respond(statusOK, body)
+		finish()
+		if err != nil {
 			s.logf("service: write response: %v", err)
 			return
 		}
 	}
 }
 
-// execute runs one request against the library. A panicking handler is
-// recovered into a statusErr response so one poisoned request cannot
-// take down the daemon or its other connections.
-func (s *Server) execute(req request) (body []byte, err error) {
+// execute runs one request against the library. pooled reports that the
+// returned body is a pool-drawn buffer whose budget charge the caller
+// must release (via lib.Release) once the response is written. A
+// panicking handler is recovered into a statusErr response so one
+// poisoned request cannot take down the daemon or its other connections.
+func (s *Server) execute(req request) (body []byte, pooled bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.bd.Inc(stats.CounterPanics)
 			s.logf("service: handler panic: %v\n%s", r, debug.Stack())
 			s.Tracer.Record(trace.Event{Engine: "service", Op: "panic", Err: fmt.Sprint(r)})
-			body = nil
+			body, pooled = nil, false
 			err = fmt.Errorf("internal error: handler panic: %v", r)
 		}
 	}()
@@ -431,48 +665,73 @@ func (s *Server) execute(req request) (body []byte, err error) {
 		time.Sleep(d)
 	}
 	if s.execHook != nil {
-		return s.execHook(req)
+		body, err = s.execHook(req)
+		return body, false, err
 	}
 	if req.op == opHealth {
 		// Health carries no payload and no engine selector.
-		return s.HealthBody(), nil
+		return s.HealthBody(), false, nil
 	}
+	// Per-request deadline: the client's hint was stamped to an absolute
+	// deadline at read time, so queue wait already counts against the
+	// budget; the server's own ceiling bounds hint-free requests and
+	// caps hints looser than the operator allows.
+	deadlineAt := req.deadlineAt
+	if d := s.currentDefaultDeadline(); d > 0 {
+		if ceiling := time.Now().Add(d); deadlineAt.IsZero() || ceiling.Before(deadlineAt) {
+			deadlineAt = ceiling
+		}
+	}
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if !deadlineAt.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, deadlineAt)
+	}
+	defer cancel()
 	engine := hwmodel.Engine(req.engine)
 	if engine != hwmodel.SoC && engine != hwmodel.CEngine {
-		return nil, errors.New("bad engine")
+		return nil, false, errors.New("bad engine")
 	}
 	dt := core.DataType(req.dtype)
 	switch req.op {
 	case opCompress:
 		d := core.Design{Algo: core.AlgoID(req.algo), Engine: engine}
-		msg, _, err := s.lib.Compress(d, dt, req.data)
-		return msg, err
+		// The assembled message is pool-drawn; ownership passes to the
+		// caller, which releases it once the response hits the wire.
+		msg, _, err := s.lib.CompressContext(ctx, d, dt, req.data)
+		return msg, err == nil, err
 	case opDecompress:
-		out, _, err := s.lib.Decompress(engine, dt, req.data, int(req.maxOut))
-		return out, err
+		// Decompress outputs are plain allocations (or, on passthrough,
+		// aliases into the request buffer) — never pool-charged.
+		out, _, err := s.lib.DecompressContext(ctx, engine, dt, req.data, int(req.maxOut))
+		return out, false, err
 	case opCompressChecked:
 		payload, err := s.checkRequestDigest(req, "compress")
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		d := core.Design{Algo: core.AlgoID(req.algo), Engine: engine}
-		msg, rep, err := s.lib.Compress(d, dt, payload)
+		msg, rep, err := s.lib.CompressContext(ctx, d, dt, payload)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return prependDigest(rep.MsgCRC, msg), nil
+		// prependDigest copies, so the pool-drawn message can go back to
+		// the budget immediately.
+		body = prependDigest(rep.MsgCRC, msg)
+		s.lib.Release(msg)
+		return body, false, nil
 	case opDecompressChecked:
 		payload, err := s.checkRequestDigest(req, "decompress")
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		out, rep, err := s.lib.Decompress(engine, dt, payload, int(req.maxOut))
+		out, rep, err := s.lib.DecompressContext(ctx, engine, dt, payload, int(req.maxOut))
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
-		return prependDigest(rep.MsgCRC, out), nil
+		return prependDigest(rep.MsgCRC, out), false, nil
 	default:
-		return nil, errors.New("bad op")
+		return nil, false, errors.New("bad op")
 	}
 }
 
@@ -514,14 +773,22 @@ func (s *Server) HealthBody() []byte {
 	// compression, pipeline hops) with the daemon's own wire-hop
 	// rejections — one line answers "has this daemon ever seen silent
 	// data corruption".
+	// Overload fault-domain counters: pool budget occupancy, pressure
+	// sheds, deadline-abandoned work, and brownout ladder steps — one
+	// line answers "is this daemon shedding load and why".
+	snap := s.lib.PoolSnapshot()
 	return []byte(fmt.Sprintf(
-		"state=%s inflight=%d stalls=%d wedges=%d resets=%d reset_failures=%d expired_dropped=%d lost_jobs=%d jobs_replayed=%d verify_mismatches=%d hops_rejected=%d cores_quarantined=%d scalar_fallbacks=%d",
+		"state=%s inflight=%d stalls=%d wedges=%d resets=%d reset_failures=%d expired_dropped=%d lost_jobs=%d jobs_replayed=%d verify_mismatches=%d hops_rejected=%d cores_quarantined=%d scalar_fallbacks=%d pool_held=%d pool_peak=%d pool_budget=%d mem_pressure=%d deadline_abandoned=%d brownouts=%d brownout_rung=%d",
 		h.State, h.Inflight, h.Stalls, h.Wedges, h.Resets, h.ResetFailures,
 		h.ExpiredDropped, h.LostJobs, replayed,
 		tb.Count(stats.CounterVerifyMismatches),
 		tb.Count(stats.CounterHopsRejected)+s.bd.Count(stats.CounterHopsRejected),
 		tb.Count(stats.CounterCoresQuarantined),
-		tb.Count(stats.CounterScalarFallbacks)))
+		tb.Count(stats.CounterScalarFallbacks),
+		snap.HeldBytes, snap.PeakBytes, snap.Budget,
+		snap.PressureRejects+s.bd.Count(stats.CounterMemPressure),
+		tb.Count(stats.CounterDeadlineAbandoned)+s.bd.Count(stats.CounterDeadlineAbandoned),
+		s.bd.Count(stats.CounterBrownouts), s.rung.Load()))
 }
 
 // ListenAndServe is the convenience entry used by cmd/pedald.

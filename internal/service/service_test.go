@@ -10,10 +10,12 @@ import (
 
 	"pedal/internal/core"
 	"pedal/internal/hwmodel"
+	"pedal/internal/testutil"
 )
 
 func startServer(t *testing.T) (addr string, lib *core.Library) {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	lib, err := core.Init(core.Options{Generation: hwmodel.BlueField2})
 	if err != nil {
 		t.Fatal(err)

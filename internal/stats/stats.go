@@ -229,6 +229,31 @@ const (
 	CounterScalarFallbacks Counter = "scalar_fallbacks"
 )
 
+// Overload fault-domain counters (mempool budgets, deadline
+// propagation, cooperative backpressure): the machinery that makes the
+// system degrade under pressure instead of OOMing or working past the
+// point anyone still wants the answer.
+const (
+	// CounterDeadlineAbandoned counts operations abandoned at a deadline
+	// checkpoint with a typed ErrDeadline: the caller's budget ran out,
+	// so the layer released its pooled buffers and stopped instead of
+	// finishing work nobody is waiting for. Every layer (core, pipeline,
+	// service, fleet) feeds the same counter.
+	CounterDeadlineAbandoned Counter = "deadline_abandoned"
+	// CounterMemPressure counts typed ErrMemPressure refusals: a
+	// governed pool draw that would have exceeded the byte budget.
+	CounterMemPressure Counter = "mem_pressure_rejects"
+	// CounterMemPressureWaits counts governed pool draws that had to
+	// block for budget before succeeding — the early-warning signal that
+	// the budget is sized at the knee.
+	CounterMemPressureWaits Counter = "mem_pressure_waits"
+	// CounterBrownouts counts brownout-ladder escalations: the service
+	// observed sustained pool pressure or queue depth and stepped down a
+	// rung (shed low-priority, shrink pipeline concurrency, serial
+	// fallback).
+	CounterBrownouts Counter = "brownout_steps"
+)
+
 // Breakdown is a concurrency-safe accumulator of virtual durations per
 // phase plus resilience event counters.
 type Breakdown struct {

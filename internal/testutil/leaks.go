@@ -1,0 +1,77 @@
+// Package testutil holds cross-package test helpers. VerifyNoLeaks is
+// the overload fault domain's drain assertion: a test that spins up
+// servers, routers, or pipelines registers it first, and at cleanup the
+// goroutine count must return to its starting point — a handler or
+// worker still running after drain is a leak, exactly the class of bug
+// that turns sustained overload into slow death.
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// leakGrace is how long VerifyNoLeaks waits for goroutines started by
+// the test to unwind before declaring a leak. Connection teardown and
+// worker exits are asynchronous, so the count is polled, not sampled
+// once.
+const leakGrace = 5 * time.Second
+
+// VerifyNoLeaks snapshots the goroutine count and registers a cleanup
+// that fails the test if the count has not returned to the baseline
+// (within grace) by the end of the test. Call it before starting any
+// servers or pools so their goroutines are attributed to the test.
+func VerifyNoLeaks(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakGrace)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d before, %d after\n%s", before, n, goroutineDump())
+	})
+}
+
+// Drained fails the test when a pool-style resource reports outstanding
+// items after the work it served has finished. outstanding is typically
+// mempool.Pool.Outstanding or core.Library.PoolOutstanding.
+func Drained(t testing.TB, what string, outstanding func() int64) {
+	t.Helper()
+	deadline := time.Now().Add(leakGrace)
+	for {
+		n := outstanding()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("%s leak: %d buffers still outstanding after drain", what, n)
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// goroutineDump renders the current goroutine stacks, truncated so a
+// leak failure stays readable.
+func goroutineDump() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	const maxLines = 120
+	lines := strings.SplitAfterN(s, "\n", maxLines+1)
+	if len(lines) > maxLines {
+		return strings.Join(lines[:maxLines], "") + "... (truncated)\n"
+	}
+	return s
+}
